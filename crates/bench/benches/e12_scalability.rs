@@ -1,0 +1,38 @@
+//! E12 kernels: pipeline scaling in n and k (the numbers behind the
+//! scalability table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssa_core::lp_formulation::solve_relaxation_oracle;
+use ssa_core::rounding::{round_binary, RoundingOptions};
+use ssa_workloads::{protocol_scenario, ScenarioConfig};
+use std::time::Duration;
+
+fn bench_e12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_scalability");
+    for &(n, k) in &[(50usize, 2usize), (100, 4), (200, 4)] {
+        let generated = protocol_scenario(&ScenarioConfig::new(n, k, 12), 1.0);
+        let instance = &generated.instance;
+        group.bench_with_input(BenchmarkId::new("lp_solve", format!("n{n}_k{k}")), instance, |b, inst| {
+            b.iter(|| solve_relaxation_oracle(inst))
+        });
+        let fractional = solve_relaxation_oracle(instance);
+        group.bench_with_input(
+            BenchmarkId::new("rounding_16_trials", format!("n{n}_k{k}")),
+            &(instance, &fractional),
+            |b, (inst, frac)| {
+                b.iter(|| round_binary(inst, frac, &RoundingOptions { seed: 1, trials: 16 }))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_e12 }
+criterion_main!(benches);

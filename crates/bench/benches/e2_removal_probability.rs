@@ -1,0 +1,29 @@
+//! E2 (Lemma 4) kernel: repeated single-trial roundings with conflict
+//! resolution, the operation whose statistics verify the removal bound.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssa_core::lp_formulation::solve_relaxation_oracle;
+use ssa_core::rounding::{round_binary, RoundingOptions};
+use ssa_workloads::{protocol_scenario, ScenarioConfig};
+use std::time::Duration;
+
+fn bench_e2(c: &mut Criterion) {
+    let mut config = ScenarioConfig::new(30, 4, 2);
+    config.clustered = true;
+    let generated = protocol_scenario(&config, 1.0);
+    let instance = &generated.instance;
+    let fractional = solve_relaxation_oracle(instance);
+    c.bench_function("e2_removal_probability/100_trials", |b| {
+        b.iter(|| round_binary(instance, &fractional, &RoundingOptions { seed: 7, trials: 100 }))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_e2 }
+criterion_main!(benches);

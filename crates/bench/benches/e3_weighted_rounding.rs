@@ -1,0 +1,45 @@
+//! E3 (Lemmas 7 + 8) kernels: the weighted pipeline (Algorithm 2 rounding +
+//! Algorithm 3 conflict resolution) on physical-model instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssa_core::conflict_resolution::make_feasible;
+use ssa_core::lp_formulation::solve_relaxation_oracle;
+use ssa_core::rounding::{round_weighted_partial, RoundingOptions};
+use ssa_interference::{PowerAssignment, SinrParameters};
+use ssa_workloads::{physical_scenario, ScenarioConfig};
+use std::time::Duration;
+
+fn bench_e3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_weighted_rounding");
+    for &(n, k) in &[(20usize, 2usize), (40, 4)] {
+        let (generated, _) = physical_scenario(
+            &ScenarioConfig::new(n, k, 3),
+            SinrParameters::new(3.0, 1.0, 0.02),
+            PowerAssignment::Uniform,
+        );
+        let instance = &generated.instance;
+        let fractional = solve_relaxation_oracle(instance);
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2_plus_3", format!("n{n}_k{k}")),
+            &(instance, &fractional),
+            |b, (inst, frac)| {
+                b.iter(|| {
+                    let partial =
+                        round_weighted_partial(inst, frac, &RoundingOptions { seed: 5, trials: 8 });
+                    make_feasible(inst, &partial.allocation)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_e3 }
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E4 (Proposition 9) kernels: disk-graph construction and certification of
+//! the inductive independence number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssa_interference::DiskGraphModel;
+use ssa_workloads::placement::{random_disks, seeded_rng, uniform_points};
+use std::time::Duration;
+
+fn bench_e4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_disk_rho");
+    for &n in &[100usize, 400] {
+        let mut rng = seeded_rng(n as u64);
+        let centers = uniform_points(n, 100.0, &mut rng);
+        let disks = random_disks(&centers, 1.0, 3.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("build_and_certify", n), &disks, |b, disks| {
+            b.iter(|| DiskGraphModel::new(disks.clone()).build())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_e4 }
+criterion_main!(benches);

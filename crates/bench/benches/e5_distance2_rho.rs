@@ -1,0 +1,37 @@
+//! E5 (Propositions 11/12, Corollary 14) kernels: distance-2 conflict graph
+//! construction and ρ certification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssa_geometry::CivilizedLayout;
+use ssa_interference::{CivilizedDistance2Model, Distance2ColoringModel};
+use ssa_workloads::placement::{grid_points, random_disks, seeded_rng, uniform_points};
+use std::time::Duration;
+
+fn bench_e5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_distance2_rho");
+    let n = 150usize;
+    let mut rng = seeded_rng(5);
+    let centers = uniform_points(n, 60.0, &mut rng);
+    let disks = random_disks(&centers, 1.0, 3.0, &mut rng);
+    group.bench_with_input(BenchmarkId::new("disk_coloring", n), &disks, |b, disks| {
+        b.iter(|| Distance2ColoringModel::new(disks.clone()).build())
+    });
+    let grid = grid_points(n, 18.0);
+    group.bench_with_input(BenchmarkId::new("civilized", n), &grid, |b, grid| {
+        b.iter(|| {
+            let layout = CivilizedLayout::with_all_short_edges(grid.clone(), 2.0, 1.0);
+            CivilizedDistance2Model::new(layout).build()
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_e5 }
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E6 (Proposition 13) kernels: protocol-model conflict graph construction
+//! and ρ certification as a function of the guard parameter Δ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssa_interference::ProtocolModel;
+use ssa_workloads::placement::{random_links, seeded_rng, uniform_points};
+use std::time::Duration;
+
+fn bench_e6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_protocol_rho");
+    let n = 200usize;
+    let mut rng = seeded_rng(6);
+    let senders = uniform_points(n, 80.0, &mut rng);
+    let links = random_links(&senders, 0.5, 4.0, &mut rng);
+    for &delta in &[0.5f64, 2.0] {
+        group.bench_with_input(BenchmarkId::new("build_and_certify", format!("delta{delta}")), &links, |b, links| {
+            b.iter(|| ProtocolModel::new(links.clone(), delta).build())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_e6 }
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E7 (Proposition 15) kernels: affectance-weighted conflict graph
+//! construction and ρ certification for the physical model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssa_geometry::LinkMetric;
+use ssa_interference::{PhysicalModel, PowerAssignment, SinrParameters};
+use ssa_workloads::placement::{random_links, seeded_rng, uniform_points};
+use std::time::Duration;
+
+fn bench_e7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_physical_rho");
+    for &n in &[50usize, 150] {
+        let mut rng = seeded_rng(7 + n as u64);
+        let senders = uniform_points(n, 120.0, &mut rng);
+        let links = random_links(&senders, 0.5, 4.0, &mut rng);
+        let metric = LinkMetric::from_links(&links);
+        group.bench_with_input(BenchmarkId::new("build_and_certify", n), &metric, |b, metric| {
+            b.iter(|| {
+                PhysicalModel::new(
+                    metric.clone(),
+                    SinrParameters::new(3.0, 1.0, 0.0),
+                    &PowerAssignment::Uniform,
+                )
+                .build()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_e7 }
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E8 (Theorem 17) kernels: the Theorem 17 weighted graph, the end-to-end
+//! pipeline on it and the power-control procedure itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssa_core::solver::SpectrumAuctionSolver;
+use ssa_interference::SinrParameters;
+use ssa_workloads::{power_control_scenario, ScenarioConfig};
+use std::time::Duration;
+
+fn bench_e8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_power_control");
+    for &(n, k) in &[(15usize, 2usize), (30, 4)] {
+        let (generated, pc) =
+            power_control_scenario(&ScenarioConfig::new(n, k, 8), SinrParameters::new(3.0, 1.0, 0.05));
+        let instance = generated.instance.clone();
+        group.bench_with_input(BenchmarkId::new("pipeline", format!("n{n}_k{k}")), &instance, |b, inst| {
+            let solver = SpectrumAuctionSolver::default();
+            b.iter(|| solver.solve(inst))
+        });
+        // power control on the full link set restricted to an independent set
+        let solver = SpectrumAuctionSolver::default();
+        let outcome = solver.solve(&instance);
+        let winners = outcome.allocation.winners_of_channel(0);
+        group.bench_with_input(
+            BenchmarkId::new("power_control_iteration", format!("n{n}_k{k}")),
+            &winners,
+            |b, winners| b.iter(|| pc.power_control(winners)),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_e8 }
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E9 (Section 6 / Theorem 18) kernels: the asymmetric-channel pipeline and
+//! the Theorem 18 hard-instance construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssa_conflict_graph::ConflictGraph;
+use ssa_core::hardness::theorem_18_instance;
+use ssa_core::solver::SpectrumAuctionSolver;
+use ssa_workloads::{asymmetric_scenario, ScenarioConfig};
+use std::time::Duration;
+
+fn circulant(n: usize) -> ConflictGraph {
+    let mut edges = Vec::new();
+    for v in 0..n {
+        edges.push((v, (v + 1) % n));
+        edges.push((v, (v + 2) % n));
+    }
+    ConflictGraph::from_edges(n, &edges)
+}
+
+fn bench_e9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_asymmetric");
+    let base = circulant(16);
+    for &k in &[2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("theorem18_pipeline", k), &k, |b, &k| {
+            let instance = theorem_18_instance(&base, k, 5);
+            let solver = SpectrumAuctionSolver::default();
+            b.iter(|| solver.solve(&instance))
+        });
+        group.bench_with_input(BenchmarkId::new("random_asymmetric_pipeline", k), &k, |b, &k| {
+            let generated = asymmetric_scenario(&ScenarioConfig::new(14, k, 9), 1.0);
+            let solver = SpectrumAuctionSolver::default();
+            b.iter(|| solver.solve(&generated.instance))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_e9 }
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Prints every experiment table (E1–E12) and writes them as JSON files.
+//!
+//! ```text
+//! cargo run --release -p ssa-bench --bin experiments            # full sweeps
+//! cargo run --release -p ssa-bench --bin experiments -- --quick # smoke test
+//! cargo run --release -p ssa-bench --bin experiments -- E4 E7   # a subset
+//! ```
+//!
+//! JSON copies of the tables are written to `experiment-results/`.
+
+use ssa_bench::{run_all, Table};
+use std::fs;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_uppercase())
+        .collect();
+
+    println!("Secondary spectrum auctions — experiment harness");
+    println!(
+        "mode: {}  (pass --quick for a fast smoke run, or experiment ids like E4 E7 to select)",
+        if quick { "quick" } else { "full" }
+    );
+    println!();
+
+    let started = Instant::now();
+    let tables: Vec<Table> = run_all(quick)
+        .into_iter()
+        .filter(|t| selected.is_empty() || selected.contains(&t.id))
+        .collect();
+
+    let out_dir = "experiment-results";
+    let _ = fs::create_dir_all(out_dir);
+    for table in &tables {
+        println!("{}", table.render());
+        let path = format!("{out_dir}/{}.json", table.id.to_lowercase());
+        if fs::write(&path, table.to_json()).is_ok() {
+            println!("   (written to {path})");
+        }
+        println!();
+    }
+    println!(
+        "{} experiment(s) finished in {:.1} s",
+        tables.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,17 @@
+//! The experiment harness of the reproduction.
+//!
+//! The SPAA 2011 paper has no empirical evaluation section, so the
+//! "tables" regenerated here are the paper's *stated guarantees*: one
+//! experiment per theorem/proposition/lemma (see DESIGN.md §3 and
+//! EXPERIMENTS.md for the index). Each experiment is a function returning a
+//! [`Table`]; the `experiments` binary prints all of them (and writes JSON
+//! files), and the Criterion benches in `benches/` time the computational
+//! kernels behind each experiment.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

@@ -1,0 +1,107 @@
+//! Plain-text / JSON result tables.
+
+use serde::{Deserialize, Serialize};
+
+/// A result table: a name, a caption tying it to the paper's claim, column
+/// headers and string-formatted rows.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment identifier, e.g. `"E1"`.
+    pub id: String,
+    /// Human-readable caption (which paper claim this validates).
+    pub caption: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, caption: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            caption: caption.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch in table {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.caption));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the table to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tables are always serializable")
+    }
+}
+
+/// Formats a float with 3 decimal digits.
+pub fn fmt(x: f64) -> String {
+    if x.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_counts_rows() {
+        let mut t = Table::new("E0", "smoke test", &["n", "value"]);
+        t.push_row(vec!["10".into(), fmt(1.23456)]);
+        t.push_row(vec!["1000".into(), fmt(f64::INFINITY)]);
+        let text = t.render();
+        assert!(text.contains("E0"));
+        assert!(text.contains("1.235"));
+        assert!(text.contains("inf"));
+        assert_eq!(t.rows.len(), 2);
+        let json = t.to_json();
+        assert!(json.contains("\"caption\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("E0", "smoke", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

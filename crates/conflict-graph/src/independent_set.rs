@@ -1,0 +1,460 @@
+//! Maximum-weight independent set primitives.
+//!
+//! These routines serve three purposes in the reproduction:
+//!
+//! 1. the **exact** solvers certify the inductive independence number on
+//!    backward neighborhoods (Definitions 1 and 2) and provide ground truth
+//!    for the single-channel case `k = 1`,
+//! 2. the **greedy** solvers are the classical baselines the paper contrasts
+//!    its LP approach against (Section 1.2), and
+//! 3. both are reused by the hardness experiments to measure how far the
+//!    heuristics degrade on adversarial instances.
+
+use crate::bitset::BitSet;
+use crate::unweighted::ConflictGraph;
+use crate::weighted::WeightedConflictGraph;
+use crate::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// Result of an independent-set computation: the chosen vertices (sorted)
+/// and their total weight.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IndependentSetResult {
+    /// Chosen vertices in increasing order.
+    pub vertices: Vec<VertexId>,
+    /// Sum of the vertex weights of the chosen vertices.
+    pub total_weight: f64,
+}
+
+impl IndependentSetResult {
+    fn from_vertices(mut vertices: Vec<VertexId>, weights: &[f64]) -> Self {
+        vertices.sort_unstable();
+        let total_weight = vertices.iter().map(|&v| weights[v]).sum();
+        IndependentSetResult { vertices, total_weight }
+    }
+
+    /// Number of chosen vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Returns `true` if no vertex was chosen.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// Greedy maximum-weight independent set on an unweighted conflict graph.
+///
+/// Vertices are considered by decreasing `weight / (degree + 1)` — the
+/// classical greedy rule that guarantees a `(d̄+1)`-approximation — and added
+/// whenever they do not conflict with previously chosen vertices.
+///
+/// # Panics
+/// Panics if `weights.len() != g.num_vertices()`.
+pub fn greedy_max_weight_independent_set(
+    g: &ConflictGraph,
+    weights: &[f64],
+) -> IndependentSetResult {
+    assert_eq!(weights.len(), g.num_vertices());
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ka = weights[a] / (g.degree(a) as f64 + 1.0);
+        let kb = weights[b] / (g.degree(b) as f64 + 1.0);
+        kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let mut chosen = BitSet::new(n);
+    let mut blocked = BitSet::new(n);
+    let mut picked = Vec::new();
+    for v in order {
+        if weights[v] <= 0.0 || blocked.contains(v) {
+            continue;
+        }
+        chosen.insert(v);
+        picked.push(v);
+        blocked.union_with(g.adjacency_row(v));
+    }
+    IndependentSetResult::from_vertices(picked, weights)
+}
+
+/// Greedy maximum-weight independent set on an edge-weighted conflict graph.
+///
+/// Vertices are considered by decreasing weight and added whenever doing so
+/// keeps the partial set independent in the weighted sense (every member's
+/// incoming weight stays strictly below 1).
+pub fn greedy_max_weight_independent_set_weighted(
+    g: &WeightedConflictGraph,
+    weights: &[f64],
+) -> IndependentSetResult {
+    assert_eq!(weights.len(), g.num_vertices());
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    // incoming[v] = interference already accumulated at v from chosen vertices
+    let mut incoming = vec![0.0f64; n];
+    let mut chosen: Vec<VertexId> = Vec::new();
+    for v in order {
+        if weights[v] <= 0.0 {
+            continue;
+        }
+        // adding v must keep v itself and every chosen vertex under budget
+        if incoming[v] >= 1.0 {
+            continue;
+        }
+        let breaks_existing = chosen
+            .iter()
+            .any(|&u| incoming[u] + g.weight(v, u) >= 1.0);
+        if breaks_existing {
+            continue;
+        }
+        for &u in &chosen {
+            incoming[u] += g.weight(v, u);
+            incoming[v] += g.weight(u, v);
+        }
+        chosen.push(v);
+    }
+    IndependentSetResult::from_vertices(chosen, weights)
+}
+
+/// A greedy clique cover of the graph: repeatedly grows a clique from the
+/// lowest-index uncovered vertex and removes it. The number of cliques is an
+/// **upper bound on the independence number** (every independent set picks at
+/// most one vertex per clique), which the ρ certification uses on backward
+/// neighborhoods too large for exhaustive search — for the geometric conflict
+/// graphs of Section 4 this bound stays close to the paper's constants even
+/// on dense instances.
+pub fn clique_cover_upper_bound(g: &ConflictGraph) -> usize {
+    let n = g.num_vertices();
+    let mut covered = BitSet::new(n.max(1));
+    let mut cliques = 0usize;
+    for start in 0..n {
+        if covered.contains(start) {
+            continue;
+        }
+        cliques += 1;
+        covered.insert(start);
+        // members of the current clique
+        let mut members = vec![start];
+        for v in (start + 1)..n {
+            if covered.contains(v) {
+                continue;
+            }
+            if members.iter().all(|&u| g.has_edge(u, v)) {
+                covered.insert(v);
+                members.push(v);
+            }
+        }
+    }
+    cliques
+}
+
+/// Exact maximum-weight independent set by branch and bound.
+///
+/// Intended for graphs with at most a few dozen vertices (backward
+/// neighborhoods, ground-truth on small instances). The bound prunes with
+/// the total remaining weight, and vertices are explored in decreasing-weight
+/// order so good incumbents are found early.
+///
+/// # Panics
+/// Panics if `weights.len() != g.num_vertices()`.
+pub fn exact_max_weight_independent_set(
+    g: &ConflictGraph,
+    weights: &[f64],
+) -> IndependentSetResult {
+    assert_eq!(weights.len(), g.num_vertices());
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n).filter(|&v| weights[v] > 0.0).collect();
+    order.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    // suffix_weight[i] = total weight of order[i..]
+    let mut suffix_weight = vec![0.0f64; order.len() + 1];
+    for i in (0..order.len()).rev() {
+        suffix_weight[i] = suffix_weight[i + 1] + weights[order[i]];
+    }
+
+    struct Ctx<'a> {
+        g: &'a ConflictGraph,
+        weights: &'a [f64],
+        order: &'a [VertexId],
+        suffix_weight: &'a [f64],
+        best_weight: f64,
+        best_set: Vec<VertexId>,
+    }
+
+    fn recurse(ctx: &mut Ctx<'_>, idx: usize, current: &mut Vec<VertexId>, blocked: &BitSet, weight: f64) {
+        if weight > ctx.best_weight {
+            ctx.best_weight = weight;
+            ctx.best_set = current.clone();
+        }
+        if idx >= ctx.order.len() {
+            return;
+        }
+        if weight + ctx.suffix_weight[idx] <= ctx.best_weight {
+            return; // even taking everything left cannot beat the incumbent
+        }
+        let v = ctx.order[idx];
+        // Branch 1: take v if allowed.
+        if !blocked.contains(v) {
+            let mut blocked2 = blocked.clone();
+            blocked2.union_with(ctx.g.adjacency_row(v));
+            current.push(v);
+            recurse(ctx, idx + 1, current, &blocked2, weight + ctx.weights[v]);
+            current.pop();
+        }
+        // Branch 2: skip v.
+        recurse(ctx, idx + 1, current, blocked, weight);
+    }
+
+    let mut ctx = Ctx {
+        g,
+        weights,
+        order: &order,
+        suffix_weight: &suffix_weight,
+        best_weight: 0.0,
+        best_set: Vec::new(),
+    };
+    let blocked = BitSet::new(n);
+    let mut current = Vec::new();
+    recurse(&mut ctx, 0, &mut current, &blocked, 0.0);
+    IndependentSetResult::from_vertices(ctx.best_set, weights)
+}
+
+/// Exact maximum-weight independent set on an edge-weighted conflict graph.
+///
+/// Exhaustive branch and bound with remaining-weight pruning; independence is
+/// re-checked incrementally through accumulated incoming interference. Only
+/// suitable for small graphs (≈ 25 vertices or fewer).
+pub fn exact_max_weight_independent_set_weighted(
+    g: &WeightedConflictGraph,
+    weights: &[f64],
+) -> IndependentSetResult {
+    assert_eq!(weights.len(), g.num_vertices());
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n).filter(|&v| weights[v] > 0.0).collect();
+    order.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut suffix_weight = vec![0.0f64; order.len() + 1];
+    for i in (0..order.len()).rev() {
+        suffix_weight[i] = suffix_weight[i + 1] + weights[order[i]];
+    }
+
+    struct Ctx<'a> {
+        g: &'a WeightedConflictGraph,
+        weights: &'a [f64],
+        order: &'a [VertexId],
+        suffix_weight: &'a [f64],
+        best_weight: f64,
+        best_set: Vec<VertexId>,
+    }
+
+    fn recurse(
+        ctx: &mut Ctx<'_>,
+        idx: usize,
+        current: &mut Vec<VertexId>,
+        incoming: &mut Vec<f64>,
+        weight: f64,
+    ) {
+        if weight > ctx.best_weight {
+            ctx.best_weight = weight;
+            ctx.best_set = current.clone();
+        }
+        if idx >= ctx.order.len() {
+            return;
+        }
+        if weight + ctx.suffix_weight[idx] <= ctx.best_weight {
+            return;
+        }
+        let v = ctx.order[idx];
+        // Branch 1: take v if it keeps everyone strictly under budget.
+        let v_incoming: f64 = current.iter().map(|&u| ctx.g.weight(u, v)).sum();
+        let fits = v_incoming < 1.0
+            && current
+                .iter()
+                .all(|&u| incoming[u] + ctx.g.weight(v, u) < 1.0);
+        if fits {
+            for &u in current.iter() {
+                incoming[u] += ctx.g.weight(v, u);
+            }
+            incoming[v] = v_incoming;
+            current.push(v);
+            recurse(ctx, idx + 1, current, incoming, weight + ctx.weights[v]);
+            current.pop();
+            incoming[v] = 0.0;
+            for &u in current.iter() {
+                incoming[u] -= ctx.g.weight(v, u);
+            }
+        }
+        // Branch 2: skip v.
+        recurse(ctx, idx + 1, current, incoming, weight);
+    }
+
+    let mut ctx = Ctx {
+        g,
+        weights,
+        order: &order,
+        suffix_weight: &suffix_weight,
+        best_weight: 0.0,
+        best_set: Vec::new(),
+    };
+    let mut incoming = vec![0.0f64; n];
+    let mut current = Vec::new();
+    recurse(&mut ctx, 0, &mut current, &mut incoming, 0.0);
+    IndependentSetResult::from_vertices(ctx.best_set, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn uniform_weights(n: usize) -> Vec<f64> {
+        vec![1.0; n]
+    }
+
+    #[test]
+    fn clique_cover_bounds_independence_number() {
+        // path of 5: independence number 3, clique cover uses 3 cliques (edges + singleton)
+        let g = ConflictGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let cover = clique_cover_upper_bound(&g);
+        let alpha = exact_max_weight_independent_set(&g, &uniform_weights(5)).len();
+        assert!(cover >= alpha);
+        // clique: one clique covers everything
+        assert_eq!(clique_cover_upper_bound(&ConflictGraph::clique(7)), 1);
+        // empty graph: every vertex is its own clique
+        assert_eq!(clique_cover_upper_bound(&ConflictGraph::new(4)), 4);
+    }
+
+    #[test]
+    fn exact_on_path_picks_alternating_vertices() {
+        let g = ConflictGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let r = exact_max_weight_independent_set(&g, &uniform_weights(5));
+        assert_eq!(r.vertices, vec![0, 2, 4]);
+        assert_eq!(r.total_weight, 3.0);
+    }
+
+    #[test]
+    fn exact_respects_weights_over_cardinality() {
+        // star: center has huge weight, leaves small -> pick center alone
+        let g = ConflictGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let r = exact_max_weight_independent_set(&g, &[10.0, 1.0, 1.0, 1.0]);
+        assert_eq!(r.vertices, vec![0]);
+        assert_eq!(r.total_weight, 10.0);
+        // now leaves dominate
+        let r2 = exact_max_weight_independent_set(&g, &[2.0, 1.0, 1.0, 1.0]);
+        assert_eq!(r2.vertices, vec![1, 2, 3]);
+        assert_eq!(r2.total_weight, 3.0);
+    }
+
+    #[test]
+    fn exact_on_clique_picks_heaviest_vertex() {
+        let g = ConflictGraph::clique(6);
+        let w = [1.0, 4.0, 2.0, 8.0, 3.0, 5.0];
+        let r = exact_max_weight_independent_set(&g, &w);
+        assert_eq!(r.vertices, vec![3]);
+        assert_eq!(r.total_weight, 8.0);
+    }
+
+    #[test]
+    fn greedy_result_is_always_independent() {
+        let g = ConflictGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let r = greedy_max_weight_independent_set(&g, &[3.0, 1.0, 3.0, 1.0, 3.0, 1.0]);
+        assert!(g.is_independent(&r.vertices));
+        assert!(r.total_weight >= 3.0);
+    }
+
+    #[test]
+    fn zero_weight_vertices_never_chosen() {
+        let g = ConflictGraph::new(4);
+        let r = greedy_max_weight_independent_set(&g, &[0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(r.vertices, vec![1, 3]);
+        let e = exact_max_weight_independent_set(&g, &[0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(e.vertices, vec![1, 3]);
+    }
+
+    #[test]
+    fn weighted_graph_exact_respects_aggregate_interference() {
+        // three vertices each putting 0.5 onto vertex 3: any two of them plus
+        // 3 is infeasible, so the optimum with unit weights has size 3.
+        let mut g = WeightedConflictGraph::new(4);
+        for u in 0..3 {
+            g.set_weight(u, 3, 0.5);
+        }
+        let r = exact_max_weight_independent_set_weighted(&g, &uniform_weights(4));
+        assert_eq!(r.len(), 3);
+        assert!(g.is_independent(&r.vertices));
+    }
+
+    #[test]
+    fn weighted_greedy_is_feasible_and_nonempty() {
+        let mut g = WeightedConflictGraph::new(5);
+        g.set_weight(0, 1, 0.9);
+        g.set_weight(1, 0, 0.9);
+        g.set_weight(2, 3, 0.6);
+        g.set_weight(3, 2, 0.6);
+        let w = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let r = greedy_max_weight_independent_set_weighted(&g, &w);
+        assert!(g.is_independent(&r.vertices));
+        assert!(r.total_weight >= 5.0);
+    }
+
+    #[test]
+    fn exact_weighted_matches_unweighted_on_unit_edge_weights() {
+        let g = ConflictGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (0, 5)]);
+        let wg = WeightedConflictGraph::from_unweighted(&g);
+        let weights = [2.0, 3.0, 1.0, 5.0, 2.0, 2.0];
+        let a = exact_max_weight_independent_set(&g, &weights);
+        let b = exact_max_weight_independent_set_weighted(&wg, &weights);
+        assert!((a.total_weight - b.total_weight).abs() < 1e-9);
+    }
+
+    prop_compose! {
+        fn arb_instance()(n in 1usize..14)
+                         (n in Just(n),
+                          edges in prop::collection::vec((0..n, 0..n), 0..40),
+                          weights in prop::collection::vec(0.0f64..10.0, 14)) -> (ConflictGraph, Vec<f64>) {
+            (ConflictGraph::from_edges(n, &edges), weights[..n].to_vec())
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_exact_at_least_greedy_and_both_independent((g, w) in arb_instance()) {
+            let greedy = greedy_max_weight_independent_set(&g, &w);
+            let exact = exact_max_weight_independent_set(&g, &w);
+            prop_assert!(g.is_independent(&greedy.vertices));
+            prop_assert!(g.is_independent(&exact.vertices));
+            prop_assert!(exact.total_weight >= greedy.total_weight - 1e-9);
+        }
+
+        #[test]
+        fn prop_clique_cover_upper_bounds_alpha((g, w) in arb_instance()) {
+            let _ = &w;
+            let alpha = exact_max_weight_independent_set(&g, &vec![1.0; g.num_vertices()]).len();
+            prop_assert!(clique_cover_upper_bound(&g) >= alpha);
+        }
+
+        #[test]
+        fn prop_exact_weighted_feasible((g, w) in arb_instance()) {
+            let wg = WeightedConflictGraph::from_unweighted(&g);
+            let r = exact_max_weight_independent_set_weighted(&wg, &w);
+            prop_assert!(wg.is_independent(&r.vertices));
+            // and it must coincide with the unweighted optimum
+            let e = exact_max_weight_independent_set(&g, &w);
+            prop_assert!((r.total_weight - e.total_weight).abs() < 1e-6);
+        }
+    }
+}

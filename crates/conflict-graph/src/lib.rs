@@ -1,0 +1,53 @@
+//! Conflict graphs for secondary spectrum auctions.
+//!
+//! This crate provides the combinatorial substrate of the SPAA 2011 paper
+//! *"Approximation Algorithms for Secondary Spectrum Auctions"* (Hoefer,
+//! Kesselheim, Vöcking):
+//!
+//! * [`ConflictGraph`] — unweighted conflict graphs whose independent sets
+//!   are the feasible per-channel allocations (Problem 1 of the paper),
+//! * [`WeightedConflictGraph`] — edge-weighted conflict graphs (Section 3)
+//!   in which a set `M` is independent iff the incoming weight into every
+//!   member is strictly below 1,
+//! * [`VertexOrdering`] — total orderings `π` of the vertices together with
+//!   backward neighborhoods `Γπ(v)`,
+//! * the **inductive independence number** `ρ` (Definitions 1 and 2 of the
+//!   paper), both as an exactly computed quantity on small graphs and as a
+//!   certified upper bound for a given ordering (module [`inductive`]),
+//! * independent-set primitives (greedy, exact branch-and-bound, weighted
+//!   variants) used by the LP relaxation, the rounding algorithms and the
+//!   baselines (module [`independent_set`]).
+//!
+//! The crate is deliberately free of any geometry or wireless-model code —
+//! those live in `ssa-geometry` and `ssa-interference` and merely *produce*
+//! conflict graphs consumed here.
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod independent_set;
+pub mod inductive;
+pub mod ordering;
+pub mod unweighted;
+pub mod weighted;
+
+pub use bitset::BitSet;
+pub use independent_set::{
+    clique_cover_upper_bound, exact_max_weight_independent_set,
+    exact_max_weight_independent_set_weighted, greedy_max_weight_independent_set,
+    greedy_max_weight_independent_set_weighted, IndependentSetResult,
+};
+pub use inductive::{
+    certified_rho, certified_rho_for_ordering, certified_rho_for_ordering_weighted,
+    certified_rho_weighted, exact_inductive_independence_number, greedy_ordering_search,
+    greedy_ordering_search_weighted, InductiveBound,
+};
+pub use ordering::VertexOrdering;
+pub use unweighted::ConflictGraph;
+pub use weighted::WeightedConflictGraph;
+
+/// Identifier of a vertex (bidder) in a conflict graph.
+///
+/// Vertices are always densely numbered `0..n`, which lets every data
+/// structure in the workspace use plain `Vec` indexing.
+pub type VertexId = usize;

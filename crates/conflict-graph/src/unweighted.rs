@@ -1,0 +1,310 @@
+//! Unweighted conflict graphs (Problem 1, Section 2 of the paper).
+//!
+//! Vertices are bidders; an edge `{u, v}` means `u` and `v` may never share a
+//! channel. The feasible per-channel allocations are exactly the independent
+//! sets of the graph.
+
+use crate::bitset::BitSet;
+use crate::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// An undirected, unweighted conflict graph over vertices `0..n`.
+///
+/// Internally stores both an adjacency bit matrix (for `O(1)` edge queries
+/// and fast intersection with vertex subsets) and sorted neighbor lists (for
+/// cache-friendly iteration over sparse neighborhoods).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConflictGraph {
+    n: usize,
+    adj_rows: Vec<BitSet>,
+    neighbors: Vec<Vec<VertexId>>,
+    num_edges: usize,
+}
+
+impl ConflictGraph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        ConflictGraph {
+            n,
+            adj_rows: (0..n).map(|_| BitSet::new(n)).collect(),
+            neighbors: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Creates a graph with `n` vertices from an edge list.
+    ///
+    /// Self-loops are ignored; duplicate edges are inserted once.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Creates the complete graph (clique) on `n` vertices.
+    ///
+    /// With a clique conflict graph the auction degenerates to an ordinary
+    /// combinatorial auction: each channel can be won by at most one bidder.
+    pub fn clique(n: usize) -> Self {
+        let mut g = Self::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds the undirected edge `{u, v}`. Ignores self-loops and duplicates.
+    ///
+    /// # Panics
+    /// Panics if `u >= n` or `v >= n`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of bounds (n={})", self.n);
+        if u == v || self.adj_rows[u].contains(v) {
+            return;
+        }
+        self.adj_rows[u].insert(v);
+        self.adj_rows[v].insert(u);
+        self.neighbors[u].push(v);
+        self.neighbors[v].push(u);
+        self.num_edges += 1;
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u < self.n && self.adj_rows[u].contains(v)
+    }
+
+    /// Neighbors of `v` (unsorted, in insertion order).
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[v]
+    }
+
+    /// Adjacency row of `v` as a bit set.
+    pub fn adjacency_row(&self, v: VertexId) -> &BitSet {
+        &self.adj_rows[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors[v].len()
+    }
+
+    /// Maximum degree over all vertices, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `d̄ = 2|E|/n`, the quantity appearing in the classical
+    /// `(d̄+1)/2` bound for the edge-based LP relaxation (Section 2.1).
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.n as f64
+        }
+    }
+
+    /// Iterator over all edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.neighbors[u]
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Returns `true` if `set` is an independent set: no two members share an
+    /// edge.
+    pub fn is_independent(&self, set: &[VertexId]) -> bool {
+        for (i, &u) in set.iter().enumerate() {
+            for &v in &set[i + 1..] {
+                if self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the members of the bit set form an independent set.
+    ///
+    /// Adjacency rows never contain the vertex itself, so it suffices to test
+    /// that no member's row intersects the set.
+    pub fn is_independent_bitset(&self, set: &BitSet) -> bool {
+        set.iter().all(|v| !self.adj_rows[v].intersects(set))
+    }
+
+    /// Builds the subgraph induced by `vertices`.
+    ///
+    /// Returns the induced [`ConflictGraph`] together with the mapping from
+    /// new vertex ids (positions in `vertices`) to original vertex ids.
+    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> (ConflictGraph, Vec<VertexId>) {
+        let mapping: Vec<VertexId> = vertices.to_vec();
+        let mut g = ConflictGraph::new(vertices.len());
+        for (i, &u) in vertices.iter().enumerate() {
+            for (j, &v) in vertices.iter().enumerate().skip(i + 1) {
+                if self.has_edge(u, v) {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        (g, mapping)
+    }
+
+    /// Restricts the members of `set` that are neighbors of `v` and precede
+    /// `v` in the ordering `order_pos` (i.e. lie in the backward neighborhood
+    /// `Γπ(v)`), returning how many there are.
+    pub fn backward_neighbors_in(
+        &self,
+        v: VertexId,
+        order_pos: &[usize],
+        set: &BitSet,
+    ) -> usize {
+        self.neighbors[v]
+            .iter()
+            .filter(|&&u| order_pos[u] < order_pos[v] && set.contains(u))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn path(n: usize) -> ConflictGraph {
+        let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        ConflictGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn empty_graph_everything_independent() {
+        let g = ConflictGraph::new(5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_independent(&[0, 1, 2, 3, 4]));
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn clique_only_singletons_independent() {
+        let g = ConflictGraph::clique(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+        for v in 0..6 {
+            assert!(g.is_independent(&[v]));
+        }
+        assert!(!g.is_independent(&[0, 1]));
+        assert!(!g.is_independent(&[2, 5]));
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_ignored() {
+        let g = ConflictGraph::from_edges(4, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn path_graph_independence() {
+        let g = path(5);
+        assert!(g.is_independent(&[0, 2, 4]));
+        assert!(!g.is_independent(&[0, 1]));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.average_degree(), 2.0 * 4.0 / 5.0);
+    }
+
+    #[test]
+    fn edges_iterator_consistent_with_count() {
+        let g = ConflictGraph::from_edges(6, &[(0, 3), (1, 2), (4, 5), (0, 5)]);
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 3), (0, 5), (1, 2), (4, 5)]);
+        assert_eq!(es.len(), g.num_edges());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = ConflictGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let (sub, map) = g.induced_subgraph(&[1, 2, 4]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(map, vec![1, 2, 4]);
+        assert!(sub.has_edge(0, 1)); // 1-2
+        assert!(!sub.has_edge(1, 2)); // 2-4 not an edge in g
+        assert_eq!(sub.num_edges(), 1);
+    }
+
+    #[test]
+    fn bitset_independence_matches_slice_independence() {
+        let g = ConflictGraph::from_edges(5, &[(0, 1), (2, 3)]);
+        let ind = BitSet::from_indices(5, [0, 2, 4]);
+        let dep = BitSet::from_indices(5, [0, 1]);
+        assert!(g.is_independent_bitset(&ind));
+        assert!(!g.is_independent_bitset(&dep));
+    }
+
+    prop_compose! {
+        fn arb_graph()(n in 1usize..30)
+                     (n in Just(n),
+                      edges in prop::collection::vec((0..n, 0..n), 0..60)) -> ConflictGraph {
+            ConflictGraph::from_edges(n, &edges)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_edge_symmetry(g in arb_graph()) {
+            for u in 0..g.num_vertices() {
+                for v in 0..g.num_vertices() {
+                    prop_assert_eq!(g.has_edge(u, v), g.has_edge(v, u));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_degree_sum_is_twice_edges(g in arb_graph()) {
+            let sum: usize = (0..g.num_vertices()).map(|v| g.degree(v)).sum();
+            prop_assert_eq!(sum, 2 * g.num_edges());
+        }
+
+        #[test]
+        fn prop_singletons_and_empty_always_independent(g in arb_graph()) {
+            prop_assert!(g.is_independent(&[]));
+            for v in 0..g.num_vertices() {
+                prop_assert!(g.is_independent(&[v]));
+            }
+        }
+
+        #[test]
+        fn prop_bitset_and_slice_independence_agree(g in arb_graph(), picks in prop::collection::vec(0usize..30, 0..10)) {
+            let n = g.num_vertices();
+            let picks: Vec<usize> = picks.into_iter().filter(|&p| p < n).collect();
+            let mut dedup = picks.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            let bs = BitSet::from_indices(n, dedup.iter().copied());
+            prop_assert_eq!(g.is_independent(&dedup), g.is_independent_bitset(&bs));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Allocations `S : V → 2^[k]` and their feasibility / welfare.
+
+use crate::channels::ChannelSet;
+use crate::instance::AuctionInstance;
+use serde::{Deserialize, Serialize};
+
+/// An allocation: one channel bundle per bidder.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    bundles: Vec<ChannelSet>,
+}
+
+impl Allocation {
+    /// The empty allocation over `n` bidders.
+    pub fn empty(n: usize) -> Self {
+        Allocation {
+            bundles: vec![ChannelSet::empty(); n],
+        }
+    }
+
+    /// Creates an allocation from explicit bundles.
+    pub fn from_bundles(bundles: Vec<ChannelSet>) -> Self {
+        Allocation { bundles }
+    }
+
+    /// Number of bidders.
+    pub fn num_bidders(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// The bundle of bidder `v`.
+    pub fn bundle(&self, v: usize) -> ChannelSet {
+        self.bundles[v]
+    }
+
+    /// Sets the bundle of bidder `v`.
+    pub fn set_bundle(&mut self, v: usize, bundle: ChannelSet) {
+        self.bundles[v] = bundle;
+    }
+
+    /// All bundles, indexed by bidder.
+    pub fn bundles(&self) -> &[ChannelSet] {
+        &self.bundles
+    }
+
+    /// The bidders that were assigned channel `j`.
+    pub fn winners_of_channel(&self, j: usize) -> Vec<usize> {
+        (0..self.bundles.len())
+            .filter(|&v| self.bundles[v].contains(j))
+            .collect()
+    }
+
+    /// Number of bidders that received a non-empty bundle.
+    pub fn num_served(&self) -> usize {
+        self.bundles.iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// The social welfare `Σ_v b_{v,S(v)}` of the allocation on an instance.
+    pub fn social_welfare(&self, instance: &AuctionInstance) -> f64 {
+        (0..self.bundles.len())
+            .map(|v| instance.value(v, self.bundles[v]))
+            .sum()
+    }
+
+    /// Checks feasibility: for every channel, the winners must be allowed to
+    /// share it under the instance's conflict structure.
+    pub fn is_feasible(&self, instance: &AuctionInstance) -> bool {
+        if self.bundles.len() != instance.num_bidders() {
+            return false;
+        }
+        (0..instance.num_channels).all(|j| {
+            let winners = self.winners_of_channel(j);
+            instance.conflicts.is_channel_feasible(&winners, j)
+        })
+    }
+
+    /// Returns the channels `j` whose winner set violates the conflict
+    /// structure (empty for feasible allocations). Useful in tests and error
+    /// reports.
+    pub fn violated_channels(&self, instance: &AuctionInstance) -> Vec<usize> {
+        (0..instance.num_channels)
+            .filter(|&j| {
+                let winners = self.winners_of_channel(j);
+                !instance.conflicts.is_channel_feasible(&winners, j)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ConflictStructure;
+    use crate::valuation::{AdditiveValuation, Valuation};
+    use ssa_conflict_graph::{ConflictGraph, VertexOrdering};
+    use std::sync::Arc;
+
+    fn small_instance() -> AuctionInstance {
+        // path 0-1-2, 2 channels, additive bidders
+        let g = ConflictGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let bidders: Vec<Arc<dyn Valuation>> = vec![
+            Arc::new(AdditiveValuation::new(vec![3.0, 1.0])),
+            Arc::new(AdditiveValuation::new(vec![2.0, 2.0])),
+            Arc::new(AdditiveValuation::new(vec![1.0, 4.0])),
+        ];
+        AuctionInstance::new(
+            2,
+            bidders,
+            ConflictStructure::Binary(g),
+            VertexOrdering::identity(3),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn welfare_and_winners() {
+        let inst = small_instance();
+        let mut alloc = Allocation::empty(3);
+        alloc.set_bundle(0, ChannelSet::from_channels([0]));
+        alloc.set_bundle(2, ChannelSet::from_channels([0, 1]));
+        assert_eq!(alloc.winners_of_channel(0), vec![0, 2]);
+        assert_eq!(alloc.winners_of_channel(1), vec![2]);
+        assert_eq!(alloc.num_served(), 2);
+        assert!((alloc.social_welfare(&inst) - (3.0 + 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_detects_conflicts_per_channel() {
+        let inst = small_instance();
+        let mut ok = Allocation::empty(3);
+        ok.set_bundle(0, ChannelSet::singleton(0));
+        ok.set_bundle(2, ChannelSet::singleton(0));
+        assert!(ok.is_feasible(&inst), "0 and 2 are not adjacent");
+
+        let mut bad = Allocation::empty(3);
+        bad.set_bundle(0, ChannelSet::singleton(1));
+        bad.set_bundle(1, ChannelSet::singleton(1));
+        assert!(!bad.is_feasible(&inst));
+        assert_eq!(bad.violated_channels(&inst), vec![1]);
+    }
+
+    #[test]
+    fn empty_allocation_is_always_feasible_with_zero_welfare() {
+        let inst = small_instance();
+        let alloc = Allocation::empty(3);
+        assert!(alloc.is_feasible(&inst));
+        assert_eq!(alloc.social_welfare(&inst), 0.0);
+        assert_eq!(alloc.num_served(), 0);
+    }
+}

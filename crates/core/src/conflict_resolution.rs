@@ -1,0 +1,299 @@
+//! Algorithm 3: turning a partly-feasible allocation into a fully feasible
+//! one (Section 3, Lemma 8).
+//!
+//! Given an allocation satisfying Condition (5) — for every bidder, the
+//! total symmetric weight to *earlier* bidders sharing a channel is below
+//! 1/2 — the algorithm produces at most `⌈log n⌉` candidate allocations and
+//! returns the best one, losing at most a `⌈log n⌉` factor in welfare:
+//!
+//! 1. Start with the set `V'` of all bidders.
+//! 2. Build a candidate: every bidder still in `V'` keeps its bundle,
+//!    everybody else gets nothing. Process the bidders of `V'` by
+//!    decreasing `π`. A bidder whose total symmetric weight to *active*
+//!    bidders of this round sharing a channel is below 1 is kept (and leaves
+//!    `V'`); otherwise its bundle is cleared in this candidate and it stays
+//!    in `V'` for the next round.
+//! 3. Repeat until `V'` is empty; return the candidate with the largest
+//!    welfare.
+//!
+//! Lemma 8 shows each round keeps at least half of the remaining bidders, so
+//! there are at most `⌈log n⌉` candidates and the best one carries at least
+//! a `1/⌈log n⌉` fraction of the input's welfare.
+
+use crate::allocation::Allocation;
+use crate::channels::ChannelSet;
+use crate::instance::AuctionInstance;
+
+/// Result of Algorithm 3.
+#[derive(Clone, Debug)]
+pub struct ConflictResolutionOutcome {
+    /// The feasible allocation selected (the best candidate).
+    pub allocation: Allocation,
+    /// Social welfare of the selected allocation.
+    pub welfare: f64,
+    /// Number of candidate allocations generated (at most `⌈log n⌉ + 1` when
+    /// the input satisfies Condition (5)).
+    pub candidates: usize,
+}
+
+/// The per-bidder removal test of Algorithm 3: total symmetric weight from
+/// `v` to active bidders (members of `round_members` whose current bundle
+/// shares a channel with `v`).
+fn active_load(
+    instance: &AuctionInstance,
+    current: &[ChannelSet],
+    round_members: &[bool],
+    v: usize,
+) -> f64 {
+    let bundle_v = current[v];
+    if instance.conflicts.is_asymmetric() {
+        // per-channel loads; feasibility requires every channel to stay
+        // below 1, so the binding quantity is the maximum over channels
+        bundle_v
+            .iter()
+            .map(|j| {
+                instance
+                    .conflicts
+                    .interacting(v, j)
+                    .into_iter()
+                    .filter(|&u| u != v && round_members[u] && current[u].contains(j))
+                    .map(|u| instance.conflicts.symmetric_weight(u, v, j))
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    } else {
+        instance
+            .conflicts
+            .interacting(v, 0)
+            .into_iter()
+            .filter(|&u| u != v && round_members[u] && current[u].intersects(bundle_v))
+            .map(|u| instance.conflicts.symmetric_weight(u, v, 0))
+            .sum()
+    }
+}
+
+/// Algorithm 3: makes a partly-feasible allocation fully feasible, losing at
+/// most a `⌈log n⌉` factor of welfare.
+///
+/// The returned allocation is guaranteed feasible even if the input does not
+/// satisfy Condition (5) (the candidate loop then simply may need more
+/// rounds); feasibility is enforced by the per-candidate checks.
+pub fn make_feasible(
+    instance: &AuctionInstance,
+    partly_feasible: &Allocation,
+) -> ConflictResolutionOutcome {
+    let n = instance.num_bidders();
+    // Process bidders by decreasing π.
+    let by_decreasing_pi: Vec<usize> = {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(instance.ordering.position(v)));
+        order
+    };
+
+    let mut in_v_prime: Vec<bool> = (0..n).map(|v| !partly_feasible.bundle(v).is_empty()).collect();
+    let mut best: Option<(Allocation, f64)> = None;
+    let mut candidates = 0usize;
+
+    // Each round removes at least one bidder from V' (in fact at least half
+    // when Condition (5) holds), so n + 1 rounds are always enough; the
+    // extra guard protects against degenerate inputs.
+    for _round in 0..=n {
+        if !in_v_prime.iter().any(|&b| b) {
+            break;
+        }
+        candidates += 1;
+        // members of this round (snapshot of V')
+        let round_members: Vec<bool> = in_v_prime.clone();
+        let mut current: Vec<ChannelSet> = (0..n)
+            .map(|v| {
+                if round_members[v] {
+                    partly_feasible.bundle(v)
+                } else {
+                    ChannelSet::empty()
+                }
+            })
+            .collect();
+        let mut kept_any = false;
+        for &v in &by_decreasing_pi {
+            if !round_members[v] || current[v].is_empty() {
+                continue;
+            }
+            if active_load(instance, &current, &round_members, v) < 1.0 {
+                // v stays in the candidate and leaves V'
+                in_v_prime[v] = false;
+                kept_any = true;
+            } else {
+                // v is cleared in this candidate but remains in V'
+                current[v] = ChannelSet::empty();
+            }
+        }
+        let allocation = Allocation::from_bundles(current);
+        let welfare = allocation.social_welfare(instance);
+        if best.as_ref().map(|&(_, w)| welfare > w).unwrap_or(true) {
+            best = Some((allocation, welfare));
+        }
+        if !kept_any {
+            // No progress is only possible on inputs violating Condition (5)
+            // so badly that a single bidder already exceeds the budget on its
+            // own backward weights; clearing the heaviest remaining bidder
+            // guarantees termination.
+            if let Some(v) = (0..n).find(|&v| in_v_prime[v]) {
+                in_v_prime[v] = false;
+            }
+        }
+    }
+
+    let (allocation, welfare) = best.unwrap_or_else(|| {
+        let empty = Allocation::empty(n);
+        let w = empty.social_welfare(instance);
+        (empty, w)
+    });
+    debug_assert!(allocation.is_feasible(instance));
+    ConflictResolutionOutcome {
+        allocation,
+        welfare,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ConflictStructure;
+    use crate::rounding::is_partly_feasible;
+    use crate::valuation::{Valuation, XorValuation};
+    use ssa_conflict_graph::{VertexOrdering, WeightedConflictGraph};
+    use std::sync::Arc;
+
+    fn xor_bidder(k: usize, bids: Vec<(Vec<usize>, f64)>) -> Arc<dyn Valuation> {
+        Arc::new(XorValuation::new(
+            k,
+            bids.into_iter()
+                .map(|(chs, v)| (ChannelSet::from_channels(chs), v))
+                .collect(),
+        ))
+    }
+
+    /// Weighted instance where all bidders want channel 0 and each pair has
+    /// symmetric weight `w`.
+    fn uniform_pairwise_instance(n: usize, w: f64, values: &[f64]) -> AuctionInstance {
+        let mut g = WeightedConflictGraph::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    g.set_weight(u, v, w / 2.0);
+                }
+            }
+        }
+        let bidders: Vec<Arc<dyn Valuation>> = values
+            .iter()
+            .map(|&val| xor_bidder(1, vec![(vec![0], val)]))
+            .collect();
+        AuctionInstance::new(
+            1,
+            bidders,
+            ConflictStructure::Weighted(g),
+            VertexOrdering::identity(n),
+            2.0,
+        )
+    }
+
+    #[test]
+    fn already_feasible_input_is_kept_entirely() {
+        // pairwise symmetric weight 0.15: four bidders are feasible together
+        // (incoming 3 · 0.075 < 1) and Condition (5) holds (backward load at
+        // most 3 · 0.15 = 0.45 < 0.5).
+        let inst = uniform_pairwise_instance(4, 0.15, &[1.0, 2.0, 3.0, 4.0]);
+        let input = Allocation::from_bundles(vec![ChannelSet::singleton(0); 4]);
+        assert!(input.is_feasible(&inst));
+        assert!(is_partly_feasible(&inst, &input));
+        let out = make_feasible(&inst, &input);
+        assert!(out.allocation.is_feasible(&inst));
+        assert!((out.welfare - 10.0).abs() < 1e-9, "nothing should be lost");
+    }
+
+    #[test]
+    fn infeasible_input_is_repaired() {
+        // pairwise symmetric weight 0.6 (directed 0.3) and 5 bidders: the
+        // full allocation has incoming 4 · 0.3 = 1.2 ≥ 1 and is infeasible.
+        // Algorithm 3 must return a feasible subset; at most 4 bidders fit
+        // (3 · 0.3 = 0.9 < 1), so the best possible welfare is 5+4+3+2 = 14.
+        let inst = uniform_pairwise_instance(5, 0.6, &[5.0, 4.0, 3.0, 2.0, 1.0]);
+        let input = Allocation::from_bundles(vec![ChannelSet::singleton(0); 5]);
+        assert!(!input.is_feasible(&inst));
+        let out = make_feasible(&inst, &input);
+        assert!(out.allocation.is_feasible(&inst));
+        assert!(out.welfare > 0.0);
+        assert!(out.welfare <= 14.0 + 1e-9);
+    }
+
+    #[test]
+    fn welfare_loss_is_bounded_by_log_n_on_partly_feasible_inputs() {
+        // Construct a partly-feasible input and verify Lemma 8's guarantee.
+        let n = 8;
+        // chain-like weights: each bidder interferes with its successor only
+        let mut g = WeightedConflictGraph::new(n);
+        for v in 1..n {
+            g.set_weight(v - 1, v, 0.45);
+            g.set_weight(v, v - 1, 0.0);
+        }
+        let values: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let bidders: Vec<Arc<dyn Valuation>> = values
+            .iter()
+            .map(|&val| xor_bidder(1, vec![(vec![0], val)]))
+            .collect();
+        let inst = AuctionInstance::new(
+            1,
+            bidders,
+            ConflictStructure::Weighted(g),
+            VertexOrdering::identity(n),
+            1.0,
+        );
+        let input = Allocation::from_bundles(vec![ChannelSet::singleton(0); n]);
+        assert!(is_partly_feasible(&inst, &input), "backward load 0.45 < 0.5");
+        let out = make_feasible(&inst, &input);
+        assert!(out.allocation.is_feasible(&inst));
+        let log_n = (n as f64).log2().ceil();
+        assert!(out.candidates as f64 <= log_n + 1.0);
+        let input_welfare = input.social_welfare(&inst);
+        assert!(
+            out.welfare >= input_welfare / log_n - 1e-9,
+            "welfare {} below input {} / ceil(log n) {}",
+            out.welfare,
+            input_welfare,
+            log_n
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let inst = uniform_pairwise_instance(3, 0.4, &[1.0, 1.0, 1.0]);
+        let out = make_feasible(&inst, &Allocation::empty(3));
+        assert_eq!(out.welfare, 0.0);
+        assert_eq!(out.candidates, 0);
+        assert!(out.allocation.is_feasible(&inst));
+    }
+
+    #[test]
+    fn pathological_input_with_huge_single_weights_still_terminates() {
+        // single pair with weight 3.0 (violates Condition (5) immediately)
+        let mut g = WeightedConflictGraph::new(2);
+        g.set_weight(0, 1, 3.0);
+        g.set_weight(1, 0, 3.0);
+        let bidders: Vec<Arc<dyn Valuation>> = vec![
+            xor_bidder(1, vec![(vec![0], 5.0)]),
+            xor_bidder(1, vec![(vec![0], 7.0)]),
+        ];
+        let inst = AuctionInstance::new(
+            1,
+            bidders,
+            ConflictStructure::Weighted(g),
+            VertexOrdering::identity(2),
+            1.0,
+        );
+        let input = Allocation::from_bundles(vec![ChannelSet::singleton(0); 2]);
+        let out = make_feasible(&inst, &input);
+        assert!(out.allocation.is_feasible(&inst));
+        assert!((out.welfare - 7.0).abs() < 1e-9, "the better bidder should survive");
+    }
+}

@@ -1,0 +1,197 @@
+//! Greedy baselines.
+//!
+//! The paper's contribution is the LP-based `O(ρ·√k)` algorithm; the natural
+//! comparison points (Section 1.2) are combinatorial greedy heuristics.
+//! This module provides two:
+//!
+//! * [`greedy_channel_by_channel`] — assigns the channels one after another;
+//!   for each channel it computes a greedy maximum-weight independent set
+//!   with respect to the bidders' *marginal* values for adding that channel
+//!   to what they already hold. This is the "auctioneer sells the channels
+//!   sequentially" heuristic.
+//! * [`greedy_by_bundle_value`] — considers bidders in decreasing order of
+//!   their favorite bundle's value scaled by `1/√|T|` (the classical
+//!   `√k`-style greedy for combinatorial auctions) and grants the bundle if
+//!   it stays feasible against everything granted so far.
+//!
+//! Both return feasible allocations for any conflict structure and are used
+//! as baselines in experiment E11.
+
+use crate::allocation::Allocation;
+use crate::channels::ChannelSet;
+use crate::instance::AuctionInstance;
+
+/// Sequential single-channel greedy: channels are processed in order; for
+/// each channel, bidders are considered by decreasing marginal value and
+/// added when the channel's winner set stays feasible.
+pub fn greedy_channel_by_channel(instance: &AuctionInstance) -> Allocation {
+    let n = instance.num_bidders();
+    let mut allocation = Allocation::empty(n);
+    for j in 0..instance.num_channels {
+        // marginal value of adding channel j to each bidder's current bundle
+        let mut candidates: Vec<(usize, f64)> = (0..n)
+            .filter_map(|v| {
+                let current = allocation.bundle(v);
+                let marginal = instance.value(v, current.with(j)) - instance.value(v, current);
+                if marginal > 0.0 {
+                    Some((v, marginal))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut winners: Vec<usize> = Vec::new();
+        for (v, _) in candidates {
+            let mut trial = winners.clone();
+            trial.push(v);
+            if instance.conflicts.is_channel_feasible(&trial, j) {
+                winners = trial;
+                allocation.set_bundle(v, allocation.bundle(v).with(j));
+            }
+        }
+    }
+    // A bidder whose final bundle is worth less than nothing (possible with
+    // non-monotone valuations) keeps it anyway — the greedy is a baseline
+    // and does not second-guess itself — but bundles with value exactly 0
+    // and no channels are normalized to the empty bundle implicitly.
+    allocation
+}
+
+/// Bundle-greedy: bidders are ranked by `max_value / sqrt(|T*|)` of their
+/// favorite bundle `T*` and granted that bundle when all of its channels
+/// stay feasible.
+pub fn greedy_by_bundle_value(instance: &AuctionInstance) -> Allocation {
+    let n = instance.num_bidders();
+    let zero_prices = vec![0.0; instance.num_channels];
+    let mut wishes: Vec<(usize, ChannelSet, f64)> = (0..n)
+        .filter_map(|v| {
+            let bundle = instance.bidders[v].demand(&zero_prices);
+            let value = instance.value(v, bundle);
+            if bundle.is_empty() || value <= 0.0 {
+                None
+            } else {
+                Some((v, bundle, value))
+            }
+        })
+        .collect();
+    wishes.sort_by(|a, b| {
+        let score_a = a.2 / (a.1.len() as f64).sqrt();
+        let score_b = b.2 / (b.1.len() as f64).sqrt();
+        score_b.partial_cmp(&score_a).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut allocation = Allocation::empty(n);
+    let mut winners_per_channel: Vec<Vec<usize>> = vec![Vec::new(); instance.num_channels];
+    for (v, bundle, _) in wishes {
+        let fits = bundle.iter().all(|j| {
+            let mut trial = winners_per_channel[j].clone();
+            trial.push(v);
+            instance.conflicts.is_channel_feasible(&trial, j)
+        });
+        if fits {
+            for j in bundle.iter() {
+                winners_per_channel[j].push(v);
+            }
+            allocation.set_bundle(v, bundle);
+        }
+    }
+    allocation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ConflictStructure;
+    use crate::valuation::{AdditiveValuation, Valuation, XorValuation};
+    use ssa_conflict_graph::{ConflictGraph, VertexOrdering, WeightedConflictGraph};
+    use std::sync::Arc;
+
+    fn xor_bidder(k: usize, bids: Vec<(Vec<usize>, f64)>) -> Arc<dyn Valuation> {
+        Arc::new(XorValuation::new(
+            k,
+            bids.into_iter()
+                .map(|(chs, v)| (ChannelSet::from_channels(chs), v))
+                .collect(),
+        ))
+    }
+
+    fn instance() -> AuctionInstance {
+        // triangle conflict graph + one isolated bidder, 2 channels
+        let g = ConflictGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2)]);
+        let bidders: Vec<Arc<dyn Valuation>> = vec![
+            xor_bidder(2, vec![(vec![0], 5.0), (vec![0, 1], 6.0)]),
+            Arc::new(AdditiveValuation::new(vec![3.0, 3.0])),
+            xor_bidder(2, vec![(vec![1], 4.0)]),
+            xor_bidder(2, vec![(vec![0, 1], 10.0)]),
+        ];
+        AuctionInstance::new(
+            2,
+            bidders,
+            ConflictStructure::Binary(g),
+            VertexOrdering::identity(4),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn channel_greedy_is_feasible_and_positive() {
+        let inst = instance();
+        let alloc = greedy_channel_by_channel(&inst);
+        assert!(alloc.is_feasible(&inst));
+        assert!(alloc.social_welfare(&inst) > 0.0);
+        // bidder 0 has the largest marginal value on channel 0 and is picked
+        // first there (bidder 3, a single-minded all-or-nothing bidder, is a
+        // known blind spot of per-channel greedy: its marginal value for any
+        // single channel is 0)
+        assert!(alloc.bundle(0).contains(0));
+    }
+
+    #[test]
+    fn bundle_greedy_is_feasible_and_positive() {
+        let inst = instance();
+        let alloc = greedy_by_bundle_value(&inst);
+        assert!(alloc.is_feasible(&inst));
+        assert!(alloc.social_welfare(&inst) > 0.0);
+        assert_eq!(alloc.bundle(3), ChannelSet::from_channels([0, 1]));
+    }
+
+    #[test]
+    fn greedy_respects_weighted_conflicts() {
+        let mut g = WeightedConflictGraph::new(3);
+        // all three together exceed the budget at vertex 2, pairs are fine
+        g.set_weight(0, 2, 0.6);
+        g.set_weight(1, 2, 0.6);
+        let bidders: Vec<Arc<dyn Valuation>> = (0..3)
+            .map(|i| xor_bidder(1, vec![(vec![0], 1.0 + i as f64)]))
+            .collect();
+        let inst = AuctionInstance::new(
+            1,
+            bidders,
+            ConflictStructure::Weighted(g),
+            VertexOrdering::identity(3),
+            1.0,
+        );
+        let a = greedy_channel_by_channel(&inst);
+        assert!(a.is_feasible(&inst));
+        let b = greedy_by_bundle_value(&inst);
+        assert!(b.is_feasible(&inst));
+    }
+
+    #[test]
+    fn greedy_handles_empty_instances_gracefully() {
+        let g = ConflictGraph::new(2);
+        let bidders: Vec<Arc<dyn Valuation>> = vec![
+            xor_bidder(1, vec![]),
+            xor_bidder(1, vec![]),
+        ];
+        let inst = AuctionInstance::new(
+            1,
+            bidders,
+            ConflictStructure::Binary(g),
+            VertexOrdering::identity(2),
+            1.0,
+        );
+        assert_eq!(greedy_channel_by_channel(&inst).social_welfare(&inst), 0.0);
+        assert_eq!(greedy_by_bundle_value(&inst).social_welfare(&inst), 0.0);
+    }
+}

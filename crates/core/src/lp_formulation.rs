@@ -1,0 +1,485 @@
+//! The LP relaxations (1) and (4) of the paper and their asymmetric-channel
+//! variant (Section 6), solved through demand oracles.
+//!
+//! Variables are `x_{v,T}` for every bidder `v` and bundle `T ⊆ [k]`;
+//! constraints are
+//!
+//! * `(v, j)` rows — for every bidder `v` and channel `j`, the bidders `u`
+//!   in the backward neighborhood `Γπ(v)` may carry at most ρ units of
+//!   (weighted) fractional assignment of channel `j`:
+//!   `Σ_{u ∈ Γπ(v)} Σ_{T ∋ j} w̄(u,v) · x_{u,T} ≤ ρ`
+//!   (`w̄ ≡ 1` in the unweighted case),
+//! * bidder rows — `Σ_T x_{v,T} ≤ 1`.
+//!
+//! The number of variables is exponential in `k`; following Section 2.2 the
+//! LP is solved with only oracle access to the valuations. Where the paper
+//! separates the dual with the ellipsoid method, this implementation runs
+//! the equivalent primal column-generation loop: the restricted master is
+//! solved by simplex, the duals `y_{v,j}` are turned into bidder-specific
+//! channel prices `p_{v,j} = Σ_{u : v ∈ Γπ(u)} w̄(v,u) · y_{u,j}`, and each
+//! bidder's demand oracle proposes the bundle of maximum utility at those
+//! prices; bundles whose utility exceeds the bidder's dual `z_v` enter the
+//! master as new columns.
+
+use crate::channels::ChannelSet;
+use crate::instance::AuctionInstance;
+use serde::{Deserialize, Serialize};
+use ssa_lp::{
+    ColumnGeneration, ColumnSource, GeneratedColumn, LpStatus, MasterProblem, Relation, Sense,
+    SimplexOptions,
+};
+
+/// One non-zero variable `x_{v,T}` of the fractional solution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FractionalEntry {
+    /// The bidder `v`.
+    pub bidder: usize,
+    /// The bundle `T`.
+    pub bundle: ChannelSet,
+    /// The fractional assignment `x_{v,T} ∈ (0, 1]`.
+    pub x: f64,
+    /// The bidder's value `b_{v,T}` for the bundle.
+    pub value: f64,
+}
+
+/// A fractional solution of the relaxation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FractionalAssignment {
+    /// Non-zero entries (x > tolerance).
+    pub entries: Vec<FractionalEntry>,
+    /// Objective value `Σ b_{v,T} · x_{v,T}` of the relaxation.
+    pub objective: f64,
+    /// Whether column generation converged (no improving column left), i.e.
+    /// the value is the true LP optimum rather than a lower bound.
+    pub converged: bool,
+    /// Number of pricing rounds performed.
+    pub rounds: usize,
+    /// Number of columns in the final restricted master.
+    pub num_columns: usize,
+}
+
+impl FractionalAssignment {
+    /// Total fractional assignment of bidder `v` (should be ≤ 1).
+    pub fn bidder_total(&self, v: usize) -> f64 {
+        self.entries.iter().filter(|e| e.bidder == v).map(|e| e.x).sum()
+    }
+
+    /// Checks that the solution satisfies the relaxation's constraints on
+    /// the given instance (used by tests and by the solver's verification
+    /// step).
+    pub fn satisfies_constraints(&self, instance: &AuctionInstance, tol: f64) -> bool {
+        let n = instance.num_bidders();
+        let k = instance.num_channels;
+        // bidder constraints
+        for v in 0..n {
+            if self.bidder_total(v) > 1.0 + tol {
+                return false;
+            }
+        }
+        // (v, j) constraints: accumulate weighted load per row
+        let mut load = vec![0.0f64; n * k];
+        for e in &self.entries {
+            for j in e.bundle.iter() {
+                for (row_bidder, w) in instance.forward_rows(e.bidder, j) {
+                    load[row_bidder * k + j] += w * e.x;
+                }
+            }
+        }
+        load.iter().all(|&l| l <= instance.rho + tol)
+    }
+}
+
+/// Options controlling how the relaxation is built and solved.
+#[derive(Clone, Debug)]
+pub struct LpFormulationOptions {
+    /// Column-generation driver settings (master simplex options, round
+    /// limit, reduced-cost tolerance).
+    pub column_generation: ColumnGeneration,
+    /// If `true`, skip column generation and enumerate **all** bundles with
+    /// positive value as columns (exponential in `k`; only sensible for
+    /// small `k`, used by tests as ground truth).
+    pub enumerate_all_bundles: bool,
+    /// Entries with `x` below this threshold are dropped from the reported
+    /// solution.
+    pub support_tolerance: f64,
+}
+
+impl Default for LpFormulationOptions {
+    fn default() -> Self {
+        LpFormulationOptions {
+            column_generation: ColumnGeneration::default(),
+            enumerate_all_bundles: false,
+            support_tolerance: 1e-9,
+        }
+    }
+}
+
+fn row_of(v: usize, j: usize, k: usize) -> usize {
+    v * k + j
+}
+
+fn bidder_row(v: usize, n: usize, k: usize) -> usize {
+    n * k + v
+}
+
+fn column_for(instance: &AuctionInstance, bidder: usize, bundle: ChannelSet) -> GeneratedColumn {
+    let k = instance.num_channels;
+    let n = instance.num_bidders();
+    let mut coeffs: Vec<(usize, f64)> = Vec::new();
+    for j in bundle.iter() {
+        for (v, w) in instance.forward_rows(bidder, j) {
+            coeffs.push((row_of(v, j, k), w));
+        }
+    }
+    coeffs.push((bidder_row(bidder, n, k), 1.0));
+    GeneratedColumn {
+        objective: instance.value(bidder, bundle),
+        coeffs,
+        tag: ((bidder as u64) << 32) | bundle.bits(),
+    }
+}
+
+/// The demand-oracle pricing source for the column-generation loop.
+struct DemandOraclePricing<'a> {
+    instance: &'a AuctionInstance,
+}
+
+impl<'a> ColumnSource for DemandOraclePricing<'a> {
+    fn generate(&mut self, duals: &[f64]) -> Vec<GeneratedColumn> {
+        let instance = self.instance;
+        let k = instance.num_channels;
+        let n = instance.num_bidders();
+        let mut columns = Vec::new();
+        for bidder in 0..n {
+            // bidder-specific channel prices from the duals of the (v, j) rows
+            let prices: Vec<f64> = (0..k)
+                .map(|j| {
+                    instance
+                        .forward_rows(bidder, j)
+                        .into_iter()
+                        .map(|(v, w)| w * duals[row_of(v, j, k)])
+                        .sum()
+                })
+                .collect();
+            let bundle = instance.bidders[bidder].demand(&prices);
+            if bundle.is_empty() {
+                continue;
+            }
+            let utility = instance.value(bidder, bundle) - bundle.total_price(&prices);
+            let z_v = duals[bidder_row(bidder, n, k)];
+            if utility > z_v + 1e-9 {
+                columns.push(column_for(instance, bidder, bundle));
+            }
+        }
+        columns
+    }
+}
+
+fn master_rows(instance: &AuctionInstance) -> Vec<(Relation, f64)> {
+    let n = instance.num_bidders();
+    let k = instance.num_channels;
+    let mut rows = Vec::with_capacity(n * k + n);
+    for _ in 0..n * k {
+        rows.push((Relation::Le, instance.rho));
+    }
+    for _ in 0..n {
+        rows.push((Relation::Le, 1.0));
+    }
+    rows
+}
+
+/// Solves the LP relaxation of the instance.
+///
+/// With the default options the LP is solved by column generation through
+/// the bidders' demand oracles; with
+/// [`LpFormulationOptions::enumerate_all_bundles`] all `2^k` bundles per
+/// bidder are materialized up front (ground truth for small `k`).
+pub fn solve_relaxation(
+    instance: &AuctionInstance,
+    options: &LpFormulationOptions,
+) -> FractionalAssignment {
+    assert!(
+        instance.num_channels <= 32,
+        "the LP formulation packs bundles into 32-bit column tags (k ≤ 32)"
+    );
+    let mut master = MasterProblem::new(Sense::Maximize, master_rows(instance));
+
+    if options.enumerate_all_bundles {
+        for bidder in 0..instance.num_bidders() {
+            for bundle in ChannelSet::all_bundles(instance.num_channels) {
+                if bundle.is_empty() {
+                    continue;
+                }
+                if instance.value(bidder, bundle) > 0.0 {
+                    master.add_column(column_for(instance, bidder, bundle));
+                }
+            }
+        }
+        let solution = master.solve(&options.column_generation.simplex);
+        return extract(instance, &master, solution, true, 1, options.support_tolerance);
+    }
+
+    // Seed the master with each bidder's favorite bundle so the first duals
+    // are meaningful.
+    let zero_prices = vec![0.0; instance.num_channels];
+    for bidder in 0..instance.num_bidders() {
+        let bundle = instance.bidders[bidder].demand(&zero_prices);
+        if !bundle.is_empty() && instance.value(bidder, bundle) > 0.0 {
+            master.add_column(column_for(instance, bidder, bundle));
+        }
+    }
+
+    let mut pricing = DemandOraclePricing { instance };
+    let result = options.column_generation.run(&mut master, &mut pricing);
+    extract(
+        instance,
+        &master,
+        result.solution,
+        result.converged,
+        result.rounds,
+        options.support_tolerance,
+    )
+}
+
+fn extract(
+    instance: &AuctionInstance,
+    master: &MasterProblem,
+    solution: ssa_lp::LpSolution,
+    converged: bool,
+    rounds: usize,
+    support_tolerance: f64,
+) -> FractionalAssignment {
+    let mut entries = Vec::new();
+    let mut objective = 0.0;
+    if solution.status == LpStatus::Optimal || solution.status == LpStatus::IterationLimit {
+        for (idx, col) in master.columns().iter().enumerate() {
+            let x = solution.x.get(idx).copied().unwrap_or(0.0);
+            if x > support_tolerance {
+                let bidder = (col.tag >> 32) as usize;
+                let bundle = ChannelSet::from_bits(col.tag & 0xFFFF_FFFF);
+                let value = instance.value(bidder, bundle);
+                objective += value * x;
+                entries.push(FractionalEntry {
+                    bidder,
+                    bundle,
+                    x,
+                    value,
+                });
+            }
+        }
+    }
+    FractionalAssignment {
+        entries,
+        objective,
+        converged,
+        rounds,
+        num_columns: master.num_columns(),
+    }
+}
+
+/// Convenience: solve the relaxation with exhaustive bundle enumeration
+/// (exact LP optimum; exponential in `k`).
+pub fn solve_relaxation_explicit(instance: &AuctionInstance) -> FractionalAssignment {
+    let options = LpFormulationOptions {
+        enumerate_all_bundles: true,
+        ..Default::default()
+    };
+    solve_relaxation(instance, &options)
+}
+
+/// Convenience: default column-generation solve.
+pub fn solve_relaxation_oracle(instance: &AuctionInstance) -> FractionalAssignment {
+    solve_relaxation(instance, &LpFormulationOptions::default())
+}
+
+/// Returns simplex options tuned for larger masters (looser tolerance, more
+/// iterations); exposed for the benchmark harness.
+pub fn large_instance_simplex_options() -> SimplexOptions {
+    SimplexOptions {
+        tolerance: 1e-8,
+        max_iterations: 0,
+        stall_threshold: 128,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ConflictStructure;
+    use crate::valuation::{AdditiveValuation, TabularValuation, Valuation, XorValuation};
+    use ssa_conflict_graph::{ConflictGraph, VertexOrdering, WeightedConflictGraph};
+    use std::sync::Arc;
+
+    fn xor_bidder(k: usize, bids: Vec<(Vec<usize>, f64)>) -> Arc<dyn Valuation> {
+        Arc::new(XorValuation::new(
+            k,
+            bids.into_iter()
+                .map(|(chs, v)| (ChannelSet::from_channels(chs), v))
+                .collect(),
+        ))
+    }
+
+    /// Two conflicting bidders, one channel: the LP can give each half of
+    /// the channel (rho = 1 ⇒ constraint x_{1,{0}} ≤ 1 for the later
+    /// vertex's row); the LP optimum is therefore at least the best single
+    /// bidder and at most the sum.
+    #[test]
+    fn single_channel_conflict_pair() {
+        let g = ConflictGraph::from_edges(2, &[(0, 1)]);
+        let bidders = vec![
+            xor_bidder(1, vec![(vec![0], 4.0)]),
+            xor_bidder(1, vec![(vec![0], 3.0)]),
+        ];
+        let inst = AuctionInstance::new(
+            1,
+            bidders,
+            ConflictStructure::Binary(g),
+            VertexOrdering::identity(2),
+            1.0,
+        );
+        let frac = solve_relaxation_oracle(&inst);
+        assert!(frac.converged);
+        // Constraint (1b) for v=1, j=0 restricts only bidder 0 (backward
+        // neighbor), so x_{0,{0}} ≤ 1 and x_{1,{0}} ≤ 1: the relaxation can
+        // serve both fully and its optimum is 7.
+        assert!((frac.objective - 7.0).abs() < 1e-6, "objective {}", frac.objective);
+        assert!(frac.satisfies_constraints(&inst, 1e-7));
+    }
+
+    #[test]
+    fn oracle_and_explicit_formulations_agree() {
+        // 4 bidders on a path, 2 channels, mixed valuations
+        let g = ConflictGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let bidders: Vec<Arc<dyn Valuation>> = vec![
+            xor_bidder(2, vec![(vec![0], 3.0), (vec![0, 1], 5.0)]),
+            Arc::new(AdditiveValuation::new(vec![2.0, 2.5])),
+            xor_bidder(2, vec![(vec![1], 4.0)]),
+            Arc::new(TabularValuation::new(
+                2,
+                vec![
+                    (ChannelSet::from_channels([0]), 1.5),
+                    (ChannelSet::from_channels([0, 1]), 6.0),
+                ],
+            )),
+        ];
+        let inst = AuctionInstance::new(
+            2,
+            bidders,
+            ConflictStructure::Binary(g),
+            VertexOrdering::identity(4),
+            1.0,
+        );
+        let oracle = solve_relaxation_oracle(&inst);
+        let explicit = solve_relaxation_explicit(&inst);
+        assert!(oracle.converged);
+        assert!(
+            (oracle.objective - explicit.objective).abs() < 1e-5,
+            "column generation ({}) vs explicit ({})",
+            oracle.objective,
+            explicit.objective
+        );
+        assert!(oracle.satisfies_constraints(&inst, 1e-6));
+        assert!(explicit.satisfies_constraints(&inst, 1e-6));
+    }
+
+    #[test]
+    fn relaxation_upper_bounds_any_feasible_allocation() {
+        // independent bidders (no conflicts): LP optimum equals the sum of
+        // max values
+        let g = ConflictGraph::new(3);
+        let bidders: Vec<Arc<dyn Valuation>> = vec![
+            xor_bidder(2, vec![(vec![0], 2.0), (vec![1], 3.0)]),
+            xor_bidder(2, vec![(vec![0, 1], 7.0)]),
+            Arc::new(AdditiveValuation::new(vec![1.0, 1.0])),
+        ];
+        let inst = AuctionInstance::new(
+            2,
+            bidders,
+            ConflictStructure::Binary(g),
+            VertexOrdering::identity(3),
+            1.0,
+        );
+        let frac = solve_relaxation_oracle(&inst);
+        assert!((frac.objective - (3.0 + 7.0 + 2.0)).abs() < 1e-6);
+        // every bidder's total assignment is at most 1
+        for v in 0..3 {
+            assert!(frac.bidder_total(v) <= 1.0 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn weighted_relaxation_uses_symmetric_weights() {
+        // Two bidders whose mutual weight is 0.4+0.4=0.8 < 1: they are in
+        // fact compatible, and the (v, j) constraint with rho = 1 does not
+        // prevent serving both fully.
+        let mut g = WeightedConflictGraph::new(2);
+        g.set_weight(0, 1, 0.4);
+        g.set_weight(1, 0, 0.4);
+        let bidders = vec![
+            xor_bidder(1, vec![(vec![0], 1.0)]),
+            xor_bidder(1, vec![(vec![0], 1.0)]),
+        ];
+        let inst = AuctionInstance::new(
+            1,
+            bidders,
+            ConflictStructure::Weighted(g),
+            VertexOrdering::identity(2),
+            1.0,
+        );
+        let frac = solve_relaxation_oracle(&inst);
+        assert!((frac.objective - 2.0).abs() < 1e-6);
+        assert!(frac.satisfies_constraints(&inst, 1e-7));
+    }
+
+    #[test]
+    fn asymmetric_channels_use_per_channel_graphs() {
+        // channel 0: clique on {0,1}; channel 1: no conflicts.
+        let g0 = ConflictGraph::from_edges(2, &[(0, 1)]);
+        let g1 = ConflictGraph::new(2);
+        let bidders = vec![
+            xor_bidder(2, vec![(vec![0], 5.0), (vec![1], 4.0)]),
+            xor_bidder(2, vec![(vec![0], 5.0), (vec![1], 4.0)]),
+        ];
+        let inst = AuctionInstance::new(
+            2,
+            bidders,
+            ConflictStructure::AsymmetricBinary(vec![g0, g1]),
+            VertexOrdering::identity(2),
+            1.0,
+        );
+        let frac = solve_relaxation_explicit(&inst);
+        // each bidder takes one bundle; channel 0 admits both only
+        // fractionally via the (1,0) row, channel 1 admits both.
+        assert!(frac.objective >= 8.0 - 1e-6);
+        assert!(frac.satisfies_constraints(&inst, 1e-6));
+    }
+
+    #[test]
+    fn clique_with_many_channels_behaves_like_combinatorial_auction() {
+        // 3 bidders in a clique (ordinary combinatorial auction), 2 channels,
+        // single-minded for disjoint bundles: all can be served.
+        let g = ConflictGraph::clique(3);
+        let bidders: Vec<Arc<dyn Valuation>> = vec![
+            xor_bidder(2, vec![(vec![0], 3.0)]),
+            xor_bidder(2, vec![(vec![1], 2.0)]),
+            xor_bidder(2, vec![(vec![0, 1], 4.0)]),
+        ];
+        let inst = AuctionInstance::new(
+            2,
+            bidders,
+            ConflictStructure::Binary(g),
+            VertexOrdering::identity(3),
+            1.0,
+        );
+        let frac = solve_relaxation_explicit(&inst);
+        // The LP relaxation of this combinatorial auction has optimum 5
+        // (bidders 0 and 1) — bidder 2 conflicts with both on its channels
+        // only through rows of later vertices; with the identity ordering the
+        // binding rows are those of bidder 2, limiting 0 and 1 to a combined
+        // load of rho = 1 per channel... the exact value depends on the
+        // ordering, so we only check bounds and constraint satisfaction.
+        assert!(frac.objective >= 4.0 - 1e-6);
+        assert!(frac.objective <= 9.0 + 1e-6);
+        assert!(frac.satisfies_constraints(&inst, 1e-6));
+    }
+}

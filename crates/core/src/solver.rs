@@ -1,0 +1,322 @@
+//! The end-to-end solving pipeline: LP relaxation → randomized rounding →
+//! (for weighted graphs) Algorithm 3 → verified feasible allocation.
+//!
+//! This is the "public entry point" a user of the library calls: it hides
+//! the choice between Algorithm 1 and Algorithm 2/3 behind the instance's
+//! conflict structure and always re-validates the returned allocation
+//! against the original constraints.
+//!
+//! Guarantees reproduced (in expectation over the rounding stage):
+//!
+//! | structure | guarantee | source |
+//! |---|---|---|
+//! | binary, symmetric channels | `b*/(8·√k·ρ)` | Theorem 3 |
+//! | weighted, symmetric channels | `b*/(16·√k·ρ·⌈log n⌉)` | Lemmas 7 + 8 |
+//! | binary/weighted, asymmetric channels | `b*/(8·k·ρ)` resp. `b*/(16·k·ρ·⌈log n⌉)` | Section 6 |
+
+use crate::allocation::Allocation;
+use crate::conflict_resolution::make_feasible;
+use crate::instance::AuctionInstance;
+use crate::lp_formulation::{solve_relaxation, FractionalAssignment, LpFormulationOptions};
+use crate::rounding::{round_binary, round_weighted_partial, RoundingOptions, RoundingStats};
+use serde::{Deserialize, Serialize};
+
+/// Options of the end-to-end solver.
+#[derive(Clone, Debug, Default)]
+pub struct SolverOptions {
+    /// How the LP relaxation is built and solved.
+    pub lp: LpFormulationOptions,
+    /// How the rounding stage is run.
+    pub rounding: RoundingOptions,
+}
+
+/// The outcome of the end-to-end pipeline.
+#[derive(Clone, Debug)]
+pub struct AuctionOutcome {
+    /// The feasible allocation produced.
+    pub allocation: Allocation,
+    /// Social welfare of `allocation`.
+    pub welfare: f64,
+    /// Objective value of the LP relaxation (`b*` in the paper's notation —
+    /// an upper bound on the optimal welfare when column generation
+    /// converged).
+    pub lp_objective: f64,
+    /// Whether the LP was solved to optimality (column generation
+    /// converged).
+    pub lp_converged: bool,
+    /// The a-priori guarantee of the pipeline on this instance: welfare is,
+    /// in expectation, at least `lp_objective / guarantee_factor`.
+    pub guarantee_factor: f64,
+    /// Statistics of the rounding stage (experiment E2).
+    pub rounding_stats: RoundingStats,
+    /// Number of candidate allocations Algorithm 3 generated (0 for binary
+    /// structures, which skip Algorithm 3).
+    pub resolution_candidates: usize,
+}
+
+impl AuctionOutcome {
+    /// The empirical ratio `lp_objective / welfare` (∞ if the welfare is 0
+    /// but the LP found value). Smaller is better; compare against
+    /// `guarantee_factor`.
+    pub fn empirical_ratio(&self) -> f64 {
+        if self.welfare <= 0.0 {
+            if self.lp_objective <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.lp_objective / self.welfare
+        }
+    }
+}
+
+/// The a-priori guarantee factor of the pipeline for the given instance.
+pub fn guarantee_factor(instance: &AuctionInstance) -> f64 {
+    let k = instance.num_channels as f64;
+    let n = instance.num_bidders() as f64;
+    let scale = if instance.conflicts.is_asymmetric() { k } else { k.sqrt() };
+    if instance.conflicts.is_weighted() {
+        16.0 * scale * instance.rho * n.log2().ceil().max(1.0)
+    } else {
+        8.0 * scale * instance.rho
+    }
+}
+
+/// The end-to-end solver.
+#[derive(Clone, Debug, Default)]
+pub struct SpectrumAuctionSolver {
+    /// Solver options.
+    pub options: SolverOptions,
+}
+
+impl SpectrumAuctionSolver {
+    /// Creates a solver with the given options.
+    pub fn new(options: SolverOptions) -> Self {
+        SpectrumAuctionSolver { options }
+    }
+
+    /// Runs the full pipeline on an instance.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the produced allocation fails the final
+    /// feasibility re-check — that would indicate a bug, not a property of
+    /// the input.
+    pub fn solve(&self, instance: &AuctionInstance) -> AuctionOutcome {
+        let fractional = solve_relaxation(instance, &self.options.lp);
+        self.round_fractional(instance, &fractional)
+    }
+
+    /// Rounds an already-computed fractional solution (used by the
+    /// mechanism, which needs to reuse one LP solution for many rounding
+    /// runs).
+    pub fn round_fractional(
+        &self,
+        instance: &AuctionInstance,
+        fractional: &FractionalAssignment,
+    ) -> AuctionOutcome {
+        let (allocation, welfare, stats, candidates) = if instance.conflicts.is_weighted() {
+            let partial = round_weighted_partial(instance, fractional, &self.options.rounding);
+            let resolved = make_feasible(instance, &partial.allocation);
+            (
+                resolved.allocation,
+                resolved.welfare,
+                partial.stats,
+                resolved.candidates,
+            )
+        } else {
+            let outcome = round_binary(instance, fractional, &self.options.rounding);
+            (outcome.allocation, outcome.welfare, outcome.stats, 0)
+        };
+        assert!(
+            allocation.is_feasible(instance),
+            "pipeline produced an infeasible allocation (bug): violated channels {:?}",
+            allocation.violated_channels(instance)
+        );
+        AuctionOutcome {
+            welfare,
+            lp_objective: fractional.objective,
+            lp_converged: fractional.converged,
+            guarantee_factor: guarantee_factor(instance),
+            rounding_stats: stats,
+            resolution_candidates: candidates,
+            allocation,
+        }
+    }
+}
+
+/// Serializable summary of an outcome (used by the experiment harness to
+/// write result tables).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OutcomeSummary {
+    /// Number of bidders.
+    pub num_bidders: usize,
+    /// Number of channels.
+    pub num_channels: usize,
+    /// ρ used by the LP.
+    pub rho: f64,
+    /// LP objective (`b*`).
+    pub lp_objective: f64,
+    /// Welfare of the rounded allocation.
+    pub welfare: f64,
+    /// `lp_objective / welfare`.
+    pub empirical_ratio: f64,
+    /// The a-priori guarantee factor.
+    pub guarantee_factor: f64,
+    /// Bidders served.
+    pub num_served: usize,
+}
+
+impl OutcomeSummary {
+    /// Builds a summary from an instance and its outcome.
+    pub fn new(instance: &AuctionInstance, outcome: &AuctionOutcome) -> Self {
+        OutcomeSummary {
+            num_bidders: instance.num_bidders(),
+            num_channels: instance.num_channels,
+            rho: instance.rho,
+            lp_objective: outcome.lp_objective,
+            welfare: outcome.welfare,
+            empirical_ratio: outcome.empirical_ratio(),
+            guarantee_factor: outcome.guarantee_factor,
+            num_served: outcome.allocation.num_served(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::ChannelSet;
+    use crate::exact::solve_exact_default;
+    use crate::instance::ConflictStructure;
+    use crate::valuation::{Valuation, XorValuation};
+    use ssa_conflict_graph::{ConflictGraph, VertexOrdering, WeightedConflictGraph};
+    use std::sync::Arc;
+
+    fn xor_bidder(k: usize, bids: Vec<(Vec<usize>, f64)>) -> Arc<dyn Valuation> {
+        Arc::new(XorValuation::new(
+            k,
+            bids.into_iter()
+                .map(|(chs, v)| (ChannelSet::from_channels(chs), v))
+                .collect(),
+        ))
+    }
+
+    fn cycle_instance(n: usize, k: usize) -> AuctionInstance {
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = ConflictGraph::from_edges(n, &edges);
+        let bidders: Vec<Arc<dyn Valuation>> = (0..n)
+            .map(|i| {
+                xor_bidder(
+                    k,
+                    vec![
+                        (vec![i % k], 2.0 + (i % 3) as f64),
+                        ((0..k).collect(), 3.0 + (i % 3) as f64),
+                    ],
+                )
+            })
+            .collect();
+        AuctionInstance::new(
+            k,
+            bidders,
+            ConflictStructure::Binary(g),
+            VertexOrdering::identity(n),
+            2.0,
+        )
+    }
+
+    #[test]
+    fn binary_pipeline_is_feasible_and_within_guarantee() {
+        let inst = cycle_instance(8, 2);
+        let solver = SpectrumAuctionSolver::new(SolverOptions {
+            rounding: RoundingOptions { seed: 9, trials: 64 },
+            ..Default::default()
+        });
+        let outcome = solver.solve(&inst);
+        assert!(outcome.allocation.is_feasible(&inst));
+        assert!(outcome.lp_converged);
+        assert!(outcome.welfare > 0.0);
+        // best-of-64 trials should certainly reach the expectation guarantee
+        assert!(
+            outcome.welfare * outcome.guarantee_factor >= outcome.lp_objective - 1e-6,
+            "welfare {} times factor {} below LP {}",
+            outcome.welfare,
+            outcome.guarantee_factor,
+            outcome.lp_objective
+        );
+        // the LP objective upper-bounds the exact optimum
+        let exact = solve_exact_default(&inst);
+        assert!(outcome.lp_objective >= exact.welfare - 1e-6);
+    }
+
+    #[test]
+    fn weighted_pipeline_runs_algorithm_3() {
+        let n = 6;
+        let mut g = WeightedConflictGraph::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    g.set_weight(u, v, 0.3);
+                }
+            }
+        }
+        let bidders: Vec<Arc<dyn Valuation>> = (0..n)
+            .map(|i| xor_bidder(2, vec![(vec![0], 1.0 + i as f64), (vec![1], 1.5 + i as f64)]))
+            .collect();
+        let inst = AuctionInstance::new(
+            2,
+            bidders,
+            ConflictStructure::Weighted(g),
+            VertexOrdering::identity(n),
+            2.0,
+        );
+        let solver = SpectrumAuctionSolver::new(SolverOptions {
+            rounding: RoundingOptions { seed: 13, trials: 32 },
+            ..Default::default()
+        });
+        let outcome = solver.solve(&inst);
+        assert!(outcome.allocation.is_feasible(&inst));
+        assert!(outcome.welfare > 0.0);
+        assert!(outcome.guarantee_factor >= 16.0);
+    }
+
+    #[test]
+    fn asymmetric_pipeline_uses_per_channel_graphs() {
+        // channel 0 is a clique (only one winner), channel 1 is conflict-free
+        let n = 4;
+        let g0 = ConflictGraph::clique(n);
+        let g1 = ConflictGraph::new(n);
+        let bidders: Vec<Arc<dyn Valuation>> = (0..n)
+            .map(|i| xor_bidder(2, vec![(vec![0], 4.0 + i as f64), (vec![1], 3.0)]))
+            .collect();
+        let inst = AuctionInstance::new(
+            2,
+            bidders,
+            ConflictStructure::AsymmetricBinary(vec![g0, g1]),
+            VertexOrdering::identity(n),
+            1.0,
+        );
+        let solver = SpectrumAuctionSolver::new(SolverOptions {
+            rounding: RoundingOptions { seed: 21, trials: 64 },
+            ..Default::default()
+        });
+        let outcome = solver.solve(&inst);
+        assert!(outcome.allocation.is_feasible(&inst));
+        // guarantee factor uses k, not sqrt(k), for asymmetric channels
+        assert!((outcome.guarantee_factor - 8.0 * 2.0 * 1.0).abs() < 1e-9);
+        // channel 0 must have at most one winner
+        assert!(outcome.allocation.winners_of_channel(0).len() <= 1);
+    }
+
+    #[test]
+    fn outcome_summary_is_consistent() {
+        let inst = cycle_instance(6, 2);
+        let solver = SpectrumAuctionSolver::default();
+        let outcome = solver.solve(&inst);
+        let summary = OutcomeSummary::new(&inst, &outcome);
+        assert_eq!(summary.num_bidders, 6);
+        assert_eq!(summary.num_channels, 2);
+        assert!((summary.welfare - outcome.welfare).abs() < 1e-12);
+        assert!(summary.empirical_ratio >= 1.0 - 1e-9 || summary.welfare >= summary.lp_objective);
+    }
+}

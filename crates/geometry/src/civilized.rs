@@ -1,0 +1,162 @@
+//! (r, s)-civilized node layouts (Proposition 12 of the paper).
+//!
+//! A graph drawn in the plane is *(r, s)-civilized* if edges only connect
+//! nodes at distance at most `r` and distinct nodes are at least `s` apart.
+//! Proposition 12 shows that distance-2 coloring on such graphs yields a
+//! conflict graph with inductive independence number at most `(4r/s + 2)²`
+//! (for any vertex ordering).
+
+use crate::point::Point2D;
+use serde::{Deserialize, Serialize};
+
+/// A set of node positions together with the `(r, s)` parameters and the
+/// communication edges of an (r, s)-civilized graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CivilizedLayout {
+    /// Node positions.
+    pub points: Vec<Point2D>,
+    /// Maximum edge length `r`.
+    pub r: f64,
+    /// Minimum node separation `s`.
+    pub s: f64,
+    /// Communication edges (must respect the length bound `r`).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl CivilizedLayout {
+    /// Creates a layout, keeping only the edges that respect the maximum
+    /// length `r`.
+    ///
+    /// # Panics
+    /// Panics if `r <= 0` or `s <= 0`.
+    pub fn new(points: Vec<Point2D>, r: f64, s: f64, edges: Vec<(usize, usize)>) -> Self {
+        assert!(r > 0.0 && s > 0.0, "(r, s) must both be positive");
+        let filtered = edges
+            .into_iter()
+            .filter(|&(u, v)| u != v && points[u].distance(&points[v]) <= r)
+            .collect();
+        CivilizedLayout {
+            points,
+            r,
+            s,
+            edges: filtered,
+        }
+    }
+
+    /// Creates a layout whose edge set is *all* pairs within distance `r`
+    /// (the densest graph the placement admits).
+    pub fn with_all_short_edges(points: Vec<Point2D>, r: f64, s: f64) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..points.len() {
+            for v in (u + 1)..points.len() {
+                if points[u].distance(&points[v]) <= r {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Self::new(points, r, s, edges)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Checks that the placement really is (r, s)-civilized: every pair of
+    /// distinct nodes is at least `s` apart and every edge has length at most
+    /// `r`. Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for u in 0..self.points.len() {
+            for v in (u + 1)..self.points.len() {
+                let d = self.points[u].distance(&self.points[v]);
+                if d < self.s - 1e-12 {
+                    return Err(format!("nodes {u} and {v} are {d} apart, less than s = {}", self.s));
+                }
+            }
+        }
+        for &(u, v) in &self.edges {
+            let d = self.points[u].distance(&self.points[v]);
+            if d > self.r + 1e-12 {
+                return Err(format!("edge ({u},{v}) has length {d}, more than r = {}", self.r));
+            }
+        }
+        Ok(())
+    }
+
+    /// The `(4r/s + 2)²` bound of Proposition 12 on the inductive
+    /// independence number of the associated distance-2 conflict graph.
+    pub fn rho_bound(&self) -> f64 {
+        let t = 4.0 * self.r / self.s + 2.0;
+        t * t
+    }
+
+    /// Adjacency list of the communication graph.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.points.len()];
+        for &(u, v) in &self.edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(nx: usize, ny: usize, spacing: f64) -> Vec<Point2D> {
+        let mut pts = Vec::new();
+        for x in 0..nx {
+            for y in 0..ny {
+                pts.push(Point2D::new(x as f64 * spacing, y as f64 * spacing));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn grid_layout_is_civilized() {
+        let pts = grid_points(4, 4, 1.0);
+        let layout = CivilizedLayout::with_all_short_edges(pts, 1.5, 1.0);
+        assert!(layout.validate().is_ok());
+        // each interior node connects to 4 axis neighbors and 4 diagonal
+        // neighbors (diagonal distance sqrt(2) <= 1.5)
+        assert!(layout.edges.len() > 0);
+        assert!((layout.rho_bound() - 64.0).abs() < 1e-9); // (4*1.5/1 + 2)^2 = 64
+    }
+
+    #[test]
+    fn too_close_nodes_fail_validation() {
+        let pts = vec![Point2D::new(0.0, 0.0), Point2D::new(0.1, 0.0)];
+        let layout = CivilizedLayout::new(pts, 1.0, 0.5, vec![]);
+        assert!(layout.validate().is_err());
+    }
+
+    #[test]
+    fn long_edges_are_dropped_at_construction() {
+        let pts = vec![Point2D::new(0.0, 0.0), Point2D::new(10.0, 0.0), Point2D::new(0.5, 0.0)];
+        let layout = CivilizedLayout::new(pts, 1.0, 0.4, vec![(0, 1), (0, 2)]);
+        assert_eq!(layout.edges, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let pts = grid_points(3, 3, 1.0);
+        let layout = CivilizedLayout::with_all_short_edges(pts, 1.0, 1.0);
+        let adj = layout.adjacency();
+        for u in 0..layout.num_nodes() {
+            for &v in &adj[u] {
+                assert!(adj[v].contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn rho_bound_scales_with_ratio() {
+        let pts = grid_points(2, 2, 1.0);
+        let tight = CivilizedLayout::with_all_short_edges(pts.clone(), 1.0, 1.0);
+        let loose = CivilizedLayout::with_all_short_edges(pts, 4.0, 1.0);
+        assert!(loose.rho_bound() > tight.rho_bound());
+    }
+}

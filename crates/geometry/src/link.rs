@@ -1,0 +1,91 @@
+//! Communication links (sender/receiver pairs).
+//!
+//! In the link-based scenarios of Sections 4.2 and 4.3 the bidders are not
+//! single transmitters but *links*: a sender that wants to transmit to a
+//! receiver. The protocol model, the IEEE 802.11 model, distance-2 matching
+//! and the SINR physical model are all defined over sets of links.
+
+use crate::point::Point2D;
+use serde::{Deserialize, Serialize};
+
+/// A directed communication link from a sender to a receiver in the plane.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Position of the sender.
+    pub sender: Point2D,
+    /// Position of the receiver.
+    pub receiver: Point2D,
+}
+
+impl Link {
+    /// Creates a new link.
+    pub fn new(sender: Point2D, receiver: Point2D) -> Self {
+        Link { sender, receiver }
+    }
+
+    /// The length `d(s, r)` of the link.
+    pub fn length(&self) -> f64 {
+        self.sender.distance(&self.receiver)
+    }
+
+    /// Distance from this link's sender to another link's receiver — the
+    /// quantity `d(s', r)` appearing in both the protocol model and the SINR
+    /// constraint.
+    pub fn sender_to_receiver_of(&self, other: &Link) -> f64 {
+        self.sender.distance(&other.receiver)
+    }
+
+    /// The smallest distance between any endpoint of `self` and any endpoint
+    /// of `other` (used by the bidirectional IEEE 802.11-style model).
+    pub fn min_endpoint_distance(&self, other: &Link) -> f64 {
+        let d1 = self.sender.distance(&other.sender);
+        let d2 = self.sender.distance(&other.receiver);
+        let d3 = self.receiver.distance(&other.sender);
+        let d4 = self.receiver.distance(&other.receiver);
+        d1.min(d2).min(d3).min(d4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn length_and_cross_distances() {
+        let l1 = Link::new(Point2D::new(0.0, 0.0), Point2D::new(1.0, 0.0));
+        let l2 = Link::new(Point2D::new(5.0, 0.0), Point2D::new(6.0, 0.0));
+        assert!((l1.length() - 1.0).abs() < 1e-12);
+        assert!((l1.sender_to_receiver_of(&l2) - 6.0).abs() < 1e-12);
+        assert!((l2.sender_to_receiver_of(&l1) - 4.0).abs() < 1e-12);
+        assert!((l1.min_endpoint_distance(&l2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_link_allowed_but_measured() {
+        let l = Link::new(Point2D::new(2.0, 2.0), Point2D::new(2.0, 2.0));
+        assert_eq!(l.length(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_min_endpoint_distance_symmetric(
+            a in prop::array::uniform4(-100.0f64..100.0),
+            b in prop::array::uniform4(-100.0f64..100.0),
+        ) {
+            let l1 = Link::new(Point2D::new(a[0], a[1]), Point2D::new(a[2], a[3]));
+            let l2 = Link::new(Point2D::new(b[0], b[1]), Point2D::new(b[2], b[3]));
+            prop_assert!((l1.min_endpoint_distance(&l2) - l2.min_endpoint_distance(&l1)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_min_endpoint_distance_lower_bounds_cross_distance(
+            a in prop::array::uniform4(-100.0f64..100.0),
+            b in prop::array::uniform4(-100.0f64..100.0),
+        ) {
+            let l1 = Link::new(Point2D::new(a[0], a[1]), Point2D::new(a[2], a[3]));
+            let l2 = Link::new(Point2D::new(b[0], b[1]), Point2D::new(b[2], b[3]));
+            prop_assert!(l1.min_endpoint_distance(&l2) <= l1.sender_to_receiver_of(&l2) + 1e-9);
+        }
+    }
+}

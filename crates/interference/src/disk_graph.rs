@@ -1,0 +1,152 @@
+//! Disk graphs for the transmitter scenario (Section 4.1, Proposition 9).
+//!
+//! Each bidder is a transmitter covering a disk; two transmitters conflict
+//! iff their disks intersect. Ordering the vertices by **decreasing radius**
+//! certifies an inductive independence number of at most 5: an independent
+//! set of larger disks all touching a given disk occupies disjoint angular
+//! sectors of more than 60° each.
+
+use crate::model::BinaryInterferenceModel;
+use ssa_conflict_graph::{ConflictGraph, VertexOrdering};
+use ssa_geometry::{Disk, SpatialGrid};
+
+/// Builder for disk-graph conflict models.
+#[derive(Clone, Debug)]
+pub struct DiskGraphModel {
+    disks: Vec<Disk>,
+}
+
+impl DiskGraphModel {
+    /// Creates the model from the transmitters' disks.
+    pub fn new(disks: Vec<Disk>) -> Self {
+        DiskGraphModel { disks }
+    }
+
+    /// The transmitters' disks.
+    pub fn disks(&self) -> &[Disk] {
+        &self.disks
+    }
+
+    /// The paper's bound on ρ for disk graphs (Proposition 9).
+    pub const RHO_BOUND: f64 = 5.0;
+
+    /// Builds the communication/conflict graph: an edge wherever two disks
+    /// intersect. A spatial grid keeps construction output-sensitive.
+    pub fn conflict_graph(&self) -> ConflictGraph {
+        let n = self.disks.len();
+        let mut g = ConflictGraph::new(n);
+        if n == 0 {
+            return g;
+        }
+        let centers: Vec<_> = self.disks.iter().map(|d| d.center).collect();
+        let max_radius = self
+            .disks
+            .iter()
+            .map(|d| d.radius)
+            .fold(0.0f64, f64::max);
+        let grid = SpatialGrid::new(&centers, (2.0 * max_radius).max(1e-9));
+        for i in 0..n {
+            // any disk intersecting disk i has its center within
+            // radius_i + max_radius of center_i
+            for j in grid.within_radius(&self.disks[i].center, self.disks[i].radius + max_radius) {
+                if j > i && self.disks[i].intersects(&self.disks[j]) {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// The radius-descending ordering of Proposition 9.
+    pub fn ordering(&self) -> VertexOrdering {
+        VertexOrdering::by_key_descending(self.disks.len(), |v| self.disks[v].radius)
+    }
+
+    /// Builds the full interference model (graph + ordering + certified ρ).
+    pub fn build(&self) -> BinaryInterferenceModel {
+        BinaryInterferenceModel::new(
+            format!("disk-graph(n={})", self.disks.len()),
+            self.conflict_graph(),
+            self.ordering(),
+            Some(Self::RHO_BOUND),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ssa_geometry::Point2D;
+
+    fn disk(x: f64, y: f64, r: f64) -> Disk {
+        Disk::new(Point2D::new(x, y), r)
+    }
+
+    #[test]
+    fn disjoint_disks_have_no_conflicts() {
+        let m = DiskGraphModel::new(vec![disk(0.0, 0.0, 1.0), disk(10.0, 0.0, 1.0), disk(0.0, 10.0, 1.0)]);
+        let built = m.build();
+        assert_eq!(built.graph.num_edges(), 0);
+        assert_eq!(built.certified_rho.rho, 0.0);
+    }
+
+    #[test]
+    fn overlapping_disks_conflict() {
+        let m = DiskGraphModel::new(vec![disk(0.0, 0.0, 2.0), disk(1.0, 0.0, 2.0), disk(30.0, 0.0, 1.0)]);
+        let g = m.conflict_graph();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn ordering_is_by_decreasing_radius() {
+        let m = DiskGraphModel::new(vec![disk(0.0, 0.0, 1.0), disk(5.0, 0.0, 3.0), disk(9.0, 0.0, 2.0)]);
+        let o = m.ordering();
+        assert_eq!(o.as_order(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn daisy_configuration_respects_proposition_9() {
+        // one small central disk surrounded by 8 large pairwise-intersecting
+        // disks: the backward independent set at the central disk cannot
+        // exceed 5 (Proposition 9)
+        let mut disks = vec![disk(0.0, 0.0, 0.5)];
+        for i in 0..8 {
+            let angle = i as f64 * std::f64::consts::PI / 4.0;
+            disks.push(disk(2.0 * angle.cos(), 2.0 * angle.sin(), 1.6));
+        }
+        let built = DiskGraphModel::new(disks).build();
+        assert!(built.certified_rho.rho <= DiskGraphModel::RHO_BOUND);
+        assert!(built.certified_rho.is_exact);
+    }
+
+    #[test]
+    fn grid_construction_matches_brute_force() {
+        let disks: Vec<Disk> = (0..20)
+            .map(|i| disk((i % 5) as f64 * 1.5, (i / 5) as f64 * 1.5, 0.5 + 0.1 * (i % 3) as f64))
+            .collect();
+        let m = DiskGraphModel::new(disks.clone());
+        let g = m.conflict_graph();
+        for i in 0..disks.len() {
+            for j in (i + 1)..disks.len() {
+                assert_eq!(g.has_edge(i, j), disks[i].intersects(&disks[j]), "pair ({i},{j})");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn prop_random_disk_graphs_have_rho_at_most_5(
+            coords in prop::collection::vec((0.0f64..30.0, 0.0f64..30.0, 0.3f64..4.0), 1..40)
+        ) {
+            let disks: Vec<Disk> = coords.iter().map(|&(x, y, r)| disk(x, y, r)).collect();
+            let built = DiskGraphModel::new(disks).build();
+            // Proposition 9: with the radius-descending ordering, rho <= 5.
+            prop_assert!(built.certified_rho.rho <= DiskGraphModel::RHO_BOUND + 1e-9,
+                "rho = {} exceeds 5", built.certified_rho.rho);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Distance-2 constraints (Section 4.1–4.2: Propositions 11 and 12,
+//! Corollary 14).
+//!
+//! Three related models are implemented:
+//!
+//! * **Distance-2 coloring on disk graphs** ([`Distance2ColoringModel`]):
+//!   transmitters conflict if they are adjacent in the disk graph *or* share
+//!   a common neighbor (Proposition 11, ρ = O(1) with the radius-descending
+//!   ordering).
+//! * **Distance-2 coloring on (r,s)-civilized graphs**
+//!   ([`CivilizedDistance2Model`]): same conflict rule on an explicitly
+//!   given communication graph drawn with bounded edge length `r` and
+//!   minimum node separation `s`; Proposition 12 certifies
+//!   ρ ≤ (4r/s + 2)² for *any* ordering.
+//! * **Distance-2 matching on disk graphs** ([`Distance2MatchingModel`]):
+//!   the bidders are the *edges* of the disk graph (sender/receiver pairs);
+//!   two edges conflict if they share an endpoint or some edge of the disk
+//!   graph connects their endpoints (strong edge coloring). Corollary 14
+//!   gives ρ = O(1) with the ordering by decreasing `r(e) = r(u) + r(v)`.
+
+use crate::disk_graph::DiskGraphModel;
+use crate::model::BinaryInterferenceModel;
+use ssa_conflict_graph::{ConflictGraph, VertexOrdering};
+use ssa_geometry::{CivilizedLayout, Disk};
+
+fn distance2_conflicts(communication: &ConflictGraph) -> ConflictGraph {
+    let n = communication.num_vertices();
+    let mut g = ConflictGraph::new(n);
+    for u in 0..n {
+        // distance-1 conflicts
+        for &v in communication.neighbors(u) {
+            if v > u {
+                g.add_edge(u, v);
+            }
+        }
+        // distance-2 conflicts via a common neighbor
+        for &mid in communication.neighbors(u) {
+            for &v in communication.neighbors(mid) {
+                if v > u {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Distance-2 coloring on disk graphs (Proposition 11).
+#[derive(Clone, Debug)]
+pub struct Distance2ColoringModel {
+    disks: Vec<Disk>,
+}
+
+impl Distance2ColoringModel {
+    /// Constant bound used for reporting; Proposition 11 only states
+    /// ρ = O(1). The proof gives `5 + (2 + 2)² + 5·5 = 46` as a crude
+    /// explicit constant (direct neighbors + small intermediate + large
+    /// intermediate cases); the certified per-instance value is what the LP
+    /// uses.
+    pub const RHO_BOUND: f64 = 46.0;
+
+    /// Creates the model from the transmitters' disks.
+    pub fn new(disks: Vec<Disk>) -> Self {
+        Distance2ColoringModel { disks }
+    }
+
+    /// Builds the distance-2 conflict graph of the disk graph.
+    pub fn conflict_graph(&self) -> ConflictGraph {
+        let disk_graph = DiskGraphModel::new(self.disks.clone()).conflict_graph();
+        distance2_conflicts(&disk_graph)
+    }
+
+    /// Radius-descending ordering (as in Proposition 11).
+    pub fn ordering(&self) -> VertexOrdering {
+        VertexOrdering::by_key_descending(self.disks.len(), |v| self.disks[v].radius)
+    }
+
+    /// Builds the full interference model.
+    pub fn build(&self) -> BinaryInterferenceModel {
+        BinaryInterferenceModel::new(
+            format!("distance2-coloring-disk(n={})", self.disks.len()),
+            self.conflict_graph(),
+            self.ordering(),
+            Some(Self::RHO_BOUND),
+        )
+    }
+}
+
+/// Distance-2 coloring on (r,s)-civilized graphs (Proposition 12).
+#[derive(Clone, Debug)]
+pub struct CivilizedDistance2Model {
+    layout: CivilizedLayout,
+}
+
+impl CivilizedDistance2Model {
+    /// Creates the model from a civilized layout.
+    pub fn new(layout: CivilizedLayout) -> Self {
+        CivilizedDistance2Model { layout }
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &CivilizedLayout {
+        &self.layout
+    }
+
+    /// Builds the distance-2 conflict graph of the layout's communication
+    /// graph.
+    pub fn conflict_graph(&self) -> ConflictGraph {
+        let n = self.layout.num_nodes();
+        let mut comm = ConflictGraph::new(n);
+        for &(u, v) in &self.layout.edges {
+            comm.add_edge(u, v);
+        }
+        distance2_conflicts(&comm)
+    }
+
+    /// Proposition 12 holds for any ordering; the identity ordering is used.
+    pub fn ordering(&self) -> VertexOrdering {
+        VertexOrdering::identity(self.layout.num_nodes())
+    }
+
+    /// Builds the full interference model; the theoretical bound is the
+    /// layout's `(4r/s + 2)²`.
+    pub fn build(&self) -> BinaryInterferenceModel {
+        BinaryInterferenceModel::new(
+            format!(
+                "distance2-civilized(r={},s={},n={})",
+                self.layout.r,
+                self.layout.s,
+                self.layout.num_nodes()
+            ),
+            self.conflict_graph(),
+            self.ordering(),
+            Some(self.layout.rho_bound()),
+        )
+    }
+}
+
+/// Distance-2 matching (strong edge coloring) on disk graphs
+/// (Corollary 14). Bidders are the edges of the disk graph.
+#[derive(Clone, Debug)]
+pub struct Distance2MatchingModel {
+    disks: Vec<Disk>,
+}
+
+impl Distance2MatchingModel {
+    /// Explicit constant used for reporting; Corollary 14 only states O(1).
+    pub const RHO_BOUND: f64 = 64.0;
+
+    /// Creates the model from the transmitters' disks.
+    pub fn new(disks: Vec<Disk>) -> Self {
+        Distance2MatchingModel { disks }
+    }
+
+    /// The edges of the underlying disk graph, i.e. the bidders of this
+    /// model, as `(u, v)` pairs with `u < v`, sorted.
+    pub fn communication_edges(&self) -> Vec<(usize, usize)> {
+        let disk_graph = DiskGraphModel::new(self.disks.clone()).conflict_graph();
+        let mut edges: Vec<(usize, usize)> = disk_graph.edges().collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// Builds the strong-edge-coloring conflict graph: edges conflict if they
+    /// share an endpoint or the disk graph contains an edge between their
+    /// endpoints.
+    pub fn conflict_graph(&self) -> ConflictGraph {
+        let disk_graph = DiskGraphModel::new(self.disks.clone()).conflict_graph();
+        let edges = self.communication_edges();
+        let m = edges.len();
+        let mut g = ConflictGraph::new(m);
+        for i in 0..m {
+            let (a, b) = edges[i];
+            for (j, &(c, d)) in edges.iter().enumerate().skip(i + 1) {
+                let share_endpoint = a == c || a == d || b == c || b == d;
+                let adjacent_endpoints = disk_graph.has_edge(a, c)
+                    || disk_graph.has_edge(a, d)
+                    || disk_graph.has_edge(b, c)
+                    || disk_graph.has_edge(b, d);
+                if share_endpoint || adjacent_endpoints {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Ordering by decreasing `r(e) = r(u) + r(v)` (Barrett et al., as cited
+    /// for Corollary 14).
+    pub fn ordering(&self) -> VertexOrdering {
+        let edges = self.communication_edges();
+        VertexOrdering::by_key_descending(edges.len(), |e| {
+            let (u, v) = edges[e];
+            self.disks[u].radius + self.disks[v].radius
+        })
+    }
+
+    /// Builds the full interference model over the disk-graph edges.
+    pub fn build(&self) -> BinaryInterferenceModel {
+        let graph = self.conflict_graph();
+        let ordering = self.ordering();
+        BinaryInterferenceModel::new(
+            format!("distance2-matching-disk(links={})", graph.num_vertices()),
+            graph,
+            ordering,
+            Some(Self::RHO_BOUND),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ssa_geometry::Point2D;
+
+    fn disk(x: f64, y: f64, r: f64) -> Disk {
+        Disk::new(Point2D::new(x, y), r)
+    }
+
+    #[test]
+    fn distance2_adds_two_hop_conflicts() {
+        // chain of three disks: 0-1 and 1-2 intersect, 0 and 2 do not.
+        let disks = vec![disk(0.0, 0.0, 1.0), disk(1.8, 0.0, 1.0), disk(3.6, 0.0, 1.0)];
+        let d1 = DiskGraphModel::new(disks.clone()).conflict_graph();
+        assert!(!d1.has_edge(0, 2));
+        let d2 = Distance2ColoringModel::new(disks).conflict_graph();
+        assert!(d2.has_edge(0, 1));
+        assert!(d2.has_edge(1, 2));
+        assert!(d2.has_edge(0, 2), "two-hop neighbors conflict under distance-2 coloring");
+    }
+
+    #[test]
+    fn isolated_disks_have_no_distance2_conflicts() {
+        let disks = vec![disk(0.0, 0.0, 1.0), disk(10.0, 0.0, 1.0)];
+        let g = Distance2ColoringModel::new(disks).conflict_graph();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn civilized_grid_rho_below_proposition_12_bound() {
+        let mut pts = Vec::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                pts.push(Point2D::new(x as f64, y as f64));
+            }
+        }
+        let layout = CivilizedLayout::with_all_short_edges(pts, 1.0, 1.0);
+        assert!(layout.validate().is_ok());
+        let model = CivilizedDistance2Model::new(layout);
+        let built = model.build();
+        assert!(built.certified_rho.rho <= built.theoretical_rho.unwrap() + 1e-9);
+        assert!(built.certified_rho.rho >= 1.0, "grid has conflicts");
+    }
+
+    #[test]
+    fn matching_model_bidders_are_communication_edges() {
+        // triangle of mutually intersecting disks -> 3 communication edges,
+        // all mutually conflicting (they share endpoints)
+        let disks = vec![disk(0.0, 0.0, 1.0), disk(1.5, 0.0, 1.0), disk(0.75, 1.2, 1.0)];
+        let model = Distance2MatchingModel::new(disks);
+        let edges = model.communication_edges();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+        let g = model.conflict_graph();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn matching_model_distant_edges_do_not_conflict() {
+        // two intersecting pairs far apart -> 2 edges, no conflict
+        let disks = vec![
+            disk(0.0, 0.0, 1.0),
+            disk(1.5, 0.0, 1.0),
+            disk(100.0, 0.0, 1.0),
+            disk(101.5, 0.0, 1.0),
+        ];
+        let model = Distance2MatchingModel::new(disks);
+        let g = model.conflict_graph();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        #[test]
+        fn prop_distance2_disk_rho_is_small(
+            coords in prop::collection::vec((0.0f64..25.0, 0.0f64..25.0, 0.4f64..2.5), 1..25)
+        ) {
+            let disks: Vec<Disk> = coords.iter().map(|&(x, y, r)| disk(x, y, r)).collect();
+            let built = Distance2ColoringModel::new(disks).build();
+            prop_assert!(built.certified_rho.rho <= Distance2ColoringModel::RHO_BOUND);
+        }
+
+        #[test]
+        fn prop_distance2_conflicts_contain_distance1_conflicts(
+            coords in prop::collection::vec((0.0f64..25.0, 0.0f64..25.0, 0.4f64..2.5), 1..20)
+        ) {
+            let disks: Vec<Disk> = coords.iter().map(|&(x, y, r)| disk(x, y, r)).collect();
+            let d1 = DiskGraphModel::new(disks.clone()).conflict_graph();
+            let d2 = Distance2ColoringModel::new(disks).conflict_graph();
+            for (u, v) in d1.edges() {
+                prop_assert!(d2.has_edge(u, v));
+            }
+        }
+    }
+}

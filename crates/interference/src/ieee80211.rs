@@ -1,0 +1,143 @@
+//! The IEEE 802.11 bidirectional interference model (Alicherry et al.),
+//! mentioned in Section 4.2 of the paper with the bound ρ ≤ 23 due to Wan.
+//!
+//! In this model both endpoints of a link transmit (data and ACK), so a link
+//! blocks a disk around *both* endpoints whose radius is `(1 + Δ)` times its
+//! own length. Two links conflict iff some endpoint of one lies within the
+//! other's blocked region, i.e. iff the minimum distance between their
+//! endpoint sets is smaller than `(1 + Δ) · max(len_i, len_j)`.
+
+use crate::model::BinaryInterferenceModel;
+use ssa_conflict_graph::{ConflictGraph, VertexOrdering};
+use ssa_geometry::Link;
+
+/// Builder for IEEE 802.11-style bidirectional conflict graphs.
+#[derive(Clone, Debug)]
+pub struct Ieee80211Model {
+    links: Vec<Link>,
+    delta: f64,
+}
+
+impl Ieee80211Model {
+    /// Bound on ρ for the bidirectional model reported in the paper
+    /// (Section 4.2, citing Wan).
+    pub const RHO_BOUND: f64 = 23.0;
+
+    /// Creates the model from the links and the guard parameter `Δ`.
+    ///
+    /// # Panics
+    /// Panics if `delta` is not strictly positive.
+    pub fn new(links: Vec<Link>, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta.is_finite(), "802.11 model requires Δ > 0");
+        Ieee80211Model { links, delta }
+    }
+
+    /// The links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Returns `true` if links `i` and `j` conflict.
+    pub fn conflicts(&self, i: usize, j: usize) -> bool {
+        if i == j {
+            return false;
+        }
+        let li = &self.links[i];
+        let lj = &self.links[j];
+        let blocking = (1.0 + self.delta) * li.length().max(lj.length());
+        li.min_endpoint_distance(lj) < blocking
+    }
+
+    /// Builds the conflict graph.
+    pub fn conflict_graph(&self) -> ConflictGraph {
+        let n = self.links.len();
+        let mut g = ConflictGraph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.conflicts(i, j) {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Length-descending ordering (longer links first), as for the protocol
+    /// model.
+    pub fn ordering(&self) -> VertexOrdering {
+        VertexOrdering::by_key_descending(self.links.len(), |v| self.links[v].length())
+    }
+
+    /// Builds the full interference model.
+    pub fn build(&self) -> BinaryInterferenceModel {
+        BinaryInterferenceModel::new(
+            format!("ieee802.11(delta={},n={})", self.delta, self.links.len()),
+            self.conflict_graph(),
+            self.ordering(),
+            Some(Self::RHO_BOUND),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ssa_geometry::Point2D;
+
+    fn link(sx: f64, sy: f64, rx: f64, ry: f64) -> Link {
+        Link::new(Point2D::new(sx, sy), Point2D::new(rx, ry))
+    }
+
+    #[test]
+    fn bidirectional_model_is_more_conservative_than_protocol() {
+        // two links whose receivers are close but whose senders are far: the
+        // protocol model with small delta may allow them, the 802.11 model
+        // (which also protects receivers against receivers) does not.
+        let links = vec![link(0.0, 0.0, 5.0, 0.0), link(10.4, 0.0, 5.4, 0.0)];
+        let m80211 = Ieee80211Model::new(links.clone(), 0.5);
+        assert!(m80211.conflicts(0, 1));
+        let g = m80211.conflict_graph();
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn far_links_do_not_conflict() {
+        let links = vec![link(0.0, 0.0, 1.0, 0.0), link(50.0, 50.0, 51.0, 50.0)];
+        let m = Ieee80211Model::new(links, 1.0);
+        assert!(!m.conflicts(0, 1));
+    }
+
+    #[test]
+    fn conflict_radius_uses_longer_link() {
+        // link 0 is long (10), link 1 is short (1); they are 15 apart.
+        // With delta = 1 the blocking radius is 20 > 15, so they conflict,
+        // even though 15 > (1+1)*1 (the short link alone would not block).
+        let links = vec![link(0.0, 0.0, 10.0, 0.0), link(25.0, 0.0, 26.0, 0.0)];
+        let m = Ieee80211Model::new(links, 1.0);
+        assert!(m.conflicts(0, 1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(25))]
+
+        #[test]
+        fn prop_conflicts_symmetric_and_rho_bounded(
+            coords in prop::collection::vec((0.0f64..60.0, 0.0f64..60.0, 0.3f64..4.0, 0.0f64..6.28), 1..30),
+            delta in 0.3f64..2.0,
+        ) {
+            let links: Vec<Link> = coords
+                .iter()
+                .map(|&(x, y, len, ang)| link(x, y, x + len * ang.cos(), y + len * ang.sin()))
+                .collect();
+            let m = Ieee80211Model::new(links, delta);
+            for i in 0..m.links().len() {
+                for j in 0..m.links().len() {
+                    prop_assert_eq!(m.conflicts(i, j), m.conflicts(j, i));
+                }
+            }
+            let built = m.build();
+            prop_assert!(built.certified_rho.rho <= Ieee80211Model::RHO_BOUND);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Wireless interference models producing conflict graphs with certified
+//! inductive independence numbers (Section 4 of the SPAA 2011 paper).
+//!
+//! Every model in this crate turns a geometric description of the wireless
+//! network (transmitter disks or sender/receiver links) into either a
+//! [`BinaryInterferenceModel`] (an unweighted conflict graph) or a
+//! [`WeightedInterferenceModel`] (an edge-weighted conflict graph), together
+//! with
+//!
+//! * a vertex ordering `π` with a **provable** bound on the inductive
+//!   independence number ρ (e.g. ρ ≤ 5 for disk graphs, Prop. 9; the angular
+//!   bound of Prop. 13 for the protocol model; `O(log n)` for the physical
+//!   model, Prop. 15), and
+//! * the **certified** ρ actually measured for that ordering, which the LP
+//!   relaxation uses as its right-hand side.
+//!
+//! Models implemented:
+//!
+//! | module | paper reference | ρ bound |
+//! |---|---|---|
+//! | [`disk_graph`] | Proposition 9 | ≤ 5 |
+//! | [`distance2`] (coloring, disk graphs) | Proposition 11 | O(1) |
+//! | [`distance2`] (coloring, (r,s)-civilized) | Proposition 12 | ≤ (4r/s + 2)² |
+//! | [`distance2`] (matching, disk graphs) | Corollary 14 | O(1) |
+//! | [`protocol`] | Proposition 13 | ⌈π / arcsin(Δ/2(Δ+1))⌉ − 1 |
+//! | [`ieee80211`] | Alicherry et al. / Wan | ≤ 23 |
+//! | [`physical`] (fixed powers) | Proposition 15 | O(log n) |
+//! | [`power_control`] | Theorem 17 | O(1) fading / O(log n) general |
+
+#![warn(missing_docs)]
+
+pub mod disk_graph;
+pub mod distance2;
+pub mod ieee80211;
+pub mod model;
+pub mod physical;
+pub mod power_control;
+pub mod protocol;
+
+pub use disk_graph::DiskGraphModel;
+pub use distance2::{CivilizedDistance2Model, Distance2ColoringModel, Distance2MatchingModel};
+pub use ieee80211::Ieee80211Model;
+pub use model::{BinaryInterferenceModel, WeightedInterferenceModel};
+pub use physical::{PhysicalModel, PowerAssignment, SinrParameters};
+pub use power_control::PowerControlModel;
+pub use protocol::ProtocolModel;

@@ -1,0 +1,129 @@
+//! Common output types of the interference models.
+//!
+//! The auction algorithms in `ssa-core` are model-agnostic: they consume a
+//! conflict graph, a vertex ordering and a value of ρ. The structs in this
+//! module bundle exactly those three pieces (plus provenance information
+//! useful for the experiment reports).
+
+use serde::{Deserialize, Serialize};
+use ssa_conflict_graph::{
+    certified_rho, certified_rho_weighted, ConflictGraph, InductiveBound, VertexOrdering,
+    WeightedConflictGraph,
+};
+
+/// A binary (unweighted) interference model instantiated on a concrete set
+/// of bidders.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BinaryInterferenceModel {
+    /// Human-readable model name (e.g. `"protocol(delta=1)"`).
+    pub name: String,
+    /// The conflict graph over the bidders.
+    pub graph: ConflictGraph,
+    /// The ordering that certifies the inductive independence number.
+    pub ordering: VertexOrdering,
+    /// The closed-form bound on ρ the model guarantees (e.g. 5 for disk
+    /// graphs); `None` if the model offers no closed form.
+    pub theoretical_rho: Option<f64>,
+    /// The ρ certified for `ordering` on this concrete instance.
+    pub certified_rho: InductiveBound,
+}
+
+impl BinaryInterferenceModel {
+    /// Builds a model from its parts, certifying ρ for the given ordering.
+    pub fn new(
+        name: impl Into<String>,
+        graph: ConflictGraph,
+        ordering: VertexOrdering,
+        theoretical_rho: Option<f64>,
+    ) -> Self {
+        let certified = certified_rho(&graph, &ordering);
+        BinaryInterferenceModel {
+            name: name.into(),
+            graph,
+            ordering,
+            theoretical_rho,
+            certified_rho: certified,
+        }
+    }
+
+    /// Number of bidders.
+    pub fn num_bidders(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// The value of ρ the LP should use: the certified value, clamped to at
+    /// least 1 so the relaxation never becomes tighter than the paper's.
+    pub fn rho_for_lp(&self) -> f64 {
+        self.certified_rho.rho_ceil()
+    }
+}
+
+/// An edge-weighted interference model instantiated on a concrete set of
+/// bidders (the physical model and its power-control variant).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WeightedInterferenceModel {
+    /// Human-readable model name (e.g. `"physical(alpha=3,uniform)"`).
+    pub name: String,
+    /// The edge-weighted conflict graph over the bidders.
+    pub graph: WeightedConflictGraph,
+    /// The ordering that certifies the inductive independence number.
+    pub ordering: VertexOrdering,
+    /// The asymptotic bound on ρ the model guarantees (evaluated for this
+    /// instance size), if any.
+    pub theoretical_rho: Option<f64>,
+    /// The ρ certified for `ordering` on this concrete instance.
+    pub certified_rho: InductiveBound,
+}
+
+impl WeightedInterferenceModel {
+    /// Builds a model from its parts, certifying ρ for the given ordering.
+    pub fn new(
+        name: impl Into<String>,
+        graph: WeightedConflictGraph,
+        ordering: VertexOrdering,
+        theoretical_rho: Option<f64>,
+    ) -> Self {
+        let certified = certified_rho_weighted(&graph, &ordering);
+        WeightedInterferenceModel {
+            name: name.into(),
+            graph,
+            ordering,
+            theoretical_rho,
+            certified_rho: certified,
+        }
+    }
+
+    /// Number of bidders.
+    pub fn num_bidders(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// The value of ρ the LP should use (certified value clamped to ≥ 1).
+    pub fn rho_for_lp(&self) -> f64 {
+        self.certified_rho.rho_ceil()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_model_certifies_rho_on_construction() {
+        let g = ConflictGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let m = BinaryInterferenceModel::new("path", g, VertexOrdering::identity(4), Some(2.0));
+        assert_eq!(m.num_bidders(), 4);
+        assert_eq!(m.certified_rho.rho, 1.0);
+        assert_eq!(m.rho_for_lp(), 1.0);
+    }
+
+    #[test]
+    fn weighted_model_certifies_rho_on_construction() {
+        let mut g = WeightedConflictGraph::new(3);
+        g.set_weight(0, 2, 0.4);
+        g.set_weight(1, 2, 0.4);
+        let m = WeightedInterferenceModel::new("toy", g, VertexOrdering::identity(3), None);
+        assert!((m.certified_rho.rho - 0.8).abs() < 1e-9);
+        assert_eq!(m.rho_for_lp(), 1.0, "clamped to 1 for the LP");
+    }
+}

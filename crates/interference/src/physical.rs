@@ -1,0 +1,446 @@
+//! The physical (SINR) model with fixed transmission powers
+//! (Section 4.3, Proposition 15).
+//!
+//! Links are embedded in a metric space (here: a [`LinkMetric`], i.e. the
+//! matrix of sender-to-receiver distances). A set `M` of links can share a
+//! channel iff every link's signal-to-interference-plus-noise ratio clears
+//! the threshold `β`:
+//!
+//! ```text
+//!   p_i / d(s_i, r_i)^α  ≥  β · ( Σ_{j ∈ M, j ≠ i} p_j / d(s_j, r_i)^α  +  ν )
+//! ```
+//!
+//! Proposition 15 shows these constraints can be represented by an
+//! edge-weighted conflict graph whose weights are (up to a `1/(1+ε)`
+//! technicality) the *affectance* values of Kesselheim–Vöcking, and that for
+//! monotone power assignments (uniform, linear, and everything in between)
+//! the length-descending ordering certifies ρ = O(log n).
+
+use crate::model::WeightedInterferenceModel;
+use serde::{Deserialize, Serialize};
+use ssa_conflict_graph::{VertexOrdering, WeightedConflictGraph};
+use ssa_geometry::LinkMetric;
+
+/// Parameters of the SINR constraint.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SinrParameters {
+    /// Path-loss exponent α (typically between 2 and 6).
+    pub alpha: f64,
+    /// SINR threshold β > 0.
+    pub beta: f64,
+    /// Ambient noise ν ≥ 0.
+    pub noise: f64,
+}
+
+impl Default for SinrParameters {
+    fn default() -> Self {
+        SinrParameters {
+            alpha: 3.0,
+            beta: 1.0,
+            noise: 0.0,
+        }
+    }
+}
+
+impl SinrParameters {
+    /// Creates a parameter set.
+    ///
+    /// # Panics
+    /// Panics if `alpha <= 0`, `beta <= 0` or `noise < 0`.
+    pub fn new(alpha: f64, beta: f64, noise: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(beta > 0.0, "beta must be positive");
+        assert!(noise >= 0.0, "noise must be non-negative");
+        SinrParameters { alpha, beta, noise }
+    }
+}
+
+/// Power assignment schemes for the fixed-power physical model.
+///
+/// The first three are *monotone* in the sense of Section 4.3 (longer links
+/// get at least as much power, but at most proportionally to `d^α`), which
+/// is the condition under which Proposition 15 certifies ρ = O(log n).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PowerAssignment {
+    /// Every sender transmits at power 1.
+    Uniform,
+    /// `p(ℓ) = d(ℓ)^α` — the received signal strength is the same for every
+    /// link.
+    Linear,
+    /// `p(ℓ) = d(ℓ)^(α/2)` — the "mean"/square-root scheme, also monotone.
+    Mean,
+    /// Explicit per-link powers (not necessarily monotone; Proposition 15's
+    /// bound is then not guaranteed).
+    Custom(Vec<f64>),
+}
+
+impl PowerAssignment {
+    /// Resolves the scheme into per-link powers for the given metric.
+    ///
+    /// # Panics
+    /// Panics if a custom vector has the wrong length or non-positive
+    /// entries.
+    pub fn powers(&self, metric: &LinkMetric, params: &SinrParameters) -> Vec<f64> {
+        let n = metric.num_links();
+        match self {
+            PowerAssignment::Uniform => vec![1.0; n],
+            PowerAssignment::Linear => (0..n).map(|i| metric.length(i).powf(params.alpha)).collect(),
+            PowerAssignment::Mean => (0..n)
+                .map(|i| metric.length(i).powf(params.alpha / 2.0))
+                .collect(),
+            PowerAssignment::Custom(p) => {
+                assert_eq!(p.len(), n, "custom power vector has wrong length");
+                assert!(p.iter().all(|&x| x > 0.0), "powers must be positive");
+                p.clone()
+            }
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PowerAssignment::Uniform => "uniform",
+            PowerAssignment::Linear => "linear",
+            PowerAssignment::Mean => "mean",
+            PowerAssignment::Custom(_) => "custom",
+        }
+    }
+}
+
+/// The physical model with fixed transmission powers.
+#[derive(Clone, Debug)]
+pub struct PhysicalModel {
+    metric: LinkMetric,
+    params: SinrParameters,
+    powers: Vec<f64>,
+    power_name: &'static str,
+}
+
+impl PhysicalModel {
+    /// Creates the model from a link metric, SINR parameters and a power
+    /// scheme.
+    pub fn new(metric: LinkMetric, params: SinrParameters, assignment: &PowerAssignment) -> Self {
+        let powers = assignment.powers(&metric, &params);
+        PhysicalModel {
+            metric,
+            params,
+            powers,
+            power_name: assignment.name(),
+        }
+    }
+
+    /// Number of links (bidders).
+    pub fn num_links(&self) -> usize {
+        self.metric.num_links()
+    }
+
+    /// The SINR parameters.
+    pub fn params(&self) -> &SinrParameters {
+        &self.params
+    }
+
+    /// The resolved per-link powers.
+    pub fn powers(&self) -> &[f64] {
+        &self.powers
+    }
+
+    /// The link metric.
+    pub fn metric(&self) -> &LinkMetric {
+        &self.metric
+    }
+
+    /// Received signal strength of link `i` at its own receiver.
+    pub fn signal(&self, i: usize) -> f64 {
+        self.powers[i] / self.metric.length(i).powf(self.params.alpha)
+    }
+
+    /// Interference that link `j`'s sender creates at link `i`'s receiver.
+    pub fn interference(&self, j: usize, i: usize) -> f64 {
+        self.powers[j] / self.metric.sender_to_receiver(j, i).powf(self.params.alpha)
+    }
+
+    /// Checks the SINR constraint for every member of `set` when all members
+    /// transmit simultaneously on one channel.
+    pub fn is_feasible_set(&self, set: &[usize]) -> bool {
+        set.iter().all(|&i| {
+            let interference: f64 = set
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| self.interference(j, i))
+                .sum();
+            self.signal(i) >= self.params.beta * (interference + self.params.noise)
+        })
+    }
+
+    /// The slack constant ε of Proposition 15 for this instance.
+    ///
+    /// The paper chooses `ε = (β/2) · min_{ℓ,ℓ'} d(ℓ)^α / d(s_{ℓ'}, r_ℓ)^α`,
+    /// which only serves to turn the non-strict SINR inequality into the
+    /// strict inequality of the weighted independent-set definition.
+    pub fn epsilon(&self) -> f64 {
+        let n = self.num_links();
+        let alpha = self.params.alpha;
+        let mut min_ratio = f64::INFINITY;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let ratio = self.metric.length(i).powf(alpha)
+                    / self.metric.sender_to_receiver(j, i).powf(alpha);
+                if ratio > 0.0 && ratio.is_finite() {
+                    min_ratio = min_ratio.min(ratio);
+                }
+            }
+        }
+        if !min_ratio.is_finite() {
+            min_ratio = 1.0;
+        }
+        (self.params.beta / 2.0 * min_ratio).max(1e-12)
+    }
+
+    /// The conflict-graph edge weight `w(ℓ_j → ℓ_i)` of Proposition 15.
+    pub fn weight(&self, j: usize, i: usize, epsilon: f64) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let beta_eff = self.params.beta / (1.0 + epsilon);
+        let denominator = self.signal(i) - beta_eff * self.params.noise;
+        if denominator <= 0.0 {
+            // the link cannot even overcome noise: it conflicts with everyone
+            return 1.0;
+        }
+        (beta_eff * self.interference(j, i) / denominator).min(1.0)
+    }
+
+    /// Builds the edge-weighted conflict graph of Proposition 15.
+    pub fn conflict_graph(&self) -> WeightedConflictGraph {
+        let n = self.num_links();
+        let eps = self.epsilon();
+        let mut g = WeightedConflictGraph::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let w = self.weight(j, i, eps);
+                    if w > 0.0 {
+                        g.set_weight(j, i, w);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The length-descending ordering of Proposition 15 / Theorem 17
+    /// (longest links first).
+    pub fn ordering(&self) -> VertexOrdering {
+        VertexOrdering::by_key_descending(self.num_links(), |v| self.metric.length(v))
+    }
+
+    /// Builds the full weighted interference model.
+    pub fn build(&self) -> WeightedInterferenceModel {
+        WeightedInterferenceModel::new(
+            format!(
+                "physical(alpha={},beta={},power={},n={})",
+                self.params.alpha,
+                self.params.beta,
+                self.power_name,
+                self.num_links()
+            ),
+            self.conflict_graph(),
+            self.ordering(),
+            None,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ssa_geometry::{Link, Point2D};
+
+    fn chain_links(n: usize, length: f64, gap: f64) -> Vec<Link> {
+        (0..n)
+            .map(|i| {
+                let base = i as f64 * (length + gap);
+                Link::new(Point2D::new(base, 0.0), Point2D::new(base + length, 0.0))
+            })
+            .collect()
+    }
+
+    fn model(links: &[Link], params: SinrParameters, power: PowerAssignment) -> PhysicalModel {
+        PhysicalModel::new(LinkMetric::from_links(links), params, &power)
+    }
+
+    #[test]
+    fn single_link_is_feasible_without_noise() {
+        let m = model(&chain_links(1, 1.0, 0.0), SinrParameters::new(3.0, 1.0, 0.0), PowerAssignment::Uniform);
+        assert!(m.is_feasible_set(&[0]));
+    }
+
+    #[test]
+    fn single_link_can_be_drowned_by_noise() {
+        // signal = 1 / 1^3 = 1; beta * noise = 2 -> infeasible
+        let m = model(&chain_links(1, 1.0, 0.0), SinrParameters::new(3.0, 1.0, 2.0), PowerAssignment::Uniform);
+        assert!(!m.is_feasible_set(&[0]));
+        // the conflict-graph weight machinery marks such a link as
+        // conflicting with everything
+        let m2 = model(&chain_links(2, 1.0, 100.0), SinrParameters::new(3.0, 1.0, 2.0), PowerAssignment::Uniform);
+        let eps = m2.epsilon();
+        assert_eq!(m2.weight(1, 0, eps), 1.0);
+    }
+
+    #[test]
+    fn nearby_identical_links_interfere() {
+        // two unit links right next to each other: interference ~ signal,
+        // with beta = 1 the pair is infeasible
+        let links = chain_links(2, 1.0, 0.2);
+        let m = model(&links, SinrParameters::new(3.0, 1.0, 0.0), PowerAssignment::Uniform);
+        assert!(m.is_feasible_set(&[0]));
+        assert!(m.is_feasible_set(&[1]));
+        assert!(!m.is_feasible_set(&[0, 1]));
+    }
+
+    #[test]
+    fn far_apart_links_coexist() {
+        let links = chain_links(3, 1.0, 50.0);
+        let m = model(&links, SinrParameters::new(3.0, 1.0, 0.0), PowerAssignment::Uniform);
+        assert!(m.is_feasible_set(&[0, 1, 2]));
+        // and they form an independent set of the weighted conflict graph
+        let g = m.conflict_graph();
+        assert!(g.is_independent(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn sinr_feasible_sets_are_independent_in_the_weighted_graph() {
+        // Proposition 15 (one direction): every SINR-feasible set maps to an
+        // independent set of the conflict graph.
+        let links = vec![
+            Link::new(Point2D::new(0.0, 0.0), Point2D::new(1.0, 0.0)),
+            Link::new(Point2D::new(8.0, 1.0), Point2D::new(9.5, 1.0)),
+            Link::new(Point2D::new(3.0, 7.0), Point2D::new(3.0, 8.0)),
+            Link::new(Point2D::new(20.0, 0.0), Point2D::new(22.0, 0.0)),
+        ];
+        for power in [PowerAssignment::Uniform, PowerAssignment::Linear, PowerAssignment::Mean] {
+            let m = model(&links, SinrParameters::new(3.0, 1.5, 0.1), power);
+            let g = m.conflict_graph();
+            for mask in 0u32..16 {
+                let set: Vec<usize> = (0..4).filter(|&i| mask & (1 << i) != 0).collect();
+                if m.is_feasible_set(&set) {
+                    assert!(
+                        g.is_independent(&set),
+                        "SINR-feasible set {set:?} must be independent (power {})",
+                        m.power_name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn independent_sets_satisfy_relaxed_sinr() {
+        // The converse direction with the 1/(1+eps) slack: an independent set
+        // satisfies the SINR constraint with threshold beta/(1+eps).
+        let links = vec![
+            Link::new(Point2D::new(0.0, 0.0), Point2D::new(1.0, 0.0)),
+            Link::new(Point2D::new(6.0, 0.0), Point2D::new(7.2, 0.0)),
+            Link::new(Point2D::new(0.0, 9.0), Point2D::new(0.0, 10.5)),
+        ];
+        let params = SinrParameters::new(3.0, 1.0, 0.05);
+        let m = model(&links, params, PowerAssignment::Uniform);
+        let g = m.conflict_graph();
+        let eps = m.epsilon();
+        let beta_relaxed = params.beta / (1.0 + eps);
+        for mask in 0u32..8 {
+            let set: Vec<usize> = (0..3).filter(|&i| mask & (1 << i) != 0).collect();
+            if g.is_independent(&set) {
+                for &i in &set {
+                    let interference: f64 = set
+                        .iter()
+                        .filter(|&&j| j != i)
+                        .map(|&j| m.interference(j, i))
+                        .sum();
+                    assert!(
+                        m.signal(i) >= beta_relaxed * (interference + params.noise) - 1e-9,
+                        "independent set {set:?} violates even the relaxed SINR at link {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_powers_equalize_received_signal() {
+        let links = chain_links(3, 2.0, 10.0);
+        let m = model(&links, SinrParameters::new(3.0, 1.0, 0.0), PowerAssignment::Linear);
+        let s0 = m.signal(0);
+        for i in 1..3 {
+            assert!((m.signal(i) - s0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ordering_puts_longest_link_first() {
+        let links = vec![
+            Link::new(Point2D::new(0.0, 0.0), Point2D::new(1.0, 0.0)),
+            Link::new(Point2D::new(10.0, 0.0), Point2D::new(14.0, 0.0)),
+            Link::new(Point2D::new(20.0, 0.0), Point2D::new(22.0, 0.0)),
+        ];
+        let m = model(&links, SinrParameters::default(), PowerAssignment::Uniform);
+        assert_eq!(m.ordering().as_order(), &[1, 2, 0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        #[test]
+        fn prop_rho_stays_moderate_for_monotone_powers(
+            coords in prop::collection::vec((0.0f64..80.0, 0.0f64..80.0, 0.5f64..4.0, 0.0f64..6.28), 2..30),
+            uniform in prop::bool::ANY,
+        ) {
+            let links: Vec<Link> = coords
+                .iter()
+                .map(|&(x, y, len, ang)| {
+                    Link::new(Point2D::new(x, y), Point2D::new(x + len * ang.cos(), y + len * ang.sin()))
+                })
+                .collect();
+            let power = if uniform { PowerAssignment::Uniform } else { PowerAssignment::Linear };
+            let m = model(&links, SinrParameters::new(3.0, 1.0, 0.0), power);
+            let built = m.build();
+            // Proposition 15: rho = O(log n). The hidden constant depends on
+            // alpha and beta; we assert a generous envelope that still
+            // distinguishes O(log n) from linear growth.
+            let n = links.len() as f64;
+            let envelope = 8.0 * (n.log2() + 2.0);
+            prop_assert!(
+                built.certified_rho.rho <= envelope,
+                "rho {} above O(log n) envelope {} for n = {}",
+                built.certified_rho.rho,
+                envelope,
+                n
+            );
+        }
+
+        #[test]
+        fn prop_feasible_implies_independent(
+            coords in prop::collection::vec((0.0f64..40.0, 0.0f64..40.0, 0.5f64..3.0, 0.0f64..6.28), 2..10),
+        ) {
+            let links: Vec<Link> = coords
+                .iter()
+                .map(|&(x, y, len, ang)| {
+                    Link::new(Point2D::new(x, y), Point2D::new(x + len * ang.cos(), y + len * ang.sin()))
+                })
+                .collect();
+            let m = model(&links, SinrParameters::new(3.0, 1.0, 0.01), PowerAssignment::Uniform);
+            let g = m.conflict_graph();
+            let n = links.len();
+            for mask in 0u32..(1u32 << n.min(8)) {
+                let set: Vec<usize> = (0..n.min(8)).filter(|&i| mask & (1 << i) != 0).collect();
+                if m.is_feasible_set(&set) {
+                    prop_assert!(g.is_independent(&set));
+                }
+            }
+        }
+    }
+}

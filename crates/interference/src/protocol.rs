@@ -1,0 +1,216 @@
+//! The protocol model (Section 4.2, Proposition 13).
+//!
+//! Bidders are sender/receiver links. A link `ℓ = (s, r)` can share a
+//! channel with other links only if every other sender `s'` on the channel
+//! satisfies `d(s', r) ≥ (1 + Δ) · d(s, r)` for a guard parameter `Δ > 0`.
+//! Two links conflict iff one of them violates the other's guard zone.
+//!
+//! Ordering the links by **decreasing length** certifies the angular bound
+//! of Proposition 13 (due to Wan):
+//! `ρ ≤ ⌈π / arcsin(Δ / (2(Δ+1)))⌉ − 1`.
+
+use crate::model::BinaryInterferenceModel;
+use ssa_conflict_graph::{ConflictGraph, VertexOrdering};
+use ssa_geometry::Link;
+
+/// Builder for protocol-model conflict graphs.
+#[derive(Clone, Debug)]
+pub struct ProtocolModel {
+    links: Vec<Link>,
+    delta: f64,
+}
+
+impl ProtocolModel {
+    /// Creates the model from the links and the guard parameter `Δ`.
+    ///
+    /// # Panics
+    /// Panics if `delta` is not strictly positive.
+    pub fn new(links: Vec<Link>, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta.is_finite(), "protocol model requires Δ > 0");
+        ProtocolModel { links, delta }
+    }
+
+    /// The links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The guard parameter Δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The bound of Proposition 13: `⌈π / arcsin(Δ/(2(Δ+1)))⌉ − 1`.
+    pub fn rho_bound(&self) -> f64 {
+        let x = self.delta / (2.0 * (self.delta + 1.0));
+        ((std::f64::consts::PI / x.asin()).ceil() - 1.0).max(1.0)
+    }
+
+    /// Returns `true` if links `i` and `j` conflict: sender `j` lies inside
+    /// the guard zone of link `i`'s receiver or vice versa.
+    pub fn conflicts(&self, i: usize, j: usize) -> bool {
+        if i == j {
+            return false;
+        }
+        let li = &self.links[i];
+        let lj = &self.links[j];
+        let guard_i = (1.0 + self.delta) * li.length();
+        let guard_j = (1.0 + self.delta) * lj.length();
+        lj.sender_to_receiver_of(li) < guard_i || li.sender_to_receiver_of(lj) < guard_j
+    }
+
+    /// Builds the conflict graph.
+    pub fn conflict_graph(&self) -> ConflictGraph {
+        let n = self.links.len();
+        let mut g = ConflictGraph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.conflicts(i, j) {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// The length-descending ordering used by Proposition 13.
+    pub fn ordering(&self) -> VertexOrdering {
+        VertexOrdering::by_key_descending(self.links.len(), |v| self.links[v].length())
+    }
+
+    /// Builds the full interference model (graph + ordering + certified ρ).
+    pub fn build(&self) -> BinaryInterferenceModel {
+        BinaryInterferenceModel::new(
+            format!("protocol(delta={},n={})", self.delta, self.links.len()),
+            self.conflict_graph(),
+            self.ordering(),
+            Some(self.rho_bound()),
+        )
+    }
+
+    /// Checks directly (without going through the conflict graph) whether a
+    /// set of links can share one channel under the protocol constraint.
+    pub fn is_feasible_set(&self, set: &[usize]) -> bool {
+        for (a, &i) in set.iter().enumerate() {
+            for &j in &set[a + 1..] {
+                if self.conflicts(i, j) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ssa_geometry::Point2D;
+
+    fn link(sx: f64, sy: f64, rx: f64, ry: f64) -> Link {
+        Link::new(Point2D::new(sx, sy), Point2D::new(rx, ry))
+    }
+
+    #[test]
+    fn far_apart_links_do_not_conflict() {
+        let m = ProtocolModel::new(
+            vec![link(0.0, 0.0, 1.0, 0.0), link(100.0, 0.0, 101.0, 0.0)],
+            1.0,
+        );
+        assert!(!m.conflicts(0, 1));
+        assert_eq!(m.conflict_graph().num_edges(), 0);
+    }
+
+    #[test]
+    fn overlapping_links_conflict() {
+        // sender of link 1 sits right next to receiver of link 0
+        let m = ProtocolModel::new(
+            vec![link(0.0, 0.0, 1.0, 0.0), link(1.1, 0.0, 2.5, 0.0)],
+            1.0,
+        );
+        assert!(m.conflicts(0, 1));
+        assert!(m.conflicts(1, 0), "conflict relation is symmetric");
+    }
+
+    #[test]
+    fn guard_zone_scales_with_delta() {
+        // distance between s' and r is 1.8, link length 1.0:
+        // conflict iff 1.8 < (1 + delta) -> delta > 0.8
+        let links = vec![link(0.0, 0.0, 1.0, 0.0), link(2.8, 0.0, 3.8, 0.0)];
+        let tight = ProtocolModel::new(links.clone(), 0.5);
+        let loose = ProtocolModel::new(links, 1.0);
+        assert!(!tight.conflicts(0, 1));
+        assert!(loose.conflicts(0, 1));
+    }
+
+    #[test]
+    fn rho_bound_formula() {
+        let m = ProtocolModel::new(vec![], 1.0);
+        // delta = 1: arcsin(1/4) ≈ 0.2527, pi / it ≈ 12.43 -> ceil 13 - 1 = 12
+        assert_eq!(m.rho_bound(), 12.0);
+        let m2 = ProtocolModel::new(vec![], 2.0);
+        // delta = 2: arcsin(1/3) ≈ 0.3398, pi / it ≈ 9.24 -> ceil 10 - 1 = 9
+        assert_eq!(m2.rho_bound(), 9.0);
+        // larger delta -> smaller bound
+        assert!(m2.rho_bound() <= m.rho_bound());
+    }
+
+    #[test]
+    fn feasible_set_matches_conflict_graph_independence() {
+        let links = vec![
+            link(0.0, 0.0, 1.0, 0.0),
+            link(3.0, 0.0, 4.0, 0.0),
+            link(3.5, 0.5, 4.5, 0.5),
+            link(10.0, 0.0, 11.0, 0.0),
+        ];
+        let m = ProtocolModel::new(links, 1.0);
+        let g = m.conflict_graph();
+        let sets: Vec<Vec<usize>> = vec![vec![0, 1], vec![1, 2], vec![0, 3], vec![0, 1, 2, 3]];
+        for s in sets {
+            assert_eq!(m.is_feasible_set(&s), g.is_independent(&s), "set {s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(30))]
+
+        #[test]
+        fn prop_random_instances_respect_proposition_13(
+            coords in prop::collection::vec((0.0f64..50.0, 0.0f64..50.0, 0.2f64..5.0, 0.0f64..6.28), 1..35),
+            delta in 0.3f64..3.0,
+        ) {
+            let links: Vec<Link> = coords
+                .iter()
+                .map(|&(x, y, len, ang)| {
+                    link(x, y, x + len * ang.cos(), y + len * ang.sin())
+                })
+                .collect();
+            let m = ProtocolModel::new(links, delta);
+            let built = m.build();
+            prop_assert!(
+                built.certified_rho.rho <= m.rho_bound() + 1e-9,
+                "certified rho {} exceeds Proposition 13 bound {}",
+                built.certified_rho.rho,
+                m.rho_bound()
+            );
+        }
+
+        #[test]
+        fn prop_conflict_relation_is_symmetric(
+            coords in prop::collection::vec((0.0f64..20.0, 0.0f64..20.0, 0.2f64..3.0, 0.0f64..6.28), 2..20),
+            delta in 0.3f64..3.0,
+        ) {
+            let links: Vec<Link> = coords
+                .iter()
+                .map(|&(x, y, len, ang)| link(x, y, x + len * ang.cos(), y + len * ang.sin()))
+                .collect();
+            let m = ProtocolModel::new(links, delta);
+            for i in 0..m.links().len() {
+                for j in 0..m.links().len() {
+                    prop_assert_eq!(m.conflicts(i, j), m.conflicts(j, i));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Column generation (restricted master + pricing oracle).
+//!
+//! The paper's LP relaxations (1) and (4) have one variable `x_{v,T}` per
+//! bidder `v` and channel bundle `T ⊆ [k]` — exponentially many. Section 2.2
+//! solves them with the ellipsoid method on the dual, separating with demand
+//! oracles. This module implements the equivalent primal view: a restricted
+//! master LP over the columns generated so far, and a pricing oracle that is
+//! handed the current duals and returns columns with improving reduced cost.
+//! In the auction crate the pricing oracle is exactly a demand-oracle query
+//! at the bidder-specific channel prices `p_{v,j} = Σ_{u : v ∈ Γπ(u)} y_{u,j}`
+//! derived from the dual (2) of the paper.
+//!
+//! The same machinery drives the Lavi–Swamy decomposition (Section 5), whose
+//! master is a covering LP and whose pricing oracle is the approximation
+//! algorithm itself.
+
+use crate::problem::{LinearProgram, Relation, Sense};
+use crate::simplex::{solve, LpSolution, LpStatus, SimplexOptions};
+use serde::{Deserialize, Serialize};
+
+/// A column produced by a pricing oracle.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedColumn {
+    /// Objective coefficient of the column.
+    pub objective: f64,
+    /// Sparse constraint coefficients as `(row index, coefficient)` pairs.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Caller-defined identifier (e.g. an index into a bundle table); used to
+    /// de-duplicate columns across pricing rounds.
+    pub tag: u64,
+}
+
+impl GeneratedColumn {
+    /// Reduced cost of the column at the given duals (maximization
+    /// convention: positive means improving).
+    pub fn reduced_cost(&self, duals: &[f64]) -> f64 {
+        let priced: f64 = self.coeffs.iter().map(|&(r, a)| duals[r] * a).sum();
+        self.objective - priced
+    }
+}
+
+/// A pricing oracle: sees the master duals, returns improving columns.
+pub trait ColumnSource {
+    /// Returns candidate columns for the current duals. Returning an empty
+    /// vector (or only columns already present / not improving) terminates
+    /// the column-generation loop.
+    fn generate(&mut self, duals: &[f64]) -> Vec<GeneratedColumn>;
+}
+
+impl<F> ColumnSource for F
+where
+    F: FnMut(&[f64]) -> Vec<GeneratedColumn>,
+{
+    fn generate(&mut self, duals: &[f64]) -> Vec<GeneratedColumn> {
+        self(duals)
+    }
+}
+
+/// The restricted master problem: a fixed set of rows plus a growing set of
+/// columns.
+#[derive(Clone, Debug)]
+pub struct MasterProblem {
+    sense: Sense,
+    rows: Vec<(Relation, f64)>,
+    columns: Vec<GeneratedColumn>,
+    seen_tags: std::collections::HashSet<u64>,
+}
+
+impl MasterProblem {
+    /// Creates a master problem with the given sense and rows
+    /// `(relation, rhs)`; initially it has no columns.
+    pub fn new(sense: Sense, rows: Vec<(Relation, f64)>) -> Self {
+        MasterProblem {
+            sense,
+            rows,
+            columns: Vec::new(),
+            seen_tags: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns added so far.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns added so far, in insertion order (their index is the
+    /// variable index in the solved LP).
+    pub fn columns(&self) -> &[GeneratedColumn] {
+        &self.columns
+    }
+
+    /// Adds a column unless one with the same tag has already been added.
+    /// Returns `true` if the column was added.
+    pub fn add_column(&mut self, column: GeneratedColumn) -> bool {
+        if !self.seen_tags.insert(column.tag) {
+            return false;
+        }
+        for &(r, _) in &column.coeffs {
+            assert!(r < self.rows.len(), "column references unknown row {r}");
+        }
+        self.columns.push(column);
+        true
+    }
+
+    /// Materializes the restricted master as a [`LinearProgram`].
+    pub fn to_linear_program(&self) -> LinearProgram {
+        let mut lp = LinearProgram::new(self.sense);
+        for col in &self.columns {
+            lp.add_variable(col.objective);
+        }
+        // rows: gather coefficients per row
+        let mut row_coeffs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.rows.len()];
+        for (var, col) in self.columns.iter().enumerate() {
+            for &(r, a) in &col.coeffs {
+                row_coeffs[r].push((var, a));
+            }
+        }
+        for (i, &(rel, rhs)) in self.rows.iter().enumerate() {
+            lp.add_constraint(row_coeffs[i].clone(), rel, rhs);
+        }
+        lp
+    }
+
+    /// Solves the current restricted master.
+    pub fn solve(&self, options: &SimplexOptions) -> LpSolution {
+        solve(&self.to_linear_program(), options)
+    }
+}
+
+/// Outcome of a column-generation run.
+#[derive(Clone, Debug)]
+pub struct ColumnGenerationResult {
+    /// Solution of the final restricted master.
+    pub solution: LpSolution,
+    /// Number of pricing rounds performed.
+    pub rounds: usize,
+    /// Whether the loop stopped because no improving column was found
+    /// (`true`) or because the round limit was hit (`false`).
+    pub converged: bool,
+}
+
+/// Driver for the restricted-master / pricing loop.
+#[derive(Clone, Debug)]
+pub struct ColumnGeneration {
+    /// Simplex options used for every master solve.
+    pub simplex: SimplexOptions,
+    /// Maximum number of pricing rounds.
+    pub max_rounds: usize,
+    /// Reduced-cost tolerance below which a column is not considered
+    /// improving.
+    pub reduced_cost_tolerance: f64,
+}
+
+impl Default for ColumnGeneration {
+    fn default() -> Self {
+        ColumnGeneration {
+            simplex: SimplexOptions::default(),
+            max_rounds: 200,
+            reduced_cost_tolerance: 1e-7,
+        }
+    }
+}
+
+impl ColumnGeneration {
+    /// Runs column generation: repeatedly solve the restricted master, hand
+    /// the duals to `source`, and add every returned column that has
+    /// improving reduced cost. Terminates when no new improving column
+    /// arrives or `max_rounds` is reached.
+    pub fn run(
+        &self,
+        master: &mut MasterProblem,
+        source: &mut dyn ColumnSource,
+    ) -> ColumnGenerationResult {
+        let mut rounds = 0usize;
+        loop {
+            let solution = master.solve(&self.simplex);
+            rounds += 1;
+            if rounds > self.max_rounds {
+                return ColumnGenerationResult {
+                    solution,
+                    rounds: rounds - 1,
+                    converged: false,
+                };
+            }
+            // An infeasible or unbounded master cannot be priced further.
+            if solution.status != LpStatus::Optimal {
+                return ColumnGenerationResult {
+                    solution,
+                    rounds,
+                    converged: false,
+                };
+            }
+            let candidates = source.generate(&solution.duals);
+            let mut added_improving = false;
+            for col in candidates {
+                let rc = col.reduced_cost(&solution.duals);
+                let improving = match master.sense {
+                    Sense::Maximize => rc > self.reduced_cost_tolerance,
+                    Sense::Minimize => rc < -self.reduced_cost_tolerance,
+                };
+                if improving && master.add_column(col) {
+                    added_improving = true;
+                }
+            }
+            if !added_improving {
+                return ColumnGenerationResult {
+                    solution,
+                    rounds,
+                    converged: true,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A knapsack-style LP solved by column generation over single-item
+    /// columns: max Σ value_i x_i s.t. Σ weight_i x_i <= capacity, x_i <= 1.
+    /// The pricing oracle proposes the item with the best reduced cost.
+    #[test]
+    fn knapsack_lp_via_column_generation() {
+        let values = [6.0, 10.0, 12.0];
+        let weights = [1.0, 2.0, 3.0];
+        let capacity = 5.0;
+        // rows: 0 = capacity, 1..=3 = per-item upper bounds
+        let mut rows = vec![(Relation::Le, capacity)];
+        for _ in 0..3 {
+            rows.push((Relation::Le, 1.0));
+        }
+        let mut master = MasterProblem::new(Sense::Maximize, rows);
+
+        let mut source = |duals: &[f64]| -> Vec<GeneratedColumn> {
+            let mut best: Option<GeneratedColumn> = None;
+            for i in 0..3 {
+                let col = GeneratedColumn {
+                    objective: values[i],
+                    coeffs: vec![(0, weights[i]), (i + 1, 1.0)],
+                    tag: i as u64,
+                };
+                let rc = col.reduced_cost(duals);
+                if rc > 1e-7 {
+                    match &best {
+                        None => best = Some(col),
+                        Some(b) => {
+                            if rc > b.reduced_cost(duals) {
+                                best = Some(col);
+                            }
+                        }
+                    }
+                }
+            }
+            best.into_iter().collect()
+        };
+
+        let cg = ColumnGeneration::default();
+        let result = cg.run(&mut master, &mut source);
+        assert!(result.converged);
+        assert_eq!(result.solution.status, LpStatus::Optimal);
+        // LP optimum: take items 1, 2, 3 fully (total weight 6 > 5), so the
+        // fractional optimum is x = (1, 1, 2/3): 6 + 10 + 8 = 24.
+        assert!((result.solution.objective - 24.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_master_with_no_columns_is_fine() {
+        let mut master = MasterProblem::new(Sense::Maximize, vec![(Relation::Le, 1.0)]);
+        let mut source = |_: &[f64]| Vec::<GeneratedColumn>::new();
+        let cg = ColumnGeneration::default();
+        let result = cg.run(&mut master, &mut source);
+        assert!(result.converged);
+        assert_eq!(result.solution.objective, 0.0);
+        assert_eq!(result.rounds, 1);
+    }
+
+    #[test]
+    fn duplicate_tags_are_rejected() {
+        let mut master = MasterProblem::new(Sense::Maximize, vec![(Relation::Le, 1.0)]);
+        let col = GeneratedColumn {
+            objective: 1.0,
+            coeffs: vec![(0, 1.0)],
+            tag: 7,
+        };
+        assert!(master.add_column(col.clone()));
+        assert!(!master.add_column(col));
+        assert_eq!(master.num_columns(), 1);
+    }
+
+    #[test]
+    fn loop_terminates_when_oracle_keeps_repeating_columns() {
+        // The oracle always proposes the same column; after the first round
+        // the de-duplication must stop the loop.
+        let mut master = MasterProblem::new(Sense::Maximize, vec![(Relation::Le, 2.0)]);
+        let mut calls = 0usize;
+        let mut source = |_duals: &[f64]| {
+            calls += 1;
+            vec![GeneratedColumn {
+                objective: 1.0,
+                coeffs: vec![(0, 1.0)],
+                tag: 0,
+            }]
+        };
+        let cg = ColumnGeneration::default();
+        let result = cg.run(&mut master, &mut source);
+        assert!(result.converged);
+        assert!(result.rounds <= 3);
+        assert!((result.solution.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn covering_master_in_minimization_sense() {
+        // min Σ λ_l s.t. coverage >= demand; columns are "patterns".
+        // Two rows with demand 1 each; pattern A covers row 0, pattern B
+        // covers row 1, pattern C covers both. Optimum: take C once.
+        let rows = vec![(Relation::Ge, 1.0), (Relation::Ge, 1.0)];
+        let mut master = MasterProblem::new(Sense::Minimize, rows);
+        // seed with the two singleton patterns so the master is feasible
+        master.add_column(GeneratedColumn {
+            objective: 1.0,
+            coeffs: vec![(0, 1.0)],
+            tag: 0,
+        });
+        master.add_column(GeneratedColumn {
+            objective: 1.0,
+            coeffs: vec![(1, 1.0)],
+            tag: 1,
+        });
+        let mut source = |duals: &[f64]| {
+            // propose the combined pattern when its reduced cost is negative
+            let col = GeneratedColumn {
+                objective: 1.0,
+                coeffs: vec![(0, 1.0), (1, 1.0)],
+                tag: 2,
+            };
+            if col.reduced_cost(duals) < -1e-7 {
+                vec![col]
+            } else {
+                Vec::new()
+            }
+        };
+        let cg = ColumnGeneration::default();
+        let result = cg.run(&mut master, &mut source);
+        assert!(result.converged);
+        assert!((result.solution.objective - 1.0).abs() < 1e-6);
+        assert_eq!(master.num_columns(), 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! A self-contained linear-programming toolkit for the spectrum-auction
+//! reproduction.
+//!
+//! The SPAA 2011 paper solves its LP relaxations (which have exponentially
+//! many variables) with the ellipsoid method and demand-oracle separation.
+//! Mature LP solver bindings are not available in this environment, so this
+//! crate implements the required machinery from scratch:
+//!
+//! * [`problem::LinearProgram`] — a sparse LP model (maximize or minimize,
+//!   `≤` / `≥` / `=` constraints, non-negative variables),
+//! * [`simplex`] — a dense two-phase primal simplex solver that also reports
+//!   dual values, which the auction code turns into bidder-specific channel
+//!   prices (Section 2.2 of the paper),
+//! * [`column_generation`] — a restricted-master / pricing loop that replaces
+//!   the ellipsoid method: the pricing oracle sees the current duals and
+//!   returns improving columns (in the auction: demand-oracle queries at the
+//!   prices `p_{v,j} = Σ_{u : v ∈ Γπ(u)} y_{u,j}`), which is the textbook
+//!   dual view of the paper's separation-based approach.
+//!
+//! All of the paper's relaxations are *packing* LPs (non-negative data,
+//! `≤` constraints), for which the all-slack basis is feasible and phase 1
+//! is skipped automatically; the general two-phase path exists for the
+//! Lavi–Swamy decomposition LP which contains equality constraints.
+
+#![warn(missing_docs)]
+
+pub mod column_generation;
+pub mod problem;
+pub mod simplex;
+
+pub use column_generation::{
+    ColumnGeneration, ColumnGenerationResult, ColumnSource, GeneratedColumn, MasterProblem,
+};
+pub use problem::{Constraint, LinearProgram, Relation, Sense};
+pub use simplex::{solve, LpSolution, LpStatus, SimplexOptions};

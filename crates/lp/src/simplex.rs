@@ -1,0 +1,641 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! The solver targets the moderate problem sizes produced by the auction
+//! relaxations (hundreds to a few thousand rows/columns). It keeps the full
+//! tableau `[B⁻¹A | B⁻¹b]` in memory, uses Dantzig pricing with a Bland's-rule
+//! fallback to guarantee termination, and reports dual values which the
+//! auction layer converts into bidder-specific channel prices.
+//!
+//! Packing LPs (all `≤` constraints with non-negative right-hand sides) are
+//! detected automatically and start from the all-slack basis, skipping
+//! phase 1 entirely; this covers the relaxations (1) and (4) of the paper.
+
+use crate::problem::{LinearProgram, Relation, Sense};
+use serde::{Deserialize, Serialize};
+
+/// Termination status of a solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The iteration limit was hit before optimality was proven.
+    IterationLimit,
+}
+
+/// Result of a simplex solve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Objective value in the problem's original sense (meaningful only when
+    /// `status == Optimal` or `IterationLimit`).
+    pub objective: f64,
+    /// Primal values indexed by variable.
+    pub x: Vec<f64>,
+    /// Dual values indexed by constraint, in the convention that strong
+    /// duality `Σ_i duals[i] · rhs[i] = objective` holds at optimality.
+    pub duals: Vec<f64>,
+    /// Number of simplex pivots performed (both phases).
+    pub iterations: usize,
+}
+
+/// Solver options.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SimplexOptions {
+    /// Numerical tolerance for feasibility, pricing and pivoting decisions.
+    pub tolerance: f64,
+    /// Maximum number of pivots across both phases (0 means automatic:
+    /// `200 · (m + n) + 10_000`).
+    pub max_iterations: usize,
+    /// After this many consecutive pivots without objective improvement the
+    /// solver switches to Bland's rule to escape potential cycling.
+    pub stall_threshold: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            tolerance: 1e-9,
+            max_iterations: 0,
+            stall_threshold: 64,
+        }
+    }
+}
+
+/// Solves a linear program with the two-phase primal simplex method.
+pub fn solve(lp: &LinearProgram, options: &SimplexOptions) -> LpSolution {
+    Tableau::build(lp, options).solve()
+}
+
+struct Tableau<'a> {
+    lp: &'a LinearProgram,
+    tol: f64,
+    max_iterations: usize,
+    stall_threshold: usize,
+    m: usize,
+    /// total number of columns (original + slack + surplus + artificial)
+    n_total: usize,
+    n_original: usize,
+    /// row-major tableau, m rows × (n_total + 1); last column is the rhs
+    t: Vec<f64>,
+    /// objective coefficients (maximization form) for all columns
+    cost: Vec<f64>,
+    /// basis variable of each row
+    basis: Vec<usize>,
+    /// first artificial column index (columns ≥ this are artificial)
+    first_artificial: usize,
+    /// per original constraint: the identity column created for it and the
+    /// sign applied when normalizing the rhs
+    identity_col: Vec<usize>,
+    row_sign: Vec<f64>,
+    iterations: usize,
+}
+
+impl<'a> Tableau<'a> {
+    fn build(lp: &'a LinearProgram, options: &SimplexOptions) -> Self {
+        let m = lp.num_constraints();
+        let n = lp.num_variables();
+
+        // Count extra columns.
+        let mut num_slack = 0usize;
+        let mut num_surplus = 0usize;
+        let mut num_artificial = 0usize;
+        // effective relation after normalizing rhs >= 0
+        let mut eff: Vec<(Relation, f64)> = Vec::with_capacity(m);
+        for c in lp.constraints() {
+            let (rel, sign) = if c.rhs < 0.0 {
+                let flipped = match c.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                (flipped, -1.0)
+            } else {
+                (c.relation, 1.0)
+            };
+            match rel {
+                Relation::Le => num_slack += 1,
+                Relation::Ge => {
+                    num_surplus += 1;
+                    num_artificial += 1;
+                }
+                Relation::Eq => num_artificial += 1,
+            }
+            eff.push((rel, sign));
+        }
+
+        let n_total = n + num_slack + num_surplus + num_artificial;
+        let width = n_total + 1;
+        let mut t = vec![0.0; m * width];
+        let mut basis = vec![0usize; m];
+        let mut identity_col = vec![0usize; m];
+        let mut row_sign = vec![1.0; m];
+
+        let slack_base = n;
+        let surplus_base = n + num_slack;
+        let artificial_base = n + num_slack + num_surplus;
+        let mut next_slack = slack_base;
+        let mut next_surplus = surplus_base;
+        let mut next_artificial = artificial_base;
+
+        for (i, c) in lp.constraints().iter().enumerate() {
+            let (rel, sign) = eff[i];
+            row_sign[i] = sign;
+            let row = &mut t[i * width..(i + 1) * width];
+            for &(v, a) in &c.coeffs {
+                row[v] += sign * a;
+            }
+            row[n_total] = sign * c.rhs;
+            match rel {
+                Relation::Le => {
+                    row[next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    identity_col[i] = next_slack;
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    row[next_surplus] = -1.0;
+                    row[next_artificial] = 1.0;
+                    basis[i] = next_artificial;
+                    identity_col[i] = next_artificial;
+                    next_surplus += 1;
+                    next_artificial += 1;
+                }
+                Relation::Eq => {
+                    row[next_artificial] = 1.0;
+                    basis[i] = next_artificial;
+                    identity_col[i] = next_artificial;
+                    next_artificial += 1;
+                }
+            }
+        }
+
+        // Maximization costs for the original problem.
+        let mut cost = vec![0.0; n_total];
+        let sense_sign = match lp.sense() {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        for (v, &c) in lp.objective().iter().enumerate() {
+            cost[v] = sense_sign * c;
+        }
+
+        let max_iterations = if options.max_iterations == 0 {
+            200 * (m + n_total) + 10_000
+        } else {
+            options.max_iterations
+        };
+
+        Tableau {
+            lp,
+            tol: options.tolerance,
+            max_iterations,
+            stall_threshold: options.stall_threshold,
+            m,
+            n_total,
+            n_original: n,
+            t,
+            cost,
+            basis,
+            first_artificial: artificial_base,
+            identity_col,
+            row_sign,
+            iterations: 0,
+        }
+    }
+
+    #[inline]
+    fn width(&self) -> usize {
+        self.n_total + 1
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.t[r * self.width() + c]
+    }
+
+    fn objective_of_basis(&self, cost: &[f64]) -> f64 {
+        (0..self.m)
+            .map(|r| cost[self.basis[r]] * self.at(r, self.n_total))
+            .sum()
+    }
+
+    /// Runs simplex iterations with the given cost vector and a predicate for
+    /// columns allowed to enter the basis. Returns `None` on success (optimal
+    /// for this cost) or `Some(status)` if unbounded / iteration limit.
+    fn iterate(&mut self, cost: &[f64], allow_enter: impl Fn(usize) -> bool) -> Option<LpStatus> {
+        let width = self.width();
+        let mut stall = 0usize;
+        let mut last_obj = self.objective_of_basis(cost);
+        loop {
+            if self.iterations >= self.max_iterations {
+                return Some(LpStatus::IterationLimit);
+            }
+            // y = c_B^T B^{-1} is implicit: reduced cost of column j is
+            // cost[j] - sum_r cost[basis[r]] * t[r][j].
+            let mut entering: Option<usize> = None;
+            let use_bland = stall >= self.stall_threshold;
+            let mut best_rc = self.tol;
+            for j in 0..self.n_total {
+                if !allow_enter(j) {
+                    continue;
+                }
+                // skip basic columns (their reduced cost is 0)
+                // (cheap test: basic columns always have rc == 0, no need to skip explicitly)
+                let mut rc = cost[j];
+                for r in 0..self.m {
+                    let cb = cost[self.basis[r]];
+                    if cb != 0.0 {
+                        rc -= cb * self.t[r * width + j];
+                    }
+                }
+                if rc > self.tol {
+                    if use_bland {
+                        entering = Some(j);
+                        break;
+                    }
+                    if rc > best_rc {
+                        best_rc = rc;
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(e) = entering else {
+                return None; // optimal for this cost vector
+            };
+
+            // Ratio test.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.m {
+                let a = self.t[r * width + e];
+                if a > self.tol {
+                    let ratio = self.t[r * width + self.n_total] / a;
+                    let better = ratio < best_ratio - self.tol
+                        || (ratio < best_ratio + self.tol
+                            && leaving.map(|l| self.basis[r] < self.basis[l]).unwrap_or(true));
+                    if better {
+                        best_ratio = ratio;
+                        leaving = Some(r);
+                    }
+                }
+            }
+            let Some(l) = leaving else {
+                return Some(LpStatus::Unbounded);
+            };
+
+            self.pivot(l, e);
+            self.iterations += 1;
+
+            let obj = self.objective_of_basis(cost);
+            if obj > last_obj + self.tol {
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+            last_obj = obj;
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.width();
+        let pivot_value = self.t[row * width + col];
+        debug_assert!(pivot_value.abs() > 1e-12, "pivot element too small");
+        // normalize pivot row
+        let inv = 1.0 / pivot_value;
+        for j in 0..width {
+            self.t[row * width + j] *= inv;
+        }
+        // eliminate the column from all other rows
+        for r in 0..self.m {
+            if r == row {
+                continue;
+            }
+            let factor = self.t[r * width + col];
+            if factor != 0.0 {
+                for j in 0..width {
+                    let delta = factor * self.t[row * width + j];
+                    self.t[r * width + j] -= delta;
+                }
+                // clamp tiny residues on the pivot column to exactly zero
+                self.t[r * width + col] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    fn solve(mut self) -> LpSolution {
+        let has_artificials = self.first_artificial < self.n_total;
+
+        if has_artificials {
+            // Phase 1: maximize -(sum of artificials).
+            let mut phase1_cost = vec![0.0; self.n_total];
+            for j in self.first_artificial..self.n_total {
+                phase1_cost[j] = -1.0;
+            }
+            if let Some(status) = self.iterate(&phase1_cost, |_| true) {
+                // Unbounded cannot happen in phase 1 (objective bounded by 0),
+                // so this is an iteration limit.
+                return self.extract(status);
+            }
+            let phase1_obj = self.objective_of_basis(&phase1_cost);
+            if phase1_obj < -1e-6 {
+                return self.extract(LpStatus::Infeasible);
+            }
+            self.drive_out_artificials();
+        }
+
+        // Phase 2 with the original costs; artificial columns may not enter.
+        let cost = self.cost.clone();
+        let first_artificial = self.first_artificial;
+        let status = match self.iterate(&cost, |j| j < first_artificial) {
+            None => LpStatus::Optimal,
+            Some(s) => s,
+        };
+        self.extract(status)
+    }
+
+    /// After phase 1, pivots basic artificial variables (at value 0) out of
+    /// the basis where possible so that phase 2 starts from a clean basis.
+    fn drive_out_artificials(&mut self) {
+        let width = self.width();
+        for r in 0..self.m {
+            if self.basis[r] >= self.first_artificial {
+                // find any eligible non-artificial column with nonzero entry
+                let mut target = None;
+                for j in 0..self.first_artificial {
+                    if self.t[r * width + j].abs() > self.tol {
+                        target = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = target {
+                    self.pivot(r, j);
+                }
+                // if no such column exists the row is redundant; the
+                // artificial stays basic at value 0 which is harmless because
+                // artificials are barred from re-entering in phase 2.
+            }
+        }
+    }
+
+    fn extract(&self, status: LpStatus) -> LpSolution {
+        let width = self.width();
+        let mut x = vec![0.0; self.n_original];
+        for r in 0..self.m {
+            let b = self.basis[r];
+            if b < self.n_original {
+                x[b] = self.t[r * width + self.n_total].max(0.0);
+            }
+        }
+        // duals of the maximization form: y_i = Σ_r cost[basis[r]] * B^{-1}[r][i],
+        // and column `identity_col[i]` of the tableau is exactly B^{-1} e_i.
+        let sense_sign = match self.lp.sense() {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        let mut duals = vec![0.0; self.m];
+        for i in 0..self.m {
+            let col = self.identity_col[i];
+            let mut y = 0.0;
+            for r in 0..self.m {
+                let cb = self.cost[self.basis[r]];
+                if cb != 0.0 {
+                    y += cb * self.t[r * width + col];
+                }
+            }
+            duals[i] = sense_sign * self.row_sign[i] * y;
+        }
+        let objective = self.lp.objective_value(&x);
+        LpSolution {
+            status,
+            objective,
+            x,
+            duals,
+            iterations: self.iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LinearProgram, Relation, Sense};
+    use proptest::prelude::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn simple_packing_lp() {
+        // max 3x + 2y  s.t. x + y <= 4, x <= 2, y <= 3
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(3.0);
+        let y = lp.add_variable(2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+        lp.add_constraint(vec![(y, 1.0)], Relation::Le, 3.0);
+        let sol = solve(&lp, &SimplexOptions::default());
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 10.0, 1e-7); // x=2, y=2
+        assert_close(sol.x[x], 2.0, 1e-7);
+        assert_close(sol.x[y], 2.0, 1e-7);
+        assert!(lp.is_feasible(&sol.x, 1e-7));
+        // strong duality
+        let dual_obj: f64 = sol.duals[0] * 4.0 + sol.duals[1] * 2.0 + sol.duals[2] * 3.0;
+        assert_close(dual_obj, 10.0, 1e-7);
+        // duals of <= constraints in a maximization are non-negative
+        assert!(sol.duals.iter().all(|&d| d >= -1e-9));
+    }
+
+    #[test]
+    fn degenerate_clique_lp() {
+        // The edge-based independent-set LP on a triangle: max x0+x1+x2 with
+        // pairwise sums <= 1. Optimum 1.5 (all at 1/2) — the integrality-gap
+        // example from Section 2.1.
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let v: Vec<usize> = (0..3).map(|_| lp.add_variable(1.0)).collect();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                lp.add_constraint(vec![(v[i], 1.0), (v[j], 1.0)], Relation::Le, 1.0);
+            }
+        }
+        let sol = solve(&lp, &SimplexOptions::default());
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 1.5, 1e-7);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y  s.t. x + y >= 4, x >= 1  -> x = 4, y = 0 ... but check:
+        // 2*4=8 vs x=1,y=3 -> 2+9=11. Optimum x=4,y=0, objective 8.
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable(2.0);
+        let y = lp.add_variable(3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 1.0);
+        let sol = solve(&lp, &SimplexOptions::default());
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 8.0, 1e-7);
+        assert_close(sol.x[x], 4.0, 1e-7);
+        assert_close(sol.x[y], 0.0, 1e-7);
+        // strong duality for the minimization
+        let dual_obj: f64 = sol.duals[0] * 4.0 + sol.duals[1] * 1.0;
+        assert_close(dual_obj, 8.0, 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + 2y s.t. x + y = 3, y <= 2 -> x=1, y=2, objective 5
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
+        lp.add_constraint(vec![(y, 1.0)], Relation::Le, 2.0);
+        let sol = solve(&lp, &SimplexOptions::default());
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 5.0, 1e-7);
+        assert_close(sol.x[x], 1.0, 1e-7);
+        assert_close(sol.x[y], 2.0, 1e-7);
+    }
+
+    #[test]
+    fn infeasible_problem_detected() {
+        // x <= 1 and x >= 2 simultaneously
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        let sol = solve(&lp, &SimplexOptions::default());
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_problem_detected() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(0.0);
+        lp.add_constraint(vec![(y, 1.0)], Relation::Le, 5.0);
+        let _ = x;
+        let sol = solve(&lp, &SimplexOptions::default());
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // -x <= -2  ===  x >= 2; minimize x -> 2
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, -1.0)], Relation::Le, -2.0);
+        let sol = solve(&lp, &SimplexOptions::default());
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 2.0, 1e-7);
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        // no constraints, maximize 0 over x >= 0: optimal 0
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        lp.add_variable(0.0);
+        let sol = solve(&lp, &SimplexOptions::default());
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 0.0, 1e-9);
+    }
+
+    #[test]
+    fn duals_price_binding_constraints_only() {
+        // max x + y s.t. x <= 1, y <= 1, x + y <= 5 (slack constraint)
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(y, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 5.0);
+        let sol = solve(&lp, &SimplexOptions::default());
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.duals[0], 1.0, 1e-7);
+        assert_close(sol.duals[1], 1.0, 1e-7);
+        assert_close(sol.duals[2], 0.0, 1e-7);
+    }
+
+    // Random packing LPs: the simplex solution must be feasible, and weak
+    // duality must hold against the reported duals.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_random_packing_lps_are_solved_consistently(
+            n in 1usize..8,
+            m in 1usize..8,
+            obj in prop::collection::vec(0.0f64..10.0, 8),
+            rows in prop::collection::vec(prop::collection::vec(0.0f64..5.0, 8), 8),
+            rhs in prop::collection::vec(1.0f64..20.0, 8),
+        ) {
+            let mut lp = LinearProgram::new(Sense::Maximize);
+            for j in 0..n {
+                lp.add_variable(obj[j]);
+            }
+            for i in 0..m {
+                let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, rows[i][j])).collect();
+                lp.add_constraint(coeffs, Relation::Le, rhs[i]);
+            }
+            let sol = solve(&lp, &SimplexOptions::default());
+            // packing LPs with x = 0 feasible are never infeasible
+            prop_assert_ne!(sol.status, LpStatus::Infeasible);
+            if sol.status == LpStatus::Optimal {
+                prop_assert!(lp.is_feasible(&sol.x, 1e-6));
+                // weak duality: b^T y >= c^T x for feasible dual y
+                let dual_obj: f64 = (0..m).map(|i| sol.duals[i] * rhs[i]).sum();
+                prop_assert!(dual_obj >= sol.objective - 1e-5);
+                // strong duality within tolerance
+                prop_assert!((dual_obj - sol.objective).abs() < 1e-4 * (1.0 + sol.objective.abs()));
+                // dual feasibility: A^T y >= c (for maximization with <=)
+                for j in 0..n {
+                    let lhs: f64 = (0..m).map(|i| sol.duals[i] * rows[i][j]).sum();
+                    prop_assert!(lhs >= obj[j] - 1e-5);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_random_mixed_lps_feasible_solutions(
+            n in 1usize..6,
+            obj in prop::collection::vec(-5.0f64..5.0, 6),
+            rows in prop::collection::vec(prop::collection::vec(-3.0f64..3.0, 6), 6),
+            rhs in prop::collection::vec(-5.0f64..5.0, 6),
+            rels in prop::collection::vec(0u8..3, 6),
+            m in 1usize..6,
+        ) {
+            let mut lp = LinearProgram::new(Sense::Maximize);
+            for j in 0..n {
+                lp.add_variable(obj[j]);
+            }
+            for i in 0..m {
+                let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, rows[i][j])).collect();
+                let rel = match rels[i] % 3 {
+                    0 => Relation::Le,
+                    1 => Relation::Ge,
+                    _ => Relation::Eq,
+                };
+                lp.add_constraint(coeffs, rel, rhs[i]);
+            }
+            // always bound the variables so "unbounded" cannot occur and the
+            // optimal face is a polytope
+            for j in 0..n {
+                lp.add_constraint(vec![(j, 1.0)], Relation::Le, 10.0);
+            }
+            let sol = solve(&lp, &SimplexOptions::default());
+            match sol.status {
+                LpStatus::Optimal => prop_assert!(lp.is_feasible(&sol.x, 1e-5)),
+                LpStatus::Infeasible => { /* fine */ }
+                LpStatus::Unbounded => prop_assert!(false, "bounded LP reported unbounded"),
+                LpStatus::IterationLimit => { /* extremely unlikely; accept */ }
+            }
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The truthful-in-expectation mechanism (Section 5): fractional VCG +
+//! Lavi–Swamy decomposition + scaled payments.
+//!
+//! Mechanism for reported valuations `b`:
+//!
+//! 1. Solve the LP relaxation; compute fractional VCG payments `p_v`.
+//! 2. Decompose `x*/α` into a distribution over feasible integral
+//!    allocations.
+//! 3. Draw one allocation `X` from the distribution. Bidder `v` receives
+//!    `X(v)` and pays `p_v · b_v(X(v)) / value_v(x*)` (0 if its fractional
+//!    value is 0).
+//!
+//! In expectation each bidder's value and payment are exactly `1/α` times
+//! their fractional counterparts, so the mechanism inherits truthfulness
+//! from fractional VCG and approximates the optimal welfare within `α` in
+//! expectation.
+
+use crate::lavi_swamy::{decompose, Decomposition, DecompositionOptions};
+use crate::vcg::{fractional_vcg, FractionalVcg};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use ssa_core::allocation::Allocation;
+use ssa_core::lp_formulation::LpFormulationOptions;
+use ssa_core::solver::guarantee_factor;
+use ssa_core::AuctionInstance;
+
+/// Options of the truthful mechanism.
+#[derive(Clone, Debug, Default)]
+pub struct TruthfulMechanismOptions {
+    /// LP options used for the welfare LP and the VCG LPs.
+    pub lp: LpFormulationOptions,
+    /// Decomposition options.
+    pub decomposition: DecompositionOptions,
+}
+
+/// The mechanism.
+#[derive(Clone, Debug, Default)]
+pub struct TruthfulMechanism {
+    /// Options.
+    pub options: TruthfulMechanismOptions,
+}
+
+/// Output of one run of the mechanism.
+#[derive(Clone, Debug)]
+pub struct MechanismOutcome {
+    /// The allocation that was drawn.
+    pub allocation: Allocation,
+    /// The payment charged to each bidder for the drawn allocation.
+    pub payments: Vec<f64>,
+    /// The full distribution the allocation was drawn from.
+    pub decomposition: Decomposition,
+    /// The fractional VCG data (LP optimum, fractional payments).
+    pub vcg: FractionalVcg,
+    /// The scale factor α used (the pipeline's guarantee factor for this
+    /// instance).
+    pub alpha: f64,
+}
+
+impl MechanismOutcome {
+    /// The expected payment of a bidder over the decomposition (equals
+    /// `fractional payment / α_eff` up to cover slack).
+    pub fn expected_payment(&self, instance: &AuctionInstance, bidder: usize) -> f64 {
+        let fractional_value = self.vcg.fractional_values[bidder];
+        if fractional_value <= 1e-12 {
+            return 0.0;
+        }
+        let expected_value = self.decomposition.expected_value_of(instance, bidder);
+        self.vcg.payments[bidder] * expected_value / fractional_value
+    }
+
+    /// The expected utility of a bidder assuming its true valuation is the
+    /// one in `instance` (which, under truthful reporting, is also the one
+    /// the mechanism saw).
+    pub fn expected_utility(&self, instance: &AuctionInstance, bidder: usize) -> f64 {
+        self.decomposition.expected_value_of(instance, bidder)
+            - self.expected_payment(instance, bidder)
+    }
+
+    /// Expected social welfare of the mechanism's distribution.
+    pub fn expected_welfare(&self, instance: &AuctionInstance) -> f64 {
+        self.decomposition.expected_welfare(instance)
+    }
+}
+
+impl TruthfulMechanism {
+    /// Creates a mechanism with the given options.
+    pub fn new(options: TruthfulMechanismOptions) -> Self {
+        TruthfulMechanism { options }
+    }
+
+    /// Runs the mechanism on the reported valuations in `instance`, drawing
+    /// the final allocation with the given seed.
+    pub fn run(&self, instance: &AuctionInstance, seed: u64) -> MechanismOutcome {
+        let vcg = fractional_vcg(instance, &self.options.lp);
+        let alpha = guarantee_factor(instance);
+        let decomposition = decompose(instance, &vcg.fractional, alpha, &self.options.decomposition);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let allocation = decomposition.sample(&mut rng).clone();
+        let payments = (0..instance.num_bidders())
+            .map(|v| {
+                let fractional_value = vcg.fractional_values[v];
+                if fractional_value <= 1e-12 {
+                    0.0
+                } else {
+                    let realized = instance.value(v, allocation.bundle(v));
+                    (vcg.payments[v] * realized / fractional_value).max(0.0)
+                }
+            })
+            .collect();
+        MechanismOutcome {
+            allocation,
+            payments,
+            decomposition,
+            vcg,
+            alpha,
+        }
+    }
+}
+
+/// Serializable summary of a mechanism run (experiment E10).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MechanismSummary {
+    /// LP optimum (`b*`).
+    pub lp_objective: f64,
+    /// Expected welfare of the distribution.
+    pub expected_welfare: f64,
+    /// Welfare of the drawn allocation.
+    pub realized_welfare: f64,
+    /// Total payments collected for the drawn allocation.
+    pub total_payments: f64,
+    /// Requested α.
+    pub alpha: f64,
+    /// Certified effective α of the decomposition.
+    pub effective_alpha: f64,
+    /// Size of the decomposition support.
+    pub support_size: usize,
+}
+
+impl MechanismSummary {
+    /// Builds the summary.
+    pub fn new(instance: &AuctionInstance, outcome: &MechanismOutcome) -> Self {
+        MechanismSummary {
+            lp_objective: outcome.vcg.fractional.objective,
+            expected_welfare: outcome.expected_welfare(instance),
+            realized_welfare: outcome.allocation.social_welfare(instance),
+            total_payments: outcome.payments.iter().sum(),
+            alpha: outcome.alpha,
+            effective_alpha: outcome.decomposition.effective_alpha,
+            support_size: outcome.decomposition.support.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_conflict_graph::{ConflictGraph, VertexOrdering};
+    use ssa_core::instance::ConflictStructure;
+    use ssa_core::valuation::{Valuation, XorValuation};
+    use ssa_core::ChannelSet;
+    use std::sync::Arc;
+
+    fn xor_bidder(k: usize, bids: Vec<(Vec<usize>, f64)>) -> Arc<dyn Valuation> {
+        Arc::new(XorValuation::new(
+            k,
+            bids.into_iter()
+                .map(|(chs, v)| (ChannelSet::from_channels(chs), v))
+                .collect(),
+        ))
+    }
+
+    fn instance_with_report(report0: f64) -> AuctionInstance {
+        // 3 bidders on a path, 2 channels
+        let g = ConflictGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let bidders = vec![
+            xor_bidder(2, vec![(vec![0], report0), (vec![0, 1], report0 + 1.0)]),
+            xor_bidder(2, vec![(vec![1], 3.0)]),
+            xor_bidder(2, vec![(vec![0], 2.0)]),
+        ];
+        AuctionInstance::new(
+            2,
+            bidders,
+            ConflictStructure::Binary(g),
+            VertexOrdering::identity(3),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn mechanism_produces_feasible_allocation_and_nonnegative_payments() {
+        let inst = instance_with_report(4.0);
+        let mech = TruthfulMechanism::default();
+        let outcome = mech.run(&inst, 17);
+        assert!(outcome.allocation.is_feasible(&inst));
+        for v in 0..3 {
+            assert!(outcome.payments[v] >= 0.0);
+            // individual rationality for the realized draw: payment never
+            // exceeds the realized value (payments are value-proportional)
+            let realized = inst.value(v, outcome.allocation.bundle(v));
+            assert!(
+                outcome.payments[v] <= realized + 1e-6,
+                "bidder {v} pays {} for value {}",
+                outcome.payments[v],
+                realized
+            );
+        }
+    }
+
+    #[test]
+    fn expected_welfare_meets_the_alpha_guarantee() {
+        let inst = instance_with_report(4.0);
+        let mech = TruthfulMechanism::default();
+        let outcome = mech.run(&inst, 3);
+        let expected = outcome.expected_welfare(&inst);
+        assert!(
+            expected + 1e-9 >= outcome.vcg.fractional.objective / outcome.decomposition.effective_alpha,
+            "expected welfare {} below b*/α_eff = {}/{}",
+            expected,
+            outcome.vcg.fractional.objective,
+            outcome.decomposition.effective_alpha
+        );
+    }
+
+    #[test]
+    fn expected_utility_is_individually_rational() {
+        let inst = instance_with_report(4.0);
+        let mech = TruthfulMechanism::default();
+        let outcome = mech.run(&inst, 5);
+        for v in 0..3 {
+            assert!(
+                outcome.expected_utility(&inst, v) >= -1e-6,
+                "bidder {v} has negative expected utility"
+            );
+        }
+    }
+
+    #[test]
+    fn misreporting_does_not_increase_expected_utility_much() {
+        // Truthfulness in expectation holds exactly when the decomposition
+        // certifies the same alpha for every report; with the randomized
+        // verifier the effective alpha can wobble slightly, so the test
+        // allows a small tolerance.
+        let truthful_inst = instance_with_report(4.0);
+        let mech = TruthfulMechanism::default();
+
+        // expected utility of bidder 0 when reporting r, valued by the truth
+        let utility_when_reporting = |r: f64| {
+            let reported_inst = instance_with_report(r);
+            let outcome = mech.run(&reported_inst, 11);
+            // expected value under the TRUE valuation of the bundles bidder 0
+            // receives under the distribution computed from the report
+            let expected_true_value: f64 = outcome
+                .decomposition
+                .support
+                .iter()
+                .map(|(p, a)| p * truthful_inst.value(0, a.bundle(0)))
+                .sum();
+            // expected payment is computed from the reported instance
+            let expected_payment = outcome.expected_payment(&reported_inst, 0);
+            expected_true_value - expected_payment
+        };
+
+        let truthful_utility = utility_when_reporting(4.0);
+        for misreport in [1.0, 2.0, 8.0, 16.0] {
+            let lied = utility_when_reporting(misreport);
+            assert!(
+                lied <= truthful_utility + 0.35,
+                "misreport {misreport}: utility {lied} vs truthful {truthful_utility}"
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Synthetic workload generators for the spectrum-auction experiments.
+//!
+//! The SPAA 2011 paper is a theory paper and evaluates nothing empirically;
+//! real secondary-market traces do not exist publicly either. The
+//! experiments therefore run on synthetic instances that mirror the
+//! scenarios the paper's introduction motivates:
+//!
+//! * **transmitter scenarios** — base stations with transmission-range disks
+//!   placed uniformly, in clusters ("urban hotspots") or on a grid
+//!   ("planned cellular layout"),
+//! * **link scenarios** — sender/receiver pairs with configurable length
+//!   distributions, feeding the protocol, IEEE 802.11 and physical (SINR)
+//!   models,
+//! * **valuation profiles** — XOR bids over random bundles, unit-demand,
+//!   additive, budgeted-additive and single-minded bidders with
+//!   configurable value ranges,
+//! * **named end-to-end scenarios** ([`scenarios`]) that combine a
+//!   placement, an interference model and a valuation profile into a ready
+//!   [`ssa_core::AuctionInstance`], reproducibly from a seed.
+
+#![warn(missing_docs)]
+
+pub mod placement;
+pub mod scenarios;
+pub mod valuations;
+
+pub use placement::{clustered_points, grid_points, random_disks, random_links, uniform_points, PlacementConfig};
+pub use scenarios::{
+    asymmetric_scenario, disk_scenario, physical_scenario, power_control_scenario,
+    protocol_scenario, GeneratedInstance, ScenarioConfig, ValuationProfile,
+};
+pub use valuations::{random_valuation, sample_valuations};

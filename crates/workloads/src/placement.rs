@@ -1,0 +1,182 @@
+//! Node, disk and link placement generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use ssa_geometry::{Disk, Link, Point2D};
+
+/// Configuration of a placement region.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PlacementConfig {
+    /// Side length of the square deployment area.
+    pub area_side: f64,
+    /// Number of cluster centers for clustered placements.
+    pub num_clusters: usize,
+    /// Standard deviation of the offset from a cluster center.
+    pub cluster_spread: f64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            area_side: 100.0,
+            num_clusters: 5,
+            cluster_spread: 5.0,
+        }
+    }
+}
+
+/// Uniformly random points in the square `[0, side]²`.
+pub fn uniform_points(n: usize, side: f64, rng: &mut StdRng) -> Vec<Point2D> {
+    (0..n)
+        .map(|_| Point2D::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+        .collect()
+}
+
+/// Clustered ("urban hotspot") placement: points gather around a few
+/// uniformly placed cluster centers with Gaussian-ish spread (sum of two
+/// uniforms, which is cheap and bounded).
+pub fn clustered_points(n: usize, config: &PlacementConfig, rng: &mut StdRng) -> Vec<Point2D> {
+    let centers = uniform_points(config.num_clusters.max(1), config.area_side, rng);
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.random_range(0..centers.len())];
+            let dx = (rng.random_range(-1.0..1.0) + rng.random_range(-1.0..1.0)) * config.cluster_spread;
+            let dy = (rng.random_range(-1.0..1.0) + rng.random_range(-1.0..1.0)) * config.cluster_spread;
+            Point2D::new(
+                (c.x + dx).clamp(0.0, config.area_side),
+                (c.y + dy).clamp(0.0, config.area_side),
+            )
+        })
+        .collect()
+}
+
+/// A regular √n × √n grid filling the square `[0, side]²` (the last row may
+/// be incomplete if `n` is not a perfect square).
+pub fn grid_points(n: usize, side: f64) -> Vec<Point2D> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let dx = side / cols as f64;
+    let dy = side / rows as f64;
+    (0..n)
+        .map(|i| {
+            let r = i / cols;
+            let c = i % cols;
+            Point2D::new((c as f64 + 0.5) * dx, (r as f64 + 0.5) * dy)
+        })
+        .collect()
+}
+
+/// Random transmission-range disks around the given centers, with radii
+/// drawn uniformly from `[min_radius, max_radius]`.
+pub fn random_disks(
+    centers: &[Point2D],
+    min_radius: f64,
+    max_radius: f64,
+    rng: &mut StdRng,
+) -> Vec<Disk> {
+    centers
+        .iter()
+        .map(|&c| Disk::new(c, rng.random_range(min_radius..=max_radius)))
+        .collect()
+}
+
+/// Random links: senders at the given points, receivers at a uniformly
+/// random angle and a length drawn uniformly from `[min_len, max_len]`.
+pub fn random_links(
+    senders: &[Point2D],
+    min_len: f64,
+    max_len: f64,
+    rng: &mut StdRng,
+) -> Vec<Link> {
+    senders
+        .iter()
+        .map(|&s| {
+            let len = rng.random_range(min_len..=max_len);
+            let angle = rng.random_range(0.0..std::f64::consts::TAU);
+            Link::new(s, Point2D::new(s.x + len * angle.cos(), s.y + len * angle.sin()))
+        })
+        .collect()
+}
+
+/// Convenience: a seeded RNG for reproducible workloads.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_points_stay_in_area() {
+        let mut rng = seeded_rng(1);
+        let pts = uniform_points(200, 50.0, &mut rng);
+        assert_eq!(pts.len(), 200);
+        assert!(pts.iter().all(|p| (0.0..=50.0).contains(&p.x) && (0.0..=50.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn clustered_points_stay_in_area_and_cluster() {
+        let config = PlacementConfig {
+            area_side: 100.0,
+            num_clusters: 3,
+            cluster_spread: 2.0,
+        };
+        let mut rng = seeded_rng(2);
+        let pts = clustered_points(300, &config, &mut rng);
+        assert_eq!(pts.len(), 300);
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..=100.0).contains(&p.x) && (0.0..=100.0).contains(&p.y)));
+        // clustering: the average nearest-neighbor distance should be much
+        // smaller than for a uniform spread over the same area
+        let nn = |pts: &[Point2D]| -> f64 {
+            let mut total = 0.0;
+            for (i, p) in pts.iter().enumerate() {
+                let mut best = f64::INFINITY;
+                for (j, q) in pts.iter().enumerate() {
+                    if i != j {
+                        best = best.min(p.distance(q));
+                    }
+                }
+                total += best;
+            }
+            total / pts.len() as f64
+        };
+        let mut rng2 = seeded_rng(3);
+        let uniform = uniform_points(300, 100.0, &mut rng2);
+        assert!(nn(&pts) < nn(&uniform));
+    }
+
+    #[test]
+    fn grid_points_cover_requested_count() {
+        let pts = grid_points(10, 30.0);
+        assert_eq!(pts.len(), 10);
+        let pts2 = grid_points(16, 30.0);
+        assert_eq!(pts2.len(), 16);
+        assert!(grid_points(0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn disks_and_links_respect_parameter_ranges() {
+        let mut rng = seeded_rng(4);
+        let centers = uniform_points(50, 20.0, &mut rng);
+        let disks = random_disks(&centers, 1.0, 3.0, &mut rng);
+        assert!(disks.iter().all(|d| (1.0..=3.0).contains(&d.radius)));
+        let links = random_links(&centers, 0.5, 2.0, &mut rng);
+        assert!(links
+            .iter()
+            .all(|l| l.length() >= 0.5 - 1e-9 && l.length() <= 2.0 + 1e-9));
+    }
+
+    #[test]
+    fn placements_are_reproducible_from_the_seed() {
+        let a = uniform_points(20, 10.0, &mut seeded_rng(9));
+        let b = uniform_points(20, 10.0, &mut seeded_rng(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,377 @@
+//! Named end-to-end scenarios: placement + interference model + valuations
+//! → a ready-to-solve [`AuctionInstance`].
+//!
+//! Every scenario is deterministic given its seed, so experiments and tests
+//! are reproducible.
+
+use crate::placement::{clustered_points, random_disks, random_links, uniform_points, PlacementConfig};
+use crate::valuations::{sample_valuations, ValuationKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use ssa_conflict_graph::certified_rho;
+use ssa_core::instance::ConflictStructure;
+use ssa_core::AuctionInstance;
+use ssa_geometry::LinkMetric;
+use ssa_interference::{
+    DiskGraphModel, PhysicalModel, PowerAssignment, PowerControlModel, ProtocolModel,
+    SinrParameters,
+};
+use ssa_conflict_graph::VertexOrdering;
+
+/// Which valuation mix a scenario uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValuationProfile {
+    /// Only XOR bidders (the default of most experiments).
+    Xor,
+    /// A mix of all implemented bidding languages.
+    Mixed,
+    /// Single-minded bidders only (hard for greedy baselines).
+    SingleMinded,
+}
+
+impl ValuationProfile {
+    fn kinds(&self) -> Vec<ValuationKind> {
+        match self {
+            ValuationProfile::Xor => vec![ValuationKind::XorBids],
+            ValuationProfile::Mixed => vec![
+                ValuationKind::XorBids,
+                ValuationKind::Additive,
+                ValuationKind::UnitDemand,
+                ValuationKind::SingleMinded,
+                ValuationKind::Symmetric,
+                ValuationKind::BudgetedAdditive,
+            ],
+            ValuationProfile::SingleMinded => vec![ValuationKind::SingleMinded],
+        }
+    }
+}
+
+/// Common scenario parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of bidders.
+    pub num_bidders: usize,
+    /// Number of channels.
+    pub num_channels: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Deployment area and clustering parameters.
+    pub placement: PlacementConfig,
+    /// Whether nodes are clustered ("urban") or uniform ("rural").
+    pub clustered: bool,
+    /// Valuation mix.
+    pub valuations: ValuationProfile,
+    /// Value range for the valuation generator.
+    pub value_range: (f64, f64),
+}
+
+impl ScenarioConfig {
+    /// A reasonable default configuration for `n` bidders and `k` channels.
+    pub fn new(num_bidders: usize, num_channels: usize, seed: u64) -> Self {
+        ScenarioConfig {
+            num_bidders,
+            num_channels,
+            seed,
+            placement: PlacementConfig::default(),
+            clustered: false,
+            valuations: ValuationProfile::Xor,
+            value_range: (1.0, 10.0),
+        }
+    }
+
+    fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    fn points(&self, rng: &mut StdRng) -> Vec<ssa_geometry::Point2D> {
+        if self.clustered {
+            clustered_points(self.num_bidders, &self.placement, rng)
+        } else {
+            uniform_points(self.num_bidders, self.placement.area_side, rng)
+        }
+    }
+}
+
+/// A generated instance together with provenance information used by the
+/// experiment reports.
+#[derive(Clone)]
+pub struct GeneratedInstance {
+    /// The auction instance (conflict structure, ordering, ρ, valuations).
+    pub instance: AuctionInstance,
+    /// Name of the interference model that produced it.
+    pub model_name: String,
+    /// The ρ certified for the instance's ordering.
+    pub certified_rho: f64,
+    /// The model's closed-form ρ bound, if any.
+    pub theoretical_rho: Option<f64>,
+}
+
+/// Protocol-model scenario (binary conflict graph, Proposition 13).
+pub fn protocol_scenario(config: &ScenarioConfig, delta: f64) -> GeneratedInstance {
+    let mut rng = config.rng();
+    let points = config.points(&mut rng);
+    let links = random_links(&points, 1.0, 4.0, &mut rng);
+    let model = ProtocolModel::new(links, delta).build();
+    let bidders = sample_valuations(
+        config.num_bidders,
+        &config.valuations.kinds(),
+        config.num_channels,
+        config.value_range.0,
+        config.value_range.1,
+        &mut rng,
+    );
+    let rho = model.rho_for_lp();
+    let instance = AuctionInstance::new(
+        config.num_channels,
+        bidders,
+        ConflictStructure::Binary(model.graph.clone()),
+        model.ordering.clone(),
+        rho,
+    );
+    GeneratedInstance {
+        instance,
+        model_name: model.name,
+        certified_rho: model.certified_rho.rho,
+        theoretical_rho: model.theoretical_rho,
+    }
+}
+
+/// Disk-graph transmitter scenario (binary conflict graph, Proposition 9).
+pub fn disk_scenario(config: &ScenarioConfig, min_radius: f64, max_radius: f64) -> GeneratedInstance {
+    let mut rng = config.rng();
+    let points = config.points(&mut rng);
+    let disks = random_disks(&points, min_radius, max_radius, &mut rng);
+    let model = DiskGraphModel::new(disks).build();
+    let bidders = sample_valuations(
+        config.num_bidders,
+        &config.valuations.kinds(),
+        config.num_channels,
+        config.value_range.0,
+        config.value_range.1,
+        &mut rng,
+    );
+    let rho = model.rho_for_lp();
+    let instance = AuctionInstance::new(
+        config.num_channels,
+        bidders,
+        ConflictStructure::Binary(model.graph.clone()),
+        model.ordering.clone(),
+        rho,
+    );
+    GeneratedInstance {
+        instance,
+        model_name: model.name,
+        certified_rho: model.certified_rho.rho,
+        theoretical_rho: model.theoretical_rho,
+    }
+}
+
+/// Physical-model scenario with fixed powers (edge-weighted conflict graph,
+/// Proposition 15). Also returns the underlying [`PhysicalModel`] so
+/// experiments can re-check SINR feasibility of allocations.
+pub fn physical_scenario(
+    config: &ScenarioConfig,
+    params: SinrParameters,
+    power: PowerAssignment,
+) -> (GeneratedInstance, PhysicalModel) {
+    let mut rng = config.rng();
+    let points = config.points(&mut rng);
+    let links = random_links(&points, 1.0, 4.0, &mut rng);
+    let physical = PhysicalModel::new(LinkMetric::from_links(&links), params, &power);
+    let model = physical.build();
+    let bidders = sample_valuations(
+        config.num_bidders,
+        &config.valuations.kinds(),
+        config.num_channels,
+        config.value_range.0,
+        config.value_range.1,
+        &mut rng,
+    );
+    let rho = model.rho_for_lp();
+    let instance = AuctionInstance::new(
+        config.num_channels,
+        bidders,
+        ConflictStructure::Weighted(model.graph.clone()),
+        model.ordering.clone(),
+        rho,
+    );
+    (
+        GeneratedInstance {
+            instance,
+            model_name: model.name,
+            certified_rho: model.certified_rho.rho,
+            theoretical_rho: model.theoretical_rho,
+        },
+        physical,
+    )
+}
+
+/// Physical-model scenario with power control (Theorem 17 weights). Returns
+/// the [`PowerControlModel`] so experiments can compute the actual powers
+/// for the winners of each channel.
+pub fn power_control_scenario(
+    config: &ScenarioConfig,
+    params: SinrParameters,
+) -> (GeneratedInstance, PowerControlModel) {
+    let mut rng = config.rng();
+    let points = config.points(&mut rng);
+    let links = random_links(&points, 1.0, 4.0, &mut rng);
+    let pc = PowerControlModel::new(LinkMetric::from_links(&links), params);
+    let model = pc.build();
+    let bidders = sample_valuations(
+        config.num_bidders,
+        &config.valuations.kinds(),
+        config.num_channels,
+        config.value_range.0,
+        config.value_range.1,
+        &mut rng,
+    );
+    let rho = model.rho_for_lp();
+    let instance = AuctionInstance::new(
+        config.num_channels,
+        bidders,
+        ConflictStructure::Weighted(model.graph.clone()),
+        model.ordering.clone(),
+        rho,
+    );
+    (
+        GeneratedInstance {
+            instance,
+            model_name: model.name,
+            certified_rho: model.certified_rho.rho,
+            theoretical_rho: model.theoretical_rho,
+        },
+        pc,
+    )
+}
+
+/// Asymmetric-channel scenario (Section 6): each channel gets its own
+/// protocol-model conflict graph built from an independent link placement
+/// (modelling, e.g., per-channel primary users that block different areas).
+pub fn asymmetric_scenario(config: &ScenarioConfig, delta: f64) -> GeneratedInstance {
+    let mut rng = config.rng();
+    let mut graphs = Vec::with_capacity(config.num_channels);
+    for _ in 0..config.num_channels {
+        let points = config.points(&mut rng);
+        let links = random_links(&points, 1.0, 4.0, &mut rng);
+        graphs.push(ProtocolModel::new(links, delta).conflict_graph());
+    }
+    let bidders = sample_valuations(
+        config.num_bidders,
+        &config.valuations.kinds(),
+        config.num_channels,
+        config.value_range.0,
+        config.value_range.1,
+        &mut rng,
+    );
+    let ordering = VertexOrdering::identity(config.num_bidders);
+    let rho = graphs
+        .iter()
+        .map(|g| certified_rho(g, &ordering).rho_ceil())
+        .fold(1.0f64, f64::max);
+    let certified = rho;
+    let instance = AuctionInstance::new(
+        config.num_channels,
+        bidders,
+        ConflictStructure::AsymmetricBinary(graphs),
+        ordering,
+        rho,
+    );
+    GeneratedInstance {
+        instance,
+        model_name: format!("asymmetric-protocol(delta={delta},k={})", config.num_channels),
+        certified_rho: certified,
+        theoretical_rho: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_core::solver::SpectrumAuctionSolver;
+
+    #[test]
+    fn protocol_scenario_builds_consistent_instances() {
+        let config = ScenarioConfig::new(20, 3, 42);
+        let generated = protocol_scenario(&config, 1.0);
+        assert_eq!(generated.instance.num_bidders(), 20);
+        assert_eq!(generated.instance.num_channels, 3);
+        assert!(generated.instance.rho >= 1.0);
+        assert!(generated.certified_rho <= generated.theoretical_rho.unwrap() + 1e-9);
+        // reproducibility
+        let again = protocol_scenario(&config, 1.0);
+        assert_eq!(
+            generated.instance.welfare_upper_bound(),
+            again.instance.welfare_upper_bound()
+        );
+    }
+
+    #[test]
+    fn disk_scenario_is_solvable_end_to_end() {
+        let config = ScenarioConfig::new(15, 2, 7);
+        let generated = disk_scenario(&config, 3.0, 8.0);
+        let solver = SpectrumAuctionSolver::default();
+        let outcome = solver.solve(&generated.instance);
+        assert!(outcome.allocation.is_feasible(&generated.instance));
+        assert!(outcome.lp_objective > 0.0);
+    }
+
+    #[test]
+    fn physical_scenario_produces_weighted_instances() {
+        let config = ScenarioConfig::new(12, 2, 11);
+        let (generated, physical) =
+            physical_scenario(&config, SinrParameters::new(3.0, 1.0, 0.01), PowerAssignment::Uniform);
+        assert!(generated.instance.conflicts.is_weighted());
+        assert_eq!(physical.num_links(), 12);
+        let solver = SpectrumAuctionSolver::default();
+        let outcome = solver.solve(&generated.instance);
+        assert!(outcome.allocation.is_feasible(&generated.instance));
+    }
+
+    #[test]
+    fn power_control_scenario_schedules_winning_sets() {
+        let config = ScenarioConfig::new(10, 2, 13);
+        let (generated, pc) = power_control_scenario(&config, SinrParameters::new(3.0, 1.0, 0.05));
+        let solver = SpectrumAuctionSolver::default();
+        let outcome = solver.solve(&generated.instance);
+        // every channel's winner set is independent in the Theorem 17 graph,
+        // hence schedulable by the power-control procedure
+        for j in 0..generated.instance.num_channels {
+            let winners = outcome.allocation.winners_of_channel(j);
+            assert!(
+                pc.power_control(&winners).is_some(),
+                "winners of channel {j} ({winners:?}) could not be power-controlled"
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_scenario_has_one_graph_per_channel() {
+        let config = ScenarioConfig::new(12, 3, 17);
+        let generated = asymmetric_scenario(&config, 1.0);
+        assert!(generated.instance.conflicts.is_asymmetric());
+        assert_eq!(generated.instance.num_channels, 3);
+        let solver = SpectrumAuctionSolver::default();
+        let outcome = solver.solve(&generated.instance);
+        assert!(outcome.allocation.is_feasible(&generated.instance));
+    }
+
+    #[test]
+    fn clustered_scenarios_produce_denser_conflict_graphs() {
+        let mut uniform_cfg = ScenarioConfig::new(40, 2, 23);
+        uniform_cfg.clustered = false;
+        let mut clustered_cfg = ScenarioConfig::new(40, 2, 23);
+        clustered_cfg.clustered = true;
+        let g_uniform = protocol_scenario(&uniform_cfg, 1.0);
+        let g_clustered = protocol_scenario(&clustered_cfg, 1.0);
+        let edges = |gi: &GeneratedInstance| match &gi.instance.conflicts {
+            ConflictStructure::Binary(g) => g.num_edges(),
+            _ => unreachable!(),
+        };
+        assert!(
+            edges(&g_clustered) >= edges(&g_uniform),
+            "clustered placements should have at least as many conflicts"
+        );
+    }
+}

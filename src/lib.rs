@@ -1,0 +1,39 @@
+//! # spectrum-auctions
+//!
+//! Facade crate for the reproduction of *"Approximation Algorithms for
+//! Secondary Spectrum Auctions"* (Hoefer, Kesselheim, Vöcking; SPAA 2011).
+//!
+//! The workspace implements combinatorial auctions with (edge-weighted)
+//! conflict graphs: `n` bidders bid on bundles of `k` channels, a channel can
+//! be shared by any independent set of the conflict graph, and the algorithms
+//! approximate the social-welfare maximizing allocation within `O(ρ·√k)`
+//! (unweighted graphs) resp. `O(ρ·√k·log n)` (edge-weighted graphs), where ρ
+//! is the inductive independence number. Interference models (protocol
+//! model, disk graphs, distance-2 constraints, SINR physical model) supply
+//! conflict graphs with provably small ρ, and the Lavi–Swamy framework turns
+//! the approximation algorithms into truthful-in-expectation mechanisms.
+//!
+//! Each sub-crate is re-exported here under a short module name; see the
+//! individual crates for full documentation:
+//!
+//! * [`conflict_graph`] — conflict graphs, independent sets, inductive
+//!   independence number.
+//! * [`geometry`] — points, metrics, disks, links.
+//! * [`interference`] — protocol / 802.11 / distance-2 / physical (SINR)
+//!   models producing conflict graphs with certified ρ.
+//! * [`lp`] — the LP solver (two-phase simplex + column generation).
+//! * [`auction`] — the combinatorial auction: valuations, demand oracles,
+//!   LP relaxations (1)/(4), rounding Algorithms 1–3, baselines, exact
+//!   solver, asymmetric channels.
+//! * [`mechanism`] — Lavi–Swamy decomposition and the truthful-in-expectation
+//!   mechanism.
+//! * [`workloads`] — synthetic instance generators used by the examples,
+//!   tests and benchmarks.
+
+pub use ssa_conflict_graph as conflict_graph;
+pub use ssa_core as auction;
+pub use ssa_geometry as geometry;
+pub use ssa_interference as interference;
+pub use ssa_lp as lp;
+pub use ssa_mechanism as mechanism;
+pub use ssa_workloads as workloads;
