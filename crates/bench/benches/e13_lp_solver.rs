@@ -1,0 +1,149 @@
+//! E13 kernels: the LP-solver overhaul.
+//!
+//! Two comparisons across n ∈ {50, 200, 800}:
+//!
+//! * `dense` vs `revised` — one-shot solves of random sparse packing LPs
+//!   (the shape of relaxations (1)/(4)),
+//! * `cg_cold` vs `cg_warm` — the same column-generation run with every
+//!   master re-solve from scratch vs warm-started from the previous
+//!   round's optimal basis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssa_lp::column_generation::{ColumnGeneration, GeneratedColumn, MasterProblem};
+use ssa_lp::{dense, solve, LinearProgram, LpStatus, Relation, Sense, SimplexOptions};
+use std::time::Duration;
+
+/// Random sparse packing LP: `cols` variables, `cols / 2` rows, ~8 non-zero
+/// coefficients per row.
+fn random_packing_lp(seed: u64, cols: usize) -> LinearProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = (cols / 2).max(1);
+    let per_row = 8.min(cols);
+    let mut lp = LinearProgram::new(Sense::Maximize);
+    for _ in 0..cols {
+        lp.add_variable(rng.random_range(1.0..10.0));
+    }
+    for _ in 0..rows {
+        let mut coeffs = Vec::with_capacity(per_row);
+        for _ in 0..per_row {
+            coeffs.push((rng.random_range(0..cols), rng.random_range(0.1..3.0)));
+        }
+        lp.add_constraint(coeffs, Relation::Le, rng.random_range(2.0..15.0));
+    }
+    lp
+}
+
+/// Knapsack-with-bounds master over `n` items: 1 capacity row + n bound
+/// rows, priced one best-reduced-cost item per round — the link-auction
+/// column-generation shape with an m × m-ish master and one new column per
+/// re-solve.
+struct KnapsackInstance {
+    values: Vec<f64>,
+    weights: Vec<f64>,
+    capacity: f64,
+}
+
+impl KnapsackInstance {
+    fn new(seed: u64, n: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        KnapsackInstance {
+            values: (0..n).map(|_| rng.random_range(1.0..10.0)).collect(),
+            weights: (0..n).map(|_| rng.random_range(0.5..4.0)).collect(),
+            capacity: n as f64 / 8.0,
+        }
+    }
+
+    fn master(&self) -> MasterProblem {
+        let mut rows = vec![(Relation::Le, self.capacity)];
+        for _ in 0..self.values.len() {
+            rows.push((Relation::Le, 1.0));
+        }
+        MasterProblem::new(Sense::Maximize, rows)
+    }
+
+    fn best_column(&self, duals: &[f64]) -> Vec<GeneratedColumn> {
+        let mut best: Option<(f64, GeneratedColumn)> = None;
+        for i in 0..self.values.len() {
+            let col = GeneratedColumn {
+                objective: self.values[i],
+                coeffs: vec![(0, self.weights[i]), (i + 1, 1.0)],
+                tag: i as u64,
+            };
+            let rc = col.reduced_cost(duals);
+            if rc > 1e-7 && best.as_ref().map(|(b, _)| rc > *b).unwrap_or(true) {
+                best = Some((rc, col));
+            }
+        }
+        best.map(|(_, c)| c).into_iter().collect()
+    }
+
+    /// Column generation with warm-started master re-solves (the default).
+    fn run_warm(&self) -> f64 {
+        let cg = ColumnGeneration::default();
+        let mut master = self.master();
+        let mut source = |duals: &[f64]| self.best_column(duals);
+        let result = cg.run(&mut master, &mut source).expect("cg failed");
+        result.solution.objective
+    }
+
+    /// The same pricing loop with every master re-solve from a cold start
+    /// (the seed behavior).
+    fn run_cold(&self) -> f64 {
+        let options = SimplexOptions::default();
+        let mut master = self.master();
+        loop {
+            let solution = master.solve(&options);
+            assert_eq!(solution.status, LpStatus::Optimal);
+            let mut added = false;
+            for col in self.best_column(&solution.duals) {
+                if col.reduced_cost(&solution.duals) > 1e-7 && master.add_column(col) {
+                    added = true;
+                }
+            }
+            if !added {
+                return solution.objective;
+            }
+        }
+    }
+}
+
+fn bench_e13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_lp_solver");
+    for &n in &[50usize, 200, 800] {
+        let lp = random_packing_lp(77 + n as u64, n);
+        group.bench_with_input(BenchmarkId::new("dense", n), &lp, |b, lp| {
+            b.iter(|| dense::solve(lp, &SimplexOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("revised", n), &lp, |b, lp| {
+            b.iter(|| solve(lp, &SimplexOptions::default()))
+        });
+
+        let knapsack = KnapsackInstance::new(13 + n as u64, n);
+        // consistency first: both paths must agree before being timed
+        let warm = knapsack.run_warm();
+        let cold = knapsack.run_cold();
+        assert!(
+            (warm - cold).abs() < 1e-5 * (1.0 + warm.abs()),
+            "warm {warm} vs cold {cold} at n = {n}"
+        );
+        group.bench_with_input(BenchmarkId::new("cg_cold", n), &knapsack, |b, k| {
+            b.iter(|| k.run_cold())
+        });
+        group.bench_with_input(BenchmarkId::new("cg_warm", n), &knapsack, |b, k| {
+            b.iter(|| k.run_warm())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_e13 }
+criterion_main!(benches);

@@ -42,6 +42,19 @@ fn main() {
         if fs::write(&path, table.to_json()).is_ok() {
             println!("   (written to {path})");
         }
+        // E12 doubles as the repo-root scalability snapshot: future PRs diff
+        // BENCH_e12.json to track the perf trajectory over time. Only
+        // full-mode runs refresh it — a --quick smoke run must not clobber
+        // the committed baseline with shrunken sweeps.
+        if table.id == "E12" && !quick {
+            let snapshot = format!(
+                "{{\n  \"mode\": \"full\",\n  \"table\": {}\n}}",
+                table.to_json()
+            );
+            if fs::write("BENCH_e12.json", snapshot).is_ok() {
+                println!("   (scalability snapshot written to BENCH_e12.json)");
+            }
+        }
         println!();
     }
     println!(

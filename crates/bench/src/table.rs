@@ -66,8 +66,41 @@ impl Table {
     }
 
     /// Serializes the table to pretty JSON.
+    ///
+    /// Hand-rolled (the offline build has no `serde_json`): tables are pure
+    /// string data, so escaping strings is all that is needed.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("tables are always serializable")
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn string_array(items: &[String], indent: &str) -> String {
+            let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+            format!("{indent}[{}]", quoted.join(", "))
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": \"{}\",\n", esc(&self.id)));
+        out.push_str(&format!("  \"caption\": \"{}\",\n", esc(&self.caption)));
+        out.push_str(&format!("  \"columns\": {},\n", string_array(&self.columns, "").trim_start()));
+        out.push_str("  \"rows\": [\n");
+        let rows: Vec<String> = self.rows.iter().map(|r| string_array(r, "    ")).collect();
+        out.push_str(&rows.join(",\n"));
+        out.push('\n');
+        out.push_str("  ]\n");
+        out.push('}');
+        out
     }
 }
 

@@ -1,0 +1,254 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the `ssa-bench` benches use (`Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!`, `black_box`) with a simple measurement loop: a short
+//! warm-up, then timed batches until `measurement_time` elapses or
+//! `sample_size` samples are collected, reporting mean/min per iteration.
+//! No statistical analysis, HTML reports, or comparison against saved
+//! baselines — but the printed numbers are honest wall-clock measurements,
+//! which is what the perf acceptance criteria in this repository use.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing loop handed to bench closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+}
+
+impl Bencher<'_> {
+    /// Runs the routine repeatedly, timing each sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up: at least one call, at most warm_up_time
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.config.sample_size);
+        let measure_start = Instant::now();
+        while samples.len() < self.config.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            samples.push(t.elapsed());
+            if measure_start.elapsed() >= self.config.measurement_time && !samples.is_empty() {
+                break;
+            }
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "  {:<50} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+            self.config.current_id, mean, min,
+            samples.len()
+        );
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    current_id: String,
+    filter: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(300),
+            current_id: String::new(),
+            filter: None,
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Clone, Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`--bench` is ignored; the first free
+    /// argument becomes a substring filter, as with real criterion).
+    pub fn configure_from_args(mut self) -> Self {
+        let free: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        if let Some(f) = free.first() {
+            self.config.filter = Some(f.clone());
+        }
+        self
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        match &self.config.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if !self.should_run(id) {
+            return;
+        }
+        self.config.current_id = id.to_string();
+        let mut bencher = Bencher {
+            config: &self.config,
+        };
+        f(&mut bencher);
+    }
+
+    /// Prints the closing summary (no-op in the stand-in).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.should_run(&full) {
+            self.criterion.config.current_id = full;
+            let mut bencher = Bencher {
+                config: &self.criterion.config,
+            };
+            f(&mut bencher, input);
+        }
+        self
+    }
+
+    /// Runs a benchmark without separate input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.should_run(&full) {
+            self.criterion.config.current_id = full;
+            let mut bencher = Bencher {
+                config: &self.criterion.config,
+            };
+            f(&mut bencher);
+        }
+        self
+    }
+
+    /// Overrides the sample size for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group in either the positional or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}

@@ -1,0 +1,520 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crate-registry access, so this workspace-local
+//! crate implements the subset of proptest the test suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * the [`prop_compose!`] macro (single and two-stage forms),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//! * strategies: numeric ranges, tuples (arity 2–6), [`strategy::Just`],
+//!   `prop::collection::vec`, `prop::array::uniform4`, `prop::bool::ANY`,
+//!   and [`arbitrary::any`] for a few primitive types.
+//!
+//! Semantics: each test runs `cases` deterministic random samples (seeded
+//! per case index, so failures are reproducible run-to-run). There is **no
+//! shrinking** — a failing case reports its inputs via the panic message of
+//! the underlying assertion instead. That is a weaker debugging experience
+//! than real proptest but identical pass/fail power.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (subset of proptest's).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps the no-shrinking runner fast
+            // while retaining useful coverage.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Error type carried by `prop_assert*` failures.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The deterministic RNG driving strategy sampling.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// RNG for case number `case`; the fixed stream constant keeps runs
+        /// reproducible across processes.
+        pub fn deterministic(case: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(0x5EED_5EED ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A value generator. Unlike real proptest there is no value tree /
+    /// shrinking: `sample` draws one concrete value.
+    pub trait Strategy {
+        /// Type of generated values.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Blanket impl so strategies can be passed by reference.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Constant strategy: always yields a clone of the value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy backed by a sampling closure (used by `prop_compose!`).
+    pub struct SampleFn<F> {
+        f: F,
+    }
+
+    impl<F> SampleFn<F> {
+        /// Wraps a closure drawing values from the RNG.
+        pub fn new(f: F) -> Self {
+            SampleFn { f }
+        }
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for SampleFn<F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.0.random::<bool>()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.0.random::<u64>()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.0.random::<u32>()
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> usize {
+            rng.0.random::<u64>() as usize
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.0.random::<f64>()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// The `prop::` strategy-combinator namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Length specification for [`vec`]: a fixed size or a half-open
+        /// range of sizes.
+        #[derive(Clone, Debug)]
+        pub enum SizeRange {
+            /// Exactly this many elements.
+            Fixed(usize),
+            /// Uniformly between `.0` (inclusive) and `.1` (exclusive).
+            Between(usize, usize),
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange::Fixed(n)
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                SizeRange::Between(r.start, r.end)
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with length drawn from a
+        /// [`SizeRange`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = match self.size {
+                    SizeRange::Fixed(n) => n,
+                    SizeRange::Between(lo, hi) => {
+                        if lo >= hi {
+                            lo
+                        } else {
+                            rng.0.random_range(lo..hi)
+                        }
+                    }
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for `[S::Value; 4]`.
+        pub struct UniformArray4<S>(S);
+
+        impl<S: Strategy> Strategy for UniformArray4<S> {
+            type Value = [S::Value; 4];
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                [
+                    self.0.sample(rng),
+                    self.0.sample(rng),
+                    self.0.sample(rng),
+                    self.0.sample(rng),
+                ]
+            }
+        }
+
+        /// `prop::array::uniform4(element)`.
+        pub fn uniform4<S: Strategy>(element: S) -> UniformArray4<S> {
+            UniformArray4(element)
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// Strategy yielding fair coin flips.
+        #[derive(Clone, Copy, Debug)]
+        pub struct BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = core::primitive::bool;
+            fn sample(&self, rng: &mut TestRng) -> core::primitive::bool {
+                rng.0.random::<core::primitive::bool>()
+            }
+        }
+
+        /// `prop::bool::ANY`.
+        pub const ANY: BoolAny = BoolAny;
+    }
+}
+
+/// Everything test modules import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
+}
+
+/// Declares property tests: each `fn name(bindings) { body }` becomes a
+/// `#[test]`-style function running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(case as u64);
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!("property failed on case {case}: {e}");
+                }
+            }
+        }
+    )*};
+}
+
+/// Declares a named strategy built by sampling sub-strategies and mapping
+/// the results through a body (supports the one- and two-stage forms).
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])* $vis:vis fn $name:ident($($args:tt)*)
+        ($($pat1:pat_param in $strat1:expr),+ $(,)?)
+        ($($pat2:pat_param in $strat2:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])* $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::SampleFn::new(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $pat1 = $crate::strategy::Strategy::sample(&($strat1), __rng);)+
+                $(let $pat2 = $crate::strategy::Strategy::sample(&($strat2), __rng);)+
+                $body
+            })
+        }
+    };
+    (
+        $(#[$meta:meta])* $vis:vis fn $name:ident($($args:tt)*)
+        ($($pat1:pat_param in $strat1:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])* $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::SampleFn::new(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $pat1 = $crate::strategy::Strategy::sample(&($strat1), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn pair()(n in 1usize..10)
+                 (n in Just(n), v in prop::collection::vec(0usize..100, 0..20)) -> (usize, Vec<usize>) {
+            (n, v)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0usize..10, y in -1.0f64..1.0, b in prop::bool::ANY) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+            let _ = b;
+        }
+
+        #[test]
+        fn composed_strategy_works((n, v) in pair()) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(v.len() < 20);
+        }
+
+        #[test]
+        fn tuples_and_vec(pts in prop::collection::vec((0.0f64..5.0, 0u8..3), 4)) {
+            prop_assert_eq!(pts.len(), 4);
+            for &(x, r) in &pts {
+                prop_assert!(x < 5.0 && r < 3);
+            }
+        }
+
+        #[test]
+        fn any_values(seed in any::<u64>(), flag in any::<bool>()) {
+            let _ = (seed, flag);
+            prop_assert_ne!(1usize, 2usize);
+        }
+    }
+
+    #[test]
+    fn assertion_failure_panics() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(1))]
+                #[allow(unused)]
+                fn always_fails(x in 0usize..2) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,296 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The container has no registry access, so this crate provides the small
+//! `par_iter` surface the workspace uses, executed with plain
+//! `std::thread::scope` fork-join over contiguous index chunks:
+//!
+//! * `(a..b).into_par_iter().map(f).collect::<Vec<_>>()` / `.for_each(f)`
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` / `.for_each(f)`
+//! * [`join`] for two-way fork-join
+//!
+//! Unlike real rayon there is no work-stealing pool: each call spawns up to
+//! `available_parallelism` scoped threads over equal chunks. For the
+//! regular, per-row workloads in this repository (conflict-graph row
+//! construction, independent rounding trials) static chunking is within a
+//! few percent of work-stealing, and results are always collected in input
+//! order, preserving determinism.
+
+use std::num::NonZeroUsize;
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Minimum items per spawned thread; below this the call runs serially to
+/// avoid thread-spawn overhead dominating tiny workloads.
+const MIN_CHUNK: usize = 16;
+
+fn run_indexed<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = num_threads().min(len / MIN_CHUNK.max(1)).max(1);
+    if threads <= 1 || len == 0 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(len);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            parts.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Two-way fork-join: runs both closures, the second on a scoped thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        rb = Some(hb.join().expect("parallel worker panicked"));
+        ra
+    });
+    (ra, rb.unwrap())
+}
+
+/// Conversion into a parallel iterator (ranges, vectors).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Parallel-iterator type.
+    type Iter;
+    /// Converts self.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` on borrowed slices/vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: 'a;
+    /// Parallel-iterator type.
+    type Iter;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over `usize` indices `start..end`.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+impl ParRange {
+    /// Maps each index through `f` (evaluated on collect/for_each).
+    pub fn map<T, F: Fn(usize) -> T + Sync>(self, f: F) -> ParRangeMap<F> {
+        ParRangeMap { range: self, f }
+    }
+
+    /// Runs `f` for every index in parallel.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        run_indexed(self.end - self.start, |i| f(self.start + i));
+    }
+}
+
+/// Mapped parallel range.
+pub struct ParRangeMap<F> {
+    range: ParRange,
+    f: F,
+}
+
+impl<T: Send, F: Fn(usize) -> T + Sync> ParRangeMap<F> {
+    /// Executes the map in parallel, collecting results in index order.
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        let start = self.range.start;
+        let f = self.f;
+        C::from(run_indexed(self.range.end - start, |i| f(start + i)))
+    }
+
+    /// Executes the map for its side effects.
+    pub fn for_each(self) {
+        let start = self.range.start;
+        let f = self.f;
+        run_indexed(self.range.end - start, |i| {
+            f(start + i);
+        });
+    }
+
+    /// Sums the mapped values.
+    pub fn sum<S: std::iter::Sum<T> + Send>(self) -> S {
+        let start = self.range.start;
+        let f = self.f;
+        run_indexed(self.range.end - start, |i| f(start + i))
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Maps each element reference through `f`.
+    pub fn map<U, F: Fn(&'a T) -> U + Sync>(self, f: F) -> ParSliceMap<'a, T, F> {
+        ParSliceMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        run_indexed(self.slice.len(), |i| f(&self.slice[i]));
+    }
+
+    /// Enumerated variant yielding `(index, &item)`.
+    pub fn enumerate(self) -> ParSliceEnumerate<'a, T> {
+        ParSliceEnumerate { slice: self.slice }
+    }
+}
+
+/// Mapped borrowing parallel iterator.
+pub struct ParSliceMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParSliceMap<'a, T, F> {
+    /// Executes in parallel, collecting in input order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let (slice, f) = (self.slice, self.f);
+        C::from(run_indexed(slice.len(), |i| f(&slice[i])))
+    }
+
+    /// Sums the mapped values.
+    pub fn sum<S: std::iter::Sum<U> + Send>(self) -> S {
+        let (slice, f) = (self.slice, self.f);
+        run_indexed(slice.len(), |i| f(&slice[i])).into_iter().sum()
+    }
+}
+
+/// Enumerated borrowing parallel iterator.
+pub struct ParSliceEnumerate<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSliceEnumerate<'a, T> {
+    /// Maps each `(index, &item)` pair through `f`.
+    pub fn map<U, F: Fn((usize, &'a T)) -> U + Sync>(
+        self,
+        f: F,
+    ) -> ParSliceEnumerateMap<'a, T, F> {
+        ParSliceEnumerateMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Runs `f` on every `(index, &item)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &'a T)) + Sync>(self, f: F) {
+        run_indexed(self.slice.len(), |i| f((i, &self.slice[i])));
+    }
+}
+
+/// Mapped enumerated borrowing parallel iterator.
+pub struct ParSliceEnumerateMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn((usize, &'a T)) -> U + Sync> ParSliceEnumerateMap<'a, T, F> {
+    /// Executes in parallel, collecting in input order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let (slice, f) = (self.slice, self.f);
+        C::from(run_indexed(slice.len(), |i| f((i, &slice[i]))))
+    }
+}
+
+/// The glob import module mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{join, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn slice_par_iter_sums() {
+        let data: Vec<u64> = (0..500).collect();
+        let s: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 499 * 500 / 2);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn small_inputs_run_serially_and_correctly() {
+        let v: Vec<usize> = (0..3).into_par_iter().map(|i| i).collect();
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+}

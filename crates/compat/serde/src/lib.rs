@@ -1,0 +1,38 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The container cannot reach a crate registry, so this workspace-local
+//! crate satisfies the seed code's `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` without pulling the real dependency.
+//! The traits are markers with blanket impls: nothing in the workspace
+//! drives serialization through serde (the experiment harness writes JSON by
+//! hand), so derive expansion is a no-op (see `crates/compat/serde_derive`).
+//!
+//! If the real `serde` becomes available, deleting the two compat crates and
+//! pointing the workspace dependency at the registry restores full behavior
+//! with no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod markers {
+    /// Marker trait mirroring `serde::Serialize`; blanket-implemented.
+    pub trait Serialize {}
+    impl<T: ?Sized> Serialize for T {}
+
+    /// Marker trait mirroring `serde::Deserialize`; blanket-implemented.
+    pub trait Deserialize<'de> {}
+    impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+    /// Marker trait mirroring `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+/// Mirror of `serde::de` exposing the owned-deserialization marker.
+pub mod de {
+    pub use super::markers::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use super::markers::Serialize;
+}

@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` implementations.
+//!
+//! The build container has no network access, so the real `serde_derive`
+//! cannot be fetched. The workspace only uses the derives as markers (no
+//! code actually serializes through serde — JSON output is hand-rolled in
+//! `ssa-bench`), so expanding to nothing is sufficient: the companion
+//! `serde` compat crate provides blanket trait impls.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `serde` compat crate blanket-implements the trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the `serde` compat crate blanket-implements the trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

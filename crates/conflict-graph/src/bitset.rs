@@ -24,12 +24,18 @@ impl BitSet {
     }
 
     /// Creates a bit set containing every element of the universe `0..len`.
+    ///
+    /// Fills whole `u64` words and masks the tail — `O(len/64)` instead of
+    /// the per-bit insert loop this used to be.
     pub fn full(len: usize) -> Self {
-        let mut s = Self::new(len);
-        for i in 0..len {
-            s.insert(i);
+        let mut words = vec![!0u64; len.div_ceil(64)];
+        let tail_bits = len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << tail_bits) - 1;
+            }
         }
-        s
+        BitSet { words, len }
     }
 
     /// Creates a bit set from an iterator of indices.
@@ -39,7 +45,8 @@ impl BitSet {
     pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, iter: I) -> Self {
         let mut s = Self::new(len);
         for i in iter {
-            s.insert(i);
+            assert!(i < len, "index {i} out of bounds for BitSet of len {len}");
+            s.words[i / 64] |= 1u64 << (i % 64);
         }
         s
     }
@@ -80,9 +87,19 @@ impl BitSet {
         self.words[idx / 64] & (1 << (idx % 64)) != 0
     }
 
-    /// Number of elements in the set.
+    /// Number of elements in the set (word-level popcount).
     pub fn count(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Alias of [`BitSet::count`] matching the `u64::count_ones` naming.
+    pub fn count_ones(&self) -> usize {
+        self.count()
+    }
+
+    /// The backing `u64` words (low bit of word 0 is element 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Returns `true` if the set is empty.
@@ -113,13 +130,19 @@ impl BitSet {
         })
     }
 
-    /// Returns the number of elements present in both `self` and `other`.
+    /// Returns the number of elements present in both `self` and `other`
+    /// (word-level `and` + popcount, no per-bit work).
     pub fn intersection_count(&self, other: &BitSet) -> usize {
         self.words
             .iter()
             .zip(other.words.iter())
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
+    }
+
+    /// Alias of [`BitSet::intersection_count`].
+    pub fn intersect_count(&self, other: &BitSet) -> usize {
+        self.intersection_count(other)
     }
 
     /// Returns `true` if `self` and `other` share at least one element.
@@ -157,6 +180,12 @@ impl BitSet {
     /// Returns `true` if every element of `self` is contained in `other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
         self.words.iter().zip(other.words.iter()).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Alias of [`BitSet::iter`]: walks set bits word by word with
+    /// `trailing_zeros`, never visiting empty words bit-by-bit.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.iter()
     }
 
     /// Collects the contents into a `Vec<usize>`.
@@ -201,6 +230,32 @@ mod tests {
         assert_eq!(s.count(), 77);
         assert!((0..77).all(|i| s.contains(i)));
         assert!(!s.contains(77));
+    }
+
+    #[test]
+    fn full_masks_the_tail_word_exactly() {
+        // word-boundary universes: the tail mask must not leak ghost bits
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 129, 192] {
+            let s = BitSet::full(len);
+            assert_eq!(s.count(), len, "len {len}");
+            assert_eq!(s.count_ones(), len);
+            assert!(!s.contains(len));
+            assert_eq!(s.to_vec(), (0..len).collect::<Vec<_>>());
+            // complement through difference must be empty
+            let mut d = s.clone();
+            d.difference_with(&BitSet::full(len));
+            assert!(d.is_empty());
+        }
+    }
+
+    #[test]
+    fn word_level_count_aliases_agree() {
+        let a = BitSet::from_indices(200, [0, 63, 64, 127, 128, 199]);
+        let b = BitSet::from_indices(200, [63, 64, 150]);
+        assert_eq!(a.intersect_count(&b), a.intersection_count(&b));
+        assert_eq!(a.intersect_count(&b), 2);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), a.to_vec());
+        assert_eq!(a.words().len(), 200usize.div_ceil(64));
     }
 
     #[test]

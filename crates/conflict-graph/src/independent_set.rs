@@ -139,15 +139,14 @@ pub fn clique_cover_upper_bound(g: &ConflictGraph) -> usize {
         }
         cliques += 1;
         covered.insert(start);
-        // members of the current clique
-        let mut members = vec![start];
+        // `common` = vertices adjacent to every clique member so far; a
+        // word-level running intersection replaces the per-member
+        // `has_edge` scan of the previous implementation.
+        let mut common = g.adjacency_row(start).clone();
         for v in (start + 1)..n {
-            if covered.contains(v) {
-                continue;
-            }
-            if members.iter().all(|&u| g.has_edge(u, v)) {
+            if !covered.contains(v) && common.contains(v) {
                 covered.insert(v);
-                members.push(v);
+                common.intersect_with(g.adjacency_row(v));
             }
         }
     }

@@ -24,6 +24,7 @@ use crate::ordering::VertexOrdering;
 use crate::unweighted::ConflictGraph;
 use crate::weighted::WeightedConflictGraph;
 use crate::VertexId;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Default maximum backward-neighborhood size for which ρ is certified by an
@@ -64,23 +65,35 @@ pub fn certified_rho_for_ordering(
     exact_limit: usize,
 ) -> InductiveBound {
     assert_eq!(ordering.len(), g.num_vertices());
+    // Every vertex's backward-neighborhood search is independent, so the
+    // sweep — the hot loop of every interference-model build — runs one
+    // row per task in parallel and max-reduces the per-vertex values.
+    let per_vertex: Vec<(usize, bool)> = (0..g.num_vertices())
+        .into_par_iter()
+        .map(|v| {
+            let backward = ordering.backward_neighborhood(g, v);
+            if backward.len() <= exact_limit {
+                let (sub, _) = g.induced_subgraph(&backward);
+                let value =
+                    exact_max_weight_independent_set(&sub, &vec![1.0; sub.num_vertices()]).len();
+                (value, true)
+            } else {
+                // too large to search exhaustively: a greedy clique cover of
+                // the backward neighborhood still upper-bounds its
+                // independence number (and is much tighter than the
+                // neighborhood size on the geometric graphs of Section 4)
+                let (sub, _) = g.induced_subgraph(&backward);
+                let value =
+                    crate::independent_set::clique_cover_upper_bound(&sub).min(backward.len());
+                (value, false)
+            }
+        })
+        .collect();
     let mut rho = 0usize;
     let mut worst = None;
     let mut exact = true;
-    for v in 0..g.num_vertices() {
-        let backward = ordering.backward_neighborhood(g, v);
-        let value = if backward.len() <= exact_limit {
-            let (sub, _) = g.induced_subgraph(&backward);
-            exact_max_weight_independent_set(&sub, &vec![1.0; sub.num_vertices()]).len()
-        } else {
-            // too large to search exhaustively: a greedy clique cover of the
-            // backward neighborhood still upper-bounds its independence
-            // number (and is much tighter than the neighborhood size on the
-            // geometric graphs of Section 4)
-            exact = false;
-            let (sub, _) = g.induced_subgraph(&backward);
-            crate::independent_set::clique_cover_upper_bound(&sub).min(backward.len())
-        };
+    for (v, &(value, was_exact)) in per_vertex.iter().enumerate() {
+        exact &= was_exact;
         if value > rho {
             rho = value;
             worst = Some(v);
@@ -130,23 +143,31 @@ pub fn certified_rho_for_ordering_weighted(
     exact_limit: usize,
 ) -> InductiveBound {
     assert_eq!(ordering.len(), g.num_vertices());
+    // Parallel per-vertex sweep, mirroring `certified_rho_for_ordering`.
+    let per_vertex: Vec<(f64, bool)> = (0..g.num_vertices())
+        .into_par_iter()
+        .map(|v| {
+            let backward = ordering.weighted_backward_neighborhood(g, v);
+            if backward.is_empty() {
+                (0.0, true)
+            } else if backward.len() <= exact_limit {
+                let vertices: Vec<VertexId> = backward.iter().map(|&(u, _)| u).collect();
+                let weights: Vec<f64> = backward.iter().map(|&(_, w)| w).collect();
+                let sub = induced_weighted_subgraph(g, &vertices);
+                (
+                    exact_max_weight_independent_set_weighted(&sub, &weights).total_weight,
+                    true,
+                )
+            } else {
+                (backward.iter().map(|&(_, w)| w).sum(), false)
+            }
+        })
+        .collect();
     let mut rho = 0.0f64;
     let mut worst = None;
     let mut exact = true;
-    for v in 0..g.num_vertices() {
-        let backward = ordering.weighted_backward_neighborhood(g, v);
-        if backward.is_empty() {
-            continue;
-        }
-        let value = if backward.len() <= exact_limit {
-            let vertices: Vec<VertexId> = backward.iter().map(|&(u, _)| u).collect();
-            let weights: Vec<f64> = backward.iter().map(|&(_, w)| w).collect();
-            let sub = induced_weighted_subgraph(g, &vertices);
-            exact_max_weight_independent_set_weighted(&sub, &weights).total_weight
-        } else {
-            exact = false;
-            backward.iter().map(|&(_, w)| w).sum()
-        };
+    for (v, &(value, was_exact)) in per_vertex.iter().enumerate() {
+        exact &= was_exact;
         if value > rho {
             rho = value;
             worst = Some(v);

@@ -6,6 +6,7 @@
 
 use crate::bitset::BitSet;
 use crate::VertexId;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// An undirected, unweighted conflict graph over vertices `0..n`.
@@ -44,6 +45,66 @@ impl ConflictGraph {
             g.add_edge(u, v);
         }
         g
+    }
+
+    /// Builds a graph by evaluating an adjacency-row function for every
+    /// vertex **in parallel**.
+    ///
+    /// `row(v)` returns the bit set of neighbors of `v` (self-bits are
+    /// ignored). The relation is expected to be symmetric — geometric
+    /// conflict predicates (disk intersection, guard zones, distance-2) all
+    /// are — but a serial `O(nnz)` symmetrization pass repairs any stray
+    /// one-directional bits rather than producing a corrupt graph.
+    ///
+    /// This is the bulk path the interference models use: each row is an
+    /// independent computation, so construction scales with cores instead
+    /// of running the serial double loop of `add_edge`.
+    ///
+    /// # Panics
+    /// Panics if some row's universe size is not `n`.
+    pub fn from_symmetric_rows(n: usize, row: impl Fn(VertexId) -> BitSet + Sync) -> Self {
+        let rows: Vec<BitSet> = (0..n).into_par_iter().map(row).collect();
+        Self::from_bitset_rows(rows)
+    }
+
+    /// Builds a graph from precomputed adjacency rows (see
+    /// [`ConflictGraph::from_symmetric_rows`]).
+    ///
+    /// # Panics
+    /// Panics if some row's universe size differs from the number of rows.
+    pub fn from_bitset_rows(mut rows: Vec<BitSet>) -> Self {
+        let n = rows.len();
+        for (v, row) in rows.iter_mut().enumerate() {
+            assert_eq!(
+                row.universe_len(),
+                n,
+                "adjacency row {v} has universe {} but the graph has {n} vertices",
+                row.universe_len()
+            );
+            row.remove(v);
+        }
+        // Symmetrization: u ∈ rows[v] must imply v ∈ rows[u]. Collect the
+        // missing transposed bits first (cannot mutate rows while iterating
+        // them), then patch — both passes are O(nnz).
+        let mut missing: Vec<(VertexId, VertexId)> = Vec::new();
+        for (v, row) in rows.iter().enumerate() {
+            for u in row.iter() {
+                if !rows[u].contains(v) {
+                    missing.push((u, v));
+                }
+            }
+        }
+        for (u, v) in missing {
+            rows[u].insert(v);
+        }
+        let neighbors: Vec<Vec<VertexId>> = rows.par_iter().map(|row| row.to_vec()).collect();
+        let degree_sum: usize = neighbors.iter().map(Vec::len).sum();
+        ConflictGraph {
+            n,
+            adj_rows: rows,
+            neighbors,
+            num_edges: degree_sum / 2,
+        }
     }
 
     /// Creates the complete graph (clique) on `n` vertices.
@@ -262,6 +323,64 @@ mod tests {
         let dep = BitSet::from_indices(5, [0, 1]);
         assert!(g.is_independent_bitset(&ind));
         assert!(!g.is_independent_bitset(&dep));
+    }
+
+    #[test]
+    fn from_symmetric_rows_matches_edge_construction() {
+        let edges = [(0usize, 3usize), (1, 2), (4, 5), (0, 5), (2, 4)];
+        let reference = ConflictGraph::from_edges(6, &edges);
+        let parallel = ConflictGraph::from_symmetric_rows(6, |v| {
+            BitSet::from_indices(
+                6,
+                edges.iter().flat_map(|&(a, b)| {
+                    [(a, b), (b, a)]
+                        .into_iter()
+                        .filter(move |&(x, _)| x == v)
+                        .map(|(_, y)| y)
+                }),
+            )
+        });
+        assert_eq!(parallel.num_edges(), reference.num_edges());
+        for u in 0..6 {
+            for v in 0..6 {
+                assert_eq!(parallel.has_edge(u, v), reference.has_edge(u, v), "edge ({u},{v})");
+            }
+            let mut a = parallel.neighbors(u).to_vec();
+            let mut b = reference.neighbors(u).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn from_symmetric_rows_repairs_asymmetric_input_and_drops_self_loops() {
+        // row 0 claims the edge {0,1}; row 1 omits it; row 2 has a self-loop
+        let g = ConflictGraph::from_bitset_rows(vec![
+            BitSet::from_indices(3, [1]),
+            BitSet::new(3),
+            BitSet::from_indices(3, [2]),
+        ]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(2, 2));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn from_symmetric_rows_scales_to_larger_graphs() {
+        // ring of 500 vertices built in parallel, verified against add_edge
+        let n = 500;
+        let parallel = ConflictGraph::from_symmetric_rows(n, |v| {
+            BitSet::from_indices(n, [(v + 1) % n, (v + n - 1) % n])
+        });
+        let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let reference = ConflictGraph::from_edges(n, &edges);
+        assert_eq!(parallel.num_edges(), reference.num_edges());
+        for v in 0..n {
+            assert_eq!(parallel.degree(v), 2);
+        }
     }
 
     prop_compose! {

@@ -11,6 +11,7 @@
 
 use crate::unweighted::ConflictGraph;
 use crate::VertexId;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// An edge-weighted conflict graph over vertices `0..n` with directed,
@@ -36,6 +37,62 @@ impl WeightedConflictGraph {
             out: vec![Vec::new(); n],
             incoming: vec![Vec::new(); n],
         }
+    }
+
+    /// Builds a weighted graph by evaluating an incoming-weight-row function
+    /// for every vertex **in parallel**.
+    ///
+    /// `row(v)` returns the list of `(u, w(u, v))` pairs with positive
+    /// weight (self-pairs and non-positive weights are dropped; rows need
+    /// not be sorted). This replaces per-entry [`set_weight`] calls — each
+    /// of which binary-searches and shifts two sorted vectors — with one
+    /// parallel row computation plus an `O(nnz)` transpose, and is the bulk
+    /// path used by the physical (SINR) affectance matrix.
+    ///
+    /// [`set_weight`]: WeightedConflictGraph::set_weight
+    ///
+    /// # Panics
+    /// Panics if a row references a vertex `>= n` or contains a NaN weight.
+    pub fn from_incoming_rows(
+        n: usize,
+        row: impl Fn(VertexId) -> Vec<(VertexId, f64)> + Sync,
+    ) -> Self {
+        let mut incoming: Vec<Vec<(VertexId, f64)>> = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                let mut entries: Vec<(VertexId, f64)> = row(v)
+                    .into_iter()
+                    .filter(|&(u, w)| {
+                        assert!(!w.is_nan(), "weight must not be NaN");
+                        u != v && w > 0.0
+                    })
+                    .collect();
+                entries.sort_unstable_by_key(|&(u, _)| u);
+                entries.dedup_by(|a, b| {
+                    if a.0 == b.0 {
+                        b.1 += a.1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                entries
+            })
+            .collect();
+        for entries in &incoming {
+            for &(u, _) in entries {
+                assert!(u < n, "incoming row references vertex {u} out of bounds (n={n})");
+            }
+        }
+        // Transpose: iterating v in ascending order keeps each out-list
+        // sorted by target without a second sort.
+        let mut out: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); n];
+        for (v, entries) in incoming.iter_mut().enumerate() {
+            for &mut (u, w) in entries {
+                out[u].push((v, w));
+            }
+        }
+        WeightedConflictGraph { n, out, incoming }
     }
 
     /// Number of vertices.
@@ -184,6 +241,52 @@ mod tests {
         assert_eq!(g.weight(0, 1), 0.0);
         assert_eq!(g.symmetric_weight(2, 3), 0.0);
         assert!(g.is_independent(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn from_incoming_rows_matches_set_weight_construction() {
+        let n = 5;
+        let weight_of = |u: usize, v: usize| -> f64 {
+            if u == v {
+                0.0
+            } else {
+                ((u * 7 + v * 3) % 4) as f64 * 0.2
+            }
+        };
+        let mut reference = WeightedConflictGraph::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                let w = weight_of(u, v);
+                if u != v && w > 0.0 {
+                    reference.set_weight(u, v, w);
+                }
+            }
+        }
+        let bulk = WeightedConflictGraph::from_incoming_rows(n, |v| {
+            (0..n).map(|u| (u, weight_of(u, v))).collect()
+        });
+        assert_eq!(bulk.num_weighted_pairs(), reference.num_weighted_pairs());
+        for u in 0..n {
+            assert_eq!(bulk.out_neighbors(u), reference.out_neighbors(u), "out row {u}");
+            assert_eq!(bulk.in_neighbors(u), reference.in_neighbors(u), "in row {u}");
+            for v in 0..n {
+                assert_eq!(bulk.weight(u, v), reference.weight(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn from_incoming_rows_drops_self_and_nonpositive_and_merges_duplicates() {
+        let g = WeightedConflictGraph::from_incoming_rows(3, |v| match v {
+            0 => vec![(0, 5.0), (1, 0.0), (2, -1.0)], // all dropped
+            1 => vec![(0, 0.3), (0, 0.2)],            // merged to 0.5
+            _ => vec![(1, 0.7)],
+        });
+        assert_eq!(g.num_weighted_pairs(), 2);
+        assert_eq!(g.weight(0, 1), 0.5);
+        assert_eq!(g.weight(1, 2), 0.7);
+        assert_eq!(g.weight(0, 0), 0.0);
+        assert_eq!(g.in_neighbors(0), &[]);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub struct EdgeLpOutcome {
 fn edge_lp_single_channel(instance: &AuctionInstance, channel: usize, weights: &[f64]) -> (Vec<f64>, f64) {
     let n = instance.num_bidders();
     let mut lp = LinearProgram::new(Sense::Maximize);
+    #[allow(clippy::needless_range_loop)]
     for v in 0..n {
         lp.add_variable(weights[v].max(0.0));
     }

@@ -230,13 +230,23 @@ pub fn solve_relaxation(
     }
 
     let mut pricing = DemandOraclePricing { instance };
-    let result = options.column_generation.run(&mut master, &mut pricing);
+    // An iteration-limited master is surfaced as a proper error by the LP
+    // layer; at this level the pipeline degrades gracefully: the partial
+    // solution is used but explicitly marked non-converged (its objective is
+    // a lower bound, its duals are untrusted).
+    let (solution, converged, rounds) = match options.column_generation.run(&mut master, &mut pricing)
+    {
+        Ok(result) => (result.solution, result.converged, result.rounds),
+        Err(ssa_lp::ColumnGenerationError::IterationLimit { partial }) => {
+            (partial.solution, false, partial.rounds)
+        }
+    };
     extract(
         instance,
         &master,
-        result.solution,
-        result.converged,
-        result.rounds,
+        solution,
+        converged,
+        rounds,
         options.support_tolerance,
     )
 }
@@ -299,6 +309,7 @@ pub fn large_instance_simplex_options() -> SimplexOptions {
         tolerance: 1e-8,
         max_iterations: 0,
         stall_threshold: 128,
+        ..Default::default()
     }
 }
 

@@ -102,6 +102,7 @@ fn sampling_scale(instance: &AuctionInstance) -> f64 {
 /// decomposition parts of the algorithms.
 struct Decomposition<'a> {
     /// `per_bidder[l][v]` lists `(bundle, x, value)` of part `l ∈ {0, 1}`.
+    #[allow(clippy::type_complexity)]
     per_bidder: [Vec<Vec<(&'a ChannelSet, f64, f64)>>; 2],
 }
 

@@ -298,6 +298,7 @@ impl Valuation for UnitDemandValuation {
         assert_eq!(prices.len(), self.num_channels());
         let mut best = ChannelSet::empty();
         let mut best_utility = 0.0;
+        #[allow(clippy::needless_range_loop)]
         for j in 0..self.channel_values.len() {
             let utility = self.channel_values[j] - prices[j];
             if utility > best_utility + 1e-12 {

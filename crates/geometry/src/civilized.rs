@@ -122,7 +122,7 @@ mod tests {
         assert!(layout.validate().is_ok());
         // each interior node connects to 4 axis neighbors and 4 diagonal
         // neighbors (diagonal distance sqrt(2) <= 1.5)
-        assert!(layout.edges.len() > 0);
+        assert!(!layout.edges.is_empty());
         assert!((layout.rho_bound() - 64.0).abs() < 1e-9); // (4*1.5/1 + 2)^2 = 64
     }
 

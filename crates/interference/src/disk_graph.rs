@@ -7,7 +7,7 @@
 //! sectors of more than 60° each.
 
 use crate::model::BinaryInterferenceModel;
-use ssa_conflict_graph::{ConflictGraph, VertexOrdering};
+use ssa_conflict_graph::{BitSet, ConflictGraph, VertexOrdering};
 use ssa_geometry::{Disk, SpatialGrid};
 
 /// Builder for disk-graph conflict models.
@@ -31,12 +31,13 @@ impl DiskGraphModel {
     pub const RHO_BOUND: f64 = 5.0;
 
     /// Builds the communication/conflict graph: an edge wherever two disks
-    /// intersect. A spatial grid keeps construction output-sensitive.
+    /// intersect. A spatial grid keeps construction output-sensitive, and
+    /// the adjacency rows are built in parallel (disk intersection is
+    /// symmetric, so each row is independent of the others).
     pub fn conflict_graph(&self) -> ConflictGraph {
         let n = self.disks.len();
-        let mut g = ConflictGraph::new(n);
         if n == 0 {
-            return g;
+            return ConflictGraph::new(0);
         }
         let centers: Vec<_> = self.disks.iter().map(|d| d.center).collect();
         let max_radius = self
@@ -45,16 +46,17 @@ impl DiskGraphModel {
             .map(|d| d.radius)
             .fold(0.0f64, f64::max);
         let grid = SpatialGrid::new(&centers, (2.0 * max_radius).max(1e-9));
-        for i in 0..n {
+        ConflictGraph::from_symmetric_rows(n, |i| {
             // any disk intersecting disk i has its center within
             // radius_i + max_radius of center_i
+            let mut row = BitSet::new(n);
             for j in grid.within_radius(&self.disks[i].center, self.disks[i].radius + max_radius) {
-                if j > i && self.disks[i].intersects(&self.disks[j]) {
-                    g.add_edge(i, j);
+                if j != i && self.disks[i].intersects(&self.disks[j]) {
+                    row.insert(j);
                 }
             }
-        }
-        g
+            row
+        })
     }
 
     /// The radius-descending ordering of Proposition 9.

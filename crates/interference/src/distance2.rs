@@ -24,25 +24,18 @@ use ssa_conflict_graph::{ConflictGraph, VertexOrdering};
 use ssa_geometry::{CivilizedLayout, Disk};
 
 fn distance2_conflicts(communication: &ConflictGraph) -> ConflictGraph {
+    // Row u of the distance-2 graph is N(u) ∪ ⋃_{mid ∈ N(u)} N(mid) — a
+    // word-level union of adjacency bit rows, computed in parallel per
+    // vertex (the "within distance 2" relation is symmetric).
     let n = communication.num_vertices();
-    let mut g = ConflictGraph::new(n);
-    for u in 0..n {
-        // distance-1 conflicts
-        for &v in communication.neighbors(u) {
-            if v > u {
-                g.add_edge(u, v);
-            }
-        }
-        // distance-2 conflicts via a common neighbor
+    ConflictGraph::from_symmetric_rows(n, |u| {
+        let mut row = communication.adjacency_row(u).clone();
         for &mid in communication.neighbors(u) {
-            for &v in communication.neighbors(mid) {
-                if v > u {
-                    g.add_edge(u, v);
-                }
-            }
+            row.union_with(communication.adjacency_row(mid));
         }
-    }
-    g
+        row.remove(u);
+        row
+    })
 }
 
 /// Distance-2 coloring on disk graphs (Proposition 11).

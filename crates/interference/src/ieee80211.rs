@@ -48,18 +48,16 @@ impl Ieee80211Model {
         li.min_endpoint_distance(lj) < blocking
     }
 
-    /// Builds the conflict graph.
+    /// Builds the conflict graph (parallel per-row construction; the
+    /// blocking predicate is symmetric in `i` and `j`).
     pub fn conflict_graph(&self) -> ConflictGraph {
         let n = self.links.len();
-        let mut g = ConflictGraph::new(n);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if self.conflicts(i, j) {
-                    g.add_edge(i, j);
-                }
-            }
-        }
-        g
+        ConflictGraph::from_symmetric_rows(n, |i| {
+            ssa_conflict_graph::BitSet::from_indices(
+                n,
+                (0..n).filter(|&j| self.conflicts(i, j)),
+            )
+        })
     }
 
     /// Length-descending ordering (longer links first), as for the protocol
@@ -123,7 +121,7 @@ mod tests {
 
         #[test]
         fn prop_conflicts_symmetric_and_rho_bounded(
-            coords in prop::collection::vec((0.0f64..60.0, 0.0f64..60.0, 0.3f64..4.0, 0.0f64..6.28), 1..30),
+            coords in prop::collection::vec((0.0f64..60.0, 0.0f64..60.0, 0.3f64..4.0, 0.0f64..std::f64::consts::TAU), 1..30),
             delta in 0.3f64..2.0,
         ) {
             let links: Vec<Link> = coords

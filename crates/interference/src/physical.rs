@@ -17,6 +17,7 @@
 //! the length-descending ordering certifies ρ = O(log n).
 
 use crate::model::WeightedInterferenceModel;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use ssa_conflict_graph::{VertexOrdering, WeightedConflictGraph};
 use ssa_geometry::LinkMetric;
@@ -180,19 +181,26 @@ impl PhysicalModel {
     pub fn epsilon(&self) -> f64 {
         let n = self.num_links();
         let alpha = self.params.alpha;
-        let mut min_ratio = f64::INFINITY;
-        for i in 0..n {
-            for j in 0..n {
-                if i == j {
-                    continue;
+        // min-reduce over all ordered pairs, one receiver row per parallel
+        // task
+        let row_minima: Vec<f64> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let signal_dist = self.metric.length(i).powf(alpha);
+                let mut row_min = f64::INFINITY;
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let ratio = signal_dist / self.metric.sender_to_receiver(j, i).powf(alpha);
+                    if ratio > 0.0 && ratio.is_finite() {
+                        row_min = row_min.min(ratio);
+                    }
                 }
-                let ratio = self.metric.length(i).powf(alpha)
-                    / self.metric.sender_to_receiver(j, i).powf(alpha);
-                if ratio > 0.0 && ratio.is_finite() {
-                    min_ratio = min_ratio.min(ratio);
-                }
-            }
-        }
+                row_min
+            })
+            .collect();
+        let mut min_ratio = row_minima.into_iter().fold(f64::INFINITY, f64::min);
         if !min_ratio.is_finite() {
             min_ratio = 1.0;
         }
@@ -214,21 +222,20 @@ impl PhysicalModel {
     }
 
     /// Builds the edge-weighted conflict graph of Proposition 15.
+    ///
+    /// The affectance matrix is constructed one *receiver* row at a time in
+    /// parallel: row `i` holds the weights `w(ℓ_j → ℓ_i)` of every
+    /// interfering sender `j`, which depend only on immutable model data.
     pub fn conflict_graph(&self) -> WeightedConflictGraph {
         let n = self.num_links();
         let eps = self.epsilon();
-        let mut g = WeightedConflictGraph::new(n);
-        for i in 0..n {
-            for j in 0..n {
-                if i != j {
-                    let w = self.weight(j, i, eps);
-                    if w > 0.0 {
-                        g.set_weight(j, i, w);
-                    }
-                }
-            }
-        }
-        g
+        WeightedConflictGraph::from_incoming_rows(n, |i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (j, self.weight(j, i, eps)))
+                .filter(|&(_, w)| w > 0.0)
+                .collect()
+        })
     }
 
     /// The length-descending ordering of Proposition 15 / Theorem 17
@@ -396,7 +403,7 @@ mod tests {
 
         #[test]
         fn prop_rho_stays_moderate_for_monotone_powers(
-            coords in prop::collection::vec((0.0f64..80.0, 0.0f64..80.0, 0.5f64..4.0, 0.0f64..6.28), 2..30),
+            coords in prop::collection::vec((0.0f64..80.0, 0.0f64..80.0, 0.5f64..4.0, 0.0f64..std::f64::consts::TAU), 2..30),
             uniform in prop::bool::ANY,
         ) {
             let links: Vec<Link> = coords
@@ -424,7 +431,7 @@ mod tests {
 
         #[test]
         fn prop_feasible_implies_independent(
-            coords in prop::collection::vec((0.0f64..40.0, 0.0f64..40.0, 0.5f64..3.0, 0.0f64..6.28), 2..10),
+            coords in prop::collection::vec((0.0f64..40.0, 0.0f64..40.0, 0.5f64..3.0, 0.0f64..std::f64::consts::TAU), 2..10),
         ) {
             let links: Vec<Link> = coords
                 .iter()

@@ -91,22 +91,18 @@ impl PowerControlModel {
         (term1 + term2) / self.tau()
     }
 
-    /// Builds the edge-weighted conflict graph of Theorem 17.
+    /// Builds the edge-weighted conflict graph of Theorem 17 (parallel
+    /// per-receiver row construction).
     pub fn conflict_graph(&self) -> WeightedConflictGraph {
         let n = self.num_links();
         let ordering = self.ordering();
-        let mut g = WeightedConflictGraph::new(n);
-        for i in 0..n {
-            for j in 0..n {
-                if i != j {
-                    let w = self.weight(i, j, &ordering);
-                    if w > 0.0 {
-                        g.set_weight(i, j, w);
-                    }
-                }
-            }
-        }
-        g
+        WeightedConflictGraph::from_incoming_rows(n, |j| {
+            (0..n)
+                .filter(|&i| i != j)
+                .map(|i| (i, self.weight(i, j, &ordering)))
+                .filter(|&(_, w)| w > 0.0)
+                .collect()
+        })
     }
 
     /// Builds the full weighted interference model.
@@ -312,7 +308,7 @@ mod tests {
 
         #[test]
         fn prop_theorem17_rho_is_moderate(
-            coords in prop::collection::vec((0.0f64..300.0, 0.0f64..300.0, 0.5f64..4.0, 0.0f64..6.28), 2..25),
+            coords in prop::collection::vec((0.0f64..300.0, 0.0f64..300.0, 0.5f64..4.0, 0.0f64..std::f64::consts::TAU), 2..25),
         ) {
             let links: Vec<Link> = coords
                 .iter()

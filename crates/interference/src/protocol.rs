@@ -59,18 +59,16 @@ impl ProtocolModel {
         lj.sender_to_receiver_of(li) < guard_i || li.sender_to_receiver_of(lj) < guard_j
     }
 
-    /// Builds the conflict graph.
+    /// Builds the conflict graph: one adjacency row per link, evaluated in
+    /// parallel (the guard-zone predicate is symmetric by construction).
     pub fn conflict_graph(&self) -> ConflictGraph {
         let n = self.links.len();
-        let mut g = ConflictGraph::new(n);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if self.conflicts(i, j) {
-                    g.add_edge(i, j);
-                }
-            }
-        }
-        g
+        ConflictGraph::from_symmetric_rows(n, |i| {
+            ssa_conflict_graph::BitSet::from_indices(
+                n,
+                (0..n).filter(|&j| self.conflicts(i, j)),
+            )
+        })
     }
 
     /// The length-descending ordering used by Proposition 13.
@@ -177,7 +175,7 @@ mod tests {
 
         #[test]
         fn prop_random_instances_respect_proposition_13(
-            coords in prop::collection::vec((0.0f64..50.0, 0.0f64..50.0, 0.2f64..5.0, 0.0f64..6.28), 1..35),
+            coords in prop::collection::vec((0.0f64..50.0, 0.0f64..50.0, 0.2f64..5.0, 0.0f64..std::f64::consts::TAU), 1..35),
             delta in 0.3f64..3.0,
         ) {
             let links: Vec<Link> = coords
@@ -198,7 +196,7 @@ mod tests {
 
         #[test]
         fn prop_conflict_relation_is_symmetric(
-            coords in prop::collection::vec((0.0f64..20.0, 0.0f64..20.0, 0.2f64..3.0, 0.0f64..6.28), 2..20),
+            coords in prop::collection::vec((0.0f64..20.0, 0.0f64..20.0, 0.2f64..3.0, 0.0f64..std::f64::consts::TAU), 2..20),
             delta in 0.3f64..3.0,
         ) {
             let links: Vec<Link> = coords

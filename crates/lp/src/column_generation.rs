@@ -15,7 +15,7 @@
 //! algorithm itself.
 
 use crate::problem::{LinearProgram, Relation, Sense};
-use crate::simplex::{solve, LpSolution, LpStatus, SimplexOptions};
+use crate::simplex::{solve, solve_with_warm_start, LpSolution, LpStatus, SimplexOptions, WarmStart};
 use serde::{Deserialize, Serialize};
 
 /// A column produced by a pricing oracle.
@@ -60,21 +60,33 @@ where
 /// columns.
 #[derive(Clone, Debug)]
 pub struct MasterProblem {
-    sense: Sense,
     rows: Vec<(Relation, f64)>,
     columns: Vec<GeneratedColumn>,
     seen_tags: std::collections::HashSet<u64>,
+    /// The master LP, maintained incrementally: [`MasterProblem::add_column`]
+    /// appends a variable and its coefficients instead of rebuilding the
+    /// whole program on every solve.
+    lp: LinearProgram,
+    /// Basis of the most recent [`MasterProblem::solve_warm`]: the rows are
+    /// fixed and columns only ever get appended (entering nonbasic), so the
+    /// previous optimal basis remains valid across re-solves.
+    warm: Option<WarmStart>,
 }
 
 impl MasterProblem {
     /// Creates a master problem with the given sense and rows
     /// `(relation, rhs)`; initially it has no columns.
     pub fn new(sense: Sense, rows: Vec<(Relation, f64)>) -> Self {
+        let mut lp = LinearProgram::new(sense);
+        for &(rel, rhs) in &rows {
+            lp.add_constraint(Vec::new(), rel, rhs);
+        }
         MasterProblem {
-            sense,
             rows,
             columns: Vec::new(),
             seen_tags: std::collections::HashSet::new(),
+            lp,
+            warm: None,
         }
     }
 
@@ -103,32 +115,40 @@ impl MasterProblem {
         for &(r, _) in &column.coeffs {
             assert!(r < self.rows.len(), "column references unknown row {r}");
         }
+        let var = self.lp.add_variable(column.objective);
+        for &(r, a) in &column.coeffs {
+            self.lp.add_coefficient(r, var, a);
+        }
         self.columns.push(column);
         true
     }
 
-    /// Materializes the restricted master as a [`LinearProgram`].
+    /// The restricted master as a [`LinearProgram`] (a clone of the
+    /// incrementally maintained program).
     pub fn to_linear_program(&self) -> LinearProgram {
-        let mut lp = LinearProgram::new(self.sense);
-        for col in &self.columns {
-            lp.add_variable(col.objective);
-        }
-        // rows: gather coefficients per row
-        let mut row_coeffs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.rows.len()];
-        for (var, col) in self.columns.iter().enumerate() {
-            for &(r, a) in &col.coeffs {
-                row_coeffs[r].push((var, a));
-            }
-        }
-        for (i, &(rel, rhs)) in self.rows.iter().enumerate() {
-            lp.add_constraint(row_coeffs[i].clone(), rel, rhs);
-        }
-        lp
+        self.lp.clone()
     }
 
-    /// Solves the current restricted master.
+    /// Solves the current restricted master from a cold start.
     pub fn solve(&self, options: &SimplexOptions) -> LpSolution {
-        solve(&self.to_linear_program(), options)
+        solve(&self.lp, options)
+    }
+
+    /// Solves the current restricted master, resuming from the basis of the
+    /// previous `solve_warm` call (if any) and recording the new basis for
+    /// the next round. Columns added since the last solve enter nonbasic,
+    /// so a re-solve typically needs only the handful of pivots that bring
+    /// the new columns in — instead of re-running phase 1 / the all-slack
+    /// start from scratch.
+    pub fn solve_warm(&mut self, options: &SimplexOptions) -> LpSolution {
+        let (solution, state) = solve_with_warm_start(&self.lp, options, self.warm.take());
+        self.warm = Some(state);
+        solution
+    }
+
+    /// Drops the recorded warm-start basis (the next solve is cold).
+    pub fn reset_warm_start(&mut self) {
+        self.warm = None;
     }
 }
 
@@ -143,6 +163,38 @@ pub struct ColumnGenerationResult {
     /// (`true`) or because the round limit was hit (`false`).
     pub converged: bool,
 }
+
+/// Failure of a column-generation run.
+///
+/// The seed implementation silently returned the truncated master solution
+/// when the simplex hit its pivot budget; callers could not tell a genuine
+/// optimum from an arbitrary interrupted basis. The condition is now a
+/// proper error carrying the partial result, so callers decide explicitly
+/// whether a truncated solution is acceptable.
+#[derive(Clone, Debug)]
+pub enum ColumnGenerationError {
+    /// A master solve stopped at [`LpStatus::IterationLimit`] before proving
+    /// optimality; the partial result is attached.
+    IterationLimit {
+        /// State at the interrupted solve (solution is *not* optimal).
+        partial: ColumnGenerationResult,
+    },
+}
+
+impl std::fmt::Display for ColumnGenerationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColumnGenerationError::IterationLimit { partial } => write!(
+                f,
+                "restricted master hit the simplex iteration limit after {} rounds \
+                 ({} iterations in the last solve)",
+                partial.rounds, partial.solution.iterations
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ColumnGenerationError {}
 
 /// Driver for the restricted-master / pricing loop.
 #[derive(Clone, Debug)]
@@ -167,39 +219,55 @@ impl Default for ColumnGeneration {
 }
 
 impl ColumnGeneration {
-    /// Runs column generation: repeatedly solve the restricted master, hand
-    /// the duals to `source`, and add every returned column that has
-    /// improving reduced cost. Terminates when no new improving column
-    /// arrives or `max_rounds` is reached.
+    /// Runs column generation: repeatedly solve the restricted master
+    /// (warm-started from the previous round's optimal basis), hand the
+    /// duals to `source`, and add every returned column that has improving
+    /// reduced cost. Terminates when no new improving column arrives or
+    /// `max_rounds` is reached.
+    ///
+    /// # Errors
+    /// Returns [`ColumnGenerationError::IterationLimit`] when a master
+    /// solve exhausts its pivot budget: the attached partial solution is a
+    /// feasible but non-optimal basis whose duals cannot be trusted for
+    /// pricing.
     pub fn run(
         &self,
         master: &mut MasterProblem,
         source: &mut dyn ColumnSource,
-    ) -> ColumnGenerationResult {
+    ) -> Result<ColumnGenerationResult, ColumnGenerationError> {
         let mut rounds = 0usize;
         loop {
-            let solution = master.solve(&self.simplex);
+            let solution = master.solve_warm(&self.simplex);
             rounds += 1;
+            if solution.status == LpStatus::IterationLimit {
+                return Err(ColumnGenerationError::IterationLimit {
+                    partial: ColumnGenerationResult {
+                        solution,
+                        rounds,
+                        converged: false,
+                    },
+                });
+            }
             if rounds > self.max_rounds {
-                return ColumnGenerationResult {
+                return Ok(ColumnGenerationResult {
                     solution,
                     rounds: rounds - 1,
                     converged: false,
-                };
+                });
             }
             // An infeasible or unbounded master cannot be priced further.
             if solution.status != LpStatus::Optimal {
-                return ColumnGenerationResult {
+                return Ok(ColumnGenerationResult {
                     solution,
                     rounds,
                     converged: false,
-                };
+                });
             }
             let candidates = source.generate(&solution.duals);
             let mut added_improving = false;
             for col in candidates {
                 let rc = col.reduced_cost(&solution.duals);
-                let improving = match master.sense {
+                let improving = match master.lp.sense() {
                     Sense::Maximize => rc > self.reduced_cost_tolerance,
                     Sense::Minimize => rc < -self.reduced_cost_tolerance,
                 };
@@ -208,11 +276,11 @@ impl ColumnGeneration {
                 }
             }
             if !added_improving {
-                return ColumnGenerationResult {
+                return Ok(ColumnGenerationResult {
                     solution,
                     rounds,
                     converged: true,
-                };
+                });
             }
         }
     }
@@ -261,7 +329,7 @@ mod tests {
         };
 
         let cg = ColumnGeneration::default();
-        let result = cg.run(&mut master, &mut source);
+        let result = cg.run(&mut master, &mut source).expect("column generation failed");
         assert!(result.converged);
         assert_eq!(result.solution.status, LpStatus::Optimal);
         // LP optimum: take items 1, 2, 3 fully (total weight 6 > 5), so the
@@ -274,7 +342,7 @@ mod tests {
         let mut master = MasterProblem::new(Sense::Maximize, vec![(Relation::Le, 1.0)]);
         let mut source = |_: &[f64]| Vec::<GeneratedColumn>::new();
         let cg = ColumnGeneration::default();
-        let result = cg.run(&mut master, &mut source);
+        let result = cg.run(&mut master, &mut source).expect("column generation failed");
         assert!(result.converged);
         assert_eq!(result.solution.objective, 0.0);
         assert_eq!(result.rounds, 1);
@@ -308,10 +376,119 @@ mod tests {
             }]
         };
         let cg = ColumnGeneration::default();
-        let result = cg.run(&mut master, &mut source);
+        let result = cg.run(&mut master, &mut source).expect("column generation failed");
         assert!(result.converged);
         assert!(result.rounds <= 3);
         assert!((result.solution.objective - 2.0).abs() < 1e-6);
+    }
+
+    /// Warm-started and cold-started column generation must agree: the warm
+    /// path only changes the starting basis of each re-solve, never the
+    /// optimum. Uses seeded knapsack-style masters of growing size.
+    #[test]
+    fn warm_and_cold_column_generation_reach_the_same_objective() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let num_items = 4 + (seed as usize % 6);
+            let values: Vec<f64> = (0..num_items).map(|_| rng.random_range(1.0..10.0)).collect();
+            let weights: Vec<f64> = (0..num_items).map(|_| rng.random_range(0.5..4.0)).collect();
+            let capacity = rng.random_range(3.0..8.0);
+
+            let build_master = || {
+                let mut rows = vec![(Relation::Le, capacity)];
+                for _ in 0..num_items {
+                    rows.push((Relation::Le, 1.0));
+                }
+                MasterProblem::new(Sense::Maximize, rows)
+            };
+            let make_source = |values: Vec<f64>, weights: Vec<f64>| {
+                move |duals: &[f64]| -> Vec<GeneratedColumn> {
+                    let mut best: Option<(f64, GeneratedColumn)> = None;
+                    for i in 0..values.len() {
+                        let col = GeneratedColumn {
+                            objective: values[i],
+                            coeffs: vec![(0, weights[i]), (i + 1, 1.0)],
+                            tag: i as u64,
+                        };
+                        let rc = col.reduced_cost(duals);
+                        if rc > 1e-7 && best.as_ref().map(|(b, _)| rc > *b).unwrap_or(true) {
+                            best = Some((rc, col));
+                        }
+                    }
+                    best.map(|(_, c)| c).into_iter().collect()
+                }
+            };
+
+            // warm (the default run loop)
+            let cg = ColumnGeneration::default();
+            let mut warm_master = build_master();
+            let mut warm_source = make_source(values.clone(), weights.clone());
+            let warm = cg
+                .run(&mut warm_master, &mut warm_source)
+                .expect("warm run failed");
+
+            // cold: identical pricing loop but every master solve from scratch
+            let mut cold_master = build_master();
+            let cold_source = make_source(values.clone(), weights.clone());
+            let cold_solution = loop {
+                let solution = cold_master.solve(&cg.simplex);
+                assert_eq!(solution.status, LpStatus::Optimal);
+                let candidates = cold_source(&solution.duals);
+                let mut added = false;
+                for col in candidates {
+                    if col.reduced_cost(&solution.duals) > cg.reduced_cost_tolerance
+                        && cold_master.add_column(col)
+                    {
+                        added = true;
+                    }
+                }
+                if !added {
+                    break solution;
+                }
+            };
+
+            assert!(warm.converged);
+            assert!(
+                (warm.solution.objective - cold_solution.objective).abs() < 1e-6,
+                "seed {seed}: warm {} vs cold {}",
+                warm.solution.objective,
+                cold_solution.objective
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_limit_is_surfaced_as_an_error() {
+        // A pivot budget of 1 cannot optimize a 3-column master: the run
+        // must fail loudly instead of returning the truncated solution.
+        let mut master = MasterProblem::new(
+            Sense::Maximize,
+            vec![(Relation::Le, 4.0), (Relation::Le, 1.0), (Relation::Le, 1.0), (Relation::Le, 1.0)],
+        );
+        for i in 0..3 {
+            master.add_column(GeneratedColumn {
+                objective: (i + 1) as f64,
+                coeffs: vec![(0, 1.0), (i + 1, 1.0)],
+                tag: i as u64,
+            });
+        }
+        let cg = ColumnGeneration {
+            simplex: SimplexOptions {
+                max_iterations: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut source = |_: &[f64]| Vec::<GeneratedColumn>::new();
+        match cg.run(&mut master, &mut source) {
+            Err(ColumnGenerationError::IterationLimit { partial }) => {
+                assert_eq!(partial.solution.status, LpStatus::IterationLimit);
+            }
+            other => panic!("expected IterationLimit error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -346,7 +523,7 @@ mod tests {
             }
         };
         let cg = ColumnGeneration::default();
-        let result = cg.run(&mut master, &mut source);
+        let result = cg.run(&mut master, &mut source).expect("column generation failed");
         assert!(result.converged);
         assert!((result.solution.objective - 1.0).abs() < 1e-6);
         assert_eq!(master.num_columns(), 3);

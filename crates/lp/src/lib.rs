@@ -7,15 +7,21 @@
 //! crate implements the required machinery from scratch:
 //!
 //! * [`problem::LinearProgram`] — a sparse LP model (maximize or minimize,
-//!   `≤` / `≥` / `=` constraints, non-negative variables),
-//! * [`simplex`] — a dense two-phase primal simplex solver that also reports
-//!   dual values, which the auction code turns into bidder-specific channel
-//!   prices (Section 2.2 of the paper),
+//!   `≤` / `≥` / `=` constraints, non-negative variables) with a
+//!   compressed-sparse-column view ([`problem::CscMatrix`]) of the
+//!   constraint matrix,
+//! * [`simplex`] — a sparse **revised** two-phase primal simplex (eta-style
+//!   product-form basis inverse, periodic refactorization, Dantzig pricing
+//!   with a Bland fallback) that also reports dual values, which the
+//!   auction code turns into bidder-specific channel prices (Section 2.2 of
+//!   the paper); the previous dense tableau solver is kept as the
+//!   reference oracle in [`dense`],
 //! * [`column_generation`] — a restricted-master / pricing loop that replaces
 //!   the ellipsoid method: the pricing oracle sees the current duals and
 //!   returns improving columns (in the auction: demand-oracle queries at the
 //!   prices `p_{v,j} = Σ_{u : v ∈ Γπ(u)} y_{u,j}`), which is the textbook
-//!   dual view of the paper's separation-based approach.
+//!   dual view of the paper's separation-based approach. Master re-solves
+//!   are **warm-started** from the previous round's optimal basis.
 //!
 //! All of the paper's relaxations are *packing* LPs (non-negative data,
 //! `≤` constraints), for which the all-slack basis is feasible and phase 1
@@ -25,11 +31,15 @@
 #![warn(missing_docs)]
 
 pub mod column_generation;
+pub mod dense;
 pub mod problem;
 pub mod simplex;
 
 pub use column_generation::{
-    ColumnGeneration, ColumnGenerationResult, ColumnSource, GeneratedColumn, MasterProblem,
+    ColumnGeneration, ColumnGenerationError, ColumnGenerationResult, ColumnSource,
+    GeneratedColumn, MasterProblem,
 };
-pub use problem::{Constraint, LinearProgram, Relation, Sense};
-pub use simplex::{solve, LpSolution, LpStatus, SimplexOptions};
+pub use problem::{Constraint, CscMatrix, LinearProgram, Relation, Sense};
+pub use simplex::{
+    solve, solve_with_warm_start, BasisVar, LpSolution, LpStatus, SimplexOptions, WarmStart,
+};

@@ -117,6 +117,25 @@ impl LinearProgram {
         self.constraints.len() - 1
     }
 
+    /// Adds `coeff` to variable `var`'s coefficient in constraint `row`,
+    /// keeping the row's sparse coefficients sorted.
+    ///
+    /// This is the incremental path used by the column-generation master:
+    /// appending a freshly created variable (the common case) is `O(1)`
+    /// because its index is larger than everything already in the row.
+    ///
+    /// # Panics
+    /// Panics if `row` or `var` does not exist, or `coeff` is NaN.
+    pub fn add_coefficient(&mut self, row: usize, var: usize, coeff: f64) {
+        assert!(var < self.num_variables(), "coefficient references unknown variable {var}");
+        assert!(!coeff.is_nan(), "constraint coefficient must not be NaN");
+        let coeffs = &mut self.constraints[row].coeffs;
+        match coeffs.binary_search_by_key(&var, |&(v, _)| v) {
+            Ok(pos) => coeffs[pos].1 += coeff,
+            Err(pos) => coeffs.insert(pos, (var, coeff)),
+        }
+    }
+
     /// The constraints.
     pub fn constraints(&self) -> &[Constraint] {
         &self.constraints
@@ -130,6 +149,47 @@ impl LinearProgram {
     /// Evaluates the objective at a point.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
         self.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum()
+    }
+
+    /// Builds the compressed-sparse-column view of the constraint matrix
+    /// used by the revised simplex: one sparse column per variable.
+    ///
+    /// Constraints are stored row-wise for cheap model building; the solver
+    /// prices and FTRANs over columns, so it needs the transpose. The
+    /// conversion is a single counting pass plus a single fill pass,
+    /// `O(nnz)`.
+    pub fn to_csc(&self) -> CscMatrix {
+        let n = self.num_variables();
+        let mut col_len = vec![0usize; n];
+        for c in &self.constraints {
+            for &(v, _) in &c.coeffs {
+                col_len[v] += 1;
+            }
+        }
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        col_ptr.push(0);
+        for &len in &col_len {
+            acc += len;
+            col_ptr.push(acc);
+        }
+        let mut row_idx = vec![0usize; acc];
+        let mut values = vec![0.0f64; acc];
+        let mut cursor: Vec<usize> = col_ptr[..n].to_vec();
+        for (row, c) in self.constraints.iter().enumerate() {
+            for &(v, a) in &c.coeffs {
+                let p = cursor[v];
+                row_idx[p] = row;
+                values[p] = a;
+                cursor[v] += 1;
+            }
+        }
+        CscMatrix {
+            num_rows: self.constraints.len(),
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     /// Checks primal feasibility of `x` (non-negativity plus every
@@ -152,9 +212,66 @@ impl LinearProgram {
     }
 }
 
+/// Compressed-sparse-column matrix: the constraint matrix transposed into
+/// per-variable columns, consumed by the revised simplex.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CscMatrix {
+    /// Number of rows (constraints).
+    pub num_rows: usize,
+    /// `col_ptr[j]..col_ptr[j+1]` indexes column `j`'s entries.
+    pub col_ptr: Vec<usize>,
+    /// Row index of each stored entry.
+    pub row_idx: Vec<usize>,
+    /// Value of each stored entry.
+    pub values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The sparse column `j` as parallel `(rows, values)` slices.
+    pub fn column(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn csc_matches_row_storage() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(2.0);
+        let z = lp.add_variable(0.0);
+        lp.add_constraint(vec![(x, 1.0), (z, 3.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(y, -2.0)], Relation::Ge, -1.0);
+        lp.add_constraint(vec![(x, 5.0), (y, 6.0), (z, 7.0)], Relation::Eq, 8.0);
+        let csc = lp.to_csc();
+        assert_eq!(csc.num_rows, 3);
+        assert_eq!(csc.num_cols(), 3);
+        assert_eq!(csc.nnz(), 6);
+        let (rows_x, vals_x) = csc.column(x);
+        assert_eq!(rows_x, &[0, 2]);
+        assert_eq!(vals_x, &[1.0, 5.0]);
+        let (rows_y, vals_y) = csc.column(y);
+        assert_eq!(rows_y, &[1, 2]);
+        assert_eq!(vals_y, &[-2.0, 6.0]);
+        let (rows_z, vals_z) = csc.column(z);
+        assert_eq!(rows_z, &[0, 2]);
+        assert_eq!(vals_z, &[3.0, 7.0]);
+    }
 
     #[test]
     fn build_small_lp() {

@@ -1,16 +1,43 @@
-//! A dense two-phase primal simplex solver.
+//! A sparse **revised simplex** solver.
 //!
-//! The solver targets the moderate problem sizes produced by the auction
-//! relaxations (hundreds to a few thousand rows/columns). It keeps the full
-//! tableau `[B⁻¹A | B⁻¹b]` in memory, uses Dantzig pricing with a Bland's-rule
-//! fallback to guarantee termination, and reports dual values which the
-//! auction layer converts into bidder-specific channel prices.
+//! The seed implementation kept the full dense tableau `[B⁻¹A | B⁻¹b]` and
+//! touched all `m · n_total` entries on every pivot. This module replaces it
+//! with the revised method, which maintains only the `m × m` basis inverse
+//! and works on the constraint matrix in compressed-sparse-column form
+//! ([`crate::problem::CscMatrix`]):
+//!
+//! * **Pricing** is Dantzig's rule over sparse columns: the dual vector
+//!   `y = c_B B⁻¹` is formed once per iteration (`O(m²)` worst case, but
+//!   only rows with non-zero basic cost contribute), then every candidate
+//!   column is priced in `O(nnz(col))`. After `stall_threshold` pivots
+//!   without objective improvement the solver switches to Bland's rule
+//!   (first improving index, smallest-index ratio ties) which guarantees
+//!   termination.
+//! * **FTRAN** (`w = B⁻¹ a_e`) costs `O(m · nnz(a_e))`, and each pivot
+//!   updates `B⁻¹` in product form in `O(m²)` — independent of the number
+//!   of columns, which is what makes the method scale for column
+//!   generation, where columns outnumber rows by a growing factor.
+//! * **Refactorization**: the product-form updates accumulate floating-point
+//!   drift, so every [`SimplexOptions::refactor_interval`] pivots (and
+//!   whenever a warm-started basis looks inconsistent) `B⁻¹` is rebuilt from
+//!   the basis columns by Gauss–Jordan elimination with partial pivoting and
+//!   the basic solution is recomputed as `x_B = B⁻¹ b`.
+//! * **Warm starts**: [`solve_with_warm_start`] accepts the [`WarmStart`]
+//!   returned by a previous solve over the *same rows* and resumes from that
+//!   basis, skipping phase 1 entirely. Column generation exploits this: new
+//!   columns enter nonbasic, so each master re-solve continues from the
+//!   previous optimum instead of re-running from the all-slack basis.
 //!
 //! Packing LPs (all `≤` constraints with non-negative right-hand sides) are
 //! detected automatically and start from the all-slack basis, skipping
-//! phase 1 entirely; this covers the relaxations (1) and (4) of the paper.
+//! phase 1; this covers the relaxations (1) and (4) of the paper. General
+//! `≥`/`=` rows go through a standard two-phase scheme with artificial
+//! variables (needed by the Lavi–Swamy decomposition master).
+//!
+//! The dense tableau solver survives as [`crate::dense`]; property tests
+//! assert both agree on objectives and duals to 1e-6.
 
-use crate::problem::{LinearProgram, Relation, Sense};
+use crate::problem::{CscMatrix, LinearProgram, Relation, Sense};
 use serde::{Deserialize, Serialize};
 
 /// Termination status of a solve.
@@ -48,12 +75,18 @@ pub struct LpSolution {
 pub struct SimplexOptions {
     /// Numerical tolerance for feasibility, pricing and pivoting decisions.
     pub tolerance: f64,
-    /// Maximum number of pivots across both phases (0 means automatic:
-    /// `200 · (m + n) + 10_000`).
+    /// Maximum number of pivots across both phases. `0` means automatic:
+    /// `200 · (m + n_total) + 10_000`, recomputed from the problem actually
+    /// being solved — so in column generation the budget grows with the
+    /// restricted master's *current* column count rather than staying pinned
+    /// at the seed LP's size.
     pub max_iterations: usize,
     /// After this many consecutive pivots without objective improvement the
     /// solver switches to Bland's rule to escape potential cycling.
     pub stall_threshold: usize,
+    /// Rebuild `B⁻¹` from the basis columns after this many product-form
+    /// updates (numerical hygiene). `0` disables periodic refactorization.
+    pub refactor_interval: usize,
 }
 
 impl Default for SimplexOptions {
@@ -62,51 +95,121 @@ impl Default for SimplexOptions {
             tolerance: 1e-9,
             max_iterations: 0,
             stall_threshold: 64,
+            refactor_interval: 256,
         }
     }
 }
 
-/// Solves a linear program with the two-phase primal simplex method.
-pub fn solve(lp: &LinearProgram, options: &SimplexOptions) -> LpSolution {
-    Tableau::build(lp, options).solve()
+/// Identity of a basis member, stable across re-solves of a problem whose
+/// rows are fixed but whose column set grows (the restricted master of
+/// column generation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BasisVar {
+    /// Structural variable `j` of the [`LinearProgram`].
+    Structural(usize),
+    /// Slack of row `i` (a `≤` row after rhs normalization).
+    Slack(usize),
+    /// Surplus of row `i` (a `≥` row after rhs normalization).
+    Surplus(usize),
+    /// Artificial of row `i` (`≥` or `=` rows; basic only at value 0 after
+    /// phase 1, or marking a redundant row).
+    Artificial(usize),
 }
 
-struct Tableau<'a> {
+/// Resumable solver state: the optimal basis of a previous solve together
+/// with its basis inverse.
+///
+/// Valid for re-solves of an LP with the **same constraint rows** (same
+/// relations and right-hand sides); the column set may have grown, because
+/// new columns start nonbasic and therefore do not touch `B`. This is
+/// exactly the restricted-master situation in column generation.
+#[derive(Clone, Debug)]
+pub struct WarmStart {
+    /// One basis member per row.
+    pub basis: Vec<BasisVar>,
+    /// Row-major `m × m` basis inverse matching `basis`.
+    binv: Vec<f64>,
+}
+
+impl WarmStart {
+    /// Number of rows this state was built for.
+    pub fn num_rows(&self) -> usize {
+        self.basis.len()
+    }
+}
+
+/// Solves a linear program with the sparse revised simplex method.
+pub fn solve(lp: &LinearProgram, options: &SimplexOptions) -> LpSolution {
+    solve_with_warm_start(lp, options, None).0
+}
+
+/// Solves a linear program, optionally resuming from the basis of a
+/// previous solve over the same rows, and returns the solution together
+/// with the final basis for future warm starts.
+///
+/// The state is taken **by value**: its `m × m` basis inverse is moved into
+/// the solver and moved back out, so a warm re-solve never copies the
+/// inverse (at master sizes of ~10³ rows those copies would dominate the
+/// handful of pivots a warm re-solve actually needs).
+pub fn solve_with_warm_start(
+    lp: &LinearProgram,
+    options: &SimplexOptions,
+    warm: Option<WarmStart>,
+) -> (LpSolution, WarmStart) {
+    let mut solver = Revised::build(lp, options);
+    let status = solver.run(warm);
+    let solution = solver.extract(status);
+    let state = solver.into_warm_start();
+    (solution, state)
+}
+
+struct Revised<'a> {
     lp: &'a LinearProgram,
     tol: f64,
     max_iterations: usize,
     stall_threshold: usize,
+    refactor_interval: usize,
+
     m: usize,
-    /// total number of columns (original + slack + surplus + artificial)
+    n: usize,
     n_total: usize,
-    n_original: usize,
-    /// row-major tableau, m rows × (n_total + 1); last column is the rhs
-    t: Vec<f64>,
-    /// objective coefficients (maximization form) for all columns
-    cost: Vec<f64>,
-    /// basis variable of each row
-    basis: Vec<usize>,
-    /// first artificial column index (columns ≥ this are artificial)
-    first_artificial: usize,
-    /// per original constraint: the identity column created for it and the
-    /// sign applied when normalizing the rhs
-    identity_col: Vec<usize>,
+    /// structural columns with row-normalization signs already applied
+    cols: CscMatrix,
+    /// per-row sign applied to normalize rhs ≥ 0
     row_sign: Vec<f64>,
+    /// normalized rhs (≥ 0)
+    b: Vec<f64>,
+    /// layout of logical columns (index into the global column space)
+    slack_col: Vec<Option<usize>>,
+    surplus_col: Vec<Option<usize>>,
+    art_col: Vec<Option<usize>>,
+    /// inverse layout: what each global column is
+    kind: Vec<BasisVar>,
+    first_artificial: usize,
+    /// maximization costs per global column (original objective)
+    cost: Vec<f64>,
+
+    /// basis member (global column index) per row
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    /// row-major m × m basis inverse
+    binv: Vec<f64>,
+    /// current basic solution B⁻¹ b
+    xb: Vec<f64>,
+
     iterations: usize,
+    pivots_since_refactor: usize,
 }
 
-impl<'a> Tableau<'a> {
+impl<'a> Revised<'a> {
     fn build(lp: &'a LinearProgram, options: &SimplexOptions) -> Self {
         let m = lp.num_constraints();
         let n = lp.num_variables();
 
-        // Count extra columns.
-        let mut num_slack = 0usize;
-        let mut num_surplus = 0usize;
-        let mut num_artificial = 0usize;
-        // effective relation after normalizing rhs >= 0
-        let mut eff: Vec<(Relation, f64)> = Vec::with_capacity(m);
-        for c in lp.constraints() {
+        let mut row_sign = vec![1.0f64; m];
+        let mut b = vec![0.0f64; m];
+        let mut eff: Vec<Relation> = Vec::with_capacity(m);
+        for (i, c) in lp.constraints().iter().enumerate() {
             let (rel, sign) = if c.rhs < 0.0 {
                 let flipped = match c.relation {
                     Relation::Le => Relation::Ge,
@@ -117,69 +220,54 @@ impl<'a> Tableau<'a> {
             } else {
                 (c.relation, 1.0)
             };
-            match rel {
-                Relation::Le => num_slack += 1,
-                Relation::Ge => {
-                    num_surplus += 1;
-                    num_artificial += 1;
-                }
-                Relation::Eq => num_artificial += 1,
-            }
-            eff.push((rel, sign));
-        }
-
-        let n_total = n + num_slack + num_surplus + num_artificial;
-        let width = n_total + 1;
-        let mut t = vec![0.0; m * width];
-        let mut basis = vec![0usize; m];
-        let mut identity_col = vec![0usize; m];
-        let mut row_sign = vec![1.0; m];
-
-        let slack_base = n;
-        let surplus_base = n + num_slack;
-        let artificial_base = n + num_slack + num_surplus;
-        let mut next_slack = slack_base;
-        let mut next_surplus = surplus_base;
-        let mut next_artificial = artificial_base;
-
-        for (i, c) in lp.constraints().iter().enumerate() {
-            let (rel, sign) = eff[i];
             row_sign[i] = sign;
-            let row = &mut t[i * width..(i + 1) * width];
-            for &(v, a) in &c.coeffs {
-                row[v] += sign * a;
-            }
-            row[n_total] = sign * c.rhs;
-            match rel {
-                Relation::Le => {
-                    row[next_slack] = 1.0;
-                    basis[i] = next_slack;
-                    identity_col[i] = next_slack;
-                    next_slack += 1;
-                }
-                Relation::Ge => {
-                    row[next_surplus] = -1.0;
-                    row[next_artificial] = 1.0;
-                    basis[i] = next_artificial;
-                    identity_col[i] = next_artificial;
-                    next_surplus += 1;
-                    next_artificial += 1;
-                }
-                Relation::Eq => {
-                    row[next_artificial] = 1.0;
-                    basis[i] = next_artificial;
-                    identity_col[i] = next_artificial;
-                    next_artificial += 1;
-                }
-            }
+            b[i] = sign * c.rhs;
+            eff.push(rel);
         }
 
-        // Maximization costs for the original problem.
-        let mut cost = vec![0.0; n_total];
+        // Structural columns in CSC form with the row signs folded in.
+        let mut cols = lp.to_csc();
+        for (val, &row) in cols.values.iter_mut().zip(cols.row_idx.iter()) {
+            *val *= row_sign[row];
+        }
+
+        // Logical column layout: slacks, then surpluses, then artificials —
+        // the same index discipline as the dense solver, so Bland's rule
+        // visits columns in the same order.
+        let mut slack_col = vec![None; m];
+        let mut surplus_col = vec![None; m];
+        let mut art_col = vec![None; m];
+        let mut kind: Vec<BasisVar> = (0..n).map(BasisVar::Structural).collect();
+        let mut next = n;
+        for (i, rel) in eff.iter().enumerate() {
+            if matches!(rel, Relation::Le) {
+                slack_col[i] = Some(next);
+                kind.push(BasisVar::Slack(i));
+                next += 1;
+            }
+        }
+        for (i, rel) in eff.iter().enumerate() {
+            if matches!(rel, Relation::Ge) {
+                surplus_col[i] = Some(next);
+                kind.push(BasisVar::Surplus(i));
+                next += 1;
+            }
+        }
+        let first_artificial = next;
+        for (i, rel) in eff.iter().enumerate() {
+            if matches!(rel, Relation::Ge | Relation::Eq) {
+                art_col[i] = Some(next);
+                kind.push(BasisVar::Artificial(i));
+                next += 1;
+            }
+        }
+        let n_total = next;
+
         let sense_sign = match lp.sense() {
             Sense::Maximize => 1.0,
             Sense::Minimize => -1.0,
         };
+        let mut cost = vec![0.0f64; n_total];
         for (v, &c) in lp.objective().iter().enumerate() {
             cost[v] = sense_sign * c;
         }
@@ -190,69 +278,309 @@ impl<'a> Tableau<'a> {
             options.max_iterations
         };
 
-        Tableau {
+        Revised {
             lp,
             tol: options.tolerance,
             max_iterations,
             stall_threshold: options.stall_threshold,
+            refactor_interval: options.refactor_interval,
             m,
+            n,
             n_total,
-            n_original: n,
-            t,
-            cost,
-            basis,
-            first_artificial: artificial_base,
-            identity_col,
+            cols,
             row_sign,
+            b,
+            slack_col,
+            surplus_col,
+            art_col,
+            kind,
+            first_artificial,
+            cost,
+            basis: Vec::new(),
+            in_basis: vec![false; n_total],
+            binv: Vec::new(),
+            xb: Vec::new(),
             iterations: 0,
+            pivots_since_refactor: 0,
         }
     }
 
+    /// Visits the sparse entries of global column `j` (signs applied).
     #[inline]
-    fn width(&self) -> usize {
-        self.n_total + 1
+    fn for_each_entry(&self, j: usize, mut f: impl FnMut(usize, f64)) {
+        match self.kind[j] {
+            BasisVar::Structural(v) => {
+                let (rows, vals) = self.cols.column(v);
+                for (&r, &a) in rows.iter().zip(vals.iter()) {
+                    if a != 0.0 {
+                        f(r, a);
+                    }
+                }
+            }
+            BasisVar::Slack(i) | BasisVar::Artificial(i) => f(i, 1.0),
+            BasisVar::Surplus(i) => f(i, -1.0),
+        }
     }
 
+    /// Maps a stable basis identity to the current global column index.
+    fn column_of(&self, var: BasisVar) -> Option<usize> {
+        match var {
+            BasisVar::Structural(j) => (j < self.n).then_some(j),
+            BasisVar::Slack(i) => self.slack_col.get(i).copied().flatten(),
+            BasisVar::Surplus(i) => self.surplus_col.get(i).copied().flatten(),
+            BasisVar::Artificial(i) => self.art_col.get(i).copied().flatten(),
+        }
+    }
+
+    /// Installs the cold-start identity basis (slack or artificial per row).
+    fn cold_basis(&mut self) {
+        self.basis = (0..self.m)
+            .map(|i| self.slack_col[i].or(self.art_col[i]).expect("every row creates an identity column"))
+            .collect();
+        self.in_basis = vec![false; self.n_total];
+        for &c in &self.basis {
+            self.in_basis[c] = true;
+        }
+        // Identity-creating columns are exactly e_i, so B = I.
+        self.binv = identity(self.m);
+        self.xb = self.b.clone();
+        self.pivots_since_refactor = 0;
+    }
+
+    /// Attempts to install a warm-start basis; returns `false` (leaving the
+    /// solver untouched) if the state does not fit this problem.
+    fn try_warm_basis(&mut self, warm: WarmStart) -> bool {
+        if warm.basis.len() != self.m || warm.binv.len() != self.m * self.m {
+            return false;
+        }
+        let mut basis = Vec::with_capacity(self.m);
+        for &var in &warm.basis {
+            match self.column_of(var) {
+                Some(c) => basis.push(c),
+                None => return false,
+            }
+        }
+        let mut in_basis = vec![false; self.n_total];
+        for &c in &basis {
+            if in_basis[c] {
+                return false; // duplicated member: corrupt state
+            }
+            in_basis[c] = true;
+        }
+        self.basis = basis;
+        self.in_basis = in_basis;
+        self.binv = warm.binv;
+        self.xb = self.mat_vec(&self.binv, &self.b);
+        self.pivots_since_refactor = 0;
+        // The rows are supposed to be unchanged, so the previous basic
+        // solution must still be (near-)feasible. If it is not — caller
+        // reused state across incompatible problems, or drift built up —
+        // refactorize once, then give up on the warm start.
+        if self.min_xb() < -1e-7 && !(self.refactor() && self.min_xb() >= -1e-7) {
+            return false;
+        }
+        for v in &mut self.xb {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        true
+    }
+
+    fn min_xb(&self) -> f64 {
+        self.xb.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    fn mat_vec(&self, mat: &[f64], v: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut out = vec![0.0; m];
+        for r in 0..m {
+            let row = &mat[r * m..(r + 1) * m];
+            out[r] = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Rebuilds `B⁻¹` from the basis columns by Gauss–Jordan elimination
+    /// with partial pivoting, and recomputes `x_B`. Returns `false` if the
+    /// basis matrix is numerically singular.
+    fn refactor(&mut self) -> bool {
+        let m = self.m;
+        // Dense B (column per basis member).
+        let mut bmat = vec![0.0f64; m * m];
+        for (c, &col) in self.basis.iter().enumerate() {
+            self.for_each_entry(col, |r, v| bmat[r * m + c] = v);
+        }
+        let mut inv = identity(m);
+        for k in 0..m {
+            // partial pivot
+            let mut p = k;
+            let mut best = bmat[k * m + k].abs();
+            for r in (k + 1)..m {
+                let cand = bmat[r * m + k].abs();
+                if cand > best {
+                    best = cand;
+                    p = r;
+                }
+            }
+            if best <= 1e-12 {
+                return false;
+            }
+            if p != k {
+                for j in 0..m {
+                    bmat.swap(k * m + j, p * m + j);
+                    inv.swap(k * m + j, p * m + j);
+                }
+            }
+            let piv = bmat[k * m + k];
+            let inv_piv = 1.0 / piv;
+            for j in 0..m {
+                bmat[k * m + j] *= inv_piv;
+                inv[k * m + j] *= inv_piv;
+            }
+            for r in 0..m {
+                if r == k {
+                    continue;
+                }
+                let f = bmat[r * m + k];
+                if f != 0.0 {
+                    for j in 0..m {
+                        bmat[r * m + j] -= f * bmat[k * m + j];
+                        inv[r * m + j] -= f * inv[k * m + j];
+                    }
+                }
+            }
+        }
+        // Row swaps are ordinary row operations applied to both sides, so
+        // once the left block reaches exactly I the right block is B⁻¹
+        // (with basis member r mapped to unit vector e_r).
+        self.binv = inv;
+        self.xb = self.mat_vec(&self.binv, &self.b);
+        self.pivots_since_refactor = 0;
+        true
+    }
+
+    /// FTRAN: `w = B⁻¹ a_j`.
+    fn ftran(&self, j: usize, w: &mut [f64]) {
+        let m = self.m;
+        for v in w.iter_mut() {
+            *v = 0.0;
+        }
+        self.for_each_entry(j, |i, a| {
+            for (r, wr) in w.iter_mut().enumerate() {
+                *wr += self.binv[r * m + i] * a;
+            }
+        });
+    }
+
+    /// BTRAN for pricing: `y = c_B B⁻¹` for the given cost vector.
+    fn duals_for(&self, cost: &[f64], y: &mut [f64]) {
+        let m = self.m;
+        for v in y.iter_mut() {
+            *v = 0.0;
+        }
+        for r in 0..m {
+            let cb = cost[self.basis[r]];
+            if cb != 0.0 {
+                let row = &self.binv[r * m..(r + 1) * m];
+                for (yk, &bk) in y.iter_mut().zip(row.iter()) {
+                    *yk += cb * bk;
+                }
+            }
+        }
+    }
+
+    /// Reduced cost of column `j` at duals `y`.
     #[inline]
-    fn at(&self, r: usize, c: usize) -> f64 {
-        self.t[r * self.width() + c]
+    fn reduced_cost(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
+        let mut rc = cost[j];
+        self.for_each_entry(j, |i, a| {
+            rc -= y[i] * a;
+        });
+        rc
     }
 
     fn objective_of_basis(&self, cost: &[f64]) -> f64 {
-        (0..self.m)
-            .map(|r| cost[self.basis[r]] * self.at(r, self.n_total))
-            .sum()
+        (0..self.m).map(|r| cost[self.basis[r]] * self.xb[r]).sum()
     }
 
-    /// Runs simplex iterations with the given cost vector and a predicate for
-    /// columns allowed to enter the basis. Returns `None` on success (optimal
-    /// for this cost) or `Some(status)` if unbounded / iteration limit.
+    /// Applies the pivot (leaving row `l`, entering column `e`, direction
+    /// `w = B⁻¹ a_e`) to the basis inverse and the basic solution.
+    fn pivot(&mut self, l: usize, e: usize, w: &[f64]) {
+        let m = self.m;
+        let wl = w[l];
+        debug_assert!(wl.abs() > 1e-12, "pivot element too small");
+        let theta = self.xb[l] / wl;
+        for (r, xr) in self.xb.iter_mut().enumerate() {
+            if r != l {
+                *xr -= theta * w[r];
+                if *xr < 0.0 && *xr > -1e-11 {
+                    *xr = 0.0;
+                }
+            }
+        }
+        self.xb[l] = theta;
+
+        // Product-form update of B⁻¹: scale the pivot row by 1/w_l, then
+        // subtract w_r times it from every other row. The pivot row is
+        // copied to a scratch buffer so the other rows can be updated
+        // without aliasing; the O(m) copy is dwarfed by the O(m²) update.
+        let inv_wl = 1.0 / wl;
+        for j in 0..m {
+            self.binv[l * m + j] *= inv_wl;
+        }
+        let pivot_row: Vec<f64> = self.binv[l * m..(l + 1) * m].to_vec();
+        for (r, &f) in w.iter().enumerate().take(m) {
+            if r == l {
+                continue;
+            }
+            if f != 0.0 {
+                let row = &mut self.binv[r * m..(r + 1) * m];
+                for (dst, &p) in row.iter_mut().zip(pivot_row.iter()) {
+                    *dst -= f * p;
+                }
+            }
+        }
+
+        self.in_basis[self.basis[l]] = false;
+        self.in_basis[e] = true;
+        self.basis[l] = e;
+        self.pivots_since_refactor += 1;
+    }
+
+    /// Runs simplex iterations with the given cost vector and entering
+    /// filter. Returns `None` when optimal for this cost, or a terminal
+    /// status.
     fn iterate(&mut self, cost: &[f64], allow_enter: impl Fn(usize) -> bool) -> Option<LpStatus> {
-        let width = self.width();
+        let m = self.m;
+        let mut y = vec![0.0f64; m];
+        let mut w = vec![0.0f64; m];
         let mut stall = 0usize;
         let mut last_obj = self.objective_of_basis(cost);
         loop {
             if self.iterations >= self.max_iterations {
                 return Some(LpStatus::IterationLimit);
             }
-            // y = c_B^T B^{-1} is implicit: reduced cost of column j is
-            // cost[j] - sum_r cost[basis[r]] * t[r][j].
-            let mut entering: Option<usize> = None;
+            if self.refactor_interval > 0
+                && self.pivots_since_refactor >= self.refactor_interval
+                && !self.refactor()
+            {
+                // A singular rebuild means the product-form inverse had
+                // drifted beyond repair; continuing would price against
+                // garbage. Same terminal treatment as the degenerate-pivot
+                // branch below.
+                return Some(LpStatus::IterationLimit);
+            }
+
+            self.duals_for(cost, &mut y);
             let use_bland = stall >= self.stall_threshold;
+            let mut entering: Option<usize> = None;
             let mut best_rc = self.tol;
             for j in 0..self.n_total {
-                if !allow_enter(j) {
+                if self.in_basis[j] || !allow_enter(j) {
                     continue;
                 }
-                // skip basic columns (their reduced cost is 0)
-                // (cheap test: basic columns always have rc == 0, no need to skip explicitly)
-                let mut rc = cost[j];
-                for r in 0..self.m {
-                    let cb = cost[self.basis[r]];
-                    if cb != 0.0 {
-                        rc -= cb * self.t[r * width + j];
-                    }
-                }
+                let rc = self.reduced_cost(cost, &y, j);
                 if rc > self.tol {
                     if use_bland {
                         entering = Some(j);
@@ -264,17 +592,17 @@ impl<'a> Tableau<'a> {
                     }
                 }
             }
-            let Some(e) = entering else {
-                return None; // optimal for this cost vector
-            };
+            let e = entering?;
 
-            // Ratio test.
+            self.ftran(e, &mut w);
+
+            // Ratio test (smallest ratio; ties to the smallest basis column
+            // index, which together with Bland pricing prevents cycling).
             let mut leaving: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
-            for r in 0..self.m {
-                let a = self.t[r * width + e];
+            for (r, &a) in w.iter().enumerate().take(m) {
                 if a > self.tol {
-                    let ratio = self.t[r * width + self.n_total] / a;
+                    let ratio = self.xb[r] / a;
                     let better = ratio < best_ratio - self.tol
                         || (ratio < best_ratio + self.tol
                             && leaving.map(|l| self.basis[r] < self.basis[l]).unwrap_or(true));
@@ -288,7 +616,15 @@ impl<'a> Tableau<'a> {
                 return Some(LpStatus::Unbounded);
             };
 
-            self.pivot(l, e);
+            if w[l].abs() <= 1e-12 {
+                // numerically degenerate direction: refactorize and retry
+                if !self.refactor() {
+                    return Some(LpStatus::IterationLimit);
+                }
+                continue;
+            }
+
+            self.pivot(l, e, &w);
             self.iterations += 1;
 
             let obj = self.objective_of_basis(cost);
@@ -301,115 +637,101 @@ impl<'a> Tableau<'a> {
         }
     }
 
-    fn pivot(&mut self, row: usize, col: usize) {
-        let width = self.width();
-        let pivot_value = self.t[row * width + col];
-        debug_assert!(pivot_value.abs() > 1e-12, "pivot element too small");
-        // normalize pivot row
-        let inv = 1.0 / pivot_value;
-        for j in 0..width {
-            self.t[row * width + j] *= inv;
-        }
-        // eliminate the column from all other rows
-        for r in 0..self.m {
-            if r == row {
+    /// Drives phase-1 artificials out of the basis where possible.
+    fn drive_out_artificials(&mut self) {
+        let m = self.m;
+        let mut w = vec![0.0f64; m];
+        #[allow(clippy::needless_range_loop)] // r indexes basis, binv rows and w
+        for r in 0..m {
+            if !matches!(self.kind[self.basis[r]], BasisVar::Artificial(_)) {
                 continue;
             }
-            let factor = self.t[r * width + col];
-            if factor != 0.0 {
-                for j in 0..width {
-                    let delta = factor * self.t[row * width + j];
-                    self.t[r * width + j] -= delta;
+            // Find a non-artificial, nonbasic column whose FTRAN has a
+            // non-zero pivot element in row r. The pivot element alone is
+            // (row r of B⁻¹) · a_j — O(nnz) per candidate.
+            let mut target = None;
+            for j in 0..self.first_artificial {
+                if self.in_basis[j] {
+                    continue;
                 }
-                // clamp tiny residues on the pivot column to exactly zero
-                self.t[r * width + col] = 0.0;
+                let mut alpha = 0.0;
+                self.for_each_entry(j, |i, a| {
+                    alpha += self.binv[r * m + i] * a;
+                });
+                if alpha.abs() > self.tol {
+                    target = Some(j);
+                    break;
+                }
             }
+            if let Some(j) = target {
+                self.ftran(j, &mut w);
+                if w[r].abs() > 1e-12 {
+                    self.pivot(r, j, &w);
+                }
+            }
+            // Otherwise the row is redundant: the artificial stays basic at
+            // value 0 and is barred from re-entering in phase 2.
         }
-        self.basis[row] = col;
     }
 
-    fn solve(mut self) -> LpSolution {
-        let has_artificials = self.first_artificial < self.n_total;
-
-        if has_artificials {
-            // Phase 1: maximize -(sum of artificials).
-            let mut phase1_cost = vec![0.0; self.n_total];
-            for j in self.first_artificial..self.n_total {
-                phase1_cost[j] = -1.0;
+    fn run(&mut self, warm: Option<WarmStart>) -> LpStatus {
+        let warm_ok = match warm {
+            Some(state) => self.try_warm_basis(state),
+            None => false,
+        };
+        if !warm_ok {
+            self.cold_basis();
+            let has_artificials = self.first_artificial < self.n_total;
+            let needs_phase1 = has_artificials
+                && self
+                    .basis
+                    .iter()
+                    .any(|&c| matches!(self.kind[c], BasisVar::Artificial(_)));
+            if needs_phase1 {
+                let mut phase1_cost = vec![0.0f64; self.n_total];
+                for c in phase1_cost[self.first_artificial..].iter_mut() {
+                    *c = -1.0;
+                }
+                if let Some(status) = self.iterate(&phase1_cost, |_| true) {
+                    // Phase 1 is bounded by 0, so this is an iteration limit.
+                    return status;
+                }
+                let infeasibility = -self.objective_of_basis(&phase1_cost);
+                if infeasibility > 1e-6 {
+                    return LpStatus::Infeasible;
+                }
+                self.drive_out_artificials();
             }
-            if let Some(status) = self.iterate(&phase1_cost, |_| true) {
-                // Unbounded cannot happen in phase 1 (objective bounded by 0),
-                // so this is an iteration limit.
-                return self.extract(status);
-            }
-            let phase1_obj = self.objective_of_basis(&phase1_cost);
-            if phase1_obj < -1e-6 {
-                return self.extract(LpStatus::Infeasible);
-            }
-            self.drive_out_artificials();
         }
 
-        // Phase 2 with the original costs; artificial columns may not enter.
+        // Phase 2 with the original costs; artificials may not (re-)enter.
         let cost = self.cost.clone();
         let first_artificial = self.first_artificial;
-        let status = match self.iterate(&cost, |j| j < first_artificial) {
+        match self.iterate(&cost, |j| j < first_artificial) {
             None => LpStatus::Optimal,
             Some(s) => s,
-        };
-        self.extract(status)
-    }
-
-    /// After phase 1, pivots basic artificial variables (at value 0) out of
-    /// the basis where possible so that phase 2 starts from a clean basis.
-    fn drive_out_artificials(&mut self) {
-        let width = self.width();
-        for r in 0..self.m {
-            if self.basis[r] >= self.first_artificial {
-                // find any eligible non-artificial column with nonzero entry
-                let mut target = None;
-                for j in 0..self.first_artificial {
-                    if self.t[r * width + j].abs() > self.tol {
-                        target = Some(j);
-                        break;
-                    }
-                }
-                if let Some(j) = target {
-                    self.pivot(r, j);
-                }
-                // if no such column exists the row is redundant; the
-                // artificial stays basic at value 0 which is harmless because
-                // artificials are barred from re-entering in phase 2.
-            }
         }
     }
 
     fn extract(&self, status: LpStatus) -> LpSolution {
-        let width = self.width();
-        let mut x = vec![0.0; self.n_original];
-        for r in 0..self.m {
-            let b = self.basis[r];
-            if b < self.n_original {
-                x[b] = self.t[r * width + self.n_total].max(0.0);
+        let mut x = vec![0.0f64; self.n];
+        for (r, &c) in self.basis.iter().enumerate() {
+            if let BasisVar::Structural(j) = self.kind[c] {
+                x[j] = self.xb[r].max(0.0);
             }
         }
-        // duals of the maximization form: y_i = Σ_r cost[basis[r]] * B^{-1}[r][i],
-        // and column `identity_col[i]` of the tableau is exactly B^{-1} e_i.
         let sense_sign = match self.lp.sense() {
             Sense::Maximize => 1.0,
             Sense::Minimize => -1.0,
         };
-        let mut duals = vec![0.0; self.m];
-        for i in 0..self.m {
-            let col = self.identity_col[i];
-            let mut y = 0.0;
-            for r in 0..self.m {
-                let cb = self.cost[self.basis[r]];
-                if cb != 0.0 {
-                    y += cb * self.t[r * width + col];
-                }
-            }
-            duals[i] = sense_sign * self.row_sign[i] * y;
-        }
+        // y = c_B B⁻¹ with the original maximization costs; B⁻¹ e_i is
+        // column i of the inverse, so this is exactly the dense solver's
+        // identity-column read-out.
+        let mut y = vec![0.0f64; self.m];
+        self.duals_for(&self.cost, &mut y);
+        let duals: Vec<f64> = (0..self.m)
+            .map(|i| sense_sign * self.row_sign[i] * y[i])
+            .collect();
         let objective = self.lp.objective_value(&x);
         LpSolution {
             status,
@@ -419,13 +741,31 @@ impl<'a> Tableau<'a> {
             iterations: self.iterations,
         }
     }
+
+    fn into_warm_start(self) -> WarmStart {
+        WarmStart {
+            basis: self.basis.iter().map(|&c| self.kind[c]).collect(),
+            binv: self.binv,
+        }
+    }
+}
+
+fn identity(m: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; m * m];
+    for i in 0..m {
+        out[i * m + i] = 1.0;
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dense;
     use crate::problem::{LinearProgram, Relation, Sense};
     use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn assert_close(a: f64, b: f64, tol: f64) {
         assert!((a - b).abs() < tol, "expected {b}, got {a}");
@@ -472,8 +812,7 @@ mod tests {
 
     #[test]
     fn minimization_with_ge_constraints() {
-        // min 2x + 3y  s.t. x + y >= 4, x >= 1  -> x = 4, y = 0 ... but check:
-        // 2*4=8 vs x=1,y=3 -> 2+9=11. Optimum x=4,y=0, objective 8.
+        // min 2x + 3y  s.t. x + y >= 4, x >= 1 -> x=4, y=0, objective 8.
         let mut lp = LinearProgram::new(Sense::Minimize);
         let x = lp.add_variable(2.0);
         let y = lp.add_variable(3.0);
@@ -563,8 +902,117 @@ mod tests {
         assert_close(sol.duals[2], 0.0, 1e-7);
     }
 
-    // Random packing LPs: the simplex solution must be feasible, and weak
-    // duality must hold against the reported duals.
+    #[test]
+    fn warm_start_resumes_without_pivots() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(3.0);
+        let y = lp.add_variable(2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+        lp.add_constraint(vec![(y, 1.0)], Relation::Le, 3.0);
+        let (first, state) = solve_with_warm_start(&lp, &SimplexOptions::default(), None);
+        assert_eq!(first.status, LpStatus::Optimal);
+        assert!(first.iterations > 0);
+        // Re-solving the unchanged LP from the optimal basis needs 0 pivots.
+        let (second, _) = solve_with_warm_start(&lp, &SimplexOptions::default(), Some(state));
+        assert_eq!(second.status, LpStatus::Optimal);
+        assert_eq!(second.iterations, 0);
+        assert_close(second.objective, first.objective, 1e-9);
+    }
+
+    #[test]
+    fn warm_start_after_adding_a_column() {
+        // Solve, then add a new structural variable (as column generation
+        // does) and resume: the old basis stays valid, the new column enters.
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+        let (first, state) = solve_with_warm_start(&lp, &SimplexOptions::default(), None);
+        assert_close(first.objective, 2.0, 1e-9);
+
+        let mut grown = LinearProgram::new(Sense::Maximize);
+        let x2 = grown.add_variable(1.0);
+        let z = grown.add_variable(5.0);
+        grown.add_constraint(vec![(x2, 1.0), (z, 1.0)], Relation::Le, 2.0);
+        let (second, _) = solve_with_warm_start(&grown, &SimplexOptions::default(), Some(state));
+        assert_eq!(second.status, LpStatus::Optimal);
+        assert_close(second.objective, 10.0, 1e-9);
+        assert_close(second.x[z], 2.0, 1e-9);
+    }
+
+    #[test]
+    fn mismatched_warm_start_falls_back_to_cold() {
+        let mut a = LinearProgram::new(Sense::Maximize);
+        let x = a.add_variable(1.0);
+        a.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        let (_, state) = solve_with_warm_start(&a, &SimplexOptions::default(), None);
+
+        // different row count: the state must be rejected, not trusted
+        let mut b = LinearProgram::new(Sense::Maximize);
+        let u = b.add_variable(1.0);
+        b.add_constraint(vec![(u, 1.0)], Relation::Le, 1.0);
+        b.add_constraint(vec![(u, 1.0)], Relation::Le, 3.0);
+        let (sol, _) = solve_with_warm_start(&b, &SimplexOptions::default(), Some(state));
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 1.0, 1e-9);
+    }
+
+    /// Deterministic seeded random packing LP used by the
+    /// revised-vs-dense equivalence tests.
+    fn random_packing_lp(seed: u64, n: usize, m: usize) -> LinearProgram {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        for _ in 0..n {
+            lp.add_variable(rng.random_range(0.0..10.0));
+        }
+        for _ in 0..m {
+            let mut coeffs: Vec<(usize, f64)> = Vec::new();
+            for j in 0..n {
+                if rng.random_range(0.0..1.0) < 0.6 {
+                    coeffs.push((j, rng.random_range(0.1..5.0)));
+                }
+            }
+            lp.add_constraint(coeffs, Relation::Le, rng.random_range(1.0..20.0));
+        }
+        lp
+    }
+
+    #[test]
+    fn revised_matches_dense_on_seeded_packing_lps() {
+        for seed in 0..40u64 {
+            let n = 1 + (seed as usize % 12);
+            let m = 1 + ((seed as usize * 7) % 10);
+            let lp = random_packing_lp(seed, n, m);
+            let revised = solve(&lp, &SimplexOptions::default());
+            let reference = dense::solve(&lp, &SimplexOptions::default());
+            assert_eq!(revised.status, reference.status, "seed {seed}");
+            if revised.status == LpStatus::Optimal {
+                assert!(
+                    (revised.objective - reference.objective).abs() < 1e-6,
+                    "seed {seed}: revised {} vs dense {}",
+                    revised.objective,
+                    reference.objective
+                );
+                assert!(lp.is_feasible(&revised.x, 1e-6));
+                // The optimal basis (and hence the duals) need not be unique,
+                // but both dual vectors must price the rhs to the optimum.
+                let price = |duals: &[f64]| -> f64 {
+                    lp.constraints()
+                        .iter()
+                        .zip(duals.iter())
+                        .map(|(c, &y)| c.rhs * y)
+                        .sum()
+                };
+                assert!(
+                    (price(&revised.duals) - price(&reference.duals)).abs() < 1e-6,
+                    "seed {seed}: dual objectives differ"
+                );
+            }
+        }
+    }
+
+    // Random packing LPs: the revised solution must be feasible, match the
+    // dense reference, and satisfy weak/strong duality.
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -577,8 +1025,8 @@ mod tests {
             rhs in prop::collection::vec(1.0f64..20.0, 8),
         ) {
             let mut lp = LinearProgram::new(Sense::Maximize);
-            for j in 0..n {
-                lp.add_variable(obj[j]);
+            for &c in obj.iter().take(n) {
+                lp.add_variable(c);
             }
             for i in 0..m {
                 let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, rows[i][j])).collect();
@@ -599,6 +1047,11 @@ mod tests {
                     let lhs: f64 = (0..m).map(|i| sol.duals[i] * rows[i][j]).sum();
                     prop_assert!(lhs >= obj[j] - 1e-5);
                 }
+                // and the dense reference finds the same optimum
+                let reference = dense::solve(&lp, &SimplexOptions::default());
+                prop_assert_eq!(reference.status, LpStatus::Optimal);
+                prop_assert!((sol.objective - reference.objective).abs() < 1e-6,
+                    "revised {} vs dense {}", sol.objective, reference.objective);
             }
         }
 
@@ -612,8 +1065,8 @@ mod tests {
             m in 1usize..6,
         ) {
             let mut lp = LinearProgram::new(Sense::Maximize);
-            for j in 0..n {
-                lp.add_variable(obj[j]);
+            for &c in obj.iter().take(n) {
+                lp.add_variable(c);
             }
             for i in 0..m {
                 let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, rows[i][j])).collect();
@@ -631,8 +1084,20 @@ mod tests {
             }
             let sol = solve(&lp, &SimplexOptions::default());
             match sol.status {
-                LpStatus::Optimal => prop_assert!(lp.is_feasible(&sol.x, 1e-5)),
-                LpStatus::Infeasible => { /* fine */ }
+                LpStatus::Optimal => {
+                    prop_assert!(lp.is_feasible(&sol.x, 1e-5));
+                    let reference = dense::solve(&lp, &SimplexOptions::default());
+                    if reference.status == LpStatus::Optimal {
+                        prop_assert!((sol.objective - reference.objective).abs()
+                            < 1e-5 * (1.0 + sol.objective.abs()),
+                            "revised {} vs dense {}", sol.objective, reference.objective);
+                    }
+                }
+                LpStatus::Infeasible => {
+                    // the dense reference must agree that no point exists
+                    let reference = dense::solve(&lp, &SimplexOptions::default());
+                    prop_assert_ne!(reference.status, LpStatus::Optimal);
+                }
                 LpStatus::Unbounded => prop_assert!(false, "bounded LP reported unbounded"),
                 LpStatus::IterationLimit => { /* extremely unlikely; accept */ }
             }

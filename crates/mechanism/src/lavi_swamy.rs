@@ -245,7 +245,13 @@ pub fn decompose(
             produced_ref.push(allocation);
             vec![column]
         };
-        pricing_rounds = cg.run(&mut master, &mut pricing).rounds;
+        // The decomposition master is seeded with the always-feasible
+        // singleton columns, so even an iteration-limited run leaves a
+        // usable cover; the final cold solve below recomputes the weights.
+        pricing_rounds = match cg.run(&mut master, &mut pricing) {
+            Ok(result) => result.rounds,
+            Err(ssa_lp::ColumnGenerationError::IterationLimit { partial }) => partial.rounds,
+        };
     }
     allocations.extend(produced);
 
