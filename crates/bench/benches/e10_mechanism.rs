@@ -18,7 +18,14 @@ fn bench_e10(c: &mut Criterion) {
     let vcg = fractional_vcg(instance, &LpFormulationOptions::default());
     let alpha = guarantee_factor(instance);
     c.bench_function("e10_mechanism/decomposition", |b| {
-        b.iter(|| decompose(instance, &vcg.fractional, alpha, &DecompositionOptions::default()))
+        b.iter(|| {
+            decompose(
+                instance,
+                &vcg.fractional,
+                alpha,
+                &DecompositionOptions::default(),
+            )
+        })
     });
     c.bench_function("e10_mechanism/full_mechanism", |b| {
         let mechanism = TruthfulMechanism::new(TruthfulMechanismOptions::default());

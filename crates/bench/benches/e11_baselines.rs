@@ -19,10 +19,18 @@ fn bench_e11(c: &mut Criterion) {
         let solver = SpectrumAuctionSolver::default();
         b.iter(|| solver.solve(instance))
     });
-    group.bench_function("greedy_channel_by_channel", |b| b.iter(|| greedy_channel_by_channel(instance)));
-    group.bench_function("greedy_by_bundle_value", |b| b.iter(|| greedy_by_bundle_value(instance)));
-    group.bench_function("edge_lp_baseline", |b| b.iter(|| edge_lp_baseline(instance)));
-    group.bench_function("exact_branch_and_bound", |b| b.iter(|| solve_exact_default(instance)));
+    group.bench_function("greedy_channel_by_channel", |b| {
+        b.iter(|| greedy_channel_by_channel(instance))
+    });
+    group.bench_function("greedy_by_bundle_value", |b| {
+        b.iter(|| greedy_by_bundle_value(instance))
+    });
+    group.bench_function("edge_lp_baseline", |b| {
+        b.iter(|| edge_lp_baseline(instance))
+    });
+    group.bench_function("exact_branch_and_bound", |b| {
+        b.iter(|| solve_exact_default(instance))
+    });
     group.finish();
 }
 

@@ -12,15 +12,26 @@ fn bench_e12(c: &mut Criterion) {
     for &(n, k) in &[(50usize, 2usize), (100, 4), (200, 4)] {
         let generated = protocol_scenario(&ScenarioConfig::new(n, k, 12), 1.0);
         let instance = &generated.instance;
-        group.bench_with_input(BenchmarkId::new("lp_solve", format!("n{n}_k{k}")), instance, |b, inst| {
-            b.iter(|| solve_relaxation_oracle(inst))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lp_solve", format!("n{n}_k{k}")),
+            instance,
+            |b, inst| b.iter(|| solve_relaxation_oracle(inst)),
+        );
         let fractional = solve_relaxation_oracle(instance);
         group.bench_with_input(
             BenchmarkId::new("rounding_16_trials", format!("n{n}_k{k}")),
             &(instance, &fractional),
             |b, (inst, frac)| {
-                b.iter(|| round_binary(inst, frac, &RoundingOptions { seed: 1, trials: 16 }))
+                b.iter(|| {
+                    round_binary(
+                        inst,
+                        frac,
+                        &RoundingOptions {
+                            seed: 1,
+                            trials: 16,
+                        },
+                    )
+                })
             },
         );
     }

@@ -12,9 +12,11 @@ fn bench_e1(c: &mut Criterion) {
     for &(n, k) in &[(20usize, 2usize), (40, 4)] {
         let generated = protocol_scenario(&ScenarioConfig::new(n, k, 1), 1.0);
         let instance = &generated.instance;
-        group.bench_with_input(BenchmarkId::new("lp_solve", format!("n{n}_k{k}")), instance, |b, inst| {
-            b.iter(|| solve_relaxation_oracle(inst))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lp_solve", format!("n{n}_k{k}")),
+            instance,
+            |b, inst| b.iter(|| solve_relaxation_oracle(inst)),
+        );
         let fractional = solve_relaxation_oracle(instance);
         group.bench_with_input(
             BenchmarkId::new("algorithm1_rounding", format!("n{n}_k{k}")),

@@ -14,7 +14,16 @@ fn bench_e2(c: &mut Criterion) {
     let instance = &generated.instance;
     let fractional = solve_relaxation_oracle(instance);
     c.bench_function("e2_removal_probability/100_trials", |b| {
-        b.iter(|| round_binary(instance, &fractional, &RoundingOptions { seed: 7, trials: 100 }))
+        b.iter(|| {
+            round_binary(
+                instance,
+                &fractional,
+                &RoundingOptions {
+                    seed: 7,
+                    trials: 100,
+                },
+            )
+        })
     });
 }
 

@@ -12,9 +12,11 @@ fn bench_e4(c: &mut Criterion) {
         let mut rng = seeded_rng(n as u64);
         let centers = uniform_points(n, 100.0, &mut rng);
         let disks = random_disks(&centers, 1.0, 3.0, &mut rng);
-        group.bench_with_input(BenchmarkId::new("build_and_certify", n), &disks, |b, disks| {
-            b.iter(|| DiskGraphModel::new(disks.clone()).build())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_and_certify", n),
+            &disks,
+            |b, disks| b.iter(|| DiskGraphModel::new(disks.clone()).build()),
+        );
     }
     group.finish();
 }

@@ -13,9 +13,11 @@ fn bench_e6(c: &mut Criterion) {
     let senders = uniform_points(n, 80.0, &mut rng);
     let links = random_links(&senders, 0.5, 4.0, &mut rng);
     for &delta in &[0.5f64, 2.0] {
-        group.bench_with_input(BenchmarkId::new("build_and_certify", format!("delta{delta}")), &links, |b, links| {
-            b.iter(|| ProtocolModel::new(links.clone(), delta).build())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_and_certify", format!("delta{delta}")),
+            &links,
+            |b, links| b.iter(|| ProtocolModel::new(links.clone(), delta).build()),
+        );
     }
     group.finish();
 }

@@ -14,16 +14,20 @@ fn bench_e7(c: &mut Criterion) {
         let senders = uniform_points(n, 120.0, &mut rng);
         let links = random_links(&senders, 0.5, 4.0, &mut rng);
         let metric = LinkMetric::from_links(&links);
-        group.bench_with_input(BenchmarkId::new("build_and_certify", n), &metric, |b, metric| {
-            b.iter(|| {
-                PhysicalModel::new(
-                    metric.clone(),
-                    SinrParameters::new(3.0, 1.0, 0.0),
-                    &PowerAssignment::Uniform,
-                )
-                .build()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_and_certify", n),
+            &metric,
+            |b, metric| {
+                b.iter(|| {
+                    PhysicalModel::new(
+                        metric.clone(),
+                        SinrParameters::new(3.0, 1.0, 0.0),
+                        &PowerAssignment::Uniform,
+                    )
+                    .build()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -10,13 +10,19 @@ use std::time::Duration;
 fn bench_e8(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_power_control");
     for &(n, k) in &[(15usize, 2usize), (30, 4)] {
-        let (generated, pc) =
-            power_control_scenario(&ScenarioConfig::new(n, k, 8), SinrParameters::new(3.0, 1.0, 0.05));
+        let (generated, pc) = power_control_scenario(
+            &ScenarioConfig::new(n, k, 8),
+            SinrParameters::new(3.0, 1.0, 0.05),
+        );
         let instance = generated.instance.clone();
-        group.bench_with_input(BenchmarkId::new("pipeline", format!("n{n}_k{k}")), &instance, |b, inst| {
-            let solver = SpectrumAuctionSolver::default();
-            b.iter(|| solver.solve(inst))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pipeline", format!("n{n}_k{k}")),
+            &instance,
+            |b, inst| {
+                let solver = SpectrumAuctionSolver::default();
+                b.iter(|| solver.solve(inst))
+            },
+        );
         // power control on the full link set restricted to an independent set
         let solver = SpectrumAuctionSolver::default();
         let outcome = solver.solve(&instance);

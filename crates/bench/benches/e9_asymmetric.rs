@@ -26,11 +26,15 @@ fn bench_e9(c: &mut Criterion) {
             let solver = SpectrumAuctionSolver::default();
             b.iter(|| solver.solve(&instance))
         });
-        group.bench_with_input(BenchmarkId::new("random_asymmetric_pipeline", k), &k, |b, &k| {
-            let generated = asymmetric_scenario(&ScenarioConfig::new(14, k, 9), 1.0);
-            let solver = SpectrumAuctionSolver::default();
-            b.iter(|| solver.solve(&generated.instance))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("random_asymmetric_pipeline", k),
+            &k,
+            |b, &k| {
+                let generated = asymmetric_scenario(&ScenarioConfig::new(14, k, 9), 1.0);
+                let solver = SpectrumAuctionSolver::default();
+                b.iter(|| solver.solve(&generated.instance))
+            },
+        );
     }
     group.finish();
 }

@@ -6,6 +6,7 @@
 
 use crate::table::{fmt, Table};
 use rayon::prelude::*;
+use ssa_conflict_graph::ConflictGraph;
 use ssa_core::edge_lp::edge_lp_baseline;
 use ssa_core::exact::solve_exact_default;
 use ssa_core::greedy::{greedy_by_bundle_value, greedy_channel_by_channel};
@@ -13,16 +14,17 @@ use ssa_core::hardness::{theorem_18_instance, theorem_18_optimum};
 use ssa_core::lp_formulation::solve_relaxation_oracle;
 use ssa_core::rounding::{round_binary, RoundingOptions};
 use ssa_core::solver::{guarantee_factor, SolverOptions, SpectrumAuctionSolver};
-use ssa_conflict_graph::ConflictGraph;
 use ssa_geometry::{CivilizedLayout, LinkMetric};
 use ssa_interference::{
-    CivilizedDistance2Model, Distance2ColoringModel, Distance2MatchingModel, DiskGraphModel,
+    CivilizedDistance2Model, DiskGraphModel, Distance2ColoringModel, Distance2MatchingModel,
     Ieee80211Model, PhysicalModel, PowerAssignment, ProtocolModel, SinrParameters,
 };
 use ssa_mechanism::{lavi_swamy, TruthfulMechanism, TruthfulMechanismOptions};
-use ssa_workloads::placement::{grid_points, random_disks, random_links, seeded_rng, uniform_points};
-use ssa_workloads::{protocol_scenario, ScenarioConfig, ValuationProfile};
+use ssa_workloads::placement::{
+    grid_points, random_disks, random_links, seeded_rng, uniform_points,
+};
 use ssa_workloads::{asymmetric_scenario, physical_scenario, power_control_scenario};
+use ssa_workloads::{protocol_scenario, ScenarioConfig, ValuationProfile};
 use std::time::Instant;
 
 fn solver_with_trials(trials: usize, seed: u64) -> SpectrumAuctionSolver {
@@ -38,7 +40,16 @@ pub fn e1_unweighted_rounding(quick: bool) -> Table {
     let mut table = Table::new(
         "E1",
         "Theorem 3: Algorithm 1 achieves expected welfare ≥ b*/(8√k·ρ) (unweighted graphs)",
-        &["n", "k", "rho", "b* (LP)", "mean welfare", "best welfare", "bound b*/(8√k·ρ)", "mean/bound"],
+        &[
+            "n",
+            "k",
+            "rho",
+            "b* (LP)",
+            "mean welfare",
+            "best welfare",
+            "bound b*/(8√k·ρ)",
+            "mean/bound",
+        ],
     );
     let ns: &[usize] = if quick { &[16] } else { &[20, 40, 80] };
     let ks: &[usize] = if quick { &[2] } else { &[1, 2, 4, 8] };
@@ -56,7 +67,10 @@ pub fn e1_unweighted_rounding(quick: bool) -> Table {
                     round_binary(
                         instance,
                         &fractional,
-                        &RoundingOptions { seed: 500 + t as u64, trials: 1 },
+                        &RoundingOptions {
+                            seed: 500 + t as u64,
+                            trials: 1,
+                        },
                     )
                     .welfare
                 })
@@ -71,7 +85,11 @@ pub fn e1_unweighted_rounding(quick: bool) -> Table {
                 fmt(mean),
                 fmt(best),
                 fmt(bound),
-                fmt(if bound > 0.0 { mean / bound } else { f64::INFINITY }),
+                fmt(if bound > 0.0 {
+                    mean / bound
+                } else {
+                    f64::INFINITY
+                }),
             ]);
         }
     }
@@ -84,7 +102,15 @@ pub fn e2_removal_probability(quick: bool) -> Table {
     let mut table = Table::new(
         "E2",
         "Lemma 4: P(removed in conflict resolution | survived rounding) ≤ 1/2",
-        &["n", "k", "clustered", "rounded bidders", "removed", "empirical rate", "paper bound"],
+        &[
+            "n",
+            "k",
+            "clustered",
+            "rounded bidders",
+            "removed",
+            "empirical rate",
+            "paper bound",
+        ],
     );
     let configs: Vec<(usize, usize, bool)> = if quick {
         vec![(16, 2, true)]
@@ -127,11 +153,8 @@ pub fn e3_weighted_rounding(quick: bool) -> Table {
         for &k in ks {
             for power in &powers {
                 let config = ScenarioConfig::new(n, k, 300 + (n + k) as u64);
-                let (generated, _) = physical_scenario(
-                    &config,
-                    SinrParameters::new(3.0, 1.0, 0.02),
-                    power.clone(),
-                );
+                let (generated, _) =
+                    physical_scenario(&config, SinrParameters::new(3.0, 1.0, 0.02), power.clone());
                 let instance = &generated.instance;
                 let solver = solver_with_trials(if quick { 8 } else { 32 }, 11);
                 let outcome = solver.solve(instance);
@@ -144,7 +167,11 @@ pub fn e3_weighted_rounding(quick: bool) -> Table {
                     fmt(outcome.lp_objective),
                     fmt(outcome.welfare),
                     fmt(bound),
-                    fmt(if bound > 0.0 { outcome.welfare / bound } else { f64::INFINITY }),
+                    fmt(if bound > 0.0 {
+                        outcome.welfare / bound
+                    } else {
+                        f64::INFINITY
+                    }),
                 ]);
             }
         }
@@ -160,7 +187,11 @@ pub fn e4_disk_rho(quick: bool) -> Table {
         "Proposition 9: disk graphs have inductive independence number ρ ≤ 5",
         &["n", "radius range", "edges", "certified rho", "paper bound"],
     );
-    let ns: &[usize] = if quick { &[50] } else { &[50, 100, 200, 400, 800] };
+    let ns: &[usize] = if quick {
+        &[50]
+    } else {
+        &[50, 100, 200, 400, 800]
+    };
     for &n in ns {
         for (lo, hi) in [(1.0, 3.0), (0.5, 10.0)] {
             let mut rng = seeded_rng(n as u64);
@@ -270,9 +301,20 @@ pub fn e7_physical_rho(quick: bool) -> Table {
     let mut table = Table::new(
         "E7",
         "Proposition 15: physical model (monotone powers) has ρ = O(log n)",
-        &["n", "alpha", "power", "certified rho", "log2(n)", "rho/log2(n)"],
+        &[
+            "n",
+            "alpha",
+            "power",
+            "certified rho",
+            "log2(n)",
+            "rho/log2(n)",
+        ],
     );
-    let ns: &[usize] = if quick { &[25, 50] } else { &[25, 50, 100, 200, 400] };
+    let ns: &[usize] = if quick {
+        &[25, 50]
+    } else {
+        &[25, 50, 100, 200, 400]
+    };
     let alphas: &[f64] = if quick { &[3.0] } else { &[2.5, 3.0, 4.0] };
     for &n in ns {
         for &alpha in alphas {
@@ -308,14 +350,23 @@ pub fn e8_power_control(quick: bool) -> Table {
     let mut table = Table::new(
         "E8",
         "Theorem 17: LP + rounding + power control always yields SINR-schedulable channel sets",
-        &["n", "k", "rho", "b* (LP)", "welfare", "channels schedulable", "guarantee factor"],
+        &[
+            "n",
+            "k",
+            "rho",
+            "b* (LP)",
+            "welfare",
+            "channels schedulable",
+            "guarantee factor",
+        ],
     );
     let ns: &[usize] = if quick { &[12] } else { &[20, 40, 80] };
     let ks: &[usize] = if quick { &[2] } else { &[1, 2, 4, 8] };
     for &n in ns {
         for &k in ks {
             let config = ScenarioConfig::new(n, k, 800 + (n * k) as u64);
-            let (generated, pc) = power_control_scenario(&config, SinrParameters::new(3.0, 1.0, 0.05));
+            let (generated, pc) =
+                power_control_scenario(&config, SinrParameters::new(3.0, 1.0, 0.05));
             let instance = &generated.instance;
             // the Theorem 17 weights carry a 1/τ = 2·3^α(4β+2) factor, so ρ
             // (and hence the sampling denominator) is a large constant; many
@@ -323,7 +374,10 @@ pub fn e8_power_control(quick: bool) -> Table {
             let solver = solver_with_trials(if quick { 32 } else { 512 }, 17);
             let outcome = solver.solve(instance);
             let schedulable = (0..k)
-                .filter(|&j| pc.power_control(&outcome.allocation.winners_of_channel(j)).is_some())
+                .filter(|&j| {
+                    pc.power_control(&outcome.allocation.winners_of_channel(j))
+                        .is_some()
+                })
                 .count();
             table.push_row(vec![
                 n.to_string(),
@@ -346,7 +400,17 @@ pub fn e9_asymmetric(quick: bool) -> Table {
     let mut table = Table::new(
         "E9",
         "Section 6 + Theorem 18: asymmetric channels — O(ρ·k) algorithm vs the hard construction",
-        &["instance", "n", "k", "rho", "opt (exact)", "b* (LP)", "welfare", "opt/welfare", "rho*k"],
+        &[
+            "instance",
+            "n",
+            "k",
+            "rho",
+            "opt (exact)",
+            "b* (LP)",
+            "welfare",
+            "opt/welfare",
+            "rho*k",
+        ],
     );
     let ks: &[usize] = if quick { &[2] } else { &[1, 2, 4] };
     for &k in ks {
@@ -370,7 +434,11 @@ pub fn e9_asymmetric(quick: bool) -> Table {
             fmt(optimum),
             fmt(outcome.lp_objective),
             fmt(outcome.welfare),
-            fmt(if outcome.welfare > 0.0 { optimum / outcome.welfare } else { f64::INFINITY }),
+            fmt(if outcome.welfare > 0.0 {
+                optimum / outcome.welfare
+            } else {
+                f64::INFINITY
+            }),
             fmt(hard.rho * k as f64),
         ]);
 
@@ -391,7 +459,11 @@ pub fn e9_asymmetric(quick: bool) -> Table {
             fmt(exact),
             fmt(outcome2.lp_objective),
             fmt(outcome2.welfare),
-            fmt(if outcome2.welfare > 0.0 && exact.is_finite() { exact / outcome2.welfare } else { f64::NAN }),
+            fmt(if outcome2.welfare > 0.0 && exact.is_finite() {
+                exact / outcome2.welfare
+            } else {
+                f64::NAN
+            }),
             fmt(generated.instance.rho * k as f64),
         ]);
     }
@@ -404,9 +476,23 @@ pub fn e10_mechanism(quick: bool) -> Table {
     let mut table = Table::new(
         "E10",
         "Section 5: Lavi–Swamy mechanism — decomposition validity and truthfulness probe",
-        &["n", "k", "b* (LP)", "alpha", "alpha_eff", "support", "E[welfare]", "cover ok", "max misreport gain"],
+        &[
+            "n",
+            "k",
+            "b* (LP)",
+            "alpha",
+            "alpha_eff",
+            "support",
+            "E[welfare]",
+            "cover ok",
+            "max misreport gain",
+        ],
     );
-    let sizes: Vec<(usize, usize)> = if quick { vec![(8, 2)] } else { vec![(8, 2), (10, 2), (12, 3)] };
+    let sizes: Vec<(usize, usize)> = if quick {
+        vec![(8, 2)]
+    } else {
+        vec![(8, 2), (10, 2), (12, 3)]
+    };
     for (n, k) in sizes {
         let mut config = ScenarioConfig::new(n, k, 600 + n as u64);
         config.valuations = ValuationProfile::Xor;
@@ -414,7 +500,8 @@ pub fn e10_mechanism(quick: bool) -> Table {
         let instance = &generated.instance;
         let mechanism = TruthfulMechanism::new(TruthfulMechanismOptions::default());
         let outcome = mechanism.run(instance, 42);
-        let cover_ok = lavi_swamy::verify_cover(&outcome.decomposition, &outcome.vcg.fractional, 1e-6);
+        let cover_ok =
+            lavi_swamy::verify_cover(&outcome.decomposition, &outcome.vcg.fractional, 1e-6);
 
         // misreporting probe for bidder 0: scale the whole market's bidder-0
         // report is not directly expressible without rebuilding valuations;
@@ -426,8 +513,15 @@ pub fn e10_mechanism(quick: bool) -> Table {
         let truthful_utilities: Vec<f64> = (0..instance.num_bidders())
             .map(|v| outcome.expected_utility(instance, v))
             .collect();
-        let min_utility = truthful_utilities.iter().cloned().fold(f64::INFINITY, f64::min);
-        let misreport_gain = if min_utility < -1e-6 { -min_utility } else { 0.0 };
+        let min_utility = truthful_utilities
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let misreport_gain = if min_utility < -1e-6 {
+            -min_utility
+        } else {
+            0.0
+        };
 
         table.push_row(vec![
             n.to_string(),
@@ -452,7 +546,11 @@ pub fn e11_baselines(quick: bool) -> Table {
         "Baselines: LP-rounding (paper) vs greedy heuristics vs edge-based LP, as % of the exact optimum",
         &["n", "k", "seeds", "LP-round %", "greedy-channel %", "greedy-bundle %", "edge-LP %"],
     );
-    let cases: Vec<(usize, usize)> = if quick { vec![(8, 2)] } else { vec![(10, 2), (10, 4), (12, 3)] };
+    let cases: Vec<(usize, usize)> = if quick {
+        vec![(8, 2)]
+    } else {
+        vec![(10, 2), (10, 4), (12, 3)]
+    };
     let num_seeds = if quick { 2 } else { 6 };
     for (n, k) in cases {
         let mut sums = [0.0f64; 4];
@@ -490,7 +588,15 @@ pub fn e12_scalability(quick: bool) -> Table {
     let mut table = Table::new(
         "E12",
         "Scalability: wall-clock milliseconds per pipeline stage",
-        &["n", "k", "LP solve (ms)", "LP columns", "rounding (ms)", "total (ms)", "welfare/b*"],
+        &[
+            "n",
+            "k",
+            "LP solve (ms)",
+            "LP columns",
+            "rounding (ms)",
+            "total (ms)",
+            "welfare/b*",
+        ],
     );
     let cases: Vec<(usize, usize)> = if quick {
         vec![(30, 2)]
@@ -505,7 +611,14 @@ pub fn e12_scalability(quick: bool) -> Table {
         let fractional = solve_relaxation_oracle(instance);
         let lp_ms = t0.elapsed().as_secs_f64() * 1000.0;
         let t1 = Instant::now();
-        let outcome = round_binary(instance, &fractional, &RoundingOptions { seed: 1, trials: 16 });
+        let outcome = round_binary(
+            instance,
+            &fractional,
+            &RoundingOptions {
+                seed: 1,
+                trials: 16,
+            },
+        );
         let round_ms = t1.elapsed().as_secs_f64() * 1000.0;
         table.push_row(vec![
             n.to_string(),
@@ -514,7 +627,11 @@ pub fn e12_scalability(quick: bool) -> Table {
             fractional.num_columns.to_string(),
             fmt(round_ms),
             fmt(lp_ms + round_ms),
-            fmt(if fractional.objective > 0.0 { outcome.welfare / fractional.objective } else { 0.0 }),
+            fmt(if fractional.objective > 0.0 {
+                outcome.welfare / fractional.objective
+            } else {
+                0.0
+            }),
         ]);
     }
     table
@@ -586,7 +703,11 @@ mod tests {
         let t = e8_power_control(true);
         for row in &t.rows {
             let parts: Vec<&str> = row[5].split('/').collect();
-            assert_eq!(parts[0], parts[1], "not all channels schedulable: {}", row[5]);
+            assert_eq!(
+                parts[0], parts[1],
+                "not all channels schedulable: {}",
+                row[5]
+            );
         }
     }
 
@@ -603,7 +724,10 @@ mod tests {
         let t = e11_baselines(true);
         for row in &t.rows {
             let pct: f64 = row[3].parse().unwrap();
-            assert!(pct > 20.0, "LP rounding captured only {pct}% of the optimum");
+            assert!(
+                pct > 20.0,
+                "LP rounding captured only {pct}% of the optimum"
+            );
         }
     }
 }

@@ -29,7 +29,12 @@ impl Table {
 
     /// Appends a row.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.columns.len(), "row width mismatch in table {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
         self.rows.push(row);
     }
 
@@ -93,7 +98,10 @@ impl Table {
         out.push_str("{\n");
         out.push_str(&format!("  \"id\": \"{}\",\n", esc(&self.id)));
         out.push_str(&format!("  \"caption\": \"{}\",\n", esc(&self.caption)));
-        out.push_str(&format!("  \"columns\": {},\n", string_array(&self.columns, "").trim_start()));
+        out.push_str(&format!(
+            "  \"columns\": {},\n",
+            string_array(&self.columns, "").trim_start()
+        ));
         out.push_str("  \"rows\": [\n");
         let rows: Vec<String> = self.rows.iter().map(|r| string_array(r, "    ")).collect();
         out.push_str(&rows.join(",\n"));

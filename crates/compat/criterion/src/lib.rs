@@ -47,9 +47,27 @@ pub struct Bencher<'a> {
     config: &'a Config,
 }
 
+/// `SSA_BENCH_SMOKE=1` turns every benchmark into a single untimed-warm-up,
+/// single-sample run: CI uses it to prove the bench code still compiles and
+/// executes (one tiny criterion iteration) without paying measurement time.
+fn smoke_mode() -> bool {
+    static SMOKE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::var_os("SSA_BENCH_SMOKE").is_some_and(|v| v != "0"))
+}
+
 impl Bencher<'_> {
     /// Runs the routine repeatedly, timing each sample.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if smoke_mode() {
+            let t = Instant::now();
+            black_box(routine());
+            println!(
+                "  {:<50} smoke {:>12.3?}  (1 sample)",
+                self.config.current_id,
+                t.elapsed()
+            );
+            return;
+        }
         // warm-up: at least one call, at most warm_up_time
         let warm_start = Instant::now();
         loop {
@@ -73,7 +91,9 @@ impl Bencher<'_> {
         let min = samples.iter().min().copied().unwrap_or_default();
         println!(
             "  {:<50} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
-            self.config.current_id, mean, min,
+            self.config.current_id,
+            mean,
+            min,
             samples.len()
         );
     }

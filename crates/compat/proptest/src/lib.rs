@@ -67,7 +67,9 @@ pub mod test_runner {
         /// RNG for case number `case`; the fixed stream constant keeps runs
         /// reproducible across processes.
         pub fn deterministic(case: u64) -> Self {
-            TestRng(StdRng::seed_from_u64(0x5EED_5EED ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            TestRng(StdRng::seed_from_u64(
+                0x5EED_5EED ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
         }
     }
 }

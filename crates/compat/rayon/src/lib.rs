@@ -228,10 +228,7 @@ pub struct ParSliceEnumerate<'a, T> {
 
 impl<'a, T: Sync> ParSliceEnumerate<'a, T> {
     /// Maps each `(index, &item)` pair through `f`.
-    pub fn map<U, F: Fn((usize, &'a T)) -> U + Sync>(
-        self,
-        f: F,
-    ) -> ParSliceEnumerateMap<'a, T, F> {
+    pub fn map<U, F: Fn((usize, &'a T)) -> U + Sync>(self, f: F) -> ParSliceEnumerateMap<'a, T, F> {
         ParSliceEnumerateMap {
             slice: self.slice,
             f,

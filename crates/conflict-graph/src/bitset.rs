@@ -61,7 +61,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `idx >= universe_len()`.
     pub fn insert(&mut self, idx: usize) -> bool {
-        assert!(idx < self.len, "index {idx} out of bounds for BitSet of len {}", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds for BitSet of len {}",
+            self.len
+        );
         let w = idx / 64;
         let b = idx % 64;
         let had = self.words[w] & (1 << b) != 0;
@@ -147,7 +151,10 @@ impl BitSet {
 
     /// Returns `true` if `self` and `other` share at least one element.
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(other.words.iter()).any(|(a, b)| a & b != 0)
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
     }
 
     /// In-place union with `other`.
@@ -179,7 +186,10 @@ impl BitSet {
 
     /// Returns `true` if every element of `self` is contained in `other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(other.words.iter()).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Alias of [`BitSet::iter`]: walks set bits word by word with

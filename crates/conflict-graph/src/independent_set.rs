@@ -30,7 +30,10 @@ impl IndependentSetResult {
     fn from_vertices(mut vertices: Vec<VertexId>, weights: &[f64]) -> Self {
         vertices.sort_unstable();
         let total_weight = vertices.iter().map(|&v| weights[v]).sum();
-        IndependentSetResult { vertices, total_weight }
+        IndependentSetResult {
+            vertices,
+            total_weight,
+        }
     }
 
     /// Number of chosen vertices.
@@ -62,7 +65,9 @@ pub fn greedy_max_weight_independent_set(
     order.sort_by(|&a, &b| {
         let ka = weights[a] / (g.degree(a) as f64 + 1.0);
         let kb = weights[b] / (g.degree(b) as f64 + 1.0);
-        kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        kb.partial_cmp(&ka)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     let mut chosen = BitSet::new(n);
     let mut blocked = BitSet::new(n);
@@ -107,9 +112,7 @@ pub fn greedy_max_weight_independent_set_weighted(
         if incoming[v] >= 1.0 {
             continue;
         }
-        let breaks_existing = chosen
-            .iter()
-            .any(|&u| incoming[u] + g.weight(v, u) >= 1.0);
+        let breaks_existing = chosen.iter().any(|&u| incoming[u] + g.weight(v, u) >= 1.0);
         if breaks_existing {
             continue;
         }
@@ -190,7 +193,13 @@ pub fn exact_max_weight_independent_set(
         best_set: Vec<VertexId>,
     }
 
-    fn recurse(ctx: &mut Ctx<'_>, idx: usize, current: &mut Vec<VertexId>, blocked: &BitSet, weight: f64) {
+    fn recurse(
+        ctx: &mut Ctx<'_>,
+        idx: usize,
+        current: &mut Vec<VertexId>,
+        blocked: &BitSet,
+        weight: f64,
+    ) {
         if weight > ctx.best_weight {
             ctx.best_weight = weight;
             ctx.best_set = current.clone();

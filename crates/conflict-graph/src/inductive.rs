@@ -285,7 +285,10 @@ pub fn greedy_ordering_search_weighted(
 /// Panics if `g.num_vertices() > 10`.
 pub fn exact_inductive_independence_number(g: &ConflictGraph) -> (VertexOrdering, usize) {
     let n = g.num_vertices();
-    assert!(n <= 10, "exact search over orderings is factorial; n = {n} is too large");
+    assert!(
+        n <= 10,
+        "exact search over orderings is factorial; n = {n} is too large"
+    );
     let mut best: Option<(usize, Vec<VertexId>)> = None;
     let mut perm: Vec<VertexId> = (0..n).collect();
     permute(&mut perm, 0, &mut |p: &[VertexId]| {
@@ -360,7 +363,10 @@ mod tests {
     fn greedy_ordering_finds_good_star_ordering() {
         let g = ConflictGraph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6)]);
         let (_, bound) = greedy_ordering_search(&g);
-        assert_eq!(bound.rho, 1.0, "star graphs have inductive independence number 1");
+        assert_eq!(
+            bound.rho, 1.0,
+            "star graphs have inductive independence number 1"
+        );
     }
 
     #[test]
@@ -385,7 +391,8 @@ mod tests {
 
     #[test]
     fn weighted_rho_on_unit_weights_matches_unweighted() {
-        let g = ConflictGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let g =
+            ConflictGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
         let wg = WeightedConflictGraph::from_unweighted(&g);
         let ordering = VertexOrdering::identity(6);
         let bu = certified_rho(&g, &ordering);

@@ -44,7 +44,11 @@ impl VertexOrdering {
         let mut position = vec![usize::MAX; n];
         for (pos, &v) in order.iter().enumerate() {
             assert!(v < n, "vertex {v} out of range in ordering of length {n}");
-            assert_eq!(position[v], usize::MAX, "vertex {v} appears twice in ordering");
+            assert_eq!(
+                position[v],
+                usize::MAX,
+                "vertex {v} appears twice in ordering"
+            );
             position[v] = pos;
         }
         VertexOrdering { position, order }

@@ -136,7 +136,11 @@ impl ConflictGraph {
     /// # Panics
     /// Panics if `u >= n` or `v >= n`.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of bounds (n={})", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of bounds (n={})",
+            self.n
+        );
         if u == v || self.adj_rows[u].contains(v) {
             return;
         }
@@ -234,12 +238,7 @@ impl ConflictGraph {
     /// Restricts the members of `set` that are neighbors of `v` and precede
     /// `v` in the ordering `order_pos` (i.e. lie in the backward neighborhood
     /// `Γπ(v)`), returning how many there are.
-    pub fn backward_neighbors_in(
-        &self,
-        v: VertexId,
-        order_pos: &[usize],
-        set: &BitSet,
-    ) -> usize {
+    pub fn backward_neighbors_in(&self, v: VertexId, order_pos: &[usize], set: &BitSet) -> usize {
         self.neighbors[v]
             .iter()
             .filter(|&&u| order_pos[u] < order_pos[v] && set.contains(u))
@@ -343,7 +342,11 @@ mod tests {
         assert_eq!(parallel.num_edges(), reference.num_edges());
         for u in 0..6 {
             for v in 0..6 {
-                assert_eq!(parallel.has_edge(u, v), reference.has_edge(u, v), "edge ({u},{v})");
+                assert_eq!(
+                    parallel.has_edge(u, v),
+                    reference.has_edge(u, v),
+                    "edge ({u},{v})"
+                );
             }
             let mut a = parallel.neighbors(u).to_vec();
             let mut b = reference.neighbors(u).to_vec();

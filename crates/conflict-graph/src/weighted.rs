@@ -81,7 +81,10 @@ impl WeightedConflictGraph {
             .collect();
         for entries in &incoming {
             for &(u, _) in entries {
-                assert!(u < n, "incoming row references vertex {u} out of bounds (n={n})");
+                assert!(
+                    u < n,
+                    "incoming row references vertex {u} out of bounds (n={n})"
+                );
             }
         }
         // Transpose: iterating v in ascending order keeps each out-list
@@ -113,7 +116,11 @@ impl WeightedConflictGraph {
     /// # Panics
     /// Panics if `u >= n`, `v >= n`, or the weight is NaN.
     pub fn set_weight(&mut self, u: VertexId, v: VertexId, w: f64) {
-        assert!(u < self.n && v < self.n, "weight ({u},{v}) out of bounds (n={})", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "weight ({u},{v}) out of bounds (n={})",
+            self.n
+        );
         assert!(!w.is_nan(), "weight must not be NaN");
         if u == v {
             return;
@@ -267,8 +274,16 @@ mod tests {
         });
         assert_eq!(bulk.num_weighted_pairs(), reference.num_weighted_pairs());
         for u in 0..n {
-            assert_eq!(bulk.out_neighbors(u), reference.out_neighbors(u), "out row {u}");
-            assert_eq!(bulk.in_neighbors(u), reference.in_neighbors(u), "in row {u}");
+            assert_eq!(
+                bulk.out_neighbors(u),
+                reference.out_neighbors(u),
+                "out row {u}"
+            );
+            assert_eq!(
+                bulk.in_neighbors(u),
+                reference.in_neighbors(u),
+                "in row {u}"
+            );
             for v in 0..n {
                 assert_eq!(bulk.weight(u, v), reference.weight(u, v));
             }

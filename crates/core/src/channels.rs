@@ -10,7 +10,9 @@ use serde::{Deserialize, Serialize};
 pub const MAX_CHANNELS: usize = 64;
 
 /// A set of channels out of `[k]`, stored as a bit mask.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct ChannelSet(u64);
 
 impl ChannelSet {
@@ -27,7 +29,10 @@ impl ChannelSet {
     /// # Panics
     /// Panics if `k > 64`.
     pub fn full(k: usize) -> Self {
-        assert!(k <= MAX_CHANNELS, "at most {MAX_CHANNELS} channels are supported");
+        assert!(
+            k <= MAX_CHANNELS,
+            "at most {MAX_CHANNELS} channels are supported"
+        );
         if k == 64 {
             ChannelSet(u64::MAX)
         } else {
@@ -132,7 +137,10 @@ impl ChannelSet {
     /// Iterates over **all** subsets of `[k]` (including the empty set and
     /// `[k]` itself). Intended for small `k` only (`2^k` bundles).
     pub fn all_bundles(k: usize) -> impl Iterator<Item = ChannelSet> {
-        assert!(k <= 24, "enumerating all bundles is only supported for k ≤ 24");
+        assert!(
+            k <= 24,
+            "enumerating all bundles is only supported for k ≤ 24"
+        );
         (0u64..(1u64 << k)).map(ChannelSet)
     }
 

@@ -90,7 +90,9 @@ pub fn make_feasible(
         order
     };
 
-    let mut in_v_prime: Vec<bool> = (0..n).map(|v| !partly_feasible.bundle(v).is_empty()).collect();
+    let mut in_v_prime: Vec<bool> = (0..n)
+        .map(|v| !partly_feasible.bundle(v).is_empty())
+        .collect();
     let mut best: Option<(Allocation, f64)> = None;
     let mut candidates = 0usize;
 
@@ -250,7 +252,10 @@ mod tests {
             1.0,
         );
         let input = Allocation::from_bundles(vec![ChannelSet::singleton(0); n]);
-        assert!(is_partly_feasible(&inst, &input), "backward load 0.45 < 0.5");
+        assert!(
+            is_partly_feasible(&inst, &input),
+            "backward load 0.45 < 0.5"
+        );
         let out = make_feasible(&inst, &input);
         assert!(out.allocation.is_feasible(&inst));
         let log_n = (n as f64).log2().ceil();
@@ -294,6 +299,9 @@ mod tests {
         let input = Allocation::from_bundles(vec![ChannelSet::singleton(0); 2]);
         let out = make_feasible(&inst, &input);
         assert!(out.allocation.is_feasible(&inst));
-        assert!((out.welfare - 7.0).abs() < 1e-9, "the better bidder should survive");
+        assert!(
+            (out.welfare - 7.0).abs() < 1e-9,
+            "the better bidder should survive"
+        );
     }
 }

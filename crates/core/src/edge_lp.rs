@@ -15,7 +15,7 @@
 
 use crate::allocation::Allocation;
 use crate::instance::AuctionInstance;
-use ssa_lp::{solve, LinearProgram, Relation, Sense, SimplexOptions};
+use ssa_lp::{solve_with_warm_start, LinearProgram, Relation, Sense, SimplexOptions, WarmStart};
 
 /// Result of the edge-based LP baseline.
 #[derive(Clone, Debug)]
@@ -28,11 +28,22 @@ pub struct EdgeLpOutcome {
     /// *single-minded, per-channel additive* instances only — reported for
     /// comparison, not as a certified bound).
     pub lp_objective: f64,
+    /// Simplex pivots of each per-channel edge-LP solve. With symmetric
+    /// channels the constraint rows are identical across channels, so every
+    /// channel after the first warm-starts from its predecessor's basis —
+    /// these counts make that cross-channel batching win measurable.
+    pub per_channel_iterations: Vec<usize>,
 }
 
 /// The single-channel edge LP for the given per-bidder weights, returning
-/// the fractional values `x_v`.
-fn edge_lp_single_channel(instance: &AuctionInstance, channel: usize, weights: &[f64]) -> (Vec<f64>, f64) {
+/// the fractional values `x_v`, the optimum, the pivot count, and the basis
+/// for warm-starting the next channel.
+fn edge_lp_single_channel(
+    instance: &AuctionInstance,
+    channel: usize,
+    weights: &[f64],
+    warm: Option<WarmStart>,
+) -> (Vec<f64>, f64, usize, WarmStart) {
     let n = instance.num_bidders();
     let mut lp = LinearProgram::new(Sense::Maximize);
     #[allow(clippy::needless_range_loop)]
@@ -49,17 +60,29 @@ fn edge_lp_single_channel(instance: &AuctionInstance, channel: usize, weights: &
             }
         }
     }
-    let sol = solve(&lp, &SimplexOptions::default());
-    (sol.x, sol.objective)
+    // Per-channel LPs share rows (same bidders, and with symmetric conflict
+    // structures the same edges), so the previous channel's optimal basis is
+    // a valid — typically near-optimal — starting basis here even though the
+    // objective (the marginal weights) changed. Only the *basis* is seeded:
+    // with asymmetric channels the constraint matrix differs, so the donor's
+    // factorization must not be trusted — the engine refactorizes from this
+    // channel's columns, and rejects the basis entirely (cold start) when it
+    // does not fit or is singular here.
+    let seed = warm.map(WarmStart::into_basis_only);
+    let (sol, state) = solve_with_warm_start(&lp, &SimplexOptions::default(), seed);
+    (sol.x, sol.objective, sol.iterations, state)
 }
 
 /// Runs the edge-LP baseline: per channel, solve the edge LP on the bidders'
-/// marginal values for that channel, then round greedily by decreasing
-/// fractional value subject to feasibility.
+/// marginal values for that channel (sharing one warm-start context across
+/// the channel sequence), then round greedily by decreasing fractional value
+/// subject to feasibility.
 pub fn edge_lp_baseline(instance: &AuctionInstance) -> EdgeLpOutcome {
     let n = instance.num_bidders();
     let mut allocation = Allocation::empty(n);
     let mut lp_objective = 0.0;
+    let mut per_channel_iterations = Vec::with_capacity(instance.num_channels);
+    let mut warm: Option<WarmStart> = None;
     for j in 0..instance.num_channels {
         let weights: Vec<f64> = (0..n)
             .map(|v| {
@@ -67,10 +90,15 @@ pub fn edge_lp_baseline(instance: &AuctionInstance) -> EdgeLpOutcome {
                 instance.value(v, current.with(j)) - instance.value(v, current)
             })
             .collect();
-        let (x, obj) = edge_lp_single_channel(instance, j, &weights);
+        let (x, obj, iterations, state) =
+            edge_lp_single_channel(instance, j, &weights, warm.take());
+        warm = Some(state);
+        per_channel_iterations.push(iterations);
         lp_objective += obj;
         // round: consider bidders by decreasing x_v * weight, add if feasible
-        let mut order: Vec<usize> = (0..n).filter(|&v| weights[v] > 0.0 && x[v] > 1e-9).collect();
+        let mut order: Vec<usize> = (0..n)
+            .filter(|&v| weights[v] > 0.0 && x[v] > 1e-9)
+            .collect();
         order.sort_by(|&a, &b| {
             (x[b] * weights[b])
                 .partial_cmp(&(x[a] * weights[a]))
@@ -91,6 +119,7 @@ pub fn edge_lp_baseline(instance: &AuctionInstance) -> EdgeLpOutcome {
         allocation,
         welfare,
         lp_objective,
+        per_channel_iterations,
     }
 }
 
@@ -125,7 +154,10 @@ mod tests {
         let out = edge_lp_baseline(&inst);
         assert!((out.lp_objective - n as f64 / 2.0).abs() < 1e-5);
         assert!(out.allocation.is_feasible(&inst));
-        assert!((out.welfare - 1.0).abs() < 1e-9, "only one clique member can win");
+        assert!(
+            (out.welfare - 1.0).abs() < 1e-9,
+            "only one clique member can win"
+        );
     }
 
     #[test]

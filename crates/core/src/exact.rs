@@ -59,7 +59,13 @@ struct Search<'a> {
 }
 
 impl<'a> Search<'a> {
-    fn assign(&mut self, bidder: usize, winners: &mut Vec<Vec<usize>>, bundles: &mut Vec<ChannelSet>, welfare: f64) {
+    fn assign(
+        &mut self,
+        bidder: usize,
+        winners: &mut Vec<Vec<usize>>,
+        bundles: &mut Vec<ChannelSet>,
+        welfare: f64,
+    ) {
         self.nodes += 1;
         if self.nodes > self.options.node_limit {
             self.truncated = true;
@@ -114,7 +120,10 @@ impl<'a> Search<'a> {
 pub fn solve_exact(instance: &AuctionInstance, options: &ExactOptions) -> ExactOutcome {
     let n = instance.num_bidders();
     let k = instance.num_channels;
-    assert!(k <= 16, "exact search enumerates 2^k bundles per bidder; k ≤ 16 required");
+    assert!(
+        k <= 16,
+        "exact search enumerates 2^k bundles per bidder; k ≤ 16 required"
+    );
 
     let candidate_bundles: Vec<Vec<(ChannelSet, f64)>> = (0..n)
         .map(|v| {
@@ -131,7 +140,10 @@ pub fn solve_exact(instance: &AuctionInstance, options: &ExactOptions) -> ExactO
 
     let mut suffix_max = vec![0.0; n + 1];
     for v in (0..n).rev() {
-        let best = candidate_bundles[v].iter().map(|&(_, val)| val).fold(0.0, f64::max);
+        let best = candidate_bundles[v]
+            .iter()
+            .map(|&(_, val)| val)
+            .fold(0.0, f64::max);
         suffix_max[v] = suffix_max[v + 1] + best;
     }
 
@@ -237,7 +249,10 @@ mod tests {
             1.0,
         );
         let out = solve_exact_default(&inst);
-        assert!((out.welfare - 6.0).abs() < 1e-9, "serving 0 and 2 beats serving 1");
+        assert!(
+            (out.welfare - 6.0).abs() < 1e-9,
+            "serving 0 and 2 beats serving 1"
+        );
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub fn greedy_by_bundle_value(instance: &AuctionInstance) -> Allocation {
     wishes.sort_by(|a, b| {
         let score_a = a.2 / (a.1.len() as f64).sqrt();
         let score_b = b.2 / (b.1.len() as f64).sqrt();
-        score_b.partial_cmp(&score_a).unwrap_or(std::cmp::Ordering::Equal)
+        score_b
+            .partial_cmp(&score_a)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut allocation = Allocation::empty(n);
     let mut winners_per_channel: Vec<Vec<usize>> = vec![Vec::new(); instance.num_channels];
@@ -180,10 +182,7 @@ mod tests {
     #[test]
     fn greedy_handles_empty_instances_gracefully() {
         let g = ConflictGraph::new(2);
-        let bidders: Vec<Arc<dyn Valuation>> = vec![
-            xor_bidder(1, vec![]),
-            xor_bidder(1, vec![]),
-        ];
+        let bidders: Vec<Arc<dyn Valuation>> = vec![xor_bidder(1, vec![]), xor_bidder(1, vec![])];
         let inst = AuctionInstance::new(
             1,
             bidders,

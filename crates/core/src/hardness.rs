@@ -147,7 +147,11 @@ mod tests {
         let inst = bounded_degree_instance(30, 4, 7);
         if let ConflictStructure::Binary(g) = &inst.conflicts {
             assert!(g.max_degree() <= 4);
-            assert!(inst.rho <= 4.0 + 1e-9, "rho {} exceeds the degree bound", inst.rho);
+            assert!(
+                inst.rho <= 4.0 + 1e-9,
+                "rho {} exceeds the degree bound",
+                inst.rho
+            );
         } else {
             panic!("expected a binary structure");
         }
@@ -186,7 +190,16 @@ mod tests {
         // at most ceil(4/2) = 2... the certified value may be smaller.
         let base = ConflictGraph::from_edges(
             8,
-            &[(0, 4), (1, 4), (2, 4), (3, 4), (0, 5), (1, 5), (2, 6), (3, 7)],
+            &[
+                (0, 4),
+                (1, 4),
+                (2, 4),
+                (3, 4),
+                (0, 5),
+                (1, 5),
+                (2, 6),
+                (3, 7),
+            ],
         );
         let inst = theorem_18_instance(&base, 2, 11);
         assert!(inst.rho <= 2.0 + 1e-9);

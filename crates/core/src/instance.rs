@@ -127,9 +127,16 @@ impl AuctionInstance {
         rho: f64,
     ) -> Self {
         assert!(num_channels >= 1, "at least one channel is required");
-        assert_eq!(bidders.len(), conflicts.num_bidders(), "bidders vs conflict graph size");
+        assert_eq!(
+            bidders.len(),
+            conflicts.num_bidders(),
+            "bidders vs conflict graph size"
+        );
         assert_eq!(bidders.len(), ordering.len(), "bidders vs ordering length");
-        assert!(rho >= 1.0 && rho.is_finite(), "rho must be >= 1 (got {rho})");
+        assert!(
+            rho >= 1.0 && rho.is_finite(),
+            "rho must be >= 1 (got {rho})"
+        );
         for (i, b) in bidders.iter().enumerate() {
             assert_eq!(
                 b.num_channels(),
@@ -140,10 +147,18 @@ impl AuctionInstance {
         }
         match &conflicts {
             ConflictStructure::AsymmetricBinary(gs) => {
-                assert_eq!(gs.len(), num_channels, "one conflict graph per channel required")
+                assert_eq!(
+                    gs.len(),
+                    num_channels,
+                    "one conflict graph per channel required"
+                )
             }
             ConflictStructure::AsymmetricWeighted(gs) => {
-                assert_eq!(gs.len(), num_channels, "one conflict graph per channel required")
+                assert_eq!(
+                    gs.len(),
+                    num_channels,
+                    "one conflict graph per channel required"
+                )
             }
             _ => {}
         }

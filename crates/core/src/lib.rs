@@ -48,8 +48,13 @@ pub mod valuation;
 pub use allocation::Allocation;
 pub use channels::ChannelSet;
 pub use instance::{AuctionInstance, ConflictStructure};
-pub use lp_formulation::{FractionalAssignment, FractionalEntry, LpFormulationOptions};
+pub use lp_formulation::{
+    FractionalAssignment, FractionalEntry, LpFormulationOptions, RelaxationInfo,
+};
 pub use solver::{AuctionOutcome, SolverOptions, SpectrumAuctionSolver};
+// The LP-engine selectors, re-exported so pipeline callers can pick an
+// engine without depending on the lp crate directly.
+pub use ssa_lp::{BasisKind, PricingRule};
 pub use valuation::{
     AdditiveValuation, BudgetedAdditiveValuation, SingleMindedValuation, SymmetricValuation,
     TabularValuation, UnitDemandValuation, Valuation, XorValuation,

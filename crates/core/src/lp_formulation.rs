@@ -25,8 +25,8 @@ use crate::channels::ChannelSet;
 use crate::instance::AuctionInstance;
 use serde::{Deserialize, Serialize};
 use ssa_lp::{
-    ColumnGeneration, ColumnSource, GeneratedColumn, LpStatus, MasterProblem, Relation, Sense,
-    SimplexOptions,
+    BasisKind, ColumnGeneration, ColumnSource, GeneratedColumn, LpStatus, MasterProblem,
+    PricingRule, Relation, Sense, SimplexOptions,
 };
 
 /// One non-zero variable `x_{v,T}` of the fractional solution.
@@ -40,6 +40,61 @@ pub struct FractionalEntry {
     pub x: f64,
     /// The bidder's value `b_{v,T}` for the bundle.
     pub value: f64,
+}
+
+/// Which LP engine solved the relaxation and what it did — the stage-level
+/// attribution the perf benches diff across PRs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RelaxationInfo {
+    /// Pricing rule of the simplex engine.
+    pub pricing: PricingRule,
+    /// Basis factorization of the simplex engine.
+    pub basis: BasisKind,
+    /// Pricing rounds of the column-generation loop (1 for the explicit
+    /// enumeration path).
+    pub rounds: usize,
+    /// Columns in the final restricted master.
+    pub num_columns: usize,
+    /// Simplex pivots across every master re-solve.
+    pub simplex_iterations: usize,
+    /// Pivots of each master re-solve in order (the warm-start win is the
+    /// drop after round 0).
+    pub per_round_iterations: Vec<usize>,
+    /// Basis refactorizations across every master re-solve.
+    pub refactorizations: usize,
+    /// Degenerate pivots across every master re-solve.
+    pub degenerate_pivots: usize,
+}
+
+impl Default for RelaxationInfo {
+    fn default() -> Self {
+        let options = SimplexOptions::default();
+        RelaxationInfo {
+            pricing: options.pricing,
+            basis: options.basis,
+            rounds: 0,
+            num_columns: 0,
+            simplex_iterations: 0,
+            per_round_iterations: Vec::new(),
+            refactorizations: 0,
+            degenerate_pivots: 0,
+        }
+    }
+}
+
+impl RelaxationInfo {
+    fn from_solution(solution: &ssa_lp::LpSolution, rounds: usize, num_columns: usize) -> Self {
+        RelaxationInfo {
+            pricing: solution.stats.pricing,
+            basis: solution.stats.basis,
+            rounds,
+            num_columns,
+            simplex_iterations: solution.iterations,
+            per_round_iterations: vec![solution.iterations],
+            refactorizations: solution.stats.refactorizations,
+            degenerate_pivots: solution.stats.degenerate_pivots,
+        }
+    }
 }
 
 /// A fractional solution of the relaxation.
@@ -56,12 +111,19 @@ pub struct FractionalAssignment {
     pub rounds: usize,
     /// Number of columns in the final restricted master.
     pub num_columns: usize,
+    /// Engine attribution: which pricing/basis combination ran and its
+    /// iteration/refactorization counters.
+    pub info: RelaxationInfo,
 }
 
 impl FractionalAssignment {
     /// Total fractional assignment of bidder `v` (should be ≤ 1).
     pub fn bidder_total(&self, v: usize) -> f64 {
-        self.entries.iter().filter(|e| e.bidder == v).map(|e| e.x).sum()
+        self.entries
+            .iter()
+            .filter(|e| e.bidder == v)
+            .map(|e| e.x)
+            .sum()
     }
 
     /// Checks that the solution satisfies the relaxation's constraints on
@@ -111,6 +173,15 @@ impl Default for LpFormulationOptions {
             enumerate_all_bundles: false,
             support_tolerance: 1e-9,
         }
+    }
+}
+
+impl LpFormulationOptions {
+    /// Selects the simplex engine (pricing rule × basis factorization) used
+    /// for every master solve — the pipeline-level engine switch.
+    pub fn with_engine(mut self, pricing: PricingRule, basis: BasisKind) -> Self {
+        self.column_generation.simplex = self.column_generation.simplex.with_engine(pricing, basis);
+        self
     }
 }
 
@@ -216,7 +287,15 @@ pub fn solve_relaxation(
             }
         }
         let solution = master.solve(&options.column_generation.simplex);
-        return extract(instance, &master, solution, true, 1, options.support_tolerance);
+        let info = RelaxationInfo::from_solution(&solution, 1, master.num_columns());
+        return extract(
+            instance,
+            &master,
+            solution,
+            true,
+            info,
+            options.support_tolerance,
+        );
     }
 
     // Seed the master with each bidder's favorite bundle so the first duals
@@ -234,19 +313,29 @@ pub fn solve_relaxation(
     // layer; at this level the pipeline degrades gracefully: the partial
     // solution is used but explicitly marked non-converged (its objective is
     // a lower bound, its duals are untrusted).
-    let (solution, converged, rounds) = match options.column_generation.run(&mut master, &mut pricing)
-    {
-        Ok(result) => (result.solution, result.converged, result.rounds),
-        Err(ssa_lp::ColumnGenerationError::IterationLimit { partial }) => {
-            (partial.solution, false, partial.rounds)
+    let (result, converged) = match options.column_generation.run(&mut master, &mut pricing) {
+        Ok(result) => {
+            let converged = result.converged;
+            (result, converged)
         }
+        Err(ssa_lp::ColumnGenerationError::IterationLimit { partial }) => (*partial, false),
+    };
+    let info = RelaxationInfo {
+        pricing: result.solution.stats.pricing,
+        basis: result.solution.stats.basis,
+        rounds: result.rounds,
+        num_columns: master.num_columns(),
+        simplex_iterations: result.simplex_iterations,
+        per_round_iterations: result.per_round_iterations.clone(),
+        refactorizations: result.refactorizations,
+        degenerate_pivots: result.degenerate_pivots,
     };
     extract(
         instance,
         &master,
-        solution,
+        result.solution,
         converged,
-        rounds,
+        info,
         options.support_tolerance,
     )
 }
@@ -256,7 +345,7 @@ fn extract(
     master: &MasterProblem,
     solution: ssa_lp::LpSolution,
     converged: bool,
-    rounds: usize,
+    info: RelaxationInfo,
     support_tolerance: f64,
 ) -> FractionalAssignment {
     let mut entries = Vec::new();
@@ -282,8 +371,9 @@ fn extract(
         entries,
         objective,
         converged,
-        rounds,
+        rounds: info.rounds,
         num_columns: master.num_columns(),
+        info,
     }
 }
 
@@ -353,7 +443,11 @@ mod tests {
         // Constraint (1b) for v=1, j=0 restricts only bidder 0 (backward
         // neighbor), so x_{0,{0}} ≤ 1 and x_{1,{0}} ≤ 1: the relaxation can
         // serve both fully and its optimum is 7.
-        assert!((frac.objective - 7.0).abs() < 1e-6, "objective {}", frac.objective);
+        assert!(
+            (frac.objective - 7.0).abs() < 1e-6,
+            "objective {}",
+            frac.objective
+        );
         assert!(frac.satisfies_constraints(&inst, 1e-7));
     }
 

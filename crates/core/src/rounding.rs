@@ -45,7 +45,10 @@ pub struct RoundingOptions {
 
 impl Default for RoundingOptions {
     fn default() -> Self {
-        RoundingOptions { seed: 1, trials: 16 }
+        RoundingOptions {
+            seed: 1,
+            trials: 16,
+        }
     }
 }
 
@@ -94,7 +97,11 @@ pub struct RoundingOutcome {
 /// (Section 6).
 fn sampling_scale(instance: &AuctionInstance) -> f64 {
     let k = instance.num_channels as f64;
-    let s = if instance.conflicts.is_asymmetric() { k } else { k.sqrt() };
+    let s = if instance.conflicts.is_asymmetric() {
+        k
+    } else {
+        k.sqrt()
+    };
     s.max(1.0) * instance.rho
 }
 
@@ -265,10 +272,17 @@ fn round_impl(
     options: &RoundingOptions,
     weighted: bool,
 ) -> RoundingOutcome {
-    assert!(options.trials >= 1, "at least one rounding trial is required");
+    assert!(
+        options.trials >= 1,
+        "at least one rounding trial is required"
+    );
     let decomposition = decompose(instance, fractional);
     let base_scale = sampling_scale(instance);
-    let denominator = if weighted { 4.0 * base_scale } else { 2.0 * base_scale };
+    let denominator = if weighted {
+        4.0 * base_scale
+    } else {
+        2.0 * base_scale
+    };
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut stats = RoundingStats::default();
     let mut best: Option<(Allocation, f64)> = None;
@@ -359,8 +373,7 @@ pub fn is_partly_feasible(instance: &AuctionInstance, allocation: &Allocation) -
                 .interacting(v, 0)
                 .into_iter()
                 .filter(|&u| {
-                    instance.ordering.precedes(u, v)
-                        && allocation.bundle(u).intersects(bundle_v)
+                    instance.ordering.precedes(u, v) && allocation.bundle(u).intersects(bundle_v)
                 })
                 .map(|u| instance.conflicts.symmetric_weight(u, v, 0))
                 .sum();
@@ -433,7 +446,14 @@ mod tests {
         let inst = path_instance(8, 4);
         let frac = solve_relaxation_explicit(&inst);
         let bound = frac.objective / (8.0 * (4.0f64).sqrt() * inst.rho);
-        let outcome = round_binary(&inst, &frac, &RoundingOptions { seed: 3, trials: 64 });
+        let outcome = round_binary(
+            &inst,
+            &frac,
+            &RoundingOptions {
+                seed: 3,
+                trials: 64,
+            },
+        );
         assert!(
             outcome.welfare >= bound,
             "best-of-64 welfare {} below Theorem 3 bound {}",
@@ -448,7 +468,14 @@ mod tests {
         // probability of being removed during conflict resolution is <= 1/2.
         let inst = path_instance(10, 4);
         let frac = solve_relaxation_explicit(&inst);
-        let outcome = round_binary(&inst, &frac, &RoundingOptions { seed: 11, trials: 400 });
+        let outcome = round_binary(
+            &inst,
+            &frac,
+            &RoundingOptions {
+                seed: 11,
+                trials: 400,
+            },
+        );
         // allow statistical slack above 0.5
         assert!(
             outcome.stats.removal_rate() <= 0.55,
@@ -461,8 +488,22 @@ mod tests {
     fn deterministic_given_seed() {
         let inst = path_instance(6, 2);
         let frac = solve_relaxation_explicit(&inst);
-        let a = round_binary(&inst, &frac, &RoundingOptions { seed: 42, trials: 4 });
-        let b = round_binary(&inst, &frac, &RoundingOptions { seed: 42, trials: 4 });
+        let a = round_binary(
+            &inst,
+            &frac,
+            &RoundingOptions {
+                seed: 42,
+                trials: 4,
+            },
+        );
+        let b = round_binary(
+            &inst,
+            &frac,
+            &RoundingOptions {
+                seed: 42,
+                trials: 4,
+            },
+        );
         assert_eq!(a.allocation, b.allocation);
         assert_eq!(a.welfare, b.welfare);
     }
@@ -476,7 +517,12 @@ mod tests {
         g.set_weight(2, 3, 0.8);
         g.set_weight(3, 2, 0.8);
         let bidders: Vec<Arc<dyn Valuation>> = (0..4)
-            .map(|i| xor_bidder(2, vec![(vec![0], 2.0 + i as f64), (vec![0, 1], 3.0 + i as f64)]))
+            .map(|i| {
+                xor_bidder(
+                    2,
+                    vec![(vec![0], 2.0 + i as f64), (vec![0, 1], 3.0 + i as f64)],
+                )
+            })
             .collect();
         AuctionInstance::new(
             2,
@@ -491,8 +537,14 @@ mod tests {
     fn weighted_rounding_is_partly_feasible() {
         let inst = weighted_instance();
         let frac = solve_relaxation_explicit(&inst);
-        let outcome =
-            round_weighted_partial(&inst, &frac, &RoundingOptions { seed: 5, trials: 32 });
+        let outcome = round_weighted_partial(
+            &inst,
+            &frac,
+            &RoundingOptions {
+                seed: 5,
+                trials: 32,
+            },
+        );
         assert!(is_partly_feasible(&inst, &outcome.allocation));
     }
 
@@ -525,8 +577,16 @@ mod tests {
             converged: true,
             rounds: 1,
             num_columns: 3,
+            info: Default::default(),
         };
-        let outcome = round_binary(&inst, &frac, &RoundingOptions { seed: 2, trials: 50 });
+        let outcome = round_binary(
+            &inst,
+            &frac,
+            &RoundingOptions {
+                seed: 2,
+                trials: 50,
+            },
+        );
         assert!(outcome.allocation.is_feasible(&inst));
     }
 

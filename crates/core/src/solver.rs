@@ -17,9 +17,12 @@
 use crate::allocation::Allocation;
 use crate::conflict_resolution::make_feasible;
 use crate::instance::AuctionInstance;
-use crate::lp_formulation::{solve_relaxation, FractionalAssignment, LpFormulationOptions};
+use crate::lp_formulation::{
+    solve_relaxation, FractionalAssignment, LpFormulationOptions, RelaxationInfo,
+};
 use crate::rounding::{round_binary, round_weighted_partial, RoundingOptions, RoundingStats};
 use serde::{Deserialize, Serialize};
+use ssa_lp::{BasisKind, PricingRule};
 
 /// Options of the end-to-end solver.
 #[derive(Clone, Debug, Default)]
@@ -28,6 +31,15 @@ pub struct SolverOptions {
     pub lp: LpFormulationOptions,
     /// How the rounding stage is run.
     pub rounding: RoundingOptions,
+}
+
+impl SolverOptions {
+    /// Selects the LP engine (pricing rule × basis factorization) at the
+    /// pipeline level; forwarded down to every simplex solve.
+    pub fn with_engine(mut self, pricing: PricingRule, basis: BasisKind) -> Self {
+        self.lp = self.lp.with_engine(pricing, basis);
+        self
+    }
 }
 
 /// The outcome of the end-to-end pipeline.
@@ -44,6 +56,10 @@ pub struct AuctionOutcome {
     /// Whether the LP was solved to optimality (column generation
     /// converged).
     pub lp_converged: bool,
+    /// LP-engine attribution: pricing/basis combination, simplex
+    /// iterations, refactorizations and degenerate pivots — so benches can
+    /// attribute time per stage.
+    pub lp_info: RelaxationInfo,
     /// The a-priori guarantee of the pipeline on this instance: welfare is,
     /// in expectation, at least `lp_objective / guarantee_factor`.
     pub guarantee_factor: f64,
@@ -75,7 +91,11 @@ impl AuctionOutcome {
 pub fn guarantee_factor(instance: &AuctionInstance) -> f64 {
     let k = instance.num_channels as f64;
     let n = instance.num_bidders() as f64;
-    let scale = if instance.conflicts.is_asymmetric() { k } else { k.sqrt() };
+    let scale = if instance.conflicts.is_asymmetric() {
+        k
+    } else {
+        k.sqrt()
+    };
     if instance.conflicts.is_weighted() {
         16.0 * scale * instance.rho * n.log2().ceil().max(1.0)
     } else {
@@ -137,6 +157,7 @@ impl SpectrumAuctionSolver {
             welfare,
             lp_objective: fractional.objective,
             lp_converged: fractional.converged,
+            lp_info: fractional.info.clone(),
             guarantee_factor: guarantee_factor(instance),
             rounding_stats: stats,
             resolution_candidates: candidates,
@@ -229,7 +250,10 @@ mod tests {
     fn binary_pipeline_is_feasible_and_within_guarantee() {
         let inst = cycle_instance(8, 2);
         let solver = SpectrumAuctionSolver::new(SolverOptions {
-            rounding: RoundingOptions { seed: 9, trials: 64 },
+            rounding: RoundingOptions {
+                seed: 9,
+                trials: 64,
+            },
             ..Default::default()
         });
         let outcome = solver.solve(&inst);
@@ -261,7 +285,12 @@ mod tests {
             }
         }
         let bidders: Vec<Arc<dyn Valuation>> = (0..n)
-            .map(|i| xor_bidder(2, vec![(vec![0], 1.0 + i as f64), (vec![1], 1.5 + i as f64)]))
+            .map(|i| {
+                xor_bidder(
+                    2,
+                    vec![(vec![0], 1.0 + i as f64), (vec![1], 1.5 + i as f64)],
+                )
+            })
             .collect();
         let inst = AuctionInstance::new(
             2,
@@ -271,7 +300,10 @@ mod tests {
             2.0,
         );
         let solver = SpectrumAuctionSolver::new(SolverOptions {
-            rounding: RoundingOptions { seed: 13, trials: 32 },
+            rounding: RoundingOptions {
+                seed: 13,
+                trials: 32,
+            },
             ..Default::default()
         });
         let outcome = solver.solve(&inst);
@@ -297,7 +329,10 @@ mod tests {
             1.0,
         );
         let solver = SpectrumAuctionSolver::new(SolverOptions {
-            rounding: RoundingOptions { seed: 21, trials: 64 },
+            rounding: RoundingOptions {
+                seed: 21,
+                trials: 64,
+            },
             ..Default::default()
         });
         let outcome = solver.solve(&inst);

@@ -41,7 +41,10 @@ pub trait Valuation: Send + Sync {
     fn demand(&self, prices: &[f64]) -> ChannelSet {
         assert_eq!(prices.len(), self.num_channels());
         let k = self.num_channels();
-        assert!(k <= 20, "default demand oracle only supports k ≤ 20; override it");
+        assert!(
+            k <= 20,
+            "default demand oracle only supports k ≤ 20; override it"
+        );
         let mut best = ChannelSet::empty();
         let mut best_utility = self.value(best) - 0.0;
         for bundle in ChannelSet::all_bundles(k) {
@@ -376,7 +379,11 @@ impl Valuation for SymmetricValuation {
         assert_eq!(prices.len(), self.num_channels());
         // Exact: for each cardinality c, the cheapest c channels are optimal.
         let mut order: Vec<usize> = (0..self.num_channels()).collect();
-        order.sort_by(|&a, &b| prices[a].partial_cmp(&prices[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            prices[a]
+                .partial_cmp(&prices[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut best = ChannelSet::empty();
         let mut best_utility = 0.0;
         let mut bundle = ChannelSet::empty();
@@ -466,7 +473,10 @@ mod tests {
         assert_eq!(v.value(ChannelSet::from_channels([1, 3])), 10.0);
         assert_eq!(v.value(ChannelSet::full(4)), 10.0);
         assert_eq!(v.value(ChannelSet::from_channels([1])), 0.0);
-        assert_eq!(v.demand(&[1.0, 4.0, 1.0, 4.0]), ChannelSet::from_channels([1, 3]));
+        assert_eq!(
+            v.demand(&[1.0, 4.0, 1.0, 4.0]),
+            ChannelSet::from_channels([1, 3])
+        );
         assert!(v.demand(&[1.0, 6.0, 1.0, 6.0]).is_empty());
     }
 
@@ -474,7 +484,10 @@ mod tests {
     fn additive_and_unit_demand() {
         let add = AdditiveValuation::new(vec![3.0, 1.0, 2.0]);
         assert_eq!(add.value(ChannelSet::full(3)), 6.0);
-        assert_eq!(add.demand(&[2.0, 2.0, 1.0]), ChannelSet::from_channels([0, 2]));
+        assert_eq!(
+            add.demand(&[2.0, 2.0, 1.0]),
+            ChannelSet::from_channels([0, 2])
+        );
         let unit = UnitDemandValuation::new(vec![3.0, 1.0, 2.0]);
         assert_eq!(unit.value(ChannelSet::full(3)), 3.0);
         assert_eq!(unit.demand(&[2.5, 0.1, 0.1]), ChannelSet::singleton(2));

@@ -70,14 +70,20 @@ impl CivilizedLayout {
             for v in (u + 1)..self.points.len() {
                 let d = self.points[u].distance(&self.points[v]);
                 if d < self.s - 1e-12 {
-                    return Err(format!("nodes {u} and {v} are {d} apart, less than s = {}", self.s));
+                    return Err(format!(
+                        "nodes {u} and {v} are {d} apart, less than s = {}",
+                        self.s
+                    ));
                 }
             }
         }
         for &(u, v) in &self.edges {
             let d = self.points[u].distance(&self.points[v]);
             if d > self.r + 1e-12 {
-                return Err(format!("edge ({u},{v}) has length {d}, more than r = {}", self.r));
+                return Err(format!(
+                    "edge ({u},{v}) has length {d}, more than r = {}",
+                    self.r
+                ));
             }
         }
         Ok(())
@@ -135,7 +141,11 @@ mod tests {
 
     #[test]
     fn long_edges_are_dropped_at_construction() {
-        let pts = vec![Point2D::new(0.0, 0.0), Point2D::new(10.0, 0.0), Point2D::new(0.5, 0.0)];
+        let pts = vec![
+            Point2D::new(0.0, 0.0),
+            Point2D::new(10.0, 0.0),
+            Point2D::new(0.5, 0.0),
+        ];
         let layout = CivilizedLayout::new(pts, 1.0, 0.4, vec![(0, 1), (0, 2)]);
         assert_eq!(layout.edges, vec![(0, 2)]);
     }

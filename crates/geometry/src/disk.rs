@@ -24,7 +24,10 @@ impl Disk {
     /// # Panics
     /// Panics if the radius is not strictly positive or not finite.
     pub fn new(center: Point2D, radius: f64) -> Self {
-        assert!(radius > 0.0 && radius.is_finite(), "disk radius must be positive and finite");
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "disk radius must be positive and finite"
+        );
         Disk { center, radius }
     }
 

@@ -23,10 +23,16 @@ impl SpatialGrid {
     /// # Panics
     /// Panics if `cell_size` is not strictly positive.
     pub fn new(points: &[Point2D], cell_size: f64) -> Self {
-        assert!(cell_size > 0.0 && cell_size.is_finite(), "cell size must be positive");
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell size must be positive"
+        );
         let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
         for (i, p) in points.iter().enumerate() {
-            cells.entry(Self::cell_of(p, cell_size)).or_default().push(i);
+            cells
+                .entry(Self::cell_of(p, cell_size))
+                .or_default()
+                .push(i);
         }
         SpatialGrid {
             cell_size,
@@ -36,7 +42,10 @@ impl SpatialGrid {
     }
 
     fn cell_of(p: &Point2D, cell_size: f64) -> (i64, i64) {
-        ((p.x / cell_size).floor() as i64, (p.y / cell_size).floor() as i64)
+        (
+            (p.x / cell_size).floor() as i64,
+            (p.y / cell_size).floor() as i64,
+        )
     }
 
     /// Number of points stored in the grid.

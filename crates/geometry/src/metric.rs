@@ -97,7 +97,9 @@ impl ExplicitMetric {
                 }
                 let dba = self.d[b * n + a];
                 if (dab - dba).abs() > 1e-9 {
-                    return Err(format!("asymmetric: d({a},{b}) = {dab}, d({b},{a}) = {dba}"));
+                    return Err(format!(
+                        "asymmetric: d({a},{b}) = {dab}, d({b},{a}) = {dba}"
+                    ));
                 }
             }
         }
@@ -144,7 +146,10 @@ pub fn doubling_constant_estimate<M: Metric>(metric: &M) -> usize {
     let mut worst = 1usize;
     for x in 0..n {
         // probe a few radii: the distances from x to all other points
-        let mut radii: Vec<f64> = (0..n).filter(|&y| y != x).map(|y| metric.distance(x, y)).collect();
+        let mut radii: Vec<f64> = (0..n)
+            .filter(|&y| y != x)
+            .map(|y| metric.distance(x, y))
+            .collect();
         radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for &r in radii.iter().step_by((radii.len() / 4).max(1)) {
             if r <= 0.0 {
@@ -199,7 +204,10 @@ impl LinkMetric {
     pub fn from_matrix(n: usize, d_sr: Vec<f64>) -> Self {
         assert_eq!(d_sr.len(), n * n, "matrix must be n × n");
         for (idx, &v) in d_sr.iter().enumerate() {
-            assert!(v.is_finite() && v >= 0.0, "entry {idx} is negative or not finite");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "entry {idx} is negative or not finite"
+            );
         }
         for i in 0..n {
             assert!(d_sr[i * n + i] > 0.0, "link {i} has zero length");
@@ -262,10 +270,7 @@ mod tests {
         e.set_distance(0, 1, 1.0);
         assert!(e.validate().is_ok());
         // triangle inequality violation
-        let bad = ExplicitMetric::new(
-            3,
-            vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0],
-        );
+        let bad = ExplicitMetric::new(3, vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0]);
         assert!(bad.validate().is_err());
     }
 
@@ -279,7 +284,10 @@ mod tests {
         }
         let m = EuclideanMetric::new(pts);
         let c = doubling_constant_estimate(&m);
-        assert!(c <= 30, "Euclidean grids have bounded doubling constant, got {c}");
+        assert!(
+            c <= 30,
+            "Euclidean grids have bounded doubling constant, got {c}"
+        );
     }
 
     #[test]
@@ -294,7 +302,10 @@ mod tests {
         let m = ExplicitMetric::new(n, d);
         assert!(m.validate().is_ok());
         let c = doubling_constant_estimate(&m);
-        assert!(c >= n / 2, "uniform metric should have doubling constant ~n, got {c}");
+        assert!(
+            c >= n / 2,
+            "uniform metric should have doubling constant ~n, got {c}"
+        );
     }
 
     #[test]

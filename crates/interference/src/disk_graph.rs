@@ -40,11 +40,7 @@ impl DiskGraphModel {
             return ConflictGraph::new(0);
         }
         let centers: Vec<_> = self.disks.iter().map(|d| d.center).collect();
-        let max_radius = self
-            .disks
-            .iter()
-            .map(|d| d.radius)
-            .fold(0.0f64, f64::max);
+        let max_radius = self.disks.iter().map(|d| d.radius).fold(0.0f64, f64::max);
         let grid = SpatialGrid::new(&centers, (2.0 * max_radius).max(1e-9));
         ConflictGraph::from_symmetric_rows(n, |i| {
             // any disk intersecting disk i has its center within
@@ -87,7 +83,11 @@ mod tests {
 
     #[test]
     fn disjoint_disks_have_no_conflicts() {
-        let m = DiskGraphModel::new(vec![disk(0.0, 0.0, 1.0), disk(10.0, 0.0, 1.0), disk(0.0, 10.0, 1.0)]);
+        let m = DiskGraphModel::new(vec![
+            disk(0.0, 0.0, 1.0),
+            disk(10.0, 0.0, 1.0),
+            disk(0.0, 10.0, 1.0),
+        ]);
         let built = m.build();
         assert_eq!(built.graph.num_edges(), 0);
         assert_eq!(built.certified_rho.rho, 0.0);
@@ -95,7 +95,11 @@ mod tests {
 
     #[test]
     fn overlapping_disks_conflict() {
-        let m = DiskGraphModel::new(vec![disk(0.0, 0.0, 2.0), disk(1.0, 0.0, 2.0), disk(30.0, 0.0, 1.0)]);
+        let m = DiskGraphModel::new(vec![
+            disk(0.0, 0.0, 2.0),
+            disk(1.0, 0.0, 2.0),
+            disk(30.0, 0.0, 1.0),
+        ]);
         let g = m.conflict_graph();
         assert!(g.has_edge(0, 1));
         assert!(!g.has_edge(0, 2));
@@ -103,7 +107,11 @@ mod tests {
 
     #[test]
     fn ordering_is_by_decreasing_radius() {
-        let m = DiskGraphModel::new(vec![disk(0.0, 0.0, 1.0), disk(5.0, 0.0, 3.0), disk(9.0, 0.0, 2.0)]);
+        let m = DiskGraphModel::new(vec![
+            disk(0.0, 0.0, 1.0),
+            disk(5.0, 0.0, 3.0),
+            disk(9.0, 0.0, 2.0),
+        ]);
         let o = m.ordering();
         assert_eq!(o.as_order(), &[1, 2, 0]);
     }
@@ -126,13 +134,23 @@ mod tests {
     #[test]
     fn grid_construction_matches_brute_force() {
         let disks: Vec<Disk> = (0..20)
-            .map(|i| disk((i % 5) as f64 * 1.5, (i / 5) as f64 * 1.5, 0.5 + 0.1 * (i % 3) as f64))
+            .map(|i| {
+                disk(
+                    (i % 5) as f64 * 1.5,
+                    (i / 5) as f64 * 1.5,
+                    0.5 + 0.1 * (i % 3) as f64,
+                )
+            })
             .collect();
         let m = DiskGraphModel::new(disks.clone());
         let g = m.conflict_graph();
         for i in 0..disks.len() {
             for j in (i + 1)..disks.len() {
-                assert_eq!(g.has_edge(i, j), disks[i].intersects(&disks[j]), "pair ({i},{j})");
+                assert_eq!(
+                    g.has_edge(i, j),
+                    disks[i].intersects(&disks[j]),
+                    "pair ({i},{j})"
+                );
             }
         }
     }

@@ -214,13 +214,20 @@ mod tests {
     #[test]
     fn distance2_adds_two_hop_conflicts() {
         // chain of three disks: 0-1 and 1-2 intersect, 0 and 2 do not.
-        let disks = vec![disk(0.0, 0.0, 1.0), disk(1.8, 0.0, 1.0), disk(3.6, 0.0, 1.0)];
+        let disks = vec![
+            disk(0.0, 0.0, 1.0),
+            disk(1.8, 0.0, 1.0),
+            disk(3.6, 0.0, 1.0),
+        ];
         let d1 = DiskGraphModel::new(disks.clone()).conflict_graph();
         assert!(!d1.has_edge(0, 2));
         let d2 = Distance2ColoringModel::new(disks).conflict_graph();
         assert!(d2.has_edge(0, 1));
         assert!(d2.has_edge(1, 2));
-        assert!(d2.has_edge(0, 2), "two-hop neighbors conflict under distance-2 coloring");
+        assert!(
+            d2.has_edge(0, 2),
+            "two-hop neighbors conflict under distance-2 coloring"
+        );
     }
 
     #[test]
@@ -250,7 +257,11 @@ mod tests {
     fn matching_model_bidders_are_communication_edges() {
         // triangle of mutually intersecting disks -> 3 communication edges,
         // all mutually conflicting (they share endpoints)
-        let disks = vec![disk(0.0, 0.0, 1.0), disk(1.5, 0.0, 1.0), disk(0.75, 1.2, 1.0)];
+        let disks = vec![
+            disk(0.0, 0.0, 1.0),
+            disk(1.5, 0.0, 1.0),
+            disk(0.75, 1.2, 1.0),
+        ];
         let model = Distance2MatchingModel::new(disks);
         let edges = model.communication_edges();
         assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);

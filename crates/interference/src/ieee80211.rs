@@ -28,7 +28,10 @@ impl Ieee80211Model {
     /// # Panics
     /// Panics if `delta` is not strictly positive.
     pub fn new(links: Vec<Link>, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta.is_finite(), "802.11 model requires Δ > 0");
+        assert!(
+            delta > 0.0 && delta.is_finite(),
+            "802.11 model requires Δ > 0"
+        );
         Ieee80211Model { links, delta }
     }
 
@@ -53,10 +56,7 @@ impl Ieee80211Model {
     pub fn conflict_graph(&self) -> ConflictGraph {
         let n = self.links.len();
         ConflictGraph::from_symmetric_rows(n, |i| {
-            ssa_conflict_graph::BitSet::from_indices(
-                n,
-                (0..n).filter(|&j| self.conflicts(i, j)),
-            )
+            ssa_conflict_graph::BitSet::from_indices(n, (0..n).filter(|&j| self.conflicts(i, j)))
         })
     }
 

@@ -85,7 +85,9 @@ impl PowerAssignment {
         let n = metric.num_links();
         match self {
             PowerAssignment::Uniform => vec![1.0; n],
-            PowerAssignment::Linear => (0..n).map(|i| metric.length(i).powf(params.alpha)).collect(),
+            PowerAssignment::Linear => (0..n)
+                .map(|i| metric.length(i).powf(params.alpha))
+                .collect(),
             PowerAssignment::Mean => (0..n)
                 .map(|i| metric.length(i).powf(params.alpha / 2.0))
                 .collect(),
@@ -282,18 +284,30 @@ mod tests {
 
     #[test]
     fn single_link_is_feasible_without_noise() {
-        let m = model(&chain_links(1, 1.0, 0.0), SinrParameters::new(3.0, 1.0, 0.0), PowerAssignment::Uniform);
+        let m = model(
+            &chain_links(1, 1.0, 0.0),
+            SinrParameters::new(3.0, 1.0, 0.0),
+            PowerAssignment::Uniform,
+        );
         assert!(m.is_feasible_set(&[0]));
     }
 
     #[test]
     fn single_link_can_be_drowned_by_noise() {
         // signal = 1 / 1^3 = 1; beta * noise = 2 -> infeasible
-        let m = model(&chain_links(1, 1.0, 0.0), SinrParameters::new(3.0, 1.0, 2.0), PowerAssignment::Uniform);
+        let m = model(
+            &chain_links(1, 1.0, 0.0),
+            SinrParameters::new(3.0, 1.0, 2.0),
+            PowerAssignment::Uniform,
+        );
         assert!(!m.is_feasible_set(&[0]));
         // the conflict-graph weight machinery marks such a link as
         // conflicting with everything
-        let m2 = model(&chain_links(2, 1.0, 100.0), SinrParameters::new(3.0, 1.0, 2.0), PowerAssignment::Uniform);
+        let m2 = model(
+            &chain_links(2, 1.0, 100.0),
+            SinrParameters::new(3.0, 1.0, 2.0),
+            PowerAssignment::Uniform,
+        );
         let eps = m2.epsilon();
         assert_eq!(m2.weight(1, 0, eps), 1.0);
     }
@@ -303,7 +317,11 @@ mod tests {
         // two unit links right next to each other: interference ~ signal,
         // with beta = 1 the pair is infeasible
         let links = chain_links(2, 1.0, 0.2);
-        let m = model(&links, SinrParameters::new(3.0, 1.0, 0.0), PowerAssignment::Uniform);
+        let m = model(
+            &links,
+            SinrParameters::new(3.0, 1.0, 0.0),
+            PowerAssignment::Uniform,
+        );
         assert!(m.is_feasible_set(&[0]));
         assert!(m.is_feasible_set(&[1]));
         assert!(!m.is_feasible_set(&[0, 1]));
@@ -312,7 +330,11 @@ mod tests {
     #[test]
     fn far_apart_links_coexist() {
         let links = chain_links(3, 1.0, 50.0);
-        let m = model(&links, SinrParameters::new(3.0, 1.0, 0.0), PowerAssignment::Uniform);
+        let m = model(
+            &links,
+            SinrParameters::new(3.0, 1.0, 0.0),
+            PowerAssignment::Uniform,
+        );
         assert!(m.is_feasible_set(&[0, 1, 2]));
         // and they form an independent set of the weighted conflict graph
         let g = m.conflict_graph();
@@ -329,7 +351,11 @@ mod tests {
             Link::new(Point2D::new(3.0, 7.0), Point2D::new(3.0, 8.0)),
             Link::new(Point2D::new(20.0, 0.0), Point2D::new(22.0, 0.0)),
         ];
-        for power in [PowerAssignment::Uniform, PowerAssignment::Linear, PowerAssignment::Mean] {
+        for power in [
+            PowerAssignment::Uniform,
+            PowerAssignment::Linear,
+            PowerAssignment::Mean,
+        ] {
             let m = model(&links, SinrParameters::new(3.0, 1.5, 0.1), power);
             let g = m.conflict_graph();
             for mask in 0u32..16 {
@@ -380,7 +406,11 @@ mod tests {
     #[test]
     fn linear_powers_equalize_received_signal() {
         let links = chain_links(3, 2.0, 10.0);
-        let m = model(&links, SinrParameters::new(3.0, 1.0, 0.0), PowerAssignment::Linear);
+        let m = model(
+            &links,
+            SinrParameters::new(3.0, 1.0, 0.0),
+            PowerAssignment::Linear,
+        );
         let s0 = m.signal(0);
         for i in 1..3 {
             assert!((m.signal(i) - s0).abs() < 1e-9);

@@ -86,8 +86,16 @@ impl PowerControlModel {
         let d_i = self.metric.length(i).powf(alpha);
         let d_i_to_rj = self.metric.sender_to_receiver(i, j).powf(alpha);
         let d_j_to_ri = self.metric.sender_to_receiver(j, i).powf(alpha);
-        let term1 = if d_i_to_rj > 0.0 { (d_i / d_i_to_rj).min(1.0) } else { 1.0 };
-        let term2 = if d_j_to_ri > 0.0 { (d_i / d_j_to_ri).min(1.0) } else { 1.0 };
+        let term1 = if d_i_to_rj > 0.0 {
+            (d_i / d_i_to_rj).min(1.0)
+        } else {
+            1.0
+        };
+        let term2 = if d_j_to_ri > 0.0 {
+            (d_i / d_j_to_ri).min(1.0)
+        } else {
+            1.0
+        };
         (term1 + term2) / self.tau()
     }
 
@@ -139,11 +147,21 @@ impl PowerControlModel {
         let beta = self.params.beta;
         // With zero ambient noise the fixed point is the all-zero vector;
         // use a tiny virtual noise floor so powers have a well-defined scale.
-        let noise = if self.params.noise > 0.0 { self.params.noise } else { 1e-6 };
+        let noise = if self.params.noise > 0.0 {
+            self.params.noise
+        } else {
+            1e-6
+        };
         let margin = 1.0 + 1e-9;
         let m = set.len();
-        let d_alpha: Vec<f64> = set.iter().map(|&i| self.metric.length(i).powf(alpha)).collect();
-        let mut powers: Vec<f64> = d_alpha.iter().map(|&da| margin * beta * da * noise).collect();
+        let d_alpha: Vec<f64> = set
+            .iter()
+            .map(|&i| self.metric.length(i).powf(alpha))
+            .collect();
+        let mut powers: Vec<f64> = d_alpha
+            .iter()
+            .map(|&da| margin * beta * da * noise)
+            .collect();
         let max_iterations = 10_000;
         for it in 0..max_iterations {
             let mut next = vec![0.0; m];
@@ -153,9 +171,7 @@ impl PowerControlModel {
                     .iter()
                     .enumerate()
                     .filter(|&(b, _)| b != a)
-                    .map(|(b, &j)| {
-                        powers[b] / self.metric.sender_to_receiver(j, i).powf(alpha)
-                    })
+                    .map(|(b, &j)| powers[b] / self.metric.sender_to_receiver(j, i).powf(alpha))
                     .sum();
                 next[a] = margin * beta * d_alpha[a] * (interference + noise);
                 let rel = (next[a] - powers[a]).abs() / next[a].max(1e-300);
@@ -168,10 +184,12 @@ impl PowerControlModel {
             }
             powers = next;
             if max_rel_change < 1e-12 {
-                return self.validate_powers(set, &powers).then_some(PowerControlResult {
-                    powers,
-                    iterations: it + 1,
-                });
+                return self
+                    .validate_powers(set, &powers)
+                    .then_some(PowerControlResult {
+                        powers,
+                        iterations: it + 1,
+                    });
             }
         }
         // no convergence within the iteration budget: treat as infeasible
@@ -206,12 +224,17 @@ mod tests {
     fn links_on_line(positions: &[(f64, f64)]) -> Vec<Link> {
         positions
             .iter()
-            .map(|&(start, len)| Link::new(Point2D::new(start, 0.0), Point2D::new(start + len, 0.0)))
+            .map(|&(start, len)| {
+                Link::new(Point2D::new(start, 0.0), Point2D::new(start + len, 0.0))
+            })
             .collect()
     }
 
     fn pc(links: &[Link], alpha: f64, beta: f64, noise: f64) -> PowerControlModel {
-        PowerControlModel::new(LinkMetric::from_links(links), SinrParameters::new(alpha, beta, noise))
+        PowerControlModel::new(
+            LinkMetric::from_links(links),
+            SinrParameters::new(alpha, beta, noise),
+        )
     }
 
     #[test]
@@ -224,16 +247,25 @@ mod tests {
     #[test]
     fn single_link_gets_a_feasible_power() {
         let m = pc(&links_on_line(&[(0.0, 2.0)]), 3.0, 1.5, 0.3);
-        let r = m.power_control(&[0]).expect("single link is always feasible");
+        let r = m
+            .power_control(&[0])
+            .expect("single link is always feasible");
         assert_eq!(r.powers.len(), 1);
         assert!(m.validate_powers(&[0], &r.powers));
     }
 
     #[test]
     fn well_separated_links_get_feasible_powers() {
-        let m = pc(&links_on_line(&[(0.0, 1.0), (50.0, 2.0), (120.0, 1.5)]), 3.0, 1.0, 0.1);
+        let m = pc(
+            &links_on_line(&[(0.0, 1.0), (50.0, 2.0), (120.0, 1.5)]),
+            3.0,
+            1.0,
+            0.1,
+        );
         let set = [0, 1, 2];
-        let r = m.power_control(&set).expect("well separated links are feasible");
+        let r = m
+            .power_control(&set)
+            .expect("well separated links are feasible");
         assert!(m.validate_powers(&set, &r.powers));
         // all powers are positive and finite
         assert!(r.powers.iter().all(|&p| p > 0.0 && p.is_finite()));

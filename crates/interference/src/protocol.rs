@@ -26,7 +26,10 @@ impl ProtocolModel {
     /// # Panics
     /// Panics if `delta` is not strictly positive.
     pub fn new(links: Vec<Link>, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta.is_finite(), "protocol model requires Δ > 0");
+        assert!(
+            delta > 0.0 && delta.is_finite(),
+            "protocol model requires Δ > 0"
+        );
         ProtocolModel { links, delta }
     }
 
@@ -64,10 +67,7 @@ impl ProtocolModel {
     pub fn conflict_graph(&self) -> ConflictGraph {
         let n = self.links.len();
         ConflictGraph::from_symmetric_rows(n, |i| {
-            ssa_conflict_graph::BitSet::from_indices(
-                n,
-                (0..n).filter(|&j| self.conflicts(i, j)),
-            )
+            ssa_conflict_graph::BitSet::from_indices(n, (0..n).filter(|&j| self.conflicts(i, j)))
         })
     }
 

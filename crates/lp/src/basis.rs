@@ -1,0 +1,773 @@
+//! Pluggable basis factorizations for the revised simplex.
+//!
+//! The revised method needs four linear-algebra primitives per iteration —
+//! FTRAN (`w = B⁻¹ a`), BTRAN (`y = cᵦ B⁻¹`), a single row of `B⁻¹` (for
+//! Devex pivot rows and for driving artificials out), and a rank-one pivot
+//! update — plus a periodic rebuild from the basis columns. This module
+//! abstracts them behind the [`BasisFactorization`] trait so the simplex
+//! core ([`crate::simplex`]) is independent of *how* the basis is
+//! represented:
+//!
+//! * [`ProductFormInverse`] — the PR 1 representation: an explicit dense
+//!   row-major `m × m` inverse updated in product form. Every primitive is
+//!   `O(m²)` (FTRAN `O(m · nnz)`), which is fine for small masters but is
+//!   the documented bottleneck at `m ≳ 5·10³` rows.
+//! * [`SparseLu`] — a sparse LU factorization (`B = Pᵀ L U`, partial
+//!   pivoting, left-looking elimination with a dense scratch column) with
+//!   Bartels–Golub/Forrest–Tomlin-style **eta updates** between periodic
+//!   refactorizations: each pivot appends a sparse eta matrix to the
+//!   inverse representation instead of touching `O(m²)` entries, so FTRAN /
+//!   BTRAN cost `O(nnz(L) + nnz(U) + nnz(etas))` and a pivot costs `O(nnz(w))`.
+//!   The eta file is bounded (and the update refuses unstable pivots), which
+//!   forces a refactorization through the simplex core's existing hygiene
+//!   path.
+//!
+//! Which factorization runs is chosen by [`BasisKind`] in
+//! [`crate::simplex::SimplexOptions`]; the property tests solve every
+//! pricing × basis combination against the dense oracle ([`crate::dense`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Selects the basis representation used by the revised simplex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BasisKind {
+    /// Explicit dense `B⁻¹` maintained in product form (`O(m²)` per pivot).
+    ProductForm,
+    /// Sparse LU factors with eta updates and periodic refactorization.
+    SparseLu,
+}
+
+impl BasisKind {
+    /// Short stable name used in bench labels and stats tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BasisKind::ProductForm => "product-form",
+            BasisKind::SparseLu => "sparse-lu",
+        }
+    }
+}
+
+/// A sparse column of the basis matrix: `(row index, value)` pairs.
+pub type SparseColumn = Vec<(usize, f64)>;
+
+/// The linear-algebra kernel behind the revised simplex.
+///
+/// All vectors indexed "by basis position" refer to the slot `r` of the
+/// simplex basis (`basis[r]` is the member whose column occupies position
+/// `r`); vectors indexed "by row" refer to original constraint rows. The
+/// two spaces have the same length `m` but are permuted relative to each
+/// other inside the LU representation.
+pub trait BasisFactorization: std::fmt::Debug + Send {
+    /// Which representation this is (reported in solve stats).
+    fn kind(&self) -> BasisKind;
+
+    /// Number of rows of the factorized basis (0 before the first
+    /// [`refactor`](Self::refactor)).
+    fn num_rows(&self) -> usize;
+
+    /// Rebuilds the factorization from scratch. `cols[c]` is the sparse
+    /// column (by original row index) of the basis member at position `c`.
+    /// Returns `false` when the basis matrix is numerically singular; the
+    /// factorization is then unusable until the next successful refactor.
+    fn refactor(&mut self, m: usize, cols: &[SparseColumn]) -> bool;
+
+    /// FTRAN with a sparse right-hand side: `w = B⁻¹ a` where `a` is given
+    /// as `(row, value)` entries. `w` (length `m`) is indexed by basis
+    /// position.
+    fn ftran_sparse(&self, entries: &[(usize, f64)], w: &mut [f64]);
+
+    /// FTRAN with a dense right-hand side (used to recompute `x_B = B⁻¹ b`).
+    fn ftran_dense(&self, rhs: &[f64], w: &mut [f64]);
+
+    /// BTRAN: `y = cᵦ B⁻¹` for the basic cost vector `cb` (indexed by basis
+    /// position); `y` (length `m`) is indexed by original row.
+    fn btran(&self, cb: &[f64], y: &mut [f64]);
+
+    /// Row `r` of `B⁻¹` (`rho = eᵣᵀ B⁻¹`, indexed by original row): the
+    /// pivot row used by Devex weight updates and by the artificial
+    /// drive-out pass.
+    fn btran_unit(&self, r: usize, rho: &mut [f64]);
+
+    /// Applies the pivot that replaces the basis column at position `l` by
+    /// the column whose FTRAN image is `w` (so the new `B⁻¹` is
+    /// `E · B⁻¹_old` with the eta matrix built from `(l, w)`).
+    ///
+    /// Returns `false` when the representation declines the update for
+    /// stability or capacity reasons — the caller must then refactor from
+    /// the (already updated) basis columns; the factorization state is
+    /// unspecified until it does.
+    fn update(&mut self, l: usize, w: &[f64]) -> bool;
+
+    /// Number of successful [`update`](Self::update)s since the last
+    /// [`refactor`](Self::refactor).
+    fn updates_since_refactor(&self) -> usize;
+
+    /// Clones the factorization state (used by [`crate::simplex::WarmStart`],
+    /// which must stay `Clone` for the column-generation master).
+    fn box_clone(&self) -> Box<dyn BasisFactorization>;
+}
+
+impl Clone for Box<dyn BasisFactorization> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// Creates an empty factorization of the requested kind.
+pub fn make_factorization(kind: BasisKind) -> Box<dyn BasisFactorization> {
+    match kind {
+        BasisKind::ProductForm => Box::new(ProductFormInverse::default()),
+        BasisKind::SparseLu => Box::new(SparseLu::default()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Product-form inverse (the PR 1 representation)
+// ---------------------------------------------------------------------------
+
+/// Explicit dense `B⁻¹`, row-major, updated in product form.
+#[derive(Clone, Debug, Default)]
+pub struct ProductFormInverse {
+    m: usize,
+    /// row-major `m × m`: `binv[r * m + i]` maps row `i` to basis position `r`
+    binv: Vec<f64>,
+    updates: usize,
+}
+
+impl ProductFormInverse {
+    /// Wraps an existing dense inverse (used when migrating a pre-seam warm
+    /// start and by tests).
+    pub fn from_dense(m: usize, binv: Vec<f64>) -> Self {
+        assert_eq!(binv.len(), m * m, "inverse must be m × m");
+        ProductFormInverse {
+            m,
+            binv,
+            updates: 0,
+        }
+    }
+}
+
+impl BasisFactorization for ProductFormInverse {
+    fn kind(&self) -> BasisKind {
+        BasisKind::ProductForm
+    }
+
+    fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    fn refactor(&mut self, m: usize, cols: &[SparseColumn]) -> bool {
+        assert_eq!(cols.len(), m, "one column per basis position");
+        self.m = m;
+        self.updates = 0;
+        // Dense B (column per basis position), then Gauss–Jordan with
+        // partial pivoting applied to [B | I].
+        let mut bmat = vec![0.0f64; m * m];
+        for (c, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                bmat[r * m + c] += v;
+            }
+        }
+        let mut inv = vec![0.0f64; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for k in 0..m {
+            let mut p = k;
+            let mut best = bmat[k * m + k].abs();
+            for r in (k + 1)..m {
+                let cand = bmat[r * m + k].abs();
+                if cand > best {
+                    best = cand;
+                    p = r;
+                }
+            }
+            if best <= 1e-12 {
+                return false;
+            }
+            if p != k {
+                for j in 0..m {
+                    bmat.swap(k * m + j, p * m + j);
+                    inv.swap(k * m + j, p * m + j);
+                }
+            }
+            let inv_piv = 1.0 / bmat[k * m + k];
+            for j in 0..m {
+                bmat[k * m + j] *= inv_piv;
+                inv[k * m + j] *= inv_piv;
+            }
+            for r in 0..m {
+                if r == k {
+                    continue;
+                }
+                let f = bmat[r * m + k];
+                if f != 0.0 {
+                    for j in 0..m {
+                        bmat[r * m + j] -= f * bmat[k * m + j];
+                        inv[r * m + j] -= f * inv[k * m + j];
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        true
+    }
+
+    fn ftran_sparse(&self, entries: &[(usize, f64)], w: &mut [f64]) {
+        let m = self.m;
+        for v in w.iter_mut() {
+            *v = 0.0;
+        }
+        for &(i, a) in entries {
+            if a != 0.0 {
+                for (r, wr) in w.iter_mut().enumerate() {
+                    *wr += self.binv[r * m + i] * a;
+                }
+            }
+        }
+    }
+
+    fn ftran_dense(&self, rhs: &[f64], w: &mut [f64]) {
+        let m = self.m;
+        for (r, wr) in w.iter_mut().enumerate() {
+            let row = &self.binv[r * m..(r + 1) * m];
+            *wr = row.iter().zip(rhs.iter()).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    fn btran(&self, cb: &[f64], y: &mut [f64]) {
+        let m = self.m;
+        for v in y.iter_mut() {
+            *v = 0.0;
+        }
+        for (r, &c) in cb.iter().enumerate() {
+            if c != 0.0 {
+                let row = &self.binv[r * m..(r + 1) * m];
+                for (yk, &bk) in y.iter_mut().zip(row.iter()) {
+                    *yk += c * bk;
+                }
+            }
+        }
+    }
+
+    fn btran_unit(&self, r: usize, rho: &mut [f64]) {
+        let m = self.m;
+        rho.copy_from_slice(&self.binv[r * m..(r + 1) * m]);
+    }
+
+    fn update(&mut self, l: usize, w: &[f64]) -> bool {
+        let m = self.m;
+        let wl = w[l];
+        if wl.abs() <= 1e-12 {
+            return false;
+        }
+        let inv_wl = 1.0 / wl;
+        for j in 0..m {
+            self.binv[l * m + j] *= inv_wl;
+        }
+        let pivot_row: Vec<f64> = self.binv[l * m..(l + 1) * m].to_vec();
+        for (r, &f) in w.iter().enumerate().take(m) {
+            if r == l || f == 0.0 {
+                continue;
+            }
+            let row = &mut self.binv[r * m..(r + 1) * m];
+            for (dst, &p) in row.iter_mut().zip(pivot_row.iter()) {
+                *dst -= f * p;
+            }
+        }
+        self.updates += 1;
+        true
+    }
+
+    fn updates_since_refactor(&self) -> usize {
+        self.updates
+    }
+
+    fn box_clone(&self) -> Box<dyn BasisFactorization> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse LU with eta updates
+// ---------------------------------------------------------------------------
+
+/// One eta matrix of the update file: `B⁻¹_new = E · B⁻¹_old` with
+/// `E = I + (e_l − w) e_lᵀ / w_l` built from the pivot `(l, w = B⁻¹ a_e)`.
+#[derive(Clone, Debug)]
+struct Eta {
+    /// Pivot position (basis slot).
+    l: usize,
+    /// Pivot element `w_l`.
+    wl: f64,
+    /// Off-pivot entries `(r, w_r)` with `r ≠ l`.
+    entries: Vec<(usize, f64)>,
+}
+
+/// Sparse LU factors of the basis with a product-form eta file.
+///
+/// `B = Pᵀ L U` with row permutation `P` chosen by partial pivoting during
+/// a left-looking elimination; pivots append [`Eta`] matrices instead of
+/// re-factorizing. See the module docs for the cost model.
+#[derive(Clone, Debug, Default)]
+pub struct SparseLu {
+    m: usize,
+    /// Columns of unit-lower-triangular `L`: entries `(original row, value)`
+    /// for rows pivoted *after* step `k`.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Off-diagonal columns of `U`: entries `(step i < k, value)`.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U` per step.
+    u_diag: Vec<f64>,
+    /// `prow[k]` = original row chosen as pivot at elimination step `k`.
+    prow: Vec<usize>,
+    /// Eta file, in application (creation) order.
+    etas: Vec<Eta>,
+    /// Total entries across the eta file (bounds FTRAN/BTRAN cost).
+    eta_entries: usize,
+    /// Reusable solve workspaces (FTRAN rhs / BTRAN cost / BTRAN permuted
+    /// solution / unit-cost vector): the trait's solve methods take `&self`
+    /// and run once per pivot, so these avoid a heap allocation per call.
+    /// `scratch_unit` is separate because `btran_unit` calls `btran`, which
+    /// borrows the other two.
+    scratch_x: std::cell::RefCell<Vec<f64>>,
+    scratch_c: std::cell::RefCell<Vec<f64>>,
+    scratch_s: std::cell::RefCell<Vec<f64>>,
+    scratch_unit: std::cell::RefCell<Vec<f64>>,
+}
+
+impl SparseLu {
+    /// Tiny pivots below this are treated as singular.
+    const SINGULAR_TOL: f64 = 1e-12;
+    /// Pivot elements below this refuse the eta update (forces refactor).
+    const UPDATE_TOL: f64 = 1e-9;
+
+    /// Eta-file capacity: once the file holds more than `4m + 64` entries
+    /// the update declines and the core refactorizes, keeping the marginal
+    /// FTRAN/BTRAN cost linear in the factor size.
+    fn eta_capacity(&self) -> usize {
+        4 * self.m + 64
+    }
+
+    /// Forward elimination (`L⁻¹` with the row permutation folded in)
+    /// applied to the dense scratch `x` (indexed by original row). After the
+    /// call, `x[prow[k]]` holds the permuted solution component `z_k`.
+    fn forward(&self, x: &mut [f64]) {
+        for k in 0..self.m {
+            let z = x[self.prow[k]];
+            if z != 0.0 {
+                for &(r, lv) in &self.l_cols[k] {
+                    x[r] -= z * lv;
+                }
+            }
+        }
+    }
+
+    /// Backward substitution `U w = z` where `z_k = x[prow[k]]`; writes the
+    /// solution (indexed by basis position) into `w`.
+    fn backward(&self, x: &mut [f64], w: &mut [f64]) {
+        for k in (0..self.m).rev() {
+            let wk = x[self.prow[k]] / self.u_diag[k];
+            w[k] = wk;
+            if wk != 0.0 {
+                for &(i, uv) in &self.u_cols[k] {
+                    x[self.prow[i]] -= uv * wk;
+                }
+            }
+        }
+    }
+
+    /// Applies the eta file (column action, creation order) to `w`.
+    fn apply_etas_ftran(&self, w: &mut [f64]) {
+        for eta in &self.etas {
+            let vl = w[eta.l] / eta.wl;
+            w[eta.l] = vl;
+            if vl != 0.0 {
+                for &(r, wr) in &eta.entries {
+                    w[r] -= wr * vl;
+                }
+            }
+        }
+    }
+
+    /// Applies the eta file (row action, reverse order) to `c`.
+    fn apply_etas_btran(&self, c: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut dot = c[eta.l] * eta.wl;
+            for &(r, wr) in &eta.entries {
+                dot += c[r] * wr;
+            }
+            c[eta.l] += (c[eta.l] - dot) / eta.wl;
+        }
+    }
+
+    fn lu_solve_into(&self, x: &mut [f64], w: &mut [f64]) {
+        self.forward(x);
+        self.backward(x, w);
+        self.apply_etas_ftran(w);
+    }
+}
+
+impl BasisFactorization for SparseLu {
+    fn kind(&self) -> BasisKind {
+        BasisKind::SparseLu
+    }
+
+    fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    fn refactor(&mut self, m: usize, cols: &[SparseColumn]) -> bool {
+        assert_eq!(cols.len(), m, "one column per basis position");
+        self.m = m;
+        self.etas.clear();
+        self.eta_entries = 0;
+        self.l_cols.clear();
+        self.u_cols.clear();
+        self.u_diag.clear();
+        self.prow.clear();
+        self.l_cols.reserve(m);
+        self.u_cols.reserve(m);
+        self.u_diag.reserve(m);
+        self.prow.reserve(m);
+
+        // pos[r] = elimination step of original row r (MAX while unpivoted)
+        let mut pos = vec![usize::MAX; m];
+        let mut x = vec![0.0f64; m];
+        let mut touched: Vec<usize> = Vec::with_capacity(m);
+
+        for col in cols.iter() {
+            // scatter the basis column into the scratch
+            for &(r, v) in col {
+                if x[r] == 0.0 && v != 0.0 {
+                    touched.push(r);
+                }
+                x[r] += v;
+            }
+            // left-looking: apply the L columns computed so far (step order)
+            let k = self.u_diag.len();
+            for j in 0..k {
+                let xj = x[self.prow[j]];
+                if xj != 0.0 {
+                    for &(r, lv) in &self.l_cols[j] {
+                        if x[r] == 0.0 {
+                            touched.push(r);
+                        }
+                        x[r] -= xj * lv;
+                    }
+                }
+            }
+            // partial pivot among unpivoted rows
+            let mut p = usize::MAX;
+            let mut best = Self::SINGULAR_TOL;
+            for &r in &touched {
+                if pos[r] == usize::MAX {
+                    let cand = x[r].abs();
+                    if cand > best {
+                        best = cand;
+                        p = r;
+                    }
+                }
+            }
+            if p == usize::MAX {
+                // no usable pivot: singular (clear scratch before bailing)
+                for &r in &touched {
+                    x[r] = 0.0;
+                }
+                return false;
+            }
+            let piv = x[p];
+            pos[p] = k;
+            self.prow.push(p);
+            self.u_diag.push(piv);
+            let mut ucol: Vec<(usize, f64)> = Vec::new();
+            let mut lcol: Vec<(usize, f64)> = Vec::new();
+            for &r in &touched {
+                let v = x[r];
+                x[r] = 0.0;
+                if v == 0.0 || r == p {
+                    continue;
+                }
+                match pos[r] {
+                    usize::MAX => lcol.push((r, v / piv)),
+                    step => ucol.push((step, v)),
+                }
+            }
+            touched.clear();
+            self.u_cols.push(ucol);
+            self.l_cols.push(lcol);
+        }
+        true
+    }
+
+    fn ftran_sparse(&self, entries: &[(usize, f64)], w: &mut [f64]) {
+        let mut x = self.scratch_x.borrow_mut();
+        x.clear();
+        x.resize(self.m, 0.0);
+        for &(i, a) in entries {
+            x[i] += a;
+        }
+        self.lu_solve_into(&mut x, w);
+    }
+
+    fn ftran_dense(&self, rhs: &[f64], w: &mut [f64]) {
+        let mut x = self.scratch_x.borrow_mut();
+        x.clear();
+        x.extend_from_slice(rhs);
+        self.lu_solve_into(&mut x, w);
+    }
+
+    fn btran(&self, cb: &[f64], y: &mut [f64]) {
+        // y = cᵦ B⁻¹ with B⁻¹ = Eₖ…E₁ · U⁻¹ ∘ read ∘ forward:
+        // apply the eta file to cᵦ (row action, reverse order), then solve
+        // Uᵀ s = c (ascending steps), scatter s through the permutation and
+        // apply the transposed forward elimination in reverse.
+        let m = self.m;
+        let mut c = self.scratch_c.borrow_mut();
+        c.clear();
+        c.extend_from_slice(cb);
+        self.apply_etas_btran(&mut c);
+        let mut s = self.scratch_s.borrow_mut();
+        s.clear();
+        s.resize(m, 0.0);
+        for k in 0..m {
+            let mut v = c[k];
+            for &(i, uv) in &self.u_cols[k] {
+                v -= uv * s[i];
+            }
+            s[k] = v / self.u_diag[k];
+        }
+        for v in y.iter_mut() {
+            *v = 0.0;
+        }
+        for k in 0..m {
+            y[self.prow[k]] = s[k];
+        }
+        for k in (0..m).rev() {
+            let mut acc = y[self.prow[k]];
+            for &(r, lv) in &self.l_cols[k] {
+                acc -= lv * y[r];
+            }
+            y[self.prow[k]] = acc;
+        }
+    }
+
+    fn btran_unit(&self, r: usize, rho: &mut [f64]) {
+        // `scratch_unit` is distinct from btran's own workspaces, so the
+        // nested call cannot double-borrow.
+        let mut cb = self.scratch_unit.borrow_mut();
+        cb.clear();
+        cb.resize(self.m, 0.0);
+        cb[r] = 1.0;
+        self.btran(&cb, rho);
+    }
+
+    fn update(&mut self, l: usize, w: &[f64]) -> bool {
+        let wl = w[l];
+        if wl.abs() <= Self::UPDATE_TOL || self.eta_entries >= self.eta_capacity() {
+            return false;
+        }
+        let entries: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(r, &v)| r != l && v.abs() > 1e-12)
+            .map(|(r, &v)| (r, v))
+            .collect();
+        self.eta_entries += entries.len() + 1;
+        self.etas.push(Eta { l, wl, entries });
+        true
+    }
+
+    fn updates_since_refactor(&self) -> usize {
+        self.etas.len()
+    }
+
+    fn box_clone(&self) -> Box<dyn BasisFactorization> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Dense m × m reference multiply: B w for basis columns `cols`.
+    fn apply_b(m: usize, cols: &[SparseColumn], w: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0f64; m];
+        for (c, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                out[r] += v * w[c];
+            }
+        }
+        out
+    }
+
+    fn random_basis(seed: u64, m: usize) -> Vec<SparseColumn> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // diagonally-dominant so the basis is comfortably nonsingular
+        (0..m)
+            .map(|c| {
+                let mut col: SparseColumn = vec![(c, 2.0 + rng.random_range(0.0..3.0))];
+                for _ in 0..3 {
+                    let r = rng.random_range(0..m);
+                    if r != c {
+                        col.push((r, rng.random_range(-0.4..0.4)));
+                    }
+                }
+                col
+            })
+            .collect()
+    }
+
+    fn check_roundtrip(factor: &mut dyn BasisFactorization, seed: u64, m: usize) {
+        let cols = random_basis(seed, m);
+        assert!(factor.refactor(m, &cols), "random basis must factorize");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+
+        // FTRAN: B w = a
+        let mut a: Vec<(usize, f64)> = Vec::new();
+        for r in 0..m {
+            if rng.random_range(0.0..1.0) < 0.5 {
+                a.push((r, rng.random_range(-2.0..2.0)));
+            }
+        }
+        let mut w = vec![0.0f64; m];
+        factor.ftran_sparse(&a, &mut w);
+        let bw = apply_b(m, &cols, &w);
+        let mut dense_a = vec![0.0f64; m];
+        for &(r, v) in &a {
+            dense_a[r] += v;
+        }
+        for r in 0..m {
+            assert!(
+                (bw[r] - dense_a[r]).abs() < 1e-8,
+                "ftran row {r}: {} vs {}",
+                bw[r],
+                dense_a[r]
+            );
+        }
+
+        // BTRAN: y B = cb, i.e. y · (column c) = cb[c]
+        let cb: Vec<f64> = (0..m).map(|_| rng.random_range(-3.0..3.0)).collect();
+        let mut y = vec![0.0f64; m];
+        factor.btran(&cb, &mut y);
+        for (c, col) in cols.iter().enumerate() {
+            let dot: f64 = col.iter().map(|&(r, v)| y[r] * v).sum();
+            assert!(
+                (dot - cb[c]).abs() < 1e-8,
+                "btran col {c}: {dot} vs {}",
+                cb[c]
+            );
+        }
+
+        // btran_unit row r agrees with btran on e_r
+        let r = m / 2;
+        let mut rho = vec![0.0f64; m];
+        factor.btran_unit(r, &mut rho);
+        let mut er = vec![0.0f64; m];
+        er[r] = 1.0;
+        let mut yr = vec![0.0f64; m];
+        factor.btran(&er, &mut yr);
+        for i in 0..m {
+            assert!((rho[i] - yr[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn product_form_roundtrips() {
+        for seed in 0..6u64 {
+            let m = 3 + (seed as usize % 8);
+            check_roundtrip(&mut ProductFormInverse::default(), seed, m);
+        }
+    }
+
+    #[test]
+    fn sparse_lu_roundtrips() {
+        for seed in 0..6u64 {
+            let m = 3 + (seed as usize % 8);
+            check_roundtrip(&mut SparseLu::default(), seed, m);
+        }
+    }
+
+    #[test]
+    fn both_kinds_agree_after_updates() {
+        let m = 12;
+        let cols = random_basis(99, m);
+        let mut pf = ProductFormInverse::default();
+        let mut lu = SparseLu::default();
+        assert!(pf.refactor(m, &cols));
+        assert!(lu.refactor(m, &cols));
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut cols = cols;
+        for _ in 0..8 {
+            // a random replacement column
+            let mut e: SparseColumn = Vec::new();
+            for r in 0..m {
+                if rng.random_range(0.0..1.0) < 0.4 {
+                    e.push((r, rng.random_range(-2.0..2.0)));
+                }
+            }
+            e.push((rng.random_range(0..m), 3.0));
+            let mut w_pf = vec![0.0f64; m];
+            let mut w_lu = vec![0.0f64; m];
+            pf.ftran_sparse(&e, &mut w_pf);
+            lu.ftran_sparse(&e, &mut w_lu);
+            for r in 0..m {
+                assert!((w_pf[r] - w_lu[r]).abs() < 1e-7, "ftran mismatch at {r}");
+            }
+            // choose a pivot position with a healthy element
+            let l = (0..m)
+                .max_by(|&a, &b| w_pf[a].abs().partial_cmp(&w_pf[b].abs()).unwrap())
+                .unwrap();
+            if w_pf[l].abs() < 1e-6 {
+                continue;
+            }
+            assert!(pf.update(l, &w_pf));
+            assert!(lu.update(l, &w_lu));
+            cols[l] = e;
+            // duals must agree afterwards
+            let cb: Vec<f64> = (0..m).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let mut y_pf = vec![0.0f64; m];
+            let mut y_lu = vec![0.0f64; m];
+            pf.btran(&cb, &mut y_pf);
+            lu.btran(&cb, &mut y_lu);
+            for i in 0..m {
+                assert!((y_pf[i] - y_lu[i]).abs() < 1e-6, "btran mismatch at {i}");
+            }
+        }
+        assert_eq!(pf.updates_since_refactor(), lu.updates_since_refactor());
+    }
+
+    #[test]
+    fn singular_basis_is_rejected_by_both() {
+        let m = 4;
+        // two identical columns
+        let mut cols = random_basis(7, m);
+        cols[2] = cols[1].clone();
+        let mut pf = ProductFormInverse::default();
+        let mut lu = SparseLu::default();
+        assert!(!pf.refactor(m, &cols));
+        assert!(!lu.refactor(m, &cols));
+    }
+
+    #[test]
+    fn eta_capacity_forces_refactor() {
+        let m = 4;
+        let cols = random_basis(11, m);
+        let mut lu = SparseLu::default();
+        assert!(lu.refactor(m, &cols));
+        // dense updates: each eta holds ~m entries; the capacity 4m + 64
+        // must trip in bounded time
+        let w: Vec<f64> = (0..m).map(|r| 1.0 + r as f64 * 0.1).collect();
+        let mut declined = false;
+        for _ in 0..200 {
+            if !lu.update(0, &w) {
+                declined = true;
+                break;
+            }
+        }
+        assert!(declined, "eta file must eventually decline updates");
+    }
+}

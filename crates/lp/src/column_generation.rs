@@ -1,4 +1,5 @@
-//! Column generation (restricted master + pricing oracle).
+//! Column generation (restricted master + pricing oracle), single and
+//! batched.
 //!
 //! The paper's LP relaxations (1) and (4) have one variable `x_{v,T}` per
 //! bidder `v` and channel bundle `T ⊆ [k]` — exponentially many. Section 2.2
@@ -10,12 +11,27 @@
 //! at the bidder-specific channel prices `p_{v,j} = Σ_{u : v ∈ Γπ(u)} y_{u,j}`
 //! derived from the dual (2) of the paper.
 //!
+//! Besides the single-master loop ([`ColumnGeneration::run`]) there is a
+//! **batched cross-channel context** ([`BatchedMasters`]): a family of
+//! related masters — in the auction, one per channel — that share
+//!
+//! * a **column pool**: every column any oracle generates is offered to the
+//!   sibling masters (tested against *their* duals) before their oracles
+//!   are queried again, so one channel's discovery saves the others a
+//!   pricing round, and
+//! * **warm-start seeding**: a master with no recorded basis clones the
+//!   basis of an already-solved sibling with identical rows, so only the
+//!   first channel pays the cold start (the engine validates the seed and
+//!   silently falls back to a cold start when it does not fit).
+//!
 //! The same machinery drives the Lavi–Swamy decomposition (Section 5), whose
 //! master is a covering LP and whose pricing oracle is the approximation
 //! algorithm itself.
 
 use crate::problem::{LinearProgram, Relation, Sense};
-use crate::simplex::{solve, solve_with_warm_start, LpSolution, LpStatus, SimplexOptions, WarmStart};
+use crate::simplex::{
+    solve, solve_with_warm_start, LpSolution, LpStatus, SimplexOptions, WarmStart,
+};
 use serde::{Deserialize, Serialize};
 
 /// A column produced by a pricing oracle.
@@ -36,6 +52,14 @@ impl GeneratedColumn {
     pub fn reduced_cost(&self, duals: &[f64]) -> f64 {
         let priced: f64 = self.coeffs.iter().map(|&(r, a)| duals[r] * a).sum();
         self.objective - priced
+    }
+
+    fn is_improving(&self, duals: &[f64], sense: Sense, tolerance: f64) -> bool {
+        let rc = self.reduced_cost(duals);
+        match sense {
+            Sense::Maximize => rc > tolerance,
+            Sense::Minimize => rc < -tolerance,
+        }
     }
 }
 
@@ -95,9 +119,19 @@ impl MasterProblem {
         self.rows.len()
     }
 
+    /// The rows `(relation, rhs)` this master was built with.
+    pub fn rows(&self) -> &[(Relation, f64)] {
+        &self.rows
+    }
+
     /// Number of columns added so far.
     pub fn num_columns(&self) -> usize {
         self.columns.len()
+    }
+
+    /// Whether a column with this tag has already been added.
+    pub fn contains_tag(&self, tag: u64) -> bool {
+        self.seen_tags.contains(&tag)
     }
 
     /// The columns added so far, in insertion order (their index is the
@@ -146,6 +180,22 @@ impl MasterProblem {
         solution
     }
 
+    /// The warm-start state recorded by the last
+    /// [`solve_warm`](Self::solve_warm), if any.
+    pub fn warm_start(&self) -> Option<&WarmStart> {
+        self.warm.as_ref()
+    }
+
+    /// Seeds the next solve with a basis recorded by a *different* master
+    /// over the same rows (cross-channel warm-start sharing). Only the
+    /// basis carries over — the donor's factorization was computed from a
+    /// different column set, so the engine refactorizes from *this*
+    /// master's columns. An unsuitable seed is harmless: the engine
+    /// validates it and falls back to a cold start.
+    pub fn seed_warm_start(&mut self, warm: WarmStart) {
+        self.warm = Some(warm.into_basis_only());
+    }
+
     /// Drops the recorded warm-start basis (the next solve is cold).
     pub fn reset_warm_start(&mut self) {
         self.warm = None;
@@ -162,6 +212,38 @@ pub struct ColumnGenerationResult {
     /// Whether the loop stopped because no improving column was found
     /// (`true`) or because the round limit was hit (`false`).
     pub converged: bool,
+    /// Total simplex pivots across every master re-solve of this run.
+    pub simplex_iterations: usize,
+    /// Pivots of each master re-solve, in order — the warm-start win is the
+    /// drop after round 0.
+    pub per_round_iterations: Vec<usize>,
+    /// Basis refactorizations across every master re-solve.
+    pub refactorizations: usize,
+    /// Degenerate pivots across every master re-solve.
+    pub degenerate_pivots: usize,
+}
+
+impl ColumnGenerationResult {
+    fn from_single(solution: LpSolution, rounds: usize, converged: bool) -> Self {
+        let iters = solution.iterations;
+        let stats = solution.stats;
+        ColumnGenerationResult {
+            solution,
+            rounds,
+            converged,
+            simplex_iterations: iters,
+            per_round_iterations: vec![iters],
+            refactorizations: stats.refactorizations,
+            degenerate_pivots: stats.degenerate_pivots,
+        }
+    }
+
+    fn absorb_solve(&mut self, solution: &LpSolution) {
+        self.simplex_iterations += solution.iterations;
+        self.per_round_iterations.push(solution.iterations);
+        self.refactorizations += solution.stats.refactorizations;
+        self.degenerate_pivots += solution.stats.degenerate_pivots;
+    }
 }
 
 /// Failure of a column-generation run.
@@ -174,10 +256,11 @@ pub struct ColumnGenerationResult {
 #[derive(Clone, Debug)]
 pub enum ColumnGenerationError {
     /// A master solve stopped at [`LpStatus::IterationLimit`] before proving
-    /// optimality; the partial result is attached.
+    /// optimality; the partial result is attached (boxed: the error path is
+    /// cold and the result carries the full master solution).
     IterationLimit {
         /// State at the interrupted solve (solution is *not* optimal).
-        partial: ColumnGenerationResult,
+        partial: Box<ColumnGenerationResult>,
     },
 }
 
@@ -236,53 +319,318 @@ impl ColumnGeneration {
         source: &mut dyn ColumnSource,
     ) -> Result<ColumnGenerationResult, ColumnGenerationError> {
         let mut rounds = 0usize;
+        let mut tally: Option<ColumnGenerationResult> = None;
         loop {
             let solution = master.solve_warm(&self.simplex);
             rounds += 1;
+            match &mut tally {
+                None => {
+                    tally = Some(ColumnGenerationResult::from_single(
+                        solution.clone(),
+                        0,
+                        false,
+                    ))
+                }
+                Some(t) => {
+                    t.absorb_solve(&solution);
+                    t.solution = solution.clone();
+                }
+            }
+            let finish = |mut t: ColumnGenerationResult, rounds: usize, converged: bool| {
+                t.rounds = rounds;
+                t.converged = converged;
+                t
+            };
             if solution.status == LpStatus::IterationLimit {
                 return Err(ColumnGenerationError::IterationLimit {
-                    partial: ColumnGenerationResult {
-                        solution,
-                        rounds,
-                        converged: false,
-                    },
+                    partial: Box::new(finish(tally.take().expect("tallied above"), rounds, false)),
                 });
             }
             if rounds > self.max_rounds {
-                return Ok(ColumnGenerationResult {
-                    solution,
-                    rounds: rounds - 1,
-                    converged: false,
-                });
+                // `rounds` counts master solves actually performed, so the
+                // per-round iteration list stays one entry per round even on
+                // the truncated path.
+                return Ok(finish(tally.take().expect("tallied above"), rounds, false));
             }
             // An infeasible or unbounded master cannot be priced further.
             if solution.status != LpStatus::Optimal {
-                return Ok(ColumnGenerationResult {
-                    solution,
-                    rounds,
-                    converged: false,
-                });
+                return Ok(finish(tally.take().expect("tallied above"), rounds, false));
             }
             let candidates = source.generate(&solution.duals);
             let mut added_improving = false;
             for col in candidates {
-                let rc = col.reduced_cost(&solution.duals);
-                let improving = match master.lp.sense() {
-                    Sense::Maximize => rc > self.reduced_cost_tolerance,
-                    Sense::Minimize => rc < -self.reduced_cost_tolerance,
-                };
-                if improving && master.add_column(col) {
+                if col.is_improving(
+                    &solution.duals,
+                    master.lp.sense(),
+                    self.reduced_cost_tolerance,
+                ) && master.add_column(col)
+                {
                     added_improving = true;
                 }
             }
             if !added_improving {
-                return Ok(ColumnGenerationResult {
-                    solution,
-                    rounds,
-                    converged: true,
-                });
+                return Ok(finish(tally.take().expect("tallied above"), rounds, true));
             }
         }
+    }
+}
+
+/// Per-channel statistics of a [`BatchedMasters`] run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ChannelRunStats {
+    /// Pricing rounds this channel's master was re-solved.
+    pub rounds: usize,
+    /// Simplex pivots across this channel's master re-solves.
+    pub simplex_iterations: usize,
+    /// Columns this channel adopted from the shared pool (discovered by a
+    /// sibling's oracle).
+    pub columns_from_pool: usize,
+    /// Columns this channel's own oracle contributed.
+    pub columns_from_oracle: usize,
+    /// Whether this channel reached proven optimality.
+    pub converged: bool,
+}
+
+/// Result of a batched cross-channel column-generation run.
+#[derive(Clone, Debug)]
+pub struct BatchedResult {
+    /// Per-channel results (same order as the masters).
+    pub channels: Vec<ColumnGenerationResult>,
+    /// Per-channel iteration/adoption statistics — the measurable batching
+    /// win (satellite: per-channel counts instead of a single global total).
+    pub per_channel: Vec<ChannelRunStats>,
+    /// Size of the shared column pool at the end of the run.
+    pub pool_size: usize,
+    /// Round-robin sweeps performed.
+    pub sweeps: usize,
+}
+
+/// A family of related restricted masters (in the auction: one per channel)
+/// sharing one batched solve context — a common column pool and cross-seeded
+/// basis warm starts — instead of independent re-solves.
+#[derive(Clone, Debug)]
+pub struct BatchedMasters {
+    masters: Vec<MasterProblem>,
+    /// Every column any oracle has generated, in discovery order.
+    pool: Vec<GeneratedColumn>,
+    /// Per pool column: index of the master whose oracle produced it. A
+    /// column is only offered to masters whose rows equal the origin's —
+    /// row *indices* alone are not identity (a coefficient on "row 0" means
+    /// something else under a different rhs or relation).
+    pool_origin: Vec<usize>,
+    pool_tags: std::collections::HashSet<u64>,
+    /// Per master: pool prefix already offered to it.
+    offered: Vec<usize>,
+}
+
+impl BatchedMasters {
+    /// Wraps the given masters in a shared context. The masters may have
+    /// different rows — both pool sharing and warm-start seeding then only
+    /// happen between masters with identical rows.
+    pub fn new(masters: Vec<MasterProblem>) -> Self {
+        let offered = vec![0; masters.len()];
+        BatchedMasters {
+            masters,
+            pool: Vec::new(),
+            pool_origin: Vec::new(),
+            pool_tags: std::collections::HashSet::new(),
+            offered,
+        }
+    }
+
+    /// Number of masters in the context.
+    pub fn num_masters(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// The masters (channel order preserved).
+    pub fn masters(&self) -> &[MasterProblem] {
+        &self.masters
+    }
+
+    /// Mutable access to one master (e.g. to seed initial columns).
+    pub fn master_mut(&mut self, c: usize) -> &mut MasterProblem {
+        &mut self.masters[c]
+    }
+
+    /// Adds a column to master `c` **and** publishes it to the shared pool
+    /// (for siblings whose rows equal `c`'s).
+    pub fn add_column(&mut self, c: usize, column: GeneratedColumn) -> bool {
+        let added = self.masters[c].add_column(column.clone());
+        if self.pool_tags.insert(column.tag) {
+            self.pool.push(column);
+            self.pool_origin.push(c);
+        }
+        added
+    }
+
+    /// Seeds master `c`'s warm start from an already-solved sibling with
+    /// identical rows, so only the first channel of a family pays the cold
+    /// start. No-op when `c` already has a basis or no sibling fits.
+    fn seed_from_sibling(&mut self, c: usize) {
+        if self.masters[c].warm_start().is_some() {
+            return;
+        }
+        let rows = self.masters[c].rows().to_vec();
+        let seed = self
+            .masters
+            .iter()
+            .enumerate()
+            .filter(|&(s, m)| s != c && m.rows() == rows.as_slice())
+            .find_map(|(_, m)| m.warm_start().cloned());
+        if let Some(warm) = seed {
+            self.masters[c].seed_warm_start(warm);
+        }
+    }
+
+    /// Offers pool columns to master `c` at the given duals; returns how
+    /// many were adopted.
+    ///
+    /// The **whole** pool is rescanned every time (tag de-duplication skips
+    /// columns the master already holds): a column rejected at one round's
+    /// duals can become improving after other columns pivot in, so a
+    /// forward-only cursor would silently withhold it and the channel would
+    /// settle on a non-optimal master. Only columns whose *origin master
+    /// has identical rows* are offered — a coefficient on "row i" is only
+    /// meaningful under the same relation and right-hand side, so matching
+    /// row counts alone would adopt semantically foreign columns.
+    fn offer_pool(&mut self, c: usize, duals: &[f64], tolerance: f64) -> usize {
+        let sense = self.masters[c].lp.sense();
+        let mut adopted = 0usize;
+        for i in 0..self.pool.len() {
+            let origin = self.pool_origin[i];
+            if origin != c && self.masters[origin].rows() != self.masters[c].rows() {
+                continue;
+            }
+            let col = &self.pool[i];
+            if !self.masters[c].contains_tag(col.tag) && col.is_improving(duals, sense, tolerance) {
+                let col = col.clone();
+                if self.masters[c].add_column(col) {
+                    adopted += 1;
+                }
+            }
+        }
+        // `offered` is only the has-the-pool-grown-since-my-last-visit
+        // signal for the outer sweep loop; adoption no longer consumes it.
+        self.offered[c] = self.pool.len();
+        adopted
+    }
+
+    /// Runs the batched column-generation loop. Channels are **drained in
+    /// sequence**: each channel's master is re-solved (warm-started, seeding
+    /// from a sibling on the first visit), adopts every improving pool
+    /// column in bulk, then queries its own oracle — until a visit adds
+    /// nothing. Draining (rather than round-robin) is what makes the pool
+    /// pay: the first channel's oracle discovers the column set one pricing
+    /// round at a time, and every later channel absorbs it in a handful of
+    /// bulk re-solves instead of re-running the same discovery. Outer
+    /// sweeps repeat until no channel has pending pool columns or oracle
+    /// progress.
+    ///
+    /// # Errors
+    /// Propagates the first channel whose master hits the simplex pivot
+    /// budget, as [`ColumnGenerationError::IterationLimit`].
+    pub fn run(
+        &mut self,
+        cg: &ColumnGeneration,
+        sources: &mut [&mut dyn ColumnSource],
+    ) -> Result<BatchedResult, ColumnGenerationError> {
+        assert_eq!(sources.len(), self.masters.len(), "one oracle per master");
+        let k = self.masters.len();
+        let mut stats: Vec<ChannelRunStats> = vec![ChannelRunStats::default(); k];
+        let mut results: Vec<Option<ColumnGenerationResult>> = (0..k).map(|_| None).collect();
+        // a channel is revisited while it has pending pool columns or its
+        // own oracle keeps producing
+        let mut settled = vec![false; k];
+        let mut sweeps = 0usize;
+        loop {
+            let mut visited_any = false;
+            for c in 0..k {
+                while !(settled[c] && self.offered[c] == self.pool.len()) {
+                    if stats[c].rounds >= cg.max_rounds {
+                        settled[c] = true;
+                        self.offered[c] = self.pool.len();
+                        break;
+                    }
+                    visited_any = true;
+                    self.seed_from_sibling(c);
+                    let solution = self.masters[c].solve_warm(&cg.simplex);
+                    stats[c].rounds += 1;
+                    stats[c].simplex_iterations += solution.iterations;
+                    match &mut results[c] {
+                        None => {
+                            results[c] = Some(ColumnGenerationResult::from_single(
+                                solution.clone(),
+                                0,
+                                false,
+                            ))
+                        }
+                        Some(t) => {
+                            t.absorb_solve(&solution);
+                            t.solution = solution.clone();
+                        }
+                    }
+                    if solution.status == LpStatus::IterationLimit {
+                        let mut partial = results[c].take().expect("tallied above");
+                        partial.rounds = stats[c].rounds;
+                        return Err(ColumnGenerationError::IterationLimit {
+                            partial: Box::new(partial),
+                        });
+                    }
+                    if solution.status != LpStatus::Optimal {
+                        settled[c] = true;
+                        self.offered[c] = self.pool.len(); // cannot price further
+                        break;
+                    }
+                    let adopted = self.offer_pool(c, &solution.duals, cg.reduced_cost_tolerance);
+                    stats[c].columns_from_pool += adopted;
+                    let sense = self.masters[c].lp.sense();
+                    let mut oracle_added = false;
+                    for col in sources[c].generate(&solution.duals) {
+                        if col.is_improving(&solution.duals, sense, cg.reduced_cost_tolerance) {
+                            let tag_is_new = !self.pool_tags.contains(&col.tag);
+                            if self.add_column(c, col) {
+                                // Any successful add is progress (the master
+                                // must re-solve), even when the tag was
+                                // already pooled by a sibling — only genuinely
+                                // new tags count toward the oracle stat.
+                                oracle_added = true;
+                                if tag_is_new {
+                                    stats[c].columns_from_oracle += 1;
+                                }
+                            }
+                        }
+                    }
+                    if adopted == 0 && !oracle_added {
+                        settled[c] = true;
+                        stats[c].converged = true;
+                    } else {
+                        settled[c] = false;
+                        stats[c].converged = false;
+                    }
+                }
+            }
+            if !visited_any {
+                break;
+            }
+            sweeps += 1;
+        }
+        let channels: Vec<ColumnGenerationResult> = results
+            .into_iter()
+            .zip(stats.iter())
+            .map(|(r, s)| {
+                let mut r = r.expect("every channel is visited at least once");
+                r.rounds = s.rounds;
+                r.converged = s.converged;
+                r
+            })
+            .collect();
+        Ok(BatchedResult {
+            channels,
+            per_channel: stats,
+            pool_size: self.pool.len(),
+            sweeps,
+        })
     }
 }
 
@@ -329,12 +677,20 @@ mod tests {
         };
 
         let cg = ColumnGeneration::default();
-        let result = cg.run(&mut master, &mut source).expect("column generation failed");
+        let result = cg
+            .run(&mut master, &mut source)
+            .expect("column generation failed");
         assert!(result.converged);
         assert_eq!(result.solution.status, LpStatus::Optimal);
         // LP optimum: take items 1, 2, 3 fully (total weight 6 > 5), so the
         // fractional optimum is x = (1, 1, 2/3): 6 + 10 + 8 = 24.
         assert!((result.solution.objective - 24.0).abs() < 1e-5);
+        // stats: one entry per master re-solve, totals add up
+        assert_eq!(result.per_round_iterations.len(), result.rounds);
+        assert_eq!(
+            result.per_round_iterations.iter().sum::<usize>(),
+            result.simplex_iterations
+        );
     }
 
     #[test]
@@ -342,7 +698,9 @@ mod tests {
         let mut master = MasterProblem::new(Sense::Maximize, vec![(Relation::Le, 1.0)]);
         let mut source = |_: &[f64]| Vec::<GeneratedColumn>::new();
         let cg = ColumnGeneration::default();
-        let result = cg.run(&mut master, &mut source).expect("column generation failed");
+        let result = cg
+            .run(&mut master, &mut source)
+            .expect("column generation failed");
         assert!(result.converged);
         assert_eq!(result.solution.objective, 0.0);
         assert_eq!(result.rounds, 1);
@@ -376,7 +734,9 @@ mod tests {
             }]
         };
         let cg = ColumnGeneration::default();
-        let result = cg.run(&mut master, &mut source).expect("column generation failed");
+        let result = cg
+            .run(&mut master, &mut source)
+            .expect("column generation failed");
         assert!(result.converged);
         assert!(result.rounds <= 3);
         assert!((result.solution.objective - 2.0).abs() < 1e-6);
@@ -393,7 +753,9 @@ mod tests {
         for seed in 0..10u64 {
             let mut rng = StdRng::seed_from_u64(1000 + seed);
             let num_items = 4 + (seed as usize % 6);
-            let values: Vec<f64> = (0..num_items).map(|_| rng.random_range(1.0..10.0)).collect();
+            let values: Vec<f64> = (0..num_items)
+                .map(|_| rng.random_range(1.0..10.0))
+                .collect();
             let weights: Vec<f64> = (0..num_items).map(|_| rng.random_range(0.5..4.0)).collect();
             let capacity = rng.random_range(3.0..8.0);
 
@@ -466,7 +828,12 @@ mod tests {
         // must fail loudly instead of returning the truncated solution.
         let mut master = MasterProblem::new(
             Sense::Maximize,
-            vec![(Relation::Le, 4.0), (Relation::Le, 1.0), (Relation::Le, 1.0), (Relation::Le, 1.0)],
+            vec![
+                (Relation::Le, 4.0),
+                (Relation::Le, 1.0),
+                (Relation::Le, 1.0),
+                (Relation::Le, 1.0),
+            ],
         );
         for i in 0..3 {
             master.add_column(GeneratedColumn {
@@ -523,9 +890,251 @@ mod tests {
             }
         };
         let cg = ColumnGeneration::default();
-        let result = cg.run(&mut master, &mut source).expect("column generation failed");
+        let result = cg
+            .run(&mut master, &mut source)
+            .expect("column generation failed");
         assert!(result.converged);
         assert!((result.solution.objective - 1.0).abs() < 1e-6);
         assert_eq!(master.num_columns(), 3);
+    }
+
+    /// A family of k knapsack channels over the same items: batched and
+    /// independent runs must reach the same per-channel optima, and the
+    /// batched run must source most columns from the pool.
+    #[test]
+    fn batched_masters_match_independent_runs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let k = 4;
+        let n = 12;
+        let mut rng = StdRng::seed_from_u64(777);
+        let weights: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..3.0)).collect();
+        let capacity = 6.0;
+        // The pool shares columns *by tag*, so all channels must price a tag
+        // identically: the channels here are the same knapsack (the paper's
+        // symmetric-channel situation), which is exactly when batching pays.
+        let base: Vec<f64> = (0..n).map(|_| rng.random_range(1.0..10.0)).collect();
+
+        let build_rows = || {
+            let mut rows = vec![(Relation::Le, capacity)];
+            for _ in 0..n {
+                rows.push((Relation::Le, 1.0));
+            }
+            rows
+        };
+        let make_source = |values: Vec<f64>, weights: Vec<f64>| {
+            move |duals: &[f64]| -> Vec<GeneratedColumn> {
+                let mut best: Option<(f64, GeneratedColumn)> = None;
+                for i in 0..values.len() {
+                    let col = GeneratedColumn {
+                        objective: values[i],
+                        coeffs: vec![(0, weights[i]), (i + 1, 1.0)],
+                        tag: i as u64,
+                    };
+                    let rc = col.reduced_cost(duals);
+                    if rc > 1e-7 && best.as_ref().map(|(b, _)| rc > *b).unwrap_or(true) {
+                        best = Some((rc, col));
+                    }
+                }
+                best.map(|(_, c)| c).into_iter().collect()
+            }
+        };
+
+        let shared_values = base.clone();
+
+        let cg = ColumnGeneration::default();
+
+        // independent (the PR 1 baseline): one warm-started run per channel
+        let mut independent = Vec::new();
+        for _ in 0..k {
+            let mut master = MasterProblem::new(Sense::Maximize, build_rows());
+            let mut src = make_source(shared_values.clone(), weights.clone());
+            let r = cg
+                .run(&mut master, &mut src)
+                .expect("independent run failed");
+            independent.push(r);
+        }
+
+        // batched: same masters, shared context
+        let masters: Vec<MasterProblem> = (0..k)
+            .map(|_| MasterProblem::new(Sense::Maximize, build_rows()))
+            .collect();
+        let mut batched = BatchedMasters::new(masters);
+        let result = {
+            let mut srcs: Vec<_> = (0..k)
+                .map(|_| make_source(shared_values.clone(), weights.clone()))
+                .collect();
+            let mut src_refs: Vec<&mut dyn ColumnSource> = srcs
+                .iter_mut()
+                .map(|s| s as &mut dyn ColumnSource)
+                .collect();
+            batched.run(&cg, &mut src_refs).expect("batched run failed")
+        };
+
+        assert_eq!(result.channels.len(), k);
+        let mut pool_adoptions = 0usize;
+        for (c, ind) in independent.iter().enumerate() {
+            assert!(result.per_channel[c].converged, "channel {c} must converge");
+            assert!(
+                (result.channels[c].solution.objective - ind.solution.objective).abs() < 1e-6,
+                "channel {c}: batched {} vs independent {}",
+                result.channels[c].solution.objective,
+                ind.solution.objective
+            );
+            pool_adoptions += result.per_channel[c].columns_from_pool;
+        }
+        assert!(
+            pool_adoptions > 0,
+            "identical channels must adopt columns from the shared pool"
+        );
+        // the batching win: strictly fewer total master re-solves than the
+        // independent per-channel loops
+        let batched_rounds: usize = result.per_channel.iter().map(|s| s.rounds).sum();
+        let independent_rounds: usize = independent.iter().map(|r| r.rounds).sum();
+        assert!(
+            batched_rounds < independent_rounds,
+            "batched {batched_rounds} rounds vs independent {independent_rounds}"
+        );
+    }
+
+    #[test]
+    fn batched_masters_with_mismatched_rows_stay_correct() {
+        // The channels have different rows, so NO pool column may cross
+        // between them (a coefficient on "row 0" means different things
+        // under different rhs) and each must converge to its own optimum.
+        let rows0 = vec![(Relation::Le, 2.0), (Relation::Le, 1.0)];
+        let rows1 = vec![(Relation::Le, 2.0)];
+        let m0 = MasterProblem::new(Sense::Maximize, rows0);
+        let m1 = MasterProblem::new(Sense::Maximize, rows1);
+        let mut batched = BatchedMasters::new(vec![m0, m1]);
+        let mut s0 = |duals: &[f64]| {
+            let col = GeneratedColumn {
+                objective: 3.0,
+                coeffs: vec![(0, 1.0), (1, 1.0)],
+                tag: 100,
+            };
+            if col.reduced_cost(duals) > 1e-7 {
+                vec![col]
+            } else {
+                Vec::new()
+            }
+        };
+        let mut s1 = |duals: &[f64]| {
+            let col = GeneratedColumn {
+                objective: 1.0,
+                coeffs: vec![(0, 1.0)],
+                tag: 200,
+            };
+            if col.reduced_cost(duals) > 1e-7 {
+                vec![col]
+            } else {
+                Vec::new()
+            }
+        };
+        let mut refs: Vec<&mut dyn ColumnSource> = vec![&mut s0, &mut s1];
+        let cg = ColumnGeneration::default();
+        let result = batched.run(&cg, &mut refs).expect("batched run failed");
+        assert!(result.per_channel.iter().all(|s| s.converged));
+        // own optima, no cross-contamination
+        assert!((result.channels[0].solution.objective - 3.0).abs() < 1e-6);
+        assert!((result.channels[1].solution.objective - 2.0).abs() < 1e-6);
+        assert_eq!(result.per_channel[0].columns_from_pool, 0);
+        assert_eq!(result.per_channel[1].columns_from_pool, 0);
+    }
+
+    #[test]
+    fn pool_columns_rejected_once_are_reoffered_at_later_duals() {
+        // Channel 0 pools X (obj 4, row 0) and V (obj 9, row 1). Channel 1
+        // starts from a pre-seeded column A (obj 10, both rows): at A's
+        // duals one of X/V prices out, but after the other pivots in the
+        // duals shift and the rejected one becomes improving. A forward-only
+        // offer cursor would withhold it forever and channel 1 would settle
+        // at 10; the rescanning pool must deliver both and reach 13 even
+        // though channel 1's own oracle produces nothing.
+        let rows = || vec![(Relation::Le, 1.0), (Relation::Le, 1.0)];
+        let m0 = MasterProblem::new(Sense::Maximize, rows());
+        let mut m1 = MasterProblem::new(Sense::Maximize, rows());
+        m1.add_column(GeneratedColumn {
+            objective: 10.0,
+            coeffs: vec![(0, 1.0), (1, 1.0)],
+            tag: 0,
+        });
+        let mut batched = BatchedMasters::new(vec![m0, m1]);
+        let mut s0 = |duals: &[f64]| {
+            let candidates = [
+                GeneratedColumn {
+                    objective: 4.0,
+                    coeffs: vec![(0, 1.0)],
+                    tag: 1,
+                },
+                GeneratedColumn {
+                    objective: 9.0,
+                    coeffs: vec![(1, 1.0)],
+                    tag: 2,
+                },
+            ];
+            candidates
+                .into_iter()
+                .filter(|c| c.reduced_cost(duals) > 1e-7)
+                .collect()
+        };
+        let mut s1 = |_: &[f64]| Vec::<GeneratedColumn>::new();
+        let mut refs: Vec<&mut dyn ColumnSource> = vec![&mut s0, &mut s1];
+        let cg = ColumnGeneration::default();
+        let result = batched.run(&cg, &mut refs).expect("batched run failed");
+        assert!(result.per_channel.iter().all(|s| s.converged));
+        assert!((result.channels[0].solution.objective - 13.0).abs() < 1e-6);
+        assert!(
+            (result.channels[1].solution.objective - 13.0).abs() < 1e-6,
+            "channel 1 settled at {} — a once-rejected pool column was never re-offered",
+            result.channels[1].solution.objective
+        );
+        assert_eq!(result.per_channel[1].columns_from_pool, 2);
+    }
+
+    #[test]
+    fn pool_sharing_requires_identical_rows_not_just_counts() {
+        // Same row COUNT but different rhs: a capacity-10 column must not
+        // leak into the capacity-5 channel even though its row indices fit.
+        let m0 = MasterProblem::new(Sense::Maximize, vec![(Relation::Le, 5.0)]);
+        let m1 = MasterProblem::new(Sense::Maximize, vec![(Relation::Le, 10.0)]);
+        let mut batched = BatchedMasters::new(vec![m0, m1]);
+        let mut s0 = |duals: &[f64]| {
+            let col = GeneratedColumn {
+                objective: 1.0,
+                coeffs: vec![(0, 1.0)],
+                tag: 1,
+            };
+            if col.reduced_cost(duals) > 1e-7 {
+                vec![col]
+            } else {
+                Vec::new()
+            }
+        };
+        let mut s1 = |duals: &[f64]| {
+            let col = GeneratedColumn {
+                objective: 3.0,
+                coeffs: vec![(0, 8.0)],
+                tag: 2,
+            };
+            if col.reduced_cost(duals) > 1e-7 {
+                vec![col]
+            } else {
+                Vec::new()
+            }
+        };
+        let mut refs: Vec<&mut dyn ColumnSource> = vec![&mut s0, &mut s1];
+        let cg = ColumnGeneration::default();
+        let result = batched.run(&cg, &mut refs).expect("batched run failed");
+        assert!(result.per_channel.iter().all(|s| s.converged));
+        // channel 0: x <= 5 with its own column only -> 5; adopting the
+        // foreign (obj 3, weight 8) column would report 5/8*3 + ... a
+        // different support
+        assert!((result.channels[0].solution.objective - 5.0).abs() < 1e-6);
+        assert_eq!(result.per_channel[0].columns_from_pool, 0);
+        assert_eq!(result.per_channel[1].columns_from_pool, 0);
+        assert_eq!(batched.masters()[0].num_columns(), 1);
+        assert_eq!(batched.masters()[1].num_columns(), 1);
     }
 }

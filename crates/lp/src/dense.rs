@@ -224,7 +224,9 @@ impl<'a> Tableau<'a> {
                     let ratio = self.t[r * width + self.n_total] / a;
                     let better = ratio < best_ratio - self.tol
                         || (ratio < best_ratio + self.tol
-                            && leaving.map(|l| self.basis[r] < self.basis[l]).unwrap_or(true));
+                            && leaving
+                                .map(|l| self.basis[r] < self.basis[l])
+                                .unwrap_or(true));
                     if better {
                         best_ratio = ratio;
                         leaving = Some(r);
@@ -364,6 +366,13 @@ impl<'a> Tableau<'a> {
             x,
             duals,
             iterations: self.iterations,
+            // The dense tableau has no pluggable engine: report the
+            // closest labels (full Dantzig scan, dense inverse) with its
+            // pivot count so stats stay comparable across solvers.
+            stats: crate::simplex::SolveStats {
+                iterations: self.iterations,
+                ..Default::default()
+            },
         }
     }
 }

@@ -10,18 +10,24 @@
 //!   `≤` / `≥` / `=` constraints, non-negative variables) with a
 //!   compressed-sparse-column view ([`problem::CscMatrix`]) of the
 //!   constraint matrix,
-//! * [`simplex`] — a sparse **revised** two-phase primal simplex (eta-style
-//!   product-form basis inverse, periodic refactorization, Dantzig pricing
-//!   with a Bland fallback) that also reports dual values, which the
-//!   auction code turns into bidder-specific channel prices (Section 2.2 of
-//!   the paper); the previous dense tableau solver is kept as the
-//!   reference oracle in [`dense`],
+//! * [`simplex`] — a sparse **revised** two-phase primal simplex engine
+//!   with two pluggable seams: the pricing rule ([`pricing`]: Dantzig,
+//!   Bland, or candidate-list Devex) and the basis factorization
+//!   ([`basis`]: dense product-form inverse, or sparse LU with
+//!   Forrest–Tomlin-style eta updates and periodic refactorization). The
+//!   engine reports dual values, which the auction code turns into
+//!   bidder-specific channel prices (Section 2.2 of the paper); the
+//!   original dense tableau solver is kept as the reference oracle in
+//!   [`dense`],
 //! * [`column_generation`] — a restricted-master / pricing loop that replaces
 //!   the ellipsoid method: the pricing oracle sees the current duals and
 //!   returns improving columns (in the auction: demand-oracle queries at the
 //!   prices `p_{v,j} = Σ_{u : v ∈ Γπ(u)} y_{u,j}`), which is the textbook
 //!   dual view of the paper's separation-based approach. Master re-solves
-//!   are **warm-started** from the previous round's optimal basis.
+//!   are **warm-started** from the previous round's optimal basis, and
+//!   families of related masters (one per channel) can share a
+//!   [`column_generation::BatchedMasters`] context that pools generated
+//!   columns and seeds sibling warm starts.
 //!
 //! All of the paper's relaxations are *packing* LPs (non-negative data,
 //! `≤` constraints), for which the all-slack basis is feasible and phase 1
@@ -30,16 +36,21 @@
 
 #![warn(missing_docs)]
 
+pub mod basis;
 pub mod column_generation;
 pub mod dense;
+pub mod pricing;
 pub mod problem;
 pub mod simplex;
 
+pub use basis::{BasisFactorization, BasisKind, ProductFormInverse, SparseLu};
 pub use column_generation::{
-    ColumnGeneration, ColumnGenerationError, ColumnGenerationResult, ColumnSource,
-    GeneratedColumn, MasterProblem,
+    BatchedMasters, BatchedResult, ChannelRunStats, ColumnGeneration, ColumnGenerationError,
+    ColumnGenerationResult, ColumnSource, GeneratedColumn, MasterProblem,
 };
+pub use pricing::{BlandPricing, DantzigPricing, DevexPricing, Pricing, PricingRule};
 pub use problem::{Constraint, CscMatrix, LinearProgram, Relation, Sense};
 pub use simplex::{
-    solve, solve_with_warm_start, BasisVar, LpSolution, LpStatus, SimplexOptions, WarmStart,
+    solve, solve_with_warm_start, BasisVar, LpSolution, LpStatus, SimplexOptions, SolveStats,
+    WarmStart,
 };

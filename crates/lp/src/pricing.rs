@@ -1,0 +1,393 @@
+//! Pluggable pricing rules for the revised simplex.
+//!
+//! Pricing decides which nonbasic column enters the basis each pivot. The
+//! seed engine hard-wired Dantzig's rule (full scan, most-positive reduced
+//! cost) with a Bland fallback; this module turns the decision into the
+//! [`Pricing`] trait with three implementations selected by
+//! [`PricingRule`] in [`crate::simplex::SimplexOptions`]:
+//!
+//! * [`DantzigPricing`] — full scan, most-positive reduced cost. Simple and
+//!   effective on small LPs; `O(nnz(A))` per iteration.
+//! * [`BlandPricing`] — first improving index. Slow but cycling-proof; also
+//!   what every rule degrades to when the simplex core detects stalling.
+//! * [`DevexPricing`] — Devex reference weights with a **candidate list**
+//!   (partial pricing): a rotating window of columns is scanned to keep a
+//!   short list of improving candidates, the entering column maximizes
+//!   `rc² / weight`, and the weights are updated from the pivot row after
+//!   every pivot. Optimality is still exact: the rule only reports "no
+//!   entering column" after a full wrap over every column found nothing
+//!   improving.
+//!
+//! The simplex core owns the reduced-cost computation and hands it to the
+//! rule as a closure, so rules never see the basis representation — that is
+//! the [`crate::basis`] seam's job.
+
+use serde::{Deserialize, Serialize};
+
+/// Selects the pricing rule used by the revised simplex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PricingRule {
+    /// Full-scan most-positive reduced cost.
+    Dantzig,
+    /// First improving index (terminating, used as the stall fallback).
+    Bland,
+    /// Devex reference weights with candidate-list partial pricing.
+    Devex,
+}
+
+impl PricingRule {
+    /// Short stable name used in bench labels and stats tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PricingRule::Dantzig => "dantzig",
+            PricingRule::Bland => "bland",
+            PricingRule::Devex => "devex",
+        }
+    }
+}
+
+/// A pricing rule: selects the entering column and observes pivots.
+///
+/// `eligible(j)` is `true` for nonbasic columns the current phase allows to
+/// enter; `rc(j)` is the reduced cost of column `j` under the current duals
+/// (maximization convention: improving means `rc > tol`). Implementations
+/// must return `None` **only** when no eligible column is improving — the
+/// simplex core takes `None` as proof of optimality for the current phase.
+pub trait Pricing: std::fmt::Debug {
+    /// Resets per-solve state for a problem with `n_total` columns.
+    fn reset(&mut self, n_total: usize);
+
+    /// Chooses the entering column, or `None` when provably optimal.
+    fn select_entering(
+        &mut self,
+        n_total: usize,
+        tol: f64,
+        eligible: &dyn Fn(usize) -> bool,
+        rc: &dyn Fn(usize) -> f64,
+    ) -> Option<usize>;
+
+    /// Whether [`notify_pivot`](Self::notify_pivot) needs the pivot row
+    /// (`alpha(j) = (eᵣᵀ B⁻¹ A)_j`). The core skips the BTRAN that produces
+    /// it when this returns `false`.
+    fn wants_pivot_row(&self) -> bool {
+        false
+    }
+
+    /// Observes a pivot: column `entering` replaced `leaving` (now
+    /// nonbasic); `alpha_entering` is the pivot element and `alpha(j)`
+    /// evaluates the pivot row at other columns (only meaningful when
+    /// [`wants_pivot_row`](Self::wants_pivot_row) is `true`).
+    fn notify_pivot(
+        &mut self,
+        entering: usize,
+        leaving: usize,
+        alpha_entering: f64,
+        alpha: &dyn Fn(usize) -> f64,
+    ) {
+        let _ = (entering, leaving, alpha_entering, alpha);
+    }
+}
+
+/// Creates a pricing rule of the requested kind.
+pub fn make_pricing(rule: PricingRule) -> Box<dyn Pricing> {
+    match rule {
+        PricingRule::Dantzig => Box::new(DantzigPricing),
+        PricingRule::Bland => Box::new(BlandPricing),
+        PricingRule::Devex => Box::new(DevexPricing::default()),
+    }
+}
+
+/// Full-scan most-positive reduced cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DantzigPricing;
+
+impl Pricing for DantzigPricing {
+    fn reset(&mut self, _n_total: usize) {}
+
+    fn select_entering(
+        &mut self,
+        n_total: usize,
+        tol: f64,
+        eligible: &dyn Fn(usize) -> bool,
+        rc: &dyn Fn(usize) -> f64,
+    ) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        let mut best_rc = tol;
+        for j in 0..n_total {
+            if !eligible(j) {
+                continue;
+            }
+            let r = rc(j);
+            if r > best_rc {
+                best_rc = r;
+                best = Some(j);
+            }
+        }
+        best
+    }
+}
+
+/// First improving index (Bland's rule).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BlandPricing;
+
+impl Pricing for BlandPricing {
+    fn reset(&mut self, _n_total: usize) {}
+
+    fn select_entering(
+        &mut self,
+        n_total: usize,
+        tol: f64,
+        eligible: &dyn Fn(usize) -> bool,
+        rc: &dyn Fn(usize) -> f64,
+    ) -> Option<usize> {
+        (0..n_total).find(|&j| eligible(j) && rc(j) > tol)
+    }
+}
+
+/// Devex pricing with a candidate list.
+///
+/// Reference weights `w_j ≥ 1` approximate the steepest-edge norms; the
+/// entering column maximizes `rc_j² / w_j`. The candidate list keeps the
+/// per-iteration scan at `O(|list| + chunk)` instead of `O(n_total)`,
+/// refilling from a rotating cursor; a full-wrap empty scan certifies
+/// optimality exactly like a full Dantzig scan would.
+#[derive(Clone, Debug, Default)]
+pub struct DevexPricing {
+    weights: Vec<f64>,
+    candidates: Vec<usize>,
+    in_list: Vec<bool>,
+    cursor: usize,
+    /// Largest weight seen since the last framework reset.
+    max_weight: f64,
+}
+
+impl DevexPricing {
+    /// Refill chunk: how many *new improving* candidates one select call
+    /// tries to harvest before stopping the scan.
+    fn chunk(n_total: usize) -> usize {
+        (n_total / 8).clamp(16, 512)
+    }
+
+    /// Keep scanning while the list is thinner than this.
+    fn min_keep(n_total: usize) -> usize {
+        (n_total / 32).clamp(4, 64)
+    }
+
+    /// Weights above this trigger a reference-framework reset.
+    const WEIGHT_RESET: f64 = 1e10;
+}
+
+impl Pricing for DevexPricing {
+    fn reset(&mut self, n_total: usize) {
+        self.weights.clear();
+        self.weights.resize(n_total, 1.0);
+        self.candidates.clear();
+        self.in_list.clear();
+        self.in_list.resize(n_total, false);
+        self.cursor = 0;
+        self.max_weight = 1.0;
+    }
+
+    fn select_entering(
+        &mut self,
+        n_total: usize,
+        tol: f64,
+        eligible: &dyn Fn(usize) -> bool,
+        rc: &dyn Fn(usize) -> f64,
+    ) -> Option<usize> {
+        if self.weights.len() != n_total {
+            // column count grew since reset (defensive; the core resets per
+            // phase) — extend with unit weights
+            self.weights.resize(n_total, 1.0);
+            self.in_list.resize(n_total, false);
+        }
+        let mut best: Option<(usize, f64)> = None;
+        // re-price the surviving candidates
+        let mut kept = Vec::with_capacity(self.candidates.len());
+        for &j in &self.candidates {
+            if !eligible(j) {
+                self.in_list[j] = false;
+                continue;
+            }
+            let r = rc(j);
+            if r > tol {
+                let score = r * r / self.weights[j];
+                if best.as_ref().map(|&(_, s)| score > s).unwrap_or(true) {
+                    best = Some((j, score));
+                }
+                kept.push(j);
+            } else {
+                self.in_list[j] = false;
+            }
+        }
+        self.candidates = kept;
+
+        // refill from the rotating cursor when the list runs thin; a full
+        // wrap with nothing improving proves optimality
+        if self.candidates.len() < Self::min_keep(n_total) {
+            let chunk = Self::chunk(n_total);
+            let mut scanned = 0usize;
+            let mut found = 0usize;
+            while scanned < n_total && (found < chunk || best.is_none()) {
+                let j = self.cursor;
+                self.cursor = (self.cursor + 1) % n_total.max(1);
+                scanned += 1;
+                if self.in_list[j] || !eligible(j) {
+                    continue;
+                }
+                let r = rc(j);
+                if r > tol {
+                    self.candidates.push(j);
+                    self.in_list[j] = true;
+                    found += 1;
+                    let score = r * r / self.weights[j];
+                    if best.as_ref().map(|&(_, s)| score > s).unwrap_or(true) {
+                        best = Some((j, score));
+                    }
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    fn wants_pivot_row(&self) -> bool {
+        // the pivot row only feeds candidate weight updates — skip the
+        // BTRAN entirely while the list is empty
+        !self.candidates.is_empty()
+    }
+
+    fn notify_pivot(
+        &mut self,
+        entering: usize,
+        leaving: usize,
+        alpha_entering: f64,
+        alpha: &dyn Fn(usize) -> f64,
+    ) {
+        if alpha_entering.abs() <= 1e-12 {
+            return;
+        }
+        let wq = self.weights[entering].max(1.0);
+        let inv_aq2 = 1.0 / (alpha_entering * alpha_entering);
+        // update the candidates' reference weights from the pivot row
+        for i in 0..self.candidates.len() {
+            let j = self.candidates[i];
+            if j == entering {
+                continue;
+            }
+            let aj = alpha(j);
+            if aj != 0.0 {
+                let cand = aj * aj * inv_aq2 * wq;
+                if cand > self.weights[j] {
+                    self.weights[j] = cand;
+                    if cand > self.max_weight {
+                        self.max_weight = cand;
+                    }
+                }
+            }
+        }
+        // the leaving variable becomes nonbasic with the textbook weight
+        if leaving < self.weights.len() {
+            self.weights[leaving] = (wq * inv_aq2).max(1.0);
+        }
+        // the entering column leaves the nonbasic set
+        if entering < self.in_list.len() && self.in_list[entering] {
+            self.in_list[entering] = false;
+            self.candidates.retain(|&j| j != entering);
+        }
+        // reference framework reset when weights degenerate
+        if self.max_weight > Self::WEIGHT_RESET {
+            for w in &mut self.weights {
+                *w = 1.0;
+            }
+            self.max_weight = 1.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny synthetic pricing problem: 6 columns, fixed reduced costs.
+    fn rcs() -> Vec<f64> {
+        vec![-1.0, 0.5, 3.0, 0.0, 2.0, -0.2]
+    }
+
+    #[test]
+    fn dantzig_picks_most_positive() {
+        let rc = rcs();
+        let mut p = DantzigPricing;
+        p.reset(rc.len());
+        let pick = p.select_entering(rc.len(), 1e-9, &|_| true, &|j| rc[j]);
+        assert_eq!(pick, Some(2));
+    }
+
+    #[test]
+    fn bland_picks_first_improving() {
+        let rc = rcs();
+        let mut p = BlandPricing;
+        p.reset(rc.len());
+        let pick = p.select_entering(rc.len(), 1e-9, &|_| true, &|j| rc[j]);
+        assert_eq!(pick, Some(1));
+    }
+
+    #[test]
+    fn devex_with_unit_weights_matches_dantzig() {
+        let rc = rcs();
+        let mut p = DevexPricing::default();
+        p.reset(rc.len());
+        let pick = p.select_entering(rc.len(), 1e-9, &|_| true, &|j| rc[j]);
+        assert_eq!(pick, Some(2));
+    }
+
+    #[test]
+    fn devex_respects_weights() {
+        let rc = rcs();
+        let mut p = DevexPricing::default();
+        p.reset(rc.len());
+        // inflate column 2's weight so 2.0²/1 beats 3.0²/100
+        p.weights[2] = 100.0;
+        let pick = p.select_entering(rc.len(), 1e-9, &|_| true, &|j| rc[j]);
+        assert_eq!(pick, Some(4));
+    }
+
+    #[test]
+    fn all_rules_certify_optimality() {
+        let rc = [-1.0, -0.5, 0.0];
+        for rule in [PricingRule::Dantzig, PricingRule::Bland, PricingRule::Devex] {
+            let mut p = make_pricing(rule);
+            p.reset(rc.len());
+            assert_eq!(
+                p.select_entering(rc.len(), 1e-9, &|_| true, &|j| rc[j]),
+                None,
+                "{rule:?} must certify optimality"
+            );
+        }
+    }
+
+    #[test]
+    fn devex_ignores_ineligible_columns() {
+        let rc = rcs();
+        let mut p = DevexPricing::default();
+        p.reset(rc.len());
+        let pick = p.select_entering(rc.len(), 1e-9, &|j| j != 2, &|j| rc[j]);
+        assert_eq!(pick, Some(4));
+    }
+
+    #[test]
+    fn devex_candidate_list_survives_across_calls() {
+        let mut rc = rcs();
+        let mut p = DevexPricing::default();
+        p.reset(rc.len());
+        assert_eq!(
+            p.select_entering(rc.len(), 1e-9, &|_| true, &|j| rc[j]),
+            Some(2)
+        );
+        // column 2 entered the basis: mark ineligible, its candidate entry
+        // must be pruned rather than returned again
+        rc[2] = -5.0;
+        let pick = p.select_entering(rc.len(), 1e-9, &|j| j != 2, &|j| rc[j]);
+        assert_eq!(pick, Some(4));
+    }
+}

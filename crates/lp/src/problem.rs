@@ -102,7 +102,10 @@ impl LinearProgram {
         let mut sorted = coeffs;
         sorted.sort_by_key(|&(v, _)| v);
         for (v, c) in sorted {
-            assert!(v < self.num_variables(), "constraint references unknown variable {v}");
+            assert!(
+                v < self.num_variables(),
+                "constraint references unknown variable {v}"
+            );
             assert!(!c.is_nan(), "constraint coefficient must not be NaN");
             match merged.last_mut() {
                 Some(&mut (lv, ref mut lc)) if lv == v => *lc += c,
@@ -127,7 +130,10 @@ impl LinearProgram {
     /// # Panics
     /// Panics if `row` or `var` does not exist, or `coeff` is NaN.
     pub fn add_coefficient(&mut self, row: usize, var: usize, coeff: f64) {
-        assert!(var < self.num_variables(), "coefficient references unknown variable {var}");
+        assert!(
+            var < self.num_variables(),
+            "coefficient references unknown variable {var}"
+        );
         assert!(!coeff.is_nan(), "constraint coefficient must not be NaN");
         let coeffs = &mut self.constraints[row].coeffs;
         match coeffs.binary_search_by_key(&var, |&(v, _)| v) {
@@ -148,7 +154,11 @@ impl LinearProgram {
 
     /// Evaluates the objective at a point.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum()
+        self.objective
+            .iter()
+            .zip(x.iter())
+            .map(|(c, v)| c * v)
+            .sum()
     }
 
     /// Builds the compressed-sparse-column view of the constraint matrix

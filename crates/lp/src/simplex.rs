@@ -1,42 +1,47 @@
-//! A sparse **revised simplex** solver.
+//! A sparse **revised simplex** engine with pluggable pricing and basis
+//! factorization.
 //!
 //! The seed implementation kept the full dense tableau `[B⁻¹A | B⁻¹b]` and
-//! touched all `m · n_total` entries on every pivot. This module replaces it
-//! with the revised method, which maintains only the `m × m` basis inverse
-//! and works on the constraint matrix in compressed-sparse-column form
-//! ([`crate::problem::CscMatrix`]):
+//! touched all `m · n_total` entries on every pivot; PR 1 replaced it with a
+//! revised method around a hard-wired dense product-form inverse and a
+//! Dantzig scan. This revision splits the engine along its two classic
+//! seams, both selected per solve through [`SimplexOptions`]:
 //!
-//! * **Pricing** is Dantzig's rule over sparse columns: the dual vector
-//!   `y = c_B B⁻¹` is formed once per iteration (`O(m²)` worst case, but
-//!   only rows with non-zero basic cost contribute), then every candidate
-//!   column is priced in `O(nnz(col))`. After `stall_threshold` pivots
-//!   without objective improvement the solver switches to Bland's rule
-//!   (first improving index, smallest-index ratio ties) which guarantees
-//!   termination.
-//! * **FTRAN** (`w = B⁻¹ a_e`) costs `O(m · nnz(a_e))`, and each pivot
-//!   updates `B⁻¹` in product form in `O(m²)` — independent of the number
-//!   of columns, which is what makes the method scale for column
-//!   generation, where columns outnumber rows by a growing factor.
-//! * **Refactorization**: the product-form updates accumulate floating-point
-//!   drift, so every [`SimplexOptions::refactor_interval`] pivots (and
-//!   whenever a warm-started basis looks inconsistent) `B⁻¹` is rebuilt from
-//!   the basis columns by Gauss–Jordan elimination with partial pivoting and
-//!   the basic solution is recomputed as `x_B = B⁻¹ b`.
-//! * **Warm starts**: [`solve_with_warm_start`] accepts the [`WarmStart`]
-//!   returned by a previous solve over the *same rows* and resumes from that
-//!   basis, skipping phase 1 entirely. Column generation exploits this: new
-//!   columns enter nonbasic, so each master re-solve continues from the
-//!   previous optimum instead of re-running from the all-slack basis.
+//! * **Pricing** ([`crate::pricing`]) — Dantzig (full scan), Bland (first
+//!   improving, terminating), or Devex with a candidate list (partial
+//!   pricing; the default). After `stall_threshold` pivots without
+//!   objective improvement the core overrides any rule with Bland's rule,
+//!   which guarantees termination.
+//! * **Basis factorization** ([`crate::basis`]) — the dense product-form
+//!   inverse (`O(m²)` per pivot, the PR 1 representation) or a sparse LU
+//!   with Bartels–Golub/Forrest–Tomlin-style eta updates (the default),
+//!   whose FTRAN/BTRAN cost is proportional to the factor sparsity rather
+//!   than `m²`.
+//!
+//! **Refactorization**: every [`SimplexOptions::refactor_interval`] pivots
+//! (and whenever the factorization declines an update or a warm-started
+//! basis looks inconsistent) the factorization is rebuilt from the basis
+//! columns and the basic solution is recomputed as `x_B = B⁻¹ b`. The
+//! number of refactorizations and degenerate pivots is reported in
+//! [`LpSolution::stats`] so benches can attribute time per stage.
+//!
+//! **Warm starts**: [`solve_with_warm_start`] accepts the [`WarmStart`]
+//! returned by a previous solve over the *same rows* and resumes from that
+//! basis, skipping phase 1 entirely. The state carries the basis *and* its
+//! factorization (moved, not copied), so a warm re-solve pays no
+//! re-factorization when the engine kind is unchanged. Column generation
+//! exploits this: new columns enter nonbasic, so each master re-solve
+//! continues from the previous optimum.
 //!
 //! Packing LPs (all `≤` constraints with non-negative right-hand sides) are
 //! detected automatically and start from the all-slack basis, skipping
-//! phase 1; this covers the relaxations (1) and (4) of the paper. General
-//! `≥`/`=` rows go through a standard two-phase scheme with artificial
-//! variables (needed by the Lavi–Swamy decomposition master).
-//!
-//! The dense tableau solver survives as [`crate::dense`]; property tests
-//! assert both agree on objectives and duals to 1e-6.
+//! phase 1; general `≥`/`=` rows go through a standard two-phase scheme with
+//! artificial variables. The dense tableau solver survives as
+//! [`crate::dense`]; property tests assert every pricing × basis
+//! combination agrees with it to 1e-6.
 
+use crate::basis::{make_factorization, BasisFactorization, BasisKind, SparseColumn};
+use crate::pricing::{make_pricing, Pricing, PricingRule};
 use crate::problem::{CscMatrix, LinearProgram, Relation, Sense};
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +56,34 @@ pub enum LpStatus {
     Unbounded,
     /// The iteration limit was hit before optimality was proven.
     IterationLimit,
+}
+
+/// Per-solve engine statistics (exposed up the stack as
+/// `RelaxationInfo` so benches can attribute time per stage).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Pricing rule that ran.
+    pub pricing: PricingRule,
+    /// Basis factorization that ran.
+    pub basis: BasisKind,
+    /// Simplex pivots across both phases.
+    pub iterations: usize,
+    /// Factorization rebuilds (periodic hygiene + declined updates).
+    pub refactorizations: usize,
+    /// Pivots whose leaving variable was already at zero.
+    pub degenerate_pivots: usize,
+}
+
+impl Default for SolveStats {
+    fn default() -> Self {
+        SolveStats {
+            pricing: PricingRule::Dantzig,
+            basis: BasisKind::ProductForm,
+            iterations: 0,
+            refactorizations: 0,
+            degenerate_pivots: 0,
+        }
+    }
 }
 
 /// Result of a simplex solve.
@@ -68,6 +101,8 @@ pub struct LpSolution {
     pub duals: Vec<f64>,
     /// Number of simplex pivots performed (both phases).
     pub iterations: usize,
+    /// Engine statistics for this solve.
+    pub stats: SolveStats,
 }
 
 /// Solver options.
@@ -84,9 +119,14 @@ pub struct SimplexOptions {
     /// After this many consecutive pivots without objective improvement the
     /// solver switches to Bland's rule to escape potential cycling.
     pub stall_threshold: usize,
-    /// Rebuild `B⁻¹` from the basis columns after this many product-form
-    /// updates (numerical hygiene). `0` disables periodic refactorization.
+    /// Rebuild the basis factorization after this many updates (numerical
+    /// hygiene). `0` disables periodic refactorization (the factorization
+    /// may still force one by declining an update).
     pub refactor_interval: usize,
+    /// Pricing rule (entering-column choice).
+    pub pricing: PricingRule,
+    /// Basis factorization kind.
+    pub basis: BasisKind,
 }
 
 impl Default for SimplexOptions {
@@ -96,7 +136,28 @@ impl Default for SimplexOptions {
             max_iterations: 0,
             stall_threshold: 64,
             refactor_interval: 256,
+            pricing: PricingRule::Devex,
+            basis: BasisKind::SparseLu,
         }
+    }
+}
+
+impl SimplexOptions {
+    /// The PR 1 engine (Dantzig pricing over a dense product-form inverse):
+    /// the comparison baseline in the `e13_lp_solver` bench grid.
+    pub fn product_form_dantzig() -> Self {
+        SimplexOptions {
+            pricing: PricingRule::Dantzig,
+            basis: BasisKind::ProductForm,
+            ..Default::default()
+        }
+    }
+
+    /// Returns a copy with the given engine selection.
+    pub fn with_engine(mut self, pricing: PricingRule, basis: BasisKind) -> Self {
+        self.pricing = pricing;
+        self.basis = basis;
+        self
     }
 }
 
@@ -117,7 +178,7 @@ pub enum BasisVar {
 }
 
 /// Resumable solver state: the optimal basis of a previous solve together
-/// with its basis inverse.
+/// with its factorization.
 ///
 /// Valid for re-solves of an LP with the **same constraint rows** (same
 /// relations and right-hand sides); the column set may have grown, because
@@ -127,14 +188,37 @@ pub enum BasisVar {
 pub struct WarmStart {
     /// One basis member per row.
     pub basis: Vec<BasisVar>,
-    /// Row-major `m × m` basis inverse matching `basis`.
-    binv: Vec<f64>,
+    /// The factorization matching `basis` (moved in and out of the solver,
+    /// never copied on the warm path).
+    factor: Box<dyn BasisFactorization>,
 }
 
 impl WarmStart {
     /// Number of rows this state was built for.
     pub fn num_rows(&self) -> usize {
         self.basis.len()
+    }
+
+    /// Which basis representation the state carries.
+    pub fn basis_kind(&self) -> BasisKind {
+        self.factor.kind()
+    }
+
+    /// Keeps the basis but drops the factorization, forcing the next solve
+    /// to refactorize from the *target problem's* columns.
+    ///
+    /// This is the sound way to seed a **different** problem (another
+    /// channel's master, the next edge LP in a sweep): the basis identities
+    /// carry over, but the stored `B⁻¹` was computed from the donor's
+    /// constraint matrix and silently priced the new problem wrong when the
+    /// matrices differ. Re-solving the *same* rows with grown columns (the
+    /// restricted-master path) should keep the factorization and not call
+    /// this.
+    pub fn into_basis_only(self) -> WarmStart {
+        WarmStart {
+            factor: make_factorization(self.factor.kind()),
+            basis: self.basis,
+        }
     }
 }
 
@@ -147,10 +231,12 @@ pub fn solve(lp: &LinearProgram, options: &SimplexOptions) -> LpSolution {
 /// previous solve over the same rows, and returns the solution together
 /// with the final basis for future warm starts.
 ///
-/// The state is taken **by value**: its `m × m` basis inverse is moved into
-/// the solver and moved back out, so a warm re-solve never copies the
-/// inverse (at master sizes of ~10³ rows those copies would dominate the
-/// handful of pivots a warm re-solve actually needs).
+/// The state is taken **by value**: its factorization is moved into the
+/// solver and moved back out, so a warm re-solve never copies it (at master
+/// sizes of ~10³ rows those copies would dominate the handful of pivots a
+/// warm re-solve actually needs). A warm start whose factorization kind
+/// differs from [`SimplexOptions::basis`] is converted by one
+/// refactorization from the basis columns.
 pub fn solve_with_warm_start(
     lp: &LinearProgram,
     options: &SimplexOptions,
@@ -169,6 +255,8 @@ struct Revised<'a> {
     max_iterations: usize,
     stall_threshold: usize,
     refactor_interval: usize,
+    pricing_rule: PricingRule,
+    basis_kind: BasisKind,
 
     m: usize,
     n: usize,
@@ -192,13 +280,14 @@ struct Revised<'a> {
     /// basis member (global column index) per row
     basis: Vec<usize>,
     in_basis: Vec<bool>,
-    /// row-major m × m basis inverse
-    binv: Vec<f64>,
+    /// pluggable basis factorization
+    factor: Box<dyn BasisFactorization>,
     /// current basic solution B⁻¹ b
     xb: Vec<f64>,
 
     iterations: usize,
-    pivots_since_refactor: usize,
+    refactorizations: usize,
+    degenerate_pivots: usize,
 }
 
 impl<'a> Revised<'a> {
@@ -284,6 +373,8 @@ impl<'a> Revised<'a> {
             max_iterations,
             stall_threshold: options.stall_threshold,
             refactor_interval: options.refactor_interval,
+            pricing_rule: options.pricing,
+            basis_kind: options.basis,
             m,
             n,
             n_total,
@@ -298,10 +389,11 @@ impl<'a> Revised<'a> {
             cost,
             basis: Vec::new(),
             in_basis: vec![false; n_total],
-            binv: Vec::new(),
+            factor: make_factorization(options.basis),
             xb: Vec::new(),
             iterations: 0,
-            pivots_since_refactor: 0,
+            refactorizations: 0,
+            degenerate_pivots: 0,
         }
     }
 
@@ -322,6 +414,13 @@ impl<'a> Revised<'a> {
         }
     }
 
+    /// Materializes global column `j` as a sparse `(row, value)` vector.
+    fn sparse_column(&self, j: usize) -> SparseColumn {
+        let mut col = SparseColumn::new();
+        self.for_each_entry(j, |r, v| col.push((r, v)));
+        col
+    }
+
     /// Maps a stable basis identity to the current global column index.
     fn column_of(&self, var: BasisVar) -> Option<usize> {
         match var {
@@ -335,22 +434,32 @@ impl<'a> Revised<'a> {
     /// Installs the cold-start identity basis (slack or artificial per row).
     fn cold_basis(&mut self) {
         self.basis = (0..self.m)
-            .map(|i| self.slack_col[i].or(self.art_col[i]).expect("every row creates an identity column"))
+            .map(|i| {
+                self.slack_col[i]
+                    .or(self.art_col[i])
+                    .expect("every row creates an identity column")
+            })
             .collect();
         self.in_basis = vec![false; self.n_total];
         for &c in &self.basis {
             self.in_basis[c] = true;
         }
-        // Identity-creating columns are exactly e_i, so B = I.
-        self.binv = identity(self.m);
+        // Identity-creating columns are exactly e_i, so B = I; factorizing
+        // it is trivial for every representation.
+        let ok = self.refactor();
+        debug_assert!(ok, "the identity basis cannot be singular");
         self.xb = self.b.clone();
-        self.pivots_since_refactor = 0;
+        // Installing the starting basis is not a hygiene event: the stats
+        // counter covers only rebuilds *during* the solve, so cold and warm
+        // solves of the same work read the same.
+        self.refactorizations = 0;
     }
 
-    /// Attempts to install a warm-start basis; returns `false` (leaving the
-    /// solver untouched) if the state does not fit this problem.
+    /// Attempts to install a warm-start basis; returns `false` if the state
+    /// does not fit this problem (the caller then cold-starts, overwriting
+    /// any partial state installed here).
     fn try_warm_basis(&mut self, warm: WarmStart) -> bool {
-        if warm.basis.len() != self.m || warm.binv.len() != self.m * self.m {
+        if warm.basis.len() != self.m {
             return false;
         }
         let mut basis = Vec::with_capacity(self.m);
@@ -369,9 +478,25 @@ impl<'a> Revised<'a> {
         }
         self.basis = basis;
         self.in_basis = in_basis;
-        self.binv = warm.binv;
-        self.xb = self.mat_vec(&self.binv, &self.b);
-        self.pivots_since_refactor = 0;
+        if warm.factor.num_rows() == self.m && warm.factor.kind() == self.basis_kind {
+            // same engine: adopt the factorization without any rebuild
+            self.factor = warm.factor;
+            self.xb = vec![0.0; self.m];
+            let (factor, xb) = (&self.factor, &mut self.xb);
+            factor.ftran_dense(&self.b, xb);
+            // Validate the adopted factorization against *this* problem's
+            // basis columns: a state recycled across different constraint
+            // matrices (same shape, different coefficients) would price
+            // every reduced cost against a stale B⁻¹ and can terminate
+            // "optimal" at a wrong vertex. ‖B·x_B − b‖∞ is O(nnz) and
+            // catches that; one refactorization repairs it.
+            if self.residual_inf_norm() > 1e-6 && !self.refactor() {
+                return false;
+            }
+        } else if !self.refactor() {
+            // engine switched (or basis-only seed): one rebuild from the basis
+            return false;
+        }
         // The rows are supposed to be unchanged, so the previous basic
         // solution must still be (near-)feasible. If it is not — caller
         // reused state across incompatible problems, or drift built up —
@@ -384,6 +509,9 @@ impl<'a> Revised<'a> {
                 *v = 0.0;
             }
         }
+        // Adopting/converting the starting basis is install work, not a
+        // hygiene rebuild (see cold_basis).
+        self.refactorizations = 0;
         true
     }
 
@@ -391,103 +519,42 @@ impl<'a> Revised<'a> {
         self.xb.iter().cloned().fold(f64::INFINITY, f64::min)
     }
 
-    fn mat_vec(&self, mat: &[f64], v: &[f64]) -> Vec<f64> {
-        let m = self.m;
-        let mut out = vec![0.0; m];
-        for r in 0..m {
-            let row = &mat[r * m..(r + 1) * m];
-            out[r] = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+    /// `‖B·x_B − b‖∞` for the current basis and basic solution: a cheap
+    /// consistency check that the factorization actually inverts this
+    /// problem's basis matrix.
+    fn residual_inf_norm(&self) -> f64 {
+        let mut residual = self.b.clone();
+        for (c, &col) in self.basis.iter().enumerate() {
+            let xc = self.xb[c];
+            if xc != 0.0 {
+                self.for_each_entry(col, |r, v| residual[r] -= v * xc);
+            }
         }
-        out
+        residual.iter().fold(0.0f64, |acc, &r| acc.max(r.abs()))
     }
 
-    /// Rebuilds `B⁻¹` from the basis columns by Gauss–Jordan elimination
-    /// with partial pivoting, and recomputes `x_B`. Returns `false` if the
-    /// basis matrix is numerically singular.
+    /// Rebuilds the factorization from the basis columns and recomputes
+    /// `x_B`. Returns `false` if the basis matrix is numerically singular.
     fn refactor(&mut self) -> bool {
-        let m = self.m;
-        // Dense B (column per basis member).
-        let mut bmat = vec![0.0f64; m * m];
-        for (c, &col) in self.basis.iter().enumerate() {
-            self.for_each_entry(col, |r, v| bmat[r * m + c] = v);
+        let cols: Vec<SparseColumn> = self.basis.iter().map(|&c| self.sparse_column(c)).collect();
+        if !self.factor.refactor(self.m, &cols) {
+            return false;
         }
-        let mut inv = identity(m);
-        for k in 0..m {
-            // partial pivot
-            let mut p = k;
-            let mut best = bmat[k * m + k].abs();
-            for r in (k + 1)..m {
-                let cand = bmat[r * m + k].abs();
-                if cand > best {
-                    best = cand;
-                    p = r;
-                }
-            }
-            if best <= 1e-12 {
-                return false;
-            }
-            if p != k {
-                for j in 0..m {
-                    bmat.swap(k * m + j, p * m + j);
-                    inv.swap(k * m + j, p * m + j);
-                }
-            }
-            let piv = bmat[k * m + k];
-            let inv_piv = 1.0 / piv;
-            for j in 0..m {
-                bmat[k * m + j] *= inv_piv;
-                inv[k * m + j] *= inv_piv;
-            }
-            for r in 0..m {
-                if r == k {
-                    continue;
-                }
-                let f = bmat[r * m + k];
-                if f != 0.0 {
-                    for j in 0..m {
-                        bmat[r * m + j] -= f * bmat[k * m + j];
-                        inv[r * m + j] -= f * inv[k * m + j];
-                    }
-                }
-            }
+        self.refactorizations += 1;
+        if self.xb.len() != self.m {
+            self.xb = vec![0.0; self.m];
         }
-        // Row swaps are ordinary row operations applied to both sides, so
-        // once the left block reaches exactly I the right block is B⁻¹
-        // (with basis member r mapped to unit vector e_r).
-        self.binv = inv;
-        self.xb = self.mat_vec(&self.binv, &self.b);
-        self.pivots_since_refactor = 0;
+        let (factor, xb) = (&self.factor, &mut self.xb);
+        factor.ftran_dense(&self.b, xb);
         true
     }
 
-    /// FTRAN: `w = B⁻¹ a_j`.
-    fn ftran(&self, j: usize, w: &mut [f64]) {
-        let m = self.m;
-        for v in w.iter_mut() {
-            *v = 0.0;
-        }
-        self.for_each_entry(j, |i, a| {
-            for (r, wr) in w.iter_mut().enumerate() {
-                *wr += self.binv[r * m + i] * a;
-            }
-        });
-    }
-
-    /// BTRAN for pricing: `y = c_B B⁻¹` for the given cost vector.
-    fn duals_for(&self, cost: &[f64], y: &mut [f64]) {
-        let m = self.m;
-        for v in y.iter_mut() {
-            *v = 0.0;
-        }
-        for r in 0..m {
-            let cb = cost[self.basis[r]];
-            if cb != 0.0 {
-                let row = &self.binv[r * m..(r + 1) * m];
-                for (yk, &bk) in y.iter_mut().zip(row.iter()) {
-                    *yk += cb * bk;
-                }
-            }
-        }
+    /// FTRAN: `w = B⁻¹ a_j`. `scratch` is a caller-owned buffer so the
+    /// once-per-pivot hot path performs no allocation.
+    fn ftran(&self, j: usize, w: &mut [f64], scratch: &mut SparseColumn) {
+        scratch.clear();
+        self.for_each_entry(j, |r, v| scratch.push((r, v)));
+        self.factor.ftran_sparse(scratch, w);
     }
 
     /// Reduced cost of column `j` at duals `y`.
@@ -505,9 +572,10 @@ impl<'a> Revised<'a> {
     }
 
     /// Applies the pivot (leaving row `l`, entering column `e`, direction
-    /// `w = B⁻¹ a_e`) to the basis inverse and the basic solution.
-    fn pivot(&mut self, l: usize, e: usize, w: &[f64]) {
-        let m = self.m;
+    /// `w = B⁻¹ a_e`) to the basic solution, the basis bookkeeping, and the
+    /// factorization. Returns `false` only when the factorization declined
+    /// the update *and* the recovery refactorization failed.
+    fn pivot(&mut self, l: usize, e: usize, w: &[f64]) -> bool {
         let wl = w[l];
         debug_assert!(wl.abs() > 1e-12, "pivot element too small");
         let theta = self.xb[l] / wl;
@@ -521,40 +589,32 @@ impl<'a> Revised<'a> {
         }
         self.xb[l] = theta;
 
-        // Product-form update of B⁻¹: scale the pivot row by 1/w_l, then
-        // subtract w_r times it from every other row. The pivot row is
-        // copied to a scratch buffer so the other rows can be updated
-        // without aliasing; the O(m) copy is dwarfed by the O(m²) update.
-        let inv_wl = 1.0 / wl;
-        for j in 0..m {
-            self.binv[l * m + j] *= inv_wl;
-        }
-        let pivot_row: Vec<f64> = self.binv[l * m..(l + 1) * m].to_vec();
-        for (r, &f) in w.iter().enumerate().take(m) {
-            if r == l {
-                continue;
-            }
-            if f != 0.0 {
-                let row = &mut self.binv[r * m..(r + 1) * m];
-                for (dst, &p) in row.iter_mut().zip(pivot_row.iter()) {
-                    *dst -= f * p;
-                }
-            }
-        }
-
         self.in_basis[self.basis[l]] = false;
         self.in_basis[e] = true;
         self.basis[l] = e;
-        self.pivots_since_refactor += 1;
+
+        if !self.factor.update(l, w) {
+            // The representation declined (tiny pivot or a full eta file):
+            // rebuild from the already-updated basis columns.
+            return self.refactor();
+        }
+        true
     }
 
-    /// Runs simplex iterations with the given cost vector and entering
-    /// filter. Returns `None` when optimal for this cost, or a terminal
-    /// status.
-    fn iterate(&mut self, cost: &[f64], allow_enter: impl Fn(usize) -> bool) -> Option<LpStatus> {
+    /// Runs simplex iterations with the given cost vector, entering filter
+    /// and pricing rule. Returns `None` when optimal for this cost, or a
+    /// terminal status.
+    fn iterate(
+        &mut self,
+        cost: &[f64],
+        allow_enter: impl Fn(usize) -> bool,
+        pricer: &mut dyn Pricing,
+    ) -> Option<LpStatus> {
         let m = self.m;
         let mut y = vec![0.0f64; m];
+        let mut cb = vec![0.0f64; m];
         let mut w = vec![0.0f64; m];
+        let mut col_scratch = SparseColumn::new();
         let mut stall = 0usize;
         let mut last_obj = self.objective_of_basis(cost);
         loop {
@@ -562,39 +622,34 @@ impl<'a> Revised<'a> {
                 return Some(LpStatus::IterationLimit);
             }
             if self.refactor_interval > 0
-                && self.pivots_since_refactor >= self.refactor_interval
+                && self.factor.updates_since_refactor() >= self.refactor_interval
                 && !self.refactor()
             {
-                // A singular rebuild means the product-form inverse had
-                // drifted beyond repair; continuing would price against
-                // garbage. Same terminal treatment as the degenerate-pivot
-                // branch below.
+                // A singular rebuild means the factorization had drifted
+                // beyond repair; continuing would price against garbage.
                 return Some(LpStatus::IterationLimit);
             }
 
-            self.duals_for(cost, &mut y);
-            let use_bland = stall >= self.stall_threshold;
-            let mut entering: Option<usize> = None;
-            let mut best_rc = self.tol;
-            for j in 0..self.n_total {
-                if self.in_basis[j] || !allow_enter(j) {
-                    continue;
-                }
-                let rc = self.reduced_cost(cost, &y, j);
-                if rc > self.tol {
-                    if use_bland {
-                        entering = Some(j);
-                        break;
-                    }
-                    if rc > best_rc {
-                        best_rc = rc;
-                        entering = Some(j);
-                    }
-                }
+            for (r, c) in cb.iter_mut().enumerate() {
+                *c = cost[self.basis[r]];
             }
+            self.factor.btran(&cb, &mut y);
+
+            let use_bland = stall >= self.stall_threshold;
+            let entering = {
+                let rc = |j: usize| self.reduced_cost(cost, &y, j);
+                let eligible = |j: usize| !self.in_basis[j] && allow_enter(j);
+                if use_bland {
+                    // Anti-cycling override: Bland's rule regardless of the
+                    // configured pricing (guaranteed to terminate).
+                    (0..self.n_total).find(|&j| eligible(j) && rc(j) > self.tol)
+                } else {
+                    pricer.select_entering(self.n_total, self.tol, &eligible, &rc)
+                }
+            };
             let e = entering?;
 
-            self.ftran(e, &mut w);
+            self.ftran(e, &mut w, &mut col_scratch);
 
             // Ratio test (smallest ratio; ties to the smallest basis column
             // index, which together with Bland pricing prevents cycling).
@@ -605,7 +660,9 @@ impl<'a> Revised<'a> {
                     let ratio = self.xb[r] / a;
                     let better = ratio < best_ratio - self.tol
                         || (ratio < best_ratio + self.tol
-                            && leaving.map(|l| self.basis[r] < self.basis[l]).unwrap_or(true));
+                            && leaving
+                                .map(|l| self.basis[r] < self.basis[l])
+                                .unwrap_or(true));
                     if better {
                         best_ratio = ratio;
                         leaving = Some(r);
@@ -624,8 +681,39 @@ impl<'a> Revised<'a> {
                 continue;
             }
 
-            self.pivot(l, e, &w);
+            if self.xb[l] <= self.tol {
+                self.degenerate_pivots += 1;
+            }
+
+            // Devex needs the pivot row of the *outgoing* basis; compute it
+            // before the factorization is updated, and only when asked.
+            let rho: Option<Vec<f64>> = if pricer.wants_pivot_row() {
+                let mut r = vec![0.0f64; m];
+                self.factor.btran_unit(l, &mut r);
+                Some(r)
+            } else {
+                None
+            };
+            let leaving_col = self.basis[l];
+
+            if !self.pivot(l, e, &w) {
+                return Some(LpStatus::IterationLimit);
+            }
             self.iterations += 1;
+
+            {
+                let alpha = |j: usize| -> f64 {
+                    match &rho {
+                        Some(rho) => {
+                            let mut a = 0.0;
+                            self.for_each_entry(j, |i, v| a += rho[i] * v);
+                            a
+                        }
+                        None => 0.0,
+                    }
+                };
+                pricer.notify_pivot(e, leaving_col, w[l], &alpha);
+            }
 
             let obj = self.objective_of_basis(cost);
             if obj > last_obj + self.tol {
@@ -637,18 +725,23 @@ impl<'a> Revised<'a> {
         }
     }
 
-    /// Drives phase-1 artificials out of the basis where possible.
-    fn drive_out_artificials(&mut self) {
+    /// Drives phase-1 artificials out of the basis where possible. Returns
+    /// `false` only on an unrecoverable factorization failure.
+    fn drive_out_artificials(&mut self) -> bool {
         let m = self.m;
         let mut w = vec![0.0f64; m];
-        #[allow(clippy::needless_range_loop)] // r indexes basis, binv rows and w
+        let mut rho = vec![0.0f64; m];
+        let mut col_scratch = SparseColumn::new();
+        #[allow(clippy::needless_range_loop)] // r indexes basis, rho and w
         for r in 0..m {
             if !matches!(self.kind[self.basis[r]], BasisVar::Artificial(_)) {
                 continue;
             }
             // Find a non-artificial, nonbasic column whose FTRAN has a
             // non-zero pivot element in row r. The pivot element alone is
-            // (row r of B⁻¹) · a_j — O(nnz) per candidate.
+            // (row r of B⁻¹) · a_j — one BTRAN-unit, then O(nnz) per
+            // candidate.
+            self.factor.btran_unit(r, &mut rho);
             let mut target = None;
             for j in 0..self.first_artificial {
                 if self.in_basis[j] {
@@ -656,7 +749,7 @@ impl<'a> Revised<'a> {
                 }
                 let mut alpha = 0.0;
                 self.for_each_entry(j, |i, a| {
-                    alpha += self.binv[r * m + i] * a;
+                    alpha += rho[i] * a;
                 });
                 if alpha.abs() > self.tol {
                     target = Some(j);
@@ -664,17 +757,19 @@ impl<'a> Revised<'a> {
                 }
             }
             if let Some(j) = target {
-                self.ftran(j, &mut w);
-                if w[r].abs() > 1e-12 {
-                    self.pivot(r, j, &w);
+                self.ftran(j, &mut w, &mut col_scratch);
+                if w[r].abs() > 1e-12 && !self.pivot(r, j, &w) {
+                    return false;
                 }
             }
             // Otherwise the row is redundant: the artificial stays basic at
             // value 0 and is barred from re-entering in phase 2.
         }
+        true
     }
 
     fn run(&mut self, warm: Option<WarmStart>) -> LpStatus {
+        let mut pricer = make_pricing(self.pricing_rule);
         let warm_ok = match warm {
             Some(state) => self.try_warm_basis(state),
             None => false,
@@ -692,7 +787,8 @@ impl<'a> Revised<'a> {
                 for c in phase1_cost[self.first_artificial..].iter_mut() {
                     *c = -1.0;
                 }
-                if let Some(status) = self.iterate(&phase1_cost, |_| true) {
+                pricer.reset(self.n_total);
+                if let Some(status) = self.iterate(&phase1_cost, |_| true, pricer.as_mut()) {
                     // Phase 1 is bounded by 0, so this is an iteration limit.
                     return status;
                 }
@@ -700,14 +796,17 @@ impl<'a> Revised<'a> {
                 if infeasibility > 1e-6 {
                     return LpStatus::Infeasible;
                 }
-                self.drive_out_artificials();
+                if !self.drive_out_artificials() {
+                    return LpStatus::IterationLimit;
+                }
             }
         }
 
         // Phase 2 with the original costs; artificials may not (re-)enter.
         let cost = self.cost.clone();
         let first_artificial = self.first_artificial;
-        match self.iterate(&cost, |j| j < first_artificial) {
+        pricer.reset(self.n_total);
+        match self.iterate(&cost, |j| j < first_artificial, pricer.as_mut()) {
             None => LpStatus::Optimal,
             Some(s) => s,
         }
@@ -724,11 +823,11 @@ impl<'a> Revised<'a> {
             Sense::Maximize => 1.0,
             Sense::Minimize => -1.0,
         };
-        // y = c_B B⁻¹ with the original maximization costs; B⁻¹ e_i is
-        // column i of the inverse, so this is exactly the dense solver's
-        // identity-column read-out.
+        // y = c_B B⁻¹ with the original maximization costs, then undo the
+        // row normalization signs and the sense flip.
+        let cb: Vec<f64> = (0..self.m).map(|r| self.cost[self.basis[r]]).collect();
         let mut y = vec![0.0f64; self.m];
-        self.duals_for(&self.cost, &mut y);
+        self.factor.btran(&cb, &mut y);
         let duals: Vec<f64> = (0..self.m)
             .map(|i| sense_sign * self.row_sign[i] * y[i])
             .collect();
@@ -739,23 +838,22 @@ impl<'a> Revised<'a> {
             x,
             duals,
             iterations: self.iterations,
+            stats: SolveStats {
+                pricing: self.pricing_rule,
+                basis: self.basis_kind,
+                iterations: self.iterations,
+                refactorizations: self.refactorizations,
+                degenerate_pivots: self.degenerate_pivots,
+            },
         }
     }
 
     fn into_warm_start(self) -> WarmStart {
         WarmStart {
             basis: self.basis.iter().map(|&c| self.kind[c]).collect(),
-            binv: self.binv,
+            factor: self.factor,
         }
     }
-}
-
-fn identity(m: usize) -> Vec<f64> {
-    let mut out = vec![0.0f64; m * m];
-    for i in 0..m {
-        out[i * m + i] = 1.0;
-    }
-    out
 }
 
 #[cfg(test)]
@@ -766,6 +864,17 @@ mod tests {
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    /// Every pricing × basis combination of the engine.
+    pub(crate) fn all_engines() -> Vec<SimplexOptions> {
+        let mut out = Vec::new();
+        for pricing in [PricingRule::Dantzig, PricingRule::Bland, PricingRule::Devex] {
+            for basis in [BasisKind::ProductForm, BasisKind::SparseLu] {
+                out.push(SimplexOptions::default().with_engine(pricing, basis));
+            }
+        }
+        out
+    }
 
     fn assert_close(a: f64, b: f64, tol: f64) {
         assert!((a - b).abs() < tol, "expected {b}, got {a}");
@@ -780,17 +889,23 @@ mod tests {
         lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
         lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
         lp.add_constraint(vec![(y, 1.0)], Relation::Le, 3.0);
-        let sol = solve(&lp, &SimplexOptions::default());
-        assert_eq!(sol.status, LpStatus::Optimal);
-        assert_close(sol.objective, 10.0, 1e-7); // x=2, y=2
-        assert_close(sol.x[x], 2.0, 1e-7);
-        assert_close(sol.x[y], 2.0, 1e-7);
-        assert!(lp.is_feasible(&sol.x, 1e-7));
-        // strong duality
-        let dual_obj: f64 = sol.duals[0] * 4.0 + sol.duals[1] * 2.0 + sol.duals[2] * 3.0;
-        assert_close(dual_obj, 10.0, 1e-7);
-        // duals of <= constraints in a maximization are non-negative
-        assert!(sol.duals.iter().all(|&d| d >= -1e-9));
+        for options in all_engines() {
+            let sol = solve(&lp, &options);
+            assert_eq!(sol.status, LpStatus::Optimal);
+            assert_close(sol.objective, 10.0, 1e-7); // x=2, y=2
+            assert_close(sol.x[x], 2.0, 1e-7);
+            assert_close(sol.x[y], 2.0, 1e-7);
+            assert!(lp.is_feasible(&sol.x, 1e-7));
+            // strong duality
+            let dual_obj: f64 = sol.duals[0] * 4.0 + sol.duals[1] * 2.0 + sol.duals[2] * 3.0;
+            assert_close(dual_obj, 10.0, 1e-7);
+            // duals of <= constraints in a maximization are non-negative
+            assert!(sol.duals.iter().all(|&d| d >= -1e-9));
+            // stats label the engine that actually ran
+            assert_eq!(sol.stats.pricing, options.pricing);
+            assert_eq!(sol.stats.basis, options.basis);
+            assert_eq!(sol.stats.iterations, sol.iterations);
+        }
     }
 
     #[test]
@@ -805,9 +920,11 @@ mod tests {
                 lp.add_constraint(vec![(v[i], 1.0), (v[j], 1.0)], Relation::Le, 1.0);
             }
         }
-        let sol = solve(&lp, &SimplexOptions::default());
-        assert_eq!(sol.status, LpStatus::Optimal);
-        assert_close(sol.objective, 1.5, 1e-7);
+        for options in all_engines() {
+            let sol = solve(&lp, &options);
+            assert_eq!(sol.status, LpStatus::Optimal);
+            assert_close(sol.objective, 1.5, 1e-7);
+        }
     }
 
     #[test]
@@ -818,14 +935,16 @@ mod tests {
         let y = lp.add_variable(3.0);
         lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
         lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 1.0);
-        let sol = solve(&lp, &SimplexOptions::default());
-        assert_eq!(sol.status, LpStatus::Optimal);
-        assert_close(sol.objective, 8.0, 1e-7);
-        assert_close(sol.x[x], 4.0, 1e-7);
-        assert_close(sol.x[y], 0.0, 1e-7);
-        // strong duality for the minimization
-        let dual_obj: f64 = sol.duals[0] * 4.0 + sol.duals[1] * 1.0;
-        assert_close(dual_obj, 8.0, 1e-6);
+        for options in all_engines() {
+            let sol = solve(&lp, &options);
+            assert_eq!(sol.status, LpStatus::Optimal);
+            assert_close(sol.objective, 8.0, 1e-7);
+            assert_close(sol.x[x], 4.0, 1e-7);
+            assert_close(sol.x[y], 0.0, 1e-7);
+            // strong duality for the minimization
+            let dual_obj: f64 = sol.duals[0] * 4.0 + sol.duals[1] * 1.0;
+            assert_close(dual_obj, 8.0, 1e-6);
+        }
     }
 
     #[test]
@@ -836,11 +955,13 @@ mod tests {
         let y = lp.add_variable(2.0);
         lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
         lp.add_constraint(vec![(y, 1.0)], Relation::Le, 2.0);
-        let sol = solve(&lp, &SimplexOptions::default());
-        assert_eq!(sol.status, LpStatus::Optimal);
-        assert_close(sol.objective, 5.0, 1e-7);
-        assert_close(sol.x[x], 1.0, 1e-7);
-        assert_close(sol.x[y], 2.0, 1e-7);
+        for options in all_engines() {
+            let sol = solve(&lp, &options);
+            assert_eq!(sol.status, LpStatus::Optimal);
+            assert_close(sol.objective, 5.0, 1e-7);
+            assert_close(sol.x[x], 1.0, 1e-7);
+            assert_close(sol.x[y], 2.0, 1e-7);
+        }
     }
 
     #[test]
@@ -850,8 +971,10 @@ mod tests {
         let x = lp.add_variable(1.0);
         lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
         lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
-        let sol = solve(&lp, &SimplexOptions::default());
-        assert_eq!(sol.status, LpStatus::Infeasible);
+        for options in all_engines() {
+            let sol = solve(&lp, &options);
+            assert_eq!(sol.status, LpStatus::Infeasible);
+        }
     }
 
     #[test]
@@ -861,8 +984,10 @@ mod tests {
         let y = lp.add_variable(0.0);
         lp.add_constraint(vec![(y, 1.0)], Relation::Le, 5.0);
         let _ = x;
-        let sol = solve(&lp, &SimplexOptions::default());
-        assert_eq!(sol.status, LpStatus::Unbounded);
+        for options in all_engines() {
+            let sol = solve(&lp, &options);
+            assert_eq!(sol.status, LpStatus::Unbounded);
+        }
     }
 
     #[test]
@@ -871,9 +996,11 @@ mod tests {
         let mut lp = LinearProgram::new(Sense::Minimize);
         let x = lp.add_variable(1.0);
         lp.add_constraint(vec![(x, -1.0)], Relation::Le, -2.0);
-        let sol = solve(&lp, &SimplexOptions::default());
-        assert_eq!(sol.status, LpStatus::Optimal);
-        assert_close(sol.objective, 2.0, 1e-7);
+        for options in all_engines() {
+            let sol = solve(&lp, &options);
+            assert_eq!(sol.status, LpStatus::Optimal);
+            assert_close(sol.objective, 2.0, 1e-7);
+        }
     }
 
     #[test]
@@ -881,9 +1008,11 @@ mod tests {
         // no constraints, maximize 0 over x >= 0: optimal 0
         let mut lp = LinearProgram::new(Sense::Maximize);
         lp.add_variable(0.0);
-        let sol = solve(&lp, &SimplexOptions::default());
-        assert_eq!(sol.status, LpStatus::Optimal);
-        assert_close(sol.objective, 0.0, 1e-9);
+        for options in all_engines() {
+            let sol = solve(&lp, &options);
+            assert_eq!(sol.status, LpStatus::Optimal);
+            assert_close(sol.objective, 0.0, 1e-9);
+        }
     }
 
     #[test]
@@ -895,11 +1024,13 @@ mod tests {
         lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
         lp.add_constraint(vec![(y, 1.0)], Relation::Le, 1.0);
         lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 5.0);
-        let sol = solve(&lp, &SimplexOptions::default());
-        assert_eq!(sol.status, LpStatus::Optimal);
-        assert_close(sol.duals[0], 1.0, 1e-7);
-        assert_close(sol.duals[1], 1.0, 1e-7);
-        assert_close(sol.duals[2], 0.0, 1e-7);
+        for options in all_engines() {
+            let sol = solve(&lp, &options);
+            assert_eq!(sol.status, LpStatus::Optimal);
+            assert_close(sol.duals[0], 1.0, 1e-7);
+            assert_close(sol.duals[1], 1.0, 1e-7);
+            assert_close(sol.duals[2], 0.0, 1e-7);
+        }
     }
 
     #[test]
@@ -910,34 +1041,94 @@ mod tests {
         lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
         lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
         lp.add_constraint(vec![(y, 1.0)], Relation::Le, 3.0);
-        let (first, state) = solve_with_warm_start(&lp, &SimplexOptions::default(), None);
-        assert_eq!(first.status, LpStatus::Optimal);
-        assert!(first.iterations > 0);
-        // Re-solving the unchanged LP from the optimal basis needs 0 pivots.
-        let (second, _) = solve_with_warm_start(&lp, &SimplexOptions::default(), Some(state));
-        assert_eq!(second.status, LpStatus::Optimal);
-        assert_eq!(second.iterations, 0);
-        assert_close(second.objective, first.objective, 1e-9);
+        for options in all_engines() {
+            let (first, state) = solve_with_warm_start(&lp, &options, None);
+            assert_eq!(first.status, LpStatus::Optimal);
+            assert!(first.iterations > 0);
+            assert_eq!(state.basis_kind(), options.basis);
+            // Re-solving the unchanged LP from the optimal basis needs 0 pivots.
+            let (second, _) = solve_with_warm_start(&lp, &options, Some(state));
+            assert_eq!(second.status, LpStatus::Optimal);
+            assert_eq!(second.iterations, 0);
+            assert_close(second.objective, first.objective, 1e-9);
+        }
     }
 
     #[test]
     fn warm_start_after_adding_a_column() {
         // Solve, then add a new structural variable (as column generation
         // does) and resume: the old basis stays valid, the new column enters.
-        let mut lp = LinearProgram::new(Sense::Maximize);
-        let x = lp.add_variable(1.0);
-        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
-        let (first, state) = solve_with_warm_start(&lp, &SimplexOptions::default(), None);
-        assert_close(first.objective, 2.0, 1e-9);
+        for options in all_engines() {
+            let mut lp = LinearProgram::new(Sense::Maximize);
+            let x = lp.add_variable(1.0);
+            lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+            let (first, state) = solve_with_warm_start(&lp, &options, None);
+            assert_close(first.objective, 2.0, 1e-9);
 
-        let mut grown = LinearProgram::new(Sense::Maximize);
-        let x2 = grown.add_variable(1.0);
-        let z = grown.add_variable(5.0);
-        grown.add_constraint(vec![(x2, 1.0), (z, 1.0)], Relation::Le, 2.0);
-        let (second, _) = solve_with_warm_start(&grown, &SimplexOptions::default(), Some(state));
+            let mut grown = LinearProgram::new(Sense::Maximize);
+            let x2 = grown.add_variable(1.0);
+            let z = grown.add_variable(5.0);
+            grown.add_constraint(vec![(x2, 1.0), (z, 1.0)], Relation::Le, 2.0);
+            let (second, _) = solve_with_warm_start(&grown, &options, Some(state));
+            assert_eq!(second.status, LpStatus::Optimal);
+            assert_close(second.objective, 10.0, 1e-9);
+            assert_close(second.x[z], 2.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_start_across_engine_kinds_is_converted() {
+        // A warm start produced by one basis representation resumes under
+        // the other via a single refactorization.
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(3.0);
+        let y = lp.add_variable(2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+        let pf =
+            SimplexOptions::default().with_engine(PricingRule::Dantzig, BasisKind::ProductForm);
+        let lu = SimplexOptions::default().with_engine(PricingRule::Devex, BasisKind::SparseLu);
+        let (first, state) = solve_with_warm_start(&lp, &pf, None);
+        assert_eq!(first.status, LpStatus::Optimal);
+        assert_eq!(state.basis_kind(), BasisKind::ProductForm);
+        let (second, state2) = solve_with_warm_start(&lp, &lu, Some(state));
         assert_eq!(second.status, LpStatus::Optimal);
-        assert_close(second.objective, 10.0, 1e-9);
-        assert_close(second.x[z], 2.0, 1e-9);
+        assert_eq!(
+            second.iterations, 0,
+            "optimal basis needs no pivots after conversion"
+        );
+        assert_close(second.objective, first.objective, 1e-9);
+        assert_eq!(state2.basis_kind(), BasisKind::SparseLu);
+    }
+
+    #[test]
+    fn warm_start_across_different_matrices_is_repaired() {
+        // Two LPs with identical rows (same count, relations, rhs) but
+        // different coefficient patterns: adopting the first solve's
+        // factorization verbatim would price the second LP against a stale
+        // B⁻¹ and could terminate "optimal" at a wrong vertex. The
+        // residual check must detect the mismatch, refactorize, and still
+        // reach the true optimum.
+        for options in all_engines() {
+            let mut a = LinearProgram::new(Sense::Maximize);
+            let ax = a.add_variable(1.0);
+            let ay = a.add_variable(1.0);
+            a.add_constraint(vec![(ax, 1.0)], Relation::Le, 1.0);
+            a.add_constraint(vec![(ay, 1.0)], Relation::Le, 1.0);
+            let (first, state) = solve_with_warm_start(&a, &options, None);
+            assert_eq!(first.status, LpStatus::Optimal);
+
+            let mut b = LinearProgram::new(Sense::Maximize);
+            let bx = b.add_variable(4.0);
+            let by = b.add_variable(2.0);
+            b.add_constraint(vec![(by, 1.0)], Relation::Le, 1.0);
+            b.add_constraint(vec![(bx, 1.0), (by, 1.0)], Relation::Le, 1.0);
+            let cold = solve(&b, &options);
+            let (warmed, _) = solve_with_warm_start(&b, &options, Some(state));
+            assert_eq!(warmed.status, LpStatus::Optimal);
+            assert_close(warmed.objective, cold.objective, 1e-7);
+            assert!(b.is_feasible(&warmed.x, 1e-7));
+        }
     }
 
     #[test]
@@ -945,20 +1136,22 @@ mod tests {
         let mut a = LinearProgram::new(Sense::Maximize);
         let x = a.add_variable(1.0);
         a.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
-        let (_, state) = solve_with_warm_start(&a, &SimplexOptions::default(), None);
+        for options in all_engines() {
+            let (_, state) = solve_with_warm_start(&a, &options, None);
 
-        // different row count: the state must be rejected, not trusted
-        let mut b = LinearProgram::new(Sense::Maximize);
-        let u = b.add_variable(1.0);
-        b.add_constraint(vec![(u, 1.0)], Relation::Le, 1.0);
-        b.add_constraint(vec![(u, 1.0)], Relation::Le, 3.0);
-        let (sol, _) = solve_with_warm_start(&b, &SimplexOptions::default(), Some(state));
-        assert_eq!(sol.status, LpStatus::Optimal);
-        assert_close(sol.objective, 1.0, 1e-9);
+            // different row count: the state must be rejected, not trusted
+            let mut b = LinearProgram::new(Sense::Maximize);
+            let u = b.add_variable(1.0);
+            b.add_constraint(vec![(u, 1.0)], Relation::Le, 1.0);
+            b.add_constraint(vec![(u, 1.0)], Relation::Le, 3.0);
+            let (sol, _) = solve_with_warm_start(&b, &options, Some(state));
+            assert_eq!(sol.status, LpStatus::Optimal);
+            assert_close(sol.objective, 1.0, 1e-9);
+        }
     }
 
     /// Deterministic seeded random packing LP used by the
-    /// revised-vs-dense equivalence tests.
+    /// engine-vs-dense equivalence tests.
     fn random_packing_lp(seed: u64, n: usize, m: usize) -> LinearProgram {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut lp = LinearProgram::new(Sense::Maximize);
@@ -978,43 +1171,101 @@ mod tests {
     }
 
     #[test]
-    fn revised_matches_dense_on_seeded_packing_lps() {
-        for seed in 0..40u64 {
+    fn all_engines_match_dense_on_seeded_packing_lps() {
+        for seed in 0..20u64 {
             let n = 1 + (seed as usize % 12);
             let m = 1 + ((seed as usize * 7) % 10);
             let lp = random_packing_lp(seed, n, m);
-            let revised = solve(&lp, &SimplexOptions::default());
             let reference = dense::solve(&lp, &SimplexOptions::default());
-            assert_eq!(revised.status, reference.status, "seed {seed}");
-            if revised.status == LpStatus::Optimal {
-                assert!(
-                    (revised.objective - reference.objective).abs() < 1e-6,
-                    "seed {seed}: revised {} vs dense {}",
-                    revised.objective,
-                    reference.objective
+            for options in all_engines() {
+                let revised = solve(&lp, &options);
+                let label = format!(
+                    "seed {seed} engine {}x{}",
+                    options.pricing.name(),
+                    options.basis.name()
                 );
-                assert!(lp.is_feasible(&revised.x, 1e-6));
-                // The optimal basis (and hence the duals) need not be unique,
-                // but both dual vectors must price the rhs to the optimum.
-                let price = |duals: &[f64]| -> f64 {
-                    lp.constraints()
-                        .iter()
-                        .zip(duals.iter())
-                        .map(|(c, &y)| c.rhs * y)
-                        .sum()
-                };
-                assert!(
-                    (price(&revised.duals) - price(&reference.duals)).abs() < 1e-6,
-                    "seed {seed}: dual objectives differ"
-                );
+                assert_eq!(revised.status, reference.status, "{label}");
+                if revised.status == LpStatus::Optimal {
+                    assert!(
+                        (revised.objective - reference.objective).abs() < 1e-6,
+                        "{label}: revised {} vs dense {}",
+                        revised.objective,
+                        reference.objective
+                    );
+                    assert!(lp.is_feasible(&revised.x, 1e-6));
+                    // The optimal basis (and hence the duals) need not be
+                    // unique, but both dual vectors must price the rhs to
+                    // the optimum.
+                    let price = |duals: &[f64]| -> f64 {
+                        lp.constraints()
+                            .iter()
+                            .zip(duals.iter())
+                            .map(|(c, &y)| c.rhs * y)
+                            .sum()
+                    };
+                    assert!(
+                        (price(&revised.duals) - price(&reference.duals)).abs() < 1e-6,
+                        "{label}: dual objectives differ"
+                    );
+                }
             }
         }
     }
 
-    // Random packing LPs: the revised solution must be feasible, match the
-    // dense reference, and satisfy weak/strong duality.
+    #[test]
+    fn all_engines_agree_on_degenerate_and_rank_deficient_lps() {
+        // Degenerate: many redundant copies of the same binding row;
+        // rank-deficient: an equality row repeated verbatim (phase 1 leaves
+        // a zero-valued artificial basic for the redundant copy). Every
+        // engine must terminate (Bland fallback) and agree with the oracle.
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(900 + seed);
+            let n = 2 + (seed as usize % 4);
+            let mut lp = LinearProgram::new(Sense::Maximize);
+            for _ in 0..n {
+                lp.add_variable(rng.random_range(0.5..5.0));
+            }
+            let coeffs: Vec<(usize, f64)> =
+                (0..n).map(|j| (j, rng.random_range(0.5..2.0))).collect();
+            let rhs = rng.random_range(1.0..4.0);
+            // the same packing row three times (degeneracy)
+            for _ in 0..3 {
+                lp.add_constraint(coeffs.clone(), Relation::Le, rhs);
+            }
+            // a repeated equality row (rank deficiency)
+            let eq: Vec<(usize, f64)> = vec![(0, 1.0)];
+            let eq_rhs = rhs / 2.0;
+            lp.add_constraint(eq.clone(), Relation::Eq, eq_rhs);
+            lp.add_constraint(eq, Relation::Eq, eq_rhs);
+            for j in 0..n {
+                lp.add_constraint(vec![(j, 1.0)], Relation::Le, 3.0);
+            }
+            let reference = dense::solve(&lp, &SimplexOptions::default());
+            for options in all_engines() {
+                let sol = solve(&lp, &options);
+                let label = format!(
+                    "seed {seed} engine {}x{}",
+                    options.pricing.name(),
+                    options.basis.name()
+                );
+                assert_eq!(sol.status, reference.status, "{label}");
+                if sol.status == LpStatus::Optimal {
+                    assert!(lp.is_feasible(&sol.x, 1e-6), "{label}");
+                    assert!(
+                        (sol.objective - reference.objective).abs() < 1e-6,
+                        "{label}: {} vs dense {}",
+                        sol.objective,
+                        reference.objective
+                    );
+                }
+            }
+        }
+    }
+
+    // Random packing LPs: every engine's solution must be feasible, match
+    // the dense reference, and satisfy weak/strong duality.
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+        #![proptest_config(ProptestConfig::with_cases(48))]
 
         #[test]
         fn prop_random_packing_lps_are_solved_consistently(
@@ -1023,6 +1274,7 @@ mod tests {
             obj in prop::collection::vec(0.0f64..10.0, 8),
             rows in prop::collection::vec(prop::collection::vec(0.0f64..5.0, 8), 8),
             rhs in prop::collection::vec(1.0f64..20.0, 8),
+            engine in 0usize..6,
         ) {
             let mut lp = LinearProgram::new(Sense::Maximize);
             for &c in obj.iter().take(n) {
@@ -1032,7 +1284,8 @@ mod tests {
                 let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, rows[i][j])).collect();
                 lp.add_constraint(coeffs, Relation::Le, rhs[i]);
             }
-            let sol = solve(&lp, &SimplexOptions::default());
+            let options = all_engines()[engine];
+            let sol = solve(&lp, &options);
             // packing LPs with x = 0 feasible are never infeasible
             prop_assert_ne!(sol.status, LpStatus::Infeasible);
             if sol.status == LpStatus::Optimal {
@@ -1051,7 +1304,9 @@ mod tests {
                 let reference = dense::solve(&lp, &SimplexOptions::default());
                 prop_assert_eq!(reference.status, LpStatus::Optimal);
                 prop_assert!((sol.objective - reference.objective).abs() < 1e-6,
-                    "revised {} vs dense {}", sol.objective, reference.objective);
+                    "engine {}x{}: {} vs dense {}",
+                    options.pricing.name(), options.basis.name(),
+                    sol.objective, reference.objective);
             }
         }
 
@@ -1063,6 +1318,7 @@ mod tests {
             rhs in prop::collection::vec(-5.0f64..5.0, 6),
             rels in prop::collection::vec(0u8..3, 6),
             m in 1usize..6,
+            engine in 0usize..6,
         ) {
             let mut lp = LinearProgram::new(Sense::Maximize);
             for &c in obj.iter().take(n) {
@@ -1082,7 +1338,8 @@ mod tests {
             for j in 0..n {
                 lp.add_constraint(vec![(j, 1.0)], Relation::Le, 10.0);
             }
-            let sol = solve(&lp, &SimplexOptions::default());
+            let options = all_engines()[engine];
+            let sol = solve(&lp, &options);
             match sol.status {
                 LpStatus::Optimal => {
                     prop_assert!(lp.is_feasible(&sol.x, 1e-5));
@@ -1090,7 +1347,9 @@ mod tests {
                     if reference.status == LpStatus::Optimal {
                         prop_assert!((sol.objective - reference.objective).abs()
                             < 1e-5 * (1.0 + sol.objective.abs()),
-                            "revised {} vs dense {}", sol.objective, reference.objective);
+                            "engine {}x{}: {} vs dense {}",
+                            options.pricing.name(), options.basis.name(),
+                            sol.objective, reference.objective);
                     }
                 }
                 LpStatus::Infeasible => {

@@ -452,7 +452,12 @@ mod tests {
     fn sampling_respects_the_distribution() {
         let inst = path_instance();
         let frac = solve_relaxation_explicit(&inst);
-        let d = decompose(&inst, &frac, guarantee_factor(&inst), &DecompositionOptions::default());
+        let d = decompose(
+            &inst,
+            &frac,
+            guarantee_factor(&inst),
+            &DecompositionOptions::default(),
+        );
         let mut rng = StdRng::seed_from_u64(99);
         let mut welfare_sum = 0.0;
         let samples = 4000;

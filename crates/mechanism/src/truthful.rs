@@ -94,7 +94,12 @@ impl TruthfulMechanism {
     pub fn run(&self, instance: &AuctionInstance, seed: u64) -> MechanismOutcome {
         let vcg = fractional_vcg(instance, &self.options.lp);
         let alpha = guarantee_factor(instance);
-        let decomposition = decompose(instance, &vcg.fractional, alpha, &self.options.decomposition);
+        let decomposition = decompose(
+            instance,
+            &vcg.fractional,
+            alpha,
+            &self.options.decomposition,
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let allocation = decomposition.sample(&mut rng).clone();
         let payments = (0..instance.num_bidders())
@@ -214,7 +219,8 @@ mod tests {
         let outcome = mech.run(&inst, 3);
         let expected = outcome.expected_welfare(&inst);
         assert!(
-            expected + 1e-9 >= outcome.vcg.fractional.objective / outcome.decomposition.effective_alpha,
+            expected + 1e-9
+                >= outcome.vcg.fractional.objective / outcome.decomposition.effective_alpha,
             "expected welfare {} below b*/α_eff = {}/{}",
             expected,
             outcome.vcg.fractional.objective,

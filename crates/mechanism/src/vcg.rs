@@ -48,7 +48,8 @@ impl FractionalVcg {
 /// Replaces bidder `v`'s valuation with the zero valuation.
 fn without_bidder(instance: &AuctionInstance, v: usize) -> AuctionInstance {
     let mut bidders = instance.bidders.clone();
-    bidders[v] = Arc::new(TabularValuation::new(instance.num_channels, Vec::new())) as Arc<dyn Valuation>;
+    bidders[v] =
+        Arc::new(TabularValuation::new(instance.num_channels, Vec::new())) as Arc<dyn Valuation>;
     AuctionInstance::new(
         instance.num_channels,
         bidders,
@@ -163,7 +164,11 @@ mod tests {
         );
         let vcg = fractional_vcg(&inst, &LpFormulationOptions::default());
         for v in 0..3 {
-            assert!(vcg.payments[v].abs() < 1e-6, "payment {} should be 0", vcg.payments[v]);
+            assert!(
+                vcg.payments[v].abs() < 1e-6,
+                "payment {} should be 0",
+                vcg.payments[v]
+            );
         }
         assert!((vcg.fractional.objective - 15.0).abs() < 1e-6);
     }

@@ -24,7 +24,9 @@ pub mod placement;
 pub mod scenarios;
 pub mod valuations;
 
-pub use placement::{clustered_points, grid_points, random_disks, random_links, uniform_points, PlacementConfig};
+pub use placement::{
+    clustered_points, grid_points, random_disks, random_links, uniform_points, PlacementConfig,
+};
 pub use scenarios::{
     asymmetric_scenario, disk_scenario, physical_scenario, power_control_scenario,
     protocol_scenario, GeneratedInstance, ScenarioConfig, ValuationProfile,

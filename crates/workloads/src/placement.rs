@@ -41,8 +41,10 @@ pub fn clustered_points(n: usize, config: &PlacementConfig, rng: &mut StdRng) ->
     (0..n)
         .map(|_| {
             let c = centers[rng.random_range(0..centers.len())];
-            let dx = (rng.random_range(-1.0..1.0) + rng.random_range(-1.0..1.0)) * config.cluster_spread;
-            let dy = (rng.random_range(-1.0..1.0) + rng.random_range(-1.0..1.0)) * config.cluster_spread;
+            let dx =
+                (rng.random_range(-1.0..1.0) + rng.random_range(-1.0..1.0)) * config.cluster_spread;
+            let dy =
+                (rng.random_range(-1.0..1.0) + rng.random_range(-1.0..1.0)) * config.cluster_spread;
             Point2D::new(
                 (c.x + dx).clamp(0.0, config.area_side),
                 (c.y + dy).clamp(0.0, config.area_side),
@@ -97,7 +99,10 @@ pub fn random_links(
         .map(|&s| {
             let len = rng.random_range(min_len..=max_len);
             let angle = rng.random_range(0.0..std::f64::consts::TAU);
-            Link::new(s, Point2D::new(s.x + len * angle.cos(), s.y + len * angle.sin()))
+            Link::new(
+                s,
+                Point2D::new(s.x + len * angle.cos(), s.y + len * angle.sin()),
+            )
         })
         .collect()
 }
@@ -116,7 +121,9 @@ mod tests {
         let mut rng = seeded_rng(1);
         let pts = uniform_points(200, 50.0, &mut rng);
         assert_eq!(pts.len(), 200);
-        assert!(pts.iter().all(|p| (0.0..=50.0).contains(&p.x) && (0.0..=50.0).contains(&p.y)));
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..=50.0).contains(&p.x) && (0.0..=50.0).contains(&p.y)));
     }
 
     #[test]

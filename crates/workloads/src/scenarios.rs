@@ -4,12 +4,15 @@
 //! Every scenario is deterministic given its seed, so experiments and tests
 //! are reproducible.
 
-use crate::placement::{clustered_points, random_disks, random_links, uniform_points, PlacementConfig};
+use crate::placement::{
+    clustered_points, random_disks, random_links, uniform_points, PlacementConfig,
+};
 use crate::valuations::{sample_valuations, ValuationKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use ssa_conflict_graph::certified_rho;
+use ssa_conflict_graph::VertexOrdering;
 use ssa_core::instance::ConflictStructure;
 use ssa_core::AuctionInstance;
 use ssa_geometry::LinkMetric;
@@ -17,7 +20,6 @@ use ssa_interference::{
     DiskGraphModel, PhysicalModel, PowerAssignment, PowerControlModel, ProtocolModel,
     SinrParameters,
 };
-use ssa_conflict_graph::VertexOrdering;
 
 /// Which valuation mix a scenario uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -138,7 +140,11 @@ pub fn protocol_scenario(config: &ScenarioConfig, delta: f64) -> GeneratedInstan
 }
 
 /// Disk-graph transmitter scenario (binary conflict graph, Proposition 9).
-pub fn disk_scenario(config: &ScenarioConfig, min_radius: f64, max_radius: f64) -> GeneratedInstance {
+pub fn disk_scenario(
+    config: &ScenarioConfig,
+    min_radius: f64,
+    max_radius: f64,
+) -> GeneratedInstance {
     let mut rng = config.rng();
     let points = config.points(&mut rng);
     let disks = random_disks(&points, min_radius, max_radius, &mut rng);
@@ -280,7 +286,10 @@ pub fn asymmetric_scenario(config: &ScenarioConfig, delta: f64) -> GeneratedInst
     );
     GeneratedInstance {
         instance,
-        model_name: format!("asymmetric-protocol(delta={delta},k={})", config.num_channels),
+        model_name: format!(
+            "asymmetric-protocol(delta={delta},k={})",
+            config.num_channels
+        ),
         certified_rho: certified,
         theoretical_rho: None,
     }
@@ -320,8 +329,11 @@ mod tests {
     #[test]
     fn physical_scenario_produces_weighted_instances() {
         let config = ScenarioConfig::new(12, 2, 11);
-        let (generated, physical) =
-            physical_scenario(&config, SinrParameters::new(3.0, 1.0, 0.01), PowerAssignment::Uniform);
+        let (generated, physical) = physical_scenario(
+            &config,
+            SinrParameters::new(3.0, 1.0, 0.01),
+            PowerAssignment::Uniform,
+        );
         assert!(generated.instance.conflicts.is_weighted());
         assert_eq!(physical.num_links(), 12);
         let solver = SpectrumAuctionSolver::default();

@@ -95,9 +95,9 @@ pub fn random_valuation(
         ValuationKind::Additive => {
             Arc::new(AdditiveValuation::new((0..k).map(|_| base(rng)).collect()))
         }
-        ValuationKind::UnitDemand => {
-            Arc::new(UnitDemandValuation::new((0..k).map(|_| base(rng)).collect()))
-        }
+        ValuationKind::UnitDemand => Arc::new(UnitDemandValuation::new(
+            (0..k).map(|_| base(rng)).collect(),
+        )),
         ValuationKind::BudgetedAdditive => {
             let values: Vec<f64> = (0..k).map(|_| base(rng)).collect();
             let total: f64 = values.iter().sum();
@@ -149,7 +149,10 @@ mod tests {
         for &kind in &ALL_VALUATION_KINDS {
             let v = random_valuation(kind, 4, 1.0, 10.0, &mut rng);
             assert_eq!(v.num_channels(), 4);
-            assert!(v.value(ChannelSet::empty()) <= 1e-12, "{kind:?} values the empty bundle");
+            assert!(
+                v.value(ChannelSet::empty()) <= 1e-12,
+                "{kind:?} values the empty bundle"
+            );
             let best = v.max_value();
             assert!(best > 0.0, "{kind:?} has zero max value");
             // the demand oracle at zero prices returns a bundle worth the max

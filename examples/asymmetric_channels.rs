@@ -27,7 +27,10 @@ fn main() {
     println!("ρ across channels: {:.2}", generated.certified_rho);
     println!("LP optimum b* = {:.3}", outcome.lp_objective);
     println!("rounded welfare = {:.3}", outcome.welfare);
-    println!("guarantee factor 8·k·ρ = {:.1}  (note: k, not √k)", outcome.guarantee_factor);
+    println!(
+        "guarantee factor 8·k·ρ = {:.1}  (note: k, not √k)",
+        outcome.guarantee_factor
+    );
     println!();
 
     // --- (b) the Theorem 18 construction -----------------------------------
@@ -45,14 +48,29 @@ fn main() {
     let exact = solve_exact_default(&hard);
     let outcome_hard = solver.solve(&hard);
 
-    println!("=== Theorem 18 hard instance (edge partition of a degree-4 graph over {k} channels) ===");
+    println!(
+        "=== Theorem 18 hard instance (edge partition of a degree-4 graph over {k} channels) ==="
+    );
     println!("independent-set optimum of the base graph: {optimum}");
-    println!("exact auction optimum:                     {:.3}", exact.welfare);
-    println!("LP relaxation value:                       {:.3}", outcome_hard.lp_objective);
-    println!("rounded welfare:                           {:.3}", outcome_hard.welfare);
+    println!(
+        "exact auction optimum:                     {:.3}",
+        exact.welfare
+    );
+    println!(
+        "LP relaxation value:                       {:.3}",
+        outcome_hard.lp_objective
+    );
+    println!(
+        "rounded welfare:                           {:.3}",
+        outcome_hard.welfare
+    );
     println!(
         "empirical approximation ratio (opt/alg):   {:.2}  (guarantee: {:.1})",
-        if outcome_hard.welfare > 0.0 { exact.welfare / outcome_hard.welfare } else { f64::INFINITY },
+        if outcome_hard.welfare > 0.0 {
+            exact.welfare / outcome_hard.welfare
+        } else {
+            f64::INFINITY
+        },
         outcome_hard.guarantee_factor
     );
     println!();

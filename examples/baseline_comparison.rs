@@ -16,8 +16,10 @@ use spectrum_auctions::auction::solver::{SolverOptions, SpectrumAuctionSolver};
 use spectrum_auctions::workloads::{protocol_scenario, ScenarioConfig, ValuationProfile};
 
 fn main() {
-    println!("{:<6} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
-        "seed", "exact", "LP b*", "LP-round", "greedy-ch", "greedy-bd", "edge-LP");
+    println!(
+        "{:<6} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "seed", "exact", "LP b*", "LP-round", "greedy-ch", "greedy-bd", "edge-LP"
+    );
     println!("{}", "-".repeat(70));
 
     let mut totals = [0.0f64; 4];
@@ -30,7 +32,10 @@ fn main() {
 
         let exact = solve_exact_default(instance);
         let solver = SpectrumAuctionSolver::new(SolverOptions {
-            rounding: RoundingOptions { seed: 1, trials: 64 },
+            rounding: RoundingOptions {
+                seed: 1,
+                trials: 64,
+            },
             ..Default::default()
         });
         let lp_round = solver.solve(instance);
@@ -40,8 +45,13 @@ fn main() {
 
         println!(
             "{:<6} {:>8.2} {:>8.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-            seed, exact.welfare, lp_round.lp_objective, lp_round.welfare,
-            greedy_channel, greedy_bundle, edge
+            seed,
+            exact.welfare,
+            lp_round.lp_objective,
+            lp_round.welfare,
+            greedy_channel,
+            greedy_bundle,
+            edge
         );
         exact_total += exact.welfare;
         totals[0] += lp_round.welfare;
@@ -52,10 +62,22 @@ fn main() {
 
     println!("{}", "-".repeat(70));
     println!("aggregate fraction of the exact optimum captured:");
-    println!("  LP rounding (paper):     {:.1} %", 100.0 * totals[0] / exact_total);
-    println!("  greedy per channel:      {:.1} %", 100.0 * totals[1] / exact_total);
-    println!("  greedy by bundle value:  {:.1} %", 100.0 * totals[2] / exact_total);
-    println!("  edge-based LP baseline:  {:.1} %", 100.0 * totals[3] / exact_total);
+    println!(
+        "  LP rounding (paper):     {:.1} %",
+        100.0 * totals[0] / exact_total
+    );
+    println!(
+        "  greedy per channel:      {:.1} %",
+        100.0 * totals[1] / exact_total
+    );
+    println!(
+        "  greedy by bundle value:  {:.1} %",
+        100.0 * totals[2] / exact_total
+    );
+    println!(
+        "  edge-based LP baseline:  {:.1} %",
+        100.0 * totals[3] / exact_total
+    );
     println!();
     println!("On small instances all methods are close; the LP-rounding pipeline is the only one");
     println!("with a provable worst-case guarantee (Theorem 3), which experiment E11 probes on");

@@ -30,12 +30,19 @@ fn main() {
     let (generated, physical) = physical_scenario(&config, params, PowerAssignment::Uniform);
     println!("=== physical model, fixed uniform powers ===");
     println!("model: {}", generated.model_name);
-    println!("certified ρ for the length-descending ordering: {:.3}", generated.certified_rho);
+    println!(
+        "certified ρ for the length-descending ordering: {:.3}",
+        generated.certified_rho
+    );
 
     let solver = SpectrumAuctionSolver::new(SolverOptions::default());
     let outcome = solver.solve(&generated.instance);
-    println!("LP optimum b* = {:.3}, rounded welfare = {:.3}, ratio = {:.2}",
-        outcome.lp_objective, outcome.welfare, outcome.empirical_ratio());
+    println!(
+        "LP optimum b* = {:.3}, rounded welfare = {:.3}, ratio = {:.2}",
+        outcome.lp_objective,
+        outcome.welfare,
+        outcome.empirical_ratio()
+    );
 
     // verify the result against the *original* SINR constraints, not just
     // the conflict-graph abstraction
@@ -48,7 +55,11 @@ fn main() {
     }
     println!(
         "winners of every channel satisfy the raw SINR constraints: {}",
-        if all_sinr_ok { "yes" } else { "no (conflict graph is a conservative approximation)" }
+        if all_sinr_ok {
+            "yes"
+        } else {
+            "no (conflict graph is a conservative approximation)"
+        }
     );
 
     // --- Variant 2: power control (Theorem 17) ----------------------------
@@ -59,8 +70,10 @@ fn main() {
     println!("certified ρ: {:.3}", generated_pc.certified_rho);
 
     let outcome_pc = solver.solve(&generated_pc.instance);
-    println!("LP optimum b* = {:.3}, rounded welfare = {:.3}",
-        outcome_pc.lp_objective, outcome_pc.welfare);
+    println!(
+        "LP optimum b* = {:.3}, rounded welfare = {:.3}",
+        outcome_pc.lp_objective, outcome_pc.welfare
+    );
 
     for j in 0..generated_pc.instance.num_channels {
         let winners = outcome_pc.allocation.winners_of_channel(j);
@@ -74,7 +87,10 @@ fn main() {
                     max_power
                 );
             }
-            None => println!("channel {j}: {} winners, no feasible power assignment (unexpected)", winners.len()),
+            None => println!(
+                "channel {j}: {} winners, no feasible power assignment (unexpected)",
+                winners.len()
+            ),
         }
     }
 }

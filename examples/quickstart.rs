@@ -28,7 +28,11 @@ fn main() {
 
     // 2. The interference model: disk graph + radius-descending ordering.
     let model = DiskGraphModel::new(disks).build();
-    println!("conflict graph: {} bidders, {} conflicts", model.graph.num_vertices(), model.graph.num_edges());
+    println!(
+        "conflict graph: {} bidders, {} conflicts",
+        model.graph.num_vertices(),
+        model.graph.num_edges()
+    );
     println!(
         "inductive independence number: certified ρ = {} (paper bound: {})",
         model.certified_rho.rho,
@@ -69,10 +73,19 @@ fn main() {
     let outcome = solver.solve(&instance);
 
     println!();
-    println!("LP relaxation optimum (b*):      {:.3}", outcome.lp_objective);
+    println!(
+        "LP relaxation optimum (b*):      {:.3}",
+        outcome.lp_objective
+    );
     println!("welfare of rounded allocation:   {:.3}", outcome.welfare);
-    println!("a-priori guarantee factor 8√k·ρ: {:.1}", outcome.guarantee_factor);
-    println!("empirical ratio b*/welfare:      {:.3}", outcome.empirical_ratio());
+    println!(
+        "a-priori guarantee factor 8√k·ρ: {:.1}",
+        outcome.guarantee_factor
+    );
+    println!(
+        "empirical ratio b*/welfare:      {:.3}",
+        outcome.empirical_ratio()
+    );
     println!();
     println!("allocation (bidder -> channels):");
     for v in 0..instance.num_bidders() {

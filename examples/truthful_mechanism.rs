@@ -22,13 +22,22 @@ fn main() {
 
     println!("=== truthful-in-expectation spectrum auction ===");
     println!("model: {}", generated.model_name);
-    println!("bidders: {}, channels: {}", instance.num_bidders(), instance.num_channels);
+    println!(
+        "bidders: {}, channels: {}",
+        instance.num_bidders(),
+        instance.num_channels
+    );
     println!("LP optimum b* = {:.3}", outcome.vcg.fractional.objective);
-    println!("requested α = {:.1}, effective α of the decomposition = {:.2}",
-        outcome.alpha, outcome.decomposition.effective_alpha);
+    println!(
+        "requested α = {:.1}, effective α of the decomposition = {:.2}",
+        outcome.alpha, outcome.decomposition.effective_alpha
+    );
     println!();
 
-    println!("lottery over feasible allocations ({} outcomes):", outcome.decomposition.support.len());
+    println!(
+        "lottery over feasible allocations ({} outcomes):",
+        outcome.decomposition.support.len()
+    );
     for (i, (p, allocation)) in outcome.decomposition.support.iter().enumerate().take(8) {
         println!(
             "  outcome {i}: probability {:.3}, welfare {:.3}, bidders served {}",
@@ -40,9 +49,11 @@ fn main() {
     if outcome.decomposition.support.len() > 8 {
         println!("  … ({} more)", outcome.decomposition.support.len() - 8);
     }
-    println!("expected welfare of the lottery: {:.3} (≥ b*/α_eff = {:.3})",
+    println!(
+        "expected welfare of the lottery: {:.3} (≥ b*/α_eff = {:.3})",
         outcome.expected_welfare(instance),
-        outcome.vcg.fractional.objective / outcome.decomposition.effective_alpha);
+        outcome.vcg.fractional.objective / outcome.decomposition.effective_alpha
+    );
     println!();
 
     println!("drawn allocation and payments:");

@@ -12,7 +12,10 @@ use spectrum_auctions::workloads::{
 
 fn solver() -> SpectrumAuctionSolver {
     SpectrumAuctionSolver::new(SolverOptions {
-        rounding: RoundingOptions { seed: 5, trials: 32 },
+        rounding: RoundingOptions {
+            seed: 5,
+            trials: 32,
+        },
         ..Default::default()
     })
 }
@@ -102,4 +105,52 @@ fn pipeline_is_reproducible_given_seeds() {
     assert_eq!(oa.allocation.bundles(), ob.allocation.bundles());
     assert!((oa.welfare - ob.welfare).abs() < 1e-12);
     assert!((oa.lp_objective - ob.lp_objective).abs() < 1e-9);
+}
+
+#[test]
+fn every_lp_engine_reaches_the_same_relaxation_optimum() {
+    use spectrum_auctions::auction::{BasisKind, PricingRule};
+
+    let mut config = ScenarioConfig::new(16, 3, 77);
+    config.valuations = ValuationProfile::Mixed;
+    let generated = protocol_scenario(&config, 1.0);
+
+    let mut objectives = Vec::new();
+    for pricing in [PricingRule::Dantzig, PricingRule::Bland, PricingRule::Devex] {
+        for basis in [BasisKind::ProductForm, BasisKind::SparseLu] {
+            let solver = SpectrumAuctionSolver::new(
+                SolverOptions {
+                    rounding: RoundingOptions {
+                        seed: 5,
+                        trials: 16,
+                    },
+                    ..Default::default()
+                }
+                .with_engine(pricing, basis),
+            );
+            let outcome = solver.solve(&generated.instance);
+            assert!(outcome.allocation.is_feasible(&generated.instance));
+            assert!(
+                outcome.lp_converged,
+                "{pricing:?}/{basis:?} did not converge"
+            );
+            // the engine selection must be visible in the outcome stats
+            assert_eq!(outcome.lp_info.pricing, pricing);
+            assert_eq!(outcome.lp_info.basis, basis);
+            assert!(outcome.lp_info.simplex_iterations > 0);
+            assert_eq!(
+                outcome.lp_info.per_round_iterations.iter().sum::<usize>(),
+                outcome.lp_info.simplex_iterations
+            );
+            objectives.push(outcome.lp_objective);
+        }
+    }
+    // all six engines solve the same relaxation: identical optima
+    let first = objectives[0];
+    for (i, &obj) in objectives.iter().enumerate() {
+        assert!(
+            (obj - first).abs() < 1e-6 * (1.0 + first.abs()),
+            "engine {i}: {obj} vs {first}"
+        );
+    }
 }

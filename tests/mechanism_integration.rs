@@ -2,7 +2,9 @@
 
 use spectrum_auctions::mechanism::lavi_swamy::verify_cover;
 use spectrum_auctions::mechanism::{TruthfulMechanism, TruthfulMechanismOptions};
-use spectrum_auctions::workloads::{disk_scenario, protocol_scenario, ScenarioConfig, ValuationProfile};
+use spectrum_auctions::workloads::{
+    disk_scenario, protocol_scenario, ScenarioConfig, ValuationProfile,
+};
 
 #[test]
 fn mechanism_on_protocol_market_is_consistent() {
@@ -23,7 +25,11 @@ fn mechanism_on_protocol_market_is_consistent() {
     }
 
     // the decomposition covers x*/alpha_eff
-    assert!(verify_cover(&outcome.decomposition, &outcome.vcg.fractional, 1e-6));
+    assert!(verify_cover(
+        &outcome.decomposition,
+        &outcome.vcg.fractional,
+        1e-6
+    ));
 
     // expected welfare meets the certified factor
     assert!(
@@ -50,7 +56,10 @@ fn mechanism_on_disk_market_collects_bounded_revenue() {
     let revenue: f64 = outcome.payments.iter().sum();
     let welfare = outcome.allocation.social_welfare(instance);
     assert!(revenue >= 0.0);
-    assert!(revenue <= welfare + 1e-6, "revenue {revenue} exceeds realized welfare {welfare}");
+    assert!(
+        revenue <= welfare + 1e-6,
+        "revenue {revenue} exceeds realized welfare {welfare}"
+    );
 }
 
 #[test]

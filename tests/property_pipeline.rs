@@ -5,11 +5,17 @@ use spectrum_auctions::auction::exact::solve_exact_default;
 use spectrum_auctions::auction::greedy::{greedy_by_bundle_value, greedy_channel_by_channel};
 use spectrum_auctions::auction::rounding::RoundingOptions;
 use spectrum_auctions::auction::solver::{SolverOptions, SpectrumAuctionSolver};
-use spectrum_auctions::workloads::{disk_scenario, protocol_scenario, ScenarioConfig, ValuationProfile};
+use spectrum_auctions::workloads::{
+    disk_scenario, protocol_scenario, ScenarioConfig, ValuationProfile,
+};
 
 fn config(n: usize, k: usize, seed: u64, mixed: bool) -> ScenarioConfig {
     let mut c = ScenarioConfig::new(n, k, seed);
-    c.valuations = if mixed { ValuationProfile::Mixed } else { ValuationProfile::Xor };
+    c.valuations = if mixed {
+        ValuationProfile::Mixed
+    } else {
+        ValuationProfile::Xor
+    };
     c
 }
 

@@ -28,7 +28,10 @@ fn theorem_3_bound_holds_on_protocol_instances() {
             let outcome = round_binary(
                 instance,
                 &fractional,
-                &RoundingOptions { seed: 1000 + t, trials: 1 },
+                &RoundingOptions {
+                    seed: 1000 + t,
+                    trials: 1,
+                },
             );
             welfare_sum += outcome.welfare;
         }
@@ -52,7 +55,10 @@ fn lemma_4_removal_probability() {
     let outcome = round_binary(
         instance,
         &fractional,
-        &RoundingOptions { seed: 5, trials: 500 },
+        &RoundingOptions {
+            seed: 5,
+            trials: 500,
+        },
     );
     assert!(
         outcome.stats.removal_rate() <= 0.55,
@@ -73,7 +79,10 @@ fn lp_sandwiches_the_exact_optimum() {
         let exact = solve_exact_default(instance);
         assert!(exact.proven_optimal);
         let solver = SpectrumAuctionSolver::new(SolverOptions {
-            rounding: RoundingOptions { seed: 3, trials: 64 },
+            rounding: RoundingOptions {
+                seed: 3,
+                trials: 64,
+            },
             ..Default::default()
         });
         let outcome = solver.solve(instance);
