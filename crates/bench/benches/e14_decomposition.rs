@@ -1,0 +1,165 @@
+//! E14 kernels: the Dantzig–Wolfe decomposition of the relaxation master
+//! and the dual-simplex warm-restart path.
+//!
+//! Two comparisons:
+//!
+//! * `lp_monolithic` vs `lp_dantzig_wolfe` — the E12 LP stage (the full
+//!   relaxation solve on a protocol-model scenario) under
+//!   `MasterMode::Monolithic` vs `MasterMode::DantzigWolfe`, at the E12
+//!   scalability shape `n = 200, k = 8` (plus a small size for trend).
+//!   Both modes are asserted to reach the same optimum before timing.
+//! * `reopt_dual` vs `reopt_cold` — re-solving a packing LP after a batch
+//!   of row additions: the dual simplex resuming from the previous optimal
+//!   basis ([`ssa_lp::reoptimize_after_row_additions`]) vs a cold re-solve
+//!   from scratch (the seed behavior whenever rows changed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssa_core::lp_formulation::{solve_relaxation, LpFormulationOptions};
+use ssa_core::MasterMode;
+use ssa_lp::{
+    reoptimize_after_row_additions, solve, solve_with_warm_start, LinearProgram, LpStatus,
+    Relation, Sense, SimplexOptions, WarmStart,
+};
+use ssa_workloads::{protocol_scenario, ScenarioConfig};
+use std::time::Duration;
+
+/// Bounded random packing LP (the master shape) used by the reoptimization
+/// micro-bench.
+fn random_packing_lp(seed: u64, cols: usize) -> LinearProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = (cols / 2).max(1);
+    let per_row = 8.min(cols);
+    let mut lp = LinearProgram::new(Sense::Maximize);
+    for _ in 0..cols {
+        lp.add_variable(rng.random_range(1.0..10.0));
+    }
+    for _ in 0..rows {
+        let mut coeffs = Vec::with_capacity(per_row);
+        for _ in 0..per_row {
+            coeffs.push((rng.random_range(0..cols), rng.random_range(0.1..3.0)));
+        }
+        lp.add_constraint(coeffs, Relation::Le, rng.random_range(2.0..15.0));
+    }
+    for j in 0..cols {
+        lp.add_constraint(vec![(j, 1.0)], Relation::Le, rng.random_range(0.5..4.0));
+    }
+    lp
+}
+
+/// The same LP with `extra` additional random coupling rows appended.
+fn with_extra_rows(lp: &LinearProgram, seed: u64, extra: usize) -> LinearProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = lp.num_variables();
+    let mut grown = lp.clone();
+    for _ in 0..extra {
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for _ in 0..8.min(n) {
+            coeffs.push((rng.random_range(0..n), rng.random_range(0.2..2.0)));
+        }
+        grown.add_constraint(coeffs, Relation::Le, rng.random_range(1.0..6.0));
+    }
+    grown
+}
+
+fn bench_e14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_decomposition");
+
+    // --- the E12 LP stage under both master modes -------------------------
+    for &(n, k) in &[(50usize, 8usize), (200, 8)] {
+        let generated = protocol_scenario(&ScenarioConfig::new(n, k, 4242), 1.0);
+        let instance = &generated.instance;
+        let monolithic_options = LpFormulationOptions::default();
+        let dw_options = LpFormulationOptions::default().with_master_mode(MasterMode::DantzigWolfe);
+
+        // equivalence gate before timing
+        let mono = solve_relaxation(instance, &monolithic_options);
+        let dw = solve_relaxation(instance, &dw_options);
+        assert!(mono.converged && dw.converged, "n{n}_k{k} must converge");
+        assert!(
+            (mono.objective - dw.objective).abs() < 1e-5 * (1.0 + mono.objective.abs()),
+            "n{n}_k{k}: monolithic {} vs dantzig-wolfe {}",
+            mono.objective,
+            dw.objective
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("lp_monolithic", format!("n{n}_k{k}")),
+            instance,
+            |b, inst| b.iter(|| solve_relaxation(inst, &monolithic_options)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lp_dantzig_wolfe", format!("n{n}_k{k}")),
+            instance,
+            |b, inst| b.iter(|| solve_relaxation(inst, &dw_options)),
+        );
+    }
+
+    // --- dual-simplex reoptimization after row additions ------------------
+    // Two regimes: a handful of added rows (the incremental-master shape the
+    // dual path is built for) and a deep 16-row batch (where the repair
+    // approaches the cost of a full re-solve — measured, not hidden).
+    for &(n, extra) in &[(200usize, 4usize), (800, 4), (800, 16)] {
+        let options = SimplexOptions::default();
+        let base = random_packing_lp(900 + n as u64, n);
+        let (first, state) = solve_with_warm_start(&base, &options, None);
+        assert_eq!(first.status, LpStatus::Optimal);
+        let grown = with_extra_rows(&base, 77, extra);
+
+        // equivalence gate: the dual path and a cold solve agree
+        let cold = solve(&grown, &options);
+        let re = reoptimize_after_row_additions(&grown, &options, clone_state(&state));
+        assert!(re.used_dual_path, "packing rows must take the dual path");
+        assert_eq!(re.solution.status, cold.status);
+        if cold.status == LpStatus::Optimal {
+            assert!(
+                (re.solution.objective - cold.objective).abs()
+                    < 1e-6 * (1.0 + cold.objective.abs()),
+                "n = {n}: dual {} vs cold {}",
+                re.solution.objective,
+                cold.objective
+            );
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("reopt_cold", format!("n{n}_rows{extra}")),
+            &grown,
+            |b, lp| b.iter(|| solve(lp, &options)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reopt_dual", format!("n{n}_rows{extra}")),
+            &(&grown, &state),
+            |b, (lp, state)| {
+                b.iter(|| reoptimize_after_row_additions(lp, &options, clone_state(state)))
+            },
+        );
+        // The criterion shim offers only `iter`, so `reopt_dual` pays one
+        // WarmStart deep clone (basis + factorization) per iteration that
+        // the cold baseline does not; this entry measures that clone alone
+        // so the dual-path numbers can be read net of it.
+        group.bench_with_input(
+            BenchmarkId::new("reopt_state_clone", format!("n{n}_rows{extra}")),
+            &state,
+            |b, state| b.iter(|| clone_state(state)),
+        );
+    }
+
+    group.finish();
+}
+
+/// The bench re-runs the reoptimization from the same prior state, so each
+/// iteration needs its own copy (the solver consumes the state by value).
+fn clone_state(state: &WarmStart) -> WarmStart {
+    state.clone()
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_e14 }
+criterion_main!(benches);

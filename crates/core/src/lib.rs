@@ -53,8 +53,9 @@ pub use lp_formulation::{
 };
 pub use solver::{AuctionOutcome, SolverOptions, SpectrumAuctionSolver};
 // The LP-engine selectors, re-exported so pipeline callers can pick an
-// engine without depending on the lp crate directly.
-pub use ssa_lp::{BasisKind, PricingRule};
+// engine (and a master decomposition mode) without depending on the lp
+// crate directly.
+pub use ssa_lp::{BasisKind, MasterMode, PricingRule};
 pub use valuation::{
     AdditiveValuation, BudgetedAdditiveValuation, SingleMindedValuation, SymmetricValuation,
     TabularValuation, UnitDemandValuation, Valuation, XorValuation,

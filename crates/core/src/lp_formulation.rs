@@ -25,8 +25,9 @@ use crate::channels::ChannelSet;
 use crate::instance::AuctionInstance;
 use serde::{Deserialize, Serialize};
 use ssa_lp::{
-    BasisKind, ColumnGeneration, ColumnSource, GeneratedColumn, LpStatus, MasterProblem,
-    PricingRule, Relation, Sense, SimplexOptions,
+    is_block_tag, BasisKind, ColumnGeneration, ColumnSource, DantzigWolfeError,
+    DantzigWolfeOptions, DecomposedLp, DwStats, GeneratedColumn, LinearProgram, LpStatus,
+    MasterMode, MasterProblem, PricingRule, Relation, Sense, SimplexOptions, Subproblem,
 };
 
 /// One non-zero variable `x_{v,T}` of the fractional solution.
@@ -50,10 +51,14 @@ pub struct RelaxationInfo {
     pub pricing: PricingRule,
     /// Basis factorization of the simplex engine.
     pub basis: BasisKind,
-    /// Pricing rounds of the column-generation loop (1 for the explicit
-    /// enumeration path).
+    /// How the master was solved (monolithic vs Dantzig–Wolfe).
+    pub mode: MasterMode,
+    /// Master pricing rounds — of the column-generation loop (1 for the
+    /// explicit enumeration path) or of the Dantzig–Wolfe loop.
     pub rounds: usize,
-    /// Columns in the final restricted master.
+    /// Bundle columns in the final restricted master (Dantzig–Wolfe's block
+    /// extreme-point columns are not counted — they are solver artifacts,
+    /// not assignments).
     pub num_columns: usize,
     /// Simplex pivots across every master re-solve.
     pub simplex_iterations: usize,
@@ -64,6 +69,12 @@ pub struct RelaxationInfo {
     pub refactorizations: usize,
     /// Degenerate pivots across every master re-solve.
     pub degenerate_pivots: usize,
+    /// Simplex pivots across the per-channel Dantzig–Wolfe pricing
+    /// subproblems (0 on the monolithic path).
+    pub subproblem_pivots: usize,
+    /// Dual-simplex reoptimization pivots spent absorbing row additions
+    /// into the master (0 unless rows were added mid-run).
+    pub dual_pivots: usize,
 }
 
 impl Default for RelaxationInfo {
@@ -72,12 +83,15 @@ impl Default for RelaxationInfo {
         RelaxationInfo {
             pricing: options.pricing,
             basis: options.basis,
+            mode: MasterMode::Monolithic,
             rounds: 0,
             num_columns: 0,
             simplex_iterations: 0,
             per_round_iterations: Vec::new(),
             refactorizations: 0,
             degenerate_pivots: 0,
+            subproblem_pivots: 0,
+            dual_pivots: 0,
         }
     }
 }
@@ -87,12 +101,31 @@ impl RelaxationInfo {
         RelaxationInfo {
             pricing: solution.stats.pricing,
             basis: solution.stats.basis,
+            mode: MasterMode::Monolithic,
             rounds,
             num_columns,
             simplex_iterations: solution.iterations,
             per_round_iterations: vec![solution.iterations],
             refactorizations: solution.stats.refactorizations,
             degenerate_pivots: solution.stats.degenerate_pivots,
+            subproblem_pivots: 0,
+            dual_pivots: solution.stats.dual_pivots,
+        }
+    }
+
+    fn from_dw(solution: &ssa_lp::LpSolution, stats: &DwStats, num_columns: usize) -> Self {
+        RelaxationInfo {
+            pricing: solution.stats.pricing,
+            basis: solution.stats.basis,
+            mode: MasterMode::DantzigWolfe,
+            rounds: stats.master_rounds,
+            num_columns,
+            simplex_iterations: stats.master_iterations,
+            per_round_iterations: stats.master_per_round.clone(),
+            refactorizations: stats.refactorizations,
+            degenerate_pivots: stats.degenerate_pivots,
+            subproblem_pivots: stats.subproblem_pivots,
+            dual_pivots: stats.dual_pivots,
         }
     }
 }
@@ -155,8 +188,11 @@ impl FractionalAssignment {
 #[derive(Clone, Debug)]
 pub struct LpFormulationOptions {
     /// Column-generation driver settings (master simplex options, round
-    /// limit, reduced-cost tolerance).
+    /// limit, reduced-cost tolerance) — shared by both master modes.
     pub column_generation: ColumnGeneration,
+    /// How the relaxation master is solved: one monolithic LP, or the
+    /// Dantzig–Wolfe decomposition with per-channel pricing subproblems.
+    pub master_mode: MasterMode,
     /// If `true`, skip column generation and enumerate **all** bundles with
     /// positive value as columns (exponential in `k`; only sensible for
     /// small `k`, used by tests as ground truth).
@@ -170,6 +206,7 @@ impl Default for LpFormulationOptions {
     fn default() -> Self {
         LpFormulationOptions {
             column_generation: ColumnGeneration::default(),
+            master_mode: MasterMode::Monolithic,
             enumerate_all_bundles: false,
             support_tolerance: 1e-9,
         }
@@ -181,6 +218,13 @@ impl LpFormulationOptions {
     /// for every master solve — the pipeline-level engine switch.
     pub fn with_engine(mut self, pricing: PricingRule, basis: BasisKind) -> Self {
         self.column_generation.simplex = self.column_generation.simplex.with_engine(pricing, basis);
+        self
+    }
+
+    /// Selects how the relaxation master is solved (monolithic vs
+    /// Dantzig–Wolfe) — the pipeline-level decomposition switch.
+    pub fn with_master_mode(mut self, mode: MasterMode) -> Self {
+        self.master_mode = mode;
         self
     }
 }
@@ -210,6 +254,41 @@ fn column_for(instance: &AuctionInstance, bidder: usize, bundle: ChannelSet) -> 
     }
 }
 
+/// Utility slack a demanded bundle must have over the bidder's dual `z_v`
+/// before it enters the master as a new column (shared by both master
+/// modes' oracles).
+const ORACLE_UTILITY_TOLERANCE: f64 = 1e-9;
+
+/// The demand-oracle pricing loop shared by the monolithic and
+/// Dantzig–Wolfe masters: for each bidder, derive its channel prices from
+/// the master duals (`prices_for` is the only step the two modes disagree
+/// on — the monolithic master sums neighborhood row duals, the decomposed
+/// master reads its usage-row duals directly), query the demand oracle,
+/// and emit a column when the bundle's utility beats the bidder's dual.
+fn demand_oracle_columns(
+    instance: &AuctionInstance,
+    duals: &[f64],
+    prices_for: impl Fn(usize) -> Vec<f64>,
+    column_of: impl Fn(usize, ChannelSet) -> GeneratedColumn,
+) -> Vec<GeneratedColumn> {
+    let k = instance.num_channels;
+    let n = instance.num_bidders();
+    let mut columns = Vec::new();
+    for bidder in 0..n {
+        let prices = prices_for(bidder);
+        let bundle = instance.bidders[bidder].demand(&prices);
+        if bundle.is_empty() {
+            continue;
+        }
+        let utility = instance.value(bidder, bundle) - bundle.total_price(&prices);
+        let z_v = duals[bidder_row(bidder, n, k)];
+        if utility > z_v + ORACLE_UTILITY_TOLERANCE {
+            columns.push(column_of(bidder, bundle));
+        }
+    }
+    columns
+}
+
 /// The demand-oracle pricing source for the column-generation loop.
 struct DemandOraclePricing<'a> {
     instance: &'a AuctionInstance,
@@ -219,30 +298,24 @@ impl<'a> ColumnSource for DemandOraclePricing<'a> {
     fn generate(&mut self, duals: &[f64]) -> Vec<GeneratedColumn> {
         let instance = self.instance;
         let k = instance.num_channels;
-        let n = instance.num_bidders();
-        let mut columns = Vec::new();
-        for bidder in 0..n {
-            // bidder-specific channel prices from the duals of the (v, j) rows
-            let prices: Vec<f64> = (0..k)
-                .map(|j| {
-                    instance
-                        .forward_rows(bidder, j)
-                        .into_iter()
-                        .map(|(v, w)| w * duals[row_of(v, j, k)])
-                        .sum()
-                })
-                .collect();
-            let bundle = instance.bidders[bidder].demand(&prices);
-            if bundle.is_empty() {
-                continue;
-            }
-            let utility = instance.value(bidder, bundle) - bundle.total_price(&prices);
-            let z_v = duals[bidder_row(bidder, n, k)];
-            if utility > z_v + 1e-9 {
-                columns.push(column_for(instance, bidder, bundle));
-            }
-        }
-        columns
+        demand_oracle_columns(
+            instance,
+            duals,
+            // bidder-specific channel prices from the duals of the (v, j)
+            // rows of the monolithic master
+            |bidder| {
+                (0..k)
+                    .map(|j| {
+                        instance
+                            .forward_rows(bidder, j)
+                            .into_iter()
+                            .map(|(v, w)| w * duals[row_of(v, j, k)])
+                            .sum()
+                    })
+                    .collect()
+            },
+            |bidder, bundle| column_for(instance, bidder, bundle),
+        )
     }
 }
 
@@ -273,6 +346,9 @@ pub fn solve_relaxation(
         instance.num_channels <= 32,
         "the LP formulation packs bundles into 32-bit column tags (k ≤ 32)"
     );
+    if options.master_mode == MasterMode::DantzigWolfe {
+        return solve_relaxation_dw(instance, options);
+    }
     let mut master = MasterProblem::new(Sense::Maximize, master_rows(instance));
 
     if options.enumerate_all_bundles {
@@ -323,12 +399,15 @@ pub fn solve_relaxation(
     let info = RelaxationInfo {
         pricing: result.solution.stats.pricing,
         basis: result.solution.stats.basis,
+        mode: MasterMode::Monolithic,
         rounds: result.rounds,
         num_columns: master.num_columns(),
         simplex_iterations: result.simplex_iterations,
         per_round_iterations: result.per_round_iterations.clone(),
         refactorizations: result.refactorizations,
         degenerate_pivots: result.degenerate_pivots,
+        subproblem_pivots: 0,
+        dual_pivots: result.dual_pivots,
     };
     extract(
         instance,
@@ -352,6 +431,11 @@ fn extract(
     let mut objective = 0.0;
     if solution.status == LpStatus::Optimal || solution.status == LpStatus::IterationLimit {
         for (idx, col) in master.columns().iter().enumerate() {
+            if is_block_tag(col.tag) {
+                // Dantzig–Wolfe extreme-point columns are solver-internal:
+                // they certify channel feasibility but assign nothing.
+                continue;
+            }
             let x = solution.x.get(idx).copied().unwrap_or(0.0);
             if x > support_tolerance {
                 let bidder = (col.tag >> 32) as usize;
@@ -372,9 +456,176 @@ fn extract(
         objective,
         converged,
         rounds: info.rounds,
-        num_columns: master.num_columns(),
+        num_columns: info.num_columns,
         info,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Dantzig–Wolfe decomposed relaxation
+// ---------------------------------------------------------------------------
+
+/// The bundle column of `(bidder, bundle)` in the **decomposed** master,
+/// whose interference side consists of per-bidder channel-usage rows: the
+/// column simply marks its own usage (`+1` on row `(bidder, j)` for every
+/// `j ∈ bundle`) — much sparser than the monolithic column, which spreads
+/// the conflict-weighted load over every backward neighbor's row.
+fn dw_column_for(instance: &AuctionInstance, bidder: usize, bundle: ChannelSet) -> GeneratedColumn {
+    let k = instance.num_channels;
+    let n = instance.num_bidders();
+    let mut coeffs: Vec<(usize, f64)> =
+        bundle.iter().map(|j| (row_of(bidder, j, k), 1.0)).collect();
+    coeffs.push((bidder_row(bidder, n, k), 1.0));
+    GeneratedColumn {
+        objective: instance.value(bidder, bundle),
+        coeffs,
+        tag: ((bidder as u64) << 32) | bundle.bits(),
+    }
+}
+
+/// Channel `j`'s pricing subproblem: the fractional interference polytope
+/// `P_j = { y ∈ [0, 1]^n : Σ_{u ∈ Γπ(v)} w̄(u, v) · y_u ≤ ρ  ∀v }` over the
+/// per-bidder channel-`j` allocations, linked to the master's usage rows
+/// `(u, j)` with coefficient −1 (a master column of this block *supplies*
+/// usage capacity). `P_j` is down-closed with `0 ∈ P_j`, which is exactly
+/// what makes the decomposition reach the monolithic optimum: demanding the
+/// usage vector to be dominated by a convex combination of points of `P_j`
+/// is the same as demanding it to lie in `P_j`.
+fn channel_block(instance: &AuctionInstance, j: usize) -> Subproblem {
+    let n = instance.num_bidders();
+    let k = instance.num_channels;
+    let mut local = LinearProgram::new(Sense::Maximize);
+    for _ in 0..n {
+        local.add_variable(0.0);
+    }
+    let mut interference: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for u in 0..n {
+        for (v, w) in instance.forward_rows(u, j) {
+            interference[v].push((u, w));
+        }
+    }
+    for coeffs in interference {
+        if !coeffs.is_empty() {
+            local.add_constraint(coeffs, Relation::Le, instance.rho);
+        }
+    }
+    for u in 0..n {
+        local.add_constraint(vec![(u, 1.0)], Relation::Le, 1.0);
+    }
+    let linking = (0..n).map(|u| vec![(row_of(u, j, k), -1.0)]).collect();
+    Subproblem::new(local, linking)
+}
+
+/// The demand-oracle pricing source against the decomposed master's duals:
+/// bidder `u`'s price for channel `j` is simply the dual of its usage row
+/// `(u, j)` (the decomposition already aggregated the neighborhood sums the
+/// monolithic oracle computes by hand).
+struct DwDemandOraclePricing<'a> {
+    instance: &'a AuctionInstance,
+}
+
+impl ColumnSource for DwDemandOraclePricing<'_> {
+    fn generate(&mut self, duals: &[f64]) -> Vec<GeneratedColumn> {
+        let instance = self.instance;
+        let k = instance.num_channels;
+        demand_oracle_columns(
+            instance,
+            duals,
+            |bidder| (0..k).map(|j| duals[row_of(bidder, j, k)]).collect(),
+            |bidder, bundle| dw_column_for(instance, bidder, bundle),
+        )
+    }
+}
+
+/// Solves the relaxation through the Dantzig–Wolfe decomposition: a master
+/// over per-bidder usage rows (`Σ_{T ∋ j} x_{v,T} ≤` channel-`j` supply) and
+/// bidder rows, with the `k` channel polytopes priced as independent
+/// subproblems in parallel. Reaches the same optimum as the monolithic
+/// master (see [`channel_block`] for why), with the LP work split into a
+/// small coordinating master plus `k` per-channel LPs that warm-start
+/// across rounds.
+fn solve_relaxation_dw(
+    instance: &AuctionInstance,
+    options: &LpFormulationOptions,
+) -> FractionalAssignment {
+    let n = instance.num_bidders();
+    let k = instance.num_channels;
+    let mut coupling: Vec<(Relation, f64)> = Vec::with_capacity(n * k + n);
+    for _ in 0..n * k {
+        // usage row (v, j): Σ_{T ∋ j} x_{v,T} − (channel-j supply) ≤ 0
+        coupling.push((Relation::Le, 0.0));
+    }
+    for _ in 0..n {
+        coupling.push((Relation::Le, 1.0));
+    }
+    let blocks: Vec<Subproblem> = (0..k).map(|j| channel_block(instance, j)).collect();
+    let mut dw = DecomposedLp::new(coupling, blocks);
+
+    let dw_options = DantzigWolfeOptions {
+        master_simplex: options.column_generation.simplex,
+        subproblem_simplex: options.column_generation.simplex,
+        max_rounds: options.column_generation.max_rounds,
+        tolerance: options.column_generation.reduced_cost_tolerance,
+    };
+
+    if options.enumerate_all_bundles {
+        for bidder in 0..n {
+            for bundle in ChannelSet::all_bundles(k) {
+                if !bundle.is_empty() && instance.value(bidder, bundle) > 0.0 {
+                    dw.add_native_column(dw_column_for(instance, bidder, bundle));
+                }
+            }
+        }
+    } else {
+        // Seed with each bidder's favorite bundle so the first duals are
+        // meaningful (mirrors the monolithic path).
+        let zero_prices = vec![0.0; k];
+        for bidder in 0..n {
+            let bundle = instance.bidders[bidder].demand(&zero_prices);
+            if !bundle.is_empty() && instance.value(bidder, bundle) > 0.0 {
+                dw.add_native_column(dw_column_for(instance, bidder, bundle));
+            }
+        }
+    }
+
+    // Prime each channel block with its maximal fractional allocation (the
+    // extreme point at unit usage prices): the first master solve then has
+    // supply columns to pivot against instead of discovering the channel
+    // polytopes through several expensive near-cold re-solves.
+    let mut priming_duals = vec![0.0f64; n * k + n + k];
+    for d in priming_duals.iter_mut().take(n * k) {
+        *d = 1.0;
+    }
+    dw.prime_blocks(&priming_duals, &dw_options);
+
+    let mut no_oracle = |_: &[f64]| Vec::new();
+    let mut oracle = DwDemandOraclePricing { instance };
+    let source: &mut dyn ColumnSource = if options.enumerate_all_bundles {
+        &mut no_oracle
+    } else {
+        &mut oracle
+    };
+    let (solution, converged, stats) = match dw.solve(source, &dw_options) {
+        Ok(result) => (result.solution, result.converged, result.stats),
+        // Same graceful degradation as the monolithic path: the partial
+        // solution is used but marked non-converged.
+        Err(DantzigWolfeError::MasterIterationLimit { partial, stats }) => (*partial, false, stats),
+    };
+    let native_columns = dw
+        .master()
+        .columns()
+        .iter()
+        .filter(|c| !is_block_tag(c.tag))
+        .count();
+    let info = RelaxationInfo::from_dw(&solution, &stats, native_columns);
+    extract(
+        instance,
+        dw.master(),
+        solution,
+        converged,
+        info,
+        options.support_tolerance,
+    )
 }
 
 /// Convenience: solve the relaxation with exhaustive bundle enumeration
@@ -390,6 +641,12 @@ pub fn solve_relaxation_explicit(instance: &AuctionInstance) -> FractionalAssign
 /// Convenience: default column-generation solve.
 pub fn solve_relaxation_oracle(instance: &AuctionInstance) -> FractionalAssignment {
     solve_relaxation(instance, &LpFormulationOptions::default())
+}
+
+/// Convenience: Dantzig–Wolfe decomposed solve with default engine options.
+pub fn solve_relaxation_decomposed(instance: &AuctionInstance) -> FractionalAssignment {
+    let options = LpFormulationOptions::default().with_master_mode(MasterMode::DantzigWolfe);
+    solve_relaxation(instance, &options)
 }
 
 /// Returns simplex options tuned for larger masters (looser tolerance, more
@@ -449,6 +706,105 @@ mod tests {
             frac.objective
         );
         assert!(frac.satisfies_constraints(&inst, 1e-7));
+    }
+
+    /// Mixed-valuation path instance shared by the Dantzig–Wolfe
+    /// equivalence tests.
+    fn dw_test_instance() -> AuctionInstance {
+        let g = ConflictGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 2)]);
+        let bidders: Vec<Arc<dyn Valuation>> = vec![
+            xor_bidder(3, vec![(vec![0], 3.0), (vec![0, 1], 5.0)]),
+            Arc::new(AdditiveValuation::new(vec![2.0, 2.5, 1.0])),
+            xor_bidder(3, vec![(vec![1], 4.0), (vec![2], 2.0)]),
+            Arc::new(TabularValuation::new(
+                3,
+                vec![
+                    (ChannelSet::from_channels([0]), 1.5),
+                    (ChannelSet::from_channels([0, 2]), 6.0),
+                ],
+            )),
+            xor_bidder(3, vec![(vec![0, 1, 2], 7.0)]),
+        ];
+        AuctionInstance::new(
+            3,
+            bidders,
+            ConflictStructure::Binary(g),
+            VertexOrdering::identity(5),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn dantzig_wolfe_reaches_the_monolithic_optimum() {
+        let inst = dw_test_instance();
+        let monolithic = solve_relaxation_oracle(&inst);
+        let dw = solve_relaxation_decomposed(&inst);
+        assert!(monolithic.converged);
+        assert!(dw.converged);
+        assert!(
+            (dw.objective - monolithic.objective).abs() < 1e-5 * (1.0 + monolithic.objective),
+            "dw {} vs monolithic {}",
+            dw.objective,
+            monolithic.objective
+        );
+        assert!(dw.satisfies_constraints(&inst, 1e-6));
+        assert_eq!(dw.info.mode, MasterMode::DantzigWolfe);
+        assert_eq!(monolithic.info.mode, MasterMode::Monolithic);
+        assert!(dw.info.subproblem_pivots > 0, "blocks must have priced");
+        assert_eq!(
+            dw.info.per_round_iterations.iter().sum::<usize>(),
+            dw.info.simplex_iterations
+        );
+    }
+
+    #[test]
+    fn dantzig_wolfe_matches_explicit_enumeration() {
+        let inst = dw_test_instance();
+        let explicit = solve_relaxation_explicit(&inst);
+        let options = LpFormulationOptions {
+            enumerate_all_bundles: true,
+            ..Default::default()
+        }
+        .with_master_mode(MasterMode::DantzigWolfe);
+        let dw = solve_relaxation(&inst, &options);
+        assert!(
+            (dw.objective - explicit.objective).abs() < 1e-5 * (1.0 + explicit.objective),
+            "dw-explicit {} vs explicit {}",
+            dw.objective,
+            explicit.objective
+        );
+        assert!(dw.satisfies_constraints(&inst, 1e-6));
+    }
+
+    #[test]
+    fn dantzig_wolfe_agrees_on_weighted_conflicts() {
+        let mut g = WeightedConflictGraph::new(3);
+        g.set_weight(0, 1, 0.6);
+        g.set_weight(1, 0, 0.6);
+        g.set_weight(1, 2, 0.5);
+        g.set_weight(2, 1, 0.5);
+        let bidders = vec![
+            xor_bidder(2, vec![(vec![0], 2.0), (vec![0, 1], 3.0)]),
+            xor_bidder(2, vec![(vec![0], 1.5), (vec![1], 2.5)]),
+            xor_bidder(2, vec![(vec![1], 2.0)]),
+        ];
+        let inst = AuctionInstance::new(
+            2,
+            bidders,
+            ConflictStructure::Weighted(g),
+            VertexOrdering::identity(3),
+            1.0,
+        );
+        let monolithic = solve_relaxation_oracle(&inst);
+        let dw = solve_relaxation_decomposed(&inst);
+        assert!(dw.converged);
+        assert!(
+            (dw.objective - monolithic.objective).abs() < 1e-5 * (1.0 + monolithic.objective),
+            "dw {} vs monolithic {}",
+            dw.objective,
+            monolithic.objective
+        );
+        assert!(dw.satisfies_constraints(&inst, 1e-6));
     }
 
     #[test]

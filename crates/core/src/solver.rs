@@ -22,7 +22,7 @@ use crate::lp_formulation::{
 };
 use crate::rounding::{round_binary, round_weighted_partial, RoundingOptions, RoundingStats};
 use serde::{Deserialize, Serialize};
-use ssa_lp::{BasisKind, PricingRule};
+use ssa_lp::{BasisKind, MasterMode, PricingRule};
 
 /// Options of the end-to-end solver.
 #[derive(Clone, Debug, Default)]
@@ -38,6 +38,13 @@ impl SolverOptions {
     /// pipeline level; forwarded down to every simplex solve.
     pub fn with_engine(mut self, pricing: PricingRule, basis: BasisKind) -> Self {
         self.lp = self.lp.with_engine(pricing, basis);
+        self
+    }
+
+    /// Selects how the relaxation master is solved (monolithic vs
+    /// Dantzig–Wolfe decomposition) at the pipeline level.
+    pub fn with_master_mode(mut self, mode: MasterMode) -> Self {
+        self.lp = self.lp.with_master_mode(mode);
         self
     }
 }

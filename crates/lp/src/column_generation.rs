@@ -28,6 +28,7 @@
 //! master is a covering LP and whose pricing oracle is the approximation
 //! algorithm itself.
 
+use crate::dual;
 use crate::problem::{LinearProgram, Relation, Sense};
 use crate::simplex::{
     solve, solve_with_warm_start, LpSolution, LpStatus, SimplexOptions, WarmStart,
@@ -95,6 +96,14 @@ pub struct MasterProblem {
     /// fixed and columns only ever get appended (entering nonbasic), so the
     /// previous optimal basis remains valid across re-solves.
     warm: Option<WarmStart>,
+    /// Rows appended by [`MasterProblem::add_row`] since the last solve.
+    /// While non-zero, the recorded basis covers only a row prefix and the
+    /// next [`MasterProblem::solve_warm`] goes through the dual-simplex
+    /// reoptimization path instead of the (row-invariant) primal resume.
+    pending_rows: usize,
+    /// Dual-simplex pivots spent by the most recent solve (0 on the primal
+    /// path).
+    last_dual_pivots: usize,
 }
 
 impl MasterProblem {
@@ -111,6 +120,8 @@ impl MasterProblem {
             seen_tags: std::collections::HashSet::new(),
             lp,
             warm: None,
+            pending_rows: 0,
+            last_dual_pivots: 0,
         }
     }
 
@@ -157,6 +168,35 @@ impl MasterProblem {
         true
     }
 
+    /// Appends a constraint row (e.g. a newly discovered conflict, or the
+    /// rows of a bidder joining mid-auction). `coeffs` gives the new row's
+    /// coefficients on **existing columns** by column index; columns added
+    /// later receive their coefficient through
+    /// [`GeneratedColumn::coeffs`] as usual.
+    ///
+    /// The recorded warm-start basis stays valid as a *row prefix*: the next
+    /// [`solve_warm`](Self::solve_warm) extends it with the new rows'
+    /// logicals and reoptimizes with the **dual simplex**
+    /// ([`crate::dual`]) instead of re-solving from scratch. Returns the new
+    /// row's index.
+    pub fn add_row(&mut self, relation: Relation, rhs: f64, coeffs: Vec<(usize, f64)>) -> usize {
+        for &(c, _) in &coeffs {
+            assert!(c < self.columns.len(), "row references unknown column {c}");
+        }
+        // column index == variable index by construction
+        let row = self.lp.add_constraint(coeffs, relation, rhs);
+        self.rows.push((relation, rhs));
+        self.pending_rows += 1;
+        row
+    }
+
+    /// Dual-simplex pivots spent by the most recent
+    /// [`solve_warm`](Self::solve_warm) (non-zero only right after rows were
+    /// added through [`add_row`](Self::add_row)).
+    pub fn last_dual_pivots(&self) -> usize {
+        self.last_dual_pivots
+    }
+
     /// The restricted master as a [`LinearProgram`] (a clone of the
     /// incrementally maintained program).
     pub fn to_linear_program(&self) -> LinearProgram {
@@ -175,8 +215,20 @@ impl MasterProblem {
     /// the new columns in — instead of re-running phase 1 / the all-slack
     /// start from scratch.
     pub fn solve_warm(&mut self, options: &SimplexOptions) -> LpSolution {
+        if self.pending_rows > 0 {
+            self.pending_rows = 0;
+            if let Some(prior) = self.warm.take() {
+                // rows grew since the basis was recorded: repair primal
+                // feasibility with the dual simplex instead of cold-starting
+                let re = dual::reoptimize_after_row_additions(&self.lp, options, prior);
+                self.warm = Some(re.warm);
+                self.last_dual_pivots = re.solution.stats.dual_pivots;
+                return re.solution;
+            }
+        }
         let (solution, state) = solve_with_warm_start(&self.lp, options, self.warm.take());
         self.warm = Some(state);
+        self.last_dual_pivots = 0;
         solution
     }
 
@@ -221,6 +273,10 @@ pub struct ColumnGenerationResult {
     pub refactorizations: usize,
     /// Degenerate pivots across every master re-solve.
     pub degenerate_pivots: usize,
+    /// Dual-simplex reoptimization pivots across every master re-solve
+    /// (non-zero only when rows were added mid-run via
+    /// [`MasterProblem::add_row`]).
+    pub dual_pivots: usize,
 }
 
 impl ColumnGenerationResult {
@@ -235,6 +291,7 @@ impl ColumnGenerationResult {
             per_round_iterations: vec![iters],
             refactorizations: stats.refactorizations,
             degenerate_pivots: stats.degenerate_pivots,
+            dual_pivots: stats.dual_pivots,
         }
     }
 
@@ -243,6 +300,7 @@ impl ColumnGenerationResult {
         self.per_round_iterations.push(solution.iterations);
         self.refactorizations += solution.stats.refactorizations;
         self.degenerate_pivots += solution.stats.degenerate_pivots;
+        self.dual_pivots += solution.stats.dual_pivots;
     }
 }
 
@@ -820,6 +878,55 @@ mod tests {
                 cold_solution.objective
             );
         }
+    }
+
+    /// Rows added through `add_row` must be absorbed by the dual-simplex
+    /// path on the next warm solve — matching a cold solve of the grown
+    /// master exactly, and reporting the repair pivots.
+    #[test]
+    fn row_additions_reoptimize_through_the_dual_simplex() {
+        let mut master = MasterProblem::new(
+            Sense::Maximize,
+            vec![
+                (Relation::Le, 4.0),
+                (Relation::Le, 1.0),
+                (Relation::Le, 1.0),
+            ],
+        );
+        for i in 0..2 {
+            master.add_column(GeneratedColumn {
+                objective: 3.0 - i as f64,
+                coeffs: vec![(0, 1.0), (i + 1, 1.0)],
+                tag: i as u64,
+            });
+        }
+        let options = SimplexOptions::default();
+        let first = master.solve_warm(&options);
+        assert_eq!(first.status, LpStatus::Optimal);
+        assert!((first.objective - 5.0).abs() < 1e-7); // both columns at 1
+        assert_eq!(master.last_dual_pivots(), 0);
+
+        // a joint cap that cuts the optimum off
+        master.add_row(Relation::Le, 1.0, vec![(0, 1.0), (1, 1.0)]);
+        let second = master.solve_warm(&options);
+        assert_eq!(second.status, LpStatus::Optimal);
+        assert!((second.objective - 3.0).abs() < 1e-7); // only column 0
+        assert!(master.last_dual_pivots() > 0, "dual repair must have run");
+
+        // a cold solve of the same grown master agrees
+        let cold = master.solve(&options);
+        assert!((cold.objective - second.objective).abs() < 1e-9);
+
+        // and the master keeps working for further column growth
+        master.add_column(GeneratedColumn {
+            objective: 10.0,
+            coeffs: vec![(0, 1.0)],
+            tag: 99,
+        });
+        let third = master.solve_warm(&options);
+        assert_eq!(third.status, LpStatus::Optimal);
+        assert!(third.objective > 3.0);
+        assert_eq!(master.last_dual_pivots(), 0);
     }
 
     #[test]

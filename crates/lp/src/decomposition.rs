@@ -1,0 +1,743 @@
+//! **Dantzig–Wolfe decomposition**: a restricted master over block
+//! extreme-point columns, with one pricing subproblem per block.
+//!
+//! A block-angular LP couples a set of **native variables** (priced by an
+//! external [`ColumnSource`], e.g. the auction's demand oracle) and `k`
+//! **blocks** — each a bounded packing polytope `P_b` over its own local
+//! variables, mapped into the coupling rows by a linear *linking* map. The
+//! decomposition keeps only the coupling rows in the master and represents
+//! each block's contribution as a convex combination of extreme points of
+//! `P_b`:
+//!
+//! * the master holds the coupling rows plus one **convexity row**
+//!   `Σ_e λ_{b,e} ≤ 1` per block (the `≤` form is exact because every block
+//!   polytope is required to contain the origin and be bounded — packing
+//!   blocks always do — so `{Σ λ_e V_e : Σ λ_e ≤ 1} = conv(P_b ∪ {0}) =
+//!   P_b`),
+//! * each pricing round solves the `k` **subproblems** `max (c_b − πᵀA_b)·y`
+//!   over `y ∈ P_b` — independent LPs, run **in parallel** through the
+//!   rayon shim, each warm-started from its own previous basis (only the
+//!   objective changes between rounds, so the old basis and factorization
+//!   are reused verbatim),
+//! * a block whose subproblem value exceeds its convexity dual `σ_b` prices
+//!   out and contributes a new master column `(A_b V, 1)` with objective
+//!   `c_b·V`; the loop ends when no block prices out and the native source
+//!   is exhausted — the master optimum then equals the optimum of the full
+//!   block-angular LP.
+//!
+//! Master re-solves are warm-started through [`MasterProblem`]; coupling
+//! rows added mid-run ([`DecomposedLp::add_coupling_row`]) are absorbed by
+//! the **dual simplex** ([`crate::dual`]) instead of a cold restart. In the
+//! auction pipeline ([`MasterMode::DantzigWolfe`] threaded through the
+//! core crate) the blocks are the `k` channels: block `j`'s polytope is the
+//! channel-`j` fractional interference polytope, the native columns are the
+//! bidder bundle columns, and the coupling rows tie per-bidder channel
+//! usage to the channel allocations the blocks propose.
+
+use crate::column_generation::{ColumnSource, GeneratedColumn, MasterProblem};
+use crate::problem::{LinearProgram, Relation, Sense};
+use crate::simplex::{solve_with_warm_start, LpSolution, LpStatus, SimplexOptions, WarmStart};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a multi-channel relaxation master is solved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MasterMode {
+    /// One monolithic master LP over all rows (the PR 1/2 path).
+    Monolithic,
+    /// Dantzig–Wolfe: coupling-row master + per-channel pricing subproblems.
+    DantzigWolfe,
+}
+
+impl MasterMode {
+    /// Short stable name used in bench labels and stats tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MasterMode::Monolithic => "monolithic",
+            MasterMode::DantzigWolfe => "dantzig-wolfe",
+        }
+    }
+}
+
+/// Tags at or above this value mark block (extreme-point) columns; native
+/// columns must stay below it. The auction's bundle tags
+/// (`bidder << 32 | bundle`) always do.
+pub const BLOCK_COLUMN_TAG_BASE: u64 = 1 << 63;
+
+/// Whether a master column tag belongs to a block extreme point (as opposed
+/// to a native column added by the caller's [`ColumnSource`]).
+pub fn is_block_tag(tag: u64) -> bool {
+    tag >= BLOCK_COLUMN_TAG_BASE
+}
+
+/// Options of the Dantzig–Wolfe loop.
+#[derive(Clone, Debug)]
+pub struct DantzigWolfeOptions {
+    /// Engine for the restricted master re-solves.
+    pub master_simplex: SimplexOptions,
+    /// Engine for the block subproblems.
+    pub subproblem_simplex: SimplexOptions,
+    /// Maximum number of master pricing rounds.
+    pub max_rounds: usize,
+    /// Reduced-cost tolerance for both block and native columns.
+    pub tolerance: f64,
+}
+
+impl Default for DantzigWolfeOptions {
+    fn default() -> Self {
+        DantzigWolfeOptions {
+            master_simplex: SimplexOptions::default(),
+            subproblem_simplex: SimplexOptions::default(),
+            max_rounds: 400,
+            tolerance: 1e-7,
+        }
+    }
+}
+
+/// One block: a bounded local polytope (an LP whose objective is rewritten
+/// every pricing round) plus the linking map into the master's coupling
+/// rows.
+#[derive(Clone, Debug)]
+pub struct Subproblem {
+    /// Local rows over local variables; the objective holds the *priced*
+    /// costs during a round.
+    lp: LinearProgram,
+    /// Master-objective contribution per local variable (`c_b`).
+    base_objective: Vec<f64>,
+    /// Per local variable: its coefficients on master coupling rows
+    /// (`A_b` column-wise).
+    linking: Vec<Vec<(usize, f64)>>,
+    /// Warm-start state across pricing rounds (rows and columns of the
+    /// subproblem never change — only its objective — so the previous
+    /// optimal basis *and* factorization are reused as-is).
+    warm: Option<WarmStart>,
+    /// Total simplex pivots across this block's pricing solves.
+    pivots: usize,
+}
+
+impl Subproblem {
+    /// Wraps a local LP (its current objective is taken as the block's
+    /// master-objective contribution `c_b`) and the linking map `A_b`.
+    ///
+    /// The local polytope must be **bounded** and contain the **origin**
+    /// (both automatic for packing rows with non-negative right-hand sides
+    /// plus per-variable upper bounds) — that is what makes the `≤ 1`
+    /// convexity row an exact representation.
+    ///
+    /// # Panics
+    /// Panics when `linking` does not have one entry per local variable or
+    /// the local LP is not a maximization.
+    pub fn new(local: LinearProgram, linking: Vec<Vec<(usize, f64)>>) -> Self {
+        assert_eq!(
+            linking.len(),
+            local.num_variables(),
+            "one linking column per local variable"
+        );
+        assert_eq!(
+            local.sense(),
+            Sense::Maximize,
+            "block subproblems price in maximization form"
+        );
+        let base_objective = local.objective().to_vec();
+        Subproblem {
+            lp: local,
+            base_objective,
+            linking,
+            warm: None,
+            pivots: 0,
+        }
+    }
+
+    /// Number of local variables.
+    pub fn num_variables(&self) -> usize {
+        self.lp.num_variables()
+    }
+
+    /// Solves `max (c_b − πᵀA_b)·y` over the local polytope at the given
+    /// master duals, warm-started from the previous round's basis.
+    fn price(&mut self, duals: &[f64], options: &SimplexOptions) -> LpSolution {
+        for v in 0..self.lp.num_variables() {
+            let mut c = self.base_objective[v];
+            for &(r, a) in &self.linking[v] {
+                c -= duals[r] * a;
+            }
+            self.lp.set_objective_coefficient(v, c);
+        }
+        let (solution, state) = solve_with_warm_start(&self.lp, options, self.warm.take());
+        self.warm = Some(state);
+        self.pivots += solution.iterations;
+        solution
+    }
+}
+
+/// Statistics of a Dantzig–Wolfe solve — the decomposition-level view that
+/// the core crate surfaces as part of `RelaxationInfo`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DwStats {
+    /// Master re-solves (pricing rounds).
+    pub master_rounds: usize,
+    /// Simplex pivots across every master re-solve.
+    pub master_iterations: usize,
+    /// Pivots of each master re-solve in order (the warm-start win is the
+    /// drop after round 0).
+    pub master_per_round: Vec<usize>,
+    /// Simplex pivots across every block subproblem solve.
+    pub subproblem_pivots: usize,
+    /// Dual-simplex reoptimization pivots in the master (row additions).
+    pub dual_pivots: usize,
+    /// Basis refactorizations across master re-solves.
+    pub refactorizations: usize,
+    /// Degenerate pivots across master re-solves.
+    pub degenerate_pivots: usize,
+    /// Block extreme-point columns adopted by the master.
+    pub columns_from_blocks: usize,
+    /// Native columns adopted from the external source.
+    pub columns_from_source: usize,
+    /// Subproblem solves that did not reach proven optimality (counted, not
+    /// fatal: the block simply proposes nothing that round).
+    pub block_failures: usize,
+}
+
+/// Result of a Dantzig–Wolfe solve.
+#[derive(Clone, Debug)]
+pub struct DwSolution {
+    /// Solution of the final restricted master. `x` is indexed by master
+    /// column; use [`DecomposedLp::master`] and [`is_block_tag`] to separate
+    /// native from block columns, and [`DecomposedLp::block_solution`] to
+    /// recover a block's local variable values.
+    pub solution: LpSolution,
+    /// Whether the loop stopped because nothing priced out (`true`) or the
+    /// round limit was hit.
+    pub converged: bool,
+    /// Decomposition statistics.
+    pub stats: DwStats,
+}
+
+/// Error of a Dantzig–Wolfe solve.
+#[derive(Clone, Debug)]
+pub enum DantzigWolfeError {
+    /// A master re-solve exhausted its pivot budget; the partial (feasible
+    /// but non-optimal) state is attached.
+    MasterIterationLimit {
+        /// The interrupted master solution.
+        partial: Box<LpSolution>,
+        /// Statistics up to (and including) the interrupted solve.
+        stats: DwStats,
+    },
+}
+
+impl std::fmt::Display for DantzigWolfeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DantzigWolfeError::MasterIterationLimit { partial, stats } => write!(
+                f,
+                "Dantzig–Wolfe master hit the simplex iteration limit after {} rounds \
+                 ({} pivots in the interrupted solve)",
+                stats.master_rounds, partial.iterations
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DantzigWolfeError {}
+
+/// A block-angular LP being solved by Dantzig–Wolfe decomposition.
+#[derive(Clone, Debug)]
+pub struct DecomposedLp {
+    master: MasterProblem,
+    blocks: Vec<Subproblem>,
+    /// Number of coupling rows; the convexity rows follow at
+    /// `coupling..coupling + blocks.len()`.
+    coupling: usize,
+    /// Extreme points behind block columns, keyed by column tag.
+    block_points: HashMap<u64, (usize, Vec<f64>)>,
+    next_block_tag: u64,
+    /// Subproblem pivots spent by [`DecomposedLp::prime_blocks`] since the
+    /// last solve — folded into the next solve's stats so priming work is
+    /// attributed, not hidden.
+    pending_subproblem_pivots: usize,
+}
+
+impl DecomposedLp {
+    /// Creates the decomposition: a maximization master over the given
+    /// coupling rows, one convexity row (`≤ 1`) per block appended after
+    /// them.
+    pub fn new(coupling_rows: Vec<(Relation, f64)>, blocks: Vec<Subproblem>) -> Self {
+        let coupling = coupling_rows.len();
+        let mut rows = coupling_rows;
+        for _ in 0..blocks.len() {
+            rows.push((Relation::Le, 1.0));
+        }
+        DecomposedLp {
+            master: MasterProblem::new(Sense::Maximize, rows),
+            blocks,
+            coupling,
+            block_points: HashMap::new(),
+            next_block_tag: BLOCK_COLUMN_TAG_BASE,
+            pending_subproblem_pivots: 0,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of coupling rows (convexity rows are not included).
+    pub fn num_coupling_rows(&self) -> usize {
+        self.coupling
+    }
+
+    /// Master row index of block `b`'s convexity row.
+    pub fn convexity_row(&self, b: usize) -> usize {
+        self.coupling + b
+    }
+
+    /// The restricted master (columns in insertion order; native and block
+    /// columns distinguishable by [`is_block_tag`]).
+    pub fn master(&self) -> &MasterProblem {
+        &self.master
+    }
+
+    /// Adds a **native** column (coefficients on coupling rows only).
+    ///
+    /// # Panics
+    /// Panics when the column references a convexity row or carries a block
+    /// tag.
+    pub fn add_native_column(&mut self, column: GeneratedColumn) -> bool {
+        assert!(
+            !is_block_tag(column.tag),
+            "native tags must stay below BLOCK_COLUMN_TAG_BASE"
+        );
+        for &(r, _) in &column.coeffs {
+            assert!(r < self.coupling, "native columns live on coupling rows");
+        }
+        self.master.add_column(column)
+    }
+
+    /// Appends a coupling row mid-run (a new bidder, a new conflict
+    /// constraint). `coeffs` are the row's coefficients on **existing
+    /// master columns** by column index — including block columns, whose
+    /// coefficient is the row's value at their extreme point. The next
+    /// master solve reoptimizes through the dual simplex.
+    ///
+    /// Note the new row is *not* retroactively added to the blocks' linking
+    /// maps: it constrains the columns generated so far, and any future
+    /// column that should feel it must carry its own coefficient. The row is
+    /// appended **after** the convexity rows — address it by the returned
+    /// index, not by `num_coupling_rows`.
+    pub fn add_coupling_row(
+        &mut self,
+        relation: Relation,
+        rhs: f64,
+        coeffs: Vec<(usize, f64)>,
+    ) -> usize {
+        self.master.add_row(relation, rhs, coeffs)
+    }
+
+    /// Builds the master column for block `b`'s extreme point `x` and
+    /// registers the point for later reconstruction.
+    fn block_column(&mut self, b: usize, x: &[f64]) -> GeneratedColumn {
+        let block = &self.blocks[b];
+        let mut acc: HashMap<usize, f64> = HashMap::new();
+        let mut objective = 0.0;
+        for (v, &xv) in x.iter().enumerate() {
+            if xv.abs() <= 1e-12 {
+                continue;
+            }
+            objective += block.base_objective[v] * xv;
+            for &(r, a) in &block.linking[v] {
+                *acc.entry(r).or_insert(0.0) += a * xv;
+            }
+        }
+        let mut coeffs: Vec<(usize, f64)> =
+            acc.into_iter().filter(|&(_, a)| a.abs() > 1e-12).collect();
+        coeffs.sort_by_key(|&(r, _)| r);
+        coeffs.push((self.convexity_row(b), 1.0));
+        let tag = self.next_block_tag;
+        self.next_block_tag += 1;
+        self.block_points.insert(tag, (b, x.to_vec()));
+        GeneratedColumn {
+            objective,
+            coeffs,
+            tag,
+        }
+    }
+
+    /// Recovers block `b`'s local variable values from a master solution:
+    /// `y_b = Σ_e λ_{b,e} · V_{b,e}`.
+    pub fn block_solution(&self, b: usize, solution: &LpSolution) -> Vec<f64> {
+        let mut y = vec![0.0f64; self.blocks[b].num_variables()];
+        for (idx, col) in self.master.columns().iter().enumerate() {
+            let Some((block, point)) = self.block_points.get(&col.tag) else {
+                continue;
+            };
+            if *block != b {
+                continue;
+            }
+            let lambda = solution.x.get(idx).copied().unwrap_or(0.0);
+            if lambda > 1e-12 {
+                for (yi, &vi) in y.iter_mut().zip(point.iter()) {
+                    *yi += lambda * vi;
+                }
+            }
+        }
+        y
+    }
+
+    /// Primes every block with one extreme point priced at the given
+    /// synthetic duals (no reduced-cost test — every proposal is adopted).
+    /// Called before the first master solve, this hands the master an
+    /// initial supply column per block, which saves the early rounds from
+    /// re-discovering the block polytopes one pivot walk at a time; the
+    /// auction path primes at unit usage prices, i.e. each channel's
+    /// maximal fractional allocation. Returns how many columns were added.
+    pub fn prime_blocks(&mut self, duals: &[f64], options: &DantzigWolfeOptions) -> usize {
+        let pricings = self.price_blocks(duals, &options.subproblem_simplex);
+        self.pending_subproblem_pivots += pricings.iter().map(|p| p.iterations).sum::<usize>();
+        let mut added = 0usize;
+        for (b, priced) in pricings.iter().enumerate() {
+            if priced.status == LpStatus::Optimal && priced.x.iter().any(|&v| v.abs() > 1e-12) {
+                let column = self.block_column(b, &priced.x);
+                if self.master.add_column(column) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Solves all block subproblems at the given duals, in parallel through
+    /// the rayon shim.
+    fn price_blocks(&mut self, duals: &[f64], options: &SimplexOptions) -> Vec<LpSolution> {
+        use rayon::prelude::*;
+        // Each block owns its warm-start state, so the blocks are handed
+        // out behind per-block mutexes (each lock is taken exactly once —
+        // the mutex only satisfies the shim's `Fn` bound, it never
+        // contends).
+        let cells: Vec<std::sync::Mutex<&mut Subproblem>> =
+            self.blocks.iter_mut().map(std::sync::Mutex::new).collect();
+        (0..cells.len())
+            .into_par_iter()
+            .map(|b| {
+                let mut block = cells[b].lock().expect("block pricing panicked");
+                block.price(duals, options)
+            })
+            .collect()
+    }
+
+    /// Runs the Dantzig–Wolfe loop: re-solve the master (warm-started),
+    /// price every block subproblem **in parallel** at the master duals,
+    /// offer the native source the same duals, and repeat until no block
+    /// prices out and the source adds nothing.
+    ///
+    /// # Errors
+    /// Returns [`DantzigWolfeError::MasterIterationLimit`] when a master
+    /// re-solve exhausts its pivot budget.
+    pub fn solve(
+        &mut self,
+        source: &mut dyn ColumnSource,
+        options: &DantzigWolfeOptions,
+    ) -> Result<DwSolution, DantzigWolfeError> {
+        let mut stats = DwStats {
+            subproblem_pivots: std::mem::take(&mut self.pending_subproblem_pivots),
+            ..Default::default()
+        };
+        loop {
+            let solution = self.master.solve_warm(&options.master_simplex);
+            stats.master_rounds += 1;
+            stats.master_iterations += solution.iterations;
+            stats.master_per_round.push(solution.iterations);
+            stats.refactorizations += solution.stats.refactorizations;
+            stats.degenerate_pivots += solution.stats.degenerate_pivots;
+            stats.dual_pivots += solution.stats.dual_pivots;
+            if solution.status == LpStatus::IterationLimit {
+                return Err(DantzigWolfeError::MasterIterationLimit {
+                    partial: Box::new(solution),
+                    stats,
+                });
+            }
+            if solution.status != LpStatus::Optimal || stats.master_rounds > options.max_rounds {
+                return Ok(DwSolution {
+                    solution,
+                    converged: false,
+                    stats,
+                });
+            }
+
+            let pricings = self.price_blocks(&solution.duals, &options.subproblem_simplex);
+
+            let mut added = 0usize;
+            for (b, priced) in pricings.iter().enumerate() {
+                stats.subproblem_pivots += priced.iterations;
+                if priced.status != LpStatus::Optimal {
+                    // An unbounded/limited block proposes nothing this
+                    // round; blocks are required to be bounded, so this is
+                    // a caller bug surfaced as a counter, not a panic.
+                    stats.block_failures += 1;
+                    continue;
+                }
+                let sigma = solution.duals[self.convexity_row(b)];
+                if priced.objective > sigma + options.tolerance {
+                    let column = self.block_column(b, &priced.x);
+                    if self.master.add_column(column) {
+                        added += 1;
+                        stats.columns_from_blocks += 1;
+                    }
+                }
+            }
+
+            for column in source.generate(&solution.duals) {
+                let rc = column.reduced_cost(&solution.duals);
+                if rc > options.tolerance && self.add_native_column(column) {
+                    added += 1;
+                    stats.columns_from_source += 1;
+                }
+            }
+
+            if added == 0 {
+                return Ok(DwSolution {
+                    solution,
+                    converged: true,
+                    stats,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::BasisKind;
+    use crate::dense;
+    use crate::pricing::PricingRule;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn no_source() -> impl FnMut(&[f64]) -> Vec<GeneratedColumn> {
+        |_: &[f64]| Vec::new()
+    }
+
+    /// A random block-angular packing LP:
+    /// * `coupling` shared `≤` rows,
+    /// * `k` blocks with `vars` local variables each, local packing rows and
+    ///   per-variable bounds, and non-negative linking coefficients.
+    ///
+    /// Returns the decomposition and the equivalent monolithic LP (local
+    /// rows inlined) for the dense oracle.
+    fn random_block_angular(
+        seed: u64,
+        coupling: usize,
+        k: usize,
+        vars: usize,
+    ) -> (DecomposedLp, LinearProgram) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coupling_rows: Vec<(Relation, f64)> = (0..coupling)
+            .map(|_| (Relation::Le, rng.random_range(1.0..6.0)))
+            .collect();
+
+        let mut monolithic = LinearProgram::new(Sense::Maximize);
+        let mut mono_coupling: Vec<Vec<(usize, f64)>> = vec![Vec::new(); coupling];
+        let mut blocks = Vec::new();
+        for _ in 0..k {
+            let mut local = LinearProgram::new(Sense::Maximize);
+            let mut linking: Vec<Vec<(usize, f64)>> = Vec::new();
+            let mut mono_vars = Vec::new();
+            for _ in 0..vars {
+                let c = rng.random_range(0.5..5.0);
+                local.add_variable(c);
+                mono_vars.push(monolithic.add_variable(c));
+            }
+            // local packing rows
+            for _ in 0..2 {
+                let mut coeffs: Vec<(usize, f64)> = Vec::new();
+                for v in 0..vars {
+                    if rng.random_range(0.0..1.0) < 0.7 {
+                        coeffs.push((v, rng.random_range(0.2..2.0)));
+                    }
+                }
+                let rhs = rng.random_range(1.0..4.0);
+                monolithic.add_constraint(
+                    coeffs.iter().map(|&(v, a)| (mono_vars[v], a)).collect(),
+                    Relation::Le,
+                    rhs,
+                );
+                local.add_constraint(coeffs, Relation::Le, rhs);
+            }
+            // bounds keep the block polytope bounded
+            for (v, &mono_var) in mono_vars.iter().enumerate() {
+                let ub = rng.random_range(0.5..2.0);
+                local.add_constraint(vec![(v, 1.0)], Relation::Le, ub);
+                monolithic.add_constraint(vec![(mono_var, 1.0)], Relation::Le, ub);
+            }
+            // linking into coupling rows
+            for &mono_var in mono_vars.iter() {
+                let mut links = Vec::new();
+                for (r, row) in mono_coupling.iter_mut().enumerate() {
+                    if rng.random_range(0.0..1.0) < 0.5 {
+                        let a = rng.random_range(0.1..1.5);
+                        links.push((r, a));
+                        row.push((mono_var, a));
+                    }
+                }
+                linking.push(links);
+            }
+            blocks.push(Subproblem::new(local, linking));
+        }
+        for (r, coeffs) in mono_coupling.into_iter().enumerate() {
+            let (rel, rhs) = coupling_rows[r];
+            monolithic.add_constraint(coeffs, rel, rhs);
+        }
+        (DecomposedLp::new(coupling_rows, blocks), monolithic)
+    }
+
+    #[test]
+    fn two_block_decomposition_matches_the_monolithic_optimum() {
+        // blocks: y0 ≤ 2 (value 3/unit), y1 ≤ 3 (value 2/unit);
+        // coupling: y0 + y1 ≤ 4 → optimum 3·2 + 2·2 = 10.
+        let mut b0 = LinearProgram::new(Sense::Maximize);
+        let v0 = b0.add_variable(3.0);
+        b0.add_constraint(vec![(v0, 1.0)], Relation::Le, 2.0);
+        let mut b1 = LinearProgram::new(Sense::Maximize);
+        let v1 = b1.add_variable(2.0);
+        b1.add_constraint(vec![(v1, 1.0)], Relation::Le, 3.0);
+        let mut dw = DecomposedLp::new(
+            vec![(Relation::Le, 4.0)],
+            vec![
+                Subproblem::new(b0, vec![vec![(0, 1.0)]]),
+                Subproblem::new(b1, vec![vec![(0, 1.0)]]),
+            ],
+        );
+        let mut source = no_source();
+        let result = dw
+            .solve(&mut source, &DantzigWolfeOptions::default())
+            .expect("dw failed");
+        assert!(result.converged);
+        assert_eq!(result.solution.status, LpStatus::Optimal);
+        assert!((result.solution.objective - 10.0).abs() < 1e-6);
+        assert!(result.stats.columns_from_blocks >= 2);
+        // block reconstruction: y0 = 2, y1 = 2
+        let y0 = dw.block_solution(0, &result.solution);
+        let y1 = dw.block_solution(1, &result.solution);
+        assert!((y0[0] - 2.0).abs() < 1e-6, "y0 = {}", y0[0]);
+        assert!((y1[0] - 2.0).abs() < 1e-6, "y1 = {}", y1[0]);
+    }
+
+    #[test]
+    fn native_columns_and_blocks_compose() {
+        // A native column consuming the coupling capacity competes with the
+        // blocks: max 5·x + 3·y, x + y ≤ 2, y ∈ {y ≤ 3} → x = 2 wins.
+        let mut b0 = LinearProgram::new(Sense::Maximize);
+        let v = b0.add_variable(3.0);
+        b0.add_constraint(vec![(v, 1.0)], Relation::Le, 3.0);
+        let mut dw = DecomposedLp::new(
+            vec![(Relation::Le, 2.0)],
+            vec![Subproblem::new(b0, vec![vec![(0, 1.0)]])],
+        );
+        let mut served = false;
+        let mut source = move |duals: &[f64]| {
+            if served {
+                return Vec::new();
+            }
+            served = true;
+            let _ = duals;
+            vec![GeneratedColumn {
+                objective: 5.0,
+                coeffs: vec![(0, 1.0)],
+                tag: 1,
+            }]
+        };
+        let result = dw
+            .solve(&mut source, &DantzigWolfeOptions::default())
+            .expect("dw failed");
+        assert!(result.converged);
+        assert!((result.solution.objective - 10.0).abs() < 1e-6);
+        assert_eq!(result.stats.columns_from_source, 1);
+    }
+
+    #[test]
+    fn random_block_angular_lps_match_dense_across_engines() {
+        for seed in 0..8u64 {
+            let (dw_template, monolithic) = random_block_angular(100 + seed, 3, 3, 3);
+            let reference = dense::solve(&monolithic, &SimplexOptions::default());
+            assert_eq!(reference.status, LpStatus::Optimal);
+            for (pricing, basis) in [
+                (PricingRule::Dantzig, BasisKind::ProductForm),
+                (PricingRule::Devex, BasisKind::SparseLu),
+                (PricingRule::Bland, BasisKind::SparseLu),
+            ] {
+                let mut dw = dw_template.clone();
+                let options = DantzigWolfeOptions {
+                    master_simplex: SimplexOptions::default().with_engine(pricing, basis),
+                    subproblem_simplex: SimplexOptions::default().with_engine(pricing, basis),
+                    ..Default::default()
+                };
+                let mut source = no_source();
+                let result = dw.solve(&mut source, &options).expect("dw failed");
+                assert!(result.converged, "seed {seed} {pricing:?}/{basis:?}");
+                assert!(
+                    (result.solution.objective - reference.objective).abs()
+                        < 1e-5 * (1.0 + reference.objective.abs()),
+                    "seed {seed} {pricing:?}/{basis:?}: dw {} vs dense {}",
+                    result.solution.objective,
+                    reference.objective
+                );
+                assert_eq!(result.stats.block_failures, 0);
+                // reconstructed block solutions satisfy the local rows
+                for b in 0..dw.num_blocks() {
+                    let y = dw.block_solution(b, &result.solution);
+                    assert!(y.iter().all(|&v| v >= -1e-7));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_row_added_mid_run_reoptimizes_dually() {
+        let (mut dw, _) = random_block_angular(7, 2, 2, 3);
+        let mut source = no_source();
+        let options = DantzigWolfeOptions::default();
+        let first = dw.solve(&mut source, &options).expect("dw failed");
+        assert!(first.converged);
+
+        // Tighten: a new row over every existing master column, halving the
+        // usable convex weight of block 0's columns.
+        let coeffs: Vec<(usize, f64)> = dw
+            .master()
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| is_block_tag(c.tag))
+            .map(|(idx, _)| (idx, 1.0))
+            .collect();
+        dw.add_coupling_row(Relation::Le, 0.5, coeffs);
+        let second = dw.solve(&mut source, &options).expect("dw failed");
+        assert_eq!(second.solution.status, LpStatus::Optimal);
+        assert!(
+            second.solution.objective <= first.solution.objective + 1e-7,
+            "tightening cannot improve the optimum"
+        );
+        assert!(
+            second.stats.dual_pivots > 0,
+            "the added row must be absorbed by the dual simplex"
+        );
+    }
+
+    #[test]
+    fn subproblem_warm_starts_pay_off_across_rounds() {
+        let (mut dw, monolithic) = random_block_angular(42, 4, 4, 6);
+        let reference = dense::solve(&monolithic, &SimplexOptions::default());
+        let mut source = no_source();
+        let result = dw
+            .solve(&mut source, &DantzigWolfeOptions::default())
+            .expect("dw failed");
+        assert!(result.converged);
+        assert!(
+            (result.solution.objective - reference.objective).abs()
+                < 1e-5 * (1.0 + reference.objective.abs())
+        );
+        assert!(result.stats.master_rounds >= 2);
+        assert!(result.stats.subproblem_pivots > 0);
+    }
+}

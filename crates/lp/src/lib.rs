@@ -27,7 +27,18 @@
 //!   are **warm-started** from the previous round's optimal basis, and
 //!   families of related masters (one per channel) can share a
 //!   [`column_generation::BatchedMasters`] context that pools generated
-//!   columns and seeds sibling warm starts.
+//!   columns and seeds sibling warm starts,
+//! * [`dual`] — a **dual simplex** on the same basis-factorization seam:
+//!   after rows are appended to a solved master
+//!   ([`column_generation::MasterProblem::add_row`]) the old basis extended
+//!   by the new rows' logicals is dual feasible, and
+//!   [`dual::reoptimize_after_row_additions`] repairs primal feasibility
+//!   from there instead of re-solving from scratch,
+//! * [`decomposition`] — **Dantzig–Wolfe**: a restricted master over block
+//!   extreme-point columns with one pricing subproblem per block (in the
+//!   auction: one per channel), priced in parallel and warm-started across
+//!   rounds; [`decomposition::MasterMode`] is the pipeline-level switch
+//!   between the monolithic and decomposed relaxation masters.
 //!
 //! All of the paper's relaxations are *packing* LPs (non-negative data,
 //! `≤` constraints), for which the all-slack basis is feasible and phase 1
@@ -38,7 +49,9 @@
 
 pub mod basis;
 pub mod column_generation;
+pub mod decomposition;
 pub mod dense;
+pub mod dual;
 pub mod pricing;
 pub mod problem;
 pub mod simplex;
@@ -48,6 +61,11 @@ pub use column_generation::{
     BatchedMasters, BatchedResult, ChannelRunStats, ColumnGeneration, ColumnGenerationError,
     ColumnGenerationResult, ColumnSource, GeneratedColumn, MasterProblem,
 };
+pub use decomposition::{
+    is_block_tag, DantzigWolfeError, DantzigWolfeOptions, DecomposedLp, DwSolution, DwStats,
+    MasterMode, Subproblem,
+};
+pub use dual::{reoptimize_after_row_additions, DualReoptimization};
 pub use pricing::{BlandPricing, DantzigPricing, DevexPricing, Pricing, PricingRule};
 pub use problem::{Constraint, CscMatrix, LinearProgram, Relation, Sense};
 pub use simplex::{
