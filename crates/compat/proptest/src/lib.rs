@@ -228,7 +228,7 @@ pub mod prop {
         use rand::Rng;
         use std::ops::Range;
 
-        /// Length specification for [`vec`]: a fixed size or a half-open
+        /// Length specification for [`vec()`]: a fixed size or a half-open
         /// range of sizes.
         #[derive(Clone, Debug)]
         pub enum SizeRange {

@@ -235,6 +235,36 @@ impl ConflictGraph {
         (g, mapping)
     }
 
+    /// Returns a copy of the graph with one additional vertex (id `n`, the
+    /// new largest id) connected to the given existing vertices — a bidder
+    /// arriving in a dynamic market.
+    ///
+    /// # Panics
+    /// Panics if a listed neighbor is not an existing vertex.
+    pub fn with_appended_vertex(&self, neighbors: &[VertexId]) -> ConflictGraph {
+        let n = self.n;
+        let mut g = ConflictGraph::new(n + 1);
+        for (u, v) in self.edges() {
+            g.add_edge(u, v);
+        }
+        for &u in neighbors {
+            assert!(u < n, "new vertex's neighbor {u} out of bounds (n={n})");
+            g.add_edge(u, n);
+        }
+        g
+    }
+
+    /// Returns a copy of the graph with vertex `v` removed; vertices above
+    /// `v` shift down by one (a bidder leaving a dynamic market).
+    ///
+    /// # Panics
+    /// Panics if `v` is not a vertex.
+    pub fn without_vertex(&self, v: VertexId) -> ConflictGraph {
+        assert!(v < self.n, "vertex {v} out of bounds (n={})", self.n);
+        let keep: Vec<VertexId> = (0..self.n).filter(|&u| u != v).collect();
+        self.induced_subgraph(&keep).0
+    }
+
     /// Restricts the members of `set` that are neighbors of `v` and precede
     /// `v` in the ordering `order_pos` (i.e. lie in the backward neighborhood
     /// `Γπ(v)`), returning how many there are.

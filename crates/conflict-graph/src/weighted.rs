@@ -219,6 +219,58 @@ impl WeightedConflictGraph {
         w
     }
 
+    /// Returns a copy of the graph with one additional vertex (id `n`) and
+    /// the given directed weights to/from existing vertices — a bidder
+    /// arriving in a dynamic market.
+    ///
+    /// # Panics
+    /// Panics if a listed endpoint is not an existing vertex or a weight is
+    /// NaN.
+    pub fn with_appended_vertex(
+        &self,
+        outgoing: &[(VertexId, f64)],
+        incoming: &[(VertexId, f64)],
+    ) -> WeightedConflictGraph {
+        let n = self.n;
+        let mut g = WeightedConflictGraph::new(n + 1);
+        for u in 0..n {
+            for &(v, w) in &self.out[u] {
+                g.set_weight(u, v, w);
+            }
+        }
+        for &(v, w) in outgoing {
+            assert!(v < n, "new vertex's neighbor {v} out of bounds (n={n})");
+            g.set_weight(n, v, w);
+        }
+        for &(u, w) in incoming {
+            assert!(u < n, "new vertex's neighbor {u} out of bounds (n={n})");
+            g.set_weight(u, n, w);
+        }
+        g
+    }
+
+    /// Returns a copy of the graph with vertex `v` removed; vertices above
+    /// `v` shift down by one (a bidder leaving a dynamic market).
+    ///
+    /// # Panics
+    /// Panics if `v` is not a vertex.
+    pub fn without_vertex(&self, v: VertexId) -> WeightedConflictGraph {
+        assert!(v < self.n, "vertex {v} out of bounds (n={})", self.n);
+        let map = |u: VertexId| if u > v { u - 1 } else { u };
+        let mut g = WeightedConflictGraph::new(self.n - 1);
+        for u in 0..self.n {
+            if u == v {
+                continue;
+            }
+            for &(t, w) in &self.out[u] {
+                if t != v {
+                    g.set_weight(map(u), map(t), w);
+                }
+            }
+        }
+        g
+    }
+
     /// Thresholds the weighted graph into an unweighted conflict graph that
     /// contains an edge wherever the symmetrized weight reaches `threshold`.
     ///

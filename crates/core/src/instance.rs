@@ -82,6 +82,22 @@ impl ConflictStructure {
         }
     }
 
+    /// Returns the structure with bidder `v` removed from every conflict
+    /// graph; bidders above `v` shift down by one (a departure in a dynamic
+    /// market — see [`crate::session::AuctionSession::remove_bidder`]).
+    pub fn without_bidder(&self, v: usize) -> ConflictStructure {
+        match self {
+            ConflictStructure::Binary(g) => ConflictStructure::Binary(g.without_vertex(v)),
+            ConflictStructure::Weighted(g) => ConflictStructure::Weighted(g.without_vertex(v)),
+            ConflictStructure::AsymmetricBinary(gs) => ConflictStructure::AsymmetricBinary(
+                gs.iter().map(|g| g.without_vertex(v)).collect(),
+            ),
+            ConflictStructure::AsymmetricWeighted(gs) => ConflictStructure::AsymmetricWeighted(
+                gs.iter().map(|g| g.without_vertex(v)).collect(),
+            ),
+        }
+    }
+
     /// The vertices `u` that interact with `v` on channel `j` (have an edge
     /// or positive symmetric weight), used to build LP columns.
     pub fn interacting(&self, v: usize, channel: usize) -> Vec<usize> {

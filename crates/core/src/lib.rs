@@ -25,6 +25,11 @@
 //! * [`conflict_resolution`] — Algorithm 3 turning partly-feasible
 //!   allocations into feasible ones at an `O(log n)` loss,
 //! * [`solver`] — the end-to-end pipeline with feasibility verification,
+//!   configured through [`solver::SolverBuilder`] and failing with typed
+//!   [`solver::SolveError`]s on the `try_*` paths,
+//! * [`session`] — long-lived incremental sessions for dynamic markets
+//!   (arrivals, departures, re-bids, ρ/channel changes) that reuse LP state
+//!   across resolves,
 //! * [`greedy`] / [`edge_lp`] / [`exact`] — baselines and ground truth,
 //! * [`asymmetric`] / [`hardness`] — Section 6 and the lower-bound
 //!   constructions of Theorems 5, 6 and 18.
@@ -42,6 +47,7 @@ pub mod hardness;
 pub mod instance;
 pub mod lp_formulation;
 pub mod rounding;
+pub mod session;
 pub mod solver;
 pub mod valuation;
 
@@ -51,7 +57,8 @@ pub use instance::{AuctionInstance, ConflictStructure};
 pub use lp_formulation::{
     FractionalAssignment, FractionalEntry, LpFormulationOptions, RelaxationInfo,
 };
-pub use solver::{AuctionOutcome, SolverOptions, SpectrumAuctionSolver};
+pub use session::{AuctionSession, BidderConflicts, NewChannel, SessionStats};
+pub use solver::{AuctionOutcome, SolveError, SolverBuilder, SolverOptions, SpectrumAuctionSolver};
 // The LP-engine selectors, re-exported so pipeline callers can pick an
 // engine (and a master decomposition mode) without depending on the lp
 // crate directly.

@@ -23,6 +23,7 @@
 
 use crate::channels::ChannelSet;
 use crate::instance::AuctionInstance;
+use crate::solver::SolveError;
 use serde::{Deserialize, Serialize};
 use ssa_lp::{
     is_block_tag, BasisKind, ColumnGeneration, ColumnSource, DantzigWolfeError,
@@ -110,6 +111,25 @@ impl RelaxationInfo {
             degenerate_pivots: solution.stats.degenerate_pivots,
             subproblem_pivots: 0,
             dual_pivots: solution.stats.dual_pivots,
+        }
+    }
+
+    /// Attribution of a column-generation run over a monolithic master —
+    /// shared by the cold path ([`solve_relaxation`]) and the session's
+    /// warm paths so the two cannot drift when stats fields change.
+    pub(crate) fn from_cg(result: &ssa_lp::ColumnGenerationResult, num_columns: usize) -> Self {
+        RelaxationInfo {
+            pricing: result.solution.stats.pricing,
+            basis: result.solution.stats.basis,
+            mode: MasterMode::Monolithic,
+            rounds: result.rounds,
+            num_columns,
+            simplex_iterations: result.simplex_iterations,
+            per_round_iterations: result.per_round_iterations.clone(),
+            refactorizations: result.refactorizations,
+            degenerate_pivots: result.degenerate_pivots,
+            subproblem_pivots: 0,
+            dual_pivots: result.dual_pivots,
         }
     }
 
@@ -229,15 +249,35 @@ impl LpFormulationOptions {
     }
 }
 
-fn row_of(v: usize, j: usize, k: usize) -> usize {
+/// Packs `(bidder, bundle)` into the 64-bit column tag every master uses
+/// for column identity (bidder in the high 32 bits, bundle bits low — the
+/// source of the `k ≤ 32` limit). The session's pool, the monolithic and
+/// decomposed masters and the extraction all share this one encoding.
+pub(crate) fn column_tag(bidder: usize, bundle: ChannelSet) -> u64 {
+    ((bidder as u64) << 32) | bundle.bits()
+}
+
+/// Inverse of [`column_tag`].
+pub(crate) fn decode_column_tag(tag: u64) -> (usize, ChannelSet) {
+    (
+        (tag >> 32) as usize,
+        ChannelSet::from_bits(tag & 0xFFFF_FFFF),
+    )
+}
+
+pub(crate) fn row_of(v: usize, j: usize, k: usize) -> usize {
     v * k + j
 }
 
-fn bidder_row(v: usize, n: usize, k: usize) -> usize {
+pub(crate) fn bidder_row(v: usize, n: usize, k: usize) -> usize {
     n * k + v
 }
 
-fn column_for(instance: &AuctionInstance, bidder: usize, bundle: ChannelSet) -> GeneratedColumn {
+pub(crate) fn column_for(
+    instance: &AuctionInstance,
+    bidder: usize,
+    bundle: ChannelSet,
+) -> GeneratedColumn {
     let k = instance.num_channels;
     let n = instance.num_bidders();
     let mut coeffs: Vec<(usize, f64)> = Vec::new();
@@ -250,7 +290,7 @@ fn column_for(instance: &AuctionInstance, bidder: usize, bundle: ChannelSet) -> 
     GeneratedColumn {
         objective: instance.value(bidder, bundle),
         coeffs,
-        tag: ((bidder as u64) << 32) | bundle.bits(),
+        tag: column_tag(bidder, bundle),
     }
 }
 
@@ -265,13 +305,13 @@ const ORACLE_UTILITY_TOLERANCE: f64 = 1e-9;
 /// on — the monolithic master sums neighborhood row duals, the decomposed
 /// master reads its usage-row duals directly), query the demand oracle,
 /// and emit a column when the bundle's utility beats the bidder's dual.
-fn demand_oracle_columns(
+pub(crate) fn demand_oracle_columns(
     instance: &AuctionInstance,
     duals: &[f64],
     prices_for: impl Fn(usize) -> Vec<f64>,
+    bidder_dual_row: impl Fn(usize) -> usize,
     column_of: impl Fn(usize, ChannelSet) -> GeneratedColumn,
 ) -> Vec<GeneratedColumn> {
-    let k = instance.num_channels;
     let n = instance.num_bidders();
     let mut columns = Vec::new();
     for bidder in 0..n {
@@ -281,7 +321,7 @@ fn demand_oracle_columns(
             continue;
         }
         let utility = instance.value(bidder, bundle) - bundle.total_price(&prices);
-        let z_v = duals[bidder_row(bidder, n, k)];
+        let z_v = duals[bidder_dual_row(bidder)];
         if utility > z_v + ORACLE_UTILITY_TOLERANCE {
             columns.push(column_of(bidder, bundle));
         }
@@ -298,6 +338,7 @@ impl<'a> ColumnSource for DemandOraclePricing<'a> {
     fn generate(&mut self, duals: &[f64]) -> Vec<GeneratedColumn> {
         let instance = self.instance;
         let k = instance.num_channels;
+        let n = instance.num_bidders();
         demand_oracle_columns(
             instance,
             duals,
@@ -314,12 +355,13 @@ impl<'a> ColumnSource for DemandOraclePricing<'a> {
                     })
                     .collect()
             },
+            |bidder| bidder_row(bidder, n, k),
             |bidder, bundle| column_for(instance, bidder, bundle),
         )
     }
 }
 
-fn master_rows(instance: &AuctionInstance) -> Vec<(Relation, f64)> {
+pub(crate) fn master_rows(instance: &AuctionInstance) -> Vec<(Relation, f64)> {
     let n = instance.num_bidders();
     let k = instance.num_channels;
     let mut rows = Vec::with_capacity(n * k + n);
@@ -332,7 +374,9 @@ fn master_rows(instance: &AuctionInstance) -> Vec<(Relation, f64)> {
     rows
 }
 
-/// Solves the LP relaxation of the instance.
+/// Solves the LP relaxation of the instance (legacy, infallible entry
+/// point: an iteration-limited master degrades into a non-converged partial
+/// result).
 ///
 /// With the default options the LP is solved by column generation through
 /// the bidders' demand oracles; with
@@ -342,12 +386,97 @@ pub fn solve_relaxation(
     instance: &AuctionInstance,
     options: &LpFormulationOptions,
 ) -> FractionalAssignment {
+    solve_relaxation_inner(instance, options, &[], false)
+        .expect("the lenient relaxation solve does not produce errors")
+}
+
+/// Solves the LP relaxation, surfacing an interrupted solve — a master out
+/// of simplex pivots *or* column generation out of pricing rounds — as
+/// [`SolveError::IterationLimit`] (with the partial result attached) and an
+/// infeasible master as [`SolveError::Infeasible`], instead of the legacy
+/// degrade-gracefully behavior of [`solve_relaxation`]. `Ok` therefore
+/// always carries a converged, true LP optimum.
+pub fn try_solve_relaxation(
+    instance: &AuctionInstance,
+    options: &LpFormulationOptions,
+) -> Result<FractionalAssignment, SolveError> {
+    solve_relaxation_inner(instance, options, &[], true)
+}
+
+/// Like [`try_solve_relaxation`], but seeds the restricted master with the
+/// given `(bidder, bundle)` column pool before the first solve — the
+/// warm-from-pool path [`crate::session::AuctionSession`] uses after
+/// structural mutations: bundles discovered by earlier resolves are
+/// re-priced at the current valuations and offered up front, so column
+/// generation starts near the previous optimum instead of from each
+/// bidder's favorite bundle alone.
+pub fn try_solve_relaxation_with_pool(
+    instance: &AuctionInstance,
+    options: &LpFormulationOptions,
+    pool: &[(usize, ChannelSet)],
+) -> Result<FractionalAssignment, SolveError> {
+    solve_relaxation_inner(instance, options, pool, true)
+}
+
+/// Maps a terminal master status (and a pricing-round-budget truncation,
+/// which leaves the last master solve `Optimal` but the column generation
+/// unconverged) to the strict-path error, if any. Shared by the `try_*`
+/// entry points and [`crate::session::AuctionSession`], so every strict
+/// caller has the same contract: `Ok` implies the reported objective is the
+/// true LP optimum.
+pub(crate) fn strict_status_error(
+    status: LpStatus,
+    fractional: &FractionalAssignment,
+) -> Result<(), SolveError> {
+    match status {
+        LpStatus::Optimal if fractional.converged => Ok(()),
+        // The simplex pivot budget or the pricing-round budget ran out: the
+        // partial objective is only a lower bound.
+        LpStatus::Optimal | LpStatus::IterationLimit => Err(SolveError::IterationLimit {
+            rounds: fractional.rounds,
+            partial: Box::new(fractional.clone()),
+        }),
+        // A bounded packing master cannot be unbounded; treat both terminal
+        // failures as the malformed-instance error.
+        LpStatus::Infeasible | LpStatus::Unbounded => Err(SolveError::Infeasible),
+    }
+}
+
+/// Offers the shared master seed set to `add`: the caller's column pool
+/// (re-priced at the current valuations) followed by each bidder's
+/// zero-price favorite bundle, with one positive-value filter — so the
+/// cold, Dantzig–Wolfe and session-rebuild paths seed identically.
+pub(crate) fn seed_columns(
+    instance: &AuctionInstance,
+    pool: &[(usize, ChannelSet)],
+    mut add: impl FnMut(usize, ChannelSet),
+) {
+    for &(bidder, bundle) in pool {
+        if !bundle.is_empty() && instance.value(bidder, bundle) > 0.0 {
+            add(bidder, bundle);
+        }
+    }
+    let zero_prices = vec![0.0; instance.num_channels];
+    for bidder in 0..instance.num_bidders() {
+        let bundle = instance.bidders[bidder].demand(&zero_prices);
+        if !bundle.is_empty() && instance.value(bidder, bundle) > 0.0 {
+            add(bidder, bundle);
+        }
+    }
+}
+
+fn solve_relaxation_inner(
+    instance: &AuctionInstance,
+    options: &LpFormulationOptions,
+    pool: &[(usize, ChannelSet)],
+    strict: bool,
+) -> Result<FractionalAssignment, SolveError> {
     assert!(
         instance.num_channels <= 32,
         "the LP formulation packs bundles into 32-bit column tags (k ≤ 32)"
     );
     if options.master_mode == MasterMode::DantzigWolfe {
-        return solve_relaxation_dw(instance, options);
+        return solve_relaxation_dw(instance, options, pool, strict);
     }
     let mut master = MasterProblem::new(Sense::Maximize, master_rows(instance));
 
@@ -363,32 +492,35 @@ pub fn solve_relaxation(
             }
         }
         let solution = master.solve(&options.column_generation.simplex);
+        let status = solution.status;
         let info = RelaxationInfo::from_solution(&solution, 1, master.num_columns());
-        return extract(
+        let fractional = extract(
             instance,
             &master,
             solution,
-            true,
+            status == LpStatus::Optimal,
             info,
             options.support_tolerance,
         );
+        if strict {
+            strict_status_error(status, &fractional)?;
+        }
+        return Ok(fractional);
     }
 
-    // Seed the master with each bidder's favorite bundle so the first duals
-    // are meaningful.
-    let zero_prices = vec![0.0; instance.num_channels];
-    for bidder in 0..instance.num_bidders() {
-        let bundle = instance.bidders[bidder].demand(&zero_prices);
-        if !bundle.is_empty() && instance.value(bidder, bundle) > 0.0 {
-            master.add_column(column_for(instance, bidder, bundle));
-        }
-    }
+    // Seed the master with the caller's column pool (re-priced at the
+    // current valuations by `column_for`), then with each bidder's favorite
+    // bundle so the first duals are meaningful.
+    seed_columns(instance, pool, |bidder, bundle| {
+        master.add_column(column_for(instance, bidder, bundle));
+    });
 
     let mut pricing = DemandOraclePricing { instance };
     // An iteration-limited master is surfaced as a proper error by the LP
-    // layer; at this level the pipeline degrades gracefully: the partial
-    // solution is used but explicitly marked non-converged (its objective is
-    // a lower bound, its duals are untrusted).
+    // layer. On the lenient (legacy) path the pipeline degrades gracefully:
+    // the partial solution is used but explicitly marked non-converged (its
+    // objective is a lower bound, its duals are untrusted). On the strict
+    // path it becomes a typed `SolveError` carrying the same partial.
     let (result, converged) = match options.column_generation.run(&mut master, &mut pricing) {
         Ok(result) => {
             let converged = result.converged;
@@ -396,30 +528,23 @@ pub fn solve_relaxation(
         }
         Err(ssa_lp::ColumnGenerationError::IterationLimit { partial }) => (*partial, false),
     };
-    let info = RelaxationInfo {
-        pricing: result.solution.stats.pricing,
-        basis: result.solution.stats.basis,
-        mode: MasterMode::Monolithic,
-        rounds: result.rounds,
-        num_columns: master.num_columns(),
-        simplex_iterations: result.simplex_iterations,
-        per_round_iterations: result.per_round_iterations.clone(),
-        refactorizations: result.refactorizations,
-        degenerate_pivots: result.degenerate_pivots,
-        subproblem_pivots: 0,
-        dual_pivots: result.dual_pivots,
-    };
-    extract(
+    let status = result.solution.status;
+    let info = RelaxationInfo::from_cg(&result, master.num_columns());
+    let fractional = extract(
         instance,
         &master,
         result.solution,
         converged,
         info,
         options.support_tolerance,
-    )
+    );
+    if strict {
+        strict_status_error(status, &fractional)?;
+    }
+    Ok(fractional)
 }
 
-fn extract(
+pub(crate) fn extract(
     instance: &AuctionInstance,
     master: &MasterProblem,
     solution: ssa_lp::LpSolution,
@@ -438,8 +563,7 @@ fn extract(
             }
             let x = solution.x.get(idx).copied().unwrap_or(0.0);
             if x > support_tolerance {
-                let bidder = (col.tag >> 32) as usize;
-                let bundle = ChannelSet::from_bits(col.tag & 0xFFFF_FFFF);
+                let (bidder, bundle) = decode_column_tag(col.tag);
                 let value = instance.value(bidder, bundle);
                 objective += value * x;
                 entries.push(FractionalEntry {
@@ -470,7 +594,11 @@ fn extract(
 /// column simply marks its own usage (`+1` on row `(bidder, j)` for every
 /// `j ∈ bundle`) — much sparser than the monolithic column, which spreads
 /// the conflict-weighted load over every backward neighbor's row.
-fn dw_column_for(instance: &AuctionInstance, bidder: usize, bundle: ChannelSet) -> GeneratedColumn {
+pub(crate) fn dw_column_for(
+    instance: &AuctionInstance,
+    bidder: usize,
+    bundle: ChannelSet,
+) -> GeneratedColumn {
     let k = instance.num_channels;
     let n = instance.num_bidders();
     let mut coeffs: Vec<(usize, f64)> =
@@ -479,7 +607,7 @@ fn dw_column_for(instance: &AuctionInstance, bidder: usize, bundle: ChannelSet) 
     GeneratedColumn {
         objective: instance.value(bidder, bundle),
         coeffs,
-        tag: ((bidder as u64) << 32) | bundle.bits(),
+        tag: column_tag(bidder, bundle),
     }
 }
 
@@ -528,10 +656,12 @@ impl ColumnSource for DwDemandOraclePricing<'_> {
     fn generate(&mut self, duals: &[f64]) -> Vec<GeneratedColumn> {
         let instance = self.instance;
         let k = instance.num_channels;
+        let n = instance.num_bidders();
         demand_oracle_columns(
             instance,
             duals,
             |bidder| (0..k).map(|j| duals[row_of(bidder, j, k)]).collect(),
+            |bidder| bidder_row(bidder, n, k),
             |bidder, bundle| dw_column_for(instance, bidder, bundle),
         )
     }
@@ -547,7 +677,9 @@ impl ColumnSource for DwDemandOraclePricing<'_> {
 fn solve_relaxation_dw(
     instance: &AuctionInstance,
     options: &LpFormulationOptions,
-) -> FractionalAssignment {
+    pool: &[(usize, ChannelSet)],
+    strict: bool,
+) -> Result<FractionalAssignment, SolveError> {
     let n = instance.num_bidders();
     let k = instance.num_channels;
     let mut coupling: Vec<(Relation, f64)> = Vec::with_capacity(n * k + n);
@@ -577,15 +709,12 @@ fn solve_relaxation_dw(
             }
         }
     } else {
-        // Seed with each bidder's favorite bundle so the first duals are
-        // meaningful (mirrors the monolithic path).
-        let zero_prices = vec![0.0; k];
-        for bidder in 0..n {
-            let bundle = instance.bidders[bidder].demand(&zero_prices);
-            if !bundle.is_empty() && instance.value(bidder, bundle) > 0.0 {
-                dw.add_native_column(dw_column_for(instance, bidder, bundle));
-            }
-        }
+        // Seed with the caller's column pool (the session's warm-from-pool
+        // path), then with each bidder's favorite bundle so the first duals
+        // are meaningful (mirrors the monolithic path).
+        seed_columns(instance, pool, |bidder, bundle| {
+            dw.add_native_column(dw_column_for(instance, bidder, bundle));
+        });
     }
 
     // Prime each channel block with its maximal fractional allocation (the
@@ -608,9 +737,11 @@ fn solve_relaxation_dw(
     let (solution, converged, stats) = match dw.solve(source, &dw_options) {
         Ok(result) => (result.solution, result.converged, result.stats),
         // Same graceful degradation as the monolithic path: the partial
-        // solution is used but marked non-converged.
+        // solution is used but marked non-converged (the strict path turns
+        // it into a typed error below, via the solution status).
         Err(DantzigWolfeError::MasterIterationLimit { partial, stats }) => (*partial, false, stats),
     };
+    let status = solution.status;
     let native_columns = dw
         .master()
         .columns()
@@ -618,14 +749,18 @@ fn solve_relaxation_dw(
         .filter(|c| !is_block_tag(c.tag))
         .count();
     let info = RelaxationInfo::from_dw(&solution, &stats, native_columns);
-    extract(
+    let fractional = extract(
         instance,
         dw.master(),
         solution,
         converged,
         info,
         options.support_tolerance,
-    )
+    );
+    if strict {
+        strict_status_error(status, &fractional)?;
+    }
+    Ok(fractional)
 }
 
 /// Convenience: solve the relaxation with exhaustive bundle enumeration

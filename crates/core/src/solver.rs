@@ -18,13 +18,95 @@ use crate::allocation::Allocation;
 use crate::conflict_resolution::make_feasible;
 use crate::instance::AuctionInstance;
 use crate::lp_formulation::{
-    solve_relaxation, FractionalAssignment, LpFormulationOptions, RelaxationInfo,
+    solve_relaxation, try_solve_relaxation, FractionalAssignment, LpFormulationOptions,
+    RelaxationInfo,
 };
 use crate::rounding::{round_binary, round_weighted_partial, RoundingOptions, RoundingStats};
+use crate::session::AuctionSession;
 use serde::{Deserialize, Serialize};
 use ssa_lp::{BasisKind, MasterMode, PricingRule};
 
+/// Typed failure of the solving pipeline, returned by the fallible entry
+/// points ([`SpectrumAuctionSolver::try_solve`],
+/// [`crate::session::AuctionSession::resolve`],
+/// [`crate::lp_formulation::try_solve_relaxation`]).
+///
+/// The legacy entry points ([`SpectrumAuctionSolver::solve`],
+/// [`crate::lp_formulation::solve_relaxation`]) keep their historical
+/// degrade-gracefully behavior: an interrupted LP is returned as a
+/// non-converged lower bound and the final feasibility check is a
+/// `debug_assert!`. New code should prefer the `try_*`/`resolve` paths and
+/// match on this error instead.
+#[derive(Clone, Debug)]
+pub enum SolveError {
+    /// A budget ran out before optimality was proven — either a master LP
+    /// solve exhausted its simplex pivot budget, or column generation hit
+    /// its pricing-round cap ([`crate::session::AuctionSession`] and the
+    /// `try_*` entry points treat both the same: `Ok` always means the
+    /// reported LP value is the true optimum). The partial result is
+    /// attached (boxed — the error path is cold): its objective is a valid
+    /// lower bound, its duals are untrusted.
+    IterationLimit {
+        /// Pricing rounds performed before the interrupted solve.
+        rounds: usize,
+        /// The truncated, explicitly non-converged fractional solution.
+        partial: Box<FractionalAssignment>,
+    },
+    /// The relaxation master reported an infeasible (or, equivalently for a
+    /// bounded packing master, unbounded) LP. This cannot happen for a
+    /// well-formed [`AuctionInstance`] — the all-zero assignment is always
+    /// feasible — so it indicates inconsistent session mutations or a bug.
+    Infeasible,
+    /// The rounding stage produced an allocation that failed the final
+    /// feasibility re-check against the original constraints. The violating
+    /// channels are attached.
+    InfeasibleRounding {
+        /// Channels whose winner set violates the conflict structure.
+        violated_channels: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::IterationLimit { rounds, partial } => write!(
+                f,
+                "relaxation solve ran out of budget (simplex pivots or pricing rounds) after \
+                 {rounds} pricing rounds (partial objective {:.6} is a lower bound)",
+                partial.objective
+            ),
+            SolveError::Infeasible => {
+                write!(f, "relaxation master is infeasible (malformed instance)")
+            }
+            SolveError::InfeasibleRounding { violated_channels } => write!(
+                f,
+                "rounding produced an infeasible allocation (bug): violated channels {violated_channels:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
 /// Options of the end-to-end solver.
+///
+/// This struct predates [`SolverBuilder`] and is kept as a thin
+/// compatibility shim so existing call sites keep compiling; its `with_*`
+/// methods merely forward into the nested option structs. New code should
+/// configure the pipeline through [`SolverBuilder`], which covers every
+/// knob in one place:
+///
+/// ```
+/// use ssa_core::solver::SolverBuilder;
+/// use ssa_core::{BasisKind, MasterMode, PricingRule};
+///
+/// let solver = SolverBuilder::new()
+///     .engine(PricingRule::Devex, BasisKind::SparseLu)
+///     .master_mode(MasterMode::Monolithic)
+///     .rounding(7, 32)
+///     .build();
+/// # let _ = solver;
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct SolverOptions {
     /// How the LP relaxation is built and solved.
@@ -46,6 +128,85 @@ impl SolverOptions {
     pub fn with_master_mode(mut self, mode: MasterMode) -> Self {
         self.lp = self.lp.with_master_mode(mode);
         self
+    }
+}
+
+/// The one way to configure the pipeline: a fluent builder covering the LP
+/// engine, the master decomposition mode, column generation and the
+/// rounding stage, producing either a one-shot [`SpectrumAuctionSolver`] or
+/// a long-lived incremental [`AuctionSession`].
+///
+/// Replaces the former `SolverOptions` → `LpFormulationOptions` →
+/// `SimplexOptions` → `RoundingOptions` nesting (each with its own `with_*`
+/// forwarding) that accreted over three PRs of engine growth; those structs
+/// remain as shims reachable through [`SolverBuilder::options`].
+#[derive(Clone, Debug, Default)]
+pub struct SolverBuilder {
+    options: SolverOptions,
+}
+
+impl SolverBuilder {
+    /// Starts from the default configuration (Devex pricing × sparse LU,
+    /// monolithic master, 16 rounding trials with seed 1).
+    pub fn new() -> Self {
+        SolverBuilder::default()
+    }
+
+    /// Selects the simplex engine (pricing rule × basis factorization) used
+    /// by every LP solve of the pipeline.
+    pub fn engine(mut self, pricing: PricingRule, basis: BasisKind) -> Self {
+        self.options.lp = self.options.lp.with_engine(pricing, basis);
+        self
+    }
+
+    /// Selects how the relaxation master is solved: one monolithic LP or
+    /// the Dantzig–Wolfe decomposition with per-channel subproblems.
+    pub fn master_mode(mut self, mode: MasterMode) -> Self {
+        self.options.lp = self.options.lp.with_master_mode(mode);
+        self
+    }
+
+    /// Configures the randomized rounding stage: RNG seed and number of
+    /// independent trials (the best allocation is kept).
+    pub fn rounding(mut self, seed: u64, trials: usize) -> Self {
+        self.options.rounding = RoundingOptions { seed, trials };
+        self
+    }
+
+    /// Caps the number of column-generation pricing rounds per relaxation
+    /// solve.
+    pub fn max_pricing_rounds(mut self, rounds: usize) -> Self {
+        self.options.lp.column_generation.max_rounds = rounds;
+        self
+    }
+
+    /// Enumerates **all** bundles with positive value up front instead of
+    /// generating columns through the demand oracles (exponential in `k`;
+    /// ground truth for small instances).
+    pub fn enumerate_all_bundles(mut self, enumerate: bool) -> Self {
+        self.options.lp.enumerate_all_bundles = enumerate;
+        self
+    }
+
+    /// The assembled [`SolverOptions`] — the escape hatch for call sites
+    /// that still need the shim structs (e.g. to tweak a simplex tolerance).
+    pub fn options(self) -> SolverOptions {
+        self.options
+    }
+
+    /// Builds the one-shot solver.
+    pub fn build(self) -> SpectrumAuctionSolver {
+        SpectrumAuctionSolver::new(self.options)
+    }
+
+    /// Opens an incremental [`AuctionSession`] over `instance`: the session
+    /// owns the instance, caches LP state across [`resolve`] calls and
+    /// accepts mutations (bidders arriving/leaving, re-bids, ρ and channel
+    /// changes) between them.
+    ///
+    /// [`resolve`]: AuctionSession::resolve
+    pub fn session(self, instance: AuctionInstance) -> AuctionSession {
+        AuctionSession::new(instance, self.options)
     }
 }
 
@@ -123,21 +284,68 @@ impl SpectrumAuctionSolver {
         SpectrumAuctionSolver { options }
     }
 
-    /// Runs the full pipeline on an instance.
+    /// Runs the full pipeline on an instance (legacy, infallible entry
+    /// point). Prefer [`try_solve`](Self::try_solve) in new code: it
+    /// surfaces interrupted LPs and infeasible roundings as a typed
+    /// [`SolveError`] instead of degrading or asserting.
     ///
     /// # Panics
-    /// Panics (in debug builds) if the produced allocation fails the final
-    /// feasibility re-check — that would indicate a bug, not a property of
-    /// the input.
+    /// Panics **in debug builds only** if the produced allocation fails the
+    /// final feasibility re-check — that would indicate a bug, not a
+    /// property of the input. (Release builds return the allocation as-is;
+    /// use [`try_solve`](Self::try_solve) to get the check everywhere.)
     pub fn solve(&self, instance: &AuctionInstance) -> AuctionOutcome {
         let fractional = solve_relaxation(instance, &self.options.lp);
         self.round_fractional(instance, &fractional)
     }
 
+    /// Runs the full pipeline, surfacing failures as [`SolveError`]: an
+    /// iteration-limited master becomes [`SolveError::IterationLimit`]
+    /// (instead of a silently non-converged outcome) and a rounding that
+    /// fails the final feasibility re-check becomes
+    /// [`SolveError::InfeasibleRounding`] (instead of an `assert!`).
+    pub fn try_solve(&self, instance: &AuctionInstance) -> Result<AuctionOutcome, SolveError> {
+        let fractional = try_solve_relaxation(instance, &self.options.lp)?;
+        self.try_round_fractional(instance, &fractional)
+    }
+
     /// Rounds an already-computed fractional solution (used by the
     /// mechanism, which needs to reuse one LP solution for many rounding
-    /// runs).
+    /// runs). Legacy path: the final feasibility re-check is a
+    /// `debug_assert!`; prefer
+    /// [`try_round_fractional`](Self::try_round_fractional).
     pub fn round_fractional(
+        &self,
+        instance: &AuctionInstance,
+        fractional: &FractionalAssignment,
+    ) -> AuctionOutcome {
+        let outcome = self.round_unchecked(instance, fractional);
+        debug_assert!(
+            outcome.allocation.is_feasible(instance),
+            "pipeline produced an infeasible allocation (bug): violated channels {:?}",
+            outcome.allocation.violated_channels(instance)
+        );
+        outcome
+    }
+
+    /// Rounds an already-computed fractional solution, returning
+    /// [`SolveError::InfeasibleRounding`] if the result fails the final
+    /// feasibility re-check (in every build profile, not just debug).
+    pub fn try_round_fractional(
+        &self,
+        instance: &AuctionInstance,
+        fractional: &FractionalAssignment,
+    ) -> Result<AuctionOutcome, SolveError> {
+        let outcome = self.round_unchecked(instance, fractional);
+        if !outcome.allocation.is_feasible(instance) {
+            return Err(SolveError::InfeasibleRounding {
+                violated_channels: outcome.allocation.violated_channels(instance),
+            });
+        }
+        Ok(outcome)
+    }
+
+    fn round_unchecked(
         &self,
         instance: &AuctionInstance,
         fractional: &FractionalAssignment,
@@ -155,11 +363,6 @@ impl SpectrumAuctionSolver {
             let outcome = round_binary(instance, fractional, &self.options.rounding);
             (outcome.allocation, outcome.welfare, outcome.stats, 0)
         };
-        assert!(
-            allocation.is_feasible(instance),
-            "pipeline produced an infeasible allocation (bug): violated channels {:?}",
-            allocation.violated_channels(instance)
-        );
         AuctionOutcome {
             welfare,
             lp_objective: fractional.objective,
@@ -193,10 +396,31 @@ pub struct OutcomeSummary {
     pub guarantee_factor: f64,
     /// Bidders served.
     pub num_served: usize,
+    /// Pricing rule of the simplex engine that solved the relaxation.
+    pub pricing: PricingRule,
+    /// Basis factorization of the simplex engine.
+    pub basis: BasisKind,
+    /// How the relaxation master was solved (monolithic vs Dantzig–Wolfe).
+    pub master_mode: MasterMode,
+    /// Whether column generation converged (the LP value is the optimum).
+    pub lp_converged: bool,
+    /// Column-generation pricing rounds.
+    pub lp_rounds: usize,
+    /// Simplex pivots across every master re-solve.
+    pub simplex_iterations: usize,
+    /// Dual-simplex reoptimization pivots (row-addition repairs).
+    pub dual_pivots: usize,
+    /// Pivots inside Dantzig–Wolfe pricing subproblems (0 when monolithic).
+    pub subproblem_pivots: usize,
 }
 
 impl OutcomeSummary {
-    /// Builds a summary from an instance and its outcome.
+    /// Builds a summary from an instance and its outcome. The engine
+    /// attribution fields are copied from [`AuctionOutcome::lp_info`], so a
+    /// serialized snapshot records *which* engine configuration produced the
+    /// numbers — perf regressions in `BENCH_e12.json`-style tables can then
+    /// be attributed (mode switch? pivot blow-up? lost convergence?) without
+    /// re-running the bench.
     pub fn new(instance: &AuctionInstance, outcome: &AuctionOutcome) -> Self {
         OutcomeSummary {
             num_bidders: instance.num_bidders(),
@@ -207,6 +431,14 @@ impl OutcomeSummary {
             empirical_ratio: outcome.empirical_ratio(),
             guarantee_factor: outcome.guarantee_factor,
             num_served: outcome.allocation.num_served(),
+            pricing: outcome.lp_info.pricing,
+            basis: outcome.lp_info.basis,
+            master_mode: outcome.lp_info.mode,
+            lp_converged: outcome.lp_converged,
+            lp_rounds: outcome.lp_info.rounds,
+            simplex_iterations: outcome.lp_info.simplex_iterations,
+            dual_pivots: outcome.lp_info.dual_pivots,
+            subproblem_pivots: outcome.lp_info.subproblem_pivots,
         }
     }
 }
@@ -348,6 +580,28 @@ mod tests {
         assert!((outcome.guarantee_factor - 8.0 * 2.0 * 1.0).abs() < 1e-9);
         // channel 0 must have at most one winner
         assert!(outcome.allocation.winners_of_channel(0).len() <= 1);
+    }
+
+    #[test]
+    fn try_solve_surfaces_pricing_round_truncation() {
+        let inst = cycle_instance(8, 2);
+        let solver = SolverBuilder::new().max_pricing_rounds(0).build();
+        match solver.try_solve(&inst) {
+            Err(SolveError::IterationLimit { partial, .. }) => {
+                assert!(!partial.converged);
+                assert!(partial.objective >= 0.0);
+            }
+            other => panic!("expected IterationLimit, got {other:?}"),
+        }
+        // the legacy path still degrades gracefully on the same options
+        let outcome = solver.solve(&inst);
+        assert!(!outcome.lp_converged);
+        // and with the default budget the strict path converges
+        let outcome = SolverBuilder::new()
+            .build()
+            .try_solve(&inst)
+            .expect("default budget converges");
+        assert!(outcome.lp_converged);
     }
 
     #[test]

@@ -307,7 +307,7 @@ struct Eta {
 /// Sparse LU factors of the basis with a product-form eta file.
 ///
 /// `B = Pᵀ L U` with row permutation `P` chosen by partial pivoting during
-/// a left-looking elimination; pivots append [`Eta`] matrices instead of
+/// a left-looking elimination; pivots append eta matrices instead of
 /// re-factorizing. See the module docs for the cost model.
 #[derive(Clone, Debug, Default)]
 pub struct SparseLu {

@@ -168,6 +168,25 @@ impl MasterProblem {
         true
     }
 
+    /// Changes the objective coefficient of an existing column (e.g. a
+    /// bidder re-bidding in a long-lived session: the column's bundle and
+    /// constraint coefficients are unchanged, only its value moves).
+    ///
+    /// The recorded warm-start basis stays **fully valid**: the constraint
+    /// matrix is untouched, so the basis is still primal feasible and its
+    /// factorization still factors the same `B`. Only dual feasibility is
+    /// lost, which is exactly what the next
+    /// [`solve_warm`](Self::solve_warm) repairs with ordinary primal
+    /// pivots — no refactorization, no phase 1.
+    ///
+    /// # Panics
+    /// Panics if `index` is not an existing column.
+    pub fn set_column_objective(&mut self, index: usize, objective: f64) {
+        self.columns[index].objective = objective;
+        // column index == variable index by construction
+        self.lp.set_objective_coefficient(index, objective);
+    }
+
     /// Appends a constraint row (e.g. a newly discovered conflict, or the
     /// rows of a bidder joining mid-auction). `coeffs` gives the new row's
     /// coefficients on **existing columns** by column index; columns added
@@ -927,6 +946,46 @@ mod tests {
         assert_eq!(third.status, LpStatus::Optimal);
         assert!(third.objective > 3.0);
         assert_eq!(master.last_dual_pivots(), 0);
+    }
+
+    /// Re-pricing a column keeps the recorded basis usable: the next warm
+    /// solve must reach the optimum of the re-priced LP (matching a cold
+    /// solve) with plain primal pivots.
+    #[test]
+    fn repriced_columns_resume_from_the_recorded_basis() {
+        let mut master = MasterProblem::new(
+            Sense::Maximize,
+            vec![
+                (Relation::Le, 2.0),
+                (Relation::Le, 1.0),
+                (Relation::Le, 1.0),
+            ],
+        );
+        for i in 0..2 {
+            master.add_column(GeneratedColumn {
+                objective: if i == 0 { 5.0 } else { 1.0 },
+                coeffs: vec![(0, 1.0), (i + 1, 1.0)],
+                tag: i as u64,
+            });
+        }
+        let options = SimplexOptions::default();
+        let first = master.solve_warm(&options);
+        assert_eq!(first.status, LpStatus::Optimal);
+        assert!((first.objective - 6.0).abs() < 1e-7);
+
+        // the cheap column becomes the valuable one and vice versa
+        master.set_column_objective(0, 0.5);
+        master.set_column_objective(1, 7.0);
+        let second = master.solve_warm(&options);
+        assert_eq!(second.status, LpStatus::Optimal);
+        assert!(
+            (second.objective - 7.5).abs() < 1e-7,
+            "{}",
+            second.objective
+        );
+        let cold = master.solve(&options);
+        assert!((cold.objective - second.objective).abs() < 1e-9);
+        assert_eq!(master.columns()[1].objective, 7.0);
     }
 
     #[test]

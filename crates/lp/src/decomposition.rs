@@ -299,18 +299,24 @@ impl DecomposedLp {
         &self.master
     }
 
-    /// Adds a **native** column (coefficients on coupling rows only).
+    /// Adds a **native** column (coefficients on coupling rows — original
+    /// or added via [`add_coupling_row`](Self::add_coupling_row) — never on
+    /// convexity rows).
     ///
     /// # Panics
-    /// Panics when the column references a convexity row or carries a block
-    /// tag.
+    /// Panics when the column references a convexity row, a row that does
+    /// not exist, or carries a block tag.
     pub fn add_native_column(&mut self, column: GeneratedColumn) -> bool {
         assert!(
             !is_block_tag(column.tag),
             "native tags must stay below BLOCK_COLUMN_TAG_BASE"
         );
+        let convexity_end = self.coupling + self.blocks.len();
         for &(r, _) in &column.coeffs {
-            assert!(r < self.coupling, "native columns live on coupling rows");
+            assert!(
+                r < self.coupling || (convexity_end..self.master.num_rows()).contains(&r),
+                "native columns live on coupling rows, not convexity rows"
+            );
         }
         self.master.add_column(column)
     }
@@ -318,21 +324,47 @@ impl DecomposedLp {
     /// Appends a coupling row mid-run (a new bidder, a new conflict
     /// constraint). `coeffs` are the row's coefficients on **existing
     /// master columns** by column index — including block columns, whose
-    /// coefficient is the row's value at their extreme point. The next
+    /// coefficient is the row's value at their extreme point.
+    /// `block_forms` states, for each block, the same row as a linear form
+    /// over the block's **local variables** (empty when the block does not
+    /// participate): it is appended to the block's linking map, so every
+    /// extreme-point column generated *after* this call automatically
+    /// carries the row's value at its point — the added row is enforced on
+    /// future columns, not just the current ones — and future native
+    /// columns may reference the returned row index directly. The next
     /// master solve reoptimizes through the dual simplex.
     ///
-    /// Note the new row is *not* retroactively added to the blocks' linking
-    /// maps: it constrains the columns generated so far, and any future
-    /// column that should feel it must carry its own coefficient. The row is
-    /// appended **after** the convexity rows — address it by the returned
-    /// index, not by `num_coupling_rows`.
+    /// The row is appended **after** the convexity rows — address it by the
+    /// returned index, not by `num_coupling_rows`.
+    ///
+    /// # Panics
+    /// Panics unless `block_forms` has exactly one (possibly empty) entry
+    /// per block, each referencing only existing local variables.
     pub fn add_coupling_row(
         &mut self,
         relation: Relation,
         rhs: f64,
         coeffs: Vec<(usize, f64)>,
+        block_forms: &[Vec<(usize, f64)>],
     ) -> usize {
-        self.master.add_row(relation, rhs, coeffs)
+        assert_eq!(
+            block_forms.len(),
+            self.blocks.len(),
+            "one linear form per block required (empty when the block does not participate)"
+        );
+        let row = self.master.add_row(relation, rhs, coeffs);
+        for (block, form) in self.blocks.iter_mut().zip(block_forms) {
+            for &(v, a) in form {
+                assert!(
+                    v < block.num_variables(),
+                    "block form references unknown local variable {v}"
+                );
+                if a != 0.0 {
+                    block.linking[v].push((row, a));
+                }
+            }
+        }
+        row
     }
 
     /// Builds the master column for block `b`'s extreme point `x` and
@@ -701,17 +733,26 @@ mod tests {
         let first = dw.solve(&mut source, &options).expect("dw failed");
         assert!(first.converged);
 
-        // Tighten: a new row over every existing master column, halving the
-        // usable convex weight of block 0's columns.
+        // Tighten: cap block 0's total variable mass at 0.5. The row is
+        // stated twice — on existing master columns (their value at the
+        // extreme point) and as a per-block linear form so every *future*
+        // extreme-point column of block 0 carries it too.
+        let block0_vars = dw.blocks[0].num_variables();
         let coeffs: Vec<(usize, f64)> = dw
             .master()
             .columns()
             .iter()
             .enumerate()
-            .filter(|(_, c)| is_block_tag(c.tag))
-            .map(|(idx, _)| (idx, 1.0))
+            .filter_map(|(idx, c)| {
+                let (b, point) = dw.block_points.get(&c.tag)?;
+                (*b == 0).then(|| (idx, point.iter().sum::<f64>()))
+            })
+            .filter(|&(_, a)| a != 0.0)
             .collect();
-        dw.add_coupling_row(Relation::Le, 0.5, coeffs);
+        let mut block_forms = vec![Vec::new(); dw.num_blocks()];
+        block_forms[0] = (0..block0_vars).map(|v| (v, 1.0)).collect();
+        let cap = 0.5;
+        dw.add_coupling_row(Relation::Le, cap, coeffs, &block_forms);
         let second = dw.solve(&mut source, &options).expect("dw failed");
         assert_eq!(second.solution.status, LpStatus::Optimal);
         assert!(
@@ -721,6 +762,14 @@ mod tests {
         assert!(
             second.stats.dual_pivots > 0,
             "the added row must be absorbed by the dual simplex"
+        );
+        // The cap binds the *reconstructed* block solution — including any
+        // extreme-point columns generated after the row was added, which
+        // must have carried the row's value through the block form.
+        let mass: f64 = dw.block_solution(0, &second.solution).iter().sum();
+        assert!(
+            mass <= cap + 1e-7,
+            "block 0 mass {mass} violates the added cap {cap}"
         );
     }
 

@@ -36,7 +36,7 @@
 //! [`crate::simplex`], and the dual loop itself hands its repaired basis to
 //! the primal engine for final pricing/extraction, so the reported solution
 //! always satisfies the primal engine's invariants (and its
-//! [`SolveStats::dual_pivots`] records the repair work).
+//! [`crate::simplex::SolveStats::dual_pivots`] records the repair work).
 
 use crate::basis::{make_factorization, BasisFactorization, SparseColumn};
 use crate::problem::{CscMatrix, LinearProgram, Relation, Sense};

@@ -16,6 +16,14 @@
 //!   current duals and runs the LP-rounding pipeline on it; the resulting
 //!   integral allocation enters the master if it improves the cover.
 //!
+//! The adjusted instances of successive pricing rounds differ **only in
+//! their valuations** (the conflict structure, ordering and ρ never move),
+//! so the verifier keeps one [`AuctionSession`] alive across the whole
+//! decomposition: each round swaps the valuations in through
+//! [`AuctionSession::update_valuation`] — which re-prices the session's
+//! column pool in place and resumes the recorded master basis — instead of
+//! rebuilding the relaxation LP from scratch.
+//!
 //! If the randomized verifier achieves its `α = 8√k·ρ` (resp. `16√k·ρ·⌈log
 //! n⌉`) guarantee on every pricing round, the final objective is at most 1
 //! and `x*/α` is covered; otherwise the measured objective is reported as
@@ -27,7 +35,8 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use ssa_core::allocation::Allocation;
 use ssa_core::lp_formulation::FractionalAssignment;
-use ssa_core::solver::{SolverOptions, SpectrumAuctionSolver};
+use ssa_core::session::AuctionSession;
+use ssa_core::solver::{SolveError, SolverOptions, SpectrumAuctionSolver};
 use ssa_core::valuation::{TabularValuation, Valuation};
 use ssa_core::{AuctionInstance, ChannelSet};
 use ssa_lp::{ColumnGeneration, GeneratedColumn, MasterProblem, Relation, Sense};
@@ -207,9 +216,15 @@ pub fn decompose(
     // tag offset.
     let base_tag = allocations.len() as u64;
     let mut produced: Vec<Allocation> = Vec::new();
+    // One verifier session shared by every pricing round: the adjusted
+    // instances differ only in their valuations, so re-bidding through the
+    // session reuses the master's column pool and warm basis instead of
+    // paying a cold LP start per round.
+    let mut verifier_session: Option<AuctionSession> = None;
     let pricing_rounds;
     {
         let produced_ref = &mut produced;
+        let session_ref = &mut verifier_session;
         let mut pricing = |duals: &[f64]| -> Vec<GeneratedColumn> {
             // adjusted valuations: bidder v values exactly bundle T at the
             // dual of row (v, T) (non-negative for a covering LP)
@@ -230,14 +245,34 @@ pub fn decompose(
                         as Arc<dyn Valuation>
                 })
                 .collect();
-            let adjusted = AuctionInstance::new(
-                instance.num_channels,
-                bidders,
-                instance.conflicts.clone(),
-                instance.ordering.clone(),
-                instance.rho,
-            );
-            let outcome = solver.solve(&adjusted);
+            let session = match session_ref {
+                Some(session) => {
+                    // one batch: a single master-column scan re-prices all
+                    // n bidders' pool columns at the new adjusted valuations
+                    session.update_valuations(bidders.into_iter().enumerate().collect());
+                    session
+                }
+                None => {
+                    let adjusted = AuctionInstance::new(
+                        instance.num_channels,
+                        bidders,
+                        instance.conflicts.clone(),
+                        instance.ordering.clone(),
+                        instance.rho,
+                    );
+                    session_ref.insert(AuctionSession::new(adjusted, options.verifier.clone()))
+                }
+            };
+            let outcome = match session.resolve() {
+                Ok(outcome) => outcome,
+                // An out-of-budget verifier degrades to the legacy lenient
+                // solve for this round (its truncated answer only weakens
+                // the cover, never corrupts it)...
+                Err(SolveError::IterationLimit { .. }) => solver.solve(session.instance()),
+                // ...but an infeasible LP or rounding is a bug and must stay
+                // as loud as the pre-session release assert was.
+                Err(e) => panic!("Lavi-Swamy verifier failed: {e}"),
+            };
             // clean: keep only bundles that correspond to support pairs
             let mut allocation = Allocation::empty(n);
             for v in 0..n {

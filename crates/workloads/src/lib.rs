@@ -16,7 +16,10 @@
 //!   configurable value ranges,
 //! * **named end-to-end scenarios** ([`scenarios`]) that combine a
 //!   placement, an interference model and a valuation profile into a ready
-//!   [`ssa_core::AuctionInstance`], reproducibly from a seed.
+//!   [`ssa_core::AuctionInstance`], reproducibly from a seed,
+//! * **dynamic markets** ([`scenarios::dynamic_market_scenario`]) — an
+//!   initial market plus a deterministic arrival/departure/re-bid event
+//!   stream driving an incremental [`ssa_core::session::AuctionSession`].
 
 #![warn(missing_docs)]
 
@@ -28,7 +31,8 @@ pub use placement::{
     clustered_points, grid_points, random_disks, random_links, uniform_points, PlacementConfig,
 };
 pub use scenarios::{
-    asymmetric_scenario, disk_scenario, physical_scenario, power_control_scenario,
-    protocol_scenario, GeneratedInstance, ScenarioConfig, ValuationProfile,
+    apply_event, asymmetric_scenario, disk_scenario, dynamic_market_scenario, physical_scenario,
+    power_control_scenario, protocol_scenario, DynamicMarketConfig, DynamicMarketScenario,
+    GeneratedInstance, MarketEvent, ScenarioConfig, ValuationProfile,
 };
 pub use valuations::{random_valuation, sample_valuations};

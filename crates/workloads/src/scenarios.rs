@@ -9,17 +9,20 @@ use crate::placement::{
 };
 use crate::valuations::{sample_valuations, ValuationKind};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use ssa_conflict_graph::certified_rho;
 use ssa_conflict_graph::VertexOrdering;
 use ssa_core::instance::ConflictStructure;
+use ssa_core::session::{AuctionSession, BidderConflicts};
+use ssa_core::valuation::Valuation;
 use ssa_core::AuctionInstance;
 use ssa_geometry::LinkMetric;
 use ssa_interference::{
     DiskGraphModel, PhysicalModel, PowerAssignment, PowerControlModel, ProtocolModel,
     SinrParameters,
 };
+use std::sync::Arc;
 
 /// Which valuation mix a scenario uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -295,6 +298,289 @@ pub fn asymmetric_scenario(config: &ScenarioConfig, delta: f64) -> GeneratedInst
     }
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic secondary markets: arrival / departure / re-bid event streams
+// ---------------------------------------------------------------------------
+
+/// One event of a dynamic secondary market, phrased in terms of the
+/// market's state **at application time** (bidder indices refer to the
+/// session the event is applied to, not to the generator's internal
+/// universe). Apply with [`apply_event`].
+#[derive(Clone)]
+pub enum MarketEvent {
+    /// A bidder arrives with the given valuation, conflicting with the
+    /// listed present bidders.
+    Arrival {
+        /// The newcomer's valuation (over the instance's channel count).
+        valuation: Arc<dyn Valuation>,
+        /// Present bidders the newcomer conflicts with.
+        neighbors: Vec<usize>,
+    },
+    /// The bidder at this index departs; later indices shift down by one.
+    Departure {
+        /// Index of the departing bidder.
+        bidder: usize,
+    },
+    /// A present bidder re-bids with a new valuation.
+    Rebid {
+        /// Index of the re-bidding bidder.
+        bidder: usize,
+        /// Its replacement valuation.
+        valuation: Arc<dyn Valuation>,
+    },
+}
+
+impl std::fmt::Debug for MarketEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarketEvent::Arrival { neighbors, .. } => {
+                write!(f, "Arrival {{ neighbors: {neighbors:?} }}")
+            }
+            MarketEvent::Departure { bidder } => write!(f, "Departure {{ bidder: {bidder} }}"),
+            MarketEvent::Rebid { bidder, .. } => write!(f, "Rebid {{ bidder: {bidder} }}"),
+        }
+    }
+}
+
+/// Mix and length of a dynamic-market event stream.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DynamicMarketConfig {
+    /// Number of events to generate. Streams where only departures carry
+    /// weight may end early: a departure that would empty the market is
+    /// dropped rather than silently converted to an excluded kind.
+    pub num_events: usize,
+    /// Relative weight of arrivals.
+    pub arrival_weight: f64,
+    /// Relative weight of departures.
+    pub departure_weight: f64,
+    /// Relative weight of re-bids.
+    pub rebid_weight: f64,
+}
+
+impl Default for DynamicMarketConfig {
+    fn default() -> Self {
+        DynamicMarketConfig {
+            num_events: 16,
+            arrival_weight: 0.4,
+            departure_weight: 0.3,
+            rebid_weight: 0.3,
+        }
+    }
+}
+
+impl DynamicMarketConfig {
+    /// A stream of `m` pure arrivals (the incremental-growth shape the
+    /// `e15_incremental` bench measures).
+    pub fn arrivals_only(m: usize) -> Self {
+        DynamicMarketConfig {
+            num_events: m,
+            arrival_weight: 1.0,
+            departure_weight: 0.0,
+            rebid_weight: 0.0,
+        }
+    }
+
+    /// A stream of `m` pure departures (the warm-from-pool rebuild shape —
+    /// the session's weakest path, measured honestly by `e15_incremental`).
+    pub fn departures_only(m: usize) -> Self {
+        DynamicMarketConfig {
+            num_events: m,
+            arrival_weight: 0.0,
+            departure_weight: 1.0,
+            rebid_weight: 0.0,
+        }
+    }
+
+    /// A stream of `m` pure re-bids.
+    pub fn rebids_only(m: usize) -> Self {
+        DynamicMarketConfig {
+            num_events: m,
+            arrival_weight: 0.0,
+            departure_weight: 0.0,
+            rebid_weight: 1.0,
+        }
+    }
+}
+
+/// A protocol-model market together with a deterministic stream of
+/// arrival/departure/re-bid events, produced by
+/// [`dynamic_market_scenario`].
+#[derive(Clone)]
+pub struct DynamicMarketScenario {
+    /// The market at time zero.
+    pub initial: GeneratedInstance,
+    /// The events, in order; bidder indices are relative to the market
+    /// state when the event is applied.
+    pub events: Vec<MarketEvent>,
+}
+
+/// Generates a dynamic protocol-model market: the initial instance holds
+/// `config.num_bidders` bidders, and the event stream is sampled from a
+/// *universe* of `num_bidders + #arrivals` link placements so that arriving
+/// bidders carry geometrically consistent conflicts. The instance uses the
+/// arrival-order (identity) ordering π — the natural online ordering — and
+/// the ρ certified for the full universe graph, which stays valid as the
+/// market shrinks and grows.
+///
+/// Deterministic given `config.seed` and `dynamics`.
+pub fn dynamic_market_scenario(
+    config: &ScenarioConfig,
+    dynamics: &DynamicMarketConfig,
+    delta: f64,
+) -> DynamicMarketScenario {
+    let n0 = config.num_bidders;
+    assert!(n0 >= 1, "the initial market needs at least one bidder");
+    let mut rng = config.rng();
+
+    // Sample the event kinds first so the universe of placements covers
+    // every arrival. 0 = arrival, 1 = departure, 2 = rebid.
+    let total = dynamics.arrival_weight + dynamics.departure_weight + dynamics.rebid_weight;
+    assert!(total > 0.0, "event weights must not all be zero");
+    let mut kinds = Vec::with_capacity(dynamics.num_events);
+    let mut present_count = n0;
+    for _ in 0..dynamics.num_events {
+        let draw: f64 = rng.random_range(0.0..total);
+        let mut kind = if draw < dynamics.arrival_weight {
+            0
+        } else if draw < dynamics.arrival_weight + dynamics.departure_weight {
+            1
+        } else {
+            2
+        };
+        // Never empty the market: an inapplicable departure is re-drawn as
+        // another kind *with positive weight* — never as a kind the caller
+        // excluded (a `departures_only` stream must not silently contain
+        // re-bids). If departures are the only weighted kind, the stream
+        // simply ends early.
+        if kind == 1 && present_count <= 1 {
+            if dynamics.arrival_weight > 0.0 {
+                kind = 0;
+            } else if dynamics.rebid_weight > 0.0 {
+                kind = 2;
+            } else {
+                break;
+            }
+        }
+        match kind {
+            0 => present_count += 1,
+            1 => present_count -= 1,
+            _ => {}
+        }
+        kinds.push(kind);
+    }
+    let num_arrivals = kinds.iter().filter(|&&k| k == 0).count();
+
+    // The universe: one protocol-model placement covering the initial
+    // bidders and every future arrival.
+    let n_universe = n0 + num_arrivals;
+    let points = if config.clustered {
+        clustered_points(n_universe, &config.placement, &mut rng)
+    } else {
+        uniform_points(n_universe, config.placement.area_side, &mut rng)
+    };
+    let links = random_links(&points, 1.0, 4.0, &mut rng);
+    let universe_graph = ProtocolModel::new(links, delta).conflict_graph();
+    let universe_valuations = sample_valuations(
+        n_universe,
+        &config.valuations.kinds(),
+        config.num_channels,
+        config.value_range.0,
+        config.value_range.1,
+        &mut rng,
+    );
+    let rho = certified_rho(&universe_graph, &VertexOrdering::identity(n_universe)).rho_ceil();
+
+    // The initial market: universe bidders 0..n0 (positional identity).
+    let initial_vertices: Vec<usize> = (0..n0).collect();
+    let (initial_graph, _) = universe_graph.induced_subgraph(&initial_vertices);
+    let instance = AuctionInstance::new(
+        config.num_channels,
+        universe_valuations[..n0].to_vec(),
+        ConflictStructure::Binary(initial_graph),
+        VertexOrdering::identity(n0),
+        rho,
+    );
+
+    // Replay the event kinds against a simulated presence list to phrase
+    // each event in at-application-time indices.
+    let mut present: Vec<usize> = (0..n0).collect(); // universe ids, session order
+    let mut next_arrival = n0;
+    let mut events = Vec::with_capacity(kinds.len());
+    for kind in kinds {
+        match kind {
+            0 => {
+                let u = next_arrival;
+                next_arrival += 1;
+                let neighbors: Vec<usize> = present
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| universe_graph.has_edge(p, u))
+                    .map(|(i, _)| i)
+                    .collect();
+                events.push(MarketEvent::Arrival {
+                    valuation: universe_valuations[u].clone(),
+                    neighbors,
+                });
+                present.push(u);
+            }
+            1 => {
+                let idx = rng.random_range(0..present.len());
+                events.push(MarketEvent::Departure { bidder: idx });
+                present.remove(idx);
+            }
+            _ => {
+                let idx = rng.random_range(0..present.len());
+                let valuation = sample_valuations(
+                    1,
+                    &config.valuations.kinds(),
+                    config.num_channels,
+                    config.value_range.0,
+                    config.value_range.1,
+                    &mut rng,
+                )
+                .pop()
+                .expect("sampled one valuation");
+                events.push(MarketEvent::Rebid {
+                    bidder: idx,
+                    valuation,
+                });
+            }
+        }
+    }
+
+    DynamicMarketScenario {
+        initial: GeneratedInstance {
+            instance,
+            model_name: format!("dynamic-protocol(delta={delta},events={})", events.len()),
+            certified_rho: rho,
+            theoretical_rho: None,
+        },
+        events,
+    }
+}
+
+/// Applies one market event to a session (arrivals become
+/// [`AuctionSession::add_bidder`], departures
+/// [`AuctionSession::remove_bidder`], re-bids
+/// [`AuctionSession::update_valuation`]).
+pub fn apply_event(session: &mut AuctionSession, event: &MarketEvent) {
+    match event {
+        MarketEvent::Arrival {
+            valuation,
+            neighbors,
+        } => {
+            session.add_bidder(
+                valuation.clone(),
+                BidderConflicts::Binary(neighbors.clone()),
+            );
+        }
+        MarketEvent::Departure { bidder } => session.remove_bidder(*bidder),
+        MarketEvent::Rebid { bidder, valuation } => {
+            session.update_valuation(*bidder, valuation.clone())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +653,63 @@ mod tests {
         let solver = SpectrumAuctionSolver::default();
         let outcome = solver.solve(&generated.instance);
         assert!(outcome.allocation.is_feasible(&generated.instance));
+    }
+
+    #[test]
+    fn dynamic_market_streams_are_deterministic_and_apply_cleanly() {
+        use ssa_core::solver::SolverBuilder;
+
+        let config = ScenarioConfig::new(10, 2, 31);
+        let dynamics = DynamicMarketConfig::default();
+        let scenario = dynamic_market_scenario(&config, &dynamics, 1.0);
+        assert_eq!(scenario.events.len(), dynamics.num_events);
+        assert_eq!(scenario.initial.instance.num_bidders(), 10);
+
+        // reproducibility
+        let again = dynamic_market_scenario(&config, &dynamics, 1.0);
+        assert_eq!(
+            scenario.initial.instance.welfare_upper_bound(),
+            again.initial.instance.welfare_upper_bound()
+        );
+        assert_eq!(scenario.events.len(), again.events.len());
+
+        // the full stream drives a session without invalidating the LP
+        let mut session = SolverBuilder::new().session(scenario.initial.instance.clone());
+        session
+            .resolve_relaxation()
+            .expect("initial resolve failed");
+        for event in &scenario.events {
+            apply_event(&mut session, event);
+        }
+        let frac = session.resolve_relaxation().expect("final resolve failed");
+        assert!(frac.converged);
+        assert!(frac.satisfies_constraints(session.instance(), 1e-6));
+        assert!(session.instance().num_bidders() >= 1);
+    }
+
+    #[test]
+    fn arrivals_only_streams_grow_the_market() {
+        use ssa_core::solver::SolverBuilder;
+
+        let config = ScenarioConfig::new(6, 2, 77);
+        let scenario =
+            dynamic_market_scenario(&config, &DynamicMarketConfig::arrivals_only(4), 1.0);
+        assert!(scenario
+            .events
+            .iter()
+            .all(|e| matches!(e, MarketEvent::Arrival { .. })));
+        let mut session = SolverBuilder::new().session(scenario.initial.instance.clone());
+        session
+            .resolve_relaxation()
+            .expect("initial resolve failed");
+        for event in &scenario.events {
+            apply_event(&mut session, event);
+        }
+        session.resolve_relaxation().expect("warm resolve failed");
+        assert_eq!(session.instance().num_bidders(), 10);
+        // arrivals ride the dual-simplex row path, not a rebuild
+        assert_eq!(session.stats().warm_row_resolves, 1);
+        assert_eq!(session.stats().cold_resolves, 1);
     }
 
     #[test]

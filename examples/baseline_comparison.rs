@@ -11,8 +11,7 @@
 use spectrum_auctions::auction::edge_lp::edge_lp_baseline;
 use spectrum_auctions::auction::exact::solve_exact_default;
 use spectrum_auctions::auction::greedy::{greedy_by_bundle_value, greedy_channel_by_channel};
-use spectrum_auctions::auction::rounding::RoundingOptions;
-use spectrum_auctions::auction::solver::{SolverOptions, SpectrumAuctionSolver};
+use spectrum_auctions::auction::solver::SolverBuilder;
 use spectrum_auctions::workloads::{protocol_scenario, ScenarioConfig, ValuationProfile};
 
 fn main() {
@@ -31,13 +30,7 @@ fn main() {
         let instance = &generated.instance;
 
         let exact = solve_exact_default(instance);
-        let solver = SpectrumAuctionSolver::new(SolverOptions {
-            rounding: RoundingOptions {
-                seed: 1,
-                trials: 64,
-            },
-            ..Default::default()
-        });
+        let solver = SolverBuilder::new().rounding(1, 64).build();
         let lp_round = solver.solve(instance);
         let greedy_channel = greedy_channel_by_channel(instance).social_welfare(instance);
         let greedy_bundle = greedy_by_bundle_value(instance).social_welfare(instance);

@@ -1,15 +1,23 @@
-//! Quickstart: a small secondary spectrum auction end to end.
+//! Quickstart: a small secondary spectrum auction end to end, then
+//! incrementally.
 //!
 //! Six base stations (transmitters with coverage disks) bid on three
 //! channels. We build the disk-graph conflict model (Proposition 9 of the
-//! paper certifies ρ ≤ 5 for the radius-descending ordering), solve the LP
-//! relaxation through the bidders' demand oracles, round it with
-//! Algorithm 1 and print the resulting feasible allocation.
+//! paper certifies ρ ≤ 5 for the radius-descending ordering), configure the
+//! pipeline with [`SolverBuilder`] — the one place to pick the LP engine,
+//! the master mode and the rounding stage — and solve. Then we open an
+//! [`AuctionSession`] over the same market and let a seventh operator
+//! arrive: the session reuses the LP state (dual-simplex row absorption)
+//! instead of re-solving from scratch.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! [`SolverBuilder`]: spectrum_auctions::auction::solver::SolverBuilder
+//! [`AuctionSession`]: spectrum_auctions::auction::session::AuctionSession
 
 use spectrum_auctions::auction::instance::ConflictStructure;
-use spectrum_auctions::auction::solver::{SolverOptions, SpectrumAuctionSolver};
+use spectrum_auctions::auction::session::BidderConflicts;
+use spectrum_auctions::auction::solver::SolverBuilder;
 use spectrum_auctions::auction::{AuctionInstance, ChannelSet, Valuation, XorValuation};
 use spectrum_auctions::geometry::{Disk, Point2D};
 use spectrum_auctions::interference::DiskGraphModel;
@@ -69,8 +77,12 @@ fn main() {
     );
 
     // 5. Solve: LP relaxation by column generation + Algorithm 1 rounding.
-    let solver = SpectrumAuctionSolver::new(SolverOptions::default());
-    let outcome = solver.solve(&instance);
+    //    The builder is the single configuration point (engine, master mode,
+    //    rounding); defaults are Devex × sparse LU on a monolithic master.
+    let solver = SolverBuilder::new().rounding(1, 16).build();
+    let outcome = solver
+        .try_solve(&instance)
+        .expect("well-formed instances solve");
 
     println!();
     println!(
@@ -96,4 +108,27 @@ fn main() {
     assert!(outcome.allocation.is_feasible(&instance));
     println!();
     println!("feasible: every channel's winners form an independent set of the conflict graph ✓");
+
+    // 6. The market is dynamic: open a session and let operator 6 arrive
+    //    (conflicting with the stations it overlaps). The session absorbs
+    //    the newcomer's LP rows through the dual simplex and re-solves warm
+    //    instead of rebuilding the LP.
+    let mut session = SolverBuilder::new().rounding(1, 16).session(instance);
+    let before = session.resolve().expect("initial resolve");
+    session.add_bidder(
+        bid(vec![(vec![0], 7.5), (vec![1, 2], 12.0)]),
+        BidderConflicts::Binary(vec![1, 4]),
+    );
+    let after = session.resolve().expect("incremental resolve");
+    println!();
+    println!(
+        "after one arrival (warm resolve): b* {:.3} -> {:.3}, welfare {:.3} -> {:.3}",
+        before.lp_objective, after.lp_objective, before.welfare, after.welfare
+    );
+    let stats = session.stats();
+    println!(
+        "session paths: {} cold, {} dual-simplex row absorptions",
+        stats.cold_resolves, stats.warm_row_resolves
+    );
+    assert!(after.allocation.is_feasible(session.instance()));
 }

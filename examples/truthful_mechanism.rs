@@ -8,6 +8,7 @@
 //!
 //! Run with: `cargo run --example truthful_mechanism`
 
+use spectrum_auctions::auction::solver::SolverBuilder;
 use spectrum_auctions::mechanism::{TruthfulMechanism, TruthfulMechanismOptions};
 use spectrum_auctions::workloads::{protocol_scenario, ScenarioConfig, ValuationProfile};
 
@@ -17,7 +18,13 @@ fn main() {
     let generated = protocol_scenario(&config, 1.0);
     let instance = &generated.instance;
 
-    let mechanism = TruthfulMechanism::new(TruthfulMechanismOptions::default());
+    // The decomposition's verifier (the approximation pipeline run on the
+    // adjusted valuations of each pricing round) is configured through the
+    // builder like any other pipeline; the mechanism reuses one incremental
+    // session for it across all pricing rounds.
+    let mut options = TruthfulMechanismOptions::default();
+    options.decomposition.verifier = SolverBuilder::new().rounding(3, 32).options();
+    let mechanism = TruthfulMechanism::new(options);
     let outcome = mechanism.run(instance, 99);
 
     println!("=== truthful-in-expectation spectrum auction ===");

@@ -13,6 +13,65 @@
 //! conflict graphs with provably small ρ, and the Lavi–Swamy framework turns
 //! the approximation algorithms into truthful-in-expectation mechanisms.
 //!
+//! ## Solving: one-shot and incremental
+//!
+//! Everything is configured through one builder,
+//! [`auction::solver::SolverBuilder`], which produces either a one-shot
+//! solver or — because secondary markets are inherently dynamic — a
+//! long-lived [`auction::session::AuctionSession`] that accepts mutations
+//! (arrivals, departures, re-bids, ρ and channel changes) and reuses the
+//! LP state across resolves (warm bases, dual-simplex row absorption,
+//! in-place column re-pricing, a persistent column pool):
+//!
+//! ```no_run
+//! use spectrum_auctions::auction::session::BidderConflicts;
+//! use spectrum_auctions::auction::solver::SolverBuilder;
+//! use spectrum_auctions::auction::{BasisKind, MasterMode, PricingRule};
+//! # fn demo(instance: spectrum_auctions::auction::AuctionInstance,
+//! #         newcomer: std::sync::Arc<dyn spectrum_auctions::auction::Valuation>) {
+//! // one-shot, with typed errors instead of panics:
+//! let solver = SolverBuilder::new()
+//!     .engine(PricingRule::Devex, BasisKind::SparseLu)
+//!     .master_mode(MasterMode::Monolithic)
+//!     .rounding(7, 32)
+//!     .build();
+//! let outcome = solver.try_solve(&instance).expect("solve failed");
+//!
+//! // incremental: the session owns the instance and the LP state
+//! let mut session = SolverBuilder::new().rounding(7, 32).session(instance);
+//! let first = session.resolve().expect("solve failed");
+//! session.add_bidder(newcomer, BidderConflicts::Binary(vec![0, 3]));
+//! let warm = session.resolve().expect("warm resolve failed"); // dual-simplex path
+//! # let _ = (outcome, first, warm);
+//! # }
+//! ```
+//!
+//! Failures surface as [`auction::solver::SolveError`]
+//! (`IterationLimit` with the partial LP attached, `Infeasible`,
+//! `InfeasibleRounding`) from the `try_solve` / `resolve` entry points; the
+//! legacy `solve` entry points keep their degrade-gracefully behavior with a
+//! `debug_assert!`-only feasibility check.
+//!
+//! ### Migrating from `SolverOptions`
+//!
+//! `SolverOptions` (and the nested `LpFormulationOptions` /
+//! `SimplexOptions` / `RoundingOptions`) remain as thin shims, so existing
+//! code keeps compiling. New code should use the builder; the mapping is
+//! mechanical:
+//!
+//! | before | after |
+//! |---|---|
+//! | `SolverOptions::default().with_engine(p, b)` | `SolverBuilder::new().engine(p, b)` |
+//! | `SolverOptions::default().with_master_mode(m)` | `SolverBuilder::new().master_mode(m)` |
+//! | `SolverOptions { rounding: RoundingOptions { seed, trials }, .. }` | `SolverBuilder::new().rounding(seed, trials)` |
+//! | `SpectrumAuctionSolver::new(options)` | `SolverBuilder::new()…`[`.build()`](auction::solver::SolverBuilder::build) |
+//! | n/a (one-shot only) | `SolverBuilder::new()…`[`.session(instance)`](auction::solver::SolverBuilder::session) |
+//!
+//! Knobs without a builder method (e.g. simplex tolerances) remain
+//! reachable through [`auction::solver::SolverBuilder::options`].
+//!
+//! ## Crate map
+//!
 //! Each sub-crate is re-exported here under a short module name; see the
 //! individual crates for full documentation:
 //!
@@ -21,14 +80,18 @@
 //! * [`geometry`] — points, metrics, disks, links.
 //! * [`interference`] — protocol / 802.11 / distance-2 / physical (SINR)
 //!   models producing conflict graphs with certified ρ.
-//! * [`lp`] — the LP solver (two-phase simplex + column generation).
+//! * [`lp`] — the LP engine (sparse revised simplex with pluggable pricing ×
+//!   basis factorization, column generation, dual-simplex reoptimization,
+//!   Dantzig–Wolfe decomposition).
 //! * [`auction`] — the combinatorial auction: valuations, demand oracles,
 //!   LP relaxations (1)/(4), rounding Algorithms 1–3, baselines, exact
-//!   solver, asymmetric channels.
+//!   solver, asymmetric channels, the [`auction::solver`] pipeline and the
+//!   incremental [`auction::session`].
 //! * [`mechanism`] — Lavi–Swamy decomposition and the truthful-in-expectation
-//!   mechanism.
-//! * [`workloads`] — synthetic instance generators used by the examples,
-//!   tests and benchmarks.
+//!   mechanism (its verifier rides one session across pricing rounds).
+//! * [`workloads`] — synthetic instance generators, including dynamic-market
+//!   arrival/departure/re-bid event streams
+//!   ([`workloads::scenarios::dynamic_market_scenario`]).
 
 pub use ssa_conflict_graph as conflict_graph;
 pub use ssa_core as auction;

@@ -1,0 +1,99 @@
+//! Session-vs-scratch equivalence: for random mutation streams
+//! (arrivals / departures / re-bids), [`AuctionSession::resolve_relaxation`]
+//! must reach the same LP optimum as a from-scratch `solve_relaxation` of
+//! the mutated instance — on **every** pricing × basis × master-mode
+//! combination, because the warm paths (dual-simplex row absorption,
+//! in-place column re-pricing, warm-from-pool rebuilds) only change the
+//! starting basis, never the feasible region.
+//!
+//! [`AuctionSession::resolve_relaxation`]:
+//! spectrum_auctions::auction::session::AuctionSession::resolve_relaxation
+
+use spectrum_auctions::auction::lp_formulation::solve_relaxation;
+use spectrum_auctions::auction::solver::SolverBuilder;
+use spectrum_auctions::auction::{BasisKind, MasterMode, PricingRule};
+use spectrum_auctions::workloads::{
+    apply_event, dynamic_market_scenario, DynamicMarketConfig, ScenarioConfig, ValuationProfile,
+};
+
+const ENGINES: [(PricingRule, BasisKind); 6] = [
+    (PricingRule::Dantzig, BasisKind::ProductForm),
+    (PricingRule::Dantzig, BasisKind::SparseLu),
+    (PricingRule::Bland, BasisKind::ProductForm),
+    (PricingRule::Bland, BasisKind::SparseLu),
+    (PricingRule::Devex, BasisKind::ProductForm),
+    (PricingRule::Devex, BasisKind::SparseLu),
+];
+
+const MODES: [MasterMode; 2] = [MasterMode::Monolithic, MasterMode::DantzigWolfe];
+
+fn run_stream(seed: u64, dynamics: &DynamicMarketConfig) {
+    let mut config = ScenarioConfig::new(8, 2, seed);
+    config.valuations = ValuationProfile::Mixed;
+    let scenario = dynamic_market_scenario(&config, dynamics, 1.0);
+
+    for mode in MODES {
+        for (pricing, basis) in ENGINES {
+            let options = SolverBuilder::new()
+                .engine(pricing, basis)
+                .master_mode(mode)
+                .options();
+            let mut session = SolverBuilder::new()
+                .engine(pricing, basis)
+                .master_mode(mode)
+                .session(scenario.initial.instance.clone());
+            session
+                .resolve_relaxation()
+                .expect("initial resolve failed");
+            for (step, event) in scenario.events.iter().enumerate() {
+                apply_event(&mut session, event);
+                let warm = session.resolve_relaxation().unwrap_or_else(|e| {
+                    panic!("seed {seed} {pricing:?}x{basis:?} {mode:?} step {step}: {e}")
+                });
+                let scratch = solve_relaxation(session.instance(), &options.lp);
+                assert!(
+                    warm.converged && scratch.converged,
+                    "seed {seed} {pricing:?}x{basis:?} {mode:?} step {step}: non-converged"
+                );
+                let scale = 1.0 + scratch.objective.abs();
+                assert!(
+                    (warm.objective - scratch.objective).abs() <= 1e-5 * scale,
+                    "seed {seed} {pricing:?}x{basis:?} {mode:?} step {step} ({event:?}): \
+                     warm {} vs scratch {}",
+                    warm.objective,
+                    scratch.objective
+                );
+                assert!(
+                    warm.satisfies_constraints(session.instance(), 1e-6),
+                    "seed {seed} {pricing:?}x{basis:?} {mode:?} step {step}: infeasible warm LP"
+                );
+            }
+        }
+    }
+}
+
+/// Mixed arrival/departure/re-bid streams on every engine × mode combo.
+#[test]
+fn session_matches_scratch_on_mixed_mutation_streams() {
+    for seed in [11u64, 23] {
+        run_stream(
+            seed,
+            &DynamicMarketConfig {
+                num_events: 6,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+/// Pure-arrival streams exercise the dual-simplex row path specifically.
+#[test]
+fn session_matches_scratch_on_arrival_streams() {
+    run_stream(41, &DynamicMarketConfig::arrivals_only(5));
+}
+
+/// Pure re-bid streams exercise the in-place re-pricing path specifically.
+#[test]
+fn session_matches_scratch_on_rebid_streams() {
+    run_stream(59, &DynamicMarketConfig::rebids_only(5));
+}
