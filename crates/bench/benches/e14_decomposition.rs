@@ -67,22 +67,38 @@ fn bench_e14(c: &mut Criterion) {
     let mut group = c.benchmark_group("e14_decomposition");
 
     // --- the E12 LP stage under both master modes -------------------------
+    // The Dantzig–Wolfe master runs twice: lazy usage-row activation (the
+    // default — rows materialize at the active support through the
+    // dual-simplex path) vs the PR 3 eager master (all n·k + n + k rows up
+    // front), so the lazy-row win is measured directly.
     for &(n, k) in &[(50usize, 8usize), (200, 8)] {
         let generated = protocol_scenario(&ScenarioConfig::new(n, k, 4242), 1.0);
         let instance = &generated.instance;
         let monolithic_options = LpFormulationOptions::default();
-        let dw_options = LpFormulationOptions::default().with_master_mode(MasterMode::DantzigWolfe);
+        let dw_lazy_options =
+            LpFormulationOptions::default().with_master_mode(MasterMode::DantzigWolfe);
+        let dw_eager_options = LpFormulationOptions {
+            dw_lazy_rows: false,
+            ..LpFormulationOptions::default()
+        }
+        .with_master_mode(MasterMode::DantzigWolfe);
 
         // equivalence gate before timing
         let mono = solve_relaxation(instance, &monolithic_options);
-        let dw = solve_relaxation(instance, &dw_options);
-        assert!(mono.converged && dw.converged, "n{n}_k{k} must converge");
+        let dw_lazy = solve_relaxation(instance, &dw_lazy_options);
+        let dw_eager = solve_relaxation(instance, &dw_eager_options);
         assert!(
-            (mono.objective - dw.objective).abs() < 1e-5 * (1.0 + mono.objective.abs()),
-            "n{n}_k{k}: monolithic {} vs dantzig-wolfe {}",
-            mono.objective,
-            dw.objective
+            mono.converged && dw_lazy.converged && dw_eager.converged,
+            "n{n}_k{k} must converge"
         );
+        for (label, dw) in [("lazy", &dw_lazy), ("eager", &dw_eager)] {
+            assert!(
+                (mono.objective - dw.objective).abs() < 1e-5 * (1.0 + mono.objective.abs()),
+                "n{n}_k{k}: monolithic {} vs dantzig-wolfe({label}) {}",
+                mono.objective,
+                dw.objective
+            );
+        }
 
         group.bench_with_input(
             BenchmarkId::new("lp_monolithic", format!("n{n}_k{k}")),
@@ -92,7 +108,12 @@ fn bench_e14(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("lp_dantzig_wolfe", format!("n{n}_k{k}")),
             instance,
-            |b, inst| b.iter(|| solve_relaxation(inst, &dw_options)),
+            |b, inst| b.iter(|| solve_relaxation(inst, &dw_lazy_options)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lp_dw_eager", format!("n{n}_k{k}")),
+            instance,
+            |b, inst| b.iter(|| solve_relaxation(inst, &dw_eager_options)),
         );
     }
 

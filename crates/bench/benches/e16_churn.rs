@@ -1,17 +1,26 @@
-//! E15: incremental solving — warm `AuctionSession::resolve()` vs cold
-//! `SpectrumAuctionSolver::solve()` across mutation sizes.
+//! E16: market churn — interleaved arrival/departure/re-bid streams on a
+//! long-lived [`AuctionSession`] vs one-shot cold solves.
 //!
-//! A dynamic protocol-model market of `n` bidders is solved once to prime
-//! the session (outside timing), then mutated by a batch of `m` events.
-//! The *warm* measurement clones the primed session, applies the batch and
-//! resolves — paying the session clone, the dual-simplex row absorption
-//! (arrivals) or in-place re-pricing (re-bids), and the rounding stage.
-//! The *cold* baseline runs the one-shot pipeline on the mutated instance.
-//! `session_clone` measures the clone alone (the criterion shim offers only
-//! `iter`, so the warm numbers include one deep session copy per iteration
-//! that a long-lived production session would not pay).
+//! PR 5's row-lifecycle refactor routes **departures** through in-place
+//! row deactivation (the departed bidder's columns are fixed at zero, its
+//! `k + 1` rows are relaxed behind relief columns, and the surviving basis
+//! resumes with primal pivots) instead of the warm-from-pool rebuild that
+//! made e15's departure numbers an honest wash (1.02×/1.08×). This bench
+//! measures that path directly:
+//!
+//! * `warm_resolve` / `cold_solve` / `session_clone` — same protocol as
+//!   e15 (the warm side pays one deep session clone + the mutation batch +
+//!   rounding per iteration; `session_clone` isolates the clone).
+//! * `depart4` — four pure departures: the headline basis-preserving
+//!   removal measurement (the acceptance bar is ≥3× over cold at n = 800).
+//! * `churn16` — the default mixed stream (16 events, 40% arrivals / 30%
+//!   departures / 30% re-bids): every warm path interleaved, including
+//!   departure-then-arrival batches that force the dual path to validate a
+//!   master carrying relief columns.
 //!
 //! Both paths are asserted to reach the same LP optimum before timing.
+//!
+//! [`AuctionSession`]: ssa_core::session::AuctionSession
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssa_core::solver::SolverBuilder;
@@ -21,8 +30,7 @@ use ssa_workloads::{
 };
 use std::time::Duration;
 
-/// Rounding trials per pipeline run (both paths pay the same rounding bill;
-/// kept small so the LP stage dominates, as in a production re-solve).
+/// Rounding trials per pipeline run (both paths pay the same rounding bill).
 const TRIALS: usize = 4;
 const K: usize = 4;
 
@@ -91,27 +99,18 @@ fn bench_case(
     );
 }
 
-fn bench_e15(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e15_incremental");
+fn bench_e16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_churn");
 
     for &n in &[200usize, 800] {
-        let config = ScenarioConfig::new(n, K, 9000 + n as u64);
-        // arrival batches: the dual-simplex row path
-        for &m in &[1usize, 4, 16] {
-            let scenario =
-                dynamic_market_scenario(&config, &DynamicMarketConfig::arrivals_only(m), 1.0);
-            bench_case(&mut group, &format!("add{m}"), n, &scenario);
-        }
-        // re-bid batch: the in-place re-pricing path
-        let scenario = dynamic_market_scenario(&config, &DynamicMarketConfig::rebids_only(4), 1.0);
-        bench_case(&mut group, "rebid4", n, &scenario);
-        // departure batch: since PR 5 this rides the basis-preserving
-        // deactivation path (columns fixed at zero + relief rows, primal
-        // resume) — e16_churn measures it at depth; kept here for
-        // continuity with the PR 4 numbers
+        let config = ScenarioConfig::new(n, K, 16000 + n as u64);
+        // departures broken out: the basis-preserving removal path
         let scenario =
             dynamic_market_scenario(&config, &DynamicMarketConfig::departures_only(4), 1.0);
         bench_case(&mut group, "depart4", n, &scenario);
+        // the default interleaved mix: every warm path exercised
+        let scenario = dynamic_market_scenario(&config, &DynamicMarketConfig::default(), 1.0);
+        bench_case(&mut group, "churn16", n, &scenario);
     }
 
     group.finish();
@@ -124,5 +123,5 @@ fn config() -> Criterion {
         .warm_up_time(Duration::from_millis(300))
 }
 
-criterion_group! { name = benches; config = config(); targets = bench_e15 }
+criterion_group! { name = benches; config = config(); targets = bench_e16 }
 criterion_main!(benches);

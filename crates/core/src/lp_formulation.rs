@@ -26,7 +26,7 @@ use crate::instance::AuctionInstance;
 use crate::solver::SolveError;
 use serde::{Deserialize, Serialize};
 use ssa_lp::{
-    is_block_tag, BasisKind, ColumnGeneration, ColumnSource, DantzigWolfeError,
+    is_native_tag, BasisKind, ColumnGeneration, ColumnSource, DantzigWolfeError,
     DantzigWolfeOptions, DecomposedLp, DwStats, GeneratedColumn, LinearProgram, LpStatus,
     MasterMode, MasterProblem, PricingRule, Relation, Sense, SimplexOptions, Subproblem,
 };
@@ -76,6 +76,13 @@ pub struct RelaxationInfo {
     /// Dual-simplex reoptimization pivots spent absorbing row additions
     /// into the master (0 unless rows were added mid-run).
     pub dual_pivots: usize,
+    /// Rows deactivated in place on the master over its lifetime (the
+    /// session's basis-preserving departure path; always 0 on one-shot
+    /// solves).
+    pub rows_deactivated: usize,
+    /// Master compactions over its lifetime (deadweight physically removed
+    /// once it passed `LpFormulationOptions::compaction_threshold`).
+    pub compactions: usize,
 }
 
 impl Default for RelaxationInfo {
@@ -93,6 +100,8 @@ impl Default for RelaxationInfo {
             degenerate_pivots: 0,
             subproblem_pivots: 0,
             dual_pivots: 0,
+            rows_deactivated: 0,
+            compactions: 0,
         }
     }
 }
@@ -111,6 +120,8 @@ impl RelaxationInfo {
             degenerate_pivots: solution.stats.degenerate_pivots,
             subproblem_pivots: 0,
             dual_pivots: solution.stats.dual_pivots,
+            rows_deactivated: 0,
+            compactions: 0,
         }
     }
 
@@ -130,6 +141,8 @@ impl RelaxationInfo {
             degenerate_pivots: result.degenerate_pivots,
             subproblem_pivots: 0,
             dual_pivots: result.dual_pivots,
+            rows_deactivated: 0,
+            compactions: 0,
         }
     }
 
@@ -146,6 +159,8 @@ impl RelaxationInfo {
             degenerate_pivots: stats.degenerate_pivots,
             subproblem_pivots: stats.subproblem_pivots,
             dual_pivots: stats.dual_pivots,
+            rows_deactivated: 0,
+            compactions: 0,
         }
     }
 }
@@ -220,6 +235,18 @@ pub struct LpFormulationOptions {
     /// Entries with `x` below this threshold are dropped from the reported
     /// solution.
     pub support_tolerance: f64,
+    /// Dantzig–Wolfe only: materialize `(v, j)` usage rows lazily — the
+    /// master starts with just the rows touched by the seeded columns and
+    /// activates newly referenced rows through the dual-simplex
+    /// row-addition path as the demand oracle proposes bundles, instead of
+    /// eagerly building all `n·k + n + k` rows (most never touched by any
+    /// generated bundle). Exact either way; `false` recovers the PR 3 eager
+    /// master for comparison.
+    pub dw_lazy_rows: bool,
+    /// Session masters compact (physically remove deactivated rows and
+    /// dead columns, remapping the warm basis) once the deadweight fraction
+    /// reaches this threshold. `1.0` effectively disables compaction.
+    pub compaction_threshold: f64,
 }
 
 impl Default for LpFormulationOptions {
@@ -229,6 +256,8 @@ impl Default for LpFormulationOptions {
             master_mode: MasterMode::Monolithic,
             enumerate_all_bundles: false,
             support_tolerance: 1e-9,
+            dw_lazy_rows: true,
+            compaction_threshold: 0.25,
         }
     }
 }
@@ -556,9 +585,11 @@ pub(crate) fn extract(
     let mut objective = 0.0;
     if solution.status == LpStatus::Optimal || solution.status == LpStatus::IterationLimit {
         for (idx, col) in master.columns().iter().enumerate() {
-            if is_block_tag(col.tag) {
-                // Dantzig–Wolfe extreme-point columns are solver-internal:
-                // they certify channel feasibility but assign nothing.
+            if !is_native_tag(col.tag) {
+                // Solver-internal columns assign nothing: Dantzig–Wolfe
+                // extreme points certify channel feasibility, relief
+                // columns carry deactivated rows, dead tombstones are
+                // departed bidders' retired bundles.
                 continue;
             }
             let x = solution.x.get(idx).copied().unwrap_or(0.0);
@@ -691,7 +722,15 @@ fn solve_relaxation_dw(
         coupling.push((Relation::Le, 1.0));
     }
     let blocks: Vec<Subproblem> = (0..k).map(|j| channel_block(instance, j)).collect();
-    let mut dw = DecomposedLp::new(coupling, blocks);
+    // Lazy mode starts the master at the seeded-bundle support (usage rows
+    // are supply-side, so dormant rows cannot bind) and activates newly
+    // referenced rows through the dual-simplex path; eager mode is the
+    // PR 3 full-row master, kept selectable for the e14 comparison.
+    let mut dw = if options.dw_lazy_rows {
+        DecomposedLp::new_lazy(coupling, blocks)
+    } else {
+        DecomposedLp::new(coupling, blocks)
+    };
 
     let dw_options = DantzigWolfeOptions {
         master_simplex: options.column_generation.simplex,
@@ -746,7 +785,7 @@ fn solve_relaxation_dw(
         .master()
         .columns()
         .iter()
-        .filter(|c| !is_block_tag(c.tag))
+        .filter(|c| is_native_tag(c.tag))
         .count();
     let info = RelaxationInfo::from_dw(&solution, &stats, native_columns);
     let fractional = extract(

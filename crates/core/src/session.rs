@@ -14,8 +14,9 @@
 //! |---|---|
 //! | none | the cached [`FractionalAssignment`] is returned as-is |
 //! | re-bids only ([`update_valuation`](AuctionSession::update_valuation)) | pool columns are **re-priced in place**; the recorded basis is still primal feasible (the constraint matrix is untouched), so the master resumes with ordinary primal pivots |
-//! | arrivals ([`add_bidder`](AuctionSession::add_bidder)), possibly mixed with re-bids | the newcomer's `k + 1` rows ride [`MasterProblem::add_row`], and the next master solve repairs primal feasibility with the **dual simplex** (`lp::dual`) before column generation continues |
-//! | departures, ρ or channel changes | the master is rebuilt, but **warm-from-pool**: every previously discovered bundle is re-priced at the current valuations and seeded up front, so column generation starts near the previous optimum |
+//! | departures ([`remove_bidder`](AuctionSession::remove_bidder)), possibly mixed with re-bids | the departed bidder's columns are **fixed at zero** and its `k + 1` rows **deactivated in place** behind relief columns ([`MasterProblem::deactivate_rows`]); the surviving basis stays valid and primal feasible and resumes with primal pivots — accumulated deadweight is compacted away past `LpFormulationOptions::compaction_threshold` |
+//! | arrivals ([`add_bidder`](AuctionSession::add_bidder)), possibly mixed with the above | the newcomer's `k + 1` rows ride [`MasterProblem::add_row`], and the next master solve repairs primal feasibility with the **dual simplex** (`lp::dual`) before column generation continues |
+//! | ρ or channel changes | the master is rebuilt, but **warm-from-pool**: every previously discovered bundle is re-priced at the current valuations and seeded up front, so column generation starts near the previous optimum |
 //!
 //! Every warm answer is the exact LP optimum of the *current* instance —
 //! the warm paths change the starting basis, never the feasible region —
@@ -50,8 +51,8 @@ use crate::solver::{AuctionOutcome, SolveError, SolverOptions, SpectrumAuctionSo
 use crate::valuation::Valuation;
 use ssa_conflict_graph::{ConflictGraph, VertexOrdering, WeightedConflictGraph};
 use ssa_lp::{
-    ColumnGenerationError, ColumnSource, GeneratedColumn, MasterMode, MasterProblem, Relation,
-    Sense,
+    is_native_tag, ColumnGenerationError, ColumnSource, GeneratedColumn, MasterMode, MasterProblem,
+    Relation, Sense,
 };
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -109,6 +110,10 @@ pub struct SessionStats {
     /// Resolves that only re-priced pool columns and resumed the recorded
     /// basis with primal pivots.
     pub repriced_resolves: usize,
+    /// Resolves that absorbed departures through in-place row deactivation
+    /// (fixed columns + relief rows) and resumed the surviving basis with
+    /// primal pivots.
+    pub deactivated_resolves: usize,
 }
 
 /// Which solve path a successful resolve took (picked before the solve,
@@ -118,6 +123,7 @@ enum SessionPath {
     Cold,
     WarmRows,
     Repriced,
+    Deactivated,
 }
 
 /// How stale the cached master is relative to the (already mutated)
@@ -129,6 +135,11 @@ enum Staleness {
     Clean,
     /// Column objectives were updated in place; basis still primal feasible.
     Repriced,
+    /// A departure was absorbed in place (columns fixed at zero, rows
+    /// deactivated behind relief columns); the basis is still primal
+    /// feasible and the next solve resumes with primal pivots, entering
+    /// relief columns where the departed rows were binding.
+    Deactivated,
     /// Rows were appended; next solve goes through the dual-simplex repair.
     RowsAdded,
     /// Structure changed (or no master yet): rebuild from the pool.
@@ -367,6 +378,9 @@ impl AuctionSession {
             // pass over the column list fills all k rows' coefficients.
             let mut per_channel: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k];
             for (idx, col) in master.columns().iter().enumerate() {
+                if !is_native_tag(col.tag) {
+                    continue; // relief / tombstoned columns assign nothing
+                }
                 let (u, bundle) = decode_column_tag(col.tag);
                 for j in bundle.iter() {
                     let w = self.instance.conflicts.symmetric_weight(u, n, j);
@@ -396,9 +410,19 @@ impl AuctionSession {
         n
     }
 
-    /// A bidder departs; bidders above it shift down by one. The master is
-    /// rebuilt on the next resolve, warm-from-pool (the departed bidder's
-    /// columns are dropped, everyone else's survive re-indexed).
+    /// A bidder departs; bidders above it shift down by one.
+    ///
+    /// On the monolithic warm path the departure is absorbed **in place** —
+    /// the basis-preserving removal: the departed bidder's columns are
+    /// fixed at zero, its `k + 1` rows are deactivated behind relief
+    /// columns ([`MasterProblem::deactivate_rows`]), and surviving columns
+    /// are re-tagged to the shifted bidder indices. The recorded basis
+    /// stays valid and primal feasible, so the next
+    /// [`resolve`](Self::resolve) resumes with ordinary primal pivots —
+    /// departures take the cheap re-pricing shape instead of a
+    /// warm-from-pool rebuild. Deadweight is compacted away once it passes
+    /// `LpFormulationOptions::compaction_threshold`. Other configurations
+    /// (Dantzig–Wolfe, enumerated masters) still rebuild from the pool.
     ///
     /// # Panics
     /// Panics if `bidder` is out of range or it is the last bidder left.
@@ -424,7 +448,47 @@ impl AuctionSession {
             .map(|&(v, b)| (if v > bidder { v - 1 } else { v }, b))
             .collect();
         self.pool_tags = self.pool.iter().map(|&(v, b)| column_tag(v, b)).collect();
-        self.invalidate_master();
+
+        if self.can_grow_incrementally() {
+            let master = self
+                .master
+                .as_mut()
+                .expect("checked by can_grow_incrementally");
+            // Retire the departed bidder's columns and re-key the
+            // survivors' tags to the shifted indices. fix_columns
+            // tombstones the departed tags first, and the retags are
+            // applied in increasing old-tag order, so every target tag
+            // `(u − 1, T)` has been vacated by the time it is assigned.
+            let mut to_fix: Vec<usize> = Vec::new();
+            let mut retags: Vec<(usize, u64, u64)> = Vec::new();
+            for (idx, col) in master.columns().iter().enumerate() {
+                if !is_native_tag(col.tag) {
+                    continue;
+                }
+                let (u, bundle) = decode_column_tag(col.tag);
+                if u == bidder {
+                    to_fix.push(idx);
+                } else if u > bidder {
+                    retags.push((idx, col.tag, column_tag(u - 1, bundle)));
+                }
+            }
+            master.fix_columns(&to_fix);
+            retags.sort_by_key(|&(_, old, _)| old);
+            for (idx, _, tag) in retags {
+                master.set_column_tag(idx, tag);
+            }
+            // Deactivate the departed bidder's k interference rows and its
+            // bidder row; surviving bidders' row indices are untouched
+            // (master rows never shift outside compaction), so the layout
+            // maps just drop the departed entry.
+            let mut rows = self.row_vj.remove(bidder);
+            rows.push(self.row_bidder.remove(bidder));
+            master.deactivate_rows(&rows);
+            self.staleness = self.staleness.max(Staleness::Deactivated);
+            self.invalidate_solution_cache();
+        } else {
+            self.invalidate_master();
+        }
     }
 
     /// A bidder re-bids: its valuation is replaced. On the monolithic warm
@@ -478,6 +542,9 @@ impl AuctionSession {
                 .iter()
                 .enumerate()
                 .filter_map(|(idx, col)| {
+                    if !is_native_tag(col.tag) {
+                        return None;
+                    }
                     let (u, bundle) = decode_column_tag(col.tag);
                     changed
                         .contains(&u)
@@ -600,6 +667,9 @@ impl AuctionSession {
                 (true, Staleness::Repriced) => {
                     (self.run_column_generation()?, SessionPath::Repriced)
                 }
+                (true, Staleness::Deactivated) => {
+                    (self.run_column_generation()?, SessionPath::Deactivated)
+                }
                 (true, Staleness::RowsAdded) => {
                     (self.run_column_generation()?, SessionPath::WarmRows)
                 }
@@ -616,12 +686,39 @@ impl AuctionSession {
             SessionPath::Cold => self.stats.cold_resolves += 1,
             SessionPath::WarmRows => self.stats.warm_row_resolves += 1,
             SessionPath::Repriced => self.stats.repriced_resolves += 1,
+            SessionPath::Deactivated => self.stats.deactivated_resolves += 1,
         }
         self.absorb_pool(&fractional);
         self.staleness = Staleness::Clean;
         self.last = Some(fractional.clone());
         self.stats.resolves += 1;
+        // Departure deadweight (deactivated rows, fixed and relief columns)
+        // is swept out lazily once it passes the configured fraction; the
+        // row layout maps are remapped through the compaction report and
+        // the (remapped) warm basis survives when every member does.
+        self.maybe_compact_master();
         Ok(fractional)
+    }
+
+    /// Compacts the cached master once its deadweight fraction passes
+    /// `LpFormulationOptions::compaction_threshold`, remapping the
+    /// session's row layout. Called only in the clean post-resolve state,
+    /// so every session-tracked row is active and survives.
+    fn maybe_compact_master(&mut self) {
+        let threshold = self.options.lp.compaction_threshold;
+        let Some(master) = self.master.as_mut() else {
+            return;
+        };
+        if let Some(report) = master.maybe_compact(threshold) {
+            for rows in &mut self.row_vj {
+                for r in rows.iter_mut() {
+                    *r = report.row_map[*r].expect("active session rows survive compaction");
+                }
+            }
+            for r in &mut self.row_bidder {
+                *r = report.row_map[*r].expect("active session rows survive compaction");
+            }
+        }
     }
 
     /// Runs the full pipeline on the current instance: the relaxation
@@ -703,11 +800,20 @@ impl AuctionSession {
         };
         let cg = &self.options.lp.column_generation;
         let support_tolerance = self.options.lp.support_tolerance;
+        // Bundle-column count and churn attribution: dead tombstones and
+        // relief columns are solver plumbing, not assignments.
+        let native_columns =
+            |m: &MasterProblem| m.columns().iter().filter(|c| is_native_tag(c.tag)).count();
+        let churn = |m: &MasterProblem, info: &mut RelaxationInfo| {
+            info.rows_deactivated = m.rows_deactivated();
+            info.compactions = m.compactions();
+        };
         let result = match cg.run(master, &mut oracle) {
             Ok(result) => result,
             Err(ColumnGenerationError::IterationLimit { partial }) => {
                 let rounds = partial.rounds;
-                let info = RelaxationInfo::from_cg(&partial, master.num_columns());
+                let mut info = RelaxationInfo::from_cg(&partial, native_columns(master));
+                churn(master, &mut info);
                 let fractional = extract(
                     &self.instance,
                     master,
@@ -723,7 +829,8 @@ impl AuctionSession {
             }
         };
         let status = result.solution.status;
-        let info = RelaxationInfo::from_cg(&result, master.num_columns());
+        let mut info = RelaxationInfo::from_cg(&result, native_columns(master));
+        churn(master, &mut info);
         let fractional = extract(
             &self.instance,
             master,
@@ -757,6 +864,9 @@ impl AuctionSession {
         };
         if let Some(master) = master {
             for col in master.columns() {
+                if !is_native_tag(col.tag) {
+                    continue;
+                }
                 let (bidder, bundle) = decode_column_tag(col.tag);
                 insert(bidder, bundle);
             }
@@ -859,20 +969,65 @@ mod tests {
     }
 
     #[test]
-    fn departures_and_rho_changes_rebuild_from_the_pool() {
+    fn departures_deactivate_in_place_and_rho_changes_rebuild() {
         let mut session = SolverBuilder::new().session(path_instance(7, 2));
         assert_matches_scratch(&mut session);
         let pool_before = session.pool_len();
         assert!(pool_before > 0);
+        // a departure now rides the basis-preserving deactivation path
         session.remove_bidder(3);
         assert_matches_scratch(&mut session);
         assert_eq!(session.instance().num_bidders(), 6);
+        assert_eq!(session.stats().deactivated_resolves, 1);
+        // ρ changes still rebuild warm-from-pool
         session.set_rho(2.0);
         assert_matches_scratch(&mut session);
-        assert_eq!(session.stats().cold_resolves, 3);
+        assert_eq!(session.stats().cold_resolves, 2);
         // the pool survived the departure, minus the departed bidder's bundles
         assert!(session.pool_len() > 0);
         assert!(session.pool.iter().all(|&(v, _)| v < 6));
+    }
+
+    /// Departures compose with every other warm mutation: depart → re-bid
+    /// (one batch), depart → arrival (forces the dual path to validate a
+    /// master that carries relief columns), and repeated departures that
+    /// push deadweight past the compaction threshold mid-session.
+    #[test]
+    fn departure_mutations_compose_with_other_warm_paths() {
+        let mut session = SolverBuilder::new().session(path_instance(8, 2));
+        assert_matches_scratch(&mut session);
+
+        // batch: departure + re-bid resolves on the deactivation path
+        session.remove_bidder(2);
+        session.update_valuation(0, xor_bidder(2, vec![(vec![0, 1], 9.5)]));
+        assert_matches_scratch(&mut session);
+        assert_eq!(session.stats().deactivated_resolves, 1);
+
+        // batch: departure + arrival (rows added on a deactivated master)
+        session.remove_bidder(4);
+        session.add_bidder(
+            xor_bidder(2, vec![(vec![1], 7.0)]),
+            BidderConflicts::Binary(vec![0, 3]),
+        );
+        assert_matches_scratch(&mut session);
+
+        // drain the market until compaction triggers, re-solving each time
+        while session.instance().num_bidders() > 2 {
+            session.remove_bidder(0);
+            assert_matches_scratch(&mut session);
+        }
+        let info = &session.last_fractional().expect("resolved").info;
+        assert!(info.rows_deactivated > 0, "departures must be attributed");
+        assert!(
+            info.compactions > 0,
+            "sustained departures must have compacted the master"
+        );
+        // mutations keep working on the compacted master
+        session.add_bidder(
+            xor_bidder(2, vec![(vec![0], 4.0)]),
+            BidderConflicts::Binary(vec![0]),
+        );
+        assert_matches_scratch(&mut session);
     }
 
     #[test]

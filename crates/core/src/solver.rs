@@ -412,6 +412,12 @@ pub struct OutcomeSummary {
     pub dual_pivots: usize,
     /// Pivots inside Dantzig–Wolfe pricing subproblems (0 when monolithic).
     pub subproblem_pivots: usize,
+    /// Master rows deactivated in place (session departures absorbed on the
+    /// basis-preserving path; 0 on one-shot solves). Lets serialized
+    /// snapshots attribute churn-path regressions without re-running.
+    pub rows_deactivated: usize,
+    /// Master compactions (deadweight sweeps) behind this outcome.
+    pub compactions: usize,
 }
 
 impl OutcomeSummary {
@@ -439,6 +445,8 @@ impl OutcomeSummary {
             simplex_iterations: outcome.lp_info.simplex_iterations,
             dual_pivots: outcome.lp_info.dual_pivots,
             subproblem_pivots: outcome.lp_info.subproblem_pivots,
+            rows_deactivated: outcome.lp_info.rows_deactivated,
+            compactions: outcome.lp_info.compactions,
         }
     }
 }

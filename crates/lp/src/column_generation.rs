@@ -27,13 +27,54 @@
 //! The same machinery drives the Lavi–Swamy decomposition (Section 5), whose
 //! master is a covering LP and whose pricing oracle is the approximation
 //! algorithm itself.
+//!
+//! **Row lifecycle.** Masters are no longer append-only:
+//! [`MasterProblem::deactivate_rows`] relaxes rows in place (each gains a
+//! relief column; the recorded basis stays valid and primal feasible, so
+//! the next [`MasterProblem::solve_warm`] is a plain primal resume),
+//! [`MasterProblem::fix_columns`] retires columns at zero, and
+//! [`MasterProblem::compact`] physically removes the accumulated deadweight
+//! once [`MasterProblem::deadweight_fraction`] passes the caller's
+//! threshold, remapping the warm basis. This is what turns bidder
+//! *departures* into the cheap re-pricing shape instead of a rebuild; see
+//! [`crate::problem`] for the state machine and the basis-validity
+//! contract at the factorization seam.
 
+use crate::basis::make_factorization;
 use crate::dual;
 use crate::problem::{LinearProgram, Relation, Sense};
 use crate::simplex::{
-    solve, solve_with_warm_start, LpSolution, LpStatus, SimplexOptions, WarmStart,
+    solve, solve_with_warm_start, BasisVar, LpSolution, LpStatus, SimplexOptions, WarmStart,
 };
 use serde::{Deserialize, Serialize};
+
+/// Column-tag address space. Native caller tags (in the auction:
+/// `bidder << 32 | bundle`) must stay below [`DEAD_COLUMN_TAG_BASE`]; the
+/// upper ranges are reserved for solver-internal columns:
+///
+/// | range | meaning |
+/// |---|---|
+/// | `[0, 1<<62)` | native columns (caller tags) |
+/// | `[1<<62, 1<<63)` | dead columns — fixed at zero, tag tombstoned so the original native tag can be re-used |
+/// | `[1<<63, 3<<62)` | Dantzig–Wolfe block extreme points ([`crate::decomposition`]) |
+/// | `[3<<62, 2⁶⁴)` | row-relief columns of deactivated rows |
+pub const DEAD_COLUMN_TAG_BASE: u64 = 1 << 62;
+
+/// First tag of the row-relief range (see [`DEAD_COLUMN_TAG_BASE`]).
+pub const ROW_RELIEF_TAG_BASE: u64 = 0xC000_0000_0000_0000;
+
+/// Whether a master column tag is a native caller tag (as opposed to a
+/// solver-internal dead / block / relief column). Extraction and column
+/// scans up the stack must skip non-native tags.
+pub fn is_native_tag(tag: u64) -> bool {
+    tag < DEAD_COLUMN_TAG_BASE
+}
+
+/// Whether a master column tag marks a row-relief column of a deactivated
+/// row.
+pub fn is_relief_tag(tag: u64) -> bool {
+    tag >= ROW_RELIEF_TAG_BASE
+}
 
 /// A column produced by a pricing oracle.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -104,6 +145,30 @@ pub struct MasterProblem {
     /// Dual-simplex pivots spent by the most recent solve (0 on the primal
     /// path).
     last_dual_pivots: usize,
+    /// Next tag for dead-column tombstones ([`DEAD_COLUMN_TAG_BASE`]).
+    next_dead_tag: u64,
+    /// Next tag for row-relief columns ([`ROW_RELIEF_TAG_BASE`]).
+    next_relief_tag: u64,
+    /// Lifetime count of rows deactivated on this master (survives
+    /// compaction — it is churn attribution, not a size).
+    rows_deactivated: usize,
+    /// Lifetime count of [`MasterProblem::compact`] runs.
+    compactions: usize,
+}
+
+/// Index maps returned by [`MasterProblem::compact`]: `None` marks a
+/// removed row / column, `Some(new)` the post-compaction index. Callers
+/// that track master row or column indices (the session's row layout, a
+/// decomposition's row map) must remap through this.
+#[derive(Clone, Debug)]
+pub struct CompactionReport {
+    /// Old master row index → new master row index.
+    pub row_map: Vec<Option<usize>>,
+    /// Old master column index → new master column index.
+    pub column_map: Vec<Option<usize>>,
+    /// Whether the recorded warm-start basis survived the remap (when
+    /// `false` the next solve is cold).
+    pub kept_basis: bool,
 }
 
 impl MasterProblem {
@@ -122,6 +187,10 @@ impl MasterProblem {
             warm: None,
             pending_rows: 0,
             last_dual_pivots: 0,
+            next_dead_tag: DEAD_COLUMN_TAG_BASE,
+            next_relief_tag: ROW_RELIEF_TAG_BASE,
+            rows_deactivated: 0,
+            compactions: 0,
         }
     }
 
@@ -207,6 +276,233 @@ impl MasterProblem {
         self.rows.push((relation, rhs));
         self.pending_rows += 1;
         row
+    }
+
+    // -- row / column lifecycle --------------------------------------------
+
+    /// Relaxes master rows to non-binding **in place** — the
+    /// basis-preserving half of a departure. Each row gains a
+    /// zero-objective relief column (appended like any other column, so the
+    /// `column index == variable index` invariant holds and the recorded
+    /// basis stays valid *and primal feasible*); the next
+    /// [`solve_warm`](Self::solve_warm) resumes with ordinary primal
+    /// pivots, entering the relief columns of rows that were binding. Row
+    /// indices never shift — deactivated rows keep their slot until
+    /// [`compact`](Self::compact).
+    ///
+    /// # Panics
+    /// Panics if a row does not exist, is already deactivated, or is an
+    /// equality row.
+    pub fn deactivate_rows(&mut self, rows: &[usize]) {
+        let relief = self.lp.deactivate_rows(rows);
+        for (&row, var) in rows.iter().zip(relief) {
+            debug_assert_eq!(var, self.columns.len(), "column/variable alignment");
+            // Mirror the exact coefficient the LP layer just appended (the
+            // relief variable has the highest index, so it sorts last)
+            // instead of re-deriving the sign convention here.
+            let &(relief_var, sign) = self.lp.constraints()[row]
+                .coeffs
+                .last()
+                .expect("the LP layer appended the relief coefficient");
+            debug_assert_eq!(relief_var, var, "relief coefficient sorts last");
+            let tag = self.next_relief_tag;
+            self.next_relief_tag += 1;
+            self.seen_tags.insert(tag);
+            self.columns.push(GeneratedColumn {
+                objective: 0.0,
+                coeffs: vec![(row, sign)],
+                tag,
+            });
+        }
+        self.rows_deactivated += rows.len();
+    }
+
+    /// Fixes master columns at zero — the other half of a departure: the
+    /// objective coefficient drops to 0, the engines bar the column from
+    /// entering any basis, and its tag is **tombstoned** into the dead
+    /// range so the native tag can be re-used later (bidder indices shift
+    /// after a departure; see [`set_column_tag`](Self::set_column_tag)).
+    /// The constraint matrix is untouched, so the recorded basis stays
+    /// primal feasible and the next solve is a plain primal resume.
+    ///
+    /// # Panics
+    /// Panics if a column does not exist, or if it is a **relief column**
+    /// of a deactivated row — fixing one would bar it from entering and
+    /// silently re-impose the row it exists to relax; that is a caller
+    /// indexing bug, not a retirement.
+    pub fn fix_columns(&mut self, cols: &[usize]) {
+        for &idx in cols {
+            assert!(
+                !is_relief_tag(self.columns[idx].tag),
+                "column {idx} is the relief column of a deactivated row and cannot be fixed"
+            );
+        }
+        self.lp.fix_variables_at_zero(cols);
+        for &idx in cols {
+            let col = &mut self.columns[idx];
+            if col.tag >= DEAD_COLUMN_TAG_BASE {
+                continue; // already tombstoned (or a block column: keep)
+            }
+            self.seen_tags.remove(&col.tag);
+            col.objective = 0.0;
+            col.tag = self.next_dead_tag;
+            self.next_dead_tag += 1;
+            self.seen_tags.insert(col.tag);
+        }
+    }
+
+    /// Re-tags an existing column (e.g. re-keying surviving bidders'
+    /// columns after a departure shifted bidder indices down).
+    ///
+    /// # Panics
+    /// Panics if the column does not exist or the new tag is already held
+    /// by a different column.
+    pub fn set_column_tag(&mut self, index: usize, tag: u64) {
+        let old = self.columns[index].tag;
+        if old == tag {
+            return;
+        }
+        assert!(
+            !self.seen_tags.contains(&tag),
+            "tag {tag} is already held by another column"
+        );
+        self.seen_tags.remove(&old);
+        self.seen_tags.insert(tag);
+        self.columns[index].tag = tag;
+    }
+
+    /// Whether master row `i` is still active.
+    pub fn is_row_active(&self, i: usize) -> bool {
+        self.lp.is_row_active(i)
+    }
+
+    /// Number of rows still active.
+    pub fn num_active_rows(&self) -> usize {
+        self.lp.num_active_rows()
+    }
+
+    /// Lifetime count of rows deactivated on this master (churn
+    /// attribution; survives compaction).
+    pub fn rows_deactivated(&self) -> usize {
+        self.rows_deactivated
+    }
+
+    /// Lifetime count of [`compact`](Self::compact) runs.
+    pub fn compactions(&self) -> usize {
+        self.compactions
+    }
+
+    /// Fraction of the master occupied by deadweight: deactivated rows plus
+    /// dead (fixed / relief) columns over all rows + columns.
+    pub fn deadweight_fraction(&self) -> f64 {
+        let dead_rows = self.rows.len() - self.lp.num_active_rows();
+        let dead_cols = self.lp.num_dead_variables();
+        let total = self.rows.len() + self.columns.len();
+        if total == 0 {
+            0.0
+        } else {
+            (dead_rows + dead_cols) as f64 / total as f64
+        }
+    }
+
+    /// Physically removes deactivated rows and dead columns, remapping the
+    /// surviving columns' coefficients and — when every recorded basis
+    /// member survives the remap — the warm-start basis (basis identities
+    /// only; the factorization is rebuilt from the compacted matrix on the
+    /// next solve, which validates it through the ordinary warm-start
+    /// path). Callers that track master row/column indices must remap them
+    /// through the returned [`CompactionReport`].
+    pub fn compact(&mut self) -> CompactionReport {
+        let old_warm = self.warm.take();
+        let maps = self.lp.compact();
+        let mut new_rows = Vec::with_capacity(self.lp.num_constraints());
+        for (i, &row) in self.rows.iter().enumerate() {
+            if maps.row_map[i].is_some() {
+                new_rows.push(row);
+            }
+        }
+        self.rows = new_rows;
+        let mut new_columns = Vec::with_capacity(self.lp.num_variables());
+        for (j, col) in self.columns.iter().enumerate() {
+            if maps.var_map[j].is_none() {
+                continue;
+            }
+            let coeffs: Vec<(usize, f64)> = col
+                .coeffs
+                .iter()
+                .filter_map(|&(r, a)| maps.row_map[r].map(|nr| (nr, a)))
+                .collect();
+            new_columns.push(GeneratedColumn {
+                objective: col.objective,
+                coeffs,
+                tag: col.tag,
+            });
+        }
+        self.columns = new_columns;
+        self.seen_tags = self.columns.iter().map(|c| c.tag).collect();
+        debug_assert_eq!(self.columns.len(), self.lp.num_variables());
+        debug_assert_eq!(self.rows.len(), self.lp.num_constraints());
+
+        let mut kept_basis = false;
+        if let Some(w) = old_warm {
+            let kind = w.basis_kind();
+            let mut basis = Vec::with_capacity(self.rows.len());
+            for var in w.basis {
+                let mapped = match var {
+                    BasisVar::Structural(j) => maps
+                        .var_map
+                        .get(j)
+                        .copied()
+                        .flatten()
+                        .map(BasisVar::Structural),
+                    BasisVar::Slack(i) => {
+                        maps.row_map.get(i).copied().flatten().map(BasisVar::Slack)
+                    }
+                    BasisVar::Surplus(i) => maps
+                        .row_map
+                        .get(i)
+                        .copied()
+                        .flatten()
+                        .map(BasisVar::Surplus),
+                    BasisVar::Artificial(i) => maps
+                        .row_map
+                        .get(i)
+                        .copied()
+                        .flatten()
+                        .map(BasisVar::Artificial),
+                };
+                if let Some(v) = mapped {
+                    basis.push(v);
+                }
+            }
+            if basis.len() == self.rows.len() {
+                // Exactly one member vanished per removed row (the typical
+                // post-solve state: each deactivated row's relief or slack
+                // was basic): the remapped basis is handed back basis-only
+                // and refactorized from the compacted matrix on install.
+                self.warm = Some(WarmStart::from_parts(basis, make_factorization(kind)));
+                kept_basis = true;
+            }
+        }
+        self.pending_rows = 0;
+        self.compactions += 1;
+        CompactionReport {
+            row_map: maps.row_map,
+            column_map: maps.var_map,
+            kept_basis,
+        }
+    }
+
+    /// Compacts when the [`deadweight_fraction`](Self::deadweight_fraction)
+    /// has reached `threshold` (and there is any deadweight at all);
+    /// returns the report when a compaction ran.
+    pub fn maybe_compact(&mut self, threshold: f64) -> Option<CompactionReport> {
+        let f = self.deadweight_fraction();
+        if f > 0.0 && f >= threshold {
+            Some(self.compact())
+        } else {
+            None
+        }
     }
 
     /// Dual-simplex pivots spent by the most recent
@@ -1257,6 +1553,328 @@ mod tests {
             result.channels[1].solution.objective
         );
         assert_eq!(result.per_channel[1].columns_from_pool, 2);
+    }
+
+    /// Deactivating the binding capacity row must free the optimum through
+    /// the relief column on a plain warm resume — no rebuild, no row
+    /// renumbering — and a later compaction must physically remove the row
+    /// while preserving the optimum.
+    #[test]
+    fn deactivating_a_binding_row_relaxes_the_master_in_place() {
+        let mut master = MasterProblem::new(
+            Sense::Maximize,
+            vec![
+                (Relation::Le, 1.0), // shared capacity (binding)
+                (Relation::Le, 1.0),
+                (Relation::Le, 1.0),
+            ],
+        );
+        for i in 0..2 {
+            master.add_column(GeneratedColumn {
+                objective: 3.0 - i as f64,
+                coeffs: vec![(0, 1.0), (i + 1, 1.0)],
+                tag: i as u64,
+            });
+        }
+        let options = SimplexOptions::default();
+        let first = master.solve_warm(&options);
+        assert_eq!(first.status, LpStatus::Optimal);
+        assert!((first.objective - 3.0).abs() < 1e-7); // capacity binds
+
+        master.deactivate_rows(&[0]);
+        assert_eq!(master.rows_deactivated(), 1);
+        assert_eq!(master.num_active_rows(), 2);
+        assert!(!master.is_row_active(0));
+        let second = master.solve_warm(&options);
+        assert_eq!(second.status, LpStatus::Optimal);
+        assert!(
+            (second.objective - 5.0).abs() < 1e-7,
+            "both columns fully served once the capacity row is relaxed, got {}",
+            second.objective
+        );
+        // the relaxed row's dual is (numerically) zero at the new optimum
+        assert!(second.duals[0].abs() < 1e-6);
+
+        let report = master.compact();
+        assert_eq!(master.compactions(), 1);
+        assert_eq!(report.row_map, vec![None, Some(0), Some(1)]);
+        assert_eq!(master.num_rows(), 2);
+        assert_eq!(master.num_columns(), 2); // relief column removed
+        let third = master.solve_warm(&options);
+        assert_eq!(third.status, LpStatus::Optimal);
+        assert!((third.objective - 5.0).abs() < 1e-7);
+    }
+
+    /// Fixing a column at zero retires it even when it was basic at a
+    /// positive value, tombstones its tag so the native tag can be re-used,
+    /// and compaction removes it physically.
+    #[test]
+    fn fixed_columns_are_retired_and_their_tags_freed() {
+        let mut master = MasterProblem::new(
+            Sense::Maximize,
+            vec![(Relation::Le, 2.0), (Relation::Le, 1.0)],
+        );
+        master.add_column(GeneratedColumn {
+            objective: 5.0,
+            coeffs: vec![(0, 1.0), (1, 1.0)],
+            tag: 7,
+        });
+        let options = SimplexOptions::default();
+        let first = master.solve_warm(&options);
+        assert!((first.objective - 5.0).abs() < 1e-7);
+
+        master.fix_columns(&[0]);
+        assert!(!master.contains_tag(7), "the native tag must be freed");
+        // the freed tag can be re-used by a different column
+        assert!(master.add_column(GeneratedColumn {
+            objective: 2.0,
+            coeffs: vec![(0, 1.0)],
+            tag: 7,
+        }));
+        let second = master.solve_warm(&options);
+        assert_eq!(second.status, LpStatus::Optimal);
+        assert!(
+            (second.objective - 4.0).abs() < 1e-7,
+            "only the replacement column may carry value, got {}",
+            second.objective
+        );
+        let report = master.compact();
+        assert_eq!(report.column_map, vec![None, Some(0)]);
+        assert_eq!(master.num_columns(), 1);
+        let third = master.solve_warm(&options);
+        assert!((third.objective - 4.0).abs() < 1e-7);
+    }
+
+    /// The full lifecycle — deactivate → re-solve → compact → re-solve →
+    /// grow — must match `lp::dense` on the independently built survivor LP
+    /// at every step, across all pricing × basis engine combinations,
+    /// including duplicated (degenerate / rank-deficient) rows.
+    #[test]
+    fn lifecycle_matches_dense_on_the_survivor_lp_across_engines() {
+        use crate::basis::BasisKind;
+        use crate::dense;
+        use crate::pricing::PricingRule;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let engines: Vec<SimplexOptions> = {
+            let mut out = Vec::new();
+            for pricing in [PricingRule::Dantzig, PricingRule::Bland, PricingRule::Devex] {
+                for basis in [BasisKind::ProductForm, BasisKind::SparseLu] {
+                    out.push(SimplexOptions::default().with_engine(pricing, basis));
+                }
+            }
+            out
+        };
+
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(5200 + seed);
+            let n_cols = 5 + (seed as usize % 4);
+            let n_shared = 3 + (seed as usize % 2);
+            // shared packing rows; row n_shared duplicates row 0 verbatim
+            // (deactivating one of the pair leaves a degenerate twin, and
+            // deactivating both leaves a rank-deficient history)
+            let mut rows: Vec<(Relation, f64)> = (0..n_shared)
+                .map(|_| (Relation::Le, rng.random_range(1.0..5.0)))
+                .collect();
+            rows.push(rows[0]);
+            let bound_base = rows.len();
+            for _ in 0..n_cols {
+                rows.push((Relation::Le, rng.random_range(0.5..2.0)));
+            }
+            // column data: coefficients on shared rows (the duplicate row
+            // copies row 0's coefficient) + its own bound row
+            let objectives: Vec<f64> = (0..n_cols).map(|_| rng.random_range(1.0..8.0)).collect();
+            let shared: Vec<Vec<f64>> = (0..n_cols)
+                .map(|_| {
+                    (0..n_shared)
+                        .map(|_| {
+                            if rng.random_range(0.0..1.0) < 0.7 {
+                                rng.random_range(0.2..2.0)
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let column = |c: usize| -> GeneratedColumn {
+                let mut coeffs: Vec<(usize, f64)> = Vec::new();
+                for (r, &a) in shared[c].iter().enumerate() {
+                    if a != 0.0 {
+                        coeffs.push((r, a));
+                    }
+                }
+                if shared[c][0] != 0.0 {
+                    coeffs.push((n_shared, shared[c][0])); // the duplicate row
+                }
+                coeffs.push((bound_base + c, 1.0));
+                GeneratedColumn {
+                    objective: objectives[c],
+                    coeffs,
+                    tag: c as u64,
+                }
+            };
+
+            // deactivate the duplicate pair's second copy plus one more
+            // shared row; fix one column that the first solve likely serves
+            let kill_rows = vec![n_shared, 1usize];
+            let kill_cols = vec![0usize];
+
+            // the survivor LP, built independently for the dense oracle
+            let dense_survivor = |extra: Option<(f64, Vec<(usize, f64)>)>| -> LinearProgram {
+                let mut lp = LinearProgram::new(Sense::Maximize);
+                let mut var_of = vec![None; n_cols + 1];
+                for c in 0..n_cols {
+                    if !kill_cols.contains(&c) {
+                        var_of[c] = Some(lp.add_variable(objectives[c]));
+                    }
+                }
+                if let Some((obj, _)) = &extra {
+                    var_of[n_cols] = Some(lp.add_variable(*obj));
+                }
+                let survives = |r: usize| !kill_rows.contains(&r);
+                for (r, &(rel, rhs)) in rows.iter().enumerate() {
+                    if !survives(r) {
+                        continue;
+                    }
+                    let mut coeffs: Vec<(usize, f64)> = Vec::new();
+                    for c in 0..n_cols {
+                        let Some(v) = var_of[c] else { continue };
+                        let a = if r < n_shared {
+                            shared[c][r]
+                        } else if r == n_shared {
+                            shared[c][0]
+                        } else if r == bound_base + c {
+                            1.0
+                        } else {
+                            0.0
+                        };
+                        if a != 0.0 {
+                            coeffs.push((v, a));
+                        }
+                    }
+                    if let Some((_, extra_coeffs)) = &extra {
+                        if let Some(v) = var_of[n_cols] {
+                            for &(er, a) in extra_coeffs {
+                                if er == r {
+                                    coeffs.push((v, a));
+                                }
+                            }
+                        }
+                    }
+                    lp.add_constraint(coeffs, rel, rhs);
+                }
+                lp
+            };
+
+            for options in &engines {
+                let label = format!(
+                    "seed {seed} engine {}x{}",
+                    options.pricing.name(),
+                    options.basis.name()
+                );
+                let mut master = MasterProblem::new(Sense::Maximize, rows.clone());
+                for c in 0..n_cols {
+                    master.add_column(column(c));
+                }
+                let first = master.solve_warm(options);
+                assert_eq!(first.status, LpStatus::Optimal, "{label}");
+
+                // deactivate + fix, then a warm primal resume
+                master.fix_columns(&kill_cols);
+                master.deactivate_rows(&kill_rows);
+                let warm = master.solve_warm(options);
+                assert_eq!(warm.status, LpStatus::Optimal, "{label}");
+                let oracle = dense::solve(&dense_survivor(None), &SimplexOptions::default());
+                assert_eq!(oracle.status, LpStatus::Optimal, "{label}");
+                assert!(
+                    (warm.objective - oracle.objective).abs() < 1e-6,
+                    "{label}: warm-after-deactivation {} vs dense survivor {}",
+                    warm.objective,
+                    oracle.objective
+                );
+
+                // compact, re-solve, and compare again
+                let report = master.compact();
+                for &r in &kill_rows {
+                    assert!(report.row_map[r].is_none(), "{label}");
+                }
+                for &c in &kill_cols {
+                    assert!(report.column_map[c].is_none(), "{label}");
+                }
+                let compacted = master.solve_warm(options);
+                assert_eq!(compacted.status, LpStatus::Optimal, "{label}");
+                assert!(
+                    (compacted.objective - oracle.objective).abs() < 1e-6,
+                    "{label}: post-compaction {} vs dense survivor {}",
+                    compacted.objective,
+                    oracle.objective
+                );
+
+                // the master keeps working: grow a column on remapped rows
+                let new_row = report.row_map[2].expect("row 2 survives");
+                let extra_obj = 6.0;
+                assert!(master.add_column(GeneratedColumn {
+                    objective: extra_obj,
+                    coeffs: vec![(new_row, 1.0)],
+                    tag: 4096,
+                }));
+                let grown = master.solve_warm(options);
+                assert_eq!(grown.status, LpStatus::Optimal, "{label}");
+                let oracle_grown = dense::solve(
+                    &dense_survivor(Some((extra_obj, vec![(2, 1.0)]))),
+                    &SimplexOptions::default(),
+                );
+                assert!(
+                    (grown.objective - oracle_grown.objective).abs() < 1e-6,
+                    "{label}: grown {} vs dense {}",
+                    grown.objective,
+                    oracle_grown.objective
+                );
+            }
+        }
+    }
+
+    /// Deactivation composes with the dual-simplex row-addition path: rows
+    /// added after a deactivation are still absorbed warm, and the optimum
+    /// matches a cold solve.
+    #[test]
+    fn deactivation_composes_with_row_additions() {
+        let mut master = MasterProblem::new(
+            Sense::Maximize,
+            vec![
+                (Relation::Le, 2.0),
+                (Relation::Le, 1.0),
+                (Relation::Le, 1.0),
+            ],
+        );
+        for i in 0..2 {
+            master.add_column(GeneratedColumn {
+                objective: 2.0 + i as f64,
+                coeffs: vec![(0, 1.0), (i + 1, 1.0)],
+                tag: i as u64,
+            });
+        }
+        let options = SimplexOptions::default();
+        let first = master.solve_warm(&options);
+        assert_eq!(first.status, LpStatus::Optimal);
+
+        // relax the shared capacity, resume, then tighten with a new row
+        master.deactivate_rows(&[0]);
+        let relaxed = master.solve_warm(&options);
+        assert!((relaxed.objective - 5.0).abs() < 1e-7);
+        master.add_row(Relation::Le, 0.5, vec![(1, 1.0)]);
+        let tightened = master.solve_warm(&options);
+        assert_eq!(tightened.status, LpStatus::Optimal);
+        let cold = master.solve(&options);
+        assert!(
+            (tightened.objective - cold.objective).abs() < 1e-9,
+            "warm {} vs cold {}",
+            tightened.objective,
+            cold.objective
+        );
+        assert!((tightened.objective - 3.5).abs() < 1e-7);
     }
 
     #[test]

@@ -33,6 +33,19 @@
 //! channel-`j` fractional interference polytope, the native columns are the
 //! bidder bundle columns, and the coupling rows tie per-bidder channel
 //! usage to the channel allocations the blocks propose.
+//!
+//! **Lazy coupling-row activation** ([`DecomposedLp::new_lazy`]). Coupling
+//! rows are addressed by **virtual** indices; a virtual row is only
+//! *materialized* as a master row once a **native** column references it —
+//! until then the row cannot bind (in the auction, a usage row
+//! `Σ_{T ∋ j} x_{v,T} − supply ≤ 0` with no demand column is satisfied by
+//! every non-negative supply), so withholding it changes nothing. Block
+//! extreme-point columns may touch dormant rows; those coefficients are
+//! **parked** and installed retroactively when the row activates, through
+//! the [`MasterProblem::add_row`] → dual-simplex path, so the master only
+//! ever pays for rows in the active support. For the auction's DW master
+//! this cuts `n·k + n + k` rows down to roughly the seeded-bundle support —
+//! the lever ROADMAP names for closing the decomposition's wall-clock gap.
 
 use crate::column_generation::{ColumnSource, GeneratedColumn, MasterProblem};
 use crate::problem::{LinearProgram, Relation, Sense};
@@ -59,15 +72,17 @@ impl MasterMode {
     }
 }
 
-/// Tags at or above this value mark block (extreme-point) columns; native
-/// columns must stay below it. The auction's bundle tags
-/// (`bidder << 32 | bundle`) always do.
+/// First tag of the block (extreme-point) column range; native columns must
+/// stay below [`crate::column_generation::DEAD_COLUMN_TAG_BASE`]. The
+/// auction's bundle tags (`bidder << 32 | bundle`) always do. See the tag
+/// address-space table on that constant.
 pub const BLOCK_COLUMN_TAG_BASE: u64 = 1 << 63;
 
 /// Whether a master column tag belongs to a block extreme point (as opposed
-/// to a native column added by the caller's [`ColumnSource`]).
+/// to a native column added by the caller's [`ColumnSource`], a dead
+/// tombstone, or a row-relief column).
 pub fn is_block_tag(tag: u64) -> bool {
-    tag >= BLOCK_COLUMN_TAG_BASE
+    (BLOCK_COLUMN_TAG_BASE..crate::column_generation::ROW_RELIEF_TAG_BASE).contains(&tag)
 }
 
 /// Options of the Dantzig–Wolfe loop.
@@ -196,6 +211,12 @@ pub struct DwStats {
     /// Subproblem solves that did not reach proven optimality (counted, not
     /// fatal: the block simply proposes nothing that round).
     pub block_failures: usize,
+    /// Coupling rows lazily materialized because a native column referenced
+    /// them (0 on the eager path, where every row exists up front).
+    pub rows_activated: usize,
+    /// Master rows actually materialized at the end of the solve (the lazy
+    /// win is this against `coupling + blocks` on the eager path).
+    pub master_rows: usize,
 }
 
 /// Result of a Dantzig–Wolfe solve.
@@ -242,13 +263,31 @@ impl std::fmt::Display for DantzigWolfeError {
 impl std::error::Error for DantzigWolfeError {}
 
 /// A block-angular LP being solved by Dantzig–Wolfe decomposition.
+///
+/// Coupling rows live in a **virtual** index space (`0..num_virtual_rows`,
+/// original rows first, [`add_coupling_row`](Self::add_coupling_row)
+/// appends): native columns, block linking maps and the dual vectors handed
+/// to pricing sources are all phrased in virtual indices. On the eager path
+/// ([`new`](Self::new)) every virtual row is materialized as a master row
+/// up front; on the lazy path ([`new_lazy`](Self::new_lazy)) a virtual row
+/// materializes only when first referenced by a native column.
 #[derive(Clone, Debug)]
 pub struct DecomposedLp {
     master: MasterProblem,
     blocks: Vec<Subproblem>,
-    /// Number of coupling rows; the convexity rows follow at
-    /// `coupling..coupling + blocks.len()`.
+    /// Number of *original* coupling rows (virtual indices `0..coupling`).
     coupling: usize,
+    /// All virtual coupling rows `(relation, rhs)`, original + added.
+    virtual_rows: Vec<(Relation, f64)>,
+    /// Virtual coupling row → master row (`None` while dormant).
+    row_map: Vec<Option<usize>>,
+    /// Master row of each block's convexity row.
+    convexity_master: Vec<usize>,
+    /// Parked coefficients of dormant virtual rows on existing master
+    /// columns, installed retroactively when the row activates.
+    pending_coeffs: HashMap<usize, Vec<(usize, f64)>>,
+    /// Virtual rows materialized on demand (the lazy path's stat).
+    rows_activated: usize,
     /// Extreme points behind block columns, keyed by column tag.
     block_points: HashMap<u64, (usize, Vec<f64>)>,
     next_block_tag: u64,
@@ -259,19 +298,51 @@ pub struct DecomposedLp {
 }
 
 impl DecomposedLp {
-    /// Creates the decomposition: a maximization master over the given
-    /// coupling rows, one convexity row (`≤ 1`) per block appended after
-    /// them.
+    /// Creates the **eager** decomposition: a maximization master over the
+    /// given coupling rows, one convexity row (`≤ 1`) per block appended
+    /// after them (so master row indices coincide with virtual indices for
+    /// the original coupling rows).
     pub fn new(coupling_rows: Vec<(Relation, f64)>, blocks: Vec<Subproblem>) -> Self {
+        Self::build(coupling_rows, blocks, false)
+    }
+
+    /// Creates the **lazy** decomposition: the master starts with only the
+    /// convexity rows, and coupling rows materialize when a native column
+    /// first references them (see the [module docs](self)). Semantically
+    /// identical to [`new`](Self::new) — only the master's physical row set
+    /// (and therefore its size and warm-start work) differs.
+    pub fn new_lazy(coupling_rows: Vec<(Relation, f64)>, blocks: Vec<Subproblem>) -> Self {
+        Self::build(coupling_rows, blocks, true)
+    }
+
+    fn build(coupling_rows: Vec<(Relation, f64)>, blocks: Vec<Subproblem>, lazy: bool) -> Self {
         let coupling = coupling_rows.len();
-        let mut rows = coupling_rows;
-        for _ in 0..blocks.len() {
-            rows.push((Relation::Le, 1.0));
-        }
+        let k = blocks.len();
+        let (master, row_map, convexity_master) = if lazy {
+            let rows: Vec<(Relation, f64)> = (0..k).map(|_| (Relation::Le, 1.0)).collect();
+            let master = MasterProblem::new(Sense::Maximize, rows);
+            (master, vec![None; coupling], (0..k).collect())
+        } else {
+            let mut rows = coupling_rows.clone();
+            for _ in 0..k {
+                rows.push((Relation::Le, 1.0));
+            }
+            let master = MasterProblem::new(Sense::Maximize, rows);
+            (
+                master,
+                (0..coupling).map(Some).collect(),
+                (coupling..coupling + k).collect(),
+            )
+        };
         DecomposedLp {
-            master: MasterProblem::new(Sense::Maximize, rows),
+            master,
             blocks,
             coupling,
+            virtual_rows: coupling_rows,
+            row_map,
+            convexity_master,
+            pending_coeffs: HashMap::new(),
+            rows_activated: 0,
             block_points: HashMap::new(),
             next_block_tag: BLOCK_COLUMN_TAG_BASE,
             pending_subproblem_pivots: 0,
@@ -283,14 +354,25 @@ impl DecomposedLp {
         self.blocks.len()
     }
 
-    /// Number of coupling rows (convexity rows are not included).
+    /// Number of *original* coupling rows (convexity and added rows are not
+    /// included).
     pub fn num_coupling_rows(&self) -> usize {
         self.coupling
     }
 
-    /// Master row index of block `b`'s convexity row.
+    /// Number of virtual coupling rows (original + added).
+    pub fn num_virtual_rows(&self) -> usize {
+        self.virtual_rows.len()
+    }
+
+    /// Coupling rows materialized on demand so far (0 on the eager path).
+    pub fn rows_activated(&self) -> usize {
+        self.rows_activated
+    }
+
+    /// **Master** row index of block `b`'s convexity row.
     pub fn convexity_row(&self, b: usize) -> usize {
-        self.coupling + b
+        self.convexity_master[b]
     }
 
     /// The restricted master (columns in insertion order; native and block
@@ -299,43 +381,77 @@ impl DecomposedLp {
         &self.master
     }
 
-    /// Adds a **native** column (coefficients on coupling rows — original
-    /// or added via [`add_coupling_row`](Self::add_coupling_row) — never on
-    /// convexity rows).
+    /// Materializes virtual coupling row `vr` as a master row, installing
+    /// any parked block-column coefficients; returns its master index. The
+    /// next master solve absorbs the row through the dual-simplex path.
+    fn activate_row(&mut self, vr: usize) -> usize {
+        if let Some(idx) = self.row_map[vr] {
+            return idx;
+        }
+        let (rel, rhs) = self.virtual_rows[vr];
+        let coeffs = self.pending_coeffs.remove(&vr).unwrap_or_default();
+        let idx = self.master.add_row(rel, rhs, coeffs);
+        self.row_map[vr] = Some(idx);
+        self.rows_activated += 1;
+        idx
+    }
+
+    /// Expands master duals into the virtual coupling-row space (dormant
+    /// rows cannot bind, so their dual is exactly 0). This is the vector
+    /// pricing sources and block subproblems are given.
+    pub fn virtual_duals(&self, master_duals: &[f64]) -> Vec<f64> {
+        self.row_map
+            .iter()
+            .map(|m| m.map(|idx| master_duals[idx]).unwrap_or(0.0))
+            .collect()
+    }
+
+    /// Adds a **native** column. Coefficients are phrased over **virtual**
+    /// coupling rows; any dormant row the column references is activated
+    /// first (a native coefficient can make the row binding, so it must be
+    /// enforced from now on).
     ///
     /// # Panics
-    /// Panics when the column references a convexity row, a row that does
-    /// not exist, or carries a block tag.
+    /// Panics when the column references an unknown virtual row or carries
+    /// a non-native tag.
     pub fn add_native_column(&mut self, column: GeneratedColumn) -> bool {
         assert!(
-            !is_block_tag(column.tag),
-            "native tags must stay below BLOCK_COLUMN_TAG_BASE"
+            crate::column_generation::is_native_tag(column.tag),
+            "native tags must stay below the reserved solver ranges"
         );
-        let convexity_end = self.coupling + self.blocks.len();
-        for &(r, _) in &column.coeffs {
+        for &(vr, _) in &column.coeffs {
             assert!(
-                r < self.coupling || (convexity_end..self.master.num_rows()).contains(&r),
-                "native columns live on coupling rows, not convexity rows"
+                vr < self.virtual_rows.len(),
+                "native column references unknown virtual coupling row {vr}"
             );
         }
-        self.master.add_column(column)
+        if self.master.contains_tag(column.tag) {
+            return false;
+        }
+        let coeffs: Vec<(usize, f64)> = column
+            .coeffs
+            .iter()
+            .map(|&(vr, a)| (self.activate_row(vr), a))
+            .collect();
+        self.master.add_column(GeneratedColumn {
+            objective: column.objective,
+            coeffs,
+            tag: column.tag,
+        })
     }
 
     /// Appends a coupling row mid-run (a new bidder, a new conflict
-    /// constraint). `coeffs` are the row's coefficients on **existing
-    /// master columns** by column index — including block columns, whose
-    /// coefficient is the row's value at their extreme point.
-    /// `block_forms` states, for each block, the same row as a linear form
-    /// over the block's **local variables** (empty when the block does not
-    /// participate): it is appended to the block's linking map, so every
-    /// extreme-point column generated *after* this call automatically
-    /// carries the row's value at its point — the added row is enforced on
-    /// future columns, not just the current ones — and future native
-    /// columns may reference the returned row index directly. The next
-    /// master solve reoptimizes through the dual simplex.
-    ///
-    /// The row is appended **after** the convexity rows — address it by the
-    /// returned index, not by `num_coupling_rows`.
+    /// constraint); the row is materialized immediately and the next master
+    /// solve reoptimizes through the dual simplex. `coeffs` are the row's
+    /// coefficients on **existing master columns** by column index —
+    /// including block columns, whose coefficient is the row's value at
+    /// their extreme point. `block_forms` states, for each block, the same
+    /// row as a linear form over the block's **local variables** (empty
+    /// when the block does not participate): it is appended to the block's
+    /// linking map, so every extreme-point column generated *after* this
+    /// call automatically carries the row's value at its point, and future
+    /// native columns may reference the returned **virtual** row index
+    /// directly.
     ///
     /// # Panics
     /// Panics unless `block_forms` has exactly one (possibly empty) entry
@@ -352,7 +468,10 @@ impl DecomposedLp {
             self.blocks.len(),
             "one linear form per block required (empty when the block does not participate)"
         );
-        let row = self.master.add_row(relation, rhs, coeffs);
+        let vr = self.virtual_rows.len();
+        self.virtual_rows.push((relation, rhs));
+        let master_row = self.master.add_row(relation, rhs, coeffs);
+        self.row_map.push(Some(master_row));
         for (block, form) in self.blocks.iter_mut().zip(block_forms) {
             for &(v, a) in form {
                 assert!(
@@ -360,16 +479,19 @@ impl DecomposedLp {
                     "block form references unknown local variable {v}"
                 );
                 if a != 0.0 {
-                    block.linking[v].push((row, a));
+                    block.linking[v].push((vr, a));
                 }
             }
         }
-        row
+        vr
     }
 
-    /// Builds the master column for block `b`'s extreme point `x` and
-    /// registers the point for later reconstruction.
-    fn block_column(&mut self, b: usize, x: &[f64]) -> GeneratedColumn {
+    /// Builds and adds the master column for block `b`'s extreme point `x`,
+    /// registering the point for later reconstruction. Coefficients on
+    /// dormant virtual rows are parked and installed when (if ever) the row
+    /// activates — a block column only *supplies* dormant rows, so
+    /// withholding the coefficient while the row cannot bind is exact.
+    fn push_block_column(&mut self, b: usize, x: &[f64]) -> bool {
         let block = &self.blocks[b];
         let mut acc: HashMap<usize, f64> = HashMap::new();
         let mut objective = 0.0;
@@ -378,22 +500,58 @@ impl DecomposedLp {
                 continue;
             }
             objective += block.base_objective[v] * xv;
-            for &(r, a) in &block.linking[v] {
-                *acc.entry(r).or_insert(0.0) += a * xv;
+            for &(vr, a) in &block.linking[v] {
+                *acc.entry(vr).or_insert(0.0) += a * xv;
             }
         }
-        let mut coeffs: Vec<(usize, f64)> =
+        let mut virtual_coeffs: Vec<(usize, f64)> =
             acc.into_iter().filter(|&(_, a)| a.abs() > 1e-12).collect();
-        coeffs.sort_by_key(|&(r, _)| r);
-        coeffs.push((self.convexity_row(b), 1.0));
+        virtual_coeffs.sort_by_key(|&(vr, _)| vr);
+
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(virtual_coeffs.len() + 1);
+        let mut parked: Vec<(usize, f64)> = Vec::new();
+        for (vr, a) in virtual_coeffs {
+            if let Some(idx) = self.row_map[vr] {
+                coeffs.push((idx, a));
+                continue;
+            }
+            // A coefficient may only stay parked while the dormant row
+            // cannot be violated by it: block contributions must point into
+            // the row's slack (supply-side — the auction's usage rows).
+            // Anything else activates the row right away, degrading
+            // gracefully toward the eager master instead of relaxing the
+            // true LP.
+            let (rel, rhs) = self.virtual_rows[vr];
+            let safe_to_park = match rel {
+                Relation::Le => rhs >= 0.0 && a <= 0.0,
+                Relation::Ge => rhs <= 0.0 && a >= 0.0,
+                Relation::Eq => false,
+            };
+            if safe_to_park {
+                parked.push((vr, a));
+            } else {
+                coeffs.push((self.activate_row(vr), a));
+            }
+        }
+        let column_index = self.master.num_columns();
+        coeffs.push((self.convexity_master[b], 1.0));
         let tag = self.next_block_tag;
         self.next_block_tag += 1;
-        self.block_points.insert(tag, (b, x.to_vec()));
-        GeneratedColumn {
+        let added = self.master.add_column(GeneratedColumn {
             objective,
             coeffs,
             tag,
+        });
+        if added {
+            self.block_points.insert(tag, (b, x.to_vec()));
+            for (vr, a) in parked {
+                self.pending_coeffs
+                    .entry(vr)
+                    .or_default()
+                    .push((column_index, a));
+            }
         }
+        added
     }
 
     /// Recovers block `b`'s local variable values from a master solution:
@@ -418,22 +576,23 @@ impl DecomposedLp {
     }
 
     /// Primes every block with one extreme point priced at the given
-    /// synthetic duals (no reduced-cost test — every proposal is adopted).
-    /// Called before the first master solve, this hands the master an
-    /// initial supply column per block, which saves the early rounds from
-    /// re-discovering the block polytopes one pivot walk at a time; the
-    /// auction path primes at unit usage prices, i.e. each channel's
-    /// maximal fractional allocation. Returns how many columns were added.
+    /// synthetic duals (indexed by **virtual** coupling row; no
+    /// reduced-cost test — every proposal is adopted). Called before the
+    /// first master solve, this hands the master an initial supply column
+    /// per block, which saves the early rounds from re-discovering the
+    /// block polytopes one pivot walk at a time; the auction path primes at
+    /// unit usage prices, i.e. each channel's maximal fractional
+    /// allocation. Returns how many columns were added.
     pub fn prime_blocks(&mut self, duals: &[f64], options: &DantzigWolfeOptions) -> usize {
         let pricings = self.price_blocks(duals, &options.subproblem_simplex);
         self.pending_subproblem_pivots += pricings.iter().map(|p| p.iterations).sum::<usize>();
         let mut added = 0usize;
         for (b, priced) in pricings.iter().enumerate() {
-            if priced.status == LpStatus::Optimal && priced.x.iter().any(|&v| v.abs() > 1e-12) {
-                let column = self.block_column(b, &priced.x);
-                if self.master.add_column(column) {
-                    added += 1;
-                }
+            if priced.status == LpStatus::Optimal
+                && priced.x.iter().any(|&v| v.abs() > 1e-12)
+                && self.push_block_column(b, &priced.x)
+            {
+                added += 1;
             }
         }
         added
@@ -458,10 +617,11 @@ impl DecomposedLp {
             .collect()
     }
 
-    /// Runs the Dantzig–Wolfe loop: re-solve the master (warm-started),
-    /// price every block subproblem **in parallel** at the master duals,
-    /// offer the native source the same duals, and repeat until no block
-    /// prices out and the source adds nothing.
+    /// Runs the Dantzig–Wolfe loop: re-solve the master (warm-started;
+    /// lazily activated rows are absorbed through the dual-simplex path),
+    /// price every block subproblem **in parallel** at the virtual-space
+    /// duals, offer the native source the same duals, and repeat until no
+    /// block prices out and the source adds nothing.
     ///
     /// # Errors
     /// Returns [`DantzigWolfeError::MasterIterationLimit`] when a master
@@ -471,6 +631,7 @@ impl DecomposedLp {
         source: &mut dyn ColumnSource,
         options: &DantzigWolfeOptions,
     ) -> Result<DwSolution, DantzigWolfeError> {
+        let rows_activated_before = self.rows_activated;
         let mut stats = DwStats {
             subproblem_pivots: std::mem::take(&mut self.pending_subproblem_pivots),
             ..Default::default()
@@ -483,6 +644,8 @@ impl DecomposedLp {
             stats.refactorizations += solution.stats.refactorizations;
             stats.degenerate_pivots += solution.stats.degenerate_pivots;
             stats.dual_pivots += solution.stats.dual_pivots;
+            stats.rows_activated = self.rows_activated - rows_activated_before;
+            stats.master_rows = self.master.num_rows();
             if solution.status == LpStatus::IterationLimit {
                 return Err(DantzigWolfeError::MasterIterationLimit {
                     partial: Box::new(solution),
@@ -497,7 +660,8 @@ impl DecomposedLp {
                 });
             }
 
-            let pricings = self.price_blocks(&solution.duals, &options.subproblem_simplex);
+            let vduals = self.virtual_duals(&solution.duals);
+            let pricings = self.price_blocks(&vduals, &options.subproblem_simplex);
 
             let mut added = 0usize;
             for (b, priced) in pricings.iter().enumerate() {
@@ -509,23 +673,24 @@ impl DecomposedLp {
                     stats.block_failures += 1;
                     continue;
                 }
-                let sigma = solution.duals[self.convexity_row(b)];
-                if priced.objective > sigma + options.tolerance {
-                    let column = self.block_column(b, &priced.x);
-                    if self.master.add_column(column) {
-                        added += 1;
-                        stats.columns_from_blocks += 1;
-                    }
+                let sigma = solution.duals[self.convexity_master[b]];
+                if priced.objective > sigma + options.tolerance
+                    && self.push_block_column(b, &priced.x)
+                {
+                    added += 1;
+                    stats.columns_from_blocks += 1;
                 }
             }
 
-            for column in source.generate(&solution.duals) {
-                let rc = column.reduced_cost(&solution.duals);
+            for column in source.generate(&vduals) {
+                let rc = column.reduced_cost(&vduals);
                 if rc > options.tolerance && self.add_native_column(column) {
                     added += 1;
                     stats.columns_from_source += 1;
                 }
             }
+            stats.rows_activated = self.rows_activated - rows_activated_before;
+            stats.master_rows = self.master.num_rows();
 
             if added == 0 {
                 return Ok(DwSolution {
@@ -563,6 +728,16 @@ mod tests {
         coupling: usize,
         k: usize,
         vars: usize,
+    ) -> (DecomposedLp, LinearProgram) {
+        random_block_angular_mode(seed, coupling, k, vars, false)
+    }
+
+    fn random_block_angular_mode(
+        seed: u64,
+        coupling: usize,
+        k: usize,
+        vars: usize,
+        lazy: bool,
     ) -> (DecomposedLp, LinearProgram) {
         let mut rng = StdRng::seed_from_u64(seed);
         let coupling_rows: Vec<(Relation, f64)> = (0..coupling)
@@ -621,7 +796,12 @@ mod tests {
             let (rel, rhs) = coupling_rows[r];
             monolithic.add_constraint(coeffs, rel, rhs);
         }
-        (DecomposedLp::new(coupling_rows, blocks), monolithic)
+        let dw = if lazy {
+            DecomposedLp::new_lazy(coupling_rows, blocks)
+        } else {
+            DecomposedLp::new(coupling_rows, blocks)
+        };
+        (dw, monolithic)
     }
 
     #[test]
@@ -766,6 +946,136 @@ mod tests {
         // The cap binds the *reconstructed* block solution — including any
         // extreme-point columns generated after the row was added, which
         // must have carried the row's value through the block form.
+        let mass: f64 = dw.block_solution(0, &second.solution).iter().sum();
+        assert!(
+            mass <= cap + 1e-7,
+            "block 0 mass {mass} violates the added cap {cap}"
+        );
+    }
+
+    /// The lazy master must reach the same optimum as the eager one on
+    /// generic block-angular LPs — here the coupling rows carry demand-side
+    /// block coefficients, so parking is unsafe and lazy mode degrades
+    /// gracefully by activating rows as block columns reference them.
+    #[test]
+    fn lazy_decomposition_matches_eager_and_dense() {
+        for seed in 0..6u64 {
+            let (mut eager, monolithic) = random_block_angular_mode(300 + seed, 3, 3, 3, false);
+            let (mut lazy, _) = random_block_angular_mode(300 + seed, 3, 3, 3, true);
+            let reference = dense::solve(&monolithic, &SimplexOptions::default());
+            assert_eq!(reference.status, LpStatus::Optimal);
+            let options = DantzigWolfeOptions::default();
+            let mut s0 = no_source();
+            let e = eager.solve(&mut s0, &options).expect("eager failed");
+            let mut s1 = no_source();
+            let l = lazy.solve(&mut s1, &options).expect("lazy failed");
+            assert!(e.converged && l.converged, "seed {seed}");
+            let scale = 1.0 + reference.objective.abs();
+            assert!(
+                (e.solution.objective - reference.objective).abs() < 1e-5 * scale,
+                "seed {seed}: eager {} vs dense {}",
+                e.solution.objective,
+                reference.objective
+            );
+            assert!(
+                (l.solution.objective - reference.objective).abs() < 1e-5 * scale,
+                "seed {seed}: lazy {} vs dense {}",
+                l.solution.objective,
+                reference.objective
+            );
+            assert_eq!(e.stats.rows_activated, 0, "eager never activates lazily");
+        }
+    }
+
+    /// On the auction's supply-side shape (usage rows `demand − supply ≤ 0`)
+    /// the lazy master materializes only rows referenced by native demand
+    /// columns — the whole point of the refactor.
+    #[test]
+    fn lazy_supply_side_master_stays_at_active_support_size() {
+        // 2 blocks × 3 local variables; virtual usage row (b, u) = b·3 + u
+        // with the block supplying it at −1 (the auction's linking shape).
+        let build = |lazy: bool| -> DecomposedLp {
+            let mut blocks = Vec::new();
+            for b in 0..2usize {
+                let mut local = LinearProgram::new(Sense::Maximize);
+                for _ in 0..3 {
+                    local.add_variable(0.0);
+                }
+                for u in 0..3 {
+                    local.add_constraint(vec![(u, 1.0)], Relation::Le, 1.0);
+                }
+                let linking = (0..3).map(|u| vec![(b * 3 + u, -1.0)]).collect();
+                blocks.push(Subproblem::new(local, linking));
+            }
+            let coupling: Vec<(Relation, f64)> = (0..6).map(|_| (Relation::Le, 0.0)).collect();
+            if lazy {
+                DecomposedLp::new_lazy(coupling, blocks)
+            } else {
+                DecomposedLp::new(coupling, blocks)
+            }
+        };
+        let options = DantzigWolfeOptions::default();
+        let mut results = Vec::new();
+        for lazy in [false, true] {
+            let mut dw = build(lazy);
+            // one native demand column on usage row 0 (block 0's supply)
+            assert!(dw.add_native_column(GeneratedColumn {
+                objective: 5.0,
+                coeffs: vec![(0, 1.0)],
+                tag: 1,
+            }));
+            let ones = vec![1.0f64; dw.num_virtual_rows() + dw.num_blocks()];
+            dw.prime_blocks(&ones, &options);
+            let mut source = no_source();
+            let result = dw.solve(&mut source, &options).expect("dw failed");
+            assert!(result.converged);
+            assert!(
+                (result.solution.objective - 5.0).abs() < 1e-6,
+                "lazy={lazy}: {}",
+                result.solution.objective
+            );
+            results.push((dw.master().num_rows(), dw.rows_activated()));
+        }
+        let (eager_rows, _) = results[0];
+        let (lazy_rows, lazy_activated) = results[1];
+        assert_eq!(eager_rows, 6 + 2, "eager: all usage rows + convexity");
+        assert_eq!(
+            lazy_rows, 3,
+            "lazy: 2 convexity rows + the single referenced usage row"
+        );
+        assert_eq!(lazy_activated, 1);
+    }
+
+    /// Lazy activation mid-run composes with `add_coupling_row`: explicitly
+    /// added rows are materialized immediately while usage rows keep
+    /// activating on demand, and block forms keep binding future columns.
+    #[test]
+    fn lazy_mode_composes_with_added_coupling_rows() {
+        let (mut dw, _) = random_block_angular_mode(17, 2, 2, 3, true);
+        let mut source = no_source();
+        let options = DantzigWolfeOptions::default();
+        let first = dw.solve(&mut source, &options).expect("dw failed");
+        assert!(first.converged);
+
+        let block0_vars = dw.blocks[0].num_variables();
+        let coeffs: Vec<(usize, f64)> = dw
+            .master()
+            .columns()
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, c)| {
+                let (b, point) = dw.block_points.get(&c.tag)?;
+                (*b == 0).then(|| (idx, point.iter().sum::<f64>()))
+            })
+            .filter(|&(_, a)| a != 0.0)
+            .collect();
+        let mut block_forms = vec![Vec::new(); dw.num_blocks()];
+        block_forms[0] = (0..block0_vars).map(|v| (v, 1.0)).collect();
+        let cap = 0.4;
+        dw.add_coupling_row(Relation::Le, cap, coeffs, &block_forms);
+        let second = dw.solve(&mut source, &options).expect("dw failed");
+        assert_eq!(second.solution.status, LpStatus::Optimal);
+        assert!(second.solution.objective <= first.solution.objective + 1e-7);
         let mass: f64 = dw.block_solution(0, &second.solution).iter().sum();
         assert!(
             mass <= cap + 1e-7,

@@ -280,13 +280,19 @@ impl<'a> Tableau<'a> {
     fn solve(mut self) -> LpSolution {
         let has_artificials = self.first_artificial < self.n_total;
 
+        // Structural variables fixed at zero may never enter a basis (same
+        // contract as the revised engine, so the oracle stays comparable).
+        let n = self.n_original;
+        let fixed: Vec<bool> = (0..n).map(|j| self.lp.is_variable_fixed(j)).collect();
+        let allow = move |j: usize| j >= n || !fixed[j];
+
         if has_artificials {
             // Phase 1: maximize -(sum of artificials).
             let mut phase1_cost = vec![0.0; self.n_total];
             for j in self.first_artificial..self.n_total {
                 phase1_cost[j] = -1.0;
             }
-            if let Some(status) = self.iterate(&phase1_cost, |_| true) {
+            if let Some(status) = self.iterate(&phase1_cost, &allow) {
                 // Unbounded cannot happen in phase 1 (objective bounded by 0),
                 // so this is an iteration limit.
                 return self.extract(status);
@@ -301,7 +307,7 @@ impl<'a> Tableau<'a> {
         // Phase 2 with the original costs; artificial columns may not enter.
         let cost = self.cost.clone();
         let first_artificial = self.first_artificial;
-        let status = match self.iterate(&cost, |j| j < first_artificial) {
+        let status = match self.iterate(&cost, move |j| j < first_artificial && allow(j)) {
             None => LpStatus::Optimal,
             Some(s) => s,
         };

@@ -15,7 +15,14 @@
 //! cut off the old optimum). The dual simplex method restores primal
 //! feasibility while *maintaining* dual feasibility:
 //!
-//! 1. **leaving row**: the most negative basic value `x_B[l] < 0`,
+//! 1. **leaving row**: **dual steepest-edge** (Forrest–Goldfarb reference
+//!    weights): the row maximizing `x_B[l]² / γ_l`, where `γ_l`
+//!    approximates `‖e_l B⁻¹‖²`. The weights are updated from the entering
+//!    column's FTRAN image — which the pivot already pays for — so DSE
+//!    costs no extra solves over the old most-negative-value rule; it picks
+//!    rows whose repair makes *geometric* progress instead of rows that
+//!    merely look bad in un-normalized units (after stalls the rule
+//!    degrades to first-violated-row, Bland-style, which terminates),
 //! 2. **pivot row**: `ρ = e_l B⁻¹` (one BTRAN on the
 //!    [`crate::basis::BasisFactorization`] seam),
 //! 3. **dual ratio test**: among nonbasic columns with `α_j = ρ·a_j < 0`,
@@ -150,6 +157,18 @@ struct DualSimplex<'a> {
     b: Vec<f64>,
     /// maximization costs per global column (slacks cost 0)
     cost: Vec<f64>,
+    /// Structural columns barred from the dual phase and exempt from the
+    /// dual-feasibility screen: variables fixed at zero (they may never
+    /// enter any basis) and **relief columns** of deactivated rows. A
+    /// relief column legitimately has `rc = y_i > 0` when its row was
+    /// binding at the prior optimum — it must *enter*, which is the primal
+    /// engine's job after the repair: barring it here keeps the dual
+    /// invariant over the remaining columns, and the final primal resume
+    /// (which re-prices every column) brings it in. An infeasibility
+    /// verdict reached while relief columns are barred may be spurious, but
+    /// that path already falls back to a full primal solve, so the answer
+    /// stays correct either way.
+    barred: Vec<bool>,
 
     basis: Vec<usize>,
     in_basis: Vec<bool>,
@@ -189,6 +208,9 @@ impl<'a> DualSimplex<'a> {
         for (v, &c) in lp.objective().iter().enumerate() {
             cost[v] = sense_sign * c;
         }
+        let barred: Vec<bool> = (0..n)
+            .map(|j| lp.is_variable_fixed(j) || lp.is_relief_variable(j))
+            .collect();
         let max_iterations = if options.max_iterations == 0 {
             200 * (m + n_total) + 10_000
         } else {
@@ -206,6 +228,7 @@ impl<'a> DualSimplex<'a> {
             cols,
             b,
             cost,
+            barred,
             basis: Vec::new(),
             in_basis: vec![false; n_total],
             factor: make_factorization(options.basis),
@@ -289,6 +312,21 @@ impl<'a> DualSimplex<'a> {
         if !self.refactor() {
             return false;
         }
+        // Mirror of the primal engine's screen: a *fixed* column basic at
+        // a positive value may only ride along when harmless (≤-row slack
+        // consumption); otherwise fall back so the eventual cold start
+        // pins it at exactly 0. Relief columns are exempt — being basic at
+        // a positive value is precisely how they keep a deactivated row
+        // slack.
+        for (r, &c) in self.basis.iter().enumerate() {
+            if c < self.n
+                && self.xb[r] > 1e-9
+                && self.lp.is_variable_fixed(c)
+                && !self.lp.fixed_value_is_harmless(c)
+            {
+                return false;
+            }
+        }
         // Dual feasibility of the extended basis: with the new rows' duals
         // at zero every reduced cost equals its value at the prior optimum,
         // so rc ≤ 0 must hold for all nonbasic columns. A violation means
@@ -298,7 +336,7 @@ impl<'a> DualSimplex<'a> {
         self.factor.btran(&cb, &mut y);
         let dual_tol = self.tol.max(1e-7);
         for j in 0..self.n_total {
-            if self.in_basis[j] {
+            if self.in_basis[j] || (j < self.n && self.barred[j]) {
                 continue;
             }
             if self.reduced_cost(&y, j) > dual_tol {
@@ -363,6 +401,12 @@ impl<'a> DualSimplex<'a> {
         let mut rho = vec![0.0f64; m];
         let mut w = vec![0.0f64; m];
         let mut rc = vec![0.0f64; self.n_total];
+        // Dual steepest-edge reference weights: `gamma[r]` approximates
+        // `‖e_r B⁻¹‖²` for the current basis. Initialized to the exact
+        // value for slack-heavy extended bases (1.0) and maintained by the
+        // Forrest–Goldfarb reference update from the entering column's
+        // FTRAN image — no additional BTRAN/FTRAN per pivot.
+        let mut gamma = vec![1.0f64; m];
         // nonbasic columns touched by the current pivot row: `(j, α_j)`
         let mut touched: Vec<(usize, f64)> = Vec::with_capacity(self.n_total);
         let mut col_scratch = SparseColumn::new();
@@ -384,17 +428,23 @@ impl<'a> DualSimplex<'a> {
             }
 
             let use_bland = stall >= self.stall_threshold;
-            // Leaving row: most negative basic value (dual Dantzig), or the
-            // first violated row under the anti-cycling override.
+            // Leaving row: dual steepest-edge (max `x² / γ` among violated
+            // rows), or the first violated row under the anti-cycling
+            // override.
+            let infeas_tol = self.tol.max(1e-9);
             let mut leaving: Option<usize> = None;
-            let mut worst = -self.tol.max(1e-9);
+            let mut best_score = 0.0f64;
             for (r, &x) in self.xb.iter().enumerate() {
-                if x < worst {
-                    leaving = Some(r);
+                if x < -infeas_tol {
                     if use_bland {
+                        leaving = Some(r);
                         break;
                     }
-                    worst = x;
+                    let score = x * x / gamma[r].max(1e-12);
+                    if leaving.is_none() || score > best_score {
+                        best_score = score;
+                        leaving = Some(r);
+                    }
                 }
             }
             let Some(l) = leaving else {
@@ -415,7 +465,7 @@ impl<'a> DualSimplex<'a> {
             let mut best_ratio = f64::INFINITY;
             let mut best_alpha = 0.0f64;
             for (j, &rcj) in rc.iter().enumerate() {
-                if self.in_basis[j] {
+                if self.in_basis[j] || (j < self.n && self.barred[j]) {
                     continue;
                 }
                 let mut alpha = 0.0;
@@ -470,6 +520,31 @@ impl<'a> DualSimplex<'a> {
                 }
             }
             self.xb[l] = theta;
+
+            // Dual steepest-edge reference update (Forrest–Goldfarb): the
+            // entering column's FTRAN image `w` — already computed for the
+            // pivot — bounds how every row norm can have grown:
+            // `γ_r ← max(γ_r, (w_r / w_l)² · γ_l)`, `γ_l ← γ_l / w_l²`.
+            {
+                let wl = w[l];
+                let gamma_l = gamma[l].max(1.0);
+                let inv_wl2 = 1.0 / (wl * wl);
+                let mut max_gamma = 0.0f64;
+                for (r, &wr) in w.iter().enumerate() {
+                    if r != l && wr != 0.0 {
+                        let cand = wr * wr * inv_wl2 * gamma_l;
+                        if cand > gamma[r] {
+                            gamma[r] = cand;
+                        }
+                    }
+                    max_gamma = max_gamma.max(gamma[r]);
+                }
+                gamma[l] = (gamma_l * inv_wl2).max(1.0);
+                if max_gamma > 1e12 {
+                    // degenerate reference framework: restart the weights
+                    gamma.fill(1.0);
+                }
+            }
             let leaving_col = self.basis[l];
             self.in_basis[leaving_col] = false;
             self.in_basis[e] = true;

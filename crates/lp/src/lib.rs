@@ -58,8 +58,9 @@ pub mod simplex;
 
 pub use basis::{BasisFactorization, BasisKind, ProductFormInverse, SparseLu};
 pub use column_generation::{
-    BatchedMasters, BatchedResult, ChannelRunStats, ColumnGeneration, ColumnGenerationError,
-    ColumnGenerationResult, ColumnSource, GeneratedColumn, MasterProblem,
+    is_native_tag, is_relief_tag, BatchedMasters, BatchedResult, ChannelRunStats, ColumnGeneration,
+    ColumnGenerationError, ColumnGenerationResult, ColumnSource, CompactionReport, GeneratedColumn,
+    MasterProblem, DEAD_COLUMN_TAG_BASE, ROW_RELIEF_TAG_BASE,
 };
 pub use decomposition::{
     is_block_tag, DantzigWolfeError, DantzigWolfeOptions, DecomposedLp, DwSolution, DwStats,
@@ -67,7 +68,7 @@ pub use decomposition::{
 };
 pub use dual::{reoptimize_after_row_additions, DualReoptimization};
 pub use pricing::{BlandPricing, DantzigPricing, DevexPricing, Pricing, PricingRule};
-pub use problem::{Constraint, CscMatrix, LinearProgram, Relation, Sense};
+pub use problem::{Compaction, Constraint, CscMatrix, LinearProgram, Relation, RowState, Sense};
 pub use simplex::{
     solve, solve_with_warm_start, BasisVar, LpSolution, LpStatus, SimplexOptions, SolveStats,
     WarmStart,

@@ -1,4 +1,41 @@
-//! Sparse linear-program models.
+//! Sparse linear-program models with a managed **row lifecycle**.
+//!
+//! Rows used to be append-only; dynamic markets (bidders leaving as often
+//! as they arrive) need the inverse primitive too. A row now carries a
+//! [`RowState`]:
+//!
+//! ```text
+//!            add_constraint                 deactivate_rows
+//!   (none) ────────────────▶ Active ────────────────────────▶ Deactivated
+//!                              │                                   │
+//!                              └──────────── compact ◀─────────────┘
+//!                                    (physically removed)
+//! ```
+//!
+//! * [`LinearProgram::deactivate_rows`] relaxes rows to non-binding **in
+//!   place**, without touching any existing column or invalidating a
+//!   recorded basis: each deactivated `≤`/`≥` row gains a zero-objective
+//!   **relief variable** (`−1` for `≤`, `+1` for `≥`) whose growth absorbs
+//!   the constraint (`a·x − t ≤ rhs` with `t ≥ 0` unbounded is no
+//!   constraint at all). New columns enter nonbasic, so a warm basis stays
+//!   valid and primal feasible and the next solve resumes with ordinary
+//!   primal pivots — the basis-preserving departure path.
+//! * [`LinearProgram::fix_variables_at_zero`] retires columns: the
+//!   objective coefficient drops to zero and every engine (revised, dense,
+//!   dual) bars the column from entering a basis. A fixed column arriving
+//!   *basic* through a warm start keeps its value only when that is
+//!   provably harmless (pure `≤`-row slack consumption — the auction
+//!   masters' packing shape); any other shape makes the engines reject
+//!   the warm start and cold-start, where fixed columns are exactly zero,
+//!   so the reported optimum is the fixed-at-zero optimum in every case.
+//! * [`LinearProgram::compact`] physically removes `Deactivated` rows,
+//!   fixed variables and relief variables once callers decide the
+//!   deadweight is worth a rebuild, returning index maps so basis
+//!   identities and caller bookkeeping can be remapped.
+//!
+//! The factorization seam ([`crate::basis`]) never sees an invalid basis:
+//! deactivation only ever *adds* nonbasic columns, and compaction hands the
+//! remapped basis back through the ordinary warm-start validation path.
 
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +70,30 @@ pub struct Constraint {
     pub rhs: f64,
 }
 
+/// Activation state of a constraint row (see the [module docs](self) for
+/// the lifecycle diagram).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowState {
+    /// The row constrains the feasible region (the only state rows had
+    /// before the lifecycle refactor).
+    Active,
+    /// The row has been relaxed to non-binding in place (its relief
+    /// variable absorbs any activity); it is physically removed by the next
+    /// [`LinearProgram::compact`].
+    Deactivated,
+}
+
+/// Index maps returned by [`LinearProgram::compact`]: `None` marks a
+/// removed row / variable, `Some(new)` the post-compaction index.
+#[derive(Clone, Debug)]
+pub struct Compaction {
+    /// Old row index → new row index (`None` for deactivated rows).
+    pub row_map: Vec<Option<usize>>,
+    /// Old variable index → new variable index (`None` for fixed and
+    /// relief variables).
+    pub var_map: Vec<Option<usize>>,
+}
+
 /// A linear program over non-negative variables.
 ///
 /// All variables implicitly satisfy `x ≥ 0`; upper bounds (e.g. `x ≤ 1`)
@@ -43,6 +104,14 @@ pub struct LinearProgram {
     sense: Sense,
     objective: Vec<f64>,
     constraints: Vec<Constraint>,
+    /// Activation state per row (parallel to `constraints`).
+    row_state: Vec<RowState>,
+    /// Variables fixed at zero (barred from entering any basis).
+    var_fixed: Vec<bool>,
+    /// `Some(row)` for relief variables created by
+    /// [`deactivate_rows`](Self::deactivate_rows) (removed on compaction
+    /// together with their row).
+    var_relief: Vec<Option<usize>>,
 }
 
 impl LinearProgram {
@@ -52,6 +121,9 @@ impl LinearProgram {
             sense,
             objective: Vec::new(),
             constraints: Vec::new(),
+            row_state: Vec::new(),
+            var_fixed: Vec::new(),
+            var_relief: Vec::new(),
         }
     }
 
@@ -64,6 +136,8 @@ impl LinearProgram {
     /// index.
     pub fn add_variable(&mut self, objective_coefficient: f64) -> usize {
         self.objective.push(objective_coefficient);
+        self.var_fixed.push(false);
+        self.var_relief.push(None);
         self.objective.len() - 1
     }
 
@@ -117,6 +191,7 @@ impl LinearProgram {
             relation,
             rhs,
         });
+        self.row_state.push(RowState::Active);
         self.constraints.len() - 1
     }
 
@@ -147,9 +222,184 @@ impl LinearProgram {
         &self.constraints
     }
 
-    /// Number of constraints.
+    /// Number of constraints (active **and** deactivated — deactivated rows
+    /// keep their index until [`compact`](Self::compact)).
     pub fn num_constraints(&self) -> usize {
         self.constraints.len()
+    }
+
+    // -- row lifecycle ------------------------------------------------------
+
+    /// Activation state per row (parallel to
+    /// [`constraints`](Self::constraints)).
+    pub fn row_states(&self) -> &[RowState] {
+        &self.row_state
+    }
+
+    /// Whether row `i` is [`RowState::Active`].
+    pub fn is_row_active(&self, i: usize) -> bool {
+        self.row_state[i] == RowState::Active
+    }
+
+    /// Number of rows still [`RowState::Active`].
+    pub fn num_active_rows(&self) -> usize {
+        self.row_state
+            .iter()
+            .filter(|&&s| s == RowState::Active)
+            .count()
+    }
+
+    /// Whether variable `j` has been fixed at zero. Relief variables are
+    /// **not** fixed (they must stay enterable to do their job); test them
+    /// with [`is_relief_variable`](Self::is_relief_variable).
+    pub fn is_variable_fixed(&self, j: usize) -> bool {
+        self.var_fixed[j]
+    }
+
+    /// Whether variable `j` is a relief variable of a deactivated row.
+    pub fn is_relief_variable(&self, j: usize) -> bool {
+        self.var_relief[j].is_some()
+    }
+
+    /// Number of variables that compaction would remove (fixed + relief).
+    pub fn num_dead_variables(&self) -> usize {
+        self.var_fixed
+            .iter()
+            .zip(self.var_relief.iter())
+            .filter(|&(&f, r)| f || r.is_some())
+            .count()
+    }
+
+    /// Relaxes the given rows to non-binding **in place**, keeping every
+    /// recorded basis over this LP valid (see the [module docs](self)):
+    /// each row gains a fresh zero-objective relief variable (`−1` on a `≤`
+    /// row, `+1` on a `≥` row) and moves to [`RowState::Deactivated`]. The
+    /// relief variables are returned in row order; they start nonbasic, so
+    /// a subsequent warm-started solve resumes with primal pivots (the
+    /// relief column enters exactly when the deactivated row was binding).
+    ///
+    /// At any later optimum the deactivated row's dual is (numerically)
+    /// zero: the relief column's reduced cost is `±y_i`, so optimality
+    /// forces `y_i ≈ 0` — pricing oracles need no special casing.
+    ///
+    /// # Panics
+    /// Panics if a row does not exist, is already deactivated, or is an
+    /// equality row (`=` rows would need a *free* relief variable, which
+    /// the engines do not model; the stack only deactivates packing rows).
+    pub fn deactivate_rows(&mut self, rows: &[usize]) -> Vec<usize> {
+        let mut relief = Vec::with_capacity(rows.len());
+        for &i in rows {
+            assert!(i < self.constraints.len(), "row {i} does not exist");
+            assert!(
+                self.row_state[i] == RowState::Active,
+                "row {i} is already deactivated"
+            );
+            let sign = match self.constraints[i].relation {
+                Relation::Le => -1.0,
+                Relation::Ge => 1.0,
+                Relation::Eq => panic!("equality rows cannot be deactivated in place"),
+            };
+            let var = self.add_variable(0.0);
+            self.add_coefficient(i, var, sign);
+            self.var_relief[var] = Some(i);
+            self.row_state[i] = RowState::Deactivated;
+            relief.push(var);
+        }
+        relief
+    }
+
+    /// Fixes the given variables at zero: their objective coefficient is
+    /// cleared and every engine bars them from entering a basis. A fixed
+    /// variable that arrives *basic* through a warm start may keep its
+    /// value only when that is provably harmless
+    /// ([`fixed_value_is_harmless`](Self::fixed_value_is_harmless): the
+    /// column only consumes `≤`-row slack — the packing shape of the
+    /// auction masters, where zeroing a zero-objective column never
+    /// changes the optimum); otherwise the engines reject the warm start
+    /// and cold-start, which keeps every fixed variable at exactly 0, so
+    /// the reported optimum is the fixed-at-zero optimum in **all** cases
+    /// (covering/minimization included).
+    ///
+    /// # Panics
+    /// Panics if a variable does not exist.
+    pub fn fix_variables_at_zero(&mut self, vars: &[usize]) {
+        for &j in vars {
+            assert!(j < self.num_variables(), "variable {j} does not exist");
+            self.objective[j] = 0.0;
+            self.var_fixed[j] = true;
+        }
+    }
+
+    /// Whether a fixed variable retaining a positive basic value cannot
+    /// change the fixed-at-zero optimum: every coefficient is non-negative
+    /// on a `≤` row with non-negative right-hand side (so the lingering
+    /// value only consumes slack — zeroing it stays feasible and, since
+    /// the objective coefficient is 0, leaves the objective unchanged).
+    /// Covering (`≥`/`=`) participation is *not* harmless: a zero-cost
+    /// basic column could satisfy a covering row for free and report an
+    /// objective below the true fixed-at-zero optimum.
+    pub fn fixed_value_is_harmless(&self, j: usize) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| match c.coeffs.binary_search_by_key(&j, |&(v, _)| v) {
+                Err(_) => true,
+                Ok(pos) => {
+                    let a = c.coeffs[pos].1;
+                    a == 0.0 || (c.relation == Relation::Le && a >= 0.0 && c.rhs >= 0.0)
+                }
+            })
+    }
+
+    /// Physically removes deactivated rows, fixed variables and relief
+    /// variables, remapping every surviving constraint's coefficients.
+    /// Returns the index maps callers need to remap basis identities and
+    /// their own row/column bookkeeping.
+    pub fn compact(&mut self) -> Compaction {
+        let mut var_map = vec![None; self.num_variables()];
+        let mut next = 0usize;
+        for (j, slot) in var_map.iter_mut().enumerate() {
+            if !self.var_fixed[j] && self.var_relief[j].is_none() {
+                *slot = Some(next);
+                next += 1;
+            }
+        }
+        let mut row_map = vec![None; self.constraints.len()];
+        let mut next_row = 0usize;
+        for (i, slot) in row_map.iter_mut().enumerate() {
+            if self.row_state[i] == RowState::Active {
+                *slot = Some(next_row);
+                next_row += 1;
+            }
+        }
+
+        let mut objective = Vec::with_capacity(next);
+        for (j, &keep) in var_map.iter().enumerate() {
+            if keep.is_some() {
+                objective.push(self.objective[j]);
+            }
+        }
+        let mut constraints = Vec::with_capacity(next_row);
+        for (i, c) in self.constraints.iter().enumerate() {
+            if row_map[i].is_none() {
+                continue;
+            }
+            let coeffs: Vec<(usize, f64)> = c
+                .coeffs
+                .iter()
+                .filter_map(|&(v, a)| var_map[v].map(|nv| (nv, a)))
+                .collect();
+            constraints.push(Constraint {
+                coeffs,
+                relation: c.relation,
+                rhs: c.rhs,
+            });
+        }
+        self.objective = objective;
+        self.constraints = constraints;
+        self.row_state = vec![RowState::Active; next_row];
+        self.var_fixed = vec![false; next];
+        self.var_relief = vec![None; next];
+        Compaction { row_map, var_map }
     }
 
     /// Evaluates the objective at a point.
@@ -325,5 +575,93 @@ mod tests {
     fn unknown_variable_rejected() {
         let mut lp = LinearProgram::new(Sense::Maximize);
         lp.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0);
+    }
+
+    #[test]
+    fn deactivation_adds_relief_variables_and_flips_state() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(1.0);
+        let r0 = lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+        let r1 = lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 1.0);
+        let relief = lp.deactivate_rows(&[r0, r1]);
+        assert_eq!(relief.len(), 2);
+        assert!(!lp.is_row_active(r0) && !lp.is_row_active(r1));
+        assert_eq!(lp.num_active_rows(), 0);
+        assert!(lp.is_relief_variable(relief[0]));
+        assert_eq!(lp.objective()[relief[0]], 0.0);
+        // relief signs: −1 on the ≤ row, +1 on the ≥ row
+        assert_eq!(lp.constraints()[r0].coeffs.last(), Some(&(relief[0], -1.0)));
+        assert_eq!(lp.constraints()[r1].coeffs.last(), Some(&(relief[1], 1.0)));
+        // the rows are now satisfiable at any x: big relief values absorb it
+        assert!(lp.is_feasible(&[50.0, 48.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn equality_rows_cannot_be_deactivated() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(1.0);
+        let r = lp.add_constraint(vec![(x, 1.0)], Relation::Eq, 1.0);
+        lp.deactivate_rows(&[r]);
+    }
+
+    #[test]
+    fn fixed_value_harmlessness_distinguishes_packing_from_covering() {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 1.0);
+        lp.fix_variables_at_zero(&[x]);
+        // x participates in a covering row: a lingering basic value would
+        // satisfy the row for free — not harmless
+        assert!(!lp.fixed_value_is_harmless(x));
+
+        let mut packing = LinearProgram::new(Sense::Maximize);
+        let p = packing.add_variable(1.0);
+        packing.add_constraint(vec![(p, 1.0)], Relation::Le, 2.0);
+        packing.fix_variables_at_zero(&[p]);
+        assert!(packing.fixed_value_is_harmless(p));
+    }
+
+    #[test]
+    fn fixing_clears_the_objective_and_marks_the_variable() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(3.0);
+        let y = lp.add_variable(2.0);
+        lp.fix_variables_at_zero(&[x]);
+        assert!(lp.is_variable_fixed(x));
+        assert!(!lp.is_variable_fixed(y));
+        assert_eq!(lp.objective()[x], 0.0);
+        assert_eq!(lp.num_dead_variables(), 1);
+    }
+
+    #[test]
+    fn compact_removes_dead_rows_and_variables_with_maps() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(3.0);
+        let y = lp.add_variable(2.0);
+        let z = lp.add_variable(1.0);
+        let r0 = lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        let r1 = lp.add_constraint(vec![(y, 2.0), (z, 1.0)], Relation::Le, 3.0);
+        let r2 = lp.add_constraint(vec![(z, 1.0)], Relation::Le, 5.0);
+        lp.fix_variables_at_zero(&[y]);
+        lp.deactivate_rows(&[r1]);
+        let maps = lp.compact();
+        assert_eq!(maps.row_map, vec![Some(0), None, Some(1)]);
+        // y fixed and the relief variable dropped; x and z survive
+        assert_eq!(maps.var_map[x], Some(0));
+        assert_eq!(maps.var_map[y], None);
+        assert_eq!(maps.var_map[z], Some(1));
+        assert_eq!(maps.var_map.len(), 4);
+        assert_eq!(lp.num_variables(), 2);
+        assert_eq!(lp.num_constraints(), 2);
+        assert_eq!(lp.num_active_rows(), 2);
+        assert_eq!(lp.num_dead_variables(), 0);
+        // surviving rows reference remapped variables only
+        assert_eq!(lp.constraints()[0].coeffs, vec![(0, 1.0)]); // was r0: x
+        assert_eq!(lp.constraints()[1].coeffs, vec![(1, 1.0)]); // was r2: z
+        assert_eq!(lp.constraints()[1].rhs, 5.0);
+        let _ = r0;
+        let _ = r2;
     }
 }

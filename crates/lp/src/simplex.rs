@@ -287,6 +287,11 @@ struct Revised<'a> {
     first_artificial: usize,
     /// maximization costs per global column (original objective)
     cost: Vec<f64>,
+    /// per global column: may it enter a basis? `false` for structural
+    /// variables fixed at zero ([`LinearProgram::fix_variables_at_zero`]);
+    /// logical columns are always enterable. A fixed column arriving basic
+    /// through a warm start may stay basic until it leaves naturally.
+    enterable: Vec<bool>,
 
     /// basis member (global column index) per row
     basis: Vec<usize>,
@@ -372,6 +377,11 @@ impl<'a> Revised<'a> {
             cost[v] = sense_sign * c;
         }
 
+        let mut enterable = vec![true; n_total];
+        for (v, e) in enterable.iter_mut().enumerate().take(n) {
+            *e = !lp.is_variable_fixed(v);
+        }
+
         let max_iterations = if options.max_iterations == 0 {
             200 * (m + n_total) + 10_000
         } else {
@@ -398,6 +408,7 @@ impl<'a> Revised<'a> {
             kind,
             first_artificial,
             cost,
+            enterable,
             basis: Vec::new(),
             in_basis: vec![false; n_total],
             factor: make_factorization(options.basis),
@@ -518,6 +529,23 @@ impl<'a> Revised<'a> {
         for v in &mut self.xb {
             if *v < 0.0 {
                 *v = 0.0;
+            }
+        }
+        // A fixed column that arrived basic with a positive value may only
+        // keep it when that is provably harmless (it consumes ≤-row slack
+        // only — the packing shape). Otherwise reject the warm start: the
+        // cold start keeps every fixed variable at exactly 0, so covering
+        // and minimization shapes report the true fixed-at-zero optimum
+        // instead of letting a zero-cost basic column satisfy `≥` rows for
+        // free.
+        for (r, &c) in self.basis.iter().enumerate() {
+            if let BasisVar::Structural(v) = self.kind[c] {
+                if self.xb[r] > 1e-9
+                    && self.lp.is_variable_fixed(v)
+                    && !self.lp.fixed_value_is_harmless(v)
+                {
+                    return false;
+                }
             }
         }
         // Adopting/converting the starting basis is install work, not a
@@ -824,7 +852,7 @@ impl<'a> Revised<'a> {
             self.factor.btran_unit(r, &mut rho);
             let mut target = None;
             for j in 0..self.first_artificial {
-                if self.in_basis[j] {
+                if self.in_basis[j] || !self.enterable[j] {
                     continue;
                 }
                 let mut alpha = 0.0;
@@ -867,8 +895,10 @@ impl<'a> Revised<'a> {
                 for c in phase1_cost[self.first_artificial..].iter_mut() {
                     *c = -1.0;
                 }
+                let enterable = self.enterable.clone();
                 pricer.reset(self.n_total);
-                if let Some(status) = self.iterate(&phase1_cost, |_| true, pricer.as_mut()) {
+                if let Some(status) = self.iterate(&phase1_cost, |j| enterable[j], pricer.as_mut())
+                {
                     // Phase 1 is bounded by 0, so this is an iteration limit.
                     return status;
                 }
@@ -882,11 +912,17 @@ impl<'a> Revised<'a> {
             }
         }
 
-        // Phase 2 with the original costs; artificials may not (re-)enter.
+        // Phase 2 with the original costs; artificials may not (re-)enter,
+        // and neither may fixed columns.
         let cost = self.cost.clone();
         let first_artificial = self.first_artificial;
+        let enterable = self.enterable.clone();
         pricer.reset(self.n_total);
-        match self.iterate(&cost, |j| j < first_artificial, pricer.as_mut()) {
+        match self.iterate(
+            &cost,
+            |j| j < first_artificial && enterable[j],
+            pricer.as_mut(),
+        ) {
             None => LpStatus::Optimal,
             Some(s) => s,
         }
@@ -1228,6 +1264,29 @@ mod tests {
             let (sol, _) = solve_with_warm_start(&b, &options, Some(state));
             assert_eq!(sol.status, LpStatus::Optimal);
             assert_close(sol.objective, 1.0, 1e-9);
+        }
+    }
+
+    /// Fixing a column that is basic in a **covering** (minimize / `≥`) LP
+    /// must not let its lingering value satisfy the rows for free: the
+    /// warm-start screen rejects the basis and the cold start reports the
+    /// true fixed-at-zero optimum (the review repro for the unsound case).
+    #[test]
+    fn fixed_basic_columns_are_evicted_on_covering_lps() {
+        for options in all_engines() {
+            let mut lp = LinearProgram::new(Sense::Minimize);
+            let x1 = lp.add_variable(1.0);
+            let x2 = lp.add_variable(2.0);
+            lp.add_constraint(vec![(x1, 1.0), (x2, 1.0)], Relation::Ge, 1.0);
+            let (first, state) = solve_with_warm_start(&lp, &options, None);
+            assert_eq!(first.status, LpStatus::Optimal);
+            assert_close(first.objective, 1.0, 1e-7); // x1 = 1 basic
+
+            lp.fix_variables_at_zero(&[x1]);
+            let (fixed, _) = solve_with_warm_start(&lp, &options, Some(state));
+            assert_eq!(fixed.status, LpStatus::Optimal);
+            assert_close(fixed.objective, 2.0, 1e-7); // x2 = 1, not x1 for free
+            assert_close(fixed.x[x1], 0.0, 1e-9);
         }
     }
 

@@ -125,10 +125,24 @@ fn main() {
         "after one arrival (warm resolve): b* {:.3} -> {:.3}, welfare {:.3} -> {:.3}",
         before.lp_objective, after.lp_objective, before.welfare, after.welfare
     );
+    assert!(after.allocation.is_feasible(session.instance()));
+
+    // 7. Markets shrink too: station 2 hands back its license. The session
+    //    absorbs the departure in place — the departed operator's LP
+    //    columns are fixed at zero and its rows deactivated behind relief
+    //    columns, so the surviving basis resumes with a few primal pivots
+    //    instead of rebuilding the master.
+    session.remove_bidder(2);
+    let shrunk = session.resolve().expect("departure resolve");
+    println!(
+        "after one departure (warm resolve): b* {:.3} -> {:.3}, welfare {:.3} -> {:.3}",
+        after.lp_objective, shrunk.lp_objective, after.welfare, shrunk.welfare
+    );
     let stats = session.stats();
     println!(
-        "session paths: {} cold, {} dual-simplex row absorptions",
-        stats.cold_resolves, stats.warm_row_resolves
+        "session paths: {} cold, {} dual-simplex row absorptions, {} in-place departures",
+        stats.cold_resolves, stats.warm_row_resolves, stats.deactivated_resolves
     );
-    assert!(after.allocation.is_feasible(session.instance()));
+    assert_eq!(stats.deactivated_resolves, 1);
+    assert!(shrunk.allocation.is_feasible(session.instance()));
 }

@@ -97,3 +97,31 @@ fn session_matches_scratch_on_arrival_streams() {
 fn session_matches_scratch_on_rebid_streams() {
     run_stream(59, &DynamicMarketConfig::rebids_only(5));
 }
+
+/// Pure departure streams exercise the basis-preserving removal path
+/// (columns fixed at zero + rows deactivated behind relief columns, primal
+/// resume) specifically — every resolve is debug-recertified against a
+/// from-scratch solve.
+#[test]
+fn session_matches_scratch_on_departure_streams() {
+    run_stream(67, &DynamicMarketConfig::departures_only(5));
+}
+
+/// Departure-heavy mixed streams: deactivations interleaved with arrivals
+/// (a master carrying relief columns must survive the dual row path or
+/// fall back soundly) and re-bids, with enough churn to cross the
+/// compaction threshold on longer runs.
+#[test]
+fn session_matches_scratch_on_departure_heavy_streams() {
+    for seed in [73u64, 97] {
+        run_stream(
+            seed,
+            &DynamicMarketConfig {
+                num_events: 8,
+                arrival_weight: 0.25,
+                departure_weight: 0.55,
+                rebid_weight: 0.2,
+            },
+        );
+    }
+}
