@@ -120,9 +120,27 @@ fn bench_e14(c: &mut Criterion) {
     // --- dual-simplex reoptimization after row additions ------------------
     // Two regimes: a handful of added rows (the incremental-master shape the
     // dual path is built for) and a deep 16-row batch (where the repair
-    // approaches the cost of a full re-solve — measured, not hidden).
-    for &(n, extra) in &[(200usize, 4usize), (800, 4), (800, 16)] {
-        let options = SimplexOptions::default();
+    // approaches the cost of a full re-solve — measured, not hidden). Both
+    // run under the eta-file engine (`lu`, the former default) and the
+    // Forrest–Tomlin engine (`ft+se`), so the reopt grid shows whether the
+    // bounded-fill updates help the dual path too.
+    for &(n, extra, eng) in &[
+        (200usize, 4usize, "lu"),
+        (800, 4, "lu"),
+        (800, 16, "lu"),
+        (200, 4, "ft"),
+        (800, 4, "ft"),
+        (800, 16, "ft"),
+    ] {
+        let options = if eng == "ft" {
+            SimplexOptions::default().with_engine(
+                ssa_lp::PricingRule::SteepestEdge,
+                ssa_lp::BasisKind::ForrestTomlin,
+            )
+        } else {
+            SimplexOptions::default()
+                .with_engine(ssa_lp::PricingRule::Devex, ssa_lp::BasisKind::SparseLu)
+        };
         let base = random_packing_lp(900 + n as u64, n);
         let (first, state) = solve_with_warm_start(&base, &options, None);
         assert_eq!(first.status, LpStatus::Optimal);
@@ -144,12 +162,12 @@ fn bench_e14(c: &mut Criterion) {
         }
 
         group.bench_with_input(
-            BenchmarkId::new("reopt_cold", format!("n{n}_rows{extra}")),
+            BenchmarkId::new("reopt_cold", format!("n{n}_rows{extra}_{eng}")),
             &grown,
             |b, lp| b.iter(|| solve(lp, &options)),
         );
         group.bench_with_input(
-            BenchmarkId::new("reopt_dual", format!("n{n}_rows{extra}")),
+            BenchmarkId::new("reopt_dual", format!("n{n}_rows{extra}_{eng}")),
             &(&grown, &state),
             |b, (lp, state)| {
                 b.iter(|| reoptimize_after_row_additions(lp, &options, clone_state(state)))
@@ -160,7 +178,7 @@ fn bench_e14(c: &mut Criterion) {
         // the cold baseline does not; this entry measures that clone alone
         // so the dual-path numbers can be read net of it.
         group.bench_with_input(
-            BenchmarkId::new("reopt_state_clone", format!("n{n}_rows{extra}")),
+            BenchmarkId::new("reopt_state_clone", format!("n{n}_rows{extra}_{eng}")),
             &state,
             |b, state| b.iter(|| clone_state(state)),
         );

@@ -1,0 +1,82 @@
+//! Diagnostic for the mixed-churn warm path: where does a `churn16`
+//! warm resolve spend its time, and which repair does it actually run?
+//!
+//! For each n the same primed session absorbs the default 16-event mixed
+//! stream (40% arrivals / 30% departures / 30% re-bids) and the probe
+//! prints the resolve's `RelaxationInfo` counters next to wall times for
+//! the warm resolve and a cold one-shot solve of the mutated instance.
+//! Run with `cargo run --release --bin churn_probe [n...]` (default
+//! `200 800`).
+
+use ssa_core::session::AuctionSession;
+use ssa_core::solver::SolverBuilder;
+use ssa_workloads::{apply_event, dynamic_market_scenario, DynamicMarketConfig, ScenarioConfig};
+use std::time::Instant;
+
+const K: usize = 4;
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().expect("sizes are unsigned integers"))
+            .collect();
+        if args.is_empty() {
+            vec![200, 800]
+        } else {
+            args
+        }
+    };
+    for &n in &sizes {
+        let config = ScenarioConfig::new(n, K, 16000 + n as u64);
+        let scenario = dynamic_market_scenario(&config, &DynamicMarketConfig::default(), 1.0);
+
+        let options = SolverBuilder::new().options();
+        let mut base = AuctionSession::new(scenario.initial.instance.clone(), options);
+        base.resolve_relaxation().expect("priming failed");
+
+        for rep in 0..3 {
+            let mut session = base.clone();
+            for event in &scenario.events {
+                apply_event(&mut session, event);
+            }
+            let t0 = Instant::now();
+            let warm = session.resolve_relaxation().expect("warm resolve failed");
+            let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let info = &warm.info;
+            println!(
+                "n={n} rep={rep} warm {warm_ms:7.2} ms  rounds={} cols={} pivots={} \
+                 per_round={:?} dual_pivots={} refactor={} forced={} degen={} deact={}",
+                info.rounds,
+                info.num_columns,
+                info.simplex_iterations,
+                info.per_round_iterations,
+                info.dual_pivots,
+                info.refactorizations,
+                info.forced_refactorizations,
+                info.degenerate_pivots,
+                info.rows_deactivated,
+            );
+        }
+
+        let mutated = {
+            let mut s = base.clone();
+            for event in &scenario.events {
+                apply_event(&mut s, event);
+            }
+            s.instance().clone()
+        };
+        let t0 = Instant::now();
+        let cold = ssa_core::lp_formulation::try_solve_relaxation(
+            &mutated,
+            &SolverBuilder::new().options().lp,
+        )
+        .expect("cold solve failed");
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let info = &cold.info;
+        println!(
+            "n={n} cold       {cold_ms:7.2} ms  rounds={} cols={} pivots={} dual_pivots={}",
+            info.rounds, info.num_columns, info.simplex_iterations, info.dual_pivots,
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Calibration for `LpFormulationOptions::deep_batch_rows` — the session's
+//! deep-batch cost model (arrival batches past the threshold reroute from
+//! the dual-simplex row repair to the warm-from-pool rebuild).
+//!
+//! For each arrival-batch depth the same primed session absorbs the batch
+//! twice: once with the cost model disabled (`deep_batch_rows = MAX`, the
+//! pure dual-repair path) and once with it forced (`deep_batch_rows = 0`,
+//! the pure rebuild path). Run with
+//! `cargo run --release --bin deep_batch [n...]` (default `200 800`).
+//!
+//! Last full sweep (steepest-edge × Forrest–Tomlin default engine): the
+//! dual repair won every depth through 1600 pending rows at both n = 200
+//! (69 ms vs 116 ms) and n = 800 (1.28 s vs 2.47 s), with the rebuild's
+//! cost growing faster in depth than the repair's — no measured
+//! crossover. The `deep_batch_rows` default (4096) therefore sits past
+//! the measured range as a guard rail, not at a measured break-even.
+
+use ssa_core::session::AuctionSession;
+use ssa_core::solver::SolverBuilder;
+use ssa_workloads::{
+    apply_event, dynamic_market_scenario, DynamicMarketConfig, DynamicMarketScenario,
+    ScenarioConfig,
+};
+use std::time::Instant;
+
+const K: usize = 4;
+
+/// Median wall time (ms) over `reps` of: clone the primed session, apply
+/// the batch, resolve the relaxation.
+fn time_batch(base: &AuctionSession, scenario: &DynamicMarketScenario, reps: usize) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut session = base.clone();
+        for event in &scenario.events {
+            apply_event(&mut session, event);
+        }
+        let t0 = Instant::now();
+        session
+            .resolve_relaxation()
+            .expect("calibration resolve failed");
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().expect("sizes are unsigned integers"))
+            .collect();
+        if args.is_empty() {
+            vec![200, 800]
+        } else {
+            args
+        }
+    };
+    for &n in &sizes {
+        println!("n = {n}, k = {K} (one arrival appends {} rows):", K + 1);
+        for &arrivals in &[2usize, 4, 8, 16, 32, 64, 96, 128, 192, 256, 320] {
+            let config = ScenarioConfig::new(n, K, 16000 + n as u64);
+            let scenario = dynamic_market_scenario(
+                &config,
+                &DynamicMarketConfig::arrivals_only(arrivals),
+                1.0,
+            );
+
+            let mut dual_options = SolverBuilder::new().options();
+            dual_options.lp.deep_batch_rows = usize::MAX;
+            let mut dual_base =
+                AuctionSession::new(scenario.initial.instance.clone(), dual_options);
+            dual_base.resolve_relaxation().expect("priming failed");
+
+            let mut rebuild_options = SolverBuilder::new().options();
+            rebuild_options.lp.deep_batch_rows = 0;
+            let mut rebuild_base =
+                AuctionSession::new(scenario.initial.instance.clone(), rebuild_options);
+            rebuild_base.resolve_relaxation().expect("priming failed");
+
+            let pending_rows = arrivals * (K + 1);
+            let dual_ms = time_batch(&dual_base, &scenario, 5);
+            let rebuild_ms = time_batch(&rebuild_base, &scenario, 5);
+            println!(
+                "  {arrivals:>3} arrivals ({pending_rows:>3} rows): dual repair {dual_ms:>9.2} ms, \
+                 pool rebuild {rebuild_ms:>9.2} ms  {}",
+                if rebuild_ms < dual_ms {
+                    "<- rebuild wins"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+}

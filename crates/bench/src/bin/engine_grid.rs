@@ -1,0 +1,95 @@
+//! Multi-seed medians over the pricing × basis engine grid — the
+//! measurement behind the data-driven default engine selection (and the
+//! numbers quoted in `SolverBuilder::engine`'s rustdoc and the ROADMAP).
+//!
+//! Times one-shot solves of the e13 random sparse packing LP (the
+//! relaxation master shape) for every engine combination over several
+//! seeds, and prints the per-engine **median** wall time at each size.
+//! Unlike the Criterion benches this is a plain binary: run it with
+//! `cargo run --release --bin engine_grid [sizes...]` (default
+//! `200 800 2000`; the product-form engines are skipped at n ≥ 2000 where
+//! the dense inverse is memory-bound).
+
+use ssa_lp::{
+    solve, BasisKind, LinearProgram, LpStatus, PricingRule, Relation, Sense, SimplexOptions,
+};
+use std::time::Instant;
+
+/// The e13 generator: `cols` variables, `cols / 2` coupling rows with ~8
+/// non-zeros each, plus one bound row per variable (provably bounded).
+fn random_packing_lp(seed: u64, cols: usize) -> LinearProgram {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = (cols / 2).max(1);
+    let per_row = 8.min(cols);
+    let mut lp = LinearProgram::new(Sense::Maximize);
+    for _ in 0..cols {
+        lp.add_variable(rng.random_range(1.0..10.0));
+    }
+    for _ in 0..rows {
+        let mut coeffs = Vec::with_capacity(per_row);
+        for _ in 0..per_row {
+            coeffs.push((rng.random_range(0..cols), rng.random_range(0.1..3.0)));
+        }
+        lp.add_constraint(coeffs, Relation::Le, rng.random_range(2.0..15.0));
+    }
+    for j in 0..cols {
+        lp.add_constraint(vec![(j, 1.0)], Relation::Le, rng.random_range(0.5..4.0));
+    }
+    lp
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().expect("sizes are unsigned integers"))
+            .collect();
+        if args.is_empty() {
+            vec![200, 800, 2000]
+        } else {
+            args
+        }
+    };
+    let engines: [(&str, PricingRule, BasisKind); 8] = [
+        ("pf+dantzig", PricingRule::Dantzig, BasisKind::ProductForm),
+        ("pf+devex", PricingRule::Devex, BasisKind::ProductForm),
+        ("lu+dantzig", PricingRule::Dantzig, BasisKind::SparseLu),
+        ("lu+devex", PricingRule::Devex, BasisKind::SparseLu),
+        ("lu+se", PricingRule::SteepestEdge, BasisKind::SparseLu),
+        ("ft+dantzig", PricingRule::Dantzig, BasisKind::ForrestTomlin),
+        ("ft+devex", PricingRule::Devex, BasisKind::ForrestTomlin),
+        ("ft+se", PricingRule::SteepestEdge, BasisKind::ForrestTomlin),
+    ];
+    let seeds: [u64; 5] = [77, 1234, 5150, 90210, 424242];
+    for &n in &sizes {
+        println!("n = {n} (m = {} rows), {} seeds:", n / 2 + n, seeds.len());
+        for &(label, pricing, basis) in &engines {
+            if basis == BasisKind::ProductForm && n >= 2000 {
+                continue; // dense inverse: memory-bound at this size
+            }
+            let options = SimplexOptions::default().with_engine(pricing, basis);
+            let mut times = Vec::new();
+            let mut iters = Vec::new();
+            for &seed in &seeds {
+                let lp = random_packing_lp(seed + n as u64, n);
+                let t0 = Instant::now();
+                let sol = solve(&lp, &options);
+                times.push(t0.elapsed().as_secs_f64() * 1e3);
+                iters.push(sol.iterations as f64);
+                assert_eq!(sol.status, LpStatus::Optimal, "{label} seed {seed}");
+            }
+            println!(
+                "  {label:<12} median {:>9.3} ms   median pivots {:>6.0}",
+                median(times.clone()),
+                median(iters)
+            );
+        }
+    }
+}

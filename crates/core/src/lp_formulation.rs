@@ -68,6 +68,10 @@ pub struct RelaxationInfo {
     pub per_round_iterations: Vec<usize>,
     /// Basis refactorizations across every master re-solve.
     pub refactorizations: usize,
+    /// The subset of refactorizations forced by a declined basis update or
+    /// numerical trouble (scheduled hygiene is the difference) — watch this
+    /// for factorization-stability regressions.
+    pub forced_refactorizations: usize,
     /// Degenerate pivots across every master re-solve.
     pub degenerate_pivots: usize,
     /// Simplex pivots across the per-channel Dantzig–Wolfe pricing
@@ -97,6 +101,7 @@ impl Default for RelaxationInfo {
             simplex_iterations: 0,
             per_round_iterations: Vec::new(),
             refactorizations: 0,
+            forced_refactorizations: 0,
             degenerate_pivots: 0,
             subproblem_pivots: 0,
             dual_pivots: 0,
@@ -117,6 +122,7 @@ impl RelaxationInfo {
             simplex_iterations: solution.iterations,
             per_round_iterations: vec![solution.iterations],
             refactorizations: solution.stats.refactorizations,
+            forced_refactorizations: solution.stats.forced_refactorizations,
             degenerate_pivots: solution.stats.degenerate_pivots,
             subproblem_pivots: 0,
             dual_pivots: solution.stats.dual_pivots,
@@ -138,6 +144,7 @@ impl RelaxationInfo {
             simplex_iterations: result.simplex_iterations,
             per_round_iterations: result.per_round_iterations.clone(),
             refactorizations: result.refactorizations,
+            forced_refactorizations: result.forced_refactorizations,
             degenerate_pivots: result.degenerate_pivots,
             subproblem_pivots: 0,
             dual_pivots: result.dual_pivots,
@@ -156,6 +163,7 @@ impl RelaxationInfo {
             simplex_iterations: stats.master_iterations,
             per_round_iterations: stats.master_per_round.clone(),
             refactorizations: stats.refactorizations,
+            forced_refactorizations: stats.forced_refactorizations,
             degenerate_pivots: stats.degenerate_pivots,
             subproblem_pivots: stats.subproblem_pivots,
             dual_pivots: stats.dual_pivots,
@@ -247,6 +255,25 @@ pub struct LpFormulationOptions {
     /// dead columns, remapping the warm basis) once the deadweight fraction
     /// reaches this threshold. `1.0` effectively disables compaction.
     pub compaction_threshold: f64,
+    /// Session deep-batch cost model: when a mutation batch has appended
+    /// **more than this many pending master rows** since the last resolve,
+    /// the dual-simplex row repair is expected to lose to a warm-from-pool
+    /// rebuild (repair work grows with the number of violated rows, while
+    /// the rebuild amortizes over the whole batch), so the session reroutes
+    /// the resolve to the rebuild path. `usize::MAX` disables the model and
+    /// always takes the dual repair.
+    ///
+    /// The default is calibrated by the `deep_batch` bench binary. Under
+    /// the steepest-edge × Forrest–Tomlin engine the dual repair won
+    /// **every** measured depth through 1600 pending rows (320 arrivals at
+    /// k = 4: 1.28 s repair vs 2.47 s rebuild at n = 800, 69 ms vs 116 ms
+    /// at n = 200), and the rebuild's cost grew *faster* with depth than
+    /// the repair's — no measured crossover. The default therefore sits
+    /// past the measured range as a guard rail: it only reroutes batches
+    /// an order of magnitude deeper than anything measured, where the
+    /// appended block rivals the whole prior master and the repair's
+    /// warm-start advantage is gone by construction.
+    pub deep_batch_rows: usize,
 }
 
 impl Default for LpFormulationOptions {
@@ -258,6 +285,7 @@ impl Default for LpFormulationOptions {
             support_tolerance: 1e-9,
             dw_lazy_rows: true,
             compaction_threshold: 0.25,
+            deep_batch_rows: 4096,
         }
     }
 }
@@ -778,7 +806,7 @@ fn solve_relaxation_dw(
         // Same graceful degradation as the monolithic path: the partial
         // solution is used but marked non-converged (the strict path turns
         // it into a typed error below, via the solution status).
-        Err(DantzigWolfeError::MasterIterationLimit { partial, stats }) => (*partial, false, stats),
+        Err(DantzigWolfeError::MasterIterationLimit { partial, stats }) => (*partial, false, *stats),
     };
     let status = solution.status;
     let native_columns = dw

@@ -15,7 +15,7 @@
 //! | none | the cached [`FractionalAssignment`] is returned as-is |
 //! | re-bids only ([`update_valuation`](AuctionSession::update_valuation)) | pool columns are **re-priced in place**; the recorded basis is still primal feasible (the constraint matrix is untouched), so the master resumes with ordinary primal pivots |
 //! | departures ([`remove_bidder`](AuctionSession::remove_bidder)), possibly mixed with re-bids | the departed bidder's columns are **fixed at zero** and its `k + 1` rows **deactivated in place** behind relief columns ([`MasterProblem::deactivate_rows`]); the surviving basis stays valid and primal feasible and resumes with primal pivots — accumulated deadweight is compacted away past `LpFormulationOptions::compaction_threshold` |
-//! | arrivals ([`add_bidder`](AuctionSession::add_bidder)), possibly mixed with the above | the newcomer's `k + 1` rows ride [`MasterProblem::add_row`], and the next master solve repairs primal feasibility with the **dual simplex** (`lp::dual`) before column generation continues |
+//! | arrivals ([`add_bidder`](AuctionSession::add_bidder)), possibly mixed with the above | the newcomer's `k + 1` rows are **staged** and materialized at resolve time via [`MasterProblem::add_row`]; if the same batch also re-bid or departed bidders (dirt that costs the recorded basis its dual feasibility), a primal resume first re-optimizes the mutated master, and only then do the staged rows land — so the **dual simplex** row repair (`lp::dual`) always starts from a dual-feasible basis instead of declining into a near-cold solve. Batches that appended more than `LpFormulationOptions::deep_batch_rows` pending rows reroute to the warm-from-pool rebuild instead (a guard rail set past the measured range: the `deep_batch` calibration binary found the repair winning at every depth through 1600 pending rows, so the reroute only fires for batches that rival the whole prior master) |
 //! | ρ or channel changes | the master is rebuilt, but **warm-from-pool**: every previously discovered bundle is re-priced at the current valuations and seeded up front, so column generation starts near the previous optimum |
 //!
 //! Every warm answer is the exact LP optimum of the *current* instance —
@@ -114,6 +114,18 @@ pub struct SessionStats {
     /// (fixed columns + relief rows) and resumed the surviving basis with
     /// primal pivots.
     pub deactivated_resolves: usize,
+    /// The subset of [`cold_resolves`](Self::cold_resolves) triggered by
+    /// the deep-batch cost model: the mutation batch had appended more than
+    /// `LpFormulationOptions::deep_batch_rows` pending master rows, so the
+    /// session rerouted from the dual-simplex row repair to the
+    /// warm-from-pool rebuild.
+    pub deep_batch_rebuilds: usize,
+    /// The subset of [`warm_row_resolves`](Self::warm_row_resolves) whose
+    /// mutation batch *mixed* arrivals with re-bids or departures: the
+    /// session first re-optimized the repriced/deactivated master with a
+    /// primal resume (restoring dual feasibility), then materialized the
+    /// staged arrival rows and ran the dual-simplex row repair.
+    pub mixed_batch_repairs: usize,
 }
 
 /// Which solve path a successful resolve took (picked before the solve,
@@ -228,6 +240,21 @@ pub struct AuctionSession {
     row_vj: Vec<Vec<usize>>,
     row_bidder: Vec<usize>,
     staleness: Staleness,
+    /// Master rows appended by the current mutation batch (arrivals since
+    /// the last resolve) — the deep-batch cost model's input.
+    pending_added_rows: usize,
+    /// Bidders whose arrival is recorded in the instance but whose master
+    /// rows are not appended yet. Rows are materialized at the next
+    /// resolve, *after* any repricing/deactivation dirt has been repaired
+    /// by a primal resume — so the dual row repair always starts from a
+    /// dual-feasible basis (see the mixed-batch row of the routing table).
+    staged_arrivals: Vec<usize>,
+    /// The current mutation batch re-priced master columns in place
+    /// (re-bids): the recorded basis is no longer dual feasible.
+    dirty_objectives: bool,
+    /// The current mutation batch deactivated rows in place (departures):
+    /// the recorded basis is primal feasible but may not be optimal.
+    dirty_deactivations: bool,
     last: Option<FractionalAssignment>,
     /// The full outcome of the most recent [`resolve`](Self::resolve), so a
     /// clean re-resolve skips the (deterministic) rounding stage too.
@@ -252,6 +279,10 @@ impl AuctionSession {
             row_vj: Vec::new(),
             row_bidder: Vec::new(),
             staleness: Staleness::Rebuild,
+            pending_added_rows: 0,
+            staged_arrivals: Vec::new(),
+            dirty_objectives: false,
+            dirty_deactivations: false,
             last: None,
             last_outcome: None,
             stats: SessionStats::default(),
@@ -368,41 +399,18 @@ impl AuctionSession {
         self.instance.ordering = VertexOrdering::from_order(order);
 
         if self.can_grow_incrementally() {
-            let master = self
-                .master
-                .as_mut()
-                .expect("checked by can_grow_incrementally");
-            // The newcomer's (v_new, j) rows constrain the columns of its
-            // conflicting predecessors (everyone precedes it in π); its own
-            // future columns will carry their coefficients as usual. One
-            // pass over the column list fills all k rows' coefficients.
-            let mut per_channel: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k];
-            for (idx, col) in master.columns().iter().enumerate() {
-                if !is_native_tag(col.tag) {
-                    continue; // relief / tombstoned columns assign nothing
-                }
-                let (u, bundle) = decode_column_tag(col.tag);
-                for j in bundle.iter() {
-                    let w = self.instance.conflicts.symmetric_weight(u, n, j);
-                    if w > 0.0 {
-                        per_channel[j].push((idx, w));
-                    }
-                }
-            }
-            let mut rows = Vec::with_capacity(k);
-            for coeffs in per_channel {
-                rows.push(master.add_row(Relation::Le, self.instance.rho, coeffs));
-            }
-            let bidder_row = master.add_row(Relation::Le, 1.0, Vec::new());
-            self.row_vj.push(rows);
-            self.row_bidder.push(bidder_row);
-            // Deliberately no column seed for the newcomer here: the dual
-            // reoptimization requires the extended basis to stay dual
-            // feasible, and a fresh attractive column has positive reduced
-            // cost at the prior duals (seeding it would make the dual path
-            // decline and fall back to a cold solve). The demand oracle
-            // proposes the newcomer's bundles right after the row repair.
+            // The newcomer's rows are *staged*, not appended: the next
+            // resolve materializes them after any repricing/deactivation
+            // dirt from the same batch has been repaired by a primal
+            // resume. Appending eagerly would hand the dual row repair a
+            // basis that re-bids or departures already knocked off the
+            // dual-feasible perch, making it decline and fall back to a
+            // near-cold primal solve of the whole master.
+            self.row_vj.push(Vec::new());
+            self.row_bidder.push(usize::MAX);
+            self.staged_arrivals.push(n);
             self.staleness = self.staleness.max(Staleness::RowsAdded);
+            self.pending_added_rows += k + 1;
         } else {
             self.staleness = Staleness::Rebuild;
         }
@@ -477,14 +485,30 @@ impl AuctionSession {
             for (idx, _, tag) in retags {
                 master.set_column_tag(idx, tag);
             }
-            // Deactivate the departed bidder's k interference rows and its
-            // bidder row; surviving bidders' row indices are untouched
-            // (master rows never shift outside compaction), so the layout
-            // maps just drop the departed entry.
             let mut rows = self.row_vj.remove(bidder);
-            rows.push(self.row_bidder.remove(bidder));
-            master.deactivate_rows(&rows);
-            self.staleness = self.staleness.max(Staleness::Deactivated);
+            let bidder_row = self.row_bidder.remove(bidder);
+            if let Some(pos) = self.staged_arrivals.iter().position(|&v| v == bidder) {
+                // The departed bidder arrived in this same batch: its rows
+                // were never materialized (and it has no columns — the
+                // oracle only prices newcomers after the row repair), so
+                // the master needs no surgery. Un-stage it.
+                self.staged_arrivals.remove(pos);
+                self.pending_added_rows -= self.instance.num_channels + 1;
+            } else {
+                // Deactivate the departed bidder's k interference rows and
+                // its bidder row; surviving bidders' row indices are
+                // untouched (master rows never shift outside compaction),
+                // so the layout maps just drop the departed entry.
+                rows.push(bidder_row);
+                master.deactivate_rows(&rows);
+                self.staleness = self.staleness.max(Staleness::Deactivated);
+                self.dirty_deactivations = true;
+            }
+            for v in &mut self.staged_arrivals {
+                if *v > bidder {
+                    *v -= 1;
+                }
+            }
             self.invalidate_solution_cache();
         } else {
             self.invalidate_master();
@@ -551,6 +575,9 @@ impl AuctionSession {
                         .then(|| (idx, self.instance.value(u, bundle)))
                 })
                 .collect();
+            if !repriced.is_empty() {
+                self.dirty_objectives = true;
+            }
             for (idx, objective) in repriced {
                 master.set_column_objective(idx, objective);
             }
@@ -631,7 +658,56 @@ impl AuctionSession {
         self.row_vj.clear();
         self.row_bidder.clear();
         self.staleness = Staleness::Rebuild;
+        self.pending_added_rows = 0;
+        self.staged_arrivals.clear();
+        self.dirty_objectives = false;
+        self.dirty_deactivations = false;
         self.invalidate_solution_cache();
+    }
+
+    /// Appends the master rows of every bidder staged by
+    /// [`add_bidder`](Self::add_bidder) since the last resolve. Runs on
+    /// the warm path right before column generation — after any
+    /// repricing/deactivation repair — so the dual-simplex row repair
+    /// starts from a dual-feasible basis.
+    fn materialize_staged_rows(&mut self) {
+        if self.staged_arrivals.is_empty() {
+            return;
+        }
+        let k = self.instance.num_channels;
+        let staged = std::mem::take(&mut self.staged_arrivals);
+        let master = self.master.as_mut().expect("master exists on this path");
+        for &v in &staged {
+            // The newcomer's (v, j) rows constrain the columns of its
+            // conflicting predecessors (everyone precedes it in π); its own
+            // future columns will carry their coefficients as usual. One
+            // pass over the column list fills all k rows' coefficients.
+            let mut per_channel: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k];
+            for (idx, col) in master.columns().iter().enumerate() {
+                if !is_native_tag(col.tag) {
+                    continue; // relief / tombstoned columns assign nothing
+                }
+                let (u, bundle) = decode_column_tag(col.tag);
+                for j in bundle.iter() {
+                    let w = self.instance.conflicts.symmetric_weight(u, v, j);
+                    if w > 0.0 {
+                        per_channel[j].push((idx, w));
+                    }
+                }
+            }
+            let mut rows = Vec::with_capacity(k);
+            for coeffs in per_channel {
+                rows.push(master.add_row(Relation::Le, self.instance.rho, coeffs));
+            }
+            self.row_vj[v] = rows;
+            // Deliberately no column seed for the newcomer here: the dual
+            // reoptimization requires the extended basis to stay dual
+            // feasible, and a fresh attractive column has positive reduced
+            // cost at the prior duals (seeding it would make the dual path
+            // decline and fall back to a cold solve). The demand oracle
+            // proposes the newcomer's bundles right after the row repair.
+            self.row_bidder[v] = master.add_row(Relation::Le, 1.0, Vec::new());
+        }
     }
 
     fn invalidate_solution_cache(&mut self) {
@@ -670,7 +746,36 @@ impl AuctionSession {
                 (true, Staleness::Deactivated) => {
                     (self.run_column_generation()?, SessionPath::Deactivated)
                 }
+                (true, Staleness::RowsAdded)
+                    if self.pending_added_rows > self.options.lp.deep_batch_rows =>
+                {
+                    // Deep-batch cost model: the threshold is a guard rail
+                    // past the measured range (the repair won every depth
+                    // the `deep_batch` calibration binary measured) — it
+                    // reroutes only batches whose appended block rivals the
+                    // whole prior master, where repairing row-by-row has no
+                    // warm-start advantage left over rebuilding near the
+                    // pool optimum.
+                    self.stats.deep_batch_rebuilds += 1;
+                    self.rebuild_master();
+                    (self.run_column_generation()?, SessionPath::Cold)
+                }
                 (true, Staleness::RowsAdded) => {
+                    if self.dirty_objectives || self.dirty_deactivations {
+                        // Mixed batch: re-bids/departures from the same
+                        // batch left the recorded basis primal feasible
+                        // but not dual feasible, which is exactly the
+                        // state the dual row repair cannot start from.
+                        // One primal resume (cheap: the basis is near the
+                        // new optimum) restores optimality — and with it
+                        // dual feasibility — before the staged arrival
+                        // rows land.
+                        self.stats.mixed_batch_repairs += 1;
+                        let simplex = self.options.lp.column_generation.simplex;
+                        let master = self.master.as_mut().expect("master exists on this path");
+                        let _ = master.solve_warm(&simplex);
+                    }
+                    self.materialize_staged_rows();
                     (self.run_column_generation()?, SessionPath::WarmRows)
                 }
                 // Clean sessions answered from the cache above; every
@@ -690,6 +795,9 @@ impl AuctionSession {
         }
         self.absorb_pool(&fractional);
         self.staleness = Staleness::Clean;
+        self.pending_added_rows = 0;
+        self.dirty_objectives = false;
+        self.dirty_deactivations = false;
         self.last = Some(fractional.clone());
         self.stats.resolves += 1;
         // Departure deadweight (deactivated rows, fixed and relief columns)
@@ -771,6 +879,10 @@ impl AuctionSession {
     fn rebuild_master(&mut self) {
         let n = self.instance.num_bidders();
         let k = self.instance.num_channels;
+        // A rebuild lays out rows for every current bidder, staged or not.
+        self.staged_arrivals.clear();
+        self.dirty_objectives = false;
+        self.dirty_deactivations = false;
         self.row_vj = (0..n)
             .map(|v| (0..k).map(|j| v * k + j).collect())
             .collect();
@@ -954,6 +1066,113 @@ mod tests {
         assert_eq!(session.stats().warm_row_resolves, 2);
         assert_eq!(session.stats().cold_resolves, 1);
         assert_eq!(session.instance().num_bidders(), 8);
+    }
+
+    /// The deep-batch cost model: a mutation batch whose appended rows
+    /// exceed `deep_batch_rows` reroutes from the dual repair to the
+    /// warm-from-pool rebuild — and the answer stays the exact optimum
+    /// (every resolve below re-certifies against a from-scratch solve).
+    #[test]
+    fn deep_arrival_batches_reroute_to_the_pool_rebuild() {
+        let mut options = SolverBuilder::new().options();
+        options.lp.deep_batch_rows = 5; // one k=2 arrival appends 3 rows
+        let mut session = AuctionSession::new(path_instance(6, 2), options);
+        assert_matches_scratch(&mut session);
+
+        // a single arrival (3 pending rows) stays on the dual row path
+        session.add_bidder(
+            xor_bidder(2, vec![(vec![0], 9.0)]),
+            BidderConflicts::Binary(vec![4, 5]),
+        );
+        assert_matches_scratch(&mut session);
+        assert_eq!(session.stats().warm_row_resolves, 1);
+        assert_eq!(session.stats().deep_batch_rebuilds, 0);
+
+        // two arrivals in one batch (6 pending rows) tip the cost model
+        session.add_bidder(
+            xor_bidder(2, vec![(vec![1], 6.0)]),
+            BidderConflicts::Binary(vec![6]),
+        );
+        session.add_bidder(
+            xor_bidder(2, vec![(vec![0, 1], 11.0)]),
+            BidderConflicts::Binary(vec![0, 7]),
+        );
+        assert_matches_scratch(&mut session);
+        assert_eq!(session.stats().warm_row_resolves, 1);
+        assert_eq!(session.stats().deep_batch_rebuilds, 1);
+        assert_eq!(session.stats().cold_resolves, 2);
+
+        // the counter reset with the batch: the next lone arrival is warm
+        session.add_bidder(
+            xor_bidder(2, vec![(vec![1], 4.0)]),
+            BidderConflicts::Binary(vec![2]),
+        );
+        assert_matches_scratch(&mut session);
+        assert_eq!(session.stats().warm_row_resolves, 2);
+        assert_eq!(session.stats().deep_batch_rebuilds, 1);
+    }
+
+    /// A batch mixing arrivals with re-bids and a departure takes the
+    /// staged two-phase path: a primal resume repairs the
+    /// repriced/deactivated master first, then the staged arrival rows
+    /// land and the dual repair absorbs them — instead of the dual path
+    /// declining (no dual feasibility) into a near-cold solve.
+    #[test]
+    fn mixed_batches_stage_arrivals_behind_the_primal_repair() {
+        let mut session = SolverBuilder::new().session(path_instance(8, 2));
+        assert_matches_scratch(&mut session);
+
+        session.update_valuation(1, xor_bidder(2, vec![(vec![0, 1], 18.0)]));
+        session.remove_bidder(5);
+        session.add_bidder(
+            xor_bidder(2, vec![(vec![0], 7.0), (vec![0, 1], 9.0)]),
+            BidderConflicts::Binary(vec![2, 6]),
+        );
+        assert_matches_scratch(&mut session);
+        assert_eq!(session.stats().warm_row_resolves, 1);
+        assert_eq!(session.stats().mixed_batch_repairs, 1);
+        assert_eq!(session.stats().cold_resolves, 1);
+
+        // a pure-arrival batch does not pay the extra primal resume
+        session.add_bidder(
+            xor_bidder(2, vec![(vec![1], 5.0)]),
+            BidderConflicts::Binary(vec![0]),
+        );
+        assert_matches_scratch(&mut session);
+        assert_eq!(session.stats().warm_row_resolves, 2);
+        assert_eq!(session.stats().mixed_batch_repairs, 1);
+    }
+
+    /// A bidder that arrives and departs within the same mutation batch
+    /// never touches the master: its staged rows are dropped before they
+    /// materialize, and the pending-row counter unwinds with them.
+    #[test]
+    fn staged_arrival_departing_in_the_same_batch_leaves_no_trace() {
+        let mut session = SolverBuilder::new().session(path_instance(6, 2));
+        assert_matches_scratch(&mut session);
+
+        let newcomer = session.add_bidder(
+            xor_bidder(2, vec![(vec![0], 6.0)]),
+            BidderConflicts::Binary(vec![1, 4]),
+        );
+        session.add_bidder(
+            xor_bidder(2, vec![(vec![1], 4.5)]),
+            BidderConflicts::Binary(vec![2]),
+        );
+        session.remove_bidder(newcomer);
+        assert_matches_scratch(&mut session);
+        // only the surviving newcomer's rows went through the dual repair
+        assert_eq!(session.stats().warm_row_resolves, 1);
+
+        // and a departure of a *pre-batch* bidder alongside a staged
+        // arrival still routes through the mixed-batch repair
+        session.add_bidder(
+            xor_bidder(2, vec![(vec![0, 1], 8.0)]),
+            BidderConflicts::Binary(vec![0, 3]),
+        );
+        session.remove_bidder(1);
+        assert_matches_scratch(&mut session);
+        assert_eq!(session.stats().mixed_batch_repairs, 1);
     }
 
     #[test]

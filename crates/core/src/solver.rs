@@ -146,14 +146,33 @@ pub struct SolverBuilder {
 }
 
 impl SolverBuilder {
-    /// Starts from the default configuration (Devex pricing × sparse LU,
-    /// monolithic master, 16 rounding trials with seed 1).
+    /// Starts from the default configuration (steepest-edge pricing ×
+    /// Forrest–Tomlin LU, monolithic master, 16 rounding trials with
+    /// seed 1).
     pub fn new() -> Self {
         SolverBuilder::default()
     }
 
     /// Selects the simplex engine (pricing rule × basis factorization) used
     /// by every LP solve of the pipeline.
+    ///
+    /// Picking a pricing rule (the e13 bench grid is the evidence):
+    ///
+    /// * [`PricingRule::Dantzig`] — cheapest per pivot; wins when columns
+    ///   are short and pivots are cheap (small masters, `n ≲ 200`).
+    /// * [`PricingRule::Devex`] — approximate steepest edge over a
+    ///   candidate list; fewer pivots than Dantzig on long/degenerate
+    ///   columns without extra solves, but the approximation drifts on
+    ///   long runs between refactorizations.
+    /// * [`PricingRule::SteepestEdge`] — exact reference weights
+    ///   `γ_j = ‖B⁻¹a_j‖²` (seeded at the slack basis, refreshed at every
+    ///   scheduled refactorization): the fewest pivots per solve, at a
+    ///   small per-pivot overhead. The default engine pairs it with
+    ///   [`BasisKind::ForrestTomlin`], the combination that won the
+    ///   multi-seed e13 medians at `n ≥ 800`; prefer Dantzig only for tiny
+    ///   masters.
+    /// * [`PricingRule::Bland`] — anti-cycling insurance, never fastest;
+    ///   the engine already falls back to it automatically after stalls.
     pub fn engine(mut self, pricing: PricingRule, basis: BasisKind) -> Self {
         self.options.lp = self.options.lp.with_engine(pricing, basis);
         self
@@ -408,6 +427,12 @@ pub struct OutcomeSummary {
     pub lp_rounds: usize,
     /// Simplex pivots across every master re-solve.
     pub simplex_iterations: usize,
+    /// Basis refactorizations across every master re-solve.
+    pub refactorizations: usize,
+    /// The stability-forced subset of `refactorizations` (declined basis
+    /// update or numerical trouble) — non-trivial growth here flags a
+    /// factorization-stability regression in serialized snapshots.
+    pub forced_refactorizations: usize,
     /// Dual-simplex reoptimization pivots (row-addition repairs).
     pub dual_pivots: usize,
     /// Pivots inside Dantzig–Wolfe pricing subproblems (0 when monolithic).
@@ -443,6 +468,8 @@ impl OutcomeSummary {
             lp_converged: outcome.lp_converged,
             lp_rounds: outcome.lp_info.rounds,
             simplex_iterations: outcome.lp_info.simplex_iterations,
+            refactorizations: outcome.lp_info.refactorizations,
+            forced_refactorizations: outcome.lp_info.forced_refactorizations,
             dual_pivots: outcome.lp_info.dual_pivots,
             subproblem_pivots: outcome.lp_info.subproblem_pivots,
             rows_deactivated: outcome.lp_info.rows_deactivated,

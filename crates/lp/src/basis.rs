@@ -14,17 +14,46 @@
 //!   the documented bottleneck at `m ≳ 5·10³` rows.
 //! * [`SparseLu`] — a sparse LU factorization (`B = Pᵀ L U`, partial
 //!   pivoting, left-looking elimination with a dense scratch column) with
-//!   Bartels–Golub/Forrest–Tomlin-style **eta updates** between periodic
-//!   refactorizations: each pivot appends a sparse eta matrix to the
-//!   inverse representation instead of touching `O(m²)` entries, so FTRAN /
-//!   BTRAN cost `O(nnz(L) + nnz(U) + nnz(etas))` and a pivot costs `O(nnz(w))`.
-//!   The eta file is bounded (and the update refuses unstable pivots), which
+//!   product-form **eta updates** between periodic refactorizations: each
+//!   pivot appends a sparse eta matrix to the inverse representation instead
+//!   of touching `O(m²)` entries, so FTRAN / BTRAN cost
+//!   `O(nnz(L) + nnz(U) + nnz(etas))` and a pivot costs `O(nnz(w))`. The
+//!   eta file is bounded (and the update refuses unstable pivots), which
 //!   forces a refactorization through the simplex core's existing hygiene
-//!   path.
+//!   path — but between refactorizations the file still *grows* by one eta
+//!   per pivot, so solve cost creeps up with the pivot count.
+//! * [`ForrestTomlinLu`] — a **Markowitz-ordered** LU (choose the pivot
+//!   minimizing the fill bound `(r−1)(c−1)` among entries passing the
+//!   relative threshold `|B_pq| ≥ 0.1 · max_p |B_pq|`, with explicit row
+//!   *and* column permutations) combined with genuine **Forrest–Tomlin
+//!   updates of `U`**: a basis change replaces one column of `U` by the
+//!   spike `s = U·w` (free from the pivot FTRAN image `w = B⁻¹ a_e`), moves
+//!   that column last in the triangular order, and eliminates the displaced
+//!   row of `U` with a short **row eta** of multipliers. `U` itself stays
+//!   triangular with bounded fill (only the spike column is added), so
+//!   FTRAN/BTRAN stay `O(nnz(L) + nnz(U) + nnz(row etas))` with row etas
+//!   that are typically far sparser than product-form etas: the update cost
+//!   tracks the *row* structure of `U`, not the full FTRAN image. Unstable
+//!   replacements (tiny new diagonal relative to the spike) are declined,
+//!   which routes through the same forced-refactorization path as
+//!   [`SparseLu`].
 //!
 //! Which factorization runs is chosen by [`BasisKind`] in
 //! [`crate::simplex::SimplexOptions`]; the property tests solve every
 //! pricing × basis combination against the dense oracle ([`crate::dense`]).
+//!
+//! ## The Forrest–Tomlin update in formulas
+//!
+//! Write the factorized basis as `B = L_eff · U` (all prior row etas folded
+//! into `L_eff⁻¹ = Rₖ ⋯ R₁ L⁻¹`). Replacing the basis column with stable
+//! id `t` by the entering column `a` gives `B' = L_eff (U + (s − U e_t) e_tᵀ)`
+//! with spike `s = L_eff⁻¹ a = U w`, where `w = B⁻¹ a` is the FTRAN image
+//! the simplex pivot already computed. Moving column/row `t` to the last
+//! position leaves `U` upper triangular except for the displaced row `t`,
+//! whose entries are eliminated left to right by multipliers
+//! `μ_j = rowval_j / U_jj`; those multipliers form the new row eta
+//! `R = I − e_t μᵀ`, the new diagonal is `d = s_t − Σ_j μ_j s_j`, and the
+//! spike entries become column `t` of the updated `U`.
 
 use serde::{Deserialize, Serialize};
 
@@ -33,8 +62,12 @@ use serde::{Deserialize, Serialize};
 pub enum BasisKind {
     /// Explicit dense `B⁻¹` maintained in product form (`O(m²)` per pivot).
     ProductForm,
-    /// Sparse LU factors with eta updates and periodic refactorization.
+    /// Sparse LU factors with product-form eta updates and periodic
+    /// refactorization.
     SparseLu,
+    /// Markowitz-ordered sparse LU with Forrest–Tomlin updates of `U`
+    /// (bounded fill per pivot; the default at scale).
+    ForrestTomlin,
 }
 
 impl BasisKind {
@@ -43,6 +76,7 @@ impl BasisKind {
         match self {
             BasisKind::ProductForm => "product-form",
             BasisKind::SparseLu => "sparse-lu",
+            BasisKind::ForrestTomlin => "ft-lu",
         }
     }
 }
@@ -68,7 +102,10 @@ pub trait BasisFactorization: std::fmt::Debug + Send {
     /// Rebuilds the factorization from scratch. `cols[c]` is the sparse
     /// column (by original row index) of the basis member at position `c`.
     /// Returns `false` when the basis matrix is numerically singular; the
-    /// factorization is then unusable until the next successful refactor.
+    /// factorization is then left **empty** (`num_rows()` returns 0, solves
+    /// write zeros) until the next successful refactor. Callers that keep
+    /// going after a failure therefore get well-defined garbage (zero duals
+    /// under a non-optimal status), never a partially-built factor.
     fn refactor(&mut self, m: usize, cols: &[SparseColumn]) -> bool;
 
     /// FTRAN with a sparse right-hand side: `w = B⁻¹ a` where `a` is given
@@ -118,6 +155,7 @@ pub fn make_factorization(kind: BasisKind) -> Box<dyn BasisFactorization> {
     match kind {
         BasisKind::ProductForm => Box::new(ProductFormInverse::default()),
         BasisKind::SparseLu => Box::new(SparseLu::default()),
+        BasisKind::ForrestTomlin => Box::new(ForrestTomlinLu::default()),
     }
 }
 
@@ -183,6 +221,9 @@ impl BasisFactorization for ProductFormInverse {
                 }
             }
             if best <= 1e-12 {
+                // singular: leave the empty state, not a stale inverse
+                self.m = 0;
+                self.binv.clear();
                 return false;
             }
             if p != k {
@@ -218,6 +259,9 @@ impl BasisFactorization for ProductFormInverse {
         for v in w.iter_mut() {
             *v = 0.0;
         }
+        if m == 0 {
+            return; // empty state (failed refactor): solves write zeros
+        }
         for &(i, a) in entries {
             if a != 0.0 {
                 for (r, wr) in w.iter_mut().enumerate() {
@@ -252,6 +296,10 @@ impl BasisFactorization for ProductFormInverse {
 
     fn btran_unit(&self, r: usize, rho: &mut [f64]) {
         let m = self.m;
+        if m == 0 {
+            rho.fill(0.0);
+            return;
+        }
         rho.copy_from_slice(&self.binv[r * m..(r + 1) * m]);
     }
 
@@ -402,6 +450,11 @@ impl SparseLu {
     }
 
     fn lu_solve_into(&self, x: &mut [f64], w: &mut [f64]) {
+        if self.m == 0 {
+            // empty state (failed refactor): solves write zeros
+            w.fill(0.0);
+            return;
+        }
         self.forward(x);
         self.backward(x, w);
         self.apply_etas_ftran(w);
@@ -470,10 +523,13 @@ impl BasisFactorization for SparseLu {
                 }
             }
             if p == usize::MAX {
-                // no usable pivot: singular (clear scratch before bailing)
-                for &r in &touched {
-                    x[r] = 0.0;
-                }
+                // no usable pivot: singular — leave the empty state, not a
+                // partially built factor
+                self.m = 0;
+                self.l_cols.clear();
+                self.u_cols.clear();
+                self.u_diag.clear();
+                self.prow.clear();
                 return false;
             }
             let piv = x[p];
@@ -501,6 +557,10 @@ impl BasisFactorization for SparseLu {
     }
 
     fn ftran_sparse(&self, entries: &[(usize, f64)], w: &mut [f64]) {
+        if self.m == 0 {
+            w.fill(0.0);
+            return;
+        }
         let mut x = self.scratch_x.borrow_mut();
         x.clear();
         x.resize(self.m, 0.0);
@@ -553,6 +613,10 @@ impl BasisFactorization for SparseLu {
     }
 
     fn btran_unit(&self, r: usize, rho: &mut [f64]) {
+        if self.m == 0 {
+            rho.fill(0.0);
+            return;
+        }
         // `scratch_unit` is distinct from btran's own workspaces, so the
         // nested call cannot double-borrow.
         let mut cb = self.scratch_unit.borrow_mut();
@@ -575,6 +639,608 @@ impl BasisFactorization for SparseLu {
             .collect();
         self.eta_entries += entries.len() + 1;
         self.etas.push(Eta { l, wl, entries });
+        true
+    }
+
+    fn updates_since_refactor(&self) -> usize {
+        self.etas.len()
+    }
+
+    fn box_clone(&self) -> Box<dyn BasisFactorization> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Markowitz-ordered LU with Forrest–Tomlin updates
+// ---------------------------------------------------------------------------
+
+/// One Forrest–Tomlin row eta: the multipliers `μ` that eliminated the
+/// displaced row `t` of `U` after its column moved to the last triangular
+/// position (`R = I − e_t μᵀ`, entries in column-uid space). FTRAN applies
+/// `x_t ← x_t − Σ_j μ_j x_j`; BTRAN applies `x_j ← x_j − μ_j x_t`.
+#[derive(Clone, Debug)]
+struct RowEta {
+    t: usize,
+    entries: Vec<(usize, f64)>,
+}
+
+/// Markowitz-ordered sparse LU factors with Forrest–Tomlin `U`-updates.
+///
+/// The factorization pivots on `(row, column)` pairs chosen to minimize the
+/// Markowitz fill bound `(r−1)(c−1)` among entries passing a relative
+/// stability threshold, storing the row permutation in `prow` and the
+/// column permutation in `slot_of_uid` (`uid` = factorization step, the
+/// *stable* identity of a `U` column across updates). Updates follow the
+/// classic Forrest–Tomlin scheme (see the module docs): the spike column
+/// `s = U·w` replaces column `t`, the displaced row is eliminated by a
+/// short row eta, and `U` stays triangular in the explicit `order` / `pos`
+/// column ordering.
+#[derive(Clone, Debug, Default)]
+pub struct ForrestTomlinLu {
+    m: usize,
+    /// Columns of unit-lower-triangular `L` per step: `(original row, mult)`
+    /// for rows pivoted *after* that step.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// `prow[k]` = original row pivoted at step `k`.
+    prow: Vec<usize>,
+    /// Diagonal of `U` per column uid.
+    diag: Vec<f64>,
+    /// Off-diagonal entries of `U`, column-wise: `ucols[j]` = `(row uid, value)`.
+    ucols: Vec<Vec<(usize, f64)>>,
+    /// The same entries row-wise: `urows[i]` = `(column uid, value)`.
+    urows: Vec<Vec<(usize, f64)>>,
+    /// Column uids in triangular order (entry `(i, j)` of `U` requires
+    /// `pos[i] ≤ pos[j]`).
+    order: Vec<usize>,
+    /// `pos[uid]` = position of that column in `order`.
+    pos: Vec<usize>,
+    /// Basis slot occupied by each `U` column uid (the column permutation).
+    slot_of_uid: Vec<usize>,
+    /// Inverse of `slot_of_uid`.
+    uid_of_slot: Vec<usize>,
+    /// Forrest–Tomlin row etas, in creation order.
+    etas: Vec<RowEta>,
+    /// Total entries across the row etas (bounds FTRAN/BTRAN cost).
+    eta_entries: usize,
+    /// Reusable solve workspaces (see [`SparseLu`] for the aliasing rules).
+    scratch_x: std::cell::RefCell<Vec<f64>>,
+    scratch_c: std::cell::RefCell<Vec<f64>>,
+    scratch_s: std::cell::RefCell<Vec<f64>>,
+    scratch_unit: std::cell::RefCell<Vec<f64>>,
+}
+
+impl ForrestTomlinLu {
+    /// Tiny pivots below this are treated as singular.
+    const SINGULAR_TOL: f64 = 1e-12;
+    /// New diagonals below this refuse the FT update (forces refactor).
+    const UPDATE_TOL: f64 = 1e-9;
+    /// Relative stability floor: the new diagonal must not be smaller than
+    /// this fraction of the spike's largest entry.
+    const UPDATE_REL_TOL: f64 = 1e-9;
+    /// Entries below this are dropped from stored factors.
+    const DROP_TOL: f64 = 1e-12;
+    /// Markowitz relative pivot threshold: a pivot must reach this fraction
+    /// of the largest entry in its column.
+    const PIVOT_THRESHOLD: f64 = 0.1;
+    /// How many minimum-count candidate columns one pivot search examines
+    /// before settling.
+    const SEARCH_COLS: usize = 8;
+
+    /// Row-eta capacity: once the file holds more than `4m + 64` entries the
+    /// update declines and the core refactorizes (same budget as the
+    /// [`SparseLu`] eta file, though FT row etas are typically much smaller).
+    fn eta_capacity(&self) -> usize {
+        4 * self.m + 64
+    }
+
+    /// Forward elimination `L⁻¹` (row permutation folded in) on the dense
+    /// scratch `x` indexed by original row; afterwards `x[prow[k]]` holds the
+    /// step-space value `z_k`.
+    fn forward(&self, x: &mut [f64]) {
+        for k in 0..self.m {
+            let z = x[self.prow[k]];
+            if z != 0.0 {
+                for &(r, lv) in &self.l_cols[k] {
+                    x[r] -= z * lv;
+                }
+            }
+        }
+    }
+
+    /// Applies the row etas (FTRAN direction, creation order) to the
+    /// uid-indexed vector `z`.
+    fn apply_etas_ftran(&self, z: &mut [f64]) {
+        for eta in &self.etas {
+            let mut acc = z[eta.t];
+            for &(j, mu) in &eta.entries {
+                acc -= mu * z[j];
+            }
+            z[eta.t] = acc;
+        }
+    }
+
+    /// Applies the transposed row etas (BTRAN direction, reverse order) to
+    /// the uid-indexed vector `s`.
+    fn apply_etas_btran(&self, s: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let st = s[eta.t];
+            if st != 0.0 {
+                for &(j, mu) in &eta.entries {
+                    s[j] -= mu * st;
+                }
+            }
+        }
+    }
+
+    /// Backward substitution `U ŵ = z` over the triangular order; writes the
+    /// solution into `w` indexed by basis slot.
+    fn backward(&self, z: &mut [f64], w: &mut [f64]) {
+        for v in w.iter_mut() {
+            *v = 0.0;
+        }
+        for p in (0..self.m).rev() {
+            let j = self.order[p];
+            let v = z[j] / self.diag[j];
+            w[self.slot_of_uid[j]] = v;
+            if v != 0.0 {
+                for &(i, uv) in &self.ucols[j] {
+                    z[i] -= uv * v;
+                }
+            }
+        }
+    }
+
+    fn lu_solve_into(&self, x: &mut [f64], w: &mut [f64]) {
+        if self.m == 0 {
+            // empty state (failed refactor): solves write zeros
+            w.fill(0.0);
+            return;
+        }
+        self.forward(x);
+        // move to uid (= step) space: z_k lives at x[prow[k]]
+        let mut z = self.scratch_s.borrow_mut();
+        z.clear();
+        z.extend(self.prow.iter().map(|&r| x[r]));
+        self.apply_etas_ftran(&mut z);
+        self.backward(&mut z, w);
+    }
+
+    /// Clears every factor structure: the state promised by a failed
+    /// [`BasisFactorization::refactor`] (`num_rows() == 0`, solves write
+    /// zeros). `order`/`pos`/`uid_of_slot` are cleared too — they are the
+    /// only vectors `refactor` does not rebuild-or-clear up front, and a
+    /// stale `order` over empty `ucols` is exactly the shape that turns a
+    /// post-failure BTRAN into an out-of-bounds index.
+    fn reset_to_empty(&mut self) {
+        self.m = 0;
+        self.l_cols.clear();
+        self.prow.clear();
+        self.diag.clear();
+        self.ucols.clear();
+        self.urows.clear();
+        self.order.clear();
+        self.pos.clear();
+        self.slot_of_uid.clear();
+        self.uid_of_slot.clear();
+        self.etas.clear();
+        self.eta_entries = 0;
+    }
+}
+
+impl BasisFactorization for ForrestTomlinLu {
+    fn kind(&self) -> BasisKind {
+        BasisKind::ForrestTomlin
+    }
+
+    fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    fn refactor(&mut self, m: usize, cols: &[SparseColumn]) -> bool {
+        assert_eq!(cols.len(), m, "one column per basis position");
+        self.m = m;
+        self.etas.clear();
+        self.eta_entries = 0;
+        self.l_cols.clear();
+        self.prow.clear();
+        self.diag.clear();
+        self.ucols.clear();
+        self.urows.clear();
+        self.slot_of_uid.clear();
+
+        // Active-submatrix storage: rows hold (column, value) sorted by
+        // column; columns hold candidate row lists with lazy deletion
+        // (entries are validated against the row storage before use).
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        for (c, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                if v != 0.0 {
+                    rows[r].push((c, v));
+                }
+            }
+        }
+        let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut col_count = vec![0usize; m];
+        let mut row_count = vec![0usize; m];
+        for (r, row) in rows.iter_mut().enumerate() {
+            row.sort_unstable_by_key(|e| e.0);
+            // collapse duplicate column entries
+            let mut out: Vec<(usize, f64)> = Vec::with_capacity(row.len());
+            for &(c, v) in row.iter() {
+                match out.last_mut() {
+                    Some(last) if last.0 == c => last.1 += v,
+                    _ => out.push((c, v)),
+                }
+            }
+            out.retain(|&(_, v)| v != 0.0);
+            for &(c, _) in &out {
+                col_rows[c].push(r);
+                col_count[c] += 1;
+            }
+            row_count[r] = out.len();
+            *row = out;
+        }
+        let mut active_row = vec![true; m];
+        let mut active_col = vec![true; m];
+        let mut active_cols: Vec<usize> = (0..m).collect();
+
+        // Looks up the value of column `c` in row `r` (rows stay sorted).
+        let value_in = |rows: &[Vec<(usize, f64)>], r: usize, c: usize| -> Option<f64> {
+            rows[r]
+                .binary_search_by_key(&c, |e| e.0)
+                .ok()
+                .map(|idx| rows[r][idx].1)
+        };
+
+        // Best stable pivot inside column `c`: minimize (r−1)(c−1) among
+        // entries within PIVOT_THRESHOLD of the column max.
+        let best_in_col = |rows: &[Vec<(usize, f64)>],
+                           col_rows: &[Vec<usize>],
+                           active_row: &[bool],
+                           row_count: &[usize],
+                           col_count: &[usize],
+                           c: usize|
+         -> Option<(usize, f64, usize)> {
+            let mut colmax = 0.0f64;
+            for &r in &col_rows[c] {
+                if active_row[r] {
+                    if let Some(v) = value_in(rows, r, c) {
+                        colmax = colmax.max(v.abs());
+                    }
+                }
+            }
+            if colmax <= Self::SINGULAR_TOL {
+                return None;
+            }
+            let floor = (Self::PIVOT_THRESHOLD * colmax).max(Self::SINGULAR_TOL);
+            let mut best: Option<(usize, f64, usize)> = None;
+            for &r in &col_rows[c] {
+                if !active_row[r] {
+                    continue;
+                }
+                let Some(v) = value_in(rows, r, c) else {
+                    continue;
+                };
+                if v.abs() < floor {
+                    continue;
+                }
+                let cost = (row_count[r] - 1) * (col_count[c] - 1);
+                let better = match best {
+                    None => true,
+                    Some((_, bv, bc)) => cost < bc || (cost == bc && v.abs() > bv.abs()),
+                };
+                if better {
+                    best = Some((r, v, cost));
+                }
+            }
+            best
+        };
+
+        let mut pending_urows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        for _ in 0..m {
+            // --- Markowitz pivot search ---
+            active_cols.retain(|&c| active_col[c]);
+            let mut min_cnt = usize::MAX;
+            let mut cand: Vec<usize> = Vec::with_capacity(Self::SEARCH_COLS);
+            for &c in &active_cols {
+                let cc = col_count[c];
+                if cc == 0 {
+                    self.reset_to_empty();
+                    return false; // numerically empty column: singular
+                }
+                if cc < min_cnt {
+                    min_cnt = cc;
+                    cand.clear();
+                }
+                if cc == min_cnt && cand.len() < Self::SEARCH_COLS {
+                    cand.push(c);
+                }
+                if min_cnt == 1 && cand.len() >= Self::SEARCH_COLS {
+                    break;
+                }
+            }
+            let mut best: Option<(usize, usize, f64, usize)> = None; // (r, c, v, cost)
+            for &c in &cand {
+                if let Some((r, v, cost)) =
+                    best_in_col(&rows, &col_rows, &active_row, &row_count, &col_count, c)
+                {
+                    let better = match best {
+                        None => true,
+                        Some((_, _, bv, bc)) => cost < bc || (cost == bc && v.abs() > bv.abs()),
+                    };
+                    if better {
+                        best = Some((r, c, v, cost));
+                    }
+                }
+            }
+            if best.is_none() {
+                // the minimum-count columns had no stable entry: widen the
+                // search to every active column before declaring failure
+                for &c in &active_cols {
+                    if let Some((r, v, cost)) =
+                        best_in_col(&rows, &col_rows, &active_row, &row_count, &col_count, c)
+                    {
+                        let better = match best {
+                            None => true,
+                            Some((_, _, bv, bc)) => cost < bc || (cost == bc && v.abs() > bv.abs()),
+                        };
+                        if better {
+                            best = Some((r, c, v, cost));
+                        }
+                    }
+                }
+            }
+            let Some((p, q, piv, _)) = best else {
+                self.reset_to_empty();
+                return false; // no stable pivot anywhere: singular
+            };
+
+            // --- elimination step ---
+            self.prow.push(p);
+            self.slot_of_uid.push(q);
+            self.diag.push(piv);
+            active_row[p] = false;
+            active_col[q] = false;
+            // the pivot row's remaining active entries become row k of U
+            let prow_entries: Vec<(usize, f64)> = rows[p]
+                .iter()
+                .filter(|&&(c, _)| active_col[c])
+                .copied()
+                .collect();
+            for &(c, _) in &prow_entries {
+                col_count[c] -= 1;
+            }
+            // eliminate column q from every active row; self-deduping: the
+            // merge removes the q entry, so stale duplicates in col_rows[q]
+            // simply fail the lookup
+            let mut lcol: Vec<(usize, f64)> = Vec::new();
+            let rlist = std::mem::take(&mut col_rows[q]);
+            for r in rlist {
+                if !active_row[r] {
+                    continue;
+                }
+                let Some(v) = value_in(&rows, r, q) else {
+                    continue;
+                };
+                let mult = v / piv;
+                lcol.push((r, mult));
+                // rows[r] ← rows[r] − mult · pivot_row, dropping the q entry
+                let old = std::mem::take(&mut rows[r]);
+                let mut out: Vec<(usize, f64)> = Vec::with_capacity(old.len() + prow_entries.len());
+                let (mut a, mut bb) = (0usize, 0usize);
+                while a < old.len() || bb < prow_entries.len() {
+                    let ac = old.get(a).map(|e| e.0).unwrap_or(usize::MAX);
+                    let bc = prow_entries.get(bb).map(|e| e.0).unwrap_or(usize::MAX);
+                    if ac < bc {
+                        if ac != q {
+                            out.push(old[a]);
+                        }
+                        a += 1;
+                    } else if bc < ac {
+                        let nv = -mult * prow_entries[bb].1;
+                        if nv.abs() > 1e-14 {
+                            out.push((bc, nv));
+                            col_count[bc] += 1;
+                            col_rows[bc].push(r);
+                        }
+                        bb += 1;
+                    } else {
+                        let nv = old[a].1 - mult * prow_entries[bb].1;
+                        if nv.abs() > 1e-14 {
+                            out.push((ac, nv));
+                        } else {
+                            col_count[ac] -= 1;
+                        }
+                        a += 1;
+                        bb += 1;
+                    }
+                }
+                row_count[r] = out.len();
+                rows[r] = out;
+            }
+            self.l_cols.push(lcol);
+            pending_urows.push(prow_entries);
+        }
+
+        // finalize: map pending U rows (slot-indexed columns) to uid space
+        self.uid_of_slot = vec![0usize; m];
+        for (uid, &slot) in self.slot_of_uid.iter().enumerate() {
+            self.uid_of_slot[slot] = uid;
+        }
+        self.ucols = vec![Vec::new(); m];
+        self.urows = vec![Vec::new(); m];
+        for (i, entries) in pending_urows.into_iter().enumerate() {
+            for (slot, v) in entries {
+                let j = self.uid_of_slot[slot];
+                self.urows[i].push((j, v));
+                self.ucols[j].push((i, v));
+            }
+        }
+        self.order = (0..m).collect();
+        self.pos = (0..m).collect();
+        true
+    }
+
+    fn ftran_sparse(&self, entries: &[(usize, f64)], w: &mut [f64]) {
+        if self.m == 0 {
+            w.fill(0.0);
+            return;
+        }
+        let mut x = self.scratch_x.borrow_mut();
+        x.clear();
+        x.resize(self.m, 0.0);
+        for &(i, a) in entries {
+            x[i] += a;
+        }
+        self.lu_solve_into(&mut x, w);
+    }
+
+    fn ftran_dense(&self, rhs: &[f64], w: &mut [f64]) {
+        let mut x = self.scratch_x.borrow_mut();
+        x.clear();
+        x.extend_from_slice(rhs);
+        self.lu_solve_into(&mut x, w);
+    }
+
+    fn btran(&self, cb: &[f64], y: &mut [f64]) {
+        // y = cᵦ B⁻¹ in uid space: solve Uᵀ s = ĉ over ascending positions,
+        // apply the transposed row etas in reverse, then the transposed
+        // forward elimination back in original-row space.
+        let m = self.m;
+        let mut c = self.scratch_c.borrow_mut();
+        c.clear();
+        c.extend(self.slot_of_uid.iter().map(|&slot| cb[slot]));
+        let mut s = self.scratch_s.borrow_mut();
+        s.clear();
+        s.resize(m, 0.0);
+        for p in 0..m {
+            let j = self.order[p];
+            let mut v = c[j];
+            for &(i, uv) in &self.ucols[j] {
+                v -= uv * s[i];
+            }
+            s[j] = v / self.diag[j];
+        }
+        self.apply_etas_btran(&mut s);
+        for v in y.iter_mut() {
+            *v = 0.0;
+        }
+        for k in 0..m {
+            y[self.prow[k]] = s[k];
+        }
+        for k in (0..m).rev() {
+            let mut acc = y[self.prow[k]];
+            for &(r, lv) in &self.l_cols[k] {
+                acc -= lv * y[r];
+            }
+            y[self.prow[k]] = acc;
+        }
+    }
+
+    fn btran_unit(&self, r: usize, rho: &mut [f64]) {
+        if self.m == 0 {
+            rho.fill(0.0);
+            return;
+        }
+        let mut cb = self.scratch_unit.borrow_mut();
+        cb.clear();
+        cb.resize(self.m, 0.0);
+        cb[r] = 1.0;
+        self.btran(&cb, rho);
+    }
+
+    fn update(&mut self, l: usize, w: &[f64]) -> bool {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let m = self.m;
+        if m == 0 {
+            return false;
+        }
+        let t = self.uid_of_slot[l];
+
+        // spike s = U ŵ, where ŵ is the FTRAN image mapped to uid space
+        let mut s = vec![0.0f64; m];
+        let mut s_inf = 0.0f64;
+        for j in 0..m {
+            let v = w[self.slot_of_uid[j]];
+            if v != 0.0 {
+                s[j] += self.diag[j] * v;
+                for &(i, uv) in &self.ucols[j] {
+                    s[i] += uv * v;
+                }
+            }
+        }
+        for &v in &s {
+            s_inf = s_inf.max(v.abs());
+        }
+
+        // Eliminate the displaced row t left to right (ascending triangular
+        // position); fill only spreads rightward, so each column is popped
+        // at most once after its value is final.
+        let mut rowval = vec![0.0f64; m];
+        let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+        for &(j, v) in &self.urows[t] {
+            rowval[j] = v;
+            heap.push(Reverse((self.pos[j], j)));
+        }
+        let mut mus: Vec<(usize, f64)> = Vec::new();
+        let mut d = s[t];
+        while let Some(Reverse((_, j))) = heap.pop() {
+            let v = rowval[j];
+            rowval[j] = 0.0;
+            if v.abs() <= Self::DROP_TOL {
+                continue;
+            }
+            let mu = v / self.diag[j];
+            mus.push((j, mu));
+            d -= mu * s[j];
+            for &(j2, v2) in &self.urows[j] {
+                if j2 == t || v2 == 0.0 {
+                    continue;
+                }
+                if rowval[j2] == 0.0 {
+                    heap.push(Reverse((self.pos[j2], j2)));
+                }
+                rowval[j2] -= mu * v2;
+            }
+        }
+
+        // stability / capacity gate — nothing has been mutated yet
+        if d.abs() <= Self::UPDATE_TOL
+            || d.abs() < Self::UPDATE_REL_TOL * s_inf
+            || self.eta_entries + mus.len() > self.eta_capacity()
+        {
+            return false;
+        }
+
+        // commit: drop the old row/column t from both mirrors, install the
+        // spike as the new column t, move t to the back of the order
+        let old_row = std::mem::take(&mut self.urows[t]);
+        for &(j, _) in &old_row {
+            self.ucols[j].retain(|&(i, _)| i != t);
+        }
+        let old_col = std::mem::take(&mut self.ucols[t]);
+        for &(i, _) in &old_col {
+            self.urows[i].retain(|&(j, _)| j != t);
+        }
+        let mut newcol: Vec<(usize, f64)> = Vec::new();
+        for (i, &v) in s.iter().enumerate() {
+            if i != t && v.abs() > Self::DROP_TOL {
+                newcol.push((i, v));
+                self.urows[i].push((t, v));
+            }
+        }
+        self.ucols[t] = newcol;
+        self.diag[t] = d;
+        let p = self.pos[t];
+        self.order.remove(p);
+        self.order.push(t);
+        for (idx, &u) in self.order.iter().enumerate().skip(p) {
+            self.pos[u] = idx;
+        }
+        self.eta_entries += mus.len();
+        self.etas.push(RowEta { t, entries: mus });
         true
     }
 
@@ -692,13 +1358,23 @@ mod tests {
     }
 
     #[test]
-    fn both_kinds_agree_after_updates() {
+    fn forrest_tomlin_roundtrips() {
+        for seed in 0..6u64 {
+            let m = 3 + (seed as usize % 8);
+            check_roundtrip(&mut ForrestTomlinLu::default(), seed, m);
+        }
+    }
+
+    #[test]
+    fn all_kinds_agree_after_updates() {
         let m = 12;
         let cols = random_basis(99, m);
         let mut pf = ProductFormInverse::default();
         let mut lu = SparseLu::default();
+        let mut ft = ForrestTomlinLu::default();
         assert!(pf.refactor(m, &cols));
         assert!(lu.refactor(m, &cols));
+        assert!(ft.refactor(m, &cols));
         let mut rng = StdRng::seed_from_u64(4242);
         let mut cols = cols;
         for _ in 0..8 {
@@ -712,10 +1388,13 @@ mod tests {
             e.push((rng.random_range(0..m), 3.0));
             let mut w_pf = vec![0.0f64; m];
             let mut w_lu = vec![0.0f64; m];
+            let mut w_ft = vec![0.0f64; m];
             pf.ftran_sparse(&e, &mut w_pf);
             lu.ftran_sparse(&e, &mut w_lu);
+            ft.ftran_sparse(&e, &mut w_ft);
             for r in 0..m {
-                assert!((w_pf[r] - w_lu[r]).abs() < 1e-7, "ftran mismatch at {r}");
+                assert!((w_pf[r] - w_lu[r]).abs() < 1e-7, "lu ftran mismatch at {r}");
+                assert!((w_pf[r] - w_ft[r]).abs() < 1e-7, "ft ftran mismatch at {r}");
             }
             // choose a pivot position with a healthy element
             let l = (0..m)
@@ -726,30 +1405,152 @@ mod tests {
             }
             assert!(pf.update(l, &w_pf));
             assert!(lu.update(l, &w_lu));
+            assert!(ft.update(l, &w_ft));
             cols[l] = e;
             // duals must agree afterwards
             let cb: Vec<f64> = (0..m).map(|_| rng.random_range(-1.0..1.0)).collect();
             let mut y_pf = vec![0.0f64; m];
             let mut y_lu = vec![0.0f64; m];
+            let mut y_ft = vec![0.0f64; m];
             pf.btran(&cb, &mut y_pf);
             lu.btran(&cb, &mut y_lu);
+            ft.btran(&cb, &mut y_ft);
             for i in 0..m {
-                assert!((y_pf[i] - y_lu[i]).abs() < 1e-6, "btran mismatch at {i}");
+                assert!((y_pf[i] - y_lu[i]).abs() < 1e-6, "lu btran mismatch at {i}");
+                assert!((y_pf[i] - y_ft[i]).abs() < 1e-6, "ft btran mismatch at {i}");
             }
         }
         assert_eq!(pf.updates_since_refactor(), lu.updates_since_refactor());
+        assert_eq!(pf.updates_since_refactor(), ft.updates_since_refactor());
     }
 
     #[test]
-    fn singular_basis_is_rejected_by_both() {
+    fn singular_basis_is_rejected_by_all() {
         let m = 4;
         // two identical columns
         let mut cols = random_basis(7, m);
         cols[2] = cols[1].clone();
-        let mut pf = ProductFormInverse::default();
-        let mut lu = SparseLu::default();
-        assert!(!pf.refactor(m, &cols));
-        assert!(!lu.refactor(m, &cols));
+        for factor in [
+            &mut ProductFormInverse::default() as &mut dyn BasisFactorization,
+            &mut SparseLu::default(),
+            &mut ForrestTomlinLu::default(),
+        ] {
+            assert!(!factor.refactor(m, &cols), "{:?}", factor.kind());
+        }
+    }
+
+    /// A failed refactor must leave the factorization *empty*, not partially
+    /// built: `num_rows() == 0` and every solve writes zeros. The crash this
+    /// pins down came from the session's deep-arrival path — a singular
+    /// rebuild mid-solve left stale `order` over cleared `ucols`, and the
+    /// next BTRAN (extracting duals for the failed solve) indexed out of
+    /// bounds.
+    #[test]
+    fn failed_refactor_leaves_a_safe_empty_state() {
+        let m = 6;
+        let good = random_basis(11, m);
+        let mut singular = random_basis(11, m);
+        singular[3] = singular[4].clone();
+        for factor in [
+            &mut ProductFormInverse::default() as &mut dyn BasisFactorization,
+            &mut SparseLu::default(),
+            &mut ForrestTomlinLu::default(),
+        ] {
+            let kind = factor.kind();
+            // a prior *successful* factorization populates every structure,
+            // so this exercises failure-after-success, not the fresh state
+            assert!(factor.refactor(m, &good), "{kind:?}: good basis");
+            assert!(!factor.refactor(m, &singular), "{kind:?}: singular");
+            assert_eq!(factor.num_rows(), 0, "{kind:?}: empty after failure");
+
+            // every solve entry point is callable and writes zeros
+            let cb = vec![1.0f64; m];
+            let mut y = vec![f64::NAN; m];
+            factor.btran(&cb, &mut y);
+            assert!(y.iter().all(|&v| v == 0.0), "{kind:?}: btran zeros");
+            let mut rho = vec![f64::NAN; m];
+            factor.btran_unit(2, &mut rho);
+            assert!(rho.iter().all(|&v| v == 0.0), "{kind:?}: btran_unit zeros");
+            let mut w = vec![f64::NAN; m];
+            factor.ftran_dense(&cb, &mut w);
+            assert!(w.iter().all(|&v| v == 0.0), "{kind:?}: ftran_dense zeros");
+            let mut w2 = vec![f64::NAN; m];
+            factor.ftran_sparse(&[(1, 1.0)], &mut w2);
+            assert!(w2.iter().all(|&v| v == 0.0), "{kind:?}: ftran_sparse zeros");
+
+            // and the factorization recovers on the next successful refactor
+            assert!(factor.refactor(m, &good), "{kind:?}: recovers");
+            assert_eq!(factor.num_rows(), m);
+            let mut w3 = vec![0.0f64; m];
+            factor.ftran_dense(&cb, &mut w3);
+            let bw = apply_b(m, &good, &w3);
+            for r in 0..m {
+                assert!((bw[r] - cb[r]).abs() < 1e-8, "{kind:?}: row {r}");
+            }
+        }
+    }
+
+    /// FT-updated factors must agree with a from-scratch refactorization of
+    /// the same (updated) basis columns through a *long* pivot sequence —
+    /// the invariant the debug-assertions check in the simplex core also
+    /// enforces per scheduled refactor.
+    #[test]
+    fn forrest_tomlin_long_sequence_matches_fresh_refactor() {
+        for seed in [5u64, 17, 23] {
+            let m = 24;
+            let mut cols = random_basis(seed, m);
+            let mut ft = ForrestTomlinLu::default();
+            assert!(ft.refactor(m, &cols));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+            let mut applied = 0usize;
+            let mut w = vec![0.0f64; m];
+            while applied < 40 {
+                let mut e: SparseColumn = Vec::new();
+                for r in 0..m {
+                    if rng.random_range(0.0..1.0) < 0.3 {
+                        e.push((r, rng.random_range(-2.0..2.0)));
+                    }
+                }
+                e.push((rng.random_range(0..m), 2.5));
+                ft.ftran_sparse(&e, &mut w);
+                let l = (0..m)
+                    .max_by(|&a, &b| w[a].abs().partial_cmp(&w[b].abs()).unwrap())
+                    .unwrap();
+                if w[l].abs() < 1e-4 || !ft.update(l, &w) {
+                    continue;
+                }
+                cols[l] = e;
+                applied += 1;
+                if applied.is_multiple_of(10) {
+                    // compare the updated factors against a fresh refactor
+                    let mut fresh = ForrestTomlinLu::default();
+                    assert!(fresh.refactor(m, &cols));
+                    let rhs: Vec<f64> = (0..m).map(|_| rng.random_range(-2.0..2.0)).collect();
+                    let mut w_upd = vec![0.0f64; m];
+                    let mut w_fresh = vec![0.0f64; m];
+                    ft.ftran_dense(&rhs, &mut w_upd);
+                    fresh.ftran_dense(&rhs, &mut w_fresh);
+                    for i in 0..m {
+                        assert!(
+                            (w_upd[i] - w_fresh[i]).abs() < 1e-6,
+                            "seed {seed}: ftran drift {} at {i} after {applied} updates",
+                            (w_upd[i] - w_fresh[i]).abs()
+                        );
+                    }
+                    let mut y_upd = vec![0.0f64; m];
+                    let mut y_fresh = vec![0.0f64; m];
+                    ft.btran(&rhs, &mut y_upd);
+                    fresh.btran(&rhs, &mut y_fresh);
+                    for i in 0..m {
+                        assert!(
+                            (y_upd[i] - y_fresh[i]).abs() < 1e-6,
+                            "seed {seed}: btran drift at {i} after {applied} updates"
+                        );
+                    }
+                }
+            }
+            assert_eq!(ft.updates_since_refactor(), 40);
+        }
     }
 
     #[test]

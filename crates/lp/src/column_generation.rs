@@ -586,6 +586,10 @@ pub struct ColumnGenerationResult {
     pub per_round_iterations: Vec<usize>,
     /// Basis refactorizations across every master re-solve.
     pub refactorizations: usize,
+    /// The subset of [`refactorizations`](Self::refactorizations) forced by
+    /// a declined basis update or numerical trouble (rather than scheduled
+    /// hygiene) — the observable for factorization-stability regressions.
+    pub forced_refactorizations: usize,
     /// Degenerate pivots across every master re-solve.
     pub degenerate_pivots: usize,
     /// Dual-simplex reoptimization pivots across every master re-solve
@@ -605,6 +609,7 @@ impl ColumnGenerationResult {
             simplex_iterations: iters,
             per_round_iterations: vec![iters],
             refactorizations: stats.refactorizations,
+            forced_refactorizations: stats.forced_refactorizations,
             degenerate_pivots: stats.degenerate_pivots,
             dual_pivots: stats.dual_pivots,
         }
@@ -614,6 +619,7 @@ impl ColumnGenerationResult {
         self.simplex_iterations += solution.iterations;
         self.per_round_iterations.push(solution.iterations);
         self.refactorizations += solution.stats.refactorizations;
+        self.forced_refactorizations += solution.stats.forced_refactorizations;
         self.degenerate_pivots += solution.stats.degenerate_pivots;
         self.dual_pivots += solution.stats.dual_pivots;
     }

@@ -202,6 +202,10 @@ pub struct DwStats {
     pub dual_pivots: usize,
     /// Basis refactorizations across master re-solves.
     pub refactorizations: usize,
+    /// The stability-forced subset of
+    /// [`refactorizations`](Self::refactorizations) (declined basis update
+    /// or numerical trouble, as opposed to scheduled hygiene).
+    pub forced_refactorizations: usize,
     /// Degenerate pivots across master re-solves.
     pub degenerate_pivots: usize,
     /// Block extreme-point columns adopted by the master.
@@ -242,8 +246,9 @@ pub enum DantzigWolfeError {
     MasterIterationLimit {
         /// The interrupted master solution.
         partial: Box<LpSolution>,
-        /// Statistics up to (and including) the interrupted solve.
-        stats: DwStats,
+        /// Statistics up to (and including) the interrupted solve (boxed:
+        /// the per-round vectors make the stats the bulk of the variant).
+        stats: Box<DwStats>,
     },
 }
 
@@ -642,6 +647,7 @@ impl DecomposedLp {
             stats.master_iterations += solution.iterations;
             stats.master_per_round.push(solution.iterations);
             stats.refactorizations += solution.stats.refactorizations;
+            stats.forced_refactorizations += solution.stats.forced_refactorizations;
             stats.degenerate_pivots += solution.stats.degenerate_pivots;
             stats.dual_pivots += solution.stats.dual_pivots;
             stats.rows_activated = self.rows_activated - rows_activated_before;
@@ -649,7 +655,7 @@ impl DecomposedLp {
             if solution.status == LpStatus::IterationLimit {
                 return Err(DantzigWolfeError::MasterIterationLimit {
                     partial: Box::new(solution),
-                    stats,
+                    stats: Box::new(stats),
                 });
             }
             if solution.status != LpStatus::Optimal || stats.master_rounds > options.max_rounds {

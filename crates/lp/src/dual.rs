@@ -628,8 +628,17 @@ mod tests {
         use crate::basis::BasisKind;
         use crate::pricing::PricingRule;
         let mut out = Vec::new();
-        for pricing in [PricingRule::Dantzig, PricingRule::Bland, PricingRule::Devex] {
-            for basis in [BasisKind::ProductForm, BasisKind::SparseLu] {
+        for pricing in [
+            PricingRule::Dantzig,
+            PricingRule::Bland,
+            PricingRule::Devex,
+            PricingRule::SteepestEdge,
+        ] {
+            for basis in [
+                BasisKind::ProductForm,
+                BasisKind::SparseLu,
+                BasisKind::ForrestTomlin,
+            ] {
                 out.push(SimplexOptions::default().with_engine(pricing, basis));
             }
         }
@@ -792,7 +801,7 @@ mod tests {
             m in 1usize..6,
             extra in 1usize..5,
             dup in any::<bool>(),
-            engine in 0usize..6,
+            engine in 0usize..12,
         ) {
             let options = all_engines()[engine];
             let mut lp = random_packing_lp(seed, n, m);
@@ -849,7 +858,7 @@ mod tests {
             seed in 0u64..10_000,
             n in 2usize..6,
             m in 1usize..5,
-            engine in 0usize..6,
+            engine in 0usize..12,
         ) {
             let options = all_engines()[engine];
             let mut lp = random_packing_lp(seed, n, m);

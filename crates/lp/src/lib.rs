@@ -12,9 +12,11 @@
 //!   constraint matrix,
 //! * [`simplex`] — a sparse **revised** two-phase primal simplex engine
 //!   with two pluggable seams: the pricing rule ([`pricing`]: Dantzig,
-//!   Bland, or candidate-list Devex) and the basis factorization
-//!   ([`basis`]: dense product-form inverse, or sparse LU with
-//!   Forrest–Tomlin-style eta updates and periodic refactorization). The
+//!   Bland, candidate-list Devex, or exact-reference primal steepest
+//!   edge) and the basis factorization ([`basis`]: dense product-form
+//!   inverse; sparse LU with a product-form eta file; or Markowitz-ordered
+//!   LU with true Forrest–Tomlin U-updates, all with periodic
+//!   refactorization). The
 //!   engine reports dual values, which the auction code turns into
 //!   bidder-specific channel prices (Section 2.2 of the paper); the
 //!   original dense tableau solver is kept as the reference oracle in
@@ -56,7 +58,7 @@ pub mod pricing;
 pub mod problem;
 pub mod simplex;
 
-pub use basis::{BasisFactorization, BasisKind, ProductFormInverse, SparseLu};
+pub use basis::{BasisFactorization, BasisKind, ForrestTomlinLu, ProductFormInverse, SparseLu};
 pub use column_generation::{
     is_native_tag, is_relief_tag, BatchedMasters, BatchedResult, ChannelRunStats, ColumnGeneration,
     ColumnGenerationError, ColumnGenerationResult, ColumnSource, CompactionReport, GeneratedColumn,
@@ -67,7 +69,9 @@ pub use decomposition::{
     MasterMode, Subproblem,
 };
 pub use dual::{reoptimize_after_row_additions, DualReoptimization};
-pub use pricing::{BlandPricing, DantzigPricing, DevexPricing, Pricing, PricingRule};
+pub use pricing::{
+    BlandPricing, DantzigPricing, DevexPricing, Pricing, PricingRule, SteepestEdgePricing,
+};
 pub use problem::{Compaction, Constraint, CscMatrix, LinearProgram, Relation, RowState, Sense};
 pub use simplex::{
     solve, solve_with_warm_start, BasisVar, LpSolution, LpStatus, SimplexOptions, SolveStats,
