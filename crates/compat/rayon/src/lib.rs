@@ -1,92 +1,100 @@
 //! Offline stand-in for `rayon`.
 //!
 //! The container has no registry access, so this crate provides the small
-//! `par_iter` surface the workspace uses, executed with plain
-//! `std::thread::scope` fork-join over contiguous index chunks:
+//! `par_iter` surface the workspace uses:
 //!
 //! * `(a..b).into_par_iter().map(f).collect::<Vec<_>>()` / `.for_each(f)`
 //! * `slice.par_iter().map(f).collect::<Vec<_>>()` / `.for_each(f)`
 //! * [`join`] for two-way fork-join
+//! * [`with_min_len`](ParRange::with_min_len) to override the sequential
+//!   cutoff for call sites whose per-item work is known to be heavy
 //!
-//! Unlike real rayon there is no work-stealing pool: each call spawns up to
-//! `available_parallelism` scoped threads which **dynamically claim chunks**
-//! of roughly `len / (threads · 4)` items from a shared atomic cursor. The
-//! oversubscription (4 chunks per worker) is what keeps *uneven* workloads —
-//! the k per-channel Dantzig–Wolfe pricing subproblems, whose channel sizes
-//! can differ wildly — from serializing behind the largest item, which the
-//! previous one-equal-chunk-per-thread split did; for regular per-row
-//! workloads it measures within a few percent of work stealing. Results are
-//! always collected in input order, preserving determinism.
+//! Unlike the earlier revisions of this shim — which spawned fresh
+//! `std::thread::scope` workers on **every** call — parallel work now runs
+//! on a persistent work-stealing pool (the `pool` module): long-lived workers with
+//! per-worker chunk deques, spawned lazily once and reused by every call
+//! site. Each call still splits its index range into ~4 chunks per worker
+//! (claimed dynamically, so uneven workloads — the k per-channel
+//! Dantzig–Wolfe pricing subproblems, whose channel sizes can differ wildly
+//! — don't serialize behind the largest item) and always collects results
+//! in input order, preserving determinism.
+//!
+//! **Sequential fast path:** inputs shorter than twice the minimum chunk
+//! length (32 items by default) run inline on the calling thread without
+//! touching the pool — below that, fork-join bookkeeping costs more than
+//! the work. Call sites with few but expensive items (e.g. a multi-market
+//! exchange draining a handful of dirty shards) opt out with
+//! `.with_min_len(1)`. Single-threaded hosts always run inline.
+//!
+//! Pool size is `available_parallelism`, overridable once via the
+//! `SSA_POOL_THREADS` environment variable (see the `pool` module).
 
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+mod pool;
 
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+use std::mem::{ManuallyDrop, MaybeUninit};
+
+/// The number of worker threads parallel calls may use (the configured pool
+/// size; the pool itself spawns lazily on first parallel use). Mirrors
+/// `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    pool::configured_workers()
 }
 
-/// Minimum items per spawned thread; below this the call runs serially to
-/// avoid thread-spawn overhead dominating tiny workloads.
+/// Default minimum items per chunk; inputs below twice this length run
+/// serially to keep fork-join overhead off tiny workloads.
 const MIN_CHUNK: usize = 16;
 
-fn run_indexed<T, F>(len: usize, f: F) -> Vec<T>
+/// Shareable raw pointer to the output buffer: every chunk writes a disjoint
+/// index range, so concurrent use is sound.
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+fn run_indexed_min<T, F>(len: usize, min_len: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = num_threads().min(len / MIN_CHUNK.max(1)).max(1);
-    if threads <= 1 || len == 0 {
+    let min_len = min_len.max(1);
+    let workers = pool::configured_workers();
+    // Sequential fast path: tiny inputs and single-core hosts never engage
+    // the pool (no locks, no wakeups, no chunk bookkeeping).
+    if workers < 2 || len < min_len.saturating_mul(2) {
         return (0..len).map(f).collect();
     }
-    // Oversubscribe ~4 chunks per worker (chunk size ≈ len / (threads · 4),
-    // never below 1) and let workers claim chunks from a shared cursor: a
-    // worker that drew a cheap chunk immediately claims the next one, so an
-    // expensive item delays only its own chunk instead of everything that
-    // was statically co-scheduled behind it.
-    let num_chunks = (threads * 4).min(len);
+    // Oversubscribe ~4 chunks per participating thread (the submitter works
+    // too) and let threads claim chunks dynamically: a thread that drew a
+    // cheap chunk immediately claims the next one, so an expensive item
+    // delays only its own chunk instead of everything dealt behind it.
+    let threads = (workers + 1).min(len / min_len).max(1);
+    let num_chunks = (threads * 4).min(len.div_ceil(min_len)).max(1);
     let chunk = len.div_ceil(num_chunks);
-    let num_chunks = len.div_ceil(chunk);
-    // never spawn more workers than there are chunks to claim (k-block
-    // pricing hands this function len = k, far below the core count)
-    let threads = threads.min(num_chunks);
-    let next = AtomicUsize::new(0);
-    // every chunk is produced exactly once; merged in chunk order below so
-    // the output stays deterministic regardless of claim order
-    let mut claimed: Vec<Vec<(usize, Vec<T>)>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let f = &f;
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let mut mine: Vec<(usize, Vec<T>)> = Vec::new();
-                loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= num_chunks {
-                        break;
-                    }
-                    let lo = c * chunk;
-                    let hi = ((c + 1) * chunk).min(len);
-                    mine.push((c, (lo..hi).map(f).collect()));
-                }
-                mine
-            }));
+
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
+    // SAFETY: MaybeUninit needs no initialization; every slot is written
+    // exactly once below before the buffer is read.
+    unsafe { out.set_len(len) };
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let body = |lo: usize, hi: usize| {
+        let p = out_ptr;
+        for i in lo..hi {
+            let v = f(i);
+            // SAFETY: chunks cover disjoint ranges of 0..len.
+            unsafe { p.0.add(i).write(MaybeUninit::new(v)) };
         }
-        for h in handles {
-            claimed.push(h.join().expect("parallel worker panicked"));
-        }
-    });
-    let mut parts: Vec<Option<Vec<T>>> = (0..num_chunks).map(|_| None).collect();
-    for (c, part) in claimed.into_iter().flatten() {
-        parts[c] = Some(part);
-    }
-    let mut out = Vec::with_capacity(len);
-    for p in parts {
-        out.extend(p.expect("every chunk is claimed exactly once"));
-    }
-    out
+    };
+    pool::global().run(len, chunk, &body);
+    // SAFETY: pool.run returned without re-throwing a panic, so every index
+    // in 0..len was written exactly once. (On the panic path `out` is
+    // dropped as MaybeUninit, leaking any initialized elements — safe.)
+    let mut out = ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut T, len, out.capacity()) }
 }
 
 /// Two-way fork-join: runs both closures, the second on a scoped thread.
@@ -131,6 +139,7 @@ pub trait IntoParallelRefIterator<'a> {
 pub struct ParRange {
     start: usize,
     end: usize,
+    min_len: usize,
 }
 
 impl IntoParallelIterator for std::ops::Range<usize> {
@@ -140,11 +149,21 @@ impl IntoParallelIterator for std::ops::Range<usize> {
         ParRange {
             start: self.start,
             end: self.end.max(self.start),
+            min_len: MIN_CHUNK,
         }
     }
 }
 
 impl ParRange {
+    /// Overrides the minimum chunk length (and with it the sequential
+    /// cutoff, which sits at twice this value). Use `with_min_len(1)` when
+    /// every item is expensive — e.g. one LP resolve per index — so even a
+    /// handful of items fans out across the pool.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Maps each index through `f` (evaluated on collect/for_each).
     pub fn map<T, F: Fn(usize) -> T + Sync>(self, f: F) -> ParRangeMap<F> {
         ParRangeMap { range: self, f }
@@ -152,7 +171,7 @@ impl ParRange {
 
     /// Runs `f` for every index in parallel.
     pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
-        run_indexed(self.end - self.start, |i| f(self.start + i));
+        run_indexed_min(self.end - self.start, self.min_len, |i| f(self.start + i));
     }
 }
 
@@ -163,18 +182,28 @@ pub struct ParRangeMap<F> {
 }
 
 impl<T: Send, F: Fn(usize) -> T + Sync> ParRangeMap<F> {
+    /// See [`ParRange::with_min_len`].
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.range.min_len = min_len.max(1);
+        self
+    }
+
     /// Executes the map in parallel, collecting results in index order.
     pub fn collect<C: From<Vec<T>>>(self) -> C {
         let start = self.range.start;
         let f = self.f;
-        C::from(run_indexed(self.range.end - start, |i| f(start + i)))
+        C::from(run_indexed_min(
+            self.range.end - start,
+            self.range.min_len,
+            |i| f(start + i),
+        ))
     }
 
     /// Executes the map for its side effects.
     pub fn for_each(self) {
         let start = self.range.start;
         let f = self.f;
-        run_indexed(self.range.end - start, |i| {
+        run_indexed_min(self.range.end - start, self.range.min_len, |i| {
             f(start + i);
         });
     }
@@ -183,7 +212,7 @@ impl<T: Send, F: Fn(usize) -> T + Sync> ParRangeMap<F> {
     pub fn sum<S: std::iter::Sum<T> + Send>(self) -> S {
         let start = self.range.start;
         let f = self.f;
-        run_indexed(self.range.end - start, |i| f(start + i))
+        run_indexed_min(self.range.end - start, self.range.min_len, |i| f(start + i))
             .into_iter()
             .sum()
     }
@@ -192,13 +221,17 @@ impl<T: Send, F: Fn(usize) -> T + Sync> ParRangeMap<F> {
 /// Borrowing parallel iterator over a slice.
 pub struct ParSlice<'a, T> {
     slice: &'a [T],
+    min_len: usize,
 }
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
     type Iter = ParSlice<'a, T>;
     fn par_iter(&'a self) -> ParSlice<'a, T> {
-        ParSlice { slice: self }
+        ParSlice {
+            slice: self,
+            min_len: MIN_CHUNK,
+        }
     }
 }
 
@@ -206,53 +239,76 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
     type Iter = ParSlice<'a, T>;
     fn par_iter(&'a self) -> ParSlice<'a, T> {
-        ParSlice { slice: self }
+        ParSlice {
+            slice: self,
+            min_len: MIN_CHUNK,
+        }
     }
 }
 
 impl<'a, T: Sync> ParSlice<'a, T> {
+    /// See [`ParRange::with_min_len`].
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Maps each element reference through `f`.
     pub fn map<U, F: Fn(&'a T) -> U + Sync>(self, f: F) -> ParSliceMap<'a, T, F> {
         ParSliceMap {
             slice: self.slice,
+            min_len: self.min_len,
             f,
         }
     }
 
     /// Runs `f` on every element in parallel.
     pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
-        run_indexed(self.slice.len(), |i| f(&self.slice[i]));
+        run_indexed_min(self.slice.len(), self.min_len, |i| f(&self.slice[i]));
     }
 
     /// Enumerated variant yielding `(index, &item)`.
     pub fn enumerate(self) -> ParSliceEnumerate<'a, T> {
-        ParSliceEnumerate { slice: self.slice }
+        ParSliceEnumerate {
+            slice: self.slice,
+            min_len: self.min_len,
+        }
     }
 }
 
 /// Mapped borrowing parallel iterator.
 pub struct ParSliceMap<'a, T, F> {
     slice: &'a [T],
+    min_len: usize,
     f: F,
 }
 
 impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParSliceMap<'a, T, F> {
+    /// See [`ParRange::with_min_len`].
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Executes in parallel, collecting in input order.
     pub fn collect<C: From<Vec<U>>>(self) -> C {
         let (slice, f) = (self.slice, self.f);
-        C::from(run_indexed(slice.len(), |i| f(&slice[i])))
+        C::from(run_indexed_min(slice.len(), self.min_len, |i| f(&slice[i])))
     }
 
     /// Sums the mapped values.
     pub fn sum<S: std::iter::Sum<U> + Send>(self) -> S {
         let (slice, f) = (self.slice, self.f);
-        run_indexed(slice.len(), |i| f(&slice[i])).into_iter().sum()
+        run_indexed_min(slice.len(), self.min_len, |i| f(&slice[i]))
+            .into_iter()
+            .sum()
     }
 }
 
 /// Enumerated borrowing parallel iterator.
 pub struct ParSliceEnumerate<'a, T> {
     slice: &'a [T],
+    min_len: usize,
 }
 
 impl<'a, T: Sync> ParSliceEnumerate<'a, T> {
@@ -260,19 +316,21 @@ impl<'a, T: Sync> ParSliceEnumerate<'a, T> {
     pub fn map<U, F: Fn((usize, &'a T)) -> U + Sync>(self, f: F) -> ParSliceEnumerateMap<'a, T, F> {
         ParSliceEnumerateMap {
             slice: self.slice,
+            min_len: self.min_len,
             f,
         }
     }
 
     /// Runs `f` on every `(index, &item)` pair in parallel.
     pub fn for_each<F: Fn((usize, &'a T)) + Sync>(self, f: F) {
-        run_indexed(self.slice.len(), |i| f((i, &self.slice[i])));
+        run_indexed_min(self.slice.len(), self.min_len, |i| f((i, &self.slice[i])));
     }
 }
 
 /// Mapped enumerated borrowing parallel iterator.
 pub struct ParSliceEnumerateMap<'a, T, F> {
     slice: &'a [T],
+    min_len: usize,
     f: F,
 }
 
@@ -280,7 +338,9 @@ impl<'a, T: Sync, U: Send, F: Fn((usize, &'a T)) -> U + Sync> ParSliceEnumerateM
     /// Executes in parallel, collecting in input order.
     pub fn collect<C: From<Vec<U>>>(self) -> C {
         let (slice, f) = (self.slice, self.f);
-        C::from(run_indexed(slice.len(), |i| f((i, &slice[i]))))
+        C::from(run_indexed_min(slice.len(), self.min_len, |i| {
+            f((i, &slice[i]))
+        }))
     }
 }
 
@@ -318,6 +378,50 @@ mod tests {
     fn small_inputs_run_serially_and_correctly() {
         let v: Vec<usize> = (0..3).into_par_iter().map(|i| i).collect();
         assert_eq!(v, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn with_min_len_one_fans_out_small_inputs() {
+        // 6 items is below the default sequential cutoff but must still be
+        // correct (and, on multi-worker pools, parallel) with min_len 1.
+        let v: Vec<usize> = (0..6)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|i| i * 3)
+            .collect();
+        assert_eq!(v, vec![0, 3, 6, 9, 12, 15]);
+        let data: Vec<u64> = (0..5).collect();
+        let s: u64 = data.par_iter().with_min_len(1).map(|&x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn repeated_calls_reuse_the_persistent_pool() {
+        // Exercises pool reuse across many fork-joins (the exchange's drain
+        // pattern): correctness must hold on every call, not just the one
+        // that lazily spawned the workers.
+        for round in 0..32usize {
+            let v: Vec<usize> = (0..128).into_par_iter().map(|i| i + round).collect();
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i + round));
+        }
+    }
+
+    #[test]
+    fn nested_par_iter_completes() {
+        // A parallel body that itself goes parallel (sessions resolved on
+        // the pool call par_iter internally): must not deadlock.
+        let totals: Vec<u64> = (0..8)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|i| {
+                let inner: Vec<u64> = (0..64).into_par_iter().map(|j| (i + j) as u64).collect();
+                inner.into_iter().sum()
+            })
+            .collect();
+        for (i, t) in totals.iter().enumerate() {
+            let expected: u64 = (0..64).map(|j| (i + j) as u64).sum();
+            assert_eq!(*t, expected);
+        }
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! The persistent work-stealing thread pool behind `par_iter`.
+//!
+//! Workers are spawned **once**, lazily, on the first parallel call that
+//! engages the pool, and then reused by every later call — `par_iter` call
+//! sites stop paying a `std::thread::scope` spawn/join round-trip per call,
+//! which is what made draining thousands of small per-shard closures through
+//! the old shim pathological. The scheduling scheme:
+//!
+//! * every worker owns a deque of [`Chunk`]s (contiguous index ranges of a
+//!   job); at submit time chunks are dealt round-robin across the deques;
+//! * a worker pops its own deque LIFO and, when empty, **steals** the oldest
+//!   chunk (FIFO) from another worker's deque;
+//! * the submitting thread participates too: it claims still-queued chunks
+//!   of *its own job* while waiting, then blocks on the job's completion
+//!   latch for chunks in flight on workers. A nested parallel call from
+//!   inside a worker therefore cannot deadlock — the nested submitter
+//!   drains its own work even when every other worker is busy.
+//!
+//! Panics inside a chunk are caught on the worker, recorded on the job, and
+//! re-thrown on the submitting thread after the job completes, matching the
+//! fail-loud behavior of the old scoped implementation.
+//!
+//! Pool size is `available_parallelism`, overridable with the
+//! `SSA_POOL_THREADS` environment variable (read once) — useful for forcing
+//! real cross-thread execution in tests on small machines, or for pinning
+//! the pool below the core count on shared hosts.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A parallel-for job: a type-erased `f(lo, hi)` chunk runner plus the
+/// completion latch the submitting thread blocks on.
+struct Job {
+    /// Pointer to the submitting thread's closure. Valid for the whole job:
+    /// the submitter does not return (so the referent stays alive) until
+    /// [`Job::remaining`] reaches zero.
+    data: *const (),
+    call: unsafe fn(*const (), usize, usize),
+    /// Chunks not yet finished (queued or currently running).
+    remaining: AtomicUsize,
+    done: Mutex<()>,
+    done_cv: Condvar,
+    /// First panic payload raised by any chunk; re-thrown by the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: `data` is only dereferenced through `call` while the submitting
+// thread keeps the closure alive (it blocks until `remaining == 0` before
+// returning), and the closure is `Sync`, so shared calls from several
+// workers are sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    fn run_chunk(&self, lo: usize, hi: usize) {
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+            (self.call)(self.data, lo, hi)
+        }));
+        if let Err(payload) = result {
+            let mut slot = self.panic.lock().unwrap();
+            slot.get_or_insert(payload);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last chunk: wake the submitter. Taking the lock orders this
+            // notify after the submitter's predicate check, so the wakeup
+            // cannot be lost.
+            let _guard = self.done.lock().unwrap();
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// One contiguous index range of a job, queued on a worker's deque.
+struct Chunk {
+    job: Arc<Job>,
+    lo: usize,
+    hi: usize,
+}
+
+struct State {
+    /// One deque per worker: chunks are dealt round-robin at submit time,
+    /// popped LIFO by the owner and stolen FIFO by everyone else.
+    deques: Vec<Mutex<VecDeque<Chunk>>>,
+    /// Work-arrival generation counter, bumped under the lock whenever new
+    /// chunks are queued — lets a sleeping worker distinguish "no new work"
+    /// from "work arrived while I was scanning the deques".
+    generation: Mutex<u64>,
+    wake: Condvar,
+    /// Set by [`Pool::drop`] (test pools only; the global pool lives for the
+    /// whole process).
+    shutdown: AtomicBool,
+}
+
+/// A persistent pool of `workers` long-lived threads. One global instance
+/// serves every `par_iter` call site; tests may build private instances.
+pub(crate) struct Pool {
+    state: Arc<State>,
+}
+
+fn worker_loop(state: Arc<State>, me: usize) {
+    let mut seen = 0u64;
+    loop {
+        if state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(chunk) = find_chunk(&state, me) {
+            chunk.job.run_chunk(chunk.lo, chunk.hi);
+            continue;
+        }
+        let mut gen = state.generation.lock().unwrap();
+        if *gen == seen {
+            gen = state.wake.wait(gen).unwrap();
+        }
+        seen = *gen;
+    }
+}
+
+fn find_chunk(state: &State, me: usize) -> Option<Chunk> {
+    // Own deque first, newest chunk (LIFO: the ranges dealt to this worker
+    // stay with it unless someone else runs dry) …
+    if let Some(c) = state.deques[me].lock().unwrap().pop_back() {
+        return Some(c);
+    }
+    // … then steal the oldest chunk from the nearest busy victim.
+    let n = state.deques.len();
+    for off in 1..n {
+        let victim = (me + off) % n;
+        if let Some(c) = state.deques[victim].lock().unwrap().pop_front() {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Claims a still-queued chunk of `job` from any deque (the submitting
+/// thread's participation path: it must only run its own job while waiting,
+/// so an unrelated long-running outer job cannot wedge underneath it).
+fn steal_own(state: &State, job: &Arc<Job>) -> Option<Chunk> {
+    for q in &state.deques {
+        let mut q = q.lock().unwrap();
+        if let Some(pos) = q.iter().position(|c| Arc::ptr_eq(&c.job, job)) {
+            return q.remove(pos);
+        }
+    }
+    None
+}
+
+impl Pool {
+    /// Spawns a pool of `workers` long-lived threads (at least one).
+    pub(crate) fn new(workers: usize) -> Pool {
+        let workers = workers.max(1);
+        let state = Arc::new(State {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            generation: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        for i in 0..workers {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("ssa-rayon-{i}"))
+                .spawn(move || worker_loop(state, i))
+                .expect("failed to spawn pool worker");
+        }
+        Pool { state }
+    }
+
+    /// Runs `f` over `0..len` in `chunk`-sized ranges across the pool and
+    /// blocks until every range has executed. Re-throws the first panic any
+    /// chunk raised.
+    pub(crate) fn run<F: Fn(usize, usize) + Sync>(&self, len: usize, chunk: usize, f: &F) {
+        debug_assert!(chunk > 0, "chunk size must be positive");
+        let num_chunks = len.div_ceil(chunk.max(1));
+        if num_chunks == 0 {
+            return;
+        }
+        unsafe fn call<F: Fn(usize, usize) + Sync>(data: *const (), lo: usize, hi: usize) {
+            unsafe { (*(data as *const F))(lo, hi) }
+        }
+        let job = Arc::new(Job {
+            data: f as *const F as *const (),
+            call: call::<F>,
+            remaining: AtomicUsize::new(num_chunks),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let state = &self.state;
+        for c in 0..num_chunks {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(len);
+            state.deques[c % state.deques.len()]
+                .lock()
+                .unwrap()
+                .push_back(Chunk {
+                    job: Arc::clone(&job),
+                    lo,
+                    hi,
+                });
+        }
+        {
+            let mut gen = state.generation.lock().unwrap();
+            *gen = gen.wrapping_add(1);
+            state.wake.notify_all();
+        }
+        // Participate: claim this job's still-queued chunks …
+        while let Some(c) = steal_own(state, &job) {
+            job.run_chunk(c.lo, c.hi);
+        }
+        // … then wait for chunks in flight on workers.
+        let mut guard = job.done.lock().unwrap();
+        while job.remaining.load(Ordering::Acquire) > 0 {
+            guard = job.done_cv.wait(guard).unwrap();
+        }
+        drop(guard);
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        let mut gen = self.state.generation.lock().unwrap();
+        *gen = gen.wrapping_add(1);
+        self.state.wake.notify_all();
+    }
+}
+
+/// The configured pool size: `SSA_POOL_THREADS` if set (read once), else
+/// `available_parallelism`. Purely a number — reading it does not spawn the
+/// pool, so the sequential fast path stays thread-free on small inputs and
+/// single-core hosts.
+pub(crate) fn configured_workers() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("SSA_POOL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The process-wide pool, spawned on first use and reused by every
+/// `par_iter` call site afterwards.
+pub(crate) fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(configured_workers()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// A private multi-worker pool, independent of the host's core count —
+    /// on a single-core container this still exercises real cross-thread
+    /// stealing (the threads timeshare).
+    fn test_pool() -> Pool {
+        Pool::new(3)
+    }
+
+    #[test]
+    fn pool_runs_every_index_exactly_once() {
+        let pool = test_pool();
+        let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        let body = |lo: usize, hi: usize| {
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        pool.run(hits.len(), 7, &body);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_jobs() {
+        let pool = test_pool();
+        let sum = AtomicU64::new(0);
+        for round in 0..50u64 {
+            let body = |lo: usize, hi: usize| {
+                for i in lo..hi {
+                    sum.fetch_add(round + i as u64, Ordering::Relaxed);
+                }
+            };
+            pool.run(64, 4, &body);
+        }
+        let expected: u64 = (0..50u64).map(|r| 64 * r + (0..64).sum::<u64>()).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn nested_jobs_complete_without_deadlock() {
+        let pool = Arc::new(test_pool());
+        let total = AtomicU64::new(0);
+        let inner_pool = Arc::clone(&pool);
+        let outer = |lo: usize, hi: usize| {
+            for _ in lo..hi {
+                let inner = |ilo: usize, ihi: usize| {
+                    for j in ilo..ihi {
+                        total.fetch_add(j as u64 + 1, Ordering::Relaxed);
+                    }
+                };
+                inner_pool.run(8, 2, &inner);
+            }
+        };
+        pool.run(6, 1, &outer);
+        // 6 outer chunks × sum(1..=8)
+        assert_eq!(total.load(Ordering::Relaxed), 6 * 36);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter_and_the_pool_survives() {
+        let pool = test_pool();
+        let body = |lo: usize, hi: usize| {
+            for i in lo..hi {
+                assert!(i != 13, "boom at 13");
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| pool.run(32, 2, &body)));
+        assert!(result.is_err(), "panic must reach the submitter");
+        // the pool keeps working after a panicked job
+        let ok = AtomicU64::new(0);
+        let body = |lo: usize, hi: usize| {
+            ok.fetch_add((hi - lo) as u64, Ordering::Relaxed);
+        };
+        pool.run(32, 2, &body);
+        assert_eq!(ok.load(Ordering::Relaxed), 32);
+    }
+}

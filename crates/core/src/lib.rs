@@ -57,7 +57,9 @@ pub use instance::{AuctionInstance, ConflictStructure};
 pub use lp_formulation::{
     FractionalAssignment, FractionalEntry, LpFormulationOptions, RelaxationInfo,
 };
-pub use session::{AuctionSession, BidderConflicts, NewChannel, SessionStats};
+pub use session::{
+    apply_event, AuctionSession, BidderConflicts, MarketEvent, MarketId, NewChannel, SessionStats,
+};
 pub use solver::{AuctionOutcome, SolveError, SolverBuilder, SolverOptions, SpectrumAuctionSolver};
 // The LP-engine selectors, re-exported so pipeline callers can pick an
 // engine (and a master decomposition mode) without depending on the lp

@@ -806,7 +806,9 @@ fn solve_relaxation_dw(
         // Same graceful degradation as the monolithic path: the partial
         // solution is used but marked non-converged (the strict path turns
         // it into a typed error below, via the solution status).
-        Err(DantzigWolfeError::MasterIterationLimit { partial, stats }) => (*partial, false, *stats),
+        Err(DantzigWolfeError::MasterIterationLimit { partial, stats }) => {
+            (*partial, false, *stats)
+        }
     };
     let status = solution.status;
     let native_columns = dw

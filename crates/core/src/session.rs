@@ -49,6 +49,7 @@ use crate::lp_formulation::{
 };
 use crate::solver::{AuctionOutcome, SolveError, SolverOptions, SpectrumAuctionSolver};
 use crate::valuation::Valuation;
+use serde::{Deserialize, Serialize};
 use ssa_conflict_graph::{ConflictGraph, VertexOrdering, WeightedConflictGraph};
 use ssa_lp::{
     is_native_tag, ColumnGenerationError, ColumnSource, GeneratedColumn, MasterMode, MasterProblem,
@@ -56,6 +57,81 @@ use ssa_lp::{
 };
 use std::collections::HashSet;
 use std::sync::Arc;
+
+/// Identifier of one regional market in a multi-market deployment (the key
+/// of an exchange's shard map). Plain newtype over `u64`: markets are
+/// external entities — licenses, regions, bands — so the id is
+/// caller-assigned, not allocated here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MarketId(pub u64);
+
+impl std::fmt::Display for MarketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "market#{}", self.0)
+    }
+}
+
+/// One event of a dynamic secondary market, phrased in terms of the
+/// market's state **at application time** (bidder indices refer to the
+/// session the event is applied to, not to any generator-internal
+/// universe). Apply with [`apply_event`].
+#[derive(Clone)]
+pub enum MarketEvent {
+    /// A bidder arrives with the given valuation, conflicting with the
+    /// listed present bidders.
+    Arrival {
+        /// The newcomer's valuation (over the instance's channel count).
+        valuation: Arc<dyn Valuation>,
+        /// Present bidders the newcomer conflicts with.
+        neighbors: Vec<usize>,
+    },
+    /// The bidder at this index departs; later indices shift down by one.
+    Departure {
+        /// Index of the departing bidder.
+        bidder: usize,
+    },
+    /// A present bidder re-bids with a new valuation.
+    Rebid {
+        /// Index of the re-bidding bidder.
+        bidder: usize,
+        /// Its replacement valuation.
+        valuation: Arc<dyn Valuation>,
+    },
+}
+
+impl std::fmt::Debug for MarketEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarketEvent::Arrival { neighbors, .. } => {
+                write!(f, "Arrival {{ neighbors: {neighbors:?} }}")
+            }
+            MarketEvent::Departure { bidder } => write!(f, "Departure {{ bidder: {bidder} }}"),
+            MarketEvent::Rebid { bidder, .. } => write!(f, "Rebid {{ bidder: {bidder} }}"),
+        }
+    }
+}
+
+/// Applies one market event to a session (arrivals become
+/// [`AuctionSession::add_bidder`], departures
+/// [`AuctionSession::remove_bidder`], re-bids
+/// [`AuctionSession::update_valuation`]).
+pub fn apply_event(session: &mut AuctionSession, event: &MarketEvent) {
+    match event {
+        MarketEvent::Arrival {
+            valuation,
+            neighbors,
+        } => {
+            session.add_bidder(
+                valuation.clone(),
+                BidderConflicts::Binary(neighbors.clone()),
+            );
+        }
+        MarketEvent::Departure { bidder } => session.remove_bidder(*bidder),
+        MarketEvent::Rebid { bidder, valuation } => {
+            session.update_valuation(*bidder, valuation.clone())
+        }
+    }
+}
 
 /// The conflicts a newly arriving bidder brings, matching the instance's
 /// [`ConflictStructure`] variant.
@@ -91,7 +167,9 @@ pub enum NewChannel {
 
 /// Which resolve paths a session has taken — the observable warm-path
 /// accounting the `e15_incremental` bench and the tests assert on.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Aggregates across sessions with [`accumulate`](SessionStats::accumulate)
+/// (the exchange's `ExchangeStats` rollup).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SessionStats {
     /// Total [`AuctionSession::resolve`] /
     /// [`AuctionSession::resolve_relaxation`] calls that recomputed a
@@ -126,6 +204,21 @@ pub struct SessionStats {
     /// primal resume (restoring dual feasibility), then materialized the
     /// staged arrival rows and ran the dual-simplex row repair.
     pub mixed_batch_repairs: usize,
+}
+
+impl SessionStats {
+    /// Adds another session's counters into this one, field by field — the
+    /// reduction behind multi-market rollups.
+    pub fn accumulate(&mut self, other: &SessionStats) {
+        self.resolves += other.resolves;
+        self.cached_resolves += other.cached_resolves;
+        self.cold_resolves += other.cold_resolves;
+        self.warm_row_resolves += other.warm_row_resolves;
+        self.repriced_resolves += other.repriced_resolves;
+        self.deactivated_resolves += other.deactivated_resolves;
+        self.deep_batch_rebuilds += other.deep_batch_rebuilds;
+        self.mixed_batch_repairs += other.mixed_batch_repairs;
+    }
 }
 
 /// Which solve path a successful resolve took (picked before the solve,

@@ -1,0 +1,848 @@
+//! A sharded multi-market spectrum exchange.
+//!
+//! The paper's setting — secondary spectrum markets — is operationally a
+//! *fleet* of regional auctions: thousands of independent markets with
+//! continuous bid traffic, each one an instance of the paper's single
+//! auction. [`SpectrumExchange`] is that fleet layer over
+//! [`AuctionSession`]: a shard map of independent sessions keyed by
+//! [`MarketId`], fed through an event-queue front-end and drained in
+//! parallel.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  submit(market, event) ──▶ per-market PendingQueue (coalescing)
+//!                                      │
+//!  resolve_dirty() ──▶ dirty shards ──▶ waves of events ──▶ AuctionSession
+//!                      (sequential or pooled par_iter)        warm resolve
+//!                                      │
+//!                            DrainReport + ExchangeStats rollup
+//! ```
+//!
+//! * **Shard map** — each market owns an [`AuctionSession`] (instance +
+//!   cached LP state). Markets are mutually independent, so shard drains
+//!   parallelize without coordination beyond one lock per shard.
+//! * **Coalescing front-end** — submitted [`MarketEvent`]s are not applied
+//!   eagerly; they queue per market and collapse between drains: re-bids
+//!   last-writer-win, same-batch arrival+departure pairs cancel, re-bids of
+//!   pending arrivals fold into the arrival. Under bursty traffic the
+//!   session sees the *net* mutation only (see the [`queue`](self) module
+//!   docs for the emission-order equivalence argument). `coalescing(false)`
+//!   replays raw streams verbatim for comparison.
+//! * **Deep-batch chunking** — a drain splits pending arrival runs into
+//!   waves below the session's deep-batch wall
+//!   (`LpFormulationOptions::deep_batch_rows`), resolving between waves, so
+//!   one huge batch does not reroute the session onto the slower
+//!   warm-rebuild path.
+//! * **Pooled drain** — [`DrainMode::Pooled`] fans dirty shards across the
+//!   persistent work-stealing pool behind the `rayon` shim (`min_len 1`:
+//!   every shard is one LP resolve, expensive enough to schedule
+//!   individually). [`DrainMode::Sequential`] drains inline — the honest
+//!   baseline the `e17_exchange` bench compares against.
+//! * **Stats rollup** — [`ExchangeStats`] aggregates the per-session warm
+//!   path counters ([`SessionStats`]), per-resolve LP engine activity, and
+//!   the coalescing counters, so fleet-level behavior (how many resolves
+//!   were re-priced vs rebuilt, how many events coalesced away) is visible
+//!   without digging into individual sessions.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ssa_core::session::{MarketEvent, MarketId};
+//! use ssa_exchange::SpectrumExchange;
+//! # fn demo(instance: ssa_core::AuctionInstance,
+//! #         newcomer: std::sync::Arc<dyn ssa_core::Valuation>) {
+//! let mut exchange = SpectrumExchange::new();
+//! exchange.open_market(MarketId(0), instance).unwrap();
+//! exchange
+//!     .submit(
+//!         MarketId(0),
+//!         MarketEvent::Arrival { valuation: newcomer, neighbors: vec![0] },
+//!     )
+//!     .unwrap();
+//! let report = exchange.resolve_dirty().unwrap();
+//! for resolve in &report.resolves {
+//!     println!("{}: welfare {}", resolve.market, resolve.outcome.welfare);
+//! }
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod queue;
+
+use queue::{CoalesceCounters, PendingQueue};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use ssa_core::session::{AuctionSession, MarketEvent, MarketId, SessionStats};
+use ssa_core::solver::{AuctionOutcome, SolveError, SolverBuilder, SolverOptions};
+use ssa_core::AuctionInstance;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use queue::InvalidEvent;
+
+/// How [`SpectrumExchange::resolve_dirty`] schedules dirty shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DrainMode {
+    /// Drain shards one after another on the calling thread.
+    Sequential,
+    /// Fan dirty shards across the persistent work-stealing pool (each
+    /// shard is one chunk; the submitting thread participates).
+    Pooled,
+}
+
+/// Errors of the exchange layer.
+#[derive(Debug)]
+pub enum ExchangeError {
+    /// [`SpectrumExchange::open_market`] with an id already in use.
+    DuplicateMarket(MarketId),
+    /// An operation referenced a market id the exchange does not hold.
+    UnknownMarket(MarketId),
+    /// A submitted event referenced a bidder index outside the market's
+    /// (pending-stream-implied) roster.
+    InvalidEvent {
+        /// The market the event targeted.
+        market: MarketId,
+        /// The rejected index and the roster size it was checked against.
+        reason: InvalidEvent,
+    },
+    /// A shard resolve failed; the drain stopped at the first failure
+    /// (other dirty shards may already have resolved — their queues are
+    /// drained, their sessions consistent).
+    Solve {
+        /// The market whose resolve failed.
+        market: MarketId,
+        /// The underlying session error.
+        source: SolveError,
+    },
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeError::DuplicateMarket(id) => write!(f, "{id} is already open"),
+            ExchangeError::UnknownMarket(id) => write!(f, "{id} is not open on this exchange"),
+            ExchangeError::InvalidEvent { market, reason } => write!(
+                f,
+                "{market}: event references bidder {} but only {} are present",
+                reason.bidder, reason.present
+            ),
+            ExchangeError::Solve { market, source } => {
+                write!(f, "{market}: resolve failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExchangeError::Solve { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Per-resolve LP engine activity summed across every shard resolve the
+/// exchange ran (all waves included).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LpActivity {
+    /// Column-generation pricing rounds.
+    pub rounds: usize,
+    /// Master simplex pivots.
+    pub simplex_iterations: usize,
+    /// Basis refactorizations.
+    pub refactorizations: usize,
+    /// The stability-forced subset of `refactorizations`.
+    pub forced_refactorizations: usize,
+    /// Dual-simplex row-repair pivots (the arrival-absorption path).
+    pub dual_pivots: usize,
+    /// Dantzig–Wolfe pricing-subproblem pivots.
+    pub subproblem_pivots: usize,
+    /// Master rows deactivated in place (departure path); lifetime gauge
+    /// deltas summed across shards.
+    pub rows_deactivated: usize,
+    /// Master compactions; lifetime gauge deltas summed across shards.
+    pub compactions: usize,
+}
+
+/// Fleet-level rollup: coalescing effect, resolve/warm-path attribution
+/// summed over every session, and LP engine activity. Returned by
+/// [`SpectrumExchange::stats`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExchangeStats {
+    /// Markets currently open.
+    pub markets: usize,
+    /// [`SpectrumExchange::resolve_dirty`] calls that found dirty shards.
+    pub drains: usize,
+    /// Shard resolves across all drains (≥ shards drained; deep-batch
+    /// chunking resolves once per wave).
+    pub shard_resolves: usize,
+    /// Events accepted by [`SpectrumExchange::submit`].
+    pub events_submitted: usize,
+    /// Events actually applied to sessions after coalescing.
+    pub events_applied: usize,
+    /// Re-bids absorbed by a later re-bid or departure of the same bidder.
+    pub rebids_collapsed: usize,
+    /// Re-bids folded into a pending arrival.
+    pub rebids_folded: usize,
+    /// Same-batch arrival+departure pairs cancelled.
+    pub cancellations: usize,
+    /// Extra waves forced by deep-batch chunking (0 when every drain fit
+    /// under the wall).
+    pub extra_waves: usize,
+    /// Warm-path attribution summed over every *open* session (sessions of
+    /// closed markets leave the rollup).
+    pub sessions: SessionStats,
+    /// LP engine activity summed over every shard resolve.
+    pub lp: LpActivity,
+}
+
+/// One market's result within a [`DrainReport`].
+#[derive(Clone, Debug)]
+pub struct MarketResolve {
+    /// The market that resolved.
+    pub market: MarketId,
+    /// The outcome of the final resolve of the drain (after the last wave).
+    pub outcome: AuctionOutcome,
+    /// Wall-clock latency of each resolve of the drain, one entry per wave.
+    pub latencies: Vec<Duration>,
+}
+
+/// What a [`SpectrumExchange::resolve_dirty`] call did.
+#[derive(Clone, Debug, Default)]
+pub struct DrainReport {
+    /// One entry per drained shard, in dirty order (the order markets first
+    /// received a pending event since the last drain).
+    pub resolves: Vec<MarketResolve>,
+}
+
+impl DrainReport {
+    /// All resolve latencies of the drain, sorted ascending — feed for
+    /// percentile reporting.
+    pub fn sorted_latencies(&self) -> Vec<Duration> {
+        let mut all: Vec<Duration> = self
+            .resolves
+            .iter()
+            .flat_map(|r| r.latencies.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+/// Configures a [`SpectrumExchange`]: solver options for the per-market
+/// sessions, drain scheduling, and coalescing.
+#[derive(Clone, Debug)]
+pub struct ExchangeBuilder {
+    options: SolverOptions,
+    drain: DrainMode,
+    coalescing: bool,
+}
+
+impl Default for ExchangeBuilder {
+    fn default() -> Self {
+        ExchangeBuilder {
+            options: SolverBuilder::new().options(),
+            drain: DrainMode::Pooled,
+            coalescing: true,
+        }
+    }
+}
+
+impl ExchangeBuilder {
+    /// Starts from the defaults: the default solver engine, pooled drains,
+    /// coalescing on.
+    pub fn new() -> Self {
+        ExchangeBuilder::default()
+    }
+
+    /// Configures the per-market sessions through a [`SolverBuilder`]
+    /// (engine, master mode, rounding, …).
+    pub fn solver(mut self, builder: SolverBuilder) -> Self {
+        self.options = builder.options();
+        self
+    }
+
+    /// Configures the per-market sessions from assembled [`SolverOptions`]
+    /// — the escape hatch for settings without a builder method (e.g.
+    /// `lp.deep_batch_rows`, which also bounds the exchange's drain waves).
+    pub fn solver_options(mut self, options: SolverOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Selects how dirty shards are scheduled at drain time.
+    pub fn drain_mode(mut self, mode: DrainMode) -> Self {
+        self.drain = mode;
+        self
+    }
+
+    /// Turns event coalescing on or off (on by default; off replays raw
+    /// streams verbatim — the comparison baseline).
+    pub fn coalescing(mut self, coalescing: bool) -> Self {
+        self.coalescing = coalescing;
+        self
+    }
+
+    /// Builds the exchange (no markets yet).
+    pub fn build(self) -> SpectrumExchange {
+        SpectrumExchange {
+            options: self.options,
+            drain: self.drain,
+            coalescing: self.coalescing,
+            shards: Vec::new(),
+            index: HashMap::new(),
+            dirty: Vec::new(),
+            stats: ExchangeStats::default(),
+        }
+    }
+}
+
+/// One market's shard: its session plus the pending queue and the
+/// last-seen values of the session's lifetime LP gauges (for delta
+/// accounting in the rollup).
+struct Shard {
+    session: AuctionSession,
+    pending: PendingQueue,
+    seen_rows_deactivated: usize,
+    seen_compactions: usize,
+}
+
+/// What one shard drain produced (internal; folded into the report and the
+/// stats rollup on the submitting thread).
+struct ShardDrain {
+    market: MarketId,
+    outcome: AuctionOutcome,
+    latencies: Vec<Duration>,
+    counters: CoalesceCounters,
+    lp: LpActivity,
+    resolves: usize,
+}
+
+struct ShardSlot {
+    id: MarketId,
+    cell: Mutex<Shard>,
+}
+
+/// The exchange: a shard map of [`AuctionSession`]s behind a coalescing
+/// event front-end. See the [module docs](self) for the architecture.
+pub struct SpectrumExchange {
+    options: SolverOptions,
+    drain: DrainMode,
+    coalescing: bool,
+    shards: Vec<ShardSlot>,
+    index: HashMap<MarketId, usize>,
+    /// Slots with a non-empty queue, in first-dirtied order.
+    dirty: Vec<usize>,
+    stats: ExchangeStats,
+}
+
+impl Default for SpectrumExchange {
+    fn default() -> Self {
+        SpectrumExchange::new()
+    }
+}
+
+impl SpectrumExchange {
+    /// An exchange with the default configuration (default solver engine,
+    /// pooled drains, coalescing on).
+    pub fn new() -> Self {
+        ExchangeBuilder::new().build()
+    }
+
+    /// Starts configuring an exchange.
+    pub fn builder() -> ExchangeBuilder {
+        ExchangeBuilder::new()
+    }
+
+    /// Opens a market: wraps `instance` in a fresh [`AuctionSession`] under
+    /// this exchange's solver options.
+    pub fn open_market(
+        &mut self,
+        id: MarketId,
+        instance: AuctionInstance,
+    ) -> Result<(), ExchangeError> {
+        if self.index.contains_key(&id) {
+            return Err(ExchangeError::DuplicateMarket(id));
+        }
+        let present = instance.num_bidders();
+        let session = AuctionSession::new(instance, self.options.clone());
+        self.index.insert(id, self.shards.len());
+        self.shards.push(ShardSlot {
+            id,
+            cell: Mutex::new(Shard {
+                session,
+                pending: PendingQueue::new(self.coalescing, present),
+                seen_rows_deactivated: 0,
+                seen_compactions: 0,
+            }),
+        });
+        Ok(())
+    }
+
+    /// Closes a market, returning its session (with any still-pending
+    /// events discarded). The session's counters leave the
+    /// [`stats`](Self::stats) rollup with it.
+    pub fn close_market(&mut self, id: MarketId) -> Result<AuctionSession, ExchangeError> {
+        let slot = self
+            .index
+            .remove(&id)
+            .ok_or(ExchangeError::UnknownMarket(id))?;
+        self.dirty.retain(|&i| i != slot);
+        for i in self.dirty.iter_mut() {
+            if *i > slot {
+                *i -= 1;
+            }
+        }
+        let removed = self.shards.remove(slot);
+        for idx in self.index.values_mut() {
+            if *idx > slot {
+                *idx -= 1;
+            }
+        }
+        Ok(removed.cell.into_inner().unwrap().session)
+    }
+
+    /// Markets currently open, in opening order.
+    pub fn market_ids(&self) -> Vec<MarketId> {
+        self.shards.iter().map(|s| s.id).collect()
+    }
+
+    /// Number of open markets.
+    pub fn num_markets(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Runs `f` over the market's session (read access for inspection —
+    /// e.g. `session.instance()` or `session.stats()` in tests).
+    pub fn with_session<R>(
+        &self,
+        id: MarketId,
+        f: impl FnOnce(&AuctionSession) -> R,
+    ) -> Result<R, ExchangeError> {
+        let slot = *self
+            .index
+            .get(&id)
+            .ok_or(ExchangeError::UnknownMarket(id))?;
+        let shard = self.shards[slot].cell.lock().unwrap();
+        Ok(f(&shard.session))
+    }
+
+    /// Queues one event against a market. Nothing is applied until the
+    /// next [`resolve_dirty`](Self::resolve_dirty); in coalescing mode the
+    /// event may collapse with other pending events of the same market.
+    pub fn submit(&mut self, id: MarketId, event: MarketEvent) -> Result<(), ExchangeError> {
+        let slot = *self
+            .index
+            .get(&id)
+            .ok_or(ExchangeError::UnknownMarket(id))?;
+        let shard = self.shards[slot].cell.get_mut().unwrap();
+        let was_empty = shard.pending.is_empty();
+        shard
+            .pending
+            .push(event)
+            .map_err(|reason| ExchangeError::InvalidEvent { market: id, reason })?;
+        if was_empty {
+            self.dirty.push(slot);
+        }
+        self.stats.events_submitted += 1;
+        Ok(())
+    }
+
+    /// Queues a batch of events (stops at the first rejected event).
+    pub fn submit_batch(
+        &mut self,
+        batch: impl IntoIterator<Item = (MarketId, MarketEvent)>,
+    ) -> Result<(), ExchangeError> {
+        for (id, event) in batch {
+            self.submit(id, event)?;
+        }
+        Ok(())
+    }
+
+    /// Shards with pending events.
+    pub fn num_dirty(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Drains every dirty shard: emits each market's pending events in
+    /// deep-batch-safe waves, applies them to the session, and resolves
+    /// (intermediate waves resolve the relaxation only; the final wave runs
+    /// the full pipeline including rounding). Shards are scheduled per the
+    /// configured [`DrainMode`]. Returns per-market outcomes and resolve
+    /// latencies; stops at the first failed shard.
+    pub fn resolve_dirty(&mut self) -> Result<DrainReport, ExchangeError> {
+        let dirty = std::mem::take(&mut self.dirty);
+        if dirty.is_empty() {
+            return Ok(DrainReport::default());
+        }
+        // An arrival stages k + 1 master rows; the session reroutes to a
+        // rebuild strictly past deep_batch_rows pending rows.
+        let max_rows = self.options.lp.deep_batch_rows;
+        let shards = &self.shards;
+        let run = |&slot: &usize| -> Result<ShardDrain, (MarketId, SolveError)> {
+            let holder = &shards[slot];
+            let mut shard = holder.cell.lock().unwrap();
+            drain_shard(&mut shard, holder.id, max_rows)
+        };
+        let results: Vec<Result<ShardDrain, (MarketId, SolveError)>> = match self.drain {
+            DrainMode::Sequential => dirty.iter().map(run).collect(),
+            DrainMode::Pooled => dirty.par_iter().with_min_len(1).map(run).collect(),
+        };
+
+        self.stats.drains += 1;
+        let mut report = DrainReport::default();
+        for result in results {
+            let drain =
+                result.map_err(|(market, source)| ExchangeError::Solve { market, source })?;
+            self.stats.shard_resolves += drain.resolves;
+            self.stats.events_applied += drain.counters.applied;
+            self.stats.rebids_collapsed += drain.counters.rebids_collapsed;
+            self.stats.rebids_folded += drain.counters.rebids_folded;
+            self.stats.cancellations += drain.counters.cancellations;
+            self.stats.extra_waves += drain.resolves.saturating_sub(1);
+            accumulate_lp(&mut self.stats.lp, &drain.lp);
+            report.resolves.push(MarketResolve {
+                market: drain.market,
+                outcome: drain.outcome,
+                latencies: drain.latencies,
+            });
+        }
+        Ok(report)
+    }
+
+    /// The fleet-level rollup: exchange counters plus the warm-path
+    /// attribution summed over every open session.
+    pub fn stats(&self) -> ExchangeStats {
+        let mut stats = self.stats.clone();
+        stats.markets = self.shards.len();
+        for slot in &self.shards {
+            let shard = slot.cell.lock().unwrap();
+            stats.sessions.accumulate(&shard.session.stats());
+        }
+        stats
+    }
+}
+
+fn accumulate_lp(into: &mut LpActivity, from: &LpActivity) {
+    into.rounds += from.rounds;
+    into.simplex_iterations += from.simplex_iterations;
+    into.refactorizations += from.refactorizations;
+    into.forced_refactorizations += from.forced_refactorizations;
+    into.dual_pivots += from.dual_pivots;
+    into.subproblem_pivots += from.subproblem_pivots;
+    into.rows_deactivated += from.rows_deactivated;
+    into.compactions += from.compactions;
+}
+
+/// Drains one shard: waves of pending events, a relaxation resolve after
+/// each intermediate wave, and the full pipeline after the last.
+fn drain_shard(
+    shard: &mut Shard,
+    market: MarketId,
+    max_rows: usize,
+) -> Result<ShardDrain, (MarketId, SolveError)> {
+    let k = shard.session.instance().num_channels;
+    // Stay *under* the wall (the session reroutes strictly past it).
+    let max_arrivals = (max_rows / (k + 1)).max(1);
+    let (mut waves, counters) = shard.pending.take_waves(max_arrivals);
+    // A queue can coalesce to *nothing* (every pending event was part of a
+    // cancelled arrival+departure pair). The market is dirty all the same,
+    // so run one event-less wave: the session's resolve cache makes it
+    // cheap and the drain still reports the market's current outcome.
+    if waves.is_empty() {
+        waves.push(Vec::new());
+    }
+    let mut latencies = Vec::with_capacity(waves.len());
+    let mut lp = LpActivity::default();
+    let num_waves = waves.len();
+    let mut outcome: Option<AuctionOutcome> = None;
+    for (w, wave) in waves.into_iter().enumerate() {
+        for event in &wave {
+            ssa_core::session::apply_event(&mut shard.session, event);
+        }
+        let start = Instant::now();
+        if w + 1 < num_waves {
+            let frac = shard
+                .session
+                .resolve_relaxation()
+                .map_err(|e| (market, e))?;
+            accumulate_info(&mut lp, shard, &frac.info);
+        } else {
+            let full = shard.session.resolve().map_err(|e| (market, e))?;
+            accumulate_info(&mut lp, shard, &full.lp_info);
+            outcome = Some(full);
+        }
+        latencies.push(start.elapsed());
+    }
+    let outcome = outcome.expect("a drained shard has at least one wave");
+    Ok(ShardDrain {
+        market,
+        outcome,
+        latencies,
+        counters,
+        lp,
+        resolves: num_waves,
+    })
+}
+
+/// Folds one resolve's [`RelaxationInfo`] into the drain's activity sum.
+/// Pivot/round counters are per-resolve; `rows_deactivated` and
+/// `compactions` are master-lifetime gauges, so only their growth since
+/// the last observation counts.
+fn accumulate_info(
+    lp: &mut LpActivity,
+    shard: &mut Shard,
+    info: &ssa_core::lp_formulation::RelaxationInfo,
+) {
+    lp.rounds += info.rounds;
+    lp.simplex_iterations += info.simplex_iterations;
+    lp.refactorizations += info.refactorizations;
+    lp.forced_refactorizations += info.forced_refactorizations;
+    lp.dual_pivots += info.dual_pivots;
+    lp.subproblem_pivots += info.subproblem_pivots;
+    lp.rows_deactivated += info
+        .rows_deactivated
+        .saturating_sub(shard.seen_rows_deactivated);
+    lp.compactions += info.compactions.saturating_sub(shard.seen_compactions);
+    shard.seen_rows_deactivated = info.rows_deactivated;
+    shard.seen_compactions = info.compactions;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_core::ChannelSet;
+    use ssa_core::Valuation;
+    use ssa_workloads::{protocol_scenario, ScenarioConfig};
+    use std::sync::Arc;
+
+    fn instance(n: usize, seed: u64) -> AuctionInstance {
+        protocol_scenario(&ScenarioConfig::new(n, 2, seed), 1.0)
+            .instance
+            .clone()
+    }
+
+    fn val(v: f64) -> Arc<dyn Valuation> {
+        Arc::new(ssa_core::valuation::XorValuation::new(
+            2,
+            vec![(ChannelSet::from_channels(vec![0]), v)],
+        ))
+    }
+
+    #[test]
+    fn open_submit_drain_roundtrip() {
+        let mut ex = SpectrumExchange::new();
+        ex.open_market(MarketId(1), instance(6, 3)).unwrap();
+        ex.open_market(MarketId(2), instance(7, 5)).unwrap();
+        assert_eq!(ex.num_markets(), 2);
+        assert!(matches!(
+            ex.open_market(MarketId(1), instance(4, 9)),
+            Err(ExchangeError::DuplicateMarket(MarketId(1)))
+        ));
+
+        ex.submit(
+            MarketId(1),
+            MarketEvent::Rebid {
+                bidder: 0,
+                valuation: val(4.0),
+            },
+        )
+        .unwrap();
+        ex.submit(
+            MarketId(1),
+            MarketEvent::Rebid {
+                bidder: 0,
+                valuation: val(6.0),
+            },
+        )
+        .unwrap();
+        ex.submit(
+            MarketId(2),
+            MarketEvent::Arrival {
+                valuation: val(2.0),
+                neighbors: vec![0, 3],
+            },
+        )
+        .unwrap();
+        assert_eq!(ex.num_dirty(), 2);
+
+        let report = ex.resolve_dirty().unwrap();
+        assert_eq!(report.resolves.len(), 2);
+        assert_eq!(report.resolves[0].market, MarketId(1));
+        assert_eq!(report.resolves[1].market, MarketId(2));
+        for resolve in &report.resolves {
+            assert!(resolve.outcome.lp_converged);
+            assert_eq!(resolve.latencies.len(), 1);
+            let feasible = ex
+                .with_session(resolve.market, |s| {
+                    resolve.outcome.allocation.is_feasible(s.instance())
+                })
+                .unwrap();
+            assert!(feasible);
+        }
+        assert_eq!(ex.num_dirty(), 0);
+        assert!(ex.resolve_dirty().unwrap().resolves.is_empty());
+
+        let stats = ex.stats();
+        assert_eq!(stats.markets, 2);
+        assert_eq!(stats.drains, 1);
+        assert_eq!(stats.events_submitted, 3);
+        assert_eq!(stats.events_applied, 2, "two rebids collapsed into one");
+        assert_eq!(stats.rebids_collapsed, 1);
+        assert_eq!(stats.shard_resolves, 2);
+        assert_eq!(stats.sessions.resolves, 2);
+        assert!(stats.lp.simplex_iterations > 0);
+    }
+
+    #[test]
+    fn invalid_events_and_unknown_markets_are_rejected() {
+        let mut ex = SpectrumExchange::new();
+        ex.open_market(MarketId(0), instance(4, 1)).unwrap();
+        assert!(matches!(
+            ex.submit(MarketId(9), MarketEvent::Departure { bidder: 0 },),
+            Err(ExchangeError::UnknownMarket(MarketId(9)))
+        ));
+        assert!(matches!(
+            ex.submit(MarketId(0), MarketEvent::Departure { bidder: 4 },),
+            Err(ExchangeError::InvalidEvent { .. })
+        ));
+        // a valid departure shrinks the implied roster, invalidating index 3
+        ex.submit(MarketId(0), MarketEvent::Departure { bidder: 0 })
+            .unwrap();
+        assert!(ex
+            .submit(MarketId(0), MarketEvent::Departure { bidder: 3 })
+            .is_err());
+    }
+
+    #[test]
+    fn sequential_and_pooled_drains_agree() {
+        let build = |mode: DrainMode| {
+            let mut ex = SpectrumExchange::builder()
+                .solver(SolverBuilder::new().rounding(7, 4))
+                .drain_mode(mode)
+                .build();
+            for m in 0..4u64 {
+                ex.open_market(MarketId(m), instance(6 + m as usize, 10 + m))
+                    .unwrap();
+                ex.submit(
+                    MarketId(m),
+                    MarketEvent::Arrival {
+                        valuation: val(3.0 + m as f64),
+                        neighbors: vec![0],
+                    },
+                )
+                .unwrap();
+            }
+            ex
+        };
+        let seq = build(DrainMode::Sequential).resolve_dirty().unwrap();
+        let pooled = build(DrainMode::Pooled).resolve_dirty().unwrap();
+        assert_eq!(seq.resolves.len(), pooled.resolves.len());
+        for (a, b) in seq.resolves.iter().zip(&pooled.resolves) {
+            assert_eq!(a.market, b.market);
+            assert!((a.outcome.lp_objective - b.outcome.lp_objective).abs() < 1e-9);
+            assert!((a.outcome.welfare - b.outcome.welfare).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fully_cancelled_queue_still_reports_the_market() {
+        let mut ex = SpectrumExchange::new();
+        ex.open_market(MarketId(0), instance(5, 41)).unwrap();
+        ex.submit(
+            MarketId(0),
+            MarketEvent::Arrival {
+                valuation: val(9.0),
+                neighbors: vec![0, 2],
+            },
+        )
+        .unwrap();
+        // the arrival sits at index 5; departing it cancels both events
+        ex.submit(MarketId(0), MarketEvent::Departure { bidder: 5 })
+            .unwrap();
+        assert_eq!(ex.num_dirty(), 1);
+        let report = ex.resolve_dirty().unwrap();
+        assert_eq!(report.resolves.len(), 1, "dirty market must be reported");
+        assert!(report.resolves[0].outcome.lp_converged);
+        let stats = ex.stats();
+        assert_eq!(stats.cancellations, 1);
+        assert_eq!(stats.events_applied, 0);
+        assert_eq!(
+            ex.with_session(MarketId(0), |s| s.instance().num_bidders())
+                .unwrap(),
+            5,
+            "net mutation is empty"
+        );
+    }
+
+    #[test]
+    fn close_market_remaps_shards() {
+        let mut ex = SpectrumExchange::new();
+        for m in 0..3u64 {
+            ex.open_market(MarketId(m), instance(5, 20 + m)).unwrap();
+        }
+        let session = ex.close_market(MarketId(1)).unwrap();
+        assert_eq!(session.instance().num_bidders(), 5);
+        assert!(matches!(
+            ex.close_market(MarketId(1)),
+            Err(ExchangeError::UnknownMarket(MarketId(1)))
+        ));
+        assert_eq!(ex.market_ids(), vec![MarketId(0), MarketId(2)]);
+        ex.submit(
+            MarketId(2),
+            MarketEvent::Rebid {
+                bidder: 1,
+                valuation: val(5.0),
+            },
+        )
+        .unwrap();
+        let report = ex.resolve_dirty().unwrap();
+        assert_eq!(report.resolves.len(), 1);
+        assert_eq!(report.resolves[0].market, MarketId(2));
+    }
+
+    #[test]
+    fn deep_batches_chunk_into_waves_below_the_wall() {
+        let mut options = SolverBuilder::new().rounding(3, 2).options();
+        // k = 2 → 3 rows per arrival; 6-row wall → 2 arrivals per wave
+        options.lp.deep_batch_rows = 6;
+        let mut ex = SpectrumExchange::builder()
+            .solver_options(options)
+            .drain_mode(DrainMode::Sequential)
+            .build();
+        ex.open_market(MarketId(0), instance(4, 31)).unwrap();
+        for i in 0..5 {
+            ex.submit(
+                MarketId(0),
+                MarketEvent::Arrival {
+                    valuation: val(1.0 + i as f64),
+                    neighbors: vec![0],
+                },
+            )
+            .unwrap();
+        }
+        let report = ex.resolve_dirty().unwrap();
+        assert_eq!(report.resolves.len(), 1);
+        assert_eq!(
+            report.resolves[0].latencies.len(),
+            3,
+            "5 arrivals at ≤2 per wave → 3 resolves"
+        );
+        let stats = ex.stats();
+        assert_eq!(stats.extra_waves, 2);
+        assert_eq!(stats.shard_resolves, 3);
+        assert_eq!(
+            stats.sessions.deep_batch_rebuilds, 0,
+            "chunking must keep every wave under the session's reroute wall"
+        );
+        assert_eq!(
+            ex.with_session(MarketId(0), |s| s.instance().num_bidders())
+                .unwrap(),
+            9
+        );
+    }
+}

@@ -19,7 +19,11 @@
 //!   [`ssa_core::AuctionInstance`], reproducibly from a seed,
 //! * **dynamic markets** ([`scenarios::dynamic_market_scenario`]) — an
 //!   initial market plus a deterministic arrival/departure/re-bid event
-//!   stream driving an incremental [`ssa_core::session::AuctionSession`].
+//!   stream driving an incremental [`ssa_core::session::AuctionSession`],
+//! * **multi-market exchanges** ([`scenarios::multi_market_scenario`]) —
+//!   M independent markets with Zipf-skewed per-market traffic interleaved
+//!   into one global event stream, feeding `ssa_exchange::SpectrumExchange`
+//!   and the `e17_exchange` bench.
 
 #![warn(missing_docs)]
 
@@ -31,8 +35,9 @@ pub use placement::{
     clustered_points, grid_points, random_disks, random_links, uniform_points, PlacementConfig,
 };
 pub use scenarios::{
-    apply_event, asymmetric_scenario, disk_scenario, dynamic_market_scenario, physical_scenario,
-    power_control_scenario, protocol_scenario, DynamicMarketConfig, DynamicMarketScenario,
-    GeneratedInstance, MarketEvent, ScenarioConfig, ValuationProfile,
+    apply_event, asymmetric_scenario, disk_scenario, dynamic_market_scenario,
+    multi_market_scenario, physical_scenario, power_control_scenario, protocol_scenario,
+    DynamicMarketConfig, DynamicMarketScenario, GeneratedInstance, MarketEvent, MultiMarketConfig,
+    MultiMarketScenario, ScenarioConfig, ValuationProfile,
 };
 pub use valuations::{random_valuation, sample_valuations};

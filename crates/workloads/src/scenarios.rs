@@ -14,15 +14,13 @@ use serde::{Deserialize, Serialize};
 use ssa_conflict_graph::certified_rho;
 use ssa_conflict_graph::VertexOrdering;
 use ssa_core::instance::ConflictStructure;
-use ssa_core::session::{AuctionSession, BidderConflicts};
-use ssa_core::valuation::Valuation;
+pub use ssa_core::session::{apply_event, MarketEvent};
 use ssa_core::AuctionInstance;
 use ssa_geometry::LinkMetric;
 use ssa_interference::{
     DiskGraphModel, PhysicalModel, PowerAssignment, PowerControlModel, ProtocolModel,
     SinrParameters,
 };
-use std::sync::Arc;
 
 /// Which valuation mix a scenario uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -301,46 +299,10 @@ pub fn asymmetric_scenario(config: &ScenarioConfig, delta: f64) -> GeneratedInst
 // ---------------------------------------------------------------------------
 // Dynamic secondary markets: arrival / departure / re-bid event streams
 // ---------------------------------------------------------------------------
-
-/// One event of a dynamic secondary market, phrased in terms of the
-/// market's state **at application time** (bidder indices refer to the
-/// session the event is applied to, not to the generator's internal
-/// universe). Apply with [`apply_event`].
-#[derive(Clone)]
-pub enum MarketEvent {
-    /// A bidder arrives with the given valuation, conflicting with the
-    /// listed present bidders.
-    Arrival {
-        /// The newcomer's valuation (over the instance's channel count).
-        valuation: Arc<dyn Valuation>,
-        /// Present bidders the newcomer conflicts with.
-        neighbors: Vec<usize>,
-    },
-    /// The bidder at this index departs; later indices shift down by one.
-    Departure {
-        /// Index of the departing bidder.
-        bidder: usize,
-    },
-    /// A present bidder re-bids with a new valuation.
-    Rebid {
-        /// Index of the re-bidding bidder.
-        bidder: usize,
-        /// Its replacement valuation.
-        valuation: Arc<dyn Valuation>,
-    },
-}
-
-impl std::fmt::Debug for MarketEvent {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            MarketEvent::Arrival { neighbors, .. } => {
-                write!(f, "Arrival {{ neighbors: {neighbors:?} }}")
-            }
-            MarketEvent::Departure { bidder } => write!(f, "Departure {{ bidder: {bidder} }}"),
-            MarketEvent::Rebid { bidder, .. } => write!(f, "Rebid {{ bidder: {bidder} }}"),
-        }
-    }
-}
+//
+// `MarketEvent` / `apply_event` themselves live in `ssa_core::session`
+// (re-exported above): the exchange layer consumes them without depending
+// on the workload generators.
 
 /// Mix and length of a dynamic-market event stream.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -559,26 +521,140 @@ pub fn dynamic_market_scenario(
     }
 }
 
-/// Applies one market event to a session (arrivals become
-/// [`AuctionSession::add_bidder`], departures
-/// [`AuctionSession::remove_bidder`], re-bids
-/// [`AuctionSession::update_valuation`]).
-pub fn apply_event(session: &mut AuctionSession, event: &MarketEvent) {
-    match event {
-        MarketEvent::Arrival {
-            valuation,
-            neighbors,
-        } => {
-            session.add_bidder(
-                valuation.clone(),
-                BidderConflicts::Binary(neighbors.clone()),
-            );
-        }
-        MarketEvent::Departure { bidder } => session.remove_bidder(*bidder),
-        MarketEvent::Rebid { bidder, valuation } => {
-            session.update_valuation(*bidder, valuation.clone())
+// ---------------------------------------------------------------------------
+// Multi-market exchanges: many regional markets with skewed traffic
+// ---------------------------------------------------------------------------
+
+/// Configuration of a deterministic multi-market event stream
+/// ([`multi_market_scenario`]): M independent protocol-model markets whose
+/// per-market traffic follows a Zipf-like law — a few hot markets carry
+/// most of the events, a long tail stays nearly quiet — which is the shape
+/// a coalescing exchange front-end is built for.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MultiMarketConfig {
+    /// Number of markets `M`. Market index doubles as traffic rank: market
+    /// 0 is the hottest.
+    pub num_markets: usize,
+    /// Bidders per market at time zero.
+    pub bidders_per_market: usize,
+    /// Channels per market.
+    pub num_channels: usize,
+    /// Total events across all markets (a market's share is apportioned by
+    /// its Zipf weight; departures-only mixes may end a market's stream
+    /// early, so the realized total can fall short).
+    pub total_events: usize,
+    /// Zipf exponent `s`: the market of traffic rank `r` receives a share
+    /// proportional to `1 / (r + 1)^s`. `0.0` is uniform traffic; around
+    /// `1.0` is the classic heavy skew.
+    pub zipf_exponent: f64,
+    /// Event mix, reusing [`DynamicMarketConfig`]'s weights; its
+    /// `num_events` is ignored (overridden per market by the apportioned
+    /// share).
+    pub mix: DynamicMarketConfig,
+    /// RNG seed for placements, valuations, event kinds, and the
+    /// cross-market interleave.
+    pub seed: u64,
+}
+
+impl MultiMarketConfig {
+    /// A skewed (`s = 1.0`) default over `m` markets of `n` bidders each.
+    pub fn new(m: usize, n: usize, num_channels: usize, total_events: usize, seed: u64) -> Self {
+        MultiMarketConfig {
+            num_markets: m,
+            bidders_per_market: n,
+            num_channels,
+            total_events,
+            zipf_exponent: 1.0,
+            mix: DynamicMarketConfig::default(),
+            seed,
         }
     }
+}
+
+/// The output of [`multi_market_scenario`]: initial markets plus one
+/// globally interleaved event stream. Within each market, events appear in
+/// the stream in exactly the order [`dynamic_market_scenario`] generated
+/// them — bidder indices stay meaningful as long as a consumer preserves
+/// per-market relative order (interleaving across markets is free).
+#[derive(Clone)]
+pub struct MultiMarketScenario {
+    /// The markets at time zero, keyed by their exchange id.
+    pub markets: Vec<(ssa_core::session::MarketId, GeneratedInstance)>,
+    /// The interleaved stream: `(market, event)`, in submission order.
+    pub events: Vec<(ssa_core::session::MarketId, MarketEvent)>,
+}
+
+/// Generates `M` independent dynamic protocol-model markets (each via
+/// [`dynamic_market_scenario`] under a per-market derived seed) and
+/// interleaves their event streams into one global sequence, weighted by
+/// how much traffic each market has left — so hot markets' events spread
+/// across the whole stream instead of clustering. Deterministic given
+/// `config`.
+pub fn multi_market_scenario(config: &MultiMarketConfig, delta: f64) -> MultiMarketScenario {
+    use ssa_core::session::MarketId;
+    assert!(config.num_markets >= 1, "need at least one market");
+
+    // Zipf apportionment of total_events by largest remainder.
+    let weights: Vec<f64> = (0..config.num_markets)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(config.zipf_exponent))
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    let exact: Vec<f64> = weights
+        .iter()
+        .map(|w| config.total_events as f64 * w / wsum)
+        .collect();
+    let mut shares: Vec<usize> = exact.iter().map(|x| x.floor() as usize).collect();
+    let assigned: usize = shares.iter().sum();
+    let mut by_frac: Vec<usize> = (0..config.num_markets).collect();
+    by_frac.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    for i in 0..config.total_events.saturating_sub(assigned) {
+        shares[by_frac[i % config.num_markets]] += 1;
+    }
+
+    // One dynamic market per shard, seeded independently.
+    let mut markets = Vec::with_capacity(config.num_markets);
+    let mut queues: Vec<std::collections::VecDeque<MarketEvent>> =
+        Vec::with_capacity(config.num_markets);
+    for (m, &share) in shares.iter().enumerate() {
+        let market_seed = config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(m as u64 + 1));
+        let scenario_cfg =
+            ScenarioConfig::new(config.bidders_per_market, config.num_channels, market_seed);
+        let dynamics = DynamicMarketConfig {
+            num_events: share,
+            ..config.mix
+        };
+        let scenario = dynamic_market_scenario(&scenario_cfg, &dynamics, delta);
+        markets.push((MarketId(m as u64), scenario.initial));
+        queues.push(scenario.events.into());
+    }
+
+    // Interleave: draw the next market proportionally to its remaining
+    // events, preserving per-market order.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let mut events = Vec::with_capacity(queues.iter().map(|q| q.len()).sum());
+    loop {
+        let total_rem: usize = queues.iter().map(|q| q.len()).sum();
+        if total_rem == 0 {
+            break;
+        }
+        let mut draw = rng.random_range(0..total_rem);
+        for (m, queue) in queues.iter_mut().enumerate() {
+            if draw < queue.len() {
+                let event = queue.pop_front().expect("non-empty queue");
+                events.push((MarketId(m as u64), event));
+                break;
+            }
+            draw -= queue.len();
+        }
+    }
+
+    MultiMarketScenario { markets, events }
 }
 
 #[cfg(test)]
@@ -710,6 +786,57 @@ mod tests {
         // arrivals ride the dual-simplex row path, not a rebuild
         assert_eq!(session.stats().warm_row_resolves, 1);
         assert_eq!(session.stats().cold_resolves, 1);
+    }
+
+    #[test]
+    fn multi_market_streams_are_deterministic_and_skewed() {
+        let config = MultiMarketConfig::new(8, 6, 2, 64, 99);
+        let scenario = multi_market_scenario(&config, 1.0);
+        assert_eq!(scenario.markets.len(), 8);
+        let total: usize = scenario.events.len();
+        assert!(total <= 64 && total > 0);
+
+        // Zipf skew: the hottest market carries strictly more traffic than
+        // the coldest.
+        let count = |m: u64| scenario.events.iter().filter(|(id, _)| id.0 == m).count();
+        assert!(count(0) > count(7), "rank-0 market should dominate rank-7");
+
+        // reproducibility, including the interleave
+        let again = multi_market_scenario(&config, 1.0);
+        assert_eq!(scenario.events.len(), again.events.len());
+        for ((id_a, ev_a), (id_b, ev_b)) in scenario.events.iter().zip(&again.events) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(format!("{ev_a:?}"), format!("{ev_b:?}"));
+        }
+        for ((id_a, gi_a), (id_b, gi_b)) in scenario.markets.iter().zip(&again.markets) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(
+                gi_a.instance.welfare_upper_bound(),
+                gi_b.instance.welfare_upper_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_market_per_market_subsequences_apply_cleanly() {
+        use ssa_core::session::MarketId;
+        use ssa_core::solver::SolverBuilder;
+
+        let config = MultiMarketConfig::new(4, 8, 2, 24, 7);
+        let scenario = multi_market_scenario(&config, 1.0);
+        for (id, generated) in &scenario.markets {
+            let mut session = SolverBuilder::new().session(generated.instance.clone());
+            session.resolve_relaxation().expect("initial resolve");
+            for (eid, event) in &scenario.events {
+                if eid == id {
+                    apply_event(&mut session, event);
+                }
+            }
+            let frac = session.resolve_relaxation().expect("final resolve");
+            assert!(frac.converged);
+            assert!(frac.satisfies_constraints(session.instance(), 1e-6));
+        }
+        let _ = MarketId(0);
     }
 
     #[test]

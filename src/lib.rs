@@ -89,12 +89,18 @@
 //!   incremental [`auction::session`].
 //! * [`mechanism`] — Lavi–Swamy decomposition and the truthful-in-expectation
 //!   mechanism (its verifier rides one session across pricing rounds).
+//! * [`exchange`] — the multi-market layer: a sharded
+//!   [`exchange::SpectrumExchange`] of independent sessions behind a
+//!   coalescing event front-end, drained in parallel on the persistent
+//!   work-stealing pool.
 //! * [`workloads`] — synthetic instance generators, including dynamic-market
 //!   arrival/departure/re-bid event streams
-//!   ([`workloads::scenarios::dynamic_market_scenario`]).
+//!   ([`workloads::scenarios::dynamic_market_scenario`]) and multi-market
+//!   Zipf-skewed streams ([`workloads::scenarios::multi_market_scenario`]).
 
 pub use ssa_conflict_graph as conflict_graph;
 pub use ssa_core as auction;
+pub use ssa_exchange as exchange;
 pub use ssa_geometry as geometry;
 pub use ssa_interference as interference;
 pub use ssa_lp as lp;

@@ -1,0 +1,160 @@
+//! Exchange-vs-sequential equivalence: the same multi-market event stream
+//! driven through a [`SpectrumExchange`] (pooled drain, coalescing on) and
+//! through one plain [`AuctionSession`] per market must produce the same
+//! outcomes — on **every** pricing × basis × master-mode combination. The
+//! coalescer reorders and collapses events within a batch, but its emitted
+//! net mutation provably reconstructs the same final instance, so the
+//! resolves start from identical masters and answer identically.
+//!
+//! [`SpectrumExchange`]: spectrum_auctions::exchange::SpectrumExchange
+//! [`AuctionSession`]: spectrum_auctions::auction::session::AuctionSession
+
+use spectrum_auctions::auction::session::{apply_event, AuctionSession, MarketId};
+use spectrum_auctions::auction::solver::SolverBuilder;
+use spectrum_auctions::auction::{BasisKind, MasterMode, PricingRule};
+use spectrum_auctions::exchange::{DrainMode, SpectrumExchange};
+use spectrum_auctions::workloads::{multi_market_scenario, MultiMarketConfig};
+use std::collections::HashMap;
+
+const PRICINGS: [PricingRule; 4] = [
+    PricingRule::Dantzig,
+    PricingRule::Bland,
+    PricingRule::Devex,
+    PricingRule::SteepestEdge,
+];
+
+const BASES: [BasisKind; 3] = [
+    BasisKind::ProductForm,
+    BasisKind::SparseLu,
+    BasisKind::ForrestTomlin,
+];
+
+/// Drives the same stream through the exchange (batched, coalescing,
+/// pooled) and through per-market reference sessions (event by event, in
+/// submission order), resolving both at the same cadence and comparing
+/// every outcome.
+fn run_combo(pricing: PricingRule, basis: BasisKind, mode: MasterMode, num_batches: usize) {
+    let config = MultiMarketConfig::new(3, 7, 2, 12, 271);
+    let scenario = multi_market_scenario(&config, 1.0);
+
+    let solver = || {
+        SolverBuilder::new()
+            .engine(pricing, basis)
+            .master_mode(mode)
+            .rounding(5, 4)
+    };
+    let mut exchange = SpectrumExchange::builder()
+        .solver(solver())
+        .drain_mode(DrainMode::Pooled)
+        .coalescing(true)
+        .build();
+    let mut reference: HashMap<MarketId, AuctionSession> = HashMap::new();
+    for (id, generated) in &scenario.markets {
+        exchange
+            .open_market(*id, generated.instance.clone())
+            .unwrap();
+        reference.insert(*id, solver().session(generated.instance.clone()));
+    }
+
+    let batch_len = scenario.events.len().div_ceil(num_batches).max(1);
+    for (b, batch) in scenario.events.chunks(batch_len).enumerate() {
+        let mut touched: Vec<MarketId> = Vec::new();
+        for (id, event) in batch {
+            exchange.submit(*id, event.clone()).unwrap_or_else(|e| {
+                panic!("{pricing:?}x{basis:?} {mode:?} batch {b}: submit failed: {e}")
+            });
+            apply_event(reference.get_mut(id).unwrap(), event);
+            if !touched.contains(id) {
+                touched.push(*id);
+            }
+        }
+        let report = exchange.resolve_dirty().unwrap_or_else(|e| {
+            panic!("{pricing:?}x{basis:?} {mode:?} batch {b}: drain failed: {e}")
+        });
+        assert_eq!(report.resolves.len(), touched.len());
+        for resolve in &report.resolves {
+            let session = reference.get_mut(&resolve.market).unwrap();
+            let expected = session.resolve().unwrap_or_else(|e| {
+                panic!(
+                    "{pricing:?}x{basis:?} {mode:?} batch {b} {}: reference resolve failed: {e}",
+                    resolve.market
+                )
+            });
+            let context = format!(
+                "{pricing:?}x{basis:?} {mode:?} batch {b} {}",
+                resolve.market
+            );
+            assert!(
+                resolve.outcome.lp_converged && expected.lp_converged,
+                "{context}: non-converged"
+            );
+            let scale = 1.0 + expected.lp_objective.abs();
+            assert!(
+                (resolve.outcome.lp_objective - expected.lp_objective).abs() <= 1e-5 * scale,
+                "{context}: exchange LP {} vs sequential LP {}",
+                resolve.outcome.lp_objective,
+                expected.lp_objective
+            );
+            assert!(
+                (resolve.outcome.welfare - expected.welfare).abs()
+                    <= 1e-5 * (1.0 + expected.welfare.abs()),
+                "{context}: exchange welfare {} vs sequential welfare {}",
+                resolve.outcome.welfare,
+                expected.welfare
+            );
+            assert!(
+                resolve.outcome.allocation.is_feasible(session.instance()),
+                "{context}: exchange allocation infeasible on the reference instance"
+            );
+        }
+    }
+
+    // the coalesced, batched exchange must end at the same markets
+    for (id, session) in &reference {
+        let (n, welfare_bound) = exchange
+            .with_session(*id, |s| {
+                (
+                    s.instance().num_bidders(),
+                    s.instance().welfare_upper_bound(),
+                )
+            })
+            .unwrap();
+        assert_eq!(n, session.instance().num_bidders(), "{id}: bidder count");
+        assert!(
+            (welfare_bound - session.instance().welfare_upper_bound()).abs() <= 1e-9,
+            "{id}: final instances diverged"
+        );
+    }
+}
+
+/// The default engine gets the fine-grained cadence (many small batches —
+/// maximal interleaving of coalescer and warm paths).
+#[test]
+fn exchange_matches_sequential_default_engine() {
+    run_combo(
+        PricingRule::SteepestEdge,
+        BasisKind::ForrestTomlin,
+        MasterMode::Monolithic,
+        6,
+    );
+}
+
+/// Every pricing × basis combination under the monolithic master.
+#[test]
+fn exchange_matches_sequential_all_engines_monolithic() {
+    for pricing in PRICINGS {
+        for basis in BASES {
+            run_combo(pricing, basis, MasterMode::Monolithic, 3);
+        }
+    }
+}
+
+/// Every pricing × basis combination under the Dantzig–Wolfe master.
+#[test]
+fn exchange_matches_sequential_all_engines_dantzig_wolfe() {
+    for pricing in PRICINGS {
+        for basis in BASES {
+            run_combo(pricing, basis, MasterMode::DantzigWolfe, 3);
+        }
+    }
+}
