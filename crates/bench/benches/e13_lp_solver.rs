@@ -232,6 +232,45 @@ fn bench_e13(c: &mut Criterion) {
             });
         }
 
+        // The hyper-sparse lever on the default engine: the grid above runs
+        // with the indexed FTRAN/BTRAN kernels on (the default), and
+        // `ft+se_dense` times the same engine with them forced off. The
+        // counter assertions make the (smoke) run prove which path executed:
+        // the enabled solve must record indexed solves with at least one
+        // genuinely sparse result, while the disabled solve bypasses the
+        // kernels entirely and reports all-zero counters.
+        let sparse_off = SimplexOptions::default().with_hyper_sparse(false);
+        let on_sol = solve(&lp, &SimplexOptions::default());
+        let off_sol = solve(&lp, &sparse_off);
+        assert_eq!(on_sol.status, LpStatus::Optimal, "ft+se at n = {n}");
+        assert_eq!(off_sol.status, LpStatus::Optimal, "ft+se_dense at n = {n}");
+        assert!(
+            (on_sol.objective - off_sol.objective).abs() < 1e-6 * (1.0 + on_sol.objective.abs()),
+            "hyper-sparse on {} vs off {} at n = {n}",
+            on_sol.objective,
+            off_sol.objective
+        );
+        assert!(
+            on_sol.stats.ftran_sparse_hits + on_sol.stats.btran_sparse_hits > 0,
+            "hyper-sparse kernels never produced a sparse result at n = {n}"
+        );
+        assert!(
+            on_sol.stats.avg_result_density < 1.0,
+            "avg result density {} should reflect sparse results at n = {n}",
+            on_sol.stats.avg_result_density
+        );
+        assert_eq!(
+            off_sol.stats.ftran_sparse_hits
+                + off_sol.stats.ftran_dense_fallbacks
+                + off_sol.stats.btran_sparse_hits
+                + off_sol.stats.btran_dense_fallbacks,
+            0,
+            "disabled hyper-sparse path must not touch the indexed kernels at n = {n}"
+        );
+        group.bench_with_input(BenchmarkId::new("ft+se_dense", n), &lp, |b, lp| {
+            b.iter(|| solve(lp, &sparse_off))
+        });
+
         if n >= 2000 {
             // The column-generation and batched-master comparisons stay at
             // the PR 1 sizes: a cold cg run at n = 2000 re-solves a growing

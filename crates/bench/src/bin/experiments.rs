@@ -8,7 +8,7 @@
 //!
 //! JSON copies of the tables are written to `experiment-results/`.
 
-use ssa_bench::{run_all, Table};
+use ssa_bench::{run_selected, Table};
 use std::fs;
 use std::time::Instant;
 
@@ -29,10 +29,7 @@ fn main() {
     println!();
 
     let started = Instant::now();
-    let tables: Vec<Table> = run_all(quick)
-        .into_iter()
-        .filter(|t| selected.is_empty() || selected.contains(&t.id))
-        .collect();
+    let tables: Vec<Table> = run_selected(quick, &selected);
 
     let out_dir = "experiment-results";
     let _ = fs::create_dir_all(out_dir);

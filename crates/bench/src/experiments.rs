@@ -606,7 +606,15 @@ pub fn e12_scalability(quick: bool) -> Table {
     let cases: Vec<(usize, usize)> = if quick {
         vec![(30, 2)]
     } else {
-        vec![(50, 2), (50, 8), (100, 4), (200, 4), (200, 8), (2000, 4)]
+        vec![
+            (50, 2),
+            (50, 8),
+            (100, 4),
+            (200, 4),
+            (200, 8),
+            (800, 4),
+            (2000, 4),
+        ]
     };
     for (n, k) in cases {
         let config = ScenarioConfig::new(n, k, 4242);
@@ -655,21 +663,35 @@ pub fn e12_scalability(quick: bool) -> Table {
 }
 
 /// Runs every experiment and returns the tables in order.
+/// Runs the experiments whose ids appear in `selected` (all twelve when
+/// the list is empty). Experiments are built lazily, so selecting a
+/// subset — e.g. `experiments -- E12` to refresh the scalability
+/// snapshot — does not pay for the other sweeps.
+pub fn run_selected(quick: bool, selected: &[String]) -> Vec<Table> {
+    type Builder = fn(bool) -> Table;
+    let all: [(&str, Builder); 12] = [
+        ("E1", e1_unweighted_rounding as Builder),
+        ("E2", e2_removal_probability as Builder),
+        ("E3", e3_weighted_rounding as Builder),
+        ("E4", e4_disk_rho as Builder),
+        ("E5", e5_distance2_rho as Builder),
+        ("E6", e6_protocol_rho as Builder),
+        ("E7", e7_physical_rho as Builder),
+        ("E8", e8_power_control as Builder),
+        ("E9", e9_asymmetric as Builder),
+        ("E10", e10_mechanism as Builder),
+        ("E11", e11_baselines as Builder),
+        ("E12", e12_scalability as Builder),
+    ];
+    all.iter()
+        .filter(|(id, _)| selected.is_empty() || selected.iter().any(|s| s == id))
+        .map(|(_, build)| build(quick))
+        .collect()
+}
+
+/// Runs every experiment (the full E1–E12 sweep).
 pub fn run_all(quick: bool) -> Vec<Table> {
-    vec![
-        e1_unweighted_rounding(quick),
-        e2_removal_probability(quick),
-        e3_weighted_rounding(quick),
-        e4_disk_rho(quick),
-        e5_distance2_rho(quick),
-        e6_protocol_rho(quick),
-        e7_physical_rho(quick),
-        e8_power_control(quick),
-        e9_asymmetric(quick),
-        e10_mechanism(quick),
-        e11_baselines(quick),
-        e12_scalability(quick),
-    ]
+    run_selected(quick, &[])
 }
 
 #[cfg(test)]

@@ -87,6 +87,18 @@ pub struct RelaxationInfo {
     /// Master compactions over its lifetime (deadweight physically removed
     /// once it passed `LpFormulationOptions::compaction_threshold`).
     pub compactions: usize,
+    /// FTRANs answered on the LP engine's hyper-sparse path across every
+    /// master re-solve (`ssa_lp::SolveStats::ftran_sparse_hits`).
+    pub ftran_sparse_hits: usize,
+    /// FTRANs that fell back to the dense kernel.
+    pub ftran_dense_fallbacks: usize,
+    /// Pivot-row BTRANs answered on the hyper-sparse path.
+    pub btran_sparse_hits: usize,
+    /// Pivot-row BTRANs that fell back to the dense kernel.
+    pub btran_dense_fallbacks: usize,
+    /// Mean FTRAN/BTRAN result density (nnz / m) across the tracked solves;
+    /// 1.0 when nothing was tracked (sparsity disabled or zero pivots).
+    pub avg_result_density: f64,
 }
 
 impl Default for RelaxationInfo {
@@ -107,6 +119,11 @@ impl Default for RelaxationInfo {
             dual_pivots: 0,
             rows_deactivated: 0,
             compactions: 0,
+            ftran_sparse_hits: 0,
+            ftran_dense_fallbacks: 0,
+            btran_sparse_hits: 0,
+            btran_dense_fallbacks: 0,
+            avg_result_density: 1.0,
         }
     }
 }
@@ -128,6 +145,11 @@ impl RelaxationInfo {
             dual_pivots: solution.stats.dual_pivots,
             rows_deactivated: 0,
             compactions: 0,
+            ftran_sparse_hits: solution.stats.ftran_sparse_hits,
+            ftran_dense_fallbacks: solution.stats.ftran_dense_fallbacks,
+            btran_sparse_hits: solution.stats.btran_sparse_hits,
+            btran_dense_fallbacks: solution.stats.btran_dense_fallbacks,
+            avg_result_density: solution.stats.avg_result_density,
         }
     }
 
@@ -150,6 +172,11 @@ impl RelaxationInfo {
             dual_pivots: result.dual_pivots,
             rows_deactivated: 0,
             compactions: 0,
+            ftran_sparse_hits: result.ftran_sparse_hits,
+            ftran_dense_fallbacks: result.ftran_dense_fallbacks,
+            btran_sparse_hits: result.btran_sparse_hits,
+            btran_dense_fallbacks: result.btran_dense_fallbacks,
+            avg_result_density: result.avg_result_density,
         }
     }
 
@@ -169,6 +196,17 @@ impl RelaxationInfo {
             dual_pivots: stats.dual_pivots,
             rows_deactivated: 0,
             compactions: 0,
+            ftran_sparse_hits: stats.ftran_sparse_hits,
+            ftran_dense_fallbacks: stats.ftran_dense_fallbacks,
+            btran_sparse_hits: stats.btran_sparse_hits,
+            btran_dense_fallbacks: stats.btran_dense_fallbacks,
+            // DwStats leaves the density at 0.0 when nothing was tracked;
+            // map that onto this struct's 1.0 "no data" convention.
+            avg_result_density: if stats.tracked_solves() == 0 {
+                1.0
+            } else {
+                stats.avg_result_density
+            },
         }
     }
 }

@@ -443,6 +443,17 @@ pub struct OutcomeSummary {
     pub rows_deactivated: usize,
     /// Master compactions (deadweight sweeps) behind this outcome.
     pub compactions: usize,
+    /// FTRANs answered on the LP engine's hyper-sparse path.
+    pub ftran_sparse_hits: usize,
+    /// FTRANs that fell back to the dense kernel.
+    pub ftran_dense_fallbacks: usize,
+    /// Pivot-row BTRANs answered on the hyper-sparse path.
+    pub btran_sparse_hits: usize,
+    /// Pivot-row BTRANs that fell back to the dense kernel.
+    pub btran_dense_fallbacks: usize,
+    /// Mean FTRAN/BTRAN result density (nnz / m) across tracked solves;
+    /// 1.0 when nothing was tracked.
+    pub avg_result_density: f64,
 }
 
 impl OutcomeSummary {
@@ -474,6 +485,11 @@ impl OutcomeSummary {
             subproblem_pivots: outcome.lp_info.subproblem_pivots,
             rows_deactivated: outcome.lp_info.rows_deactivated,
             compactions: outcome.lp_info.compactions,
+            ftran_sparse_hits: outcome.lp_info.ftran_sparse_hits,
+            ftran_dense_fallbacks: outcome.lp_info.ftran_dense_fallbacks,
+            btran_sparse_hits: outcome.lp_info.btran_sparse_hits,
+            btran_dense_fallbacks: outcome.lp_info.btran_dense_fallbacks,
+            avg_result_density: outcome.lp_info.avg_result_density,
         }
     }
 }

@@ -147,7 +147,7 @@ impl std::error::Error for ExchangeError {
 
 /// Per-resolve LP engine activity summed across every shard resolve the
 /// exchange ran (all waves included).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct LpActivity {
     /// Column-generation pricing rounds.
     pub rounds: usize,
@@ -166,6 +166,49 @@ pub struct LpActivity {
     pub rows_deactivated: usize,
     /// Master compactions; lifetime gauge deltas summed across shards.
     pub compactions: usize,
+    /// FTRANs answered on the LP engine's hyper-sparse path.
+    pub ftran_sparse_hits: usize,
+    /// FTRANs that fell back to the dense kernel.
+    pub ftran_dense_fallbacks: usize,
+    /// Pivot-row BTRANs answered on the hyper-sparse path.
+    pub btran_sparse_hits: usize,
+    /// Pivot-row BTRANs that fell back to the dense kernel.
+    pub btran_dense_fallbacks: usize,
+    /// Tracked-solve-weighted mean FTRAN/BTRAN result density across every
+    /// resolve; **0.0 when no solves were tracked** (e.g. sparsity off).
+    pub avg_result_density: f64,
+}
+
+impl LpActivity {
+    /// Number of FTRAN/BTRAN solves the sparsity counters tracked.
+    pub fn tracked_solves(&self) -> usize {
+        self.ftran_sparse_hits
+            + self.ftran_dense_fallbacks
+            + self.btran_sparse_hits
+            + self.btran_dense_fallbacks
+    }
+
+    /// Folds sparsity counters from another activity record into this one
+    /// (tracked-solve-weighted density merge).
+    fn absorb_sparsity(
+        &mut self,
+        ftran_sparse: usize,
+        ftran_dense: usize,
+        btran_sparse: usize,
+        btran_dense: usize,
+        density: f64,
+    ) {
+        let theirs = (ftran_sparse + ftran_dense + btran_sparse + btran_dense) as f64;
+        if theirs > 0.0 {
+            let mine = self.tracked_solves() as f64;
+            self.avg_result_density =
+                (self.avg_result_density * mine + density * theirs) / (mine + theirs);
+        }
+        self.ftran_sparse_hits += ftran_sparse;
+        self.ftran_dense_fallbacks += ftran_dense;
+        self.btran_sparse_hits += btran_sparse;
+        self.btran_dense_fallbacks += btran_dense;
+    }
 }
 
 /// Fleet-level rollup: coalescing effect, resolve/warm-path attribution
@@ -536,6 +579,13 @@ fn accumulate_lp(into: &mut LpActivity, from: &LpActivity) {
     into.subproblem_pivots += from.subproblem_pivots;
     into.rows_deactivated += from.rows_deactivated;
     into.compactions += from.compactions;
+    into.absorb_sparsity(
+        from.ftran_sparse_hits,
+        from.ftran_dense_fallbacks,
+        from.btran_sparse_hits,
+        from.btran_dense_fallbacks,
+        from.avg_result_density,
+    );
 }
 
 /// Drains one shard: waves of pending events, a relaxation resolve after
@@ -610,6 +660,13 @@ fn accumulate_info(
     lp.compactions += info.compactions.saturating_sub(shard.seen_compactions);
     shard.seen_rows_deactivated = info.rows_deactivated;
     shard.seen_compactions = info.compactions;
+    lp.absorb_sparsity(
+        info.ftran_sparse_hits,
+        info.ftran_dense_fallbacks,
+        info.btran_sparse_hits,
+        info.btran_dense_fallbacks,
+        info.avg_result_density,
+    );
 }
 
 #[cfg(test)]

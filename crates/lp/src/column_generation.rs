@@ -596,6 +596,18 @@ pub struct ColumnGenerationResult {
     /// (non-zero only when rows were added mid-run via
     /// [`MasterProblem::add_row`]).
     pub dual_pivots: usize,
+    /// FTRANs answered on the hyper-sparse path across every master
+    /// re-solve ([`crate::simplex::SolveStats::ftran_sparse_hits`]).
+    pub ftran_sparse_hits: usize,
+    /// FTRANs that fell back to the dense kernel across every re-solve.
+    pub ftran_dense_fallbacks: usize,
+    /// Pivot-row BTRANs answered on the hyper-sparse path.
+    pub btran_sparse_hits: usize,
+    /// Pivot-row BTRANs that fell back to the dense kernel.
+    pub btran_dense_fallbacks: usize,
+    /// Tracked-solve-weighted mean result density across every re-solve
+    /// (1.0 when nothing was tracked, e.g. sparsity disabled).
+    pub avg_result_density: f64,
 }
 
 impl ColumnGenerationResult {
@@ -612,6 +624,11 @@ impl ColumnGenerationResult {
             forced_refactorizations: stats.forced_refactorizations,
             degenerate_pivots: stats.degenerate_pivots,
             dual_pivots: stats.dual_pivots,
+            ftran_sparse_hits: stats.ftran_sparse_hits,
+            ftran_dense_fallbacks: stats.ftran_dense_fallbacks,
+            btran_sparse_hits: stats.btran_sparse_hits,
+            btran_dense_fallbacks: stats.btran_dense_fallbacks,
+            avg_result_density: stats.avg_result_density,
         }
     }
 
@@ -622,6 +639,25 @@ impl ColumnGenerationResult {
         self.forced_refactorizations += solution.stats.forced_refactorizations;
         self.degenerate_pivots += solution.stats.degenerate_pivots;
         self.dual_pivots += solution.stats.dual_pivots;
+        // Tracked-solve-weighted density merge (every tracked solve of a
+        // run shares the same result length m, so count-weighting is exact).
+        let mine = (self.ftran_sparse_hits
+            + self.ftran_dense_fallbacks
+            + self.btran_sparse_hits
+            + self.btran_dense_fallbacks) as f64;
+        let s = solution.stats;
+        let theirs = (s.ftran_sparse_hits
+            + s.ftran_dense_fallbacks
+            + s.btran_sparse_hits
+            + s.btran_dense_fallbacks) as f64;
+        if theirs > 0.0 {
+            self.avg_result_density =
+                (self.avg_result_density * mine + s.avg_result_density * theirs) / (mine + theirs);
+        }
+        self.ftran_sparse_hits += s.ftran_sparse_hits;
+        self.ftran_dense_fallbacks += s.ftran_dense_fallbacks;
+        self.btran_sparse_hits += s.btran_sparse_hits;
+        self.btran_dense_fallbacks += s.btran_dense_fallbacks;
     }
 }
 

@@ -221,6 +221,52 @@ pub struct DwStats {
     /// Master rows actually materialized at the end of the solve (the lazy
     /// win is this against `coupling + blocks` on the eager path).
     pub master_rows: usize,
+    /// FTRANs answered on the hyper-sparse path across master re-solves
+    /// (subproblem solves are not counted — they are small and throwaway).
+    pub ftran_sparse_hits: usize,
+    /// FTRANs that fell back to the dense kernel across master re-solves.
+    pub ftran_dense_fallbacks: usize,
+    /// Pivot-row BTRANs answered on the hyper-sparse path.
+    pub btran_sparse_hits: usize,
+    /// Pivot-row BTRANs that fell back to the dense kernel.
+    pub btran_dense_fallbacks: usize,
+    /// Tracked-solve-weighted mean result density across master re-solves;
+    /// **0.0 when nothing was tracked** (the consumer maps that to the 1.0
+    /// "no data" convention).
+    pub avg_result_density: f64,
+}
+
+impl DwStats {
+    /// Folds one master solve's hyper-sparse counters into the running
+    /// totals (tracked-solve-weighted density merge; exact because every
+    /// tracked solve of one master shares the same result length).
+    fn absorb_sparsity(&mut self, stats: &crate::simplex::SolveStats) {
+        let theirs = (stats.ftran_sparse_hits
+            + stats.ftran_dense_fallbacks
+            + stats.btran_sparse_hits
+            + stats.btran_dense_fallbacks) as f64;
+        if theirs > 0.0 {
+            let mine = (self.ftran_sparse_hits
+                + self.ftran_dense_fallbacks
+                + self.btran_sparse_hits
+                + self.btran_dense_fallbacks) as f64;
+            self.avg_result_density = (self.avg_result_density * mine
+                + stats.avg_result_density * theirs)
+                / (mine + theirs);
+        }
+        self.ftran_sparse_hits += stats.ftran_sparse_hits;
+        self.ftran_dense_fallbacks += stats.ftran_dense_fallbacks;
+        self.btran_sparse_hits += stats.btran_sparse_hits;
+        self.btran_dense_fallbacks += stats.btran_dense_fallbacks;
+    }
+
+    /// Number of FTRAN/BTRAN solves the sparsity counters tracked.
+    pub fn tracked_solves(&self) -> usize {
+        self.ftran_sparse_hits
+            + self.ftran_dense_fallbacks
+            + self.btran_sparse_hits
+            + self.btran_dense_fallbacks
+    }
 }
 
 /// Result of a Dantzig–Wolfe solve.
@@ -650,6 +696,7 @@ impl DecomposedLp {
             stats.forced_refactorizations += solution.stats.forced_refactorizations;
             stats.degenerate_pivots += solution.stats.degenerate_pivots;
             stats.dual_pivots += solution.stats.dual_pivots;
+            stats.absorb_sparsity(&solution.stats);
             stats.rows_activated = self.rows_activated - rows_activated_before;
             stats.master_rows = self.master.num_rows();
             if solution.status == LpStatus::IterationLimit {

@@ -45,9 +45,13 @@
 //! always satisfies the primal engine's invariants (and its
 //! [`crate::simplex::SolveStats::dual_pivots`] records the repair work).
 
-use crate::basis::{make_factorization, BasisFactorization, SparseColumn};
+use crate::basis::{
+    make_factorization, BasisFactorization, SparseColumn, SparseVector, SparsityStats,
+};
 use crate::problem::{CscMatrix, LinearProgram, Relation, Sense};
-use crate::simplex::{solve_with_warm_start, BasisVar, LpSolution, SimplexOptions, WarmStart};
+use crate::simplex::{
+    solve_with_warm_start, BasisVar, LpSolution, SimplexOptions, SolveStats, WarmStart,
+};
 
 /// Result of a dual-simplex reoptimization.
 #[derive(Debug)]
@@ -86,13 +90,18 @@ pub fn reoptimize_after_row_additions(
     match dual.run() {
         DualStatus::PrimalFeasible => {
             let pivots = dual.iterations;
+            let dual_sparsity = dual.sparsity_delta();
             let warm = dual.into_warm_start();
             // Final pricing + extraction through the primal engine: the
             // repaired basis is primal feasible and (up to drift) dual
             // feasible, so this typically takes zero pivots — and reuses
-            // the primal engine's extraction conventions verbatim.
+            // the primal engine's extraction conventions verbatim. (The
+            // primal engine re-anchors the adopted factorization's sparsity
+            // baseline, so its stats cover the resume only; the repair's
+            // solves are merged in afterwards.)
             let (mut solution, warm) = solve_with_warm_start(lp, options, Some(warm));
             solution.stats.dual_pivots = pivots;
+            merge_sparsity(&mut solution.stats, dual_sparsity);
             DualReoptimization {
                 solution,
                 warm,
@@ -105,13 +114,37 @@ pub fn reoptimize_after_row_additions(
             // its phase-1 certificate): produce it from a cold start. The
             // dual pivots spent discovering the certificate are reported.
             let pivots = dual.iterations;
+            let dual_sparsity = dual.sparsity_delta();
             let mut out = primal_fallback(lp, options, None);
             out.solution.stats.dual_pivots = pivots;
+            merge_sparsity(&mut out.solution.stats, dual_sparsity);
             out.used_dual_path = true;
             out
         }
         DualStatus::IterationLimit => primal_fallback(lp, options, None),
     }
+}
+
+/// Folds the dual repair's hyper-sparse solve counters into stats that
+/// already cover the primal resume. The density average is re-weighted by
+/// tracked-solve counts, which is exact because every tracked solve of one
+/// repair shares the same result length `m`.
+fn merge_sparsity(stats: &mut SolveStats, sp: SparsityStats) {
+    let dual_solves = sp.tracked_solves();
+    if dual_solves == 0 {
+        return;
+    }
+    let primal_solves = (stats.ftran_sparse_hits
+        + stats.ftran_dense_fallbacks
+        + stats.btran_sparse_hits
+        + stats.btran_dense_fallbacks) as f64;
+    stats.avg_result_density = (stats.avg_result_density * primal_solves
+        + sp.avg_density() * dual_solves as f64)
+        / (primal_solves + dual_solves as f64);
+    stats.ftran_sparse_hits += sp.ftran_sparse as usize;
+    stats.ftran_dense_fallbacks += sp.ftran_dense as usize;
+    stats.btran_sparse_hits += sp.btran_sparse as usize;
+    stats.btran_dense_fallbacks += sp.btran_dense as usize;
 }
 
 fn primal_fallback(
@@ -153,6 +186,10 @@ struct DualSimplex<'a> {
     n_total: usize,
     /// structural columns with the fold signs applied
     cols: CscMatrix,
+    /// row-major adjacency of `cols` ([`CscMatrix::row_major`]): lets the
+    /// dual ratio test scatter a sparse pivot row into the touched columns
+    /// instead of sweeping all `n_total` columns
+    rows_adj: Vec<Vec<(usize, f64)>>,
     /// folded rhs (may be negative — that is the dual method's job)
     b: Vec<f64>,
     /// maximization costs per global column (slacks cost 0)
@@ -174,6 +211,8 @@ struct DualSimplex<'a> {
     in_basis: Vec<bool>,
     factor: Box<dyn BasisFactorization>,
     xb: Vec<f64>,
+    /// hyper-sparse FTRAN/BTRAN enabled ([`SimplexOptions::hyper_sparse`])
+    hyper_sparse: bool,
 
     iterations: usize,
 }
@@ -199,6 +238,7 @@ impl<'a> DualSimplex<'a> {
         for (val, &row) in cols.values.iter_mut().zip(cols.row_idx.iter()) {
             *val *= row_sign[row];
         }
+        let rows_adj = cols.row_major();
         let n_total = n + m;
         let sense_sign = match lp.sense() {
             Sense::Maximize => 1.0,
@@ -226,6 +266,7 @@ impl<'a> DualSimplex<'a> {
             n,
             n_total,
             cols,
+            rows_adj,
             b,
             cost,
             barred,
@@ -233,6 +274,7 @@ impl<'a> DualSimplex<'a> {
             in_basis: vec![false; n_total],
             factor: make_factorization(options.basis),
             xb: Vec::new(),
+            hyper_sparse: options.hyper_sparse,
             iterations: 0,
         })
     }
@@ -368,6 +410,37 @@ impl<'a> DualSimplex<'a> {
         true
     }
 
+    /// FTRAN of global column `j` into a [`SparseVector`] (hyper-sparse
+    /// path when enabled, dense kernel with the counters bypassed when not).
+    fn ftran_into(&self, j: usize, w: &mut SparseVector, scratch: &mut SparseColumn) {
+        scratch.clear();
+        self.for_each_entry(j, |r, v| scratch.push((r, v)));
+        if self.hyper_sparse {
+            self.factor.ftran_sparse_into(scratch, w);
+        } else {
+            w.begin_dense(self.m);
+            self.factor.ftran_sparse(scratch, w.values_mut());
+        }
+    }
+
+    /// BTRAN of unit vector `e_r` (pivot row of `B⁻¹`) into a
+    /// [`SparseVector`].
+    fn btran_unit_into(&self, r: usize, rho: &mut SparseVector) {
+        if self.hyper_sparse {
+            self.factor.btran_unit_into(r, rho);
+        } else {
+            rho.begin_dense(self.m);
+            self.factor.btran_unit(r, rho.values_mut());
+        }
+    }
+
+    /// The factorization's cumulative hyper-sparse counters. The factor is
+    /// created fresh per repair, so no baseline subtraction is needed: the
+    /// snapshot *is* this repair's work.
+    fn sparsity_delta(&self) -> SparsityStats {
+        self.factor.sparsity_stats()
+    }
+
     /// Total primal infeasibility `Σ max(0, −x_B)`, the quantity the dual
     /// method drives to zero (used for stall detection).
     fn infeasibility(&self) -> f64 {
@@ -398,9 +471,14 @@ impl<'a> DualSimplex<'a> {
     fn run(&mut self) -> DualStatus {
         let m = self.m;
         let mut y = vec![0.0f64; m];
-        let mut rho = vec![0.0f64; m];
-        let mut w = vec![0.0f64; m];
+        let mut rho = SparseVector::zeros(m);
+        let mut w = SparseVector::zeros(m);
         let mut rc = vec![0.0f64; self.n_total];
+        // scatter workspace for the ratio test: `alpha_ws[j] = ρ·a_j` for
+        // the candidate columns touched by the pivot row's support
+        let mut alpha_ws = vec![0.0f64; self.n_total];
+        let mut in_cand = vec![false; self.n_total];
+        let mut cand: Vec<usize> = Vec::with_capacity(self.n_total);
         // Dual steepest-edge reference weights: `gamma[r]` approximates
         // `‖e_r B⁻¹‖²` for the current basis. Initialized to the exact
         // value for slack-heavy extended bases (1.0) and maintained by the
@@ -452,47 +530,105 @@ impl<'a> DualSimplex<'a> {
             };
 
             // Pivot row of the outgoing basis.
-            self.factor.btran_unit(l, &mut rho);
+            self.btran_unit_into(l, &mut rho);
 
-            // Dual ratio test: among nonbasic columns with α_j < 0 pick the
-            // minimizer of rc_j / α_j (all rc ≤ 0, so ratios are ≥ 0 and the
-            // entering reduced cost after the pivot stays ≤ 0 for everyone).
-            // Ties prefer the larger |α| for numerical stability — or the
-            // smallest index under the anti-cycling override.
-            let pivot_tol = 1e-9;
-            touched.clear();
-            let mut entering: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            let mut best_alpha = 0.0f64;
-            for (j, &rcj) in rc.iter().enumerate() {
-                if self.in_basis[j] || (j < self.n && self.barred[j]) {
-                    continue;
-                }
-                let mut alpha = 0.0;
-                self.for_each_entry(j, |i, a| {
-                    alpha += rho[i] * a;
+            // Scatter the pivot row into the columns it touches: for every
+            // support row `i`, walk that row's structural entries (plus its
+            // slack, coefficient 1), accumulating `α_j = ρ·a_j`. A column
+            // the scatter misses has α_j = 0 exactly, so it can be neither
+            // an entering candidate nor an rc-update target — restricting
+            // the ratio test to the candidate list is exact, including the
+            // Farkas (infeasibility) verdict.
+            cand.clear();
+            {
+                let rows_adj = &self.rows_adj;
+                let in_basis = &self.in_basis;
+                let barred = &self.barred;
+                let n = self.n;
+                rho.for_each_nonzero(|i, ri| {
+                    let js = n + i; // slack of folded row i
+                    if !in_basis[js] {
+                        if !in_cand[js] {
+                            in_cand[js] = true;
+                            cand.push(js);
+                        }
+                        alpha_ws[js] += ri;
+                    }
+                    for &(j, a) in &rows_adj[i] {
+                        if in_basis[j] || barred[j] {
+                            continue;
+                        }
+                        if !in_cand[j] {
+                            in_cand[j] = true;
+                            cand.push(j);
+                        }
+                        alpha_ws[j] += ri * a;
+                    }
                 });
+            }
+
+            // Dual ratio test over the candidates. The default is a
+            // two-pass Harris test: pass 1 relaxes dual feasibility by
+            // `dual_feas` to obtain a bound on the dual step θ_d, pass 2
+            // takes the best-conditioned pivot (largest |α|) whose exact
+            // ratio stays within the bound. Under the anti-cycling override
+            // the textbook smallest-ratio / smallest-index rule is kept.
+            let pivot_tol = 1e-9;
+            let mut entering: Option<usize> = None;
+            let mut best_alpha = 0.0f64;
+            if use_bland {
+                let mut best_ratio = f64::INFINITY;
+                for &j in &cand {
+                    let alpha = alpha_ws[j];
+                    if alpha >= -pivot_tol {
+                        continue;
+                    }
+                    // clamp tiny positive drift so ratios stay non-negative
+                    let ratio = rc[j].min(0.0) / alpha;
+                    let better = ratio < best_ratio - self.tol
+                        || (ratio < best_ratio + self.tol
+                            && entering.map(|e| j < e).unwrap_or(true));
+                    if better || entering.is_none() {
+                        best_ratio = ratio;
+                        best_alpha = alpha;
+                        entering = Some(j);
+                    }
+                }
+            } else {
+                let dual_feas = self.tol.max(1e-9);
+                let mut theta_max = f64::INFINITY;
+                for &j in &cand {
+                    let alpha = alpha_ws[j];
+                    if alpha < -pivot_tol {
+                        let bound = (rc[j].min(0.0) - dual_feas) / alpha;
+                        if bound < theta_max {
+                            theta_max = bound;
+                        }
+                    }
+                }
+                if theta_max.is_finite() {
+                    for &j in &cand {
+                        let alpha = alpha_ws[j];
+                        if alpha < -pivot_tol
+                            && rc[j].min(0.0) / alpha <= theta_max
+                            && (entering.is_none() || alpha.abs() > best_alpha.abs())
+                        {
+                            best_alpha = alpha;
+                            entering = Some(j);
+                        }
+                    }
+                }
+            }
+            // Materialize the touched set for the incremental rc update and
+            // restore the scatter workspace's all-zero invariant.
+            touched.clear();
+            for &j in &cand {
+                let alpha = alpha_ws[j];
                 if alpha != 0.0 {
                     touched.push((j, alpha));
                 }
-                if alpha >= -pivot_tol {
-                    continue;
-                }
-                // clamp tiny positive drift so ratios stay non-negative
-                let ratio = rcj.min(0.0) / alpha;
-                let better = if use_bland {
-                    ratio < best_ratio - self.tol
-                        || (ratio < best_ratio + self.tol
-                            && entering.map(|e| j < e).unwrap_or(true))
-                } else {
-                    ratio < best_ratio - self.tol
-                        || (ratio < best_ratio + self.tol && alpha.abs() > best_alpha.abs())
-                };
-                if better || entering.is_none() {
-                    best_ratio = ratio;
-                    best_alpha = alpha;
-                    entering = Some(j);
-                }
+                alpha_ws[j] = 0.0;
+                in_cand[j] = false;
             }
             let Some(e) = entering else {
                 // Row l reads `Σ α_j x_j = x_B[l] < 0` with every nonbasic
@@ -502,10 +638,8 @@ impl<'a> DualSimplex<'a> {
 
             // FTRAN the entering column and pivot exactly like the primal
             // method: θ = x_B[l] / w_l ≥ 0 because both are negative.
-            col_scratch.clear();
-            self.for_each_entry(e, |r, v| col_scratch.push((r, v)));
-            self.factor.ftran_sparse(&col_scratch, &mut w);
-            if w[l].abs() <= 1e-12 {
+            self.ftran_into(e, &mut w, &mut col_scratch);
+            if w.value(l).abs() <= 1e-12 {
                 // drifted pivot row: refactorize and retry this iteration
                 if !self.refactor() {
                     return DualStatus::IterationLimit;
@@ -513,11 +647,14 @@ impl<'a> DualSimplex<'a> {
                 self.recompute_reduced_costs(&mut rc, &mut y);
                 continue;
             }
-            let theta = self.xb[l] / w[l];
-            for (r, xr) in self.xb.iter_mut().enumerate() {
-                if r != l {
-                    *xr -= theta * w[r];
-                }
+            let theta = self.xb[l] / w.value(l);
+            {
+                let xb = &mut self.xb;
+                w.for_each_nonzero(|r, a| {
+                    if r != l {
+                        xb[r] -= theta * a;
+                    }
+                });
             }
             self.xb[l] = theta;
 
@@ -525,21 +662,29 @@ impl<'a> DualSimplex<'a> {
             // entering column's FTRAN image `w` — already computed for the
             // pivot — bounds how every row norm can have grown:
             // `γ_r ← max(γ_r, (w_r / w_l)² · γ_l)`, `γ_l ← γ_l / w_l²`.
+            // Weights only ever *grow* between resets, so checking the
+            // blow-up trigger against the entries updated this pivot (plus
+            // γ_l) is enough: any weight above the threshold was detected
+            // at the pivot that set it.
             {
-                let wl = w[l];
+                let wl = w.value(l);
                 let gamma_l = gamma[l].max(1.0);
                 let inv_wl2 = 1.0 / (wl * wl);
                 let mut max_gamma = 0.0f64;
-                for (r, &wr) in w.iter().enumerate() {
-                    if r != l && wr != 0.0 {
-                        let cand = wr * wr * inv_wl2 * gamma_l;
-                        if cand > gamma[r] {
-                            gamma[r] = cand;
+                {
+                    let gamma = &mut gamma;
+                    w.for_each_nonzero(|r, wr| {
+                        if r != l {
+                            let candidate = wr * wr * inv_wl2 * gamma_l;
+                            if candidate > gamma[r] {
+                                gamma[r] = candidate;
+                            }
+                            max_gamma = max_gamma.max(gamma[r]);
                         }
-                    }
-                    max_gamma = max_gamma.max(gamma[r]);
+                    });
                 }
                 gamma[l] = (gamma_l * inv_wl2).max(1.0);
+                max_gamma = max_gamma.max(gamma[l]);
                 if max_gamma > 1e12 {
                     // degenerate reference framework: restart the weights
                     gamma.fill(1.0);
@@ -549,7 +694,7 @@ impl<'a> DualSimplex<'a> {
             self.in_basis[leaving_col] = false;
             self.in_basis[e] = true;
             self.basis[l] = e;
-            let refactored = if self.factor.update(l, &w) {
+            let refactored = if self.factor.update_sparse(l, &w) {
                 false
             } else if self.refactor() {
                 true
@@ -786,6 +931,59 @@ mod tests {
         let cold3 = solve(&lp, &options);
         assert_eq!(re3.solution.status, LpStatus::Optimal);
         assert!((re3.solution.objective - cold3.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hyper_sparse_toggle_preserves_dual_reoptimization() {
+        // The dual repair path shares the indexed FTRAN/BTRAN kernels with
+        // the primal engine; disabling them must not change the repaired
+        // optimum, and the sparsity counters it merges into the solution
+        // stats must reflect the toggle (zero tracked solves when off).
+        for seed in 0..4u64 {
+            for base in all_engines() {
+                let mut lp = random_packing_lp(300 + seed, 5, 4);
+                let on_opts = base.with_hyper_sparse(true);
+                let off_opts = base.with_hyper_sparse(false);
+                let (_, state_on) = solve_with_warm_start(&lp, &on_opts, None);
+                let (_, state_off) = solve_with_warm_start(&lp, &off_opts, None);
+                // a tightening row (duplicated for degeneracy) forces dual pivots
+                lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 0.4);
+                lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 0.4);
+                let on = reoptimize_after_row_additions(&lp, &on_opts, state_on);
+                let off = reoptimize_after_row_additions(&lp, &off_opts, state_off);
+                let label = format!(
+                    "seed {seed} engine {}x{}",
+                    base.pricing.name(),
+                    base.basis.name()
+                );
+                assert_eq!(on.solution.status, off.solution.status, "{label}");
+                if on.solution.status == LpStatus::Optimal {
+                    assert!(
+                        (on.solution.objective - off.solution.objective).abs() < 1e-7,
+                        "{label}: sparse {} vs dense {}",
+                        on.solution.objective,
+                        off.solution.objective
+                    );
+                    assert!(lp.is_feasible(&on.solution.x, 1e-7), "{label}");
+                }
+                let off_tracked = off.solution.stats.ftran_sparse_hits
+                    + off.solution.stats.ftran_dense_fallbacks
+                    + off.solution.stats.btran_sparse_hits
+                    + off.solution.stats.btran_dense_fallbacks;
+                assert_eq!(off_tracked, 0, "{label}: disabled path tracked solves");
+                use crate::basis::BasisKind;
+                if on.used_dual_path
+                    && on.solution.stats.dual_pivots > 0
+                    && matches!(base.basis, BasisKind::SparseLu | BasisKind::ForrestTomlin)
+                {
+                    let on_tracked = on.solution.stats.ftran_sparse_hits
+                        + on.solution.stats.ftran_dense_fallbacks
+                        + on.solution.stats.btran_sparse_hits
+                        + on.solution.stats.btran_dense_fallbacks;
+                    assert!(on_tracked > 0, "{label}: dual pivots left no counter trace");
+                }
+            }
+        }
     }
 
     proptest! {

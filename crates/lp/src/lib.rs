@@ -46,6 +46,45 @@
 //! `≤` constraints), for which the all-slack basis is feasible and phase 1
 //! is skipped automatically; the general two-phase path exists for the
 //! Lavi–Swamy decomposition LP which contains equality constraints.
+//!
+//! # Solve-pipeline data flow (hyper-sparse kernels)
+//!
+//! Per pivot, the revised engines move two vectors through the basis
+//! factorization, and both stay **indexed** end to end when the inputs
+//! allow it:
+//!
+//! 1. **FTRAN** — the entering column `Aₑ` (a handful of non-zeros in the
+//!    packing shape) is solved as `w = B⁻¹Aₑ` by Gilbert–Peierls: a DFS
+//!    over the triangular factors' graphs computes the symbolic reachable
+//!    set of the RHS support first, then numeric elimination touches only
+//!    those rows. The result arrives in a [`basis::SparseVector`] — dense
+//!    value array plus a non-zero pattern — and flows *as a sparse
+//!    vector* into the ratio test ([`simplex`]), the basis update
+//!    (Forrest–Tomlin spike / eta construction over the pattern only),
+//!    and the steepest-edge / Devex reference updates ([`pricing`]).
+//! 2. **BTRAN** — the pivot row `ρ = eₗᵀB⁻¹` is solved the same way
+//!    through the transposed factors and drives the pricing-weight and
+//!    incremental dual updates; the [`dual`] simplex scatters it against
+//!    a row-major matrix view to form its ratio-test row sparsely.
+//!
+//! When the DFS discovers the reachable set has grown past ~`m/4` the
+//! kernel **densifies**: it falls back to the dense triangular solve and
+//! the `SparseVector` degrades gracefully to a dense result (its pattern
+//! is dropped, consumers iterate the full length). Every indexed solve is
+//! counted — [`SolveStats`] reports sparse hits, dense fallbacks, and the
+//! average result density, and the counters propagate through
+//! [`column_generation`] / [`decomposition`] into the auction-level
+//! summaries. `SimplexOptions::hyper_sparse` (default `true`) is the
+//! A/B lever: disabling it routes every solve through the legacy dense
+//! kernels, which the equivalence tests use to prove the indexed paths
+//! change timings, never results.
+//!
+//! The ratio tests are **two-pass Harris** tests (primal in [`simplex`],
+//! dual in [`dual`]): the first pass relaxes the bound by a feasibility
+//! tolerance to find the best attainable step, the second picks the
+//! largest-magnitude eligible pivot within that step, and a relative
+//! pivot floor (`10⁻⁷ · max |wᵣ|`) rejects numerically tiny pivots by
+//! forcing an early refactorization instead of pivoting on noise.
 
 #![warn(missing_docs)]
 
@@ -58,7 +97,10 @@ pub mod pricing;
 pub mod problem;
 pub mod simplex;
 
-pub use basis::{BasisFactorization, BasisKind, ForrestTomlinLu, ProductFormInverse, SparseLu};
+pub use basis::{
+    BasisFactorization, BasisKind, ForrestTomlinLu, ProductFormInverse, SparseLu, SparseVector,
+    SparsityStats,
+};
 pub use column_generation::{
     is_native_tag, is_relief_tag, BatchedMasters, BatchedResult, ChannelRunStats, ColumnGeneration,
     ColumnGenerationError, ColumnGenerationResult, ColumnSource, CompactionReport, GeneratedColumn,

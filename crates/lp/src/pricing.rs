@@ -98,8 +98,8 @@ pub trait Pricing: std::fmt::Debug {
     ) -> Option<usize>;
 
     /// Whether [`notify_pivot`](Self::notify_pivot) needs the pivot row
-    /// (`alpha(j) = (eᵣᵀ B⁻¹ A)_j`). The core skips the BTRAN that produces
-    /// it when this returns `false`.
+    /// (`alpha(j) = (eᵣᵀ B⁻¹ A)_j`). The core skips the (hyper-sparse)
+    /// BTRAN that produces it when this returns `false`.
     fn wants_pivot_row(&self) -> bool {
         false
     }
@@ -107,7 +107,11 @@ pub trait Pricing: std::fmt::Debug {
     /// Observes a pivot: column `entering` replaced `leaving` (now
     /// nonbasic); `alpha_entering` is the pivot element and `alpha(j)`
     /// evaluates the pivot row at other columns (only meaningful when
-    /// [`wants_pivot_row`](Self::wants_pivot_row) is `true`).
+    /// [`wants_pivot_row`](Self::wants_pivot_row) is `true`). The closure
+    /// dots column `j` against the core's indexed BTRAN image, so each
+    /// evaluation costs `O(nnz(A_j))` regardless of how dense `eᵣᵀ B⁻¹`
+    /// came out — weight updates over a candidate list stay cheap even
+    /// when the basis inverse itself has filled in.
     fn notify_pivot(
         &mut self,
         entering: usize,

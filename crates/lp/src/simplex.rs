@@ -40,7 +40,9 @@
 //! [`crate::dense`]; property tests assert every pricing × basis
 //! combination agrees with it to 1e-6.
 
-use crate::basis::{make_factorization, BasisFactorization, BasisKind, SparseColumn};
+use crate::basis::{
+    make_factorization, BasisFactorization, BasisKind, SparseColumn, SparseVector, SparsityStats,
+};
 use crate::pricing::{make_pricing, Pricing, PricingRule};
 use crate::problem::{CscMatrix, LinearProgram, Relation, Sense};
 use serde::{Deserialize, Serialize};
@@ -83,6 +85,21 @@ pub struct SolveStats {
     /// primal feasibility after row additions before this (primal) solve
     /// resumed. Always 0 on the plain primal path.
     pub dual_pivots: usize,
+    /// FTRANs answered on the hyper-sparse (Gilbert–Peierls) path, whose
+    /// cost was proportional to the solve graph reached from the RHS
+    /// support rather than to `m`.
+    pub ftran_sparse_hits: usize,
+    /// FTRANs that bailed to the dense kernel (result density above the
+    /// cutoff, or the factorization kind has no sparse path).
+    pub ftran_dense_fallbacks: usize,
+    /// BTRANs answered on the hyper-sparse path (unit-RHS pivot rows).
+    pub btran_sparse_hits: usize,
+    /// BTRANs that bailed to the dense kernel.
+    pub btran_dense_fallbacks: usize,
+    /// Mean result density (pattern length / m) across all tracked
+    /// FTRAN/BTRAN solves; dense fallbacks count as density 1.0. Reads 1.0
+    /// when no solves were tracked (e.g. sparsity disabled).
+    pub avg_result_density: f64,
 }
 
 impl Default for SolveStats {
@@ -95,6 +112,11 @@ impl Default for SolveStats {
             forced_refactorizations: 0,
             degenerate_pivots: 0,
             dual_pivots: 0,
+            ftran_sparse_hits: 0,
+            ftran_dense_fallbacks: 0,
+            btran_sparse_hits: 0,
+            btran_dense_fallbacks: 0,
+            avg_result_density: 1.0,
         }
     }
 }
@@ -140,6 +162,12 @@ pub struct SimplexOptions {
     pub pricing: PricingRule,
     /// Basis factorization kind.
     pub basis: BasisKind,
+    /// Route FTRAN/BTRAN through the hyper-sparse (Gilbert–Peierls) solves
+    /// and keep pivot columns / pivot rows in sparse form through the ratio
+    /// test and the pricing updates. `false` restores the dense kernels
+    /// everywhere (the pre-sparsity behaviour; kept as an A/B lever for
+    /// benches and as a numerical escape hatch).
+    pub hyper_sparse: bool,
 }
 
 impl Default for SimplexOptions {
@@ -157,6 +185,7 @@ impl Default for SimplexOptions {
             refactor_interval: 256,
             pricing: PricingRule::SteepestEdge,
             basis: BasisKind::ForrestTomlin,
+            hyper_sparse: true,
         }
     }
 }
@@ -176,6 +205,12 @@ impl SimplexOptions {
     pub fn with_engine(mut self, pricing: PricingRule, basis: BasisKind) -> Self {
         self.pricing = pricing;
         self.basis = basis;
+        self
+    }
+
+    /// Returns a copy with the hyper-sparse solve paths toggled.
+    pub fn with_hyper_sparse(mut self, on: bool) -> Self {
+        self.hyper_sparse = on;
         self
     }
 }
@@ -315,6 +350,15 @@ struct Revised<'a> {
     /// current basic solution B⁻¹ b
     xb: Vec<f64>,
 
+    /// hyper-sparse FTRAN/BTRAN + sparse ratio test enabled
+    /// ([`SimplexOptions::hyper_sparse`])
+    hyper_sparse: bool,
+    /// Factorization sparsity counters at solve start (the factorization's
+    /// counters are monotone over its lifetime, which for a warm-started
+    /// solve began in a *previous* solve); [`Revised::extract`] reports the
+    /// delta since this snapshot.
+    sparsity_baseline: SparsityStats,
+
     iterations: usize,
     refactorizations: usize,
     forced_refactorizations: usize,
@@ -434,6 +478,8 @@ impl<'a> Revised<'a> {
             in_basis: vec![false; n_total],
             factor: make_factorization(options.basis),
             xb: Vec::new(),
+            hyper_sparse: options.hyper_sparse,
+            sparsity_baseline: SparsityStats::default(),
             iterations: 0,
             refactorizations: 0,
             forced_refactorizations: 0,
@@ -525,8 +571,11 @@ impl<'a> Revised<'a> {
         self.basis = basis;
         self.in_basis = in_basis;
         if warm.factor.num_rows() == self.m && warm.factor.kind() == self.basis_kind {
-            // same engine: adopt the factorization without any rebuild
+            // same engine: adopt the factorization without any rebuild. Its
+            // sparsity counters carry history from the donor solve — re-anchor
+            // the baseline so extract() reports only this solve's work.
             self.factor = warm.factor;
+            self.sparsity_baseline = self.factor.sparsity_stats();
             self.xb = vec![0.0; self.m];
             let (factor, xb) = (&self.factor, &mut self.xb);
             factor.ftran_dense(&self.b, xb);
@@ -614,12 +663,29 @@ impl<'a> Revised<'a> {
         true
     }
 
-    /// FTRAN: `w = B⁻¹ a_j`. `scratch` is a caller-owned buffer so the
-    /// once-per-pivot hot path performs no allocation.
-    fn ftran(&self, j: usize, w: &mut [f64], scratch: &mut SparseColumn) {
+    /// FTRAN into a [`SparseVector`]: the hyper-sparse path when enabled
+    /// (result indexed below the density cutoff), the dense kernel — with
+    /// the counters bypassed — when sparsity is switched off.
+    fn ftran_into(&self, j: usize, w: &mut SparseVector, scratch: &mut SparseColumn) {
         scratch.clear();
         self.for_each_entry(j, |r, v| scratch.push((r, v)));
-        self.factor.ftran_sparse(scratch, w);
+        if self.hyper_sparse {
+            self.factor.ftran_sparse_into(scratch, w);
+        } else {
+            w.begin_dense(self.m);
+            self.factor.ftran_sparse(scratch, w.values_mut());
+        }
+    }
+
+    /// BTRAN of unit vector `e_r` (the pivot row of `B⁻¹`) into a
+    /// [`SparseVector`], mirroring [`Revised::ftran_into`]'s gating.
+    fn btran_unit_into(&self, r: usize, rho: &mut SparseVector) {
+        if self.hyper_sparse {
+            self.factor.btran_unit_into(r, rho);
+        } else {
+            rho.begin_dense(self.m);
+            self.factor.btran_unit(r, rho.values_mut());
+        }
     }
 
     /// Reduced cost of column `j` at duals `y`.
@@ -640,25 +706,27 @@ impl<'a> Revised<'a> {
     /// `w = B⁻¹ a_e`) to the basic solution, the basis bookkeeping, and the
     /// factorization. Returns `false` only when the factorization declined
     /// the update *and* the recovery refactorization failed.
-    fn pivot(&mut self, l: usize, e: usize, w: &[f64]) -> bool {
-        let wl = w[l];
+    fn pivot(&mut self, l: usize, e: usize, w: &SparseVector) -> bool {
+        let wl = w.value(l);
         debug_assert!(wl.abs() > 1e-12, "pivot element too small");
         let theta = self.xb[l] / wl;
-        for (r, xr) in self.xb.iter_mut().enumerate() {
+        let xb = &mut self.xb;
+        w.for_each_nonzero(|r, a| {
             if r != l {
-                *xr -= theta * w[r];
+                let xr = &mut xb[r];
+                *xr -= theta * a;
                 if *xr < 0.0 && *xr > -1e-11 {
                     *xr = 0.0;
                 }
             }
-        }
+        });
         self.xb[l] = theta;
 
         self.in_basis[self.basis[l]] = false;
         self.in_basis[e] = true;
         self.basis[l] = e;
 
-        if !self.factor.update(l, w) {
+        if !self.factor.update_sparse(l, w) {
             // The representation declined (tiny pivot, full eta file, or an
             // unstable FT diagonal): rebuild from the already-updated basis
             // columns. This is a stability-forced rebuild, not hygiene.
@@ -691,7 +759,8 @@ impl<'a> Revised<'a> {
         let m = self.m;
         let mut y = vec![0.0f64; m];
         let mut cb = vec![0.0f64; m];
-        let mut w = vec![0.0f64; m];
+        let mut w = SparseVector::zeros(m);
+        let mut rho_buf = SparseVector::zeros(m);
         let mut col_scratch = SparseColumn::new();
         let mut stall = 0usize;
         let mut last_obj = self.objective_of_basis(cost);
@@ -740,11 +809,14 @@ impl<'a> Revised<'a> {
                 // against the fresh factors (one sparse FTRAN per candidate)
                 {
                     let this = &*self;
-                    let scratch = std::cell::RefCell::new((vec![0.0f64; m], SparseColumn::new()));
+                    let scratch =
+                        std::cell::RefCell::new((SparseVector::zeros(m), SparseColumn::new()));
                     let exact = |j: usize| -> f64 {
                         let (w, cs) = &mut *scratch.borrow_mut();
-                        this.ftran(j, w, cs);
-                        w.iter().map(|v| v * v).sum()
+                        this.ftran_into(j, w, cs);
+                        let mut s = 0.0;
+                        w.for_each_nonzero(|_, v| s += v * v);
+                        s
                     };
                     pricer.notify_refactor(&exact);
                 }
@@ -789,28 +861,68 @@ impl<'a> Revised<'a> {
             // needed for the incremental dual update after the pivot
             let rc_e = self.reduced_cost(cost, &y, e);
 
-            self.ftran(e, &mut w, &mut col_scratch);
+            self.ftran_into(e, &mut w, &mut col_scratch);
             // the FTRAN image is in hand: its squared norm is the exact
             // steepest-edge weight of the entering column, free of charge
-            let w_norm_sq: f64 = w.iter().map(|v| v * v).sum();
+            let mut w_norm_sq = 0.0f64;
+            w.for_each_nonzero(|_, v| w_norm_sq += v * v);
             pricer.observe_entering(e, w_norm_sq);
 
-            // Ratio test (smallest ratio; ties to the smallest basis column
-            // index, which together with Bland pricing prevents cycling).
+            // Ratio test over the pivot column's support only. The default
+            // is a two-pass Harris test: pass 1 finds the *relaxed* minimum
+            // ratio (each basic value granted `feas` of slack), pass 2 picks
+            // the largest-magnitude pivot element whose ratio stays within
+            // that bound — trading a harmless O(feas) primal infeasibility
+            // for a far better-conditioned pivot on degenerate LPs, where
+            // the textbook rule is forced onto whichever tiny pivot attains
+            // the exact minimum. Under the Bland override the textbook
+            // smallest-ratio / smallest-index rule is kept (the termination
+            // guarantee needs it).
             let mut leaving: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            for (r, &a) in w.iter().enumerate().take(m) {
-                if a > self.tol {
-                    let ratio = self.xb[r] / a;
-                    let better = ratio < best_ratio - self.tol
-                        || (ratio < best_ratio + self.tol
-                            && leaving
-                                .map(|l| self.basis[r] < self.basis[l])
-                                .unwrap_or(true));
-                    if better {
-                        best_ratio = ratio;
-                        leaving = Some(r);
+            let mut col_max = 0.0f64;
+            if use_bland {
+                let mut best_ratio = f64::INFINITY;
+                w.for_each_nonzero(|r, a| {
+                    if a > self.tol {
+                        let ratio = self.xb[r] / a;
+                        let better = ratio < best_ratio - self.tol
+                            || (ratio < best_ratio + self.tol
+                                && leaving
+                                    .map(|l| self.basis[r] < self.basis[l])
+                                    .unwrap_or(true));
+                        if better {
+                            best_ratio = ratio;
+                            leaving = Some(r);
+                        }
                     }
+                });
+            } else {
+                let feas = self.tol.max(1e-9);
+                let mut theta_max = f64::INFINITY;
+                w.for_each_nonzero(|r, a| {
+                    if a > self.tol {
+                        col_max = col_max.max(a);
+                        let bound = (self.xb[r].max(0.0) + feas) / a;
+                        if bound < theta_max {
+                            theta_max = bound;
+                        }
+                    }
+                });
+                if theta_max.is_finite() {
+                    let mut best_piv = 0.0f64;
+                    w.for_each_nonzero(|r, a| {
+                        if a > self.tol && self.xb[r].max(0.0) / a <= theta_max {
+                            let better = a > best_piv
+                                || (a == best_piv
+                                    && leaving
+                                        .map(|l| self.basis[r] < self.basis[l])
+                                        .unwrap_or(true));
+                            if better {
+                                best_piv = a;
+                                leaving = Some(r);
+                            }
+                        }
+                    });
                 }
             }
             let Some(l) = leaving else {
@@ -829,9 +941,18 @@ impl<'a> Revised<'a> {
                 return Some(LpStatus::Unbounded);
             };
 
-            if w[l].abs() <= 1e-12 {
-                // numerically degenerate direction: refactorize and retry
-                // (stability-forced, not hygiene)
+            // Harris pivot floor: an absolutely tiny pivot always forces a
+            // rebuild-and-retry; a pivot that is merely tiny *relative* to
+            // the column's largest eligible element (< 1e-7·col_max) is
+            // treated as a drift signal and triggers an early
+            // refactorization — but only while there are accumulated updates
+            // for the rebuild to undo, so a floor violation against fresh
+            // factors is accepted rather than looped on. Both are
+            // stability-forced, not hygiene.
+            let wl_abs = w.value(l).abs();
+            let pivot_floor = (1e-7 * col_max).max(1e-12);
+            if wl_abs <= 1e-12 || (wl_abs < pivot_floor && self.factor.updates_since_refactor() > 0)
+            {
                 self.forced_refactorizations += 1;
                 if !self.refactor() {
                     return Some(LpStatus::IterationLimit);
@@ -845,15 +966,12 @@ impl<'a> Revised<'a> {
 
             // Devex needs the pivot row of the *outgoing* basis; compute it
             // before the factorization is updated, and only when asked.
-            let rho: Option<Vec<f64>> = if pricer.wants_pivot_row() {
-                let mut r = vec![0.0f64; m];
-                self.factor.btran_unit(l, &mut r);
-                Some(r)
-            } else {
-                None
-            };
+            let rho_valid = pricer.wants_pivot_row();
+            if rho_valid {
+                self.btran_unit_into(l, &mut rho_buf);
+            }
             let leaving_col = self.basis[l];
-            let wl = w[l];
+            let wl = w.value(l);
 
             if !self.pivot(l, e, &w) {
                 return Some(LpStatus::IterationLimit);
@@ -861,34 +979,31 @@ impl<'a> Revised<'a> {
             self.iterations += 1;
 
             {
+                let rho = &rho_buf;
                 let alpha = |j: usize| -> f64 {
-                    match &rho {
-                        Some(rho) => {
-                            let mut a = 0.0;
-                            self.for_each_entry(j, |i, v| a += rho[i] * v);
-                            a
-                        }
-                        None => 0.0,
+                    if !rho_valid {
+                        return 0.0;
                     }
+                    let mut a = 0.0;
+                    self.for_each_entry(j, |i, v| a += rho.value(i) * v);
+                    a
                 };
                 pricer.notify_pivot(e, leaving_col, wl, &alpha);
             }
 
-            match &rho {
+            if rho_valid {
                 // The pivot row was already paid for (Devex weight update):
                 // reuse it for the textbook dual update
                 // `y' = y + (rc_e / w_l)·ρ` instead of a fresh BTRAN next
-                // iteration. The update is exact in exact arithmetic; drift
-                // is bounded by the refactor-interval reset and the fresh
-                // re-certification before any optimality claim.
-                Some(rho) => {
-                    let theta_d = rc_e / wl;
-                    for (yi, &ri) in y.iter_mut().zip(rho.iter()) {
-                        *yi += theta_d * ri;
-                    }
-                    y_fresh = false;
-                }
-                None => y_valid = false,
+                // iteration — over ρ's support only. The update is exact in
+                // exact arithmetic; drift is bounded by the refactor-interval
+                // reset and the fresh re-certification before any optimality
+                // claim.
+                let theta_d = rc_e / wl;
+                rho_buf.for_each_nonzero(|i, ri| y[i] += theta_d * ri);
+                y_fresh = false;
+            } else {
+                y_valid = false;
             }
 
             let obj = self.objective_of_basis(cost);
@@ -905,7 +1020,7 @@ impl<'a> Revised<'a> {
     /// `false` only on an unrecoverable factorization failure.
     fn drive_out_artificials(&mut self) -> bool {
         let m = self.m;
-        let mut w = vec![0.0f64; m];
+        let mut w = SparseVector::zeros(m);
         let mut rho = vec![0.0f64; m];
         let mut col_scratch = SparseColumn::new();
         #[allow(clippy::needless_range_loop)] // r indexes basis, rho and w
@@ -933,8 +1048,8 @@ impl<'a> Revised<'a> {
                 }
             }
             if let Some(j) = target {
-                self.ftran(j, &mut w, &mut col_scratch);
-                if w[r].abs() > 1e-12 && !self.pivot(r, j, &w) {
+                self.ftran_into(j, &mut w, &mut col_scratch);
+                if w.value(r).abs() > 1e-12 && !self.pivot(r, j, &w) {
                     return false;
                 }
             }
@@ -1061,6 +1176,10 @@ impl<'a> Revised<'a> {
             .map(|i| sense_sign * self.row_sign[i] * y[i])
             .collect();
         let objective = self.lp.objective_value(&x);
+        let sp = self
+            .factor
+            .sparsity_stats()
+            .delta_since(self.sparsity_baseline);
         LpSolution {
             status,
             objective,
@@ -1075,6 +1194,11 @@ impl<'a> Revised<'a> {
                 forced_refactorizations: self.forced_refactorizations,
                 degenerate_pivots: self.degenerate_pivots,
                 dual_pivots: 0,
+                ftran_sparse_hits: sp.ftran_sparse as usize,
+                ftran_dense_fallbacks: sp.ftran_dense as usize,
+                btran_sparse_hits: sp.btran_sparse as usize,
+                btran_dense_fallbacks: sp.btran_dense as usize,
+                avg_result_density: sp.avg_density(),
             },
         }
     }
@@ -1525,6 +1649,88 @@ mod tests {
         }
     }
 
+    /// Degenerate triangle-clique LP with a duplicated packing row and a
+    /// repeated equality row (rank deficiency): the stress shape for the
+    /// sparse-kernel equivalence tests.
+    fn degenerate_duplicated_lp() -> LinearProgram {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        for _ in 0..3 {
+            lp.add_variable(1.0);
+        }
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Le, 1.0);
+            }
+        }
+        // a duplicated row and a repeated equality (phase 1 leaves a
+        // zero-valued artificial basic for the redundant copy)
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Eq, 0.5);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Eq, 0.5);
+        lp
+    }
+
+    #[test]
+    fn hyper_sparse_toggle_preserves_solutions_on_all_engines() {
+        // `hyper_sparse: false` routes every FTRAN/BTRAN through the legacy
+        // dense kernels; the toggle must be a pure performance lever, so the
+        // two paths must agree on status, objective, and feasibility — on
+        // random packing LPs and on the degenerate / duplicated-row /
+        // rank-deficient stress LP alike.
+        let mut lps: Vec<LinearProgram> = (0..6u64)
+            .map(|s| random_packing_lp(400 + s, 4 + s as usize, 3 + s as usize))
+            .collect();
+        lps.push(degenerate_duplicated_lp());
+        for (k, lp) in lps.iter().enumerate() {
+            for base in all_engines() {
+                let on = solve(lp, &base.with_hyper_sparse(true));
+                let off = solve(lp, &base.with_hyper_sparse(false));
+                let label = format!(
+                    "lp {k} engine {}x{}",
+                    base.pricing.name(),
+                    base.basis.name()
+                );
+                assert_eq!(on.status, off.status, "{label}");
+                if on.status == LpStatus::Optimal {
+                    assert!(
+                        (on.objective - off.objective).abs() < 1e-7,
+                        "{label}: sparse {} vs dense {}",
+                        on.objective,
+                        off.objective
+                    );
+                    assert!(lp.is_feasible(&on.x, 1e-7), "{label}");
+                    assert!(lp.is_feasible(&off.x, 1e-7), "{label}");
+                }
+                // the disabled path bypasses the indexed kernels entirely,
+                // so it must report zero tracked solves and "no data" density
+                assert_eq!(off.stats.ftran_sparse_hits, 0, "{label}");
+                assert_eq!(off.stats.ftran_dense_fallbacks, 0, "{label}");
+                assert_eq!(off.stats.btran_sparse_hits, 0, "{label}");
+                assert_eq!(off.stats.btran_dense_fallbacks, 0, "{label}");
+                assert!(
+                    (off.stats.avg_result_density - 1.0).abs() < 1e-12,
+                    "{label}"
+                );
+                // the LU-based factorizations track every indexed solve;
+                // any solve that pivoted must therefore show activity
+                let tracked = on.stats.ftran_sparse_hits
+                    + on.stats.ftran_dense_fallbacks
+                    + on.stats.btran_sparse_hits
+                    + on.stats.btran_dense_fallbacks;
+                if on.iterations > 0
+                    && matches!(base.basis, BasisKind::SparseLu | BasisKind::ForrestTomlin)
+                {
+                    assert!(tracked > 0, "{label}: no tracked hyper-sparse solves");
+                    assert!(
+                        on.stats.avg_result_density > 0.0 && on.stats.avg_result_density <= 1.0,
+                        "{label}: density {} out of range",
+                        on.stats.avg_result_density
+                    );
+                }
+            }
+        }
+    }
+
     // Random packing LPs: every engine's solution must be feasible, match
     // the dense reference, and satisfy weak/strong duality.
     proptest! {
@@ -1623,6 +1829,66 @@ mod tests {
                 LpStatus::Unbounded => prop_assert!(false, "bounded LP reported unbounded"),
                 LpStatus::IterationLimit => { /* extremely unlikely; accept */ }
             }
+        }
+
+        #[test]
+        fn prop_hyper_sparse_paths_agree_on_mixed_lps(
+            n in 1usize..6,
+            obj in prop::collection::vec(-5.0f64..5.0, 6),
+            rows in prop::collection::vec(prop::collection::vec(-3.0f64..3.0, 6), 6),
+            rhs in prop::collection::vec(-5.0f64..5.0, 6),
+            rels in prop::collection::vec(0u8..3, 6),
+            m in 1usize..6,
+            dup in 0usize..6,
+            engine in 0usize..12,
+        ) {
+            // Mixed-relation LPs with one row duplicated verbatim (rank
+            // deficiency when the relation is Eq): the indexed FTRAN/BTRAN
+            // kernels must not change the verdict or the optimum.
+            let mut lp = LinearProgram::new(Sense::Maximize);
+            for &c in obj.iter().take(n) {
+                lp.add_variable(c);
+            }
+            for i in 0..m {
+                let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, rows[i][j])).collect();
+                let rel = match rels[i] % 3 {
+                    0 => Relation::Le,
+                    1 => Relation::Ge,
+                    _ => Relation::Eq,
+                };
+                lp.add_constraint(coeffs, rel, rhs[i]);
+            }
+            {
+                let i = dup % m;
+                let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, rows[i][j])).collect();
+                let rel = match rels[i] % 3 {
+                    0 => Relation::Le,
+                    1 => Relation::Ge,
+                    _ => Relation::Eq,
+                };
+                lp.add_constraint(coeffs, rel, rhs[i]);
+            }
+            for j in 0..n {
+                lp.add_constraint(vec![(j, 1.0)], Relation::Le, 10.0);
+            }
+            let base = all_engines()[engine];
+            let on = solve(&lp, &base.with_hyper_sparse(true));
+            let off = solve(&lp, &base.with_hyper_sparse(false));
+            prop_assert_eq!(on.status, off.status,
+                "engine {}x{}", base.pricing.name(), base.basis.name());
+            if on.status == LpStatus::Optimal {
+                prop_assert!((on.objective - off.objective).abs()
+                    < 1e-6 * (1.0 + on.objective.abs()),
+                    "engine {}x{}: sparse {} vs dense {}",
+                    base.pricing.name(), base.basis.name(),
+                    on.objective, off.objective);
+                prop_assert!(lp.is_feasible(&on.x, 1e-5));
+                prop_assert!(lp.is_feasible(&off.x, 1e-5));
+            }
+            prop_assert_eq!(off.stats.ftran_sparse_hits
+                + off.stats.ftran_dense_fallbacks
+                + off.stats.btran_sparse_hits
+                + off.stats.btran_dense_fallbacks, 0);
         }
     }
 }
