@@ -48,6 +48,7 @@ pub mod instance;
 pub mod lp_formulation;
 pub mod rounding;
 pub mod session;
+pub mod snapshot;
 pub mod solver;
 pub mod valuation;
 
@@ -58,8 +59,10 @@ pub use lp_formulation::{
     FractionalAssignment, FractionalEntry, LpFormulationOptions, RelaxationInfo,
 };
 pub use session::{
-    apply_event, AuctionSession, BidderConflicts, MarketEvent, MarketId, NewChannel, SessionStats,
+    apply_event, AuctionSession, BidderConflicts, DualCertificate, MarketEvent, MarketId,
+    NewChannel, SessionLogEntry, SessionStats,
 };
+pub use snapshot::{ConflictSnapshot, InstanceSnapshot, SnapshotError, ValuationSnapshot};
 pub use solver::{AuctionOutcome, SolveError, SolverBuilder, SolverOptions, SpectrumAuctionSolver};
 // The LP-engine selectors, re-exported so pipeline callers can pick an
 // engine (and a master decomposition mode) without depending on the lp

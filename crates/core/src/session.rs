@@ -47,6 +47,7 @@ use crate::lp_formulation::{
     column_tag, decode_column_tag, demand_oracle_columns, extract, master_rows, seed_columns,
     strict_status_error, try_solve_relaxation_with_pool, FractionalAssignment, RelaxationInfo,
 };
+use crate::snapshot::ValuationSnapshot;
 use crate::solver::{AuctionOutcome, SolveError, SolverOptions, SpectrumAuctionSolver};
 use crate::valuation::Valuation;
 use serde::{Deserialize, Serialize};
@@ -135,7 +136,7 @@ pub fn apply_event(session: &mut AuctionSession, event: &MarketEvent) {
 
 /// The conflicts a newly arriving bidder brings, matching the instance's
 /// [`ConflictStructure`] variant.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum BidderConflicts {
     /// For [`ConflictStructure::Binary`]: the existing bidders the newcomer
     /// conflicts with.
@@ -219,6 +220,68 @@ impl SessionStats {
         self.deep_batch_rebuilds += other.deep_batch_rebuilds;
         self.mixed_batch_repairs += other.mixed_batch_repairs;
     }
+}
+
+/// The LP dual prices of the most recent converged resolve, remapped into
+/// the **canonical row layout** (`vj[v * k + j]` for interference row
+/// `(v, j)`, `bidder[v]` for bidder `v`'s ≤ 1 row) regardless of the order
+/// bidders arrived in. Strong duality makes this a portable optimality
+/// certificate: `ρ · Σ vj + Σ bidder` equals the LP objective, every dual is
+/// nonnegative, and no bundle has positive reduced cost — checkable by one
+/// demand-oracle sweep without re-solving, which is what the sealed-bid
+/// audit replay does.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DualCertificate {
+    /// Dual of interference constraint `(v, j)` at index `v * k + j`.
+    pub vj: Vec<f64>,
+    /// Dual of bidder `v`'s "at most one bundle" row at index `v`.
+    pub bidder: Vec<f64>,
+}
+
+/// One entry of the optional session event log (see
+/// [`AuctionSession::record_events`]): the auditable history of every
+/// mutation and resolve, phrased in at-application-time bidder indices so a
+/// replay (fresh session, same events, same options) is exact. Valuations
+/// are stored as [`ValuationSnapshot`]s — `None` marks a valuation type
+/// that cannot be snapshotted, which an audit reports as unverifiable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionLogEntry {
+    /// A bidder arrived via [`AuctionSession::add_bidder`].
+    Arrival {
+        /// Index assigned to the newcomer (it arrives last).
+        bidder: usize,
+        /// Snapshot of the declared valuation, if snapshottable.
+        valuation: Option<ValuationSnapshot>,
+        /// The conflicts the newcomer brought.
+        conflicts: BidderConflicts,
+    },
+    /// A bidder departed via [`AuctionSession::remove_bidder`]; later
+    /// indices shifted down by one.
+    Departure {
+        /// Index of the departing bidder at departure time.
+        bidder: usize,
+    },
+    /// A bidder re-bid via [`AuctionSession::update_valuation`] /
+    /// [`AuctionSession::update_valuations`].
+    Rebid {
+        /// Index of the re-bidding bidder.
+        bidder: usize,
+        /// Snapshot of the replacement valuation, if snapshottable.
+        valuation: Option<ValuationSnapshot>,
+    },
+    /// ρ changed via [`AuctionSession::set_rho`].
+    RhoChange {
+        /// The new interference budget.
+        rho: f64,
+    },
+    /// A [`AuctionSession::resolve`] returned an outcome (cached re-resolves
+    /// log one entry too — the outcome they returned is the same).
+    Resolved {
+        /// Objective value of the LP relaxation.
+        lp_objective: f64,
+        /// Social welfare of the rounded allocation.
+        welfare: f64,
+    },
 }
 
 /// Which solve path a successful resolve took (picked before the solve,
@@ -352,6 +415,18 @@ pub struct AuctionSession {
     /// The full outcome of the most recent [`resolve`](Self::resolve), so a
     /// clean re-resolve skips the (deterministic) rounding stage too.
     last_outcome: Option<AuctionOutcome>,
+    /// Canonical-layout duals of the most recent converged resolve (see
+    /// [`DualCertificate`]); `None` on the Dantzig–Wolfe / enumerated paths
+    /// and after failed solves.
+    last_certificate: Option<DualCertificate>,
+    /// Raw master-row duals captured inside the most recent
+    /// column-generation run, remapped into `last_certificate` by
+    /// `resolve_relaxation` *before* any compaction can shift row indices.
+    pending_duals: Option<Vec<f64>>,
+    /// The optional mutation/resolve history (see
+    /// [`record_events`](Self::record_events)); `None` while recording is
+    /// off.
+    log: Option<Vec<SessionLogEntry>>,
     stats: SessionStats,
 }
 
@@ -378,6 +453,9 @@ impl AuctionSession {
             dirty_deactivations: false,
             last: None,
             last_outcome: None,
+            last_certificate: None,
+            pending_duals: None,
+            log: None,
             stats: SessionStats::default(),
         }
     }
@@ -399,6 +477,49 @@ impl AuctionSession {
             self.last.as_ref()
         } else {
             None
+        }
+    }
+
+    /// Canonical-layout dual prices of the most recent resolve — valid only
+    /// while the session is clean (no mutations since). `None` on the
+    /// Dantzig–Wolfe and enumerate-all-bundles paths, where the session
+    /// holds no monolithic master to read duals from; auditors fall back to
+    /// a re-solve there.
+    pub fn last_certificate(&self) -> Option<&DualCertificate> {
+        if self.staleness == Staleness::Clean {
+            self.last_certificate.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Turns the session event log on or off. While on, every mutation and
+    /// every successful [`resolve`](Self::resolve) appends a
+    /// [`SessionLogEntry`]; a sealed-bid audit replays this history against
+    /// the claimed outcome. Off by default (recording clones valuation
+    /// snapshots on every mutation). Turning recording off discards any
+    /// recorded entries.
+    pub fn record_events(&mut self, enable: bool) {
+        if enable {
+            if self.log.is_none() {
+                self.log = Some(Vec::new());
+            }
+        } else {
+            self.log = None;
+        }
+    }
+
+    /// The recorded event log, or `None` while recording is off.
+    pub fn event_log(&self) -> Option<&[SessionLogEntry]> {
+        self.log.as_deref()
+    }
+
+    /// Takes ownership of the recorded log (empty if recording is off),
+    /// leaving recording in its current state with an empty log.
+    pub fn take_event_log(&mut self) -> Vec<SessionLogEntry> {
+        match &mut self.log {
+            Some(entries) => std::mem::take(entries),
+            None => Vec::new(),
         }
     }
 
@@ -490,6 +611,16 @@ impl AuctionSession {
         let mut order = self.instance.ordering.as_order().to_vec();
         order.push(n);
         self.instance.ordering = VertexOrdering::from_order(order);
+        if self.log.is_some() {
+            let snapshot = self.instance.bidders[n].snapshot();
+            if let Some(log) = &mut self.log {
+                log.push(SessionLogEntry::Arrival {
+                    bidder: n,
+                    valuation: snapshot,
+                    conflicts,
+                });
+            }
+        }
 
         if self.can_grow_incrementally() {
             // The newcomer's rows are *staged*, not appended: the next
@@ -531,6 +662,9 @@ impl AuctionSession {
         let n = self.instance.num_bidders();
         assert!(bidder < n, "bidder {bidder} out of range (n={n})");
         assert!(n > 1, "cannot remove the last bidder");
+        if let Some(log) = &mut self.log {
+            log.push(SessionLogEntry::Departure { bidder });
+        }
         self.instance.bidders.remove(bidder);
         self.instance.conflicts = self.instance.conflicts.without_bidder(bidder);
         let order: Vec<usize> = self
@@ -647,6 +781,15 @@ impl AuctionSession {
         }
         let changed: HashSet<usize> = updates.iter().map(|&(bidder, _)| bidder).collect();
         for (bidder, valuation) in updates {
+            if self.log.is_some() {
+                let snapshot = valuation.snapshot();
+                if let Some(log) = &mut self.log {
+                    log.push(SessionLogEntry::Rebid {
+                        bidder,
+                        valuation: snapshot,
+                    });
+                }
+            }
             self.instance.bidders[bidder] = valuation;
         }
         if self.can_grow_incrementally() {
@@ -693,6 +836,9 @@ impl AuctionSession {
             "rho must be >= 1 (got {rho})"
         );
         self.instance.rho = rho;
+        if let Some(log) = &mut self.log {
+            log.push(SessionLogEntry::RhoChange { rho });
+        }
         self.invalidate_master();
     }
 
@@ -806,6 +952,7 @@ impl AuctionSession {
     fn invalidate_solution_cache(&mut self) {
         self.last = None;
         self.last_outcome = None;
+        self.last_certificate = None;
     }
 
     // -- solving -----------------------------------------------------------
@@ -827,7 +974,9 @@ impl AuctionSession {
             || self.options.lp.enumerate_all_bundles
         {
             // No incremental path for the decomposed / enumerated masters
-            // yet: every resolve is a pool-seeded from-scratch solve.
+            // yet: every resolve is a pool-seeded from-scratch solve. No
+            // monolithic master means no duals to certify with either.
+            self.pending_duals = None;
             let fractional =
                 try_solve_relaxation_with_pool(&self.instance, &self.options.lp, &self.pool)?;
             (fractional, SessionPath::Cold)
@@ -892,6 +1041,18 @@ impl AuctionSession {
         self.dirty_objectives = false;
         self.dirty_deactivations = false;
         self.last = Some(fractional.clone());
+        // Remap the captured master-row duals into the canonical layout
+        // *now*, before compaction below can shift row indices out from
+        // under the raw vector.
+        let certificate = self.pending_duals.take().map(|duals| DualCertificate {
+            vj: self
+                .row_vj
+                .iter()
+                .flat_map(|rows| rows.iter().map(|&r| duals[r]))
+                .collect(),
+            bidder: self.row_bidder.iter().map(|&r| duals[r]).collect(),
+        });
+        self.last_certificate = certificate;
         self.stats.resolves += 1;
         // Departure deadweight (deactivated rows, fixed and relief columns)
         // is swept out lazily once it passes the configured fraction; the
@@ -937,7 +1098,14 @@ impl AuctionSession {
                 // an unmutated session returns the identical outcome without
                 // re-rounding (or re-certifying).
                 self.stats.cached_resolves += 1;
-                return Ok(outcome.clone());
+                let outcome = outcome.clone();
+                if let Some(log) = &mut self.log {
+                    log.push(SessionLogEntry::Resolved {
+                        lp_objective: outcome.lp_objective,
+                        welfare: outcome.welfare,
+                    });
+                }
+                return Ok(outcome);
             }
         }
         let fractional = self.resolve_relaxation()?;
@@ -946,6 +1114,12 @@ impl AuctionSession {
         let solver = SpectrumAuctionSolver::new(self.options.clone());
         let outcome = solver.try_round_fractional(&self.instance, &fractional)?;
         self.last_outcome = Some(outcome.clone());
+        if let Some(log) = &mut self.log {
+            log.push(SessionLogEntry::Resolved {
+                lp_objective: outcome.lp_objective,
+                welfare: outcome.welfare,
+            });
+        }
         Ok(outcome)
     }
 
@@ -997,6 +1171,7 @@ impl AuctionSession {
     /// paths both end here; `solve_warm` inside the loop picks the primal
     /// resume or the dual-simplex row repair as appropriate).
     fn run_column_generation(&mut self) -> Result<FractionalAssignment, SolveError> {
+        self.pending_duals = None;
         let master = self.master.as_mut().expect("master exists on this path");
         let mut oracle = SessionOracle {
             instance: &self.instance,
@@ -1034,6 +1209,8 @@ impl AuctionSession {
             }
         };
         let status = result.solution.status;
+        let converged = result.converged;
+        let duals = result.solution.duals.clone();
         let mut info = RelaxationInfo::from_cg(&result, native_columns(master));
         churn(master, &mut info);
         let fractional = extract(
@@ -1049,6 +1226,9 @@ impl AuctionSession {
         // truncation errors as IterationLimit, an infeasible master as
         // Infeasible).
         strict_status_error(status, &fractional)?;
+        if converged {
+            self.pending_duals = Some(duals);
+        }
         Ok(fractional)
     }
 
@@ -1505,5 +1685,105 @@ mod tests {
             warm.objective,
             explicit.objective
         );
+    }
+
+    /// The captured dual certificate satisfies strong duality on every
+    /// resolve path (cold, warm rows, repriced) and is withheld while the
+    /// session is stale.
+    #[test]
+    fn dual_certificate_satisfies_strong_duality_across_paths() {
+        let check = |session: &mut AuctionSession| {
+            let fractional = session.resolve_relaxation().expect("resolve failed");
+            let cert = session
+                .last_certificate()
+                .expect("monolithic converged resolve must carry a certificate");
+            let n = session.instance().num_bidders();
+            let k = session.instance().num_channels;
+            assert_eq!(cert.vj.len(), n * k);
+            assert_eq!(cert.bidder.len(), n);
+            for &y in cert.vj.iter().chain(&cert.bidder) {
+                assert!(y >= -1e-9, "dual prices must be nonnegative, got {y}");
+            }
+            let dual_objective = session.instance().rho * cert.vj.iter().sum::<f64>()
+                + cert.bidder.iter().sum::<f64>();
+            assert!(
+                (dual_objective - fractional.objective).abs()
+                    <= 1e-6 * (1.0 + fractional.objective.abs()),
+                "strong duality violated: dual {} vs primal {}",
+                dual_objective,
+                fractional.objective
+            );
+        };
+        let mut session = SolverBuilder::new().session(path_instance(6, 2));
+        check(&mut session); // cold
+        session.add_bidder(
+            xor_bidder(2, vec![(vec![0], 9.0), (vec![0, 1], 11.0)]),
+            BidderConflicts::Binary(vec![4, 5]),
+        );
+        assert!(
+            session.last_certificate().is_none(),
+            "a stale session must not hand out a certificate"
+        );
+        check(&mut session); // dual row repair
+        session.update_valuation(0, xor_bidder(2, vec![(vec![1], 6.0)]));
+        check(&mut session); // repriced resume
+        session.remove_bidder(2);
+        check(&mut session); // deactivated rows
+    }
+
+    /// The event log records mutations and resolves in order, with
+    /// replayable valuation snapshots.
+    #[test]
+    fn event_log_records_the_session_history() {
+        let mut session = SolverBuilder::new().session(path_instance(4, 2));
+        session.record_events(true);
+        session.resolve().expect("resolve failed");
+        session.add_bidder(
+            xor_bidder(2, vec![(vec![0], 9.0)]),
+            BidderConflicts::Binary(vec![3]),
+        );
+        session.update_valuation(1, xor_bidder(2, vec![(vec![1], 7.0)]));
+        let outcome = session.resolve().expect("resolve failed");
+        session.remove_bidder(4);
+        session.resolve().expect("resolve failed");
+
+        let log = session.event_log().expect("recording is on");
+        assert_eq!(log.len(), 6);
+        assert!(matches!(log[0], SessionLogEntry::Resolved { .. }));
+        match &log[1] {
+            SessionLogEntry::Arrival {
+                bidder,
+                valuation,
+                conflicts: BidderConflicts::Binary(ns),
+            } => {
+                assert_eq!(*bidder, 4);
+                assert_eq!(ns, &[3]);
+                let snap = valuation.as_ref().expect("xor valuations snapshot");
+                let rebuilt = snap.build();
+                assert_eq!(rebuilt.value(ChannelSet::from_channels([0])), 9.0);
+            }
+            other => panic!("expected an arrival, got {other:?}"),
+        }
+        match &log[2] {
+            SessionLogEntry::Rebid { bidder, valuation } => {
+                assert_eq!(*bidder, 1);
+                assert!(valuation.is_some());
+            }
+            other => panic!("expected a re-bid, got {other:?}"),
+        }
+        match &log[3] {
+            SessionLogEntry::Resolved { welfare, .. } => {
+                assert!((welfare - outcome.welfare).abs() <= 1e-12);
+            }
+            other => panic!("expected a resolve, got {other:?}"),
+        }
+        assert!(matches!(log[4], SessionLogEntry::Departure { bidder: 4 }));
+        assert!(matches!(log[5], SessionLogEntry::Resolved { .. }));
+
+        let taken = session.take_event_log();
+        assert_eq!(taken.len(), 6);
+        assert_eq!(session.event_log().map(<[_]>::len), Some(0));
+        session.record_events(false);
+        assert!(session.event_log().is_none());
     }
 }

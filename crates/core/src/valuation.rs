@@ -17,6 +17,7 @@
 //!   classes with efficient exact demand oracles.
 
 use crate::channels::ChannelSet;
+use crate::snapshot::ValuationSnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -61,6 +62,16 @@ pub trait Valuation: Send + Sync {
     fn max_value(&self) -> f64 {
         let prices = vec![0.0; self.num_channels()];
         self.value(self.demand(&prices))
+    }
+
+    /// A serializable snapshot of this valuation, or `None` for custom
+    /// types outside the built-in bidding languages. Snapshots feed the
+    /// persistence seam ([`crate::snapshot`]) and the sealed-bid
+    /// commitment payloads, so the encoding must be canonical: two
+    /// semantically equal valuations of the same class must snapshot
+    /// equal (up to [`ValuationSnapshot::canonical`]).
+    fn snapshot(&self) -> Option<ValuationSnapshot> {
+        None
     }
 }
 
@@ -132,6 +143,17 @@ impl Valuation for TabularValuation {
         }
         best
     }
+
+    fn snapshot(&self) -> Option<ValuationSnapshot> {
+        // The hash map iterates in arbitrary order; sort so equal tables
+        // always snapshot equal.
+        let mut entries: Vec<(u64, f64)> = self.table.iter().map(|(&b, &v)| (b, v)).collect();
+        entries.sort_by_key(|e| e.0);
+        Some(ValuationSnapshot::Tabular {
+            num_channels: self.num_channels,
+            entries,
+        })
+    }
 }
 
 /// XOR bidding language: atomic bids `(S_i, v_i)`; the value of `T` is the
@@ -190,6 +212,13 @@ impl Valuation for XorValuation {
             best
         }
     }
+
+    fn snapshot(&self) -> Option<ValuationSnapshot> {
+        Some(ValuationSnapshot::Xor {
+            num_channels: self.num_channels,
+            bids: self.bids.iter().map(|&(s, v)| (s.bits(), v)).collect(),
+        })
+    }
 }
 
 /// A single-minded bidder: value `v` for any superset of the desired bundle,
@@ -239,6 +268,14 @@ impl Valuation for SingleMindedValuation {
             ChannelSet::empty()
         }
     }
+
+    fn snapshot(&self) -> Option<ValuationSnapshot> {
+        Some(ValuationSnapshot::SingleMinded {
+            num_channels: self.num_channels,
+            desired: self.desired.bits(),
+            value: self.value,
+        })
+    }
 }
 
 /// Additive valuation: per-channel values, `b(T) = Σ_{j∈T} w_j`.
@@ -268,6 +305,12 @@ impl Valuation for AdditiveValuation {
         ChannelSet::from_channels(
             (0..self.channel_values.len()).filter(|&j| self.channel_values[j] - prices[j] > 0.0),
         )
+    }
+
+    fn snapshot(&self) -> Option<ValuationSnapshot> {
+        Some(ValuationSnapshot::Additive {
+            channel_values: self.channel_values.clone(),
+        })
     }
 }
 
@@ -311,6 +354,12 @@ impl Valuation for UnitDemandValuation {
         }
         best
     }
+
+    fn snapshot(&self) -> Option<ValuationSnapshot> {
+        Some(ValuationSnapshot::UnitDemand {
+            channel_values: self.channel_values.clone(),
+        })
+    }
 }
 
 /// Budgeted-additive valuation: `b(T) = min(budget, Σ_{j∈T} w_j)`.
@@ -344,6 +393,13 @@ impl Valuation for BudgetedAdditiveValuation {
     // the exact exhaustive default oracle is used (the experiments keep
     // k ≤ 16). A bidder with more channels should wrap this class and
     // provide an approximate oracle explicitly.
+
+    fn snapshot(&self) -> Option<ValuationSnapshot> {
+        Some(ValuationSnapshot::BudgetedAdditive {
+            channel_values: self.channel_values.clone(),
+            budget: self.budget,
+        })
+    }
 }
 
 /// Symmetric valuation: the value depends only on the number of channels,
@@ -398,6 +454,12 @@ impl Valuation for SymmetricValuation {
             }
         }
         best
+    }
+
+    fn snapshot(&self) -> Option<ValuationSnapshot> {
+        Some(ValuationSnapshot::Symmetric {
+            per_cardinality: self.per_cardinality.clone(),
+        })
     }
 }
 

@@ -70,18 +70,22 @@
 #![warn(missing_docs)]
 
 mod queue;
+mod sealed;
 
 use queue::{CoalesceCounters, PendingQueue};
 use rayon::prelude::*;
+use sealed::SealedRound;
 use serde::{Deserialize, Serialize};
 use ssa_core::session::{AuctionSession, MarketEvent, MarketId, SessionStats};
 use ssa_core::solver::{AuctionOutcome, SolveError, SolverBuilder, SolverOptions};
 use ssa_core::AuctionInstance;
+use ssa_mechanism::sealed_bid::{Phase, SealedBidAuction, SealedBidError};
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use queue::InvalidEvent;
+pub use sealed::{SealedAck, SealedRoundConfig, SealedRoundReport, SealedSubmission};
 
 /// How [`SpectrumExchange::resolve_dirty`] schedules dirty shards.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -117,6 +121,23 @@ pub enum ExchangeError {
         /// The underlying session error.
         source: SolveError,
     },
+    /// The market is running a sealed round: ordinary event traffic (and
+    /// closing) is rejected until the round resolves.
+    MarketSealed(MarketId),
+    /// [`SpectrumExchange::submit_sealed`] against a market with no live
+    /// sealed round.
+    NoSealedRound(MarketId),
+    /// A sealed round cannot open over a market with pending events —
+    /// drain first, so the round's baseline is the settled market.
+    PendingEvents(MarketId),
+    /// The sealed-bid protocol rejected a call (or the round's resolve
+    /// failed).
+    Sealed {
+        /// The market whose round errored.
+        market: MarketId,
+        /// The underlying protocol error.
+        source: SealedBidError,
+    },
 }
 
 impl std::fmt::Display for ExchangeError {
@@ -132,6 +153,18 @@ impl std::fmt::Display for ExchangeError {
             ExchangeError::Solve { market, source } => {
                 write!(f, "{market}: resolve failed: {source}")
             }
+            ExchangeError::MarketSealed(id) => {
+                write!(f, "{id} is running a sealed round")
+            }
+            ExchangeError::NoSealedRound(id) => {
+                write!(f, "{id} has no live sealed round")
+            }
+            ExchangeError::PendingEvents(id) => {
+                write!(f, "{id} has pending events; drain before sealing")
+            }
+            ExchangeError::Sealed { market, source } => {
+                write!(f, "{market}: sealed round: {source}")
+            }
         }
     }
 }
@@ -140,6 +173,7 @@ impl std::error::Error for ExchangeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExchangeError::Solve { source, .. } => Some(source),
+            ExchangeError::Sealed { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -236,6 +270,14 @@ pub struct ExchangeStats {
     /// Extra waves forced by deep-batch chunking (0 when every drain fit
     /// under the wall).
     pub extra_waves: usize,
+    /// Markets currently detached into live sealed rounds.
+    pub sealed_markets: usize,
+    /// Sealed rounds opened over the exchange's lifetime.
+    pub sealed_rounds_opened: usize,
+    /// Sealed rounds that reached resolution.
+    pub sealed_rounds_resolved: usize,
+    /// Collateral forfeited across every resolved sealed round.
+    pub collateral_forfeited: f64,
     /// Warm-path attribution summed over every *open* session (sessions of
     /// closed markets leave the rollup).
     pub sessions: SessionStats,
@@ -260,6 +302,9 @@ pub struct DrainReport {
     /// One entry per drained shard, in dirty order (the order markets first
     /// received a pending event since the last drain).
     pub resolves: Vec<MarketResolve>,
+    /// Sealed rounds whose reveal deadline passed on this drain, resolved
+    /// and re-attached to the shard map (in market-id order).
+    pub sealed: Vec<SealedRoundReport>,
 }
 
 impl DrainReport {
@@ -339,6 +384,7 @@ impl ExchangeBuilder {
             shards: Vec::new(),
             index: HashMap::new(),
             dirty: Vec::new(),
+            sealed: HashMap::new(),
             stats: ExchangeStats::default(),
         }
     }
@@ -380,6 +426,8 @@ pub struct SpectrumExchange {
     index: HashMap<MarketId, usize>,
     /// Slots with a non-empty queue, in first-dirtied order.
     dirty: Vec<usize>,
+    /// Markets detached into live sealed rounds.
+    sealed: HashMap<MarketId, SealedRound>,
     stats: ExchangeStats,
 }
 
@@ -408,7 +456,7 @@ impl SpectrumExchange {
         id: MarketId,
         instance: AuctionInstance,
     ) -> Result<(), ExchangeError> {
-        if self.index.contains_key(&id) {
+        if self.index.contains_key(&id) || self.sealed.contains_key(&id) {
             return Err(ExchangeError::DuplicateMarket(id));
         }
         let present = instance.num_bidders();
@@ -430,6 +478,9 @@ impl SpectrumExchange {
     /// events discarded). The session's counters leave the
     /// [`stats`](Self::stats) rollup with it.
     pub fn close_market(&mut self, id: MarketId) -> Result<AuctionSession, ExchangeError> {
+        if self.sealed.contains_key(&id) {
+            return Err(ExchangeError::MarketSealed(id));
+        }
         let slot = self
             .index
             .remove(&id)
@@ -478,6 +529,9 @@ impl SpectrumExchange {
     /// next [`resolve_dirty`](Self::resolve_dirty); in coalescing mode the
     /// event may collapse with other pending events of the same market.
     pub fn submit(&mut self, id: MarketId, event: MarketEvent) -> Result<(), ExchangeError> {
+        if self.sealed.contains_key(&id) {
+            return Err(ExchangeError::MarketSealed(id));
+        }
         let slot = *self
             .index
             .get(&id)
@@ -518,9 +572,11 @@ impl SpectrumExchange {
     /// configured [`DrainMode`]. Returns per-market outcomes and resolve
     /// latencies; stops at the first failed shard.
     pub fn resolve_dirty(&mut self) -> Result<DrainReport, ExchangeError> {
+        let mut report = DrainReport::default();
+        self.tick_sealed_rounds(&mut report)?;
         let dirty = std::mem::take(&mut self.dirty);
         if dirty.is_empty() {
-            return Ok(DrainReport::default());
+            return Ok(report);
         }
         // An arrival stages k + 1 master rows; the session reroutes to a
         // rebuild strictly past deep_batch_rows pending rows.
@@ -537,7 +593,6 @@ impl SpectrumExchange {
         };
 
         self.stats.drains += 1;
-        let mut report = DrainReport::default();
         for result in results {
             let drain =
                 result.map_err(|(market, source)| ExchangeError::Solve { market, source })?;
@@ -557,11 +612,163 @@ impl SpectrumExchange {
         Ok(report)
     }
 
+    /// Opens a sealed-bid commit–reveal round over a market: the session
+    /// detaches from the shard map (ordinary [`submit`](Self::submit)
+    /// traffic is rejected with [`ExchangeError::MarketSealed`] until the
+    /// round resolves) and phase deadlines start counting
+    /// [`resolve_dirty`](Self::resolve_dirty) calls — the commit phase
+    /// closes after `config.commit_drains` drains, and the round resolves
+    /// `config.reveal_drains` drains later, landing its
+    /// [`SealedRoundReport`] in that drain's report.
+    ///
+    /// The market must have no pending events (drain first), so the
+    /// round's audit baseline is the settled market.
+    pub fn open_sealed_round(
+        &mut self,
+        id: MarketId,
+        config: SealedRoundConfig,
+    ) -> Result<(), ExchangeError> {
+        if self.sealed.contains_key(&id) {
+            return Err(ExchangeError::MarketSealed(id));
+        }
+        let slot = *self
+            .index
+            .get(&id)
+            .ok_or(ExchangeError::UnknownMarket(id))?;
+        if !self.shards[slot].cell.get_mut().unwrap().pending.is_empty() {
+            return Err(ExchangeError::PendingEvents(id));
+        }
+        let session = self.close_market(id)?;
+        match SealedBidAuction::open(session, config.policy) {
+            Ok(auction) => {
+                self.sealed.insert(id, SealedRound::new(auction, &config));
+                self.stats.sealed_rounds_opened += 1;
+                Ok(())
+            }
+            Err(source) => Err(ExchangeError::Sealed { market: id, source }),
+        }
+    }
+
+    /// Submits into a market's live sealed round: a commitment during the
+    /// commit phase, an opening during the reveal phase.
+    pub fn submit_sealed(
+        &mut self,
+        id: MarketId,
+        submission: SealedSubmission,
+    ) -> Result<SealedAck, ExchangeError> {
+        let round = self
+            .sealed
+            .get_mut(&id)
+            .ok_or(ExchangeError::NoSealedRound(id))?;
+        let sealed = |source| ExchangeError::Sealed { market: id, source };
+        match submission {
+            SealedSubmission::Commitment {
+                kind,
+                commitment,
+                declared_cap,
+            } => {
+                let participant = round
+                    .auction
+                    .submit_commitment(kind, commitment, declared_cap)
+                    .map_err(sealed)?;
+                let collateral = round.auction.ledger().held(participant);
+                Ok(SealedAck::Committed {
+                    participant,
+                    collateral,
+                })
+            }
+            SealedSubmission::Opening(opening) => {
+                let status = round.auction.submit_opening(opening).map_err(sealed)?;
+                Ok(SealedAck::Reveal(status))
+            }
+        }
+    }
+
+    /// The phase of a market's live sealed round (`None` when the market
+    /// has no live round).
+    pub fn sealed_phase(&self, id: MarketId) -> Option<Phase> {
+        self.sealed.get(&id).map(|round| round.phase())
+    }
+
+    /// Markets currently detached into live sealed rounds, in id order.
+    pub fn sealed_market_ids(&self) -> Vec<MarketId> {
+        let mut ids: Vec<MarketId> = self.sealed.keys().copied().collect();
+        ids.sort_unstable_by_key(|id| id.0);
+        ids
+    }
+
+    /// Runs `f` over a market's live sealed auction — the escape hatch for
+    /// protocol surfaces without an exchange method (notably the
+    /// adversary surface, so tests can stage attacks at this layer).
+    pub fn with_sealed_auction<R>(
+        &mut self,
+        id: MarketId,
+        f: impl FnOnce(&mut SealedBidAuction) -> R,
+    ) -> Result<R, ExchangeError> {
+        let round = self
+            .sealed
+            .get_mut(&id)
+            .ok_or(ExchangeError::NoSealedRound(id))?;
+        Ok(f(&mut round.auction))
+    }
+
+    /// Advances every live sealed round by one drain cycle; rounds whose
+    /// reveal deadline passed resolve and re-attach to the shard map.
+    fn tick_sealed_rounds(&mut self, report: &mut DrainReport) -> Result<(), ExchangeError> {
+        if self.sealed.is_empty() {
+            return Ok(());
+        }
+        for id in self.sealed_market_ids() {
+            let round = self.sealed.get_mut(&id).unwrap();
+            let due = round
+                .tick()
+                .map_err(|source| ExchangeError::Sealed { market: id, source })?;
+            if !due {
+                continue;
+            }
+            let mut round = self.sealed.remove(&id).unwrap();
+            let outcome = round
+                .auction
+                .resolve()
+                .map_err(|source| ExchangeError::Sealed { market: id, source })?;
+            self.stats.sealed_rounds_resolved += 1;
+            self.stats.collateral_forfeited +=
+                outcome.forfeitures.iter().map(|f| f.amount).sum::<f64>();
+            self.reattach(id, round.auction.into_session(), &outcome.outcome);
+            report.sealed.push(SealedRoundReport {
+                market: id,
+                outcome,
+            });
+        }
+        Ok(())
+    }
+
+    /// Re-attaches a resolved sealed market's session as an ordinary shard
+    /// (warm LP state intact, event recording off again).
+    fn reattach(&mut self, id: MarketId, mut session: AuctionSession, outcome: &AuctionOutcome) {
+        session.record_events(false);
+        let present = session.instance().num_bidders();
+        self.index.insert(id, self.shards.len());
+        self.shards.push(ShardSlot {
+            id,
+            cell: Mutex::new(Shard {
+                session,
+                pending: PendingQueue::new(self.coalescing, present),
+                // The sealed resolve already advanced the session's
+                // lifetime LP gauges; seed the deltas from its info so the
+                // next drain doesn't re-count them.
+                seen_rows_deactivated: outcome.lp_info.rows_deactivated,
+                seen_compactions: outcome.lp_info.compactions,
+            }),
+        });
+    }
+
     /// The fleet-level rollup: exchange counters plus the warm-path
     /// attribution summed over every open session.
     pub fn stats(&self) -> ExchangeStats {
         let mut stats = self.stats.clone();
         stats.markets = self.shards.len();
+        stats.sealed_markets = self.sealed.len();
         for slot in &self.shards {
             let shard = slot.cell.lock().unwrap();
             stats.sessions.accumulate(&shard.session.stats());
@@ -860,6 +1067,171 @@ mod tests {
         let report = ex.resolve_dirty().unwrap();
         assert_eq!(report.resolves.len(), 1);
         assert_eq!(report.resolves[0].market, MarketId(2));
+    }
+
+    #[test]
+    fn sealed_round_runs_commit_reveal_resolve_on_the_drain_clock() {
+        use ssa_core::session::BidderConflicts;
+        use ssa_core::snapshot::ValuationSnapshot;
+        use ssa_mechanism::sealed_bid::{
+            audit, commit_to, nonce_from_seed, Opening, ParticipantKind, RevealStatus,
+        };
+
+        let mut ex = SpectrumExchange::builder()
+            .solver(SolverBuilder::new().rounding(7, 8))
+            .drain_mode(DrainMode::Sequential)
+            .build();
+        ex.open_market(MarketId(0), instance(6, 3)).unwrap();
+        ex.open_sealed_round(MarketId(0), SealedRoundConfig::default())
+            .unwrap();
+        assert_eq!(ex.sealed_phase(MarketId(0)), Some(Phase::Commit));
+        assert!(matches!(
+            ex.submit(MarketId(0), MarketEvent::Departure { bidder: 0 }),
+            Err(ExchangeError::MarketSealed(MarketId(0)))
+        ));
+        assert!(matches!(
+            ex.open_sealed_round(MarketId(0), SealedRoundConfig::default()),
+            Err(ExchangeError::MarketSealed(MarketId(0)))
+        ));
+
+        // incumbent 0 re-bids sealed; one entrant joins
+        let incumbent_val = ValuationSnapshot::Additive {
+            channel_values: vec![6.0, 2.0],
+        };
+        let entrant_val = ValuationSnapshot::Additive {
+            channel_values: vec![3.0, 5.0],
+        };
+        let (nonce0, nonce1) = (nonce_from_seed(1), nonce_from_seed(2));
+        let ack = ex
+            .submit_sealed(
+                MarketId(0),
+                SealedSubmission::Commitment {
+                    kind: ParticipantKind::Incumbent { bidder: 0 },
+                    commitment: commit_to(0, &incumbent_val, &nonce0),
+                    declared_cap: 8.0,
+                },
+            )
+            .unwrap();
+        assert!(matches!(ack, SealedAck::Committed { participant: 0, .. }));
+        ex.submit_sealed(
+            MarketId(0),
+            SealedSubmission::Commitment {
+                kind: ParticipantKind::Entrant {
+                    conflicts: BidderConflicts::Binary(vec![0, 2]),
+                },
+                commitment: commit_to(1, &entrant_val, &nonce1),
+                declared_cap: 8.0,
+            },
+        )
+        .unwrap();
+
+        // first drain closes the commit phase
+        let report = ex.resolve_dirty().unwrap();
+        assert!(report.sealed.is_empty());
+        assert_eq!(ex.sealed_phase(MarketId(0)), Some(Phase::Reveal));
+
+        for opening in [
+            Opening {
+                participant: 0,
+                valuation: incumbent_val,
+                nonce: nonce0,
+            },
+            Opening {
+                participant: 1,
+                valuation: entrant_val,
+                nonce: nonce1,
+            },
+        ] {
+            let ack = ex
+                .submit_sealed(MarketId(0), SealedSubmission::Opening(opening))
+                .unwrap();
+            assert_eq!(ack, SealedAck::Reveal(RevealStatus::Accepted));
+        }
+
+        // second drain passes the reveal deadline: the round resolves
+        let report = ex.resolve_dirty().unwrap();
+        assert_eq!(report.sealed.len(), 1);
+        let round = &report.sealed[0];
+        assert_eq!(round.market, MarketId(0));
+        assert!(round.outcome.forfeitures.is_empty());
+        let verdict = audit(&round.outcome.transcript);
+        assert!(verdict.clean(), "audit found: {:?}", verdict.findings);
+        assert_eq!(ex.sealed_phase(MarketId(0)), None);
+
+        // the market is an ordinary shard again (6 bidders + the entrant)
+        assert_eq!(
+            ex.with_session(MarketId(0), |s| s.instance().num_bidders())
+                .unwrap(),
+            7
+        );
+        ex.submit(
+            MarketId(0),
+            MarketEvent::Rebid {
+                bidder: 0,
+                valuation: val(2.0),
+            },
+        )
+        .unwrap();
+        assert_eq!(ex.resolve_dirty().unwrap().resolves.len(), 1);
+        let stats = ex.stats();
+        assert_eq!(stats.sealed_rounds_opened, 1);
+        assert_eq!(stats.sealed_rounds_resolved, 1);
+        assert_eq!(stats.sealed_markets, 0);
+        assert_eq!(stats.collateral_forfeited, 0.0);
+    }
+
+    #[test]
+    fn non_revealers_forfeit_at_the_exchange_layer() {
+        use ssa_core::snapshot::ValuationSnapshot;
+        use ssa_mechanism::sealed_bid::{commit_to, nonce_from_seed, ParticipantKind};
+
+        let mut ex = SpectrumExchange::builder()
+            .drain_mode(DrainMode::Sequential)
+            .build();
+        ex.open_market(MarketId(5), instance(6, 11)).unwrap();
+        // a round over a market with pending traffic is rejected
+        ex.submit(
+            MarketId(5),
+            MarketEvent::Rebid {
+                bidder: 1,
+                valuation: val(3.0),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            ex.open_sealed_round(MarketId(5), SealedRoundConfig::default()),
+            Err(ExchangeError::PendingEvents(MarketId(5)))
+        ));
+        ex.resolve_dirty().unwrap();
+        ex.open_sealed_round(MarketId(5), SealedRoundConfig::default())
+            .unwrap();
+
+        let sealed_val = ValuationSnapshot::Additive {
+            channel_values: vec![4.0, 4.0],
+        };
+        ex.submit_sealed(
+            MarketId(5),
+            SealedSubmission::Commitment {
+                kind: ParticipantKind::Incumbent { bidder: 2 },
+                commitment: commit_to(0, &sealed_val, &nonce_from_seed(9)),
+                declared_cap: 10.0,
+            },
+        )
+        .unwrap();
+        ex.resolve_dirty().unwrap(); // commit closes; never reveal
+        let report = ex.resolve_dirty().unwrap();
+        assert_eq!(report.sealed.len(), 1);
+        let outcome = &report.sealed[0].outcome;
+        assert_eq!(outcome.forfeitures.len(), 1);
+        assert_eq!(outcome.forfeitures[0].participant, 0);
+        // the non-revealing incumbent was excluded from the market
+        assert_eq!(
+            ex.with_session(MarketId(5), |s| s.instance().num_bidders())
+                .unwrap(),
+            5
+        );
+        let stats = ex.stats();
+        assert!(stats.collateral_forfeited > 0.0);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Sealed-bid rounds at the exchange layer.
+//!
+//! A [`SealedRound`] runs the mechanism crate's commit–reveal protocol
+//! ([`SealedBidAuction`]) over one market of the exchange, with the phase
+//! deadlines keyed to the exchange's own clock: **drain cycles**. Opening a
+//! round detaches the market's session from the shard map (ordinary
+//! [`submit`](crate::SpectrumExchange::submit) traffic is rejected while a
+//! round is live — the whole point of sealing is that nothing else moves
+//! the market); each [`resolve_dirty`](crate::SpectrumExchange::resolve_dirty)
+//! call ticks the round's deadline counters, closing the commit phase after
+//! `commit_drains` drains and resolving after `reveal_drains` more. The
+//! resolved market re-enters the shard map with its warm LP state intact,
+//! and the run's [`SealedBidOutcome`] — transcript included — lands in the
+//! drain report for auditing.
+
+use ssa_mechanism::sealed_bid::{
+    CollateralPolicy, Commitment, Opening, ParticipantKind, Phase, RevealStatus, SealedBidAuction,
+    SealedBidOutcome,
+};
+
+use crate::MarketId;
+
+/// Deadlines (in drain cycles) and collateral terms for one sealed round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SealedRoundConfig {
+    /// How many [`resolve_dirty`](crate::SpectrumExchange::resolve_dirty)
+    /// calls the commit phase stays open for (≥ 1).
+    pub commit_drains: usize,
+    /// How many further drains the reveal phase stays open for (≥ 1).
+    pub reveal_drains: usize,
+    /// Collateral terms for the round's commitments.
+    pub policy: CollateralPolicy,
+}
+
+impl Default for SealedRoundConfig {
+    fn default() -> Self {
+        SealedRoundConfig {
+            commit_drains: 1,
+            reveal_drains: 1,
+            policy: CollateralPolicy::default(),
+        }
+    }
+}
+
+/// One submission into a sealed round — the commit-phase and reveal-phase
+/// payloads behind [`submit_sealed`](crate::SpectrumExchange::submit_sealed).
+#[derive(Clone, Debug)]
+pub enum SealedSubmission {
+    /// Commit phase: post a commitment digest, the public part of the
+    /// declaration, and the declared bid cap the collateral scales to.
+    Commitment {
+        /// Entrant (with public conflicts) or incumbent (with its index).
+        kind: ParticipantKind,
+        /// The hash commitment over `(participant id, valuation, nonce)`.
+        commitment: Commitment,
+        /// The declared maximum bid value.
+        declared_cap: f64,
+    },
+    /// Reveal phase: publish an opening.
+    Opening(Opening),
+}
+
+/// What a [`submit_sealed`](crate::SpectrumExchange::submit_sealed) call
+/// did.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SealedAck {
+    /// The commitment was accepted under this participant id, with this
+    /// much collateral posted.
+    Committed {
+        /// The assigned participant id (openings must carry it).
+        participant: u64,
+        /// The collateral posted.
+        collateral: f64,
+    },
+    /// The opening was processed (accepted, or rejected with forfeiture).
+    Reveal(RevealStatus),
+}
+
+/// A resolved sealed round within a
+/// [`DrainReport`](crate::DrainReport): the market it ran on plus the
+/// full [`SealedBidOutcome`] (payments, forfeitures, and the auditable
+/// transcript).
+#[derive(Clone, Debug)]
+pub struct SealedRoundReport {
+    /// The market the round ran on.
+    pub market: MarketId,
+    /// The round's outcome and transcript.
+    pub outcome: SealedBidOutcome,
+}
+
+/// A live sealed round: the detached auction plus its deadline counters.
+pub(crate) struct SealedRound {
+    pub(crate) auction: SealedBidAuction,
+    /// Drains left before the current phase's deadline.
+    pub(crate) drains_left: usize,
+    pub(crate) reveal_drains: usize,
+}
+
+impl SealedRound {
+    pub(crate) fn new(auction: SealedBidAuction, config: &SealedRoundConfig) -> Self {
+        SealedRound {
+            auction,
+            drains_left: config.commit_drains.max(1),
+            reveal_drains: config.reveal_drains.max(1),
+        }
+    }
+
+    /// The phase the round is in.
+    pub(crate) fn phase(&self) -> Phase {
+        self.auction.phase()
+    }
+
+    /// Ticks one drain cycle. Returns `true` when the round's reveal
+    /// deadline has passed and it must resolve now.
+    pub(crate) fn tick(&mut self) -> Result<bool, ssa_mechanism::sealed_bid::SealedBidError> {
+        self.drains_left -= 1;
+        if self.drains_left > 0 {
+            return Ok(false);
+        }
+        match self.auction.phase() {
+            Phase::Commit => {
+                self.auction.close_commits()?;
+                self.drains_left = self.reveal_drains;
+                Ok(false)
+            }
+            Phase::Reveal => Ok(true),
+            Phase::Resolved => unreachable!("resolved rounds leave the exchange immediately"),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The auctioneer adversary model.
+//!
+//! The commit–reveal protocol defends against *bidders* (sniping, reneging)
+//! by construction; the remaining threat is the *auctioneer* itself. This
+//! module models the two auctioneer attacks of the broadcast-DRA snippet:
+//!
+//! * **Shill injection** ([`FalseBid`]) — the auctioneer slips bids into
+//!   the market that never posted a commitment or collateral, to drive up
+//!   first-price payments or to crowd competitors off channels.
+//! * **Selective reveal** — the auctioneer "loses" a valid opening,
+//!   forfeiting an honest bidder's collateral and excluding its bid.
+//!
+//! An [`AuctioneerAdversary`] is a declarative attack plan applied to a
+//! [`SealedBidAuction`] during the reveal phase. Every attack leaves
+//! evidence in the [`SealedTranscript`](crate::sealed_bid::SealedTranscript)
+//! — shill arrivals appear in the event log with no matching commitment,
+//! suppressed openings appear in the (bidder-published) opening list next
+//! to a `NoReveal` forfeiture — and the
+//! [`audit`](crate::sealed_bid::audit::audit) pass flags each one.
+
+use super::{Opening, SealedBidAuction, SealedBidError};
+use ssa_core::{BidderConflicts, ValuationSnapshot};
+
+/// A shill bid the auctioneer injects without commitment or collateral.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FalseBid {
+    /// The fabricated valuation.
+    pub valuation: ValuationSnapshot,
+    /// The conflicts the shill is planted with.
+    pub conflicts: BidderConflicts,
+}
+
+/// A declarative auctioneer attack plan.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AuctioneerAdversary {
+    /// Shill bids to inject during the reveal phase.
+    pub shills: Vec<FalseBid>,
+    /// Valid openings to suppress (treat their participants as
+    /// non-revealers) instead of applying.
+    pub suppressions: Vec<Opening>,
+}
+
+impl AuctioneerAdversary {
+    /// The honest auctioneer: no shills, no suppressions.
+    pub fn honest() -> Self {
+        Self::default()
+    }
+
+    /// An adversary that only injects the given shills.
+    pub fn with_shills(shills: Vec<FalseBid>) -> Self {
+        AuctioneerAdversary {
+            shills,
+            suppressions: Vec::new(),
+        }
+    }
+
+    /// An adversary that only suppresses the given openings.
+    pub fn with_suppressions(suppressions: Vec<Opening>) -> Self {
+        AuctioneerAdversary {
+            shills: Vec::new(),
+            suppressions,
+        }
+    }
+
+    /// Whether this plan attacks at all.
+    pub fn is_honest(&self) -> bool {
+        self.shills.is_empty() && self.suppressions.is_empty()
+    }
+
+    /// Executes the plan against `auction` (which must be in the reveal
+    /// phase): suppressions are registered first — a suppressed opening
+    /// must land before the honest bidder's own submission would — then
+    /// shills are injected. Returns the session indices the shills landed
+    /// at.
+    pub fn apply(&self, auction: &mut SealedBidAuction) -> Result<Vec<usize>, SealedBidError> {
+        for opening in &self.suppressions {
+            auction.suppress_reveal(opening.clone())?;
+        }
+        let mut shill_indices = Vec::with_capacity(self.shills.len());
+        for shill in &self.shills {
+            let index = auction.inject_shill(shill.valuation.build(), shill.conflicts.clone())?;
+            shill_indices.push(index);
+        }
+        Ok(shill_indices)
+    }
+}

@@ -1,0 +1,199 @@
+//! Collateral accounts for the sealed-bid protocol.
+//!
+//! Posting a commitment costs collateral scaled to the declared bid cap:
+//! reneging (not revealing, revealing garbage, or revealing a bid above the
+//! declared cap) forfeits it, which is what makes "commit high, walk away
+//! if the market moves" unprofitable. The ledger records every posting,
+//! refund and forfeiture so the audit pass can check the auctioneer's
+//! claimed forfeiture income line by line.
+
+use std::collections::HashMap;
+
+/// How much collateral a commitment with a given declared bid cap must
+/// post: `min_collateral + rate · cap`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CollateralPolicy {
+    /// Floor posted by every commitment regardless of cap (keeps zero-cap
+    /// spam commitments from being free).
+    pub min_collateral: f64,
+    /// Fraction of the declared bid cap posted on top of the floor.
+    pub rate: f64,
+}
+
+impl Default for CollateralPolicy {
+    fn default() -> Self {
+        CollateralPolicy {
+            min_collateral: 1.0,
+            rate: 0.05,
+        }
+    }
+}
+
+impl CollateralPolicy {
+    /// The collateral required for a commitment declaring `cap` as its
+    /// maximum bid value.
+    pub fn required(&self, cap: f64) -> f64 {
+        assert!(
+            cap.is_finite() && cap >= 0.0,
+            "declared bid cap must be a finite nonnegative value (got {cap})"
+        );
+        self.min_collateral + self.rate * cap
+    }
+}
+
+/// Why a participant's collateral was forfeited.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForfeitReason {
+    /// The participant never submitted a valid opening before resolution.
+    NoReveal,
+    /// The submitted opening was not the preimage of the posted commitment
+    /// (or was malformed for this market).
+    BadOpening,
+    /// The opening verified but the revealed valuation exceeds the declared
+    /// bid cap the collateral was scaled to.
+    CapExceeded,
+}
+
+/// One forfeiture: `participant` lost `amount` for `reason`. The audit
+/// pass recomputes the expected set of these from the published openings.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ForfeitureRecord {
+    /// The forfeiting participant's id.
+    pub participant: u64,
+    /// The forfeited amount (the full posted collateral).
+    pub amount: f64,
+    /// Why it was forfeited.
+    pub reason: ForfeitReason,
+}
+
+/// Collateral accounts: held balances plus an append-only record of
+/// refunds and forfeitures.
+#[derive(Clone, Debug, Default)]
+pub struct CollateralLedger {
+    held: HashMap<u64, f64>,
+    refunds: Vec<(u64, f64)>,
+    forfeitures: Vec<ForfeitureRecord>,
+}
+
+impl CollateralLedger {
+    /// Opens an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Posts `amount` of collateral for `participant`.
+    ///
+    /// # Panics
+    /// Panics if the participant already holds a balance (one commitment,
+    /// one account) or the amount is not a finite nonnegative value.
+    pub fn post(&mut self, participant: u64, amount: f64) {
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "collateral must be a finite nonnegative amount (got {amount})"
+        );
+        let previous = self.held.insert(participant, amount);
+        assert!(
+            previous.is_none(),
+            "participant {participant} already posted collateral"
+        );
+    }
+
+    /// The balance currently held for `participant` (0 after refund or
+    /// forfeiture).
+    pub fn held(&self, participant: u64) -> f64 {
+        self.held.get(&participant).copied().unwrap_or(0.0)
+    }
+
+    /// Returns `participant`'s collateral and records the refund.
+    ///
+    /// # Panics
+    /// Panics if no balance is held.
+    pub fn refund(&mut self, participant: u64) -> f64 {
+        let amount = self
+            .held
+            .remove(&participant)
+            .unwrap_or_else(|| panic!("participant {participant} holds no collateral to refund"));
+        self.refunds.push((participant, amount));
+        amount
+    }
+
+    /// Seizes `participant`'s collateral for `reason` and records the
+    /// forfeiture.
+    ///
+    /// # Panics
+    /// Panics if no balance is held.
+    pub fn forfeit(&mut self, participant: u64, reason: ForfeitReason) -> f64 {
+        let amount = self
+            .held
+            .remove(&participant)
+            .unwrap_or_else(|| panic!("participant {participant} holds no collateral to forfeit"));
+        self.forfeitures.push(ForfeitureRecord {
+            participant,
+            amount,
+            reason,
+        });
+        amount
+    }
+
+    /// Every refund recorded so far, in order.
+    pub fn refunds(&self) -> &[(u64, f64)] {
+        &self.refunds
+    }
+
+    /// Every forfeiture recorded so far, in order.
+    pub fn forfeitures(&self) -> &[ForfeitureRecord] {
+        &self.forfeitures
+    }
+
+    /// Total collateral forfeited to the auctioneer.
+    pub fn total_forfeited(&self) -> f64 {
+        self.forfeitures.iter().map(|f| f.amount).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_scales_with_the_declared_cap() {
+        let policy = CollateralPolicy {
+            min_collateral: 2.0,
+            rate: 0.1,
+        };
+        assert_eq!(policy.required(0.0), 2.0);
+        assert_eq!(policy.required(50.0), 7.0);
+    }
+
+    #[test]
+    fn ledger_tracks_postings_refunds_and_forfeitures() {
+        let mut ledger = CollateralLedger::new();
+        ledger.post(1, 5.0);
+        ledger.post(2, 3.0);
+        ledger.post(3, 4.0);
+        assert_eq!(ledger.held(1), 5.0);
+        assert_eq!(ledger.refund(1), 5.0);
+        assert_eq!(ledger.held(1), 0.0);
+        ledger.forfeit(2, ForfeitReason::NoReveal);
+        ledger.forfeit(3, ForfeitReason::CapExceeded);
+        assert_eq!(ledger.total_forfeited(), 7.0);
+        assert_eq!(ledger.refunds(), &[(1, 5.0)]);
+        assert_eq!(
+            ledger.forfeitures()[0],
+            ForfeitureRecord {
+                participant: 2,
+                amount: 3.0,
+                reason: ForfeitReason::NoReveal
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no collateral")]
+    fn double_forfeit_panics() {
+        let mut ledger = CollateralLedger::new();
+        ledger.post(1, 5.0);
+        ledger.forfeit(1, ForfeitReason::NoReveal);
+        ledger.forfeit(1, ForfeitReason::NoReveal);
+    }
+}

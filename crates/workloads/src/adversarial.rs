@@ -1,0 +1,465 @@
+//! Adversarial sealed-bid market workloads.
+//!
+//! The commit–reveal front-end (`ssa_mechanism::sealed_bid`) exists to make
+//! bidding credible against three concrete attacks. This module generates
+//! reproducible markets staging each of them — as *plain data* (valuation
+//! snapshots, conflict declarations, reveal plans), so the generators stay
+//! independent of the mechanism crate; tests and benches turn the specs
+//! into commitments and drive the protocol:
+//!
+//! * [`shill_stream_scenario`] — honest sealed entrants plus a stream of
+//!   auctioneer **shill bids** (inflated valuations injected without
+//!   commitment or collateral) to crowd competitors and drive up
+//!   pay-as-bid payments;
+//! * [`sniping_burst_scenario`] — a burst of entrants who all commit (with
+//!   inflated declared caps, to look big) but where the **snipers** never
+//!   reveal, reneging after seeing the market — exactly the behavior
+//!   collateral forfeiture prices in;
+//! * [`colluding_clique_scenario`] — a ring of incumbents on a shared
+//!   conflict-graph clique who coordinate their sealed re-bids: the
+//!   designated winner shades its bid far below value and the rest of the
+//!   ring reveals zeros, suppressing the competition that pay-as-bid
+//!   revenue relies on.
+//!
+//! Every scenario is deterministic given its config's seed.
+
+use crate::scenarios::{GeneratedInstance, ScenarioConfig};
+use crate::valuations::sample_valuations;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssa_conflict_graph::{certified_rho, ConflictGraph, VertexOrdering};
+use ssa_core::instance::ConflictStructure;
+use ssa_core::session::BidderConflicts;
+use ssa_core::snapshot::ValuationSnapshot;
+use ssa_core::AuctionInstance;
+use ssa_interference::ProtocolModel;
+
+use crate::placement::{clustered_points, random_links, uniform_points};
+
+/// Why a participant behaves the way it does — lets tests assert on the
+/// attack surface without re-deriving it from the spec fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SealedRole {
+    /// Commits, reveals its true valuation.
+    Honest,
+    /// Commits (with an inflated declared cap) and never reveals.
+    Sniper,
+    /// Member of a colluding ring; reveals a coordinated shaded bid.
+    Colluder {
+        /// Which ring the participant belongs to (0-based).
+        ring: usize,
+    },
+}
+
+/// How a sealed participant enters the market — mirrors the mechanism
+/// crate's `ParticipantKind` without depending on it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SealedKind {
+    /// A new bidder with its public conflict declaration.
+    Entrant {
+        /// Conflicts against the market as of this participant's admission
+        /// (earlier entrants in the spec list included).
+        conflicts: BidderConflicts,
+    },
+    /// An existing bidder re-bidding sealed.
+    Incumbent {
+        /// The bidder's index in the initial market.
+        bidder: usize,
+    },
+}
+
+/// One sealed-bid participant: what it commits to, what collateral cap it
+/// declares, and whether it reveals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SealedParticipantSpec {
+    /// Entrant or incumbent.
+    pub kind: SealedKind,
+    /// The valuation the commitment binds (and, if `reveals`, the opening
+    /// discloses).
+    pub valuation: ValuationSnapshot,
+    /// The declared bid cap the collateral scales to.
+    pub declared_cap: f64,
+    /// Whether the participant submits its opening in the reveal phase.
+    pub reveals: bool,
+    /// Seed for deriving the commitment nonce.
+    pub nonce_seed: u64,
+    /// The participant's behavioral role.
+    pub role: SealedRole,
+}
+
+/// One auctioneer shill: a bid injected during the reveal phase without a
+/// commitment or collateral.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShillSpec {
+    /// The fabricated (inflated) valuation.
+    pub valuation: ValuationSnapshot,
+    /// Conflicts against the market as of the injection (all entrants
+    /// admitted, earlier shills included).
+    pub conflicts: BidderConflicts,
+}
+
+/// An adversarial sealed-bid market: the baseline instance, the sealed
+/// participants in submission order, and the auctioneer's shill plan.
+#[derive(Clone)]
+pub struct AdversarialSealedMarket {
+    /// The market at commit open.
+    pub initial: GeneratedInstance,
+    /// Sealed participants, in commitment-submission order (entrants are
+    /// admitted in this order at commit close).
+    pub participants: Vec<SealedParticipantSpec>,
+    /// Shill bids the auctioneer injects during the reveal phase, in order.
+    pub shills: Vec<ShillSpec>,
+    /// Colluding rings: each is the list of incumbent indices in the ring
+    /// (empty except for [`colluding_clique_scenario`]).
+    pub rings: Vec<Vec<usize>>,
+}
+
+/// A protocol-model universe covering the initial market plus `extra`
+/// future placements, so entrants and shills carry geometrically
+/// consistent conflicts (same construction as
+/// [`dynamic_market_scenario`](crate::scenarios::dynamic_market_scenario)).
+struct SealedUniverse {
+    graph: ConflictGraph,
+    valuations: Vec<std::sync::Arc<dyn ssa_core::Valuation>>,
+    initial: GeneratedInstance,
+    n0: usize,
+}
+
+fn sealed_universe(
+    config: &ScenarioConfig,
+    delta: f64,
+    extra: usize,
+    rng: &mut StdRng,
+) -> SealedUniverse {
+    let n0 = config.num_bidders;
+    assert!(n0 >= 1, "the initial market needs at least one bidder");
+    let n_universe = n0 + extra;
+    let points = if config.clustered {
+        clustered_points(n_universe, &config.placement, rng)
+    } else {
+        uniform_points(n_universe, config.placement.area_side, rng)
+    };
+    let links = random_links(&points, 1.0, 4.0, rng);
+    let graph = ProtocolModel::new(links, delta).conflict_graph();
+    let valuations = sample_valuations(
+        n_universe,
+        &config.valuations.kinds(),
+        config.num_channels,
+        config.value_range.0,
+        config.value_range.1,
+        rng,
+    );
+    let rho = certified_rho(&graph, &VertexOrdering::identity(n_universe)).rho_ceil();
+    let initial_vertices: Vec<usize> = (0..n0).collect();
+    let (initial_graph, _) = graph.induced_subgraph(&initial_vertices);
+    let instance = AuctionInstance::new(
+        config.num_channels,
+        valuations[..n0].to_vec(),
+        ConflictStructure::Binary(initial_graph),
+        VertexOrdering::identity(n0),
+        rho,
+    );
+    SealedUniverse {
+        graph,
+        valuations,
+        initial: GeneratedInstance {
+            instance,
+            model_name: format!("sealed-protocol(delta={delta},extra={extra})"),
+            certified_rho: rho,
+            theoretical_rho: None,
+        },
+        n0,
+    }
+}
+
+/// Conflicts of universe vertex `u` against the first `present` universe
+/// vertices (which occupy session indices `0..present` in order).
+fn conflicts_against_prefix(graph: &ConflictGraph, u: usize, present: usize) -> BidderConflicts {
+    BidderConflicts::Binary((0..present).filter(|&p| graph.has_edge(p, u)).collect())
+}
+
+fn snapshot_of(valuation: &std::sync::Arc<dyn ssa_core::Valuation>) -> ValuationSnapshot {
+    valuation
+        .snapshot()
+        .expect("every sampled valuation class supports snapshots")
+}
+
+/// Honest sealed entrants plus an auctioneer shill stream.
+///
+/// `num_entrants` honest entrants commit and reveal truthfully;
+/// `num_shills` shill bids — sampled at `shill_inflation` times the
+/// config's value range, so they actually crowd the honest bids — are
+/// staged for injection during the reveal phase. Deterministic given
+/// `config.seed`.
+pub fn shill_stream_scenario(
+    config: &ScenarioConfig,
+    delta: f64,
+    num_entrants: usize,
+    num_shills: usize,
+    shill_inflation: f64,
+) -> AdversarialSealedMarket {
+    assert!(shill_inflation > 0.0, "inflation must be positive");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let universe = sealed_universe(config, delta, num_entrants + num_shills, &mut rng);
+    let n0 = universe.n0;
+
+    let participants: Vec<SealedParticipantSpec> = (0..num_entrants)
+        .map(|i| {
+            let u = n0 + i;
+            let valuation = snapshot_of(&universe.valuations[u]);
+            let declared_cap = valuation.build().max_value();
+            SealedParticipantSpec {
+                kind: SealedKind::Entrant {
+                    conflicts: conflicts_against_prefix(&universe.graph, u, u),
+                },
+                valuation,
+                declared_cap,
+                reveals: true,
+                nonce_seed: rng.random(),
+                role: SealedRole::Honest,
+            }
+        })
+        .collect();
+
+    let shills: Vec<ShillSpec> = (0..num_shills)
+        .map(|j| {
+            let u = n0 + num_entrants + j;
+            let inflated = sample_valuations(
+                1,
+                &config.valuations.kinds(),
+                config.num_channels,
+                config.value_range.0 * shill_inflation,
+                config.value_range.1 * shill_inflation,
+                &mut rng,
+            )
+            .pop()
+            .expect("sampled one shill valuation");
+            ShillSpec {
+                valuation: snapshot_of(&inflated),
+                conflicts: conflicts_against_prefix(&universe.graph, u, u),
+            }
+        })
+        .collect();
+
+    AdversarialSealedMarket {
+        initial: universe.initial,
+        participants,
+        shills,
+        rings: Vec::new(),
+    }
+}
+
+/// A sniping burst: `burst` entrants all commit, but the last
+/// `num_snipers` of them never reveal (and declare caps inflated by
+/// `cap_inflation`, posturing as big bidders before reneging).
+/// Deterministic given `config.seed`.
+pub fn sniping_burst_scenario(
+    config: &ScenarioConfig,
+    delta: f64,
+    burst: usize,
+    num_snipers: usize,
+    cap_inflation: f64,
+) -> AdversarialSealedMarket {
+    assert!(num_snipers <= burst, "snipers are a subset of the burst");
+    assert!(cap_inflation >= 1.0, "snipers posture upward, not down");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let universe = sealed_universe(config, delta, burst, &mut rng);
+    let n0 = universe.n0;
+
+    let participants: Vec<SealedParticipantSpec> = (0..burst)
+        .map(|i| {
+            let u = n0 + i;
+            let sniper = i >= burst - num_snipers;
+            let valuation = snapshot_of(&universe.valuations[u]);
+            let truthful_cap = valuation.build().max_value();
+            SealedParticipantSpec {
+                kind: SealedKind::Entrant {
+                    conflicts: conflicts_against_prefix(&universe.graph, u, u),
+                },
+                valuation,
+                declared_cap: if sniper {
+                    truthful_cap * cap_inflation
+                } else {
+                    truthful_cap
+                },
+                reveals: !sniper,
+                nonce_seed: rng.random(),
+                role: if sniper {
+                    SealedRole::Sniper
+                } else {
+                    SealedRole::Honest
+                },
+            }
+        })
+        .collect();
+
+    AdversarialSealedMarket {
+        initial: universe.initial,
+        participants,
+        shills: Vec::new(),
+        rings: Vec::new(),
+    }
+}
+
+/// A colluding ring on a shared conflict-graph clique.
+///
+/// Greedily grows a clique of up to `ring_size` incumbents in the initial
+/// market's conflict graph; ring members re-bid sealed in coordination —
+/// the designated winner (the clique's first member) shades its additive
+/// re-bid to `shade` times the config's value range while every other
+/// member reveals zeros, vacating the clique's channels for the winner at
+/// a shaved pay-as-bid price. Deterministic given `config.seed`.
+pub fn colluding_clique_scenario(
+    config: &ScenarioConfig,
+    delta: f64,
+    ring_size: usize,
+    shade: f64,
+) -> AdversarialSealedMarket {
+    assert!(ring_size >= 2, "a ring needs at least two members");
+    assert!(
+        (0.0..=1.0).contains(&shade),
+        "shading is a fraction of value"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let universe = sealed_universe(config, delta, 0, &mut rng);
+    let graph = match &universe.initial.instance.conflicts {
+        ConflictStructure::Binary(g) => g,
+        _ => unreachable!("sealed universes are protocol-model markets"),
+    };
+
+    // Greedy clique: seed at the max-degree vertex, extend by the highest-
+    // degree common neighbor.
+    let n = graph.num_vertices();
+    let seed_vertex = (0..n).max_by_key(|&v| graph.degree(v)).unwrap_or(0);
+    let mut ring = vec![seed_vertex];
+    while ring.len() < ring_size {
+        let next = (0..n)
+            .filter(|&v| !ring.contains(&v))
+            .filter(|&v| ring.iter().all(|&m| graph.has_edge(m, v)))
+            .max_by_key(|&v| graph.degree(v));
+        match next {
+            Some(v) => ring.push(v),
+            None => break,
+        }
+    }
+
+    let k = config.num_channels;
+    let (lo, hi) = config.value_range;
+    let participants: Vec<SealedParticipantSpec> = ring
+        .iter()
+        .enumerate()
+        .map(|(pos, &bidder)| {
+            let valuation = if pos == 0 {
+                // The designated winner shades an additive bid across every
+                // channel — low enough to shave the pay-as-bid price, high
+                // enough to still win the vacated clique.
+                ValuationSnapshot::Additive {
+                    channel_values: vec![(lo + (hi - lo) * shade).max(lo * shade); k],
+                }
+            } else {
+                ValuationSnapshot::Additive {
+                    channel_values: vec![0.0; k],
+                }
+            };
+            let declared_cap = valuation.build().max_value();
+            SealedParticipantSpec {
+                kind: SealedKind::Incumbent { bidder },
+                valuation,
+                declared_cap,
+                reveals: true,
+                nonce_seed: rng.random(),
+                role: SealedRole::Colluder { ring: 0 },
+            }
+        })
+        .collect();
+
+    AdversarialSealedMarket {
+        initial: universe.initial,
+        participants,
+        shills: Vec::new(),
+        rings: vec![ring],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shill_streams_are_deterministic_and_inflated() {
+        let config = ScenarioConfig::new(8, 2, 51);
+        let market = shill_stream_scenario(&config, 1.0, 3, 2, 4.0);
+        assert_eq!(market.participants.len(), 3);
+        assert_eq!(market.shills.len(), 2);
+        assert!(market
+            .participants
+            .iter()
+            .all(|p| p.role == SealedRole::Honest && p.reveals));
+        // shills are sampled from the inflated range, so they dominate the
+        // honest value ceiling
+        let honest_max = market
+            .participants
+            .iter()
+            .map(|p| p.declared_cap)
+            .fold(0.0, f64::max);
+        let shill_max = market
+            .shills
+            .iter()
+            .map(|s| s.valuation.build().max_value())
+            .fold(0.0, f64::max);
+        assert!(shill_max > honest_max);
+
+        let again = shill_stream_scenario(&config, 1.0, 3, 2, 4.0);
+        assert_eq!(market.participants, again.participants);
+        assert_eq!(market.shills, again.shills);
+    }
+
+    #[test]
+    fn sniping_bursts_mark_the_tail_as_snipers() {
+        let config = ScenarioConfig::new(8, 2, 52);
+        let market = sniping_burst_scenario(&config, 1.0, 5, 2, 3.0);
+        assert_eq!(market.participants.len(), 5);
+        let snipers: Vec<_> = market
+            .participants
+            .iter()
+            .filter(|p| p.role == SealedRole::Sniper)
+            .collect();
+        assert_eq!(snipers.len(), 2);
+        for sniper in &snipers {
+            assert!(!sniper.reveals);
+            // the posture: declared cap strictly above the committed value
+            assert!(sniper.declared_cap > sniper.valuation.build().max_value() + 1e-9);
+        }
+        assert!(market
+            .participants
+            .iter()
+            .filter(|p| p.role == SealedRole::Honest)
+            .all(|p| p.reveals));
+    }
+
+    #[test]
+    fn colluding_rings_sit_on_a_clique() {
+        let mut config = ScenarioConfig::new(12, 2, 53);
+        config.clustered = true; // denser graph, bigger cliques
+        let market = colluding_clique_scenario(&config, 1.0, 3, 0.3);
+        assert_eq!(market.rings.len(), 1);
+        let ring = &market.rings[0];
+        assert!(ring.len() >= 2);
+        let graph = match &market.initial.instance.conflicts {
+            ConflictStructure::Binary(g) => g,
+            _ => unreachable!(),
+        };
+        for (i, &a) in ring.iter().enumerate() {
+            for &b in &ring[i + 1..] {
+                assert!(graph.has_edge(a, b), "ring members {a},{b} must conflict");
+            }
+        }
+        // one shaded winner, the rest reveal zeros
+        let zeros = market
+            .participants
+            .iter()
+            .filter(|p| p.valuation.build().max_value() == 0.0)
+            .count();
+        assert_eq!(zeros, ring.len() - 1);
+    }
+}

@@ -23,14 +23,23 @@
 //! * **multi-market exchanges** ([`scenarios::multi_market_scenario`]) —
 //!   M independent markets with Zipf-skewed per-market traffic interleaved
 //!   into one global event stream, feeding `ssa_exchange::SpectrumExchange`
-//!   and the `e17_exchange` bench.
+//!   and the `e17_exchange` bench,
+//! * **adversarial sealed-bid markets** ([`adversarial`]) — shill-bid
+//!   streams, sniping bursts, and colluding cliques staged against the
+//!   commit–reveal front-end, as plain data specs the mechanism tests
+//!   turn into commitments.
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod placement;
 pub mod scenarios;
 pub mod valuations;
 
+pub use adversarial::{
+    colluding_clique_scenario, shill_stream_scenario, sniping_burst_scenario,
+    AdversarialSealedMarket, SealedKind, SealedParticipantSpec, SealedRole, ShillSpec,
+};
 pub use placement::{
     clustered_points, grid_points, random_disks, random_links, uniform_points, PlacementConfig,
 };

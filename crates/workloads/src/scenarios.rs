@@ -34,7 +34,7 @@ pub enum ValuationProfile {
 }
 
 impl ValuationProfile {
-    fn kinds(&self) -> Vec<ValuationKind> {
+    pub(crate) fn kinds(&self) -> Vec<ValuationKind> {
         match self {
             ValuationProfile::Xor => vec![ValuationKind::XorBids],
             ValuationProfile::Mixed => vec![

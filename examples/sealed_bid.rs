@@ -1,0 +1,116 @@
+//! Sealed-bid commit–reveal walkthrough: commitments with collateral,
+//! reveals, resolution with a forfeiting non-revealer, and the audit pass
+//! that replays the whole transcript.
+//!
+//! Conflicts are public (they determine feasibility and must be declared
+//! up front); valuations are sealed. Entrants are admitted at commit close
+//! with zero-placeholder bids, so a reveal is an ordinary warm re-price
+//! and a non-revealer is removed over the session's warm `remove_bidder`
+//! path — never a cold restart.
+//!
+//! Run with: `cargo run --example sealed_bid`
+
+use spectrum_auctions::auction::solver::SolverBuilder;
+use spectrum_auctions::mechanism::sealed_bid::{
+    audit, commit_to, nonce_from_seed, CollateralPolicy, Opening, ParticipantKind, SealedBidAuction,
+};
+use spectrum_auctions::workloads::{shill_stream_scenario, ScenarioConfig, SealedKind};
+
+fn main() {
+    // A small base market plus four honest entrants who will commit
+    // sealed bids (no shills in this walkthrough).
+    let config = ScenarioConfig::new(8, 2, 42);
+    let market = shill_stream_scenario(&config, 1.0, 4, 0, 1.0);
+
+    let session = SolverBuilder::new().session(market.initial.instance.clone());
+    let policy = CollateralPolicy::default();
+    let mut auction = SealedBidAuction::open(session, policy).expect("open the sealed round");
+
+    // --- commit phase ------------------------------------------------------
+    // Each participant hashes (id, valuation, nonce) into a non-malleable
+    // commitment and posts it with collateral scaled to a declared bid cap.
+    println!("=== commit phase ===");
+    let mut ids = Vec::new();
+    for spec in &market.participants {
+        let id = auction.next_participant_id();
+        let kind = match &spec.kind {
+            SealedKind::Entrant { conflicts } => ParticipantKind::Entrant {
+                conflicts: conflicts.clone(),
+            },
+            SealedKind::Incumbent { bidder } => ParticipantKind::Incumbent { bidder: *bidder },
+        };
+        let commitment = commit_to(id, &spec.valuation, &nonce_from_seed(spec.nonce_seed));
+        auction
+            .submit_commitment(kind, commitment, spec.declared_cap)
+            .expect("commitment accepted");
+        println!(
+            "participant {id}: committed (cap {:.2}, collateral {:.2})",
+            spec.declared_cap,
+            policy.required(spec.declared_cap)
+        );
+        ids.push(id);
+    }
+    auction.close_commits().expect("close the commit window");
+    println!("commit window closed; entrants admitted with zero placeholders\n");
+
+    // --- reveal phase ------------------------------------------------------
+    // Everyone opens except the last participant, who walks away and will
+    // forfeit the posted collateral at resolution.
+    println!("=== reveal phase ===");
+    let (&reneger, revealers) = ids.split_last().expect("at least one participant");
+    for (spec, &id) in market.participants.iter().zip(revealers) {
+        let status = auction
+            .submit_opening(Opening {
+                participant: id,
+                valuation: spec.valuation.clone(),
+                nonce: nonce_from_seed(spec.nonce_seed),
+            })
+            .expect("opening processed");
+        println!("participant {id}: opening {status:?}");
+    }
+    println!("participant {reneger}: never reveals\n");
+
+    // --- resolve -----------------------------------------------------------
+    // The reneger is removed (warm path) and forfeits; revealed bids are
+    // priced first-price (pay-as-bid on the revealed valuation).
+    let outcome = auction.resolve().expect("resolve the sealed round");
+    println!("=== resolved ===");
+    println!(
+        "welfare {:.3} (LP bound {:.3})",
+        outcome.outcome.welfare, outcome.outcome.lp_objective
+    );
+    for (v, &payment) in outcome.payments.iter().enumerate() {
+        let bundle = outcome.outcome.allocation.bundle(v);
+        if !bundle.is_empty() {
+            println!("bidder {v}: bundle {:#b}, pays {payment:.3}", bundle.bits());
+        }
+    }
+    for forfeiture in &outcome.forfeitures {
+        println!(
+            "participant {} forfeits {:.2} ({:?})",
+            forfeiture.participant, forfeiture.amount, forfeiture.reason
+        );
+    }
+    println!();
+
+    // --- audit -------------------------------------------------------------
+    // The transcript is self-contained: baseline snapshot, commitments,
+    // published openings, the event log, the LP certificate, and the
+    // claimed outcome. Anyone can replay it.
+    let report = audit(&outcome.transcript);
+    println!("=== audit ===");
+    println!(
+        "honest run: clean = {}, certificate checked = {}",
+        report.clean(),
+        report.certificate_checked
+    );
+
+    // Tamper with one payment entry and the replay flags exactly that.
+    let mut doctored = outcome.transcript.clone();
+    doctored.payments[0] += 1.0;
+    let report = audit(&doctored);
+    println!("doctored payment: clean = {}", report.clean());
+    for finding in &report.findings {
+        println!("  finding: {finding}");
+    }
+}

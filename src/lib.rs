@@ -70,6 +70,30 @@
 //! Knobs without a builder method (e.g. simplex tolerances) remain
 //! reachable through [`auction::solver::SolverBuilder::options`].
 //!
+//! ## Sealed bids: commit–reveal with collateral and audit
+//!
+//! Secondary markets run with an auctioneer nobody has to trust:
+//! [`mechanism::sealed_bid`] wraps any session in a commit–reveal
+//! front-end. Conflicts are public (they gate feasibility and are declared
+//! with the commitment); valuations are sealed — hashed together with the
+//! participant id and a nonce into a non-malleable commitment
+//! ([`mechanism::sealed_bid::commit_to`]) and posted with collateral
+//! scaled to a declared bid cap. At commit close entrants join the market
+//! with zero-placeholder bids, so a reveal is an ordinary warm re-price
+//! and a non-revealer forfeits and leaves over the warm `remove_bidder`
+//! path. Resolution charges first price on the revealed bids and issues a
+//! [`mechanism::sealed_bid::SealedTranscript`] — baseline snapshot
+//! (serialized via [`auction::snapshot::InstanceSnapshot`]), commitments,
+//! published openings, the event log, and the LP dual certificate — which
+//! [`mechanism::sealed_bid::audit()`] replays offline to flag shill
+//! injection, tampered bids or payments, suppressed reveals, and
+//! forfeiture-ledger drift without re-running the solver. The
+//! [`exchange`] front-end drives the same protocol per market
+//! ([`exchange::SpectrumExchange::open_sealed_round`]), with reveal
+//! deadlines keyed to drain cycles; adversarial workloads (shill streams,
+//! sniping bursts, colluding cliques) live in [`workloads`]. See
+//! `examples/sealed_bid.rs` for the full walkthrough.
+//!
 //! ## Crate map
 //!
 //! Each sub-crate is re-exported here under a short module name; see the
@@ -88,15 +112,20 @@
 //!   solver, asymmetric channels, the [`auction::solver`] pipeline and the
 //!   incremental [`auction::session`].
 //! * [`mechanism`] — Lavi–Swamy decomposition and the truthful-in-expectation
-//!   mechanism (its verifier rides one session across pricing rounds).
+//!   mechanism (its verifier rides one session across pricing rounds), plus
+//!   the [`mechanism::sealed_bid`] commit–reveal front-end with collateral
+//!   and transcript audit.
 //! * [`exchange`] — the multi-market layer: a sharded
 //!   [`exchange::SpectrumExchange`] of independent sessions behind a
 //!   coalescing event front-end, drained in parallel on the persistent
 //!   work-stealing pool.
 //! * [`workloads`] — synthetic instance generators, including dynamic-market
 //!   arrival/departure/re-bid event streams
-//!   ([`workloads::scenarios::dynamic_market_scenario`]) and multi-market
-//!   Zipf-skewed streams ([`workloads::scenarios::multi_market_scenario`]).
+//!   ([`workloads::scenarios::dynamic_market_scenario`]), multi-market
+//!   Zipf-skewed streams ([`workloads::scenarios::multi_market_scenario`]),
+//!   and adversarial sealed-bid markets
+//!   ([`workloads::adversarial`]: shill streams, sniping bursts, colluding
+//!   cliques).
 
 pub use ssa_conflict_graph as conflict_graph;
 pub use ssa_core as auction;

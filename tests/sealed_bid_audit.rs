@@ -1,0 +1,496 @@
+//! Sealed-bid audit integration tests: the audit pass accepts a transcript
+//! **iff nothing was tampered with**.
+//!
+//! * Honest commit–reveal runs — including ones where participants renege
+//!   and forfeit — audit clean, and reach outcomes identical to submitting
+//!   the same bids directly to an [`AuctionSession`] under the same solver
+//!   options (the protocol adds credibility, not noise).
+//! * Every attack in the model is flagged: auctioneer shill injection
+//!   ([`AuditFinding::ShillArrival`]), selective reveal suppression
+//!   ([`AuditFinding::RevealSuppressed`]), and any single post-hoc mutation
+//!   of a revealed bid, a payment entry, or a forfeiture entry.
+//! * Both hold across engine combos, including the Dantzig–Wolfe master
+//!   whose transcripts carry no dual certificate (the audit re-solves from
+//!   scratch there).
+//!
+//! [`AuctionSession`]: spectrum_auctions::auction::session::AuctionSession
+
+use proptest::prelude::*;
+use spectrum_auctions::auction::session::SessionLogEntry;
+use spectrum_auctions::auction::solver::SolverBuilder;
+use spectrum_auctions::auction::{
+    AuctionOutcome, BasisKind, MasterMode, PricingRule, ValuationSnapshot,
+};
+use spectrum_auctions::mechanism::sealed_bid::{
+    audit, commit_to, nonce_from_seed, AuditFinding, CollateralPolicy, Opening, ParticipantKind,
+    RevealStatus, SealedBidAuction, SealedBidOutcome,
+};
+use spectrum_auctions::workloads::{
+    colluding_clique_scenario, shill_stream_scenario, sniping_burst_scenario,
+    AdversarialSealedMarket, ScenarioConfig, SealedKind,
+};
+
+const COMBOS: [(PricingRule, BasisKind, MasterMode); 4] = [
+    (
+        PricingRule::SteepestEdge,
+        BasisKind::ForrestTomlin,
+        MasterMode::Monolithic,
+    ),
+    (
+        PricingRule::Dantzig,
+        BasisKind::ProductForm,
+        MasterMode::Monolithic,
+    ),
+    (
+        PricingRule::Devex,
+        BasisKind::SparseLu,
+        MasterMode::Monolithic,
+    ),
+    (
+        PricingRule::Devex,
+        BasisKind::SparseLu,
+        MasterMode::DantzigWolfe,
+    ),
+];
+
+const ROUNDING_SEED: u64 = 9;
+const ROUNDING_TRIALS: usize = 16;
+
+fn sealed_session(
+    market: &AdversarialSealedMarket,
+    pricing: PricingRule,
+    basis: BasisKind,
+    mode: MasterMode,
+) -> spectrum_auctions::auction::session::AuctionSession {
+    SolverBuilder::new()
+        .engine(pricing, basis)
+        .master_mode(mode)
+        .rounding(ROUNDING_SEED, ROUNDING_TRIALS)
+        .session(market.initial.instance.clone())
+}
+
+/// Runs the commit–reveal protocol over `market`'s specs: every participant
+/// commits, the revealers open, and (optionally) the auctioneer injects the
+/// market's shill plan during the reveal phase.
+fn drive(
+    market: &AdversarialSealedMarket,
+    pricing: PricingRule,
+    basis: BasisKind,
+    mode: MasterMode,
+    inject_shills: bool,
+) -> SealedBidOutcome {
+    let session = sealed_session(market, pricing, basis, mode);
+    let mut auction =
+        SealedBidAuction::open(session, CollateralPolicy::default()).expect("open sealed round");
+    let mut ids = Vec::with_capacity(market.participants.len());
+    for spec in &market.participants {
+        let id = auction.next_participant_id();
+        let kind = match &spec.kind {
+            SealedKind::Entrant { conflicts } => ParticipantKind::Entrant {
+                conflicts: conflicts.clone(),
+            },
+            SealedKind::Incumbent { bidder } => ParticipantKind::Incumbent { bidder: *bidder },
+        };
+        let commitment = commit_to(id, &spec.valuation, &nonce_from_seed(spec.nonce_seed));
+        let assigned = auction
+            .submit_commitment(kind, commitment, spec.declared_cap)
+            .expect("commitment accepted");
+        assert_eq!(assigned, id);
+        ids.push(id);
+    }
+    auction.close_commits().expect("close commits");
+    for (spec, &id) in market.participants.iter().zip(&ids) {
+        if spec.reveals {
+            let status = auction
+                .submit_opening(Opening {
+                    participant: id,
+                    valuation: spec.valuation.clone(),
+                    nonce: nonce_from_seed(spec.nonce_seed),
+                })
+                .expect("opening processed");
+            assert_eq!(status, RevealStatus::Accepted);
+        }
+    }
+    if inject_shills {
+        for shill in &market.shills {
+            auction
+                .inject_shill(shill.valuation.build(), shill.conflicts.clone())
+                .expect("shill injected");
+        }
+    }
+    auction.resolve().expect("sealed resolve")
+}
+
+/// Submits the same revealed bids directly to a plain session — no
+/// commitments, no placeholders — resolves under identical options, and
+/// computes the first-price payments the revealed bids imply.
+fn direct(
+    market: &AdversarialSealedMarket,
+    pricing: PricingRule,
+    basis: BasisKind,
+    mode: MasterMode,
+) -> (AuctionOutcome, Vec<f64>) {
+    let mut session = sealed_session(market, pricing, basis, mode);
+    for spec in &market.participants {
+        assert!(spec.reveals, "direct comparison needs an all-revealing run");
+        match &spec.kind {
+            SealedKind::Entrant { conflicts } => {
+                session.add_bidder(spec.valuation.build(), conflicts.clone());
+            }
+            SealedKind::Incumbent { bidder } => {
+                session.update_valuation(*bidder, spec.valuation.build());
+            }
+        }
+    }
+    let outcome = session.resolve().expect("direct resolve");
+    let instance = session.instance();
+    let payments = (0..instance.num_bidders())
+        .map(|v| {
+            let bundle = outcome.allocation.bundle(v);
+            if bundle.is_empty() {
+                0.0
+            } else {
+                instance.value(v, bundle)
+            }
+        })
+        .collect();
+    (outcome, payments)
+}
+
+fn expect_finding(
+    report: &spectrum_auctions::mechanism::sealed_bid::AuditReport,
+    context: &str,
+    predicate: impl Fn(&AuditFinding) -> bool,
+) {
+    assert!(
+        report.findings.iter().any(predicate),
+        "{context}: expected finding missing, got {:?}",
+        report.findings
+    );
+}
+
+/// Honest commit–reveal reaches the exact same outcome as submitting the
+/// revealed bids directly — allocation, welfare, LP objective — and the
+/// first-price payments equal the revealed value of each assigned bundle.
+#[test]
+fn honest_commit_reveal_equals_direct_submission() {
+    let config = ScenarioConfig::new(10, 2, 71);
+    let entrants = shill_stream_scenario(&config, 1.0, 4, 0, 1.0);
+    let mut clustered = ScenarioConfig::new(12, 2, 72);
+    clustered.clustered = true;
+    let rebids = colluding_clique_scenario(&clustered, 1.0, 3, 0.4);
+    for market in [&entrants, &rebids] {
+        for (pricing, basis, mode) in COMBOS {
+            let context = format!("{pricing:?}x{basis:?} {mode:?}");
+            let sealed = drive(market, pricing, basis, mode, false);
+            let (plain, plain_payments) = direct(market, pricing, basis, mode);
+            assert_eq!(
+                sealed.outcome.allocation.bundles(),
+                plain.allocation.bundles(),
+                "{context}: sealed and direct allocations diverge"
+            );
+            assert!(
+                (sealed.outcome.welfare - plain.welfare).abs() <= 1e-9,
+                "{context}: welfare {} vs {}",
+                sealed.outcome.welfare,
+                plain.welfare
+            );
+            assert!(
+                (sealed.outcome.lp_objective - plain.lp_objective).abs() <= 1e-9,
+                "{context}: LP objective diverges"
+            );
+            assert!(
+                sealed.forfeitures.is_empty(),
+                "{context}: honest run forfeited"
+            );
+            assert_eq!(sealed.payments.len(), plain_payments.len());
+            for (v, (&got, &want)) in sealed.payments.iter().zip(&plain_payments).enumerate() {
+                assert!(
+                    (got - want).abs() <= 1e-9,
+                    "{context}: payment {v} is {got}, direct first price is {want}"
+                );
+            }
+            let report = audit(&sealed.transcript);
+            assert!(
+                report.clean(),
+                "{context}: honest run flagged {:?}",
+                report.findings
+            );
+        }
+    }
+}
+
+/// Shill injection is flagged on every engine combo, and the same market
+/// run honestly audits clean — with the certificate path on monolithic
+/// masters and the re-solve fallback on Dantzig–Wolfe.
+#[test]
+fn shill_injection_is_flagged_across_engine_combos() {
+    for seed in [81u64, 82] {
+        let config = ScenarioConfig::new(10, 2, seed);
+        let market = shill_stream_scenario(&config, 1.0, 3, 2, 4.0);
+        for (pricing, basis, mode) in COMBOS {
+            let context = format!("seed {seed} {pricing:?}x{basis:?} {mode:?}");
+            let honest = drive(&market, pricing, basis, mode, false);
+            let report = audit(&honest.transcript);
+            assert!(
+                report.clean(),
+                "{context}: honest run flagged {:?}",
+                report.findings
+            );
+            match mode {
+                MasterMode::Monolithic => assert!(
+                    report.certificate_checked,
+                    "{context}: monolithic audit skipped the certificate"
+                ),
+                MasterMode::DantzigWolfe => assert!(
+                    report.resolved_from_scratch,
+                    "{context}: DW audit should re-solve from scratch"
+                ),
+            }
+
+            let attacked = drive(&market, pricing, basis, mode, true);
+            let report = audit(&attacked.transcript);
+            expect_finding(&report, &context, |f| {
+                matches!(f, AuditFinding::ShillArrival { .. })
+            });
+            let shill_flags = report
+                .findings
+                .iter()
+                .filter(|f| matches!(f, AuditFinding::ShillArrival { .. }))
+                .count();
+            assert_eq!(
+                shill_flags,
+                market.shills.len(),
+                "{context}: every injected shill is flagged exactly once"
+            );
+        }
+    }
+}
+
+/// A single tampered payment entry is detected on random markets across
+/// engine combos.
+#[test]
+fn single_tampered_payment_is_flagged_across_engine_combos() {
+    for seed in [91u64, 92] {
+        let config = ScenarioConfig::new(9, 2, seed);
+        let market = shill_stream_scenario(&config, 1.0, 3, 0, 1.0);
+        for (pricing, basis, mode) in COMBOS {
+            let context = format!("seed {seed} {pricing:?}x{basis:?} {mode:?}");
+            let outcome = drive(&market, pricing, basis, mode, false);
+            assert!(
+                audit(&outcome.transcript).clean(),
+                "{context}: dirty baseline"
+            );
+            // Tamper a winner's entry if there is one, else any entry.
+            let target = outcome
+                .transcript
+                .payments
+                .iter()
+                .position(|&p| p > 0.0)
+                .unwrap_or(0);
+            let mut tampered = outcome.transcript.clone();
+            tampered.payments[target] += 1.0;
+            let report = audit(&tampered);
+            expect_finding(
+                &report,
+                &context,
+                |f| matches!(f, AuditFinding::PaymentMismatch { bidder, .. } if *bidder == target),
+            );
+        }
+    }
+}
+
+/// A rewritten revealed bid (the applied re-bid diverges from the published
+/// opening) is flagged.
+#[test]
+fn single_tampered_revealed_bid_is_flagged() {
+    let mut config = ScenarioConfig::new(12, 2, 93);
+    config.clustered = true;
+    let market = colluding_clique_scenario(&config, 1.0, 3, 0.4);
+    let (pricing, basis, mode) = COMBOS[0];
+    let outcome = drive(&market, pricing, basis, mode, false);
+    assert!(audit(&outcome.transcript).clean());
+
+    let mut tampered = outcome.transcript.clone();
+    let rebid = tampered
+        .events
+        .iter_mut()
+        .find_map(|event| match event {
+            SessionLogEntry::Rebid { valuation, .. } => valuation.as_mut(),
+            _ => None,
+        })
+        .expect("colluding runs re-bid incumbents");
+    *rebid = ValuationSnapshot::Additive {
+        channel_values: vec![123.0; market.initial.instance.num_channels],
+    };
+    let report = audit(&tampered);
+    expect_finding(&report, "tampered re-bid", |f| {
+        matches!(f, AuditFinding::TamperedBid { .. })
+    });
+}
+
+/// A doctored forfeiture ledger entry (skimmed amount) is flagged.
+#[test]
+fn single_tampered_forfeiture_entry_is_flagged() {
+    let config = ScenarioConfig::new(9, 2, 94);
+    let market = sniping_burst_scenario(&config, 1.0, 4, 2, 3.0);
+    let (pricing, basis, mode) = COMBOS[0];
+    let outcome = drive(&market, pricing, basis, mode, false);
+    assert!(audit(&outcome.transcript).clean());
+    assert_eq!(outcome.forfeitures.len(), 2, "both snipers forfeit");
+
+    let mut tampered = outcome.transcript.clone();
+    tampered.forfeitures[0].amount += 0.5;
+    let report = audit(&tampered);
+    let target = tampered.forfeitures[0].participant;
+    expect_finding(
+        &report,
+        "tampered forfeiture",
+        |f| matches!(f, AuditFinding::ForfeitureMismatch { participant, .. } if *participant == target),
+    );
+}
+
+/// Selective reveal (the auctioneer discards a valid opening and books the
+/// participant as a non-revealer) is flagged from the out-of-band published
+/// opening.
+#[test]
+fn suppressed_reveal_is_flagged() {
+    let config = ScenarioConfig::new(10, 2, 95);
+    let market = shill_stream_scenario(&config, 1.0, 3, 0, 1.0);
+    let (pricing, basis, mode) = COMBOS[0];
+    let session = sealed_session(&market, pricing, basis, mode);
+    let mut auction =
+        SealedBidAuction::open(session, CollateralPolicy::default()).expect("open sealed round");
+    let mut ids = Vec::new();
+    for spec in &market.participants {
+        let id = auction.next_participant_id();
+        let SealedKind::Entrant { conflicts } = &spec.kind else {
+            unreachable!("shill streams only stage entrants")
+        };
+        let commitment = commit_to(id, &spec.valuation, &nonce_from_seed(spec.nonce_seed));
+        auction
+            .submit_commitment(
+                ParticipantKind::Entrant {
+                    conflicts: conflicts.clone(),
+                },
+                commitment,
+                spec.declared_cap,
+            )
+            .expect("commitment accepted");
+        ids.push(id);
+    }
+    auction.close_commits().expect("close commits");
+    for (pos, (spec, &id)) in market.participants.iter().zip(&ids).enumerate() {
+        let opening = Opening {
+            participant: id,
+            valuation: spec.valuation.clone(),
+            nonce: nonce_from_seed(spec.nonce_seed),
+        };
+        if pos == 0 {
+            // The auctioneer "loses" the first opening; the bidder's
+            // out-of-band publication still reaches the transcript.
+            auction
+                .suppress_reveal(opening)
+                .expect("suppression staged");
+        } else {
+            assert_eq!(
+                auction.submit_opening(opening).expect("opening processed"),
+                RevealStatus::Accepted
+            );
+        }
+    }
+    let outcome = auction.resolve().expect("sealed resolve");
+    let suppressed = ids[0];
+    assert!(
+        outcome
+            .forfeitures
+            .iter()
+            .any(|f| f.participant == suppressed),
+        "the suppressed participant was booked as a non-revealer"
+    );
+    let report = audit(&outcome.transcript);
+    expect_finding(
+        &report,
+        "suppressed reveal",
+        |f| matches!(f, AuditFinding::RevealSuppressed { participant } if *participant == suppressed),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Audit-accepts-iff-untampered on random commit/reveal streams: an
+    /// honest run with reneging snipers audits clean (their forfeitures and
+    /// warm-path removals are legitimate), while a single random mutation
+    /// of a revealed bid, a payment entry, or a forfeiture entry is always
+    /// flagged.
+    #[test]
+    fn random_streams_audit_clean_and_any_single_mutation_is_flagged(
+        seed in 0u64..500,
+        n in 6usize..10,
+        burst in 4usize..7,
+        snipers in 1usize..3,
+        mutation in 0u8..3,
+        pick in 0usize..64,
+    ) {
+        let config = ScenarioConfig::new(n, 2, seed);
+        let market = sniping_burst_scenario(&config, 1.0, burst, snipers, 2.0);
+        let (pricing, basis, mode) = COMBOS[(seed % COMBOS.len() as u64) as usize];
+        let outcome = drive(&market, pricing, basis, mode, false);
+
+        let report = audit(&outcome.transcript);
+        prop_assert!(
+            report.clean(),
+            "honest run with {snipers} snipers flagged: {:?}",
+            report.findings
+        );
+        prop_assert_eq!(outcome.forfeitures.len(), snipers);
+
+        let mut tampered = outcome.transcript.clone();
+        let flagged = match mutation {
+            0 => {
+                let target = pick % tampered.payments.len();
+                tampered.payments[target] += 1.0;
+                let report = audit(&tampered);
+                report.findings.iter().any(|f| {
+                    matches!(f, AuditFinding::PaymentMismatch { bidder, .. } if *bidder == target)
+                })
+            }
+            1 => {
+                let rebids: Vec<usize> = tampered
+                    .events
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| matches!(e, SessionLogEntry::Rebid { .. }))
+                    .map(|(i, _)| i)
+                    .collect();
+                prop_assert!(!rebids.is_empty(), "every burst has a revealer");
+                let target = rebids[pick % rebids.len()];
+                let SessionLogEntry::Rebid { valuation, .. } = &mut tampered.events[target] else {
+                    unreachable!()
+                };
+                *valuation = Some(ValuationSnapshot::Additive {
+                    channel_values: vec![77.0; config.num_channels],
+                });
+                let report = audit(&tampered);
+                report
+                    .findings
+                    .iter()
+                    .any(|f| matches!(f, AuditFinding::TamperedBid { .. }))
+            }
+            _ => {
+                let target = pick % tampered.forfeitures.len();
+                tampered.forfeitures[target].amount *= 0.5;
+                let report = audit(&tampered);
+                let id = tampered.forfeitures[target].participant;
+                report.findings.iter().any(|f| {
+                    matches!(
+                        f,
+                        AuditFinding::ForfeitureMismatch { participant, .. } if *participant == id
+                    )
+                })
+            }
+        };
+        prop_assert!(flagged, "mutation kind {mutation} went undetected");
+    }
+}
