@@ -1,32 +1,331 @@
-//! E14 kernels: the Dantzig–Wolfe decomposition of the relaxation master
-//! and the dual-simplex warm-restart path.
+//! E14: master-mode × stabilization sweep — the measurement behind
+//! [`ssa_core::lp_formulation::select_master_mode`] and the DW verdict in
+//! the ROADMAP.
 //!
-//! Two comparisons:
+//! Three sections, all engine_grid-style multi-seed medians (a plain main,
+//! not Criterion: each cell is one full column-generation run and the
+//! medians across seeds are the statistic):
 //!
-//! * `lp_monolithic` vs `lp_dantzig_wolfe` — the E12 LP stage (the full
-//!   relaxation solve on a protocol-model scenario) under
-//!   `MasterMode::Monolithic` vs `MasterMode::DantzigWolfe`, at the E12
-//!   scalability shape `n = 200, k = 8` (plus a small size for trend).
-//!   Both modes are asserted to reach the same optimum before timing.
-//! * `reopt_dual` vs `reopt_cold` — re-solving a packing LP after a batch
-//!   of row additions: the dual simplex resuming from the previous optimal
-//!   basis ([`ssa_lp::reoptimize_after_row_additions`]) vs a cold re-solve
-//!   from scratch (the seed behavior whenever rows changed).
+//! * **Auction k-sweep** — the LP relaxation stage on protocol-model
+//!   scenarios at `n ∈ {50, 200} × k ∈ {8, 16, 32}`, crossing
+//!   [`MasterMode::Monolithic`] vs [`MasterMode::DantzigWolfe`] with
+//!   stabilization off vs Neame smoothing (α = 0.5). Every configuration
+//!   is asserted to reach the same optimum before being timed.
+//! * **Block-angular k-sweep** — generic block-angular LPs at
+//!   `k ∈ {8, 16, 32, 64}` blocks (the auction front-end caps at `k ≤ 32`
+//!   channels, so the 64-block point runs on the raw
+//!   [`DecomposedLp`] API), Dantzig–Wolfe stab off/on vs the flattened
+//!   monolithic solve of the same LP.
+//! * **Dual-simplex reoptimization** — re-solving a packing LP after a
+//!   batch of row additions: [`reoptimize_after_row_additions`] resuming
+//!   the recorded basis vs a cold re-solve.
+//!
+//! The smoke run (`SSA_BENCH_SMOKE=1`, CI) shrinks every grid to one tiny
+//! cell and additionally acts as a counter acceptance gate: on a
+//! duplicated-bidder clique (maximally degenerate duals) smoothing at a
+//! high α **must** trip the exactness guard at least once
+//! (`stabilization_misprices > 0`) while the unstabilized run must report
+//! exactly zero — proving the stats plumbing end to end, not just the
+//! timings. Full runs write a `BENCH_e14.json` snapshot next to
+//! `BENCH_e12.json` and print the measured master-mode crossover verdict.
+//!
+//! [`MasterMode::Monolithic`]: ssa_core::MasterMode::Monolithic
+//! [`MasterMode::DantzigWolfe`]: ssa_core::MasterMode::DantzigWolfe
+//! [`DecomposedLp`]: ssa_lp::DecomposedLp
+//! [`reoptimize_after_row_additions`]: ssa_lp::reoptimize_after_row_additions
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use ssa_bench::table::Table;
+use ssa_conflict_graph::{ConflictGraph, VertexOrdering};
 use ssa_core::lp_formulation::{solve_relaxation, LpFormulationOptions};
-use ssa_core::MasterMode;
-use ssa_lp::{
-    reoptimize_after_row_additions, solve, solve_with_warm_start, LinearProgram, LpStatus,
-    Relation, Sense, SimplexOptions, WarmStart,
+use ssa_core::{
+    AuctionInstance, ChannelSet, ConflictStructure, MasterMode, Valuation, XorValuation,
 };
-use ssa_workloads::{protocol_scenario, ScenarioConfig};
-use std::time::Duration;
+use ssa_lp::{
+    reoptimize_after_row_additions, solve, solve_with_warm_start, DantzigWolfeOptions,
+    DecomposedLp, GeneratedColumn, LinearProgram, LpStatus, Relation, Sense, SimplexOptions,
+    Stabilization, Subproblem,
+};
+use std::sync::Arc;
+use std::time::Instant;
 
-/// Bounded random packing LP (the master shape) used by the reoptimization
-/// micro-bench.
+const SEEDS: [u64; 5] = [77, 1234, 5150, 90210, 424242];
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+// ---------------------------------------------------------------------------
+// Section 1: auction k-sweep (monolithic vs DW × stab off/on)
+// ---------------------------------------------------------------------------
+
+struct AuctionRecord {
+    n: usize,
+    k: usize,
+    mode: &'static str,
+    stab: &'static str,
+    median_ms: f64,
+    median_rounds: f64,
+    median_columns: f64,
+    median_misprices: f64,
+}
+
+fn auction_sweep(smoke: bool, records: &mut Vec<AuctionRecord>) -> Table {
+    let cells: Vec<(usize, usize)> = if smoke {
+        vec![(12, 4)]
+    } else {
+        vec![(50, 8), (50, 16), (50, 32), (200, 8), (200, 16), (200, 32)]
+    };
+    let configs: [(&'static str, MasterMode, &'static str, Stabilization); 4] = [
+        ("mono", MasterMode::Monolithic, "off", Stabilization::Off),
+        (
+            "mono",
+            MasterMode::Monolithic,
+            "smooth",
+            Stabilization::Smoothing { alpha: 0.5 },
+        ),
+        ("dw", MasterMode::DantzigWolfe, "off", Stabilization::Off),
+        (
+            "dw",
+            MasterMode::DantzigWolfe,
+            "smooth",
+            Stabilization::Smoothing { alpha: 0.5 },
+        ),
+    ];
+    let mut table = Table::new(
+        "E14a",
+        "auction relaxation: master mode × stabilization (multi-seed medians)",
+        &[
+            "n",
+            "k",
+            "mode",
+            "stab",
+            "ms",
+            "rounds",
+            "columns",
+            "misprices",
+        ],
+    );
+    for &(n, k) in &cells {
+        // n = 200 cells are an order of magnitude slower; three seeds keep
+        // the sweep under a minute while still being a median.
+        let seeds: &[u64] = if n >= 200 { &SEEDS[..3] } else { &SEEDS };
+        for (mode_label, mode, stab_label, stab) in configs {
+            let mut times = Vec::new();
+            let mut rounds = Vec::new();
+            let mut columns = Vec::new();
+            let mut misprices = Vec::new();
+            for &seed in seeds {
+                let generated = ssa_workloads::protocol_scenario(
+                    &ssa_workloads::ScenarioConfig::new(n, k, seed),
+                    1.0,
+                );
+                let instance = &generated.instance;
+                let reference = solve_relaxation(instance, &LpFormulationOptions::default());
+                assert!(reference.converged, "n{n}_k{k} seed {seed} reference");
+                let options = LpFormulationOptions::default()
+                    .with_master_mode(mode)
+                    .with_stabilization(stab);
+                let t0 = Instant::now();
+                let frac = solve_relaxation(instance, &options);
+                times.push(t0.elapsed().as_secs_f64() * 1e3);
+                assert!(frac.converged, "n{n}_k{k} {mode_label}/{stab_label}");
+                assert!(
+                    (frac.objective - reference.objective).abs()
+                        < 1e-5 * (1.0 + reference.objective.abs()),
+                    "n{n}_k{k} seed {seed} {mode_label}/{stab_label}: {} vs {}",
+                    frac.objective,
+                    reference.objective
+                );
+                rounds.push(frac.info.rounds as f64);
+                columns.push(frac.info.columns_generated as f64);
+                misprices.push(frac.info.stabilization_misprices as f64);
+            }
+            let rec = AuctionRecord {
+                n,
+                k,
+                mode: mode_label,
+                stab: stab_label,
+                median_ms: median(times),
+                median_rounds: median(rounds),
+                median_columns: median(columns),
+                median_misprices: median(misprices),
+            };
+            table.push_row(vec![
+                n.to_string(),
+                k.to_string(),
+                rec.mode.to_string(),
+                rec.stab.to_string(),
+                format!("{:.2}", rec.median_ms),
+                format!("{:.0}", rec.median_rounds),
+                format!("{:.0}", rec.median_columns),
+                format!("{:.0}", rec.median_misprices),
+            ]);
+            records.push(rec);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: generic block-angular k-sweep (DW stab off/on vs monolithic)
+// ---------------------------------------------------------------------------
+
+const BLOCK_VARS: usize = 6;
+
+/// A random block-angular maximize LP: `k` blocks of [`BLOCK_VARS`] local
+/// variables (per-variable bounds + two local packing rows each) linked
+/// through `k` coupling rows. Returns the decomposed form and the
+/// flattened monolithic equivalent.
+fn block_angular(seed: u64, k: usize) -> (DecomposedLp, LinearProgram) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coupling_count = k;
+    let mut coupling: Vec<(Relation, f64)> = Vec::with_capacity(coupling_count);
+    for _ in 0..coupling_count {
+        coupling.push((Relation::Le, rng.random_range(2.0..8.0)));
+    }
+    let mut blocks = Vec::with_capacity(k);
+    let mut flat = LinearProgram::new(Sense::Maximize);
+    let mut flat_coupling: Vec<Vec<(usize, f64)>> = vec![Vec::new(); coupling_count];
+    let mut flat_local: Vec<(Vec<(usize, f64)>, f64)> = Vec::new();
+    for b in 0..k {
+        let mut local = LinearProgram::new(Sense::Maximize);
+        let mut linking: Vec<Vec<(usize, f64)>> = Vec::with_capacity(BLOCK_VARS);
+        let mut bounds = Vec::with_capacity(BLOCK_VARS);
+        for v in 0..BLOCK_VARS {
+            let c = rng.random_range(1.0..10.0);
+            local.add_variable(c);
+            flat.add_variable(c);
+            let global = b * BLOCK_VARS + v;
+            // one or two coupling rows per variable
+            let mut links = Vec::new();
+            for _ in 0..rng.random_range(1..3usize) {
+                let row = rng.random_range(0..coupling_count);
+                let a = rng.random_range(0.2..2.0);
+                links.push((row, a));
+            }
+            links.sort_by_key(|&(r, _)| r);
+            links.dedup_by_key(|&mut (r, _)| r);
+            for &(row, a) in &links {
+                flat_coupling[row].push((global, a));
+            }
+            linking.push(links);
+            bounds.push(rng.random_range(0.5..3.0));
+        }
+        for (v, &ub) in bounds.iter().enumerate() {
+            local.add_constraint(vec![(v, 1.0)], Relation::Le, ub);
+            flat_local.push((vec![(b * BLOCK_VARS + v, 1.0)], ub));
+        }
+        for _ in 0..2 {
+            let coeffs: Vec<(usize, f64)> = (0..BLOCK_VARS)
+                .map(|v| (v, rng.random_range(0.2..1.5)))
+                .collect();
+            let rhs = rng.random_range(1.5..5.0);
+            local.add_constraint(coeffs.clone(), Relation::Le, rhs);
+            flat_local.push((
+                coeffs
+                    .into_iter()
+                    .map(|(v, a)| (b * BLOCK_VARS + v, a))
+                    .collect(),
+                rhs,
+            ));
+        }
+        blocks.push(Subproblem::new(local, linking));
+    }
+    for (row, coeffs) in flat_coupling.into_iter().enumerate() {
+        flat.add_constraint(coeffs, Relation::Le, coupling[row].1);
+    }
+    for (coeffs, rhs) in flat_local {
+        flat.add_constraint(coeffs, Relation::Le, rhs);
+    }
+    (DecomposedLp::new_lazy(coupling, blocks), flat)
+}
+
+struct BlockRecord {
+    k: usize,
+    stab: &'static str,
+    median_ms: f64,
+    median_mono_ms: f64,
+    median_rounds: f64,
+    median_misprices: f64,
+}
+
+fn block_angular_sweep(smoke: bool, records: &mut Vec<BlockRecord>) -> Table {
+    let ks: Vec<usize> = if smoke { vec![4] } else { vec![8, 16, 32, 64] };
+    let mut table = Table::new(
+        "E14b",
+        "block-angular DW: stabilization off/on vs monolithic (multi-seed medians)",
+        &["k", "stab", "dw_ms", "mono_ms", "rounds", "misprices"],
+    );
+    for &k in &ks {
+        for (stab_label, stab) in [
+            ("off", Stabilization::Off),
+            ("smooth", Stabilization::Smoothing { alpha: 0.5 }),
+        ] {
+            let mut dw_times = Vec::new();
+            let mut mono_times = Vec::new();
+            let mut rounds = Vec::new();
+            let mut misprices = Vec::new();
+            for &seed in &SEEDS {
+                let (mut dw, flat) = block_angular(seed + k as u64, k);
+                let t0 = Instant::now();
+                let mono = solve(&flat, &SimplexOptions::default());
+                mono_times.push(t0.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(
+                    mono.status,
+                    LpStatus::Optimal,
+                    "k{k} seed {seed} monolithic"
+                );
+                let mut no_native = |_: &[f64]| Vec::<GeneratedColumn>::new();
+                let options = DantzigWolfeOptions {
+                    stabilization: stab,
+                    ..Default::default()
+                };
+                let t0 = Instant::now();
+                let sol = dw
+                    .solve(&mut no_native, &options)
+                    .expect("block-angular DW solve");
+                dw_times.push(t0.elapsed().as_secs_f64() * 1e3);
+                assert!(sol.converged, "k{k} seed {seed} dw/{stab_label}");
+                assert!(
+                    (sol.solution.objective - mono.objective).abs()
+                        < 1e-5 * (1.0 + mono.objective.abs()),
+                    "k{k} seed {seed} dw/{stab_label}: {} vs monolithic {}",
+                    sol.solution.objective,
+                    mono.objective
+                );
+                rounds.push(sol.stats.master_rounds as f64);
+                misprices.push(sol.stats.stabilization_misprices as f64);
+            }
+            let rec = BlockRecord {
+                k,
+                stab: stab_label,
+                median_ms: median(dw_times),
+                median_mono_ms: median(mono_times),
+                median_rounds: median(rounds),
+                median_misprices: median(misprices),
+            };
+            table.push_row(vec![
+                k.to_string(),
+                rec.stab.to_string(),
+                format!("{:.2}", rec.median_ms),
+                format!("{:.2}", rec.median_mono_ms),
+                format!("{:.0}", rec.median_rounds),
+                format!("{:.0}", rec.median_misprices),
+            ]);
+            records.push(rec);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: dual-simplex reoptimization after row additions
+// ---------------------------------------------------------------------------
+
+/// Bounded random packing LP (the master shape).
 fn random_packing_lp(seed: u64, cols: usize) -> LinearProgram {
     let mut rng = StdRng::seed_from_u64(seed);
     let rows = (cols / 2).max(1);
@@ -63,142 +362,219 @@ fn with_extra_rows(lp: &LinearProgram, seed: u64, extra: usize) -> LinearProgram
     grown
 }
 
-fn bench_e14(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e14_decomposition");
-
-    // --- the E12 LP stage under both master modes -------------------------
-    // The Dantzig–Wolfe master runs twice: lazy usage-row activation (the
-    // default — rows materialize at the active support through the
-    // dual-simplex path) vs the PR 3 eager master (all n·k + n + k rows up
-    // front), so the lazy-row win is measured directly.
-    for &(n, k) in &[(50usize, 8usize), (200, 8)] {
-        let generated = protocol_scenario(&ScenarioConfig::new(n, k, 4242), 1.0);
-        let instance = &generated.instance;
-        let monolithic_options = LpFormulationOptions::default();
-        let dw_lazy_options =
-            LpFormulationOptions::default().with_master_mode(MasterMode::DantzigWolfe);
-        let dw_eager_options = LpFormulationOptions {
-            dw_lazy_rows: false,
-            ..LpFormulationOptions::default()
+fn reopt_sweep(smoke: bool) -> Table {
+    let cells: Vec<(usize, usize)> = if smoke {
+        vec![(60, 4)]
+    } else {
+        vec![(200, 4), (800, 4), (800, 16)]
+    };
+    let mut table = Table::new(
+        "E14c",
+        "dual reopt after row additions vs cold re-solve (multi-seed medians)",
+        &["n", "rows", "dual_ms", "cold_ms"],
+    );
+    let options = SimplexOptions::default();
+    for &(n, extra) in &cells {
+        let mut dual_times = Vec::new();
+        let mut cold_times = Vec::new();
+        for &seed in &SEEDS {
+            let base = random_packing_lp(seed + n as u64, n);
+            let (first, state) = solve_with_warm_start(&base, &options, None);
+            assert_eq!(first.status, LpStatus::Optimal);
+            let grown = with_extra_rows(&base, seed ^ 0x5a5a, extra);
+            let t0 = Instant::now();
+            let cold = solve(&grown, &options);
+            cold_times.push(t0.elapsed().as_secs_f64() * 1e3);
+            let t0 = Instant::now();
+            let re = reoptimize_after_row_additions(&grown, &options, state);
+            dual_times.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert!(re.used_dual_path, "packing rows must take the dual path");
+            assert_eq!(re.solution.status, cold.status);
+            if cold.status == LpStatus::Optimal {
+                assert!(
+                    (re.solution.objective - cold.objective).abs()
+                        < 1e-6 * (1.0 + cold.objective.abs()),
+                    "n = {n}: dual {} vs cold {}",
+                    re.solution.objective,
+                    cold.objective
+                );
+            }
         }
-        .with_master_mode(MasterMode::DantzigWolfe);
-
-        // equivalence gate before timing
-        let mono = solve_relaxation(instance, &monolithic_options);
-        let dw_lazy = solve_relaxation(instance, &dw_lazy_options);
-        let dw_eager = solve_relaxation(instance, &dw_eager_options);
-        assert!(
-            mono.converged && dw_lazy.converged && dw_eager.converged,
-            "n{n}_k{k} must converge"
-        );
-        for (label, dw) in [("lazy", &dw_lazy), ("eager", &dw_eager)] {
-            assert!(
-                (mono.objective - dw.objective).abs() < 1e-5 * (1.0 + mono.objective.abs()),
-                "n{n}_k{k}: monolithic {} vs dantzig-wolfe({label}) {}",
-                mono.objective,
-                dw.objective
-            );
-        }
-
-        group.bench_with_input(
-            BenchmarkId::new("lp_monolithic", format!("n{n}_k{k}")),
-            instance,
-            |b, inst| b.iter(|| solve_relaxation(inst, &monolithic_options)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("lp_dantzig_wolfe", format!("n{n}_k{k}")),
-            instance,
-            |b, inst| b.iter(|| solve_relaxation(inst, &dw_lazy_options)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("lp_dw_eager", format!("n{n}_k{k}")),
-            instance,
-            |b, inst| b.iter(|| solve_relaxation(inst, &dw_eager_options)),
-        );
+        table.push_row(vec![
+            n.to_string(),
+            extra.to_string(),
+            format!("{:.2}", median(dual_times)),
+            format!("{:.2}", median(cold_times)),
+        ]);
     }
+    table
+}
 
-    // --- dual-simplex reoptimization after row additions ------------------
-    // Two regimes: a handful of added rows (the incremental-master shape the
-    // dual path is built for) and a deep 16-row batch (where the repair
-    // approaches the cost of a full re-solve — measured, not hidden). Both
-    // run under the eta-file engine (`lu`, the former default) and the
-    // Forrest–Tomlin engine (`ft+se`), so the reopt grid shows whether the
-    // bounded-fill updates help the dual path too.
-    for &(n, extra, eng) in &[
-        (200usize, 4usize, "lu"),
-        (800, 4, "lu"),
-        (800, 16, "lu"),
-        (200, 4, "ft"),
-        (800, 4, "ft"),
-        (800, 16, "ft"),
-    ] {
-        let options = if eng == "ft" {
-            SimplexOptions::default().with_engine(
-                ssa_lp::PricingRule::SteepestEdge,
-                ssa_lp::BasisKind::ForrestTomlin,
+// ---------------------------------------------------------------------------
+// Smoke acceptance gate: stabilization counters end to end
+// ---------------------------------------------------------------------------
+
+/// Five identical bidders pairwise in conflict: every master row looks the
+/// same and the duals are maximally degenerate — the shape where high-α
+/// smoothing is all but guaranteed to misprice.
+fn degenerate_clique() -> AuctionInstance {
+    let n = 5;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    let bidder: Arc<dyn Valuation> = Arc::new(XorValuation::new(
+        2,
+        vec![
+            (ChannelSet::from_channels([0]), 2.0),
+            (ChannelSet::from_channels([1]), 2.0),
+            (ChannelSet::from_channels([0, 1]), 3.0),
+        ],
+    ));
+    AuctionInstance::new(
+        2,
+        vec![bidder; n],
+        ConflictStructure::Binary(ConflictGraph::from_edges(n, &edges)),
+        VertexOrdering::identity(n),
+        1.0,
+    )
+}
+
+fn misprice_counter_gate() {
+    let instance = degenerate_clique();
+    // Favorite-only seeding: the default top-4 seed would hand the master
+    // all three bundles of this valuation up front and the pricing loop
+    // (whose misprice counters this gate checks) would never run.
+    let plain_opts = LpFormulationOptions {
+        seed_top_bundles: 1,
+        ..Default::default()
+    };
+    let plain = solve_relaxation(&instance, &plain_opts);
+    assert!(plain.converged);
+    assert_eq!(
+        plain.info.stabilization_misprices, 0,
+        "stabilization off must report zero misprices"
+    );
+    let mut smoothed_opts = LpFormulationOptions::default()
+        .with_stabilization(Stabilization::Smoothing { alpha: 0.95 });
+    smoothed_opts.seed_top_bundles = 1;
+    let smoothed = solve_relaxation(&instance, &smoothed_opts);
+    assert!(smoothed.converged);
+    assert!(
+        (smoothed.objective - plain.objective).abs() < 1e-5 * (1.0 + plain.objective.abs()),
+        "smoothed {} vs plain {}",
+        smoothed.objective,
+        plain.objective
+    );
+    assert!(
+        smoothed.info.stabilization_misprices > 0,
+        "α = 0.95 on the duplicated-bidder clique must trip the exactness guard"
+    );
+    println!(
+        "misprice counter gate: off = 0, smooth(0.95) = {} over {} rounds ✓",
+        smoothed.info.stabilization_misprices, smoothed.info.rounds
+    );
+}
+
+// ---------------------------------------------------------------------------
+
+fn json_snapshot(auction: &[AuctionRecord], blocks: &[BlockRecord], verdict: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"e14_decomposition\",\n");
+    out.push_str(&format!("  \"verdict\": \"{verdict}\",\n"));
+    out.push_str("  \"auction\": [\n");
+    let rows: Vec<String> = auction
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"n\": {}, \"k\": {}, \"mode\": \"{}\", \"stab\": \"{}\", \
+                 \"median_ms\": {:.3}, \"rounds\": {:.0}, \"columns\": {:.0}, \
+                 \"misprices\": {:.0}}}",
+                r.n,
+                r.k,
+                r.mode,
+                r.stab,
+                r.median_ms,
+                r.median_rounds,
+                r.median_columns,
+                r.median_misprices
             )
-        } else {
-            SimplexOptions::default()
-                .with_engine(ssa_lp::PricingRule::Devex, ssa_lp::BasisKind::SparseLu)
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str("  \"block_angular\": [\n");
+    let rows: Vec<String> = blocks
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"k\": {}, \"stab\": \"{}\", \"dw_median_ms\": {:.3}, \
+                 \"mono_median_ms\": {:.3}, \"rounds\": {:.0}, \"misprices\": {:.0}}}",
+                r.k, r.stab, r.median_ms, r.median_mono_ms, r.median_rounds, r.median_misprices
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// The measured crossover: for each auction cell, did any DW configuration
+/// beat the best monolithic one?
+fn crossover_verdict(records: &[AuctionRecord]) -> String {
+    let mut wins: Vec<String> = Vec::new();
+    let mut cells: Vec<(usize, usize)> = records.iter().map(|r| (r.n, r.k)).collect();
+    cells.sort_unstable();
+    cells.dedup();
+    for (n, k) in cells {
+        let best = |mode: &str| {
+            records
+                .iter()
+                .filter(|r| r.n == n && r.k == k && r.mode == mode)
+                .map(|r| r.median_ms)
+                .fold(f64::INFINITY, f64::min)
         };
-        let base = random_packing_lp(900 + n as u64, n);
-        let (first, state) = solve_with_warm_start(&base, &options, None);
-        assert_eq!(first.status, LpStatus::Optimal);
-        let grown = with_extra_rows(&base, 77, extra);
-
-        // equivalence gate: the dual path and a cold solve agree
-        let cold = solve(&grown, &options);
-        let re = reoptimize_after_row_additions(&grown, &options, clone_state(&state));
-        assert!(re.used_dual_path, "packing rows must take the dual path");
-        assert_eq!(re.solution.status, cold.status);
-        if cold.status == LpStatus::Optimal {
-            assert!(
-                (re.solution.objective - cold.objective).abs()
-                    < 1e-6 * (1.0 + cold.objective.abs()),
-                "n = {n}: dual {} vs cold {}",
-                re.solution.objective,
-                cold.objective
-            );
+        if best("dw") < best("mono") {
+            wins.push(format!("n{n}_k{k}"));
         }
-
-        group.bench_with_input(
-            BenchmarkId::new("reopt_cold", format!("n{n}_rows{extra}_{eng}")),
-            &grown,
-            |b, lp| b.iter(|| solve(lp, &options)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("reopt_dual", format!("n{n}_rows{extra}_{eng}")),
-            &(&grown, &state),
-            |b, (lp, state)| {
-                b.iter(|| reoptimize_after_row_additions(lp, &options, clone_state(state)))
-            },
-        );
-        // The criterion shim offers only `iter`, so `reopt_dual` pays one
-        // WarmStart deep clone (basis + factorization) per iteration that
-        // the cold baseline does not; this entry measures that clone alone
-        // so the dual-path numbers can be read net of it.
-        group.bench_with_input(
-            BenchmarkId::new("reopt_state_clone", format!("n{n}_rows{extra}_{eng}")),
-            &state,
-            |b, state| b.iter(|| clone_state(state)),
-        );
     }
-
-    group.finish();
+    if wins.is_empty() {
+        "monolithic everywhere".to_string()
+    } else {
+        format!("dw wins at {}", wins.join(", "))
+    }
 }
 
-/// The bench re-runs the reoptimization from the same prior state, so each
-/// iteration needs its own copy (the solver consumes the state by value).
-fn clone_state(state: &WarmStart) -> WarmStart {
-    state.clone()
-}
+fn main() {
+    let smoke = std::env::var_os("SSA_BENCH_SMOKE").is_some_and(|v| v != "0");
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(300))
-}
+    misprice_counter_gate();
 
-criterion_group! { name = benches; config = config(); targets = bench_e14 }
-criterion_main!(benches);
+    let mut auction_records = Vec::new();
+    let auction_table = auction_sweep(smoke, &mut auction_records);
+    println!("{}", auction_table.render());
+
+    let mut block_records = Vec::new();
+    let block_table = block_angular_sweep(smoke, &mut block_records);
+    println!("{}", block_table.render());
+
+    let reopt_table = reopt_sweep(smoke);
+    println!("{}", reopt_table.render());
+
+    let verdict = crossover_verdict(&auction_records);
+    println!("master-mode crossover verdict: {verdict}");
+
+    // Snapshots track the perf trajectory over time; smoke runs (CI) never
+    // overwrite the real measurement.
+    if !smoke {
+        let snapshot = json_snapshot(&auction_records, &block_records, &verdict);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e14.json");
+        if std::fs::write(path, snapshot).is_ok() {
+            println!("(decomposition snapshot written to BENCH_e14.json)");
+        }
+    }
+}

@@ -64,8 +64,33 @@ pub struct RelaxationInfo {
     /// Simplex pivots across every master re-solve.
     pub simplex_iterations: usize,
     /// Pivots of each master re-solve in order (the warm-start win is the
-    /// drop after round 0).
+    /// drop after round 0). Capped to the most recent
+    /// [`ssa_lp::ROUND_SERIES_CAP`] entries by the CG/DW layers.
     pub per_round_iterations: Vec<usize>,
+    /// Oracle pricing rounds (columns actually asked for — excludes the
+    /// final empty round that certifies optimality only when the master
+    /// converged in round one). On the Dantzig–Wolfe path this counts
+    /// block+source pricing passes at distinct duals.
+    pub pricing_rounds: usize,
+    /// Columns adopted by the master in each pricing round, in order
+    /// (same [`ssa_lp::ROUND_SERIES_CAP`] cap as `per_round_iterations`) —
+    /// the dual-oscillation fingerprint: a long tail of 1s means the
+    /// trajectory thrashes.
+    pub columns_per_round: Vec<usize>,
+    /// Total columns adopted by the master across all pricing rounds.
+    pub columns_generated: usize,
+    /// Stabilization mispricing events: rounds where the smoothed/boxed
+    /// duals priced nothing but the exactness guard found work at the true
+    /// duals (or the box machinery was still active at a no-progress
+    /// round). Always 0 with [`ssa_lp::Stabilization::Off`].
+    pub stabilization_misprices: usize,
+    /// Columns this solve adopted from the session's managed
+    /// [`ssa_lp::ColumnPool`] (0 on cold one-shot solves, which have no
+    /// pool).
+    pub pool_hits: usize,
+    /// Pool entries evicted (bounded-capacity LRU-by-usefulness) while
+    /// absorbing this solve's discoveries.
+    pub pool_evictions: usize,
     /// Basis refactorizations across every master re-solve.
     pub refactorizations: usize,
     /// The subset of refactorizations forced by a declined basis update or
@@ -112,6 +137,12 @@ impl Default for RelaxationInfo {
             num_columns: 0,
             simplex_iterations: 0,
             per_round_iterations: Vec::new(),
+            pricing_rounds: 0,
+            columns_per_round: Vec::new(),
+            columns_generated: 0,
+            stabilization_misprices: 0,
+            pool_hits: 0,
+            pool_evictions: 0,
             refactorizations: 0,
             forced_refactorizations: 0,
             degenerate_pivots: 0,
@@ -138,6 +169,12 @@ impl RelaxationInfo {
             num_columns,
             simplex_iterations: solution.iterations,
             per_round_iterations: vec![solution.iterations],
+            pricing_rounds: 0,
+            columns_per_round: Vec::new(),
+            columns_generated: 0,
+            stabilization_misprices: 0,
+            pool_hits: 0,
+            pool_evictions: 0,
             refactorizations: solution.stats.refactorizations,
             forced_refactorizations: solution.stats.forced_refactorizations,
             degenerate_pivots: solution.stats.degenerate_pivots,
@@ -164,7 +201,13 @@ impl RelaxationInfo {
             rounds: result.rounds,
             num_columns,
             simplex_iterations: result.simplex_iterations,
-            per_round_iterations: result.per_round_iterations.clone(),
+            per_round_iterations: result.per_round_iterations.recorded().to_vec(),
+            pricing_rounds: result.pricing_rounds,
+            columns_per_round: result.columns_per_round.recorded().to_vec(),
+            columns_generated: result.columns_generated,
+            stabilization_misprices: result.stabilization_misprices,
+            pool_hits: 0,
+            pool_evictions: 0,
             refactorizations: result.refactorizations,
             forced_refactorizations: result.forced_refactorizations,
             degenerate_pivots: result.degenerate_pivots,
@@ -188,7 +231,13 @@ impl RelaxationInfo {
             rounds: stats.master_rounds,
             num_columns,
             simplex_iterations: stats.master_iterations,
-            per_round_iterations: stats.master_per_round.clone(),
+            per_round_iterations: stats.master_per_round.recorded().to_vec(),
+            pricing_rounds: stats.pricing_rounds,
+            columns_per_round: stats.columns_per_round.recorded().to_vec(),
+            columns_generated: stats.columns_from_blocks + stats.columns_from_source,
+            stabilization_misprices: stats.stabilization_misprices,
+            pool_hits: 0,
+            pool_evictions: 0,
             refactorizations: stats.refactorizations,
             forced_refactorizations: stats.forced_refactorizations,
             degenerate_pivots: stats.degenerate_pivots,
@@ -274,6 +323,37 @@ pub struct LpFormulationOptions {
     /// How the relaxation master is solved: one monolithic LP, or the
     /// Dantzig–Wolfe decomposition with per-channel pricing subproblems.
     pub master_mode: MasterMode,
+    /// When `true` (the default) **and** `master_mode` is still the
+    /// default [`MasterMode::Monolithic`], the mode is re-derived per
+    /// instance from `(n, k, density)` against the e14-measured crossover
+    /// table ([`select_master_mode`]). Setting a mode explicitly — via
+    /// [`LpFormulationOptions::with_master_mode`] or
+    /// [`crate::solver::SolverBuilder::master_mode`], or any non-default
+    /// `master_mode` in a struct literal — always wins over the table.
+    pub auto_master_mode: bool,
+    /// Demand oracles return up to this many improving bundles per bidder
+    /// per pricing round ([`crate::valuation::Valuation::demand_top`]).
+    /// `1` (the default) reproduces classic single-column pricing;
+    /// structured valuations (XOR, tabular) can serve larger `p` for free
+    /// and cut the round count on oscillation-prone instances.
+    pub multi_column_pricing: usize,
+    /// Each bidder's top `seed_top_bundles` zero-price bundles are seeded
+    /// into the initial restricted master (on every path: cold,
+    /// Dantzig–Wolfe, session rebuild). The default of `4` is the
+    /// E12-measured sweet spot: a seed-depth sweep at n ∈ {200, 800, 2000}
+    /// showed depth 4 puts the optimum's support in the initial master and
+    /// collapses the pricing loop to a single round at every scale
+    /// (n = 2000: 9916 → 6439 total pivots, 12.7 s → 7.4 s, zero columns
+    /// generated), while depth 1 (the pre-PR 10 behavior) lets the first
+    /// round dump one column per unsatisfied bidder and the re-solve then
+    /// fights their mutual degeneracy. Depths past the valuation profile's
+    /// bundle count are free (`demand_top` saturates).
+    pub seed_top_bundles: usize,
+    /// Capacity of the session's managed column pool
+    /// ([`ssa_lp::ColumnPool`]): bundles remembered across resolves for
+    /// warm seeding, with LRU-by-usefulness eviction past the cap. `0`
+    /// means unbounded (the pre-PR 10 behavior).
+    pub column_pool_capacity: usize,
     /// If `true`, skip column generation and enumerate **all** bundles with
     /// positive value as columns (exponential in `k`; only sensible for
     /// small `k`, used by tests as ground truth).
@@ -319,6 +399,10 @@ impl Default for LpFormulationOptions {
         LpFormulationOptions {
             column_generation: ColumnGeneration::default(),
             master_mode: MasterMode::Monolithic,
+            auto_master_mode: true,
+            multi_column_pricing: 1,
+            seed_top_bundles: 4,
+            column_pool_capacity: 8192,
             enumerate_all_bundles: false,
             support_tolerance: 1e-9,
             dw_lazy_rows: true,
@@ -337,11 +421,54 @@ impl LpFormulationOptions {
     }
 
     /// Selects how the relaxation master is solved (monolithic vs
-    /// Dantzig–Wolfe) — the pipeline-level decomposition switch.
+    /// Dantzig–Wolfe) — the pipeline-level decomposition switch. An
+    /// explicit choice disables the `(n, k, density)` auto-select.
     pub fn with_master_mode(mut self, mode: MasterMode) -> Self {
         self.master_mode = mode;
+        self.auto_master_mode = false;
         self
     }
+
+    /// Selects the dual-stabilization policy of the pricing loop
+    /// ([`ssa_lp::Stabilization`]) — applied by both master modes.
+    pub fn with_stabilization(mut self, stabilization: ssa_lp::Stabilization) -> Self {
+        self.column_generation.stabilization = stabilization;
+        self
+    }
+
+    /// The master mode this instance will actually be solved with:
+    /// the explicit `master_mode` unless auto-select is live (see
+    /// [`LpFormulationOptions::auto_master_mode`]), in which case the
+    /// measured crossover table decides.
+    pub fn resolved_master_mode(&self, instance: &AuctionInstance) -> MasterMode {
+        if !self.auto_master_mode || self.master_mode != MasterMode::Monolithic {
+            return self.master_mode;
+        }
+        let n = instance.num_bidders();
+        let k = instance.num_channels;
+        let density = instance.conflict_density();
+        select_master_mode(n, k, density)
+    }
+}
+
+/// The data-driven master-mode choice for an instance shape, backed by the
+/// e14 crossover sweep (multi-seed medians, stabilization on and off,
+/// n ∈ {50, 200} × k ∈ {8, 16, 32} auction instances plus generic
+/// block-angular LPs to k = 64 blocks; see
+/// `crates/bench/benches/e14_decomposition.rs` and `BENCH_e14.json`).
+///
+/// **Measured verdict (this hardware, PR 10):** the monolithic master wins
+/// at every measured `(n, k, density)` cell, by 3–7× (e.g. 8.8 ms vs
+/// 63 ms at `(200, 8)`, 41 ms vs 119 ms at `(200, 32)`) — Dantzig–Wolfe's
+/// per-round masters are individually cheap, but the decomposition pays
+/// for `k` subproblem re-solves per round and converges through more
+/// rounds, and stabilization narrows but does not close the gap. There is
+/// **no measured crossover**, so this table honestly returns
+/// [`MasterMode::Monolithic`] everywhere; it exists so the decision is a
+/// single data-backed function the next sweep can overwrite, not folklore
+/// spread across call sites.
+pub fn select_master_mode(_n: usize, _k: usize, _density: f64) -> MasterMode {
+    MasterMode::Monolithic
 }
 
 /// Packs `(bidder, bundle)` into the 64-bit column tag every master uses
@@ -398,11 +525,15 @@ const ORACLE_UTILITY_TOLERANCE: f64 = 1e-9;
 /// Dantzig–Wolfe masters: for each bidder, derive its channel prices from
 /// the master duals (`prices_for` is the only step the two modes disagree
 /// on — the monolithic master sums neighborhood row duals, the decomposed
-/// master reads its usage-row duals directly), query the demand oracle,
-/// and emit a column when the bundle's utility beats the bidder's dual.
+/// master reads its usage-row duals directly), query the demand oracle for
+/// its `top` best bundles ([`Valuation::demand_top`]), and emit a column
+/// for each bundle whose utility beats the bidder's dual.
+///
+/// [`Valuation::demand_top`]: crate::valuation::Valuation::demand_top
 pub(crate) fn demand_oracle_columns(
     instance: &AuctionInstance,
     duals: &[f64],
+    top: usize,
     prices_for: impl Fn(usize) -> Vec<f64>,
     bidder_dual_row: impl Fn(usize) -> usize,
     column_of: impl Fn(usize, ChannelSet) -> GeneratedColumn,
@@ -411,14 +542,15 @@ pub(crate) fn demand_oracle_columns(
     let mut columns = Vec::new();
     for bidder in 0..n {
         let prices = prices_for(bidder);
-        let bundle = instance.bidders[bidder].demand(&prices);
-        if bundle.is_empty() {
-            continue;
-        }
-        let utility = instance.value(bidder, bundle) - bundle.total_price(&prices);
         let z_v = duals[bidder_dual_row(bidder)];
-        if utility > z_v + ORACLE_UTILITY_TOLERANCE {
-            columns.push(column_of(bidder, bundle));
+        for bundle in instance.bidders[bidder].demand_top(&prices, top.max(1)) {
+            if bundle.is_empty() {
+                continue;
+            }
+            let utility = instance.value(bidder, bundle) - bundle.total_price(&prices);
+            if utility > z_v + ORACLE_UTILITY_TOLERANCE {
+                columns.push(column_of(bidder, bundle));
+            }
         }
     }
     columns
@@ -427,6 +559,7 @@ pub(crate) fn demand_oracle_columns(
 /// The demand-oracle pricing source for the column-generation loop.
 struct DemandOraclePricing<'a> {
     instance: &'a AuctionInstance,
+    top: usize,
 }
 
 impl<'a> ColumnSource for DemandOraclePricing<'a> {
@@ -437,6 +570,7 @@ impl<'a> ColumnSource for DemandOraclePricing<'a> {
         demand_oracle_columns(
             instance,
             duals,
+            self.top,
             // bidder-specific channel prices from the duals of the (v, j)
             // rows of the monolithic master
             |bidder| {
@@ -538,12 +672,22 @@ pub(crate) fn strict_status_error(
 }
 
 /// Offers the shared master seed set to `add`: the caller's column pool
-/// (re-priced at the current valuations) followed by each bidder's
-/// zero-price favorite bundle, with one positive-value filter — so the
+/// (re-priced at the current valuations) followed by each bidder's top
+/// `seed_top` zero-price bundles, with one positive-value filter — so the
 /// cold, Dantzig–Wolfe and session-rebuild paths seed identically.
+///
+/// `seed_top` is the E12-measured lever against pricing-loop degeneracy:
+/// with only the single favorite seeded (`seed_top = 1`), the first
+/// pricing round returns one improving column per unsatisfied bidder —
+/// hundreds at once at n = 2000 — and the warm re-solve fights their
+/// mutual degeneracy pivot by pivot (~40% of the run's pivots). Seeding
+/// each bidder's top four instead puts the optimum's support in the
+/// initial master and the loop converges in one round at every measured
+/// scale (n = 2000: 9916 → 6439 pivots, zero generated columns).
 pub(crate) fn seed_columns(
     instance: &AuctionInstance,
     pool: &[(usize, ChannelSet)],
+    seed_top: usize,
     mut add: impl FnMut(usize, ChannelSet),
 ) {
     for &(bidder, bundle) in pool {
@@ -553,9 +697,10 @@ pub(crate) fn seed_columns(
     }
     let zero_prices = vec![0.0; instance.num_channels];
     for bidder in 0..instance.num_bidders() {
-        let bundle = instance.bidders[bidder].demand(&zero_prices);
-        if !bundle.is_empty() && instance.value(bidder, bundle) > 0.0 {
-            add(bidder, bundle);
+        for bundle in instance.bidders[bidder].demand_top(&zero_prices, seed_top.max(1)) {
+            if !bundle.is_empty() && instance.value(bidder, bundle) > 0.0 {
+                add(bidder, bundle);
+            }
         }
     }
 }
@@ -570,7 +715,7 @@ fn solve_relaxation_inner(
         instance.num_channels <= 32,
         "the LP formulation packs bundles into 32-bit column tags (k ≤ 32)"
     );
-    if options.master_mode == MasterMode::DantzigWolfe {
+    if options.resolved_master_mode(instance) == MasterMode::DantzigWolfe {
         return solve_relaxation_dw(instance, options, pool, strict);
     }
     let mut master = MasterProblem::new(Sense::Maximize, master_rows(instance));
@@ -604,13 +749,21 @@ fn solve_relaxation_inner(
     }
 
     // Seed the master with the caller's column pool (re-priced at the
-    // current valuations by `column_for`), then with each bidder's favorite
-    // bundle so the first duals are meaningful.
-    seed_columns(instance, pool, |bidder, bundle| {
-        master.add_column(column_for(instance, bidder, bundle));
-    });
+    // current valuations by `column_for`), then with each bidder's top
+    // zero-price bundles so the first duals are meaningful.
+    seed_columns(
+        instance,
+        pool,
+        options.seed_top_bundles,
+        |bidder, bundle| {
+            master.add_column(column_for(instance, bidder, bundle));
+        },
+    );
 
-    let mut pricing = DemandOraclePricing { instance };
+    let mut pricing = DemandOraclePricing {
+        instance,
+        top: options.multi_column_pricing,
+    };
     // An iteration-limited master is surfaced as a proper error by the LP
     // layer. On the lenient (legacy) path the pipeline degrades gracefully:
     // the partial solution is used but explicitly marked non-converged (its
@@ -747,6 +900,7 @@ fn channel_block(instance: &AuctionInstance, j: usize) -> Subproblem {
 /// monolithic oracle computes by hand).
 struct DwDemandOraclePricing<'a> {
     instance: &'a AuctionInstance,
+    top: usize,
 }
 
 impl ColumnSource for DwDemandOraclePricing<'_> {
@@ -757,6 +911,7 @@ impl ColumnSource for DwDemandOraclePricing<'_> {
         demand_oracle_columns(
             instance,
             duals,
+            self.top,
             |bidder| (0..k).map(|j| duals[row_of(bidder, j, k)]).collect(),
             |bidder| bidder_row(bidder, n, k),
             |bidder, bundle| dw_column_for(instance, bidder, bundle),
@@ -803,6 +958,7 @@ fn solve_relaxation_dw(
         subproblem_simplex: options.column_generation.simplex,
         max_rounds: options.column_generation.max_rounds,
         tolerance: options.column_generation.reduced_cost_tolerance,
+        stabilization: options.column_generation.stabilization,
     };
 
     if options.enumerate_all_bundles {
@@ -815,11 +971,16 @@ fn solve_relaxation_dw(
         }
     } else {
         // Seed with the caller's column pool (the session's warm-from-pool
-        // path), then with each bidder's favorite bundle so the first duals
-        // are meaningful (mirrors the monolithic path).
-        seed_columns(instance, pool, |bidder, bundle| {
-            dw.add_native_column(dw_column_for(instance, bidder, bundle));
-        });
+        // path), then with each bidder's top zero-price bundles so the
+        // first duals are meaningful (mirrors the monolithic path).
+        seed_columns(
+            instance,
+            pool,
+            options.seed_top_bundles,
+            |bidder, bundle| {
+                dw.add_native_column(dw_column_for(instance, bidder, bundle));
+            },
+        );
     }
 
     // Prime each channel block with its maximal fractional allocation (the
@@ -833,7 +994,10 @@ fn solve_relaxation_dw(
     dw.prime_blocks(&priming_duals, &dw_options);
 
     let mut no_oracle = |_: &[f64]| Vec::new();
-    let mut oracle = DwDemandOraclePricing { instance };
+    let mut oracle = DwDemandOraclePricing {
+        instance,
+        top: options.multi_column_pricing,
+    };
     let source: &mut dyn ColumnSource = if options.enumerate_all_bundles {
         &mut no_oracle
     } else {

@@ -53,8 +53,8 @@ use crate::valuation::Valuation;
 use serde::{Deserialize, Serialize};
 use ssa_conflict_graph::{ConflictGraph, VertexOrdering, WeightedConflictGraph};
 use ssa_lp::{
-    is_native_tag, ColumnGenerationError, ColumnSource, GeneratedColumn, MasterMode, MasterProblem,
-    Relation, Sense,
+    is_native_tag, ColumnGenerationError, ColumnPool, ColumnSource, GeneratedColumn, MasterMode,
+    MasterProblem, Relation, Sense,
 };
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -345,6 +345,7 @@ struct SessionOracle<'a> {
     instance: &'a AuctionInstance,
     row_vj: &'a [Vec<usize>],
     row_bidder: &'a [usize],
+    top: usize,
 }
 
 impl ColumnSource for SessionOracle<'_> {
@@ -354,6 +355,7 @@ impl ColumnSource for SessionOracle<'_> {
         demand_oracle_columns(
             instance,
             duals,
+            self.top,
             |bidder| {
                 (0..k)
                     .map(|j| {
@@ -382,10 +384,14 @@ impl ColumnSource for SessionOracle<'_> {
 pub struct AuctionSession {
     instance: AuctionInstance,
     options: SolverOptions,
-    /// Every `(bidder, bundle)` column discovered by any resolve so far;
-    /// survives rebuilds (re-priced at the then-current valuations).
-    pool: Vec<(usize, ChannelSet)>,
-    pool_tags: HashSet<u64>,
+    /// Every `(bidder, bundle)` column discovered by any resolve so far —
+    /// a managed [`ColumnPool`] keyed by the shared `(bidder, bundle)` tag
+    /// encoding (coefficients are re-derived against the current layout at
+    /// seed time, so entries carry identity only). Survives rebuilds
+    /// (re-priced at the then-current valuations); bounded by
+    /// `LpFormulationOptions::column_pool_capacity` with
+    /// LRU-by-usefulness eviction.
+    pool: ColumnPool,
     /// The cached restricted master (monolithic mode only) with its warm
     /// basis, or `None` before the first resolve / after a structural
     /// mutation.
@@ -438,11 +444,17 @@ impl AuctionSession {
             instance.num_channels <= 32,
             "the LP formulation packs bundles into 32-bit column tags (k ≤ 32)"
         );
+        let mut options = options;
+        // Sessions pin the master mode once, at the opening instance's
+        // shape: auto-select flipping modes mid-session would discard the
+        // cached master exactly when it is most valuable.
+        options.lp.master_mode = options.lp.resolved_master_mode(&instance);
+        options.lp.auto_master_mode = false;
+        let pool = ColumnPool::with_capacity(options.lp.column_pool_capacity);
         AuctionSession {
             instance,
             options,
-            pool: Vec::new(),
-            pool_tags: HashSet::new(),
+            pool,
             master: None,
             row_vj: Vec::new(),
             row_bidder: Vec::new(),
@@ -526,6 +538,22 @@ impl AuctionSession {
     /// Number of distinct `(bidder, bundle)` columns discovered so far.
     pub fn pool_len(&self) -> usize {
         self.pool.len()
+    }
+
+    /// The managed column pool behind the session's warm-from-pool paths
+    /// (read-only: per-column age/hit metadata and hit/eviction counters).
+    pub fn pool(&self) -> &ColumnPool {
+        &self.pool
+    }
+
+    /// The pool's `(bidder, bundle)` identities, decoded from the shared
+    /// tag encoding.
+    fn pool_pairs(&self) -> Vec<(usize, ChannelSet)> {
+        self.pool
+            .entries()
+            .iter()
+            .map(|e| decode_column_tag(e.column.tag))
+            .collect()
     }
 
     /// Warm-path accounting.
@@ -676,13 +704,14 @@ impl AuctionSession {
             .map(|&u| if u > bidder { u - 1 } else { u })
             .collect();
         self.instance.ordering = VertexOrdering::from_order(order);
-        self.pool = self
-            .pool
-            .iter()
-            .filter(|&&(v, _)| v != bidder)
-            .map(|&(v, b)| (if v > bidder { v - 1 } else { v }, b))
-            .collect();
-        self.pool_tags = self.pool.iter().map(|&(v, b)| column_tag(v, b)).collect();
+        self.pool.retain_map(|e| {
+            let (v, b) = decode_column_tag(e.column.tag);
+            match v.cmp(&bidder) {
+                std::cmp::Ordering::Less => Some(e.column.tag),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater => Some(column_tag(v - 1, b)),
+            }
+        });
 
         if self.can_grow_incrementally() {
             let master = self
@@ -970,15 +999,21 @@ impl AuctionSession {
         // The per-path counter is picked here but only bumped after the
         // solve succeeds, so failed attempts (pivot budgets) don't skew the
         // accounting the tests and the e15 bench assert on.
-        let (fractional, path_counter) = if self.options.lp.master_mode == MasterMode::DantzigWolfe
+        let pool_hits_before = self.pool.hits();
+        let pool_evictions_before = self.pool.evictions();
+        let (mut fractional, path_counter) = if self.options.lp.master_mode
+            == MasterMode::DantzigWolfe
             || self.options.lp.enumerate_all_bundles
         {
             // No incremental path for the decomposed / enumerated masters
             // yet: every resolve is a pool-seeded from-scratch solve. No
             // monolithic master means no duals to certify with either.
             self.pending_duals = None;
-            let fractional =
-                try_solve_relaxation_with_pool(&self.instance, &self.options.lp, &self.pool)?;
+            let fractional = try_solve_relaxation_with_pool(
+                &self.instance,
+                &self.options.lp,
+                &self.pool_pairs(),
+            )?;
             (fractional, SessionPath::Cold)
         } else {
             match (self.master.is_some(), self.staleness) {
@@ -1036,6 +1071,10 @@ impl AuctionSession {
             SessionPath::Deactivated => self.stats.deactivated_resolves += 1,
         }
         self.absorb_pool(&fractional);
+        // Pool accounting for this resolve: rediscovered bundles (hits)
+        // and capacity evictions observed while absorbing the solution.
+        fractional.info.pool_hits = self.pool.hits() - pool_hits_before;
+        fractional.info.pool_evictions = self.pool.evictions() - pool_evictions_before;
         self.staleness = Staleness::Clean;
         self.pending_added_rows = 0;
         self.dirty_objectives = false;
@@ -1155,15 +1194,21 @@ impl AuctionSession {
             .collect();
         self.row_bidder = (0..n).map(|v| n * k + v).collect();
         let mut master = MasterProblem::new(Sense::Maximize, master_rows(&self.instance));
-        seed_columns(&self.instance, &self.pool, |bidder, bundle| {
-            master.add_column(session_column_for(
-                &self.instance,
-                bidder,
-                bundle,
-                &self.row_vj,
-                &self.row_bidder,
-            ));
-        });
+        let seed_top = self.options.lp.seed_top_bundles;
+        seed_columns(
+            &self.instance,
+            &self.pool_pairs(),
+            seed_top,
+            |bidder, bundle| {
+                master.add_column(session_column_for(
+                    &self.instance,
+                    bidder,
+                    bundle,
+                    &self.row_vj,
+                    &self.row_bidder,
+                ));
+            },
+        );
         self.master = Some(master);
     }
 
@@ -1177,6 +1222,7 @@ impl AuctionSession {
             instance: &self.instance,
             row_vj: &self.row_vj,
             row_bidder: &self.row_bidder,
+            top: self.options.lp.multi_column_pricing,
         };
         let cg = &self.options.lp.column_generation;
         let support_tolerance = self.options.lp.support_tolerance;
@@ -1233,18 +1279,29 @@ impl AuctionSession {
     }
 
     fn absorb_pool(&mut self, fractional: &FractionalAssignment) {
-        let AuctionSession {
-            master,
-            pool,
-            pool_tags,
-            ..
-        } = self;
+        let AuctionSession { master, pool, .. } = self;
+        // A bundle already pooled and rediscovered by this resolve is a
+        // *hit* (it keeps earning its seat against LRU eviction); a new
+        // bundle is offered, possibly evicting the least useful entry.
+        // Entries carry identity only — empty coefficient vectors — since
+        // the session re-derives coefficients against the current row
+        // layout when seeding.
         let mut insert = |bidder: usize, bundle: ChannelSet| {
             if bundle.is_empty() {
                 return;
             }
-            if pool_tags.insert(column_tag(bidder, bundle)) {
-                pool.push((bidder, bundle));
+            let tag = column_tag(bidder, bundle);
+            if pool.contains_tag(tag) {
+                pool.note_hit(tag);
+            } else {
+                pool.offer(
+                    GeneratedColumn {
+                        objective: 0.0,
+                        coeffs: Vec::new(),
+                        tag,
+                    },
+                    bidder,
+                );
             }
         };
         if let Some(master) = master {
@@ -1477,7 +1534,7 @@ mod tests {
         assert_eq!(session.stats().cold_resolves, 2);
         // the pool survived the departure, minus the departed bidder's bundles
         assert!(session.pool_len() > 0);
-        assert!(session.pool.iter().all(|&(v, _)| v < 6));
+        assert!(session.pool_pairs().iter().all(|&(v, _)| v < 6));
     }
 
     /// Departures compose with every other warm mutation: depart → re-bid

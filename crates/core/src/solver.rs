@@ -185,6 +185,52 @@ impl SolverBuilder {
         self
     }
 
+    /// Selects the dual-stabilization policy of the column-generation
+    /// pricing trajectory ([`ssa_lp::Stabilization`]), applied by both
+    /// master modes:
+    ///
+    /// * `Off` — price at the raw master duals (the classic loop).
+    /// * `Smoothing { alpha }` — price at a convex combination of a
+    ///   running stability center and the current duals (Neame-style
+    ///   in-out pricing). Damps the dual oscillation that degenerate /
+    ///   alternate-optima masters induce, usually cutting both the round
+    ///   count and the generated-column count; an exactness guard
+    ///   re-prices at the true duals before optimality is declared, so
+    ///   the optimum is unchanged.
+    /// * `BoxStep { penalty, width }` — du Merle-style soft dual boxes
+    ///   around the incumbent duals, shrinking on mispricing (maximize
+    ///   masters only).
+    pub fn stabilization(mut self, stabilization: ssa_lp::Stabilization) -> Self {
+        self.options.lp = self.options.lp.with_stabilization(stabilization);
+        self
+    }
+
+    /// Lets demand oracles return up to `p` improving bundles per bidder
+    /// per pricing round
+    /// ([`crate::valuation::Valuation::demand_top`]); `1` is classic
+    /// single-column pricing.
+    pub fn multi_column_pricing(mut self, p: usize) -> Self {
+        self.options.lp.multi_column_pricing = p.max(1);
+        self
+    }
+
+    /// Caps the session column pool ([`ssa_lp::ColumnPool`]) at `capacity`
+    /// entries with LRU-by-usefulness eviction; `0` means unbounded.
+    pub fn column_pool_capacity(mut self, capacity: usize) -> Self {
+        self.options.lp.column_pool_capacity = capacity;
+        self
+    }
+
+    /// Seeds the initial restricted master with each bidder's top `s`
+    /// zero-price bundles instead of just the favorite. The default (4)
+    /// is the measured degeneracy killer at scale — see
+    /// [`LpFormulationOptions::seed_top_bundles`](crate::LpFormulationOptions::seed_top_bundles);
+    /// `1` recovers the classic favorite-only seed.
+    pub fn seed_top_bundles(mut self, s: usize) -> Self {
+        self.options.lp.seed_top_bundles = s.max(1);
+        self
+    }
+
     /// Configures the randomized rounding stage: RNG seed and number of
     /// independent trials (the best allocation is kept).
     pub fn rounding(mut self, seed: u64, trials: usize) -> Self {
@@ -425,8 +471,29 @@ pub struct OutcomeSummary {
     pub lp_converged: bool,
     /// Column-generation pricing rounds.
     pub lp_rounds: usize,
+    /// Oracle pricing rounds (see `RelaxationInfo::pricing_rounds` — on
+    /// the Dantzig–Wolfe path this was previously accumulated but never
+    /// surfaced here).
+    pub pricing_rounds: usize,
     /// Simplex pivots across every master re-solve.
     pub simplex_iterations: usize,
+    /// Pivots of each master re-solve in order (capped to the most recent
+    /// `ssa_lp::ROUND_SERIES_CAP` rounds) — the per-round trajectory both
+    /// master modes record, so a serialized snapshot shows *where* the
+    /// pivots went without a bench rerun.
+    pub per_round_master_iterations: Vec<usize>,
+    /// Columns the master adopted in each pricing round, in order (same
+    /// cap) — the dual-oscillation fingerprint.
+    pub columns_per_round: Vec<usize>,
+    /// Total columns adopted across all pricing rounds.
+    pub columns_generated: usize,
+    /// Stabilization mispricing events (0 when stabilization is off).
+    pub stabilization_misprices: usize,
+    /// Columns adopted from the session's managed column pool (0 on
+    /// one-shot solves).
+    pub pool_hits: usize,
+    /// Pool entries evicted by the capacity bound during this solve.
+    pub pool_evictions: usize,
     /// Basis refactorizations across every master re-solve.
     pub refactorizations: usize,
     /// The stability-forced subset of `refactorizations` (declined basis
@@ -478,7 +545,14 @@ impl OutcomeSummary {
             master_mode: outcome.lp_info.mode,
             lp_converged: outcome.lp_converged,
             lp_rounds: outcome.lp_info.rounds,
+            pricing_rounds: outcome.lp_info.pricing_rounds,
             simplex_iterations: outcome.lp_info.simplex_iterations,
+            per_round_master_iterations: outcome.lp_info.per_round_iterations.clone(),
+            columns_per_round: outcome.lp_info.columns_per_round.clone(),
+            columns_generated: outcome.lp_info.columns_generated,
+            stabilization_misprices: outcome.lp_info.stabilization_misprices,
+            pool_hits: outcome.lp_info.pool_hits,
+            pool_evictions: outcome.lp_info.pool_evictions,
             refactorizations: outcome.lp_info.refactorizations,
             forced_refactorizations: outcome.lp_info.forced_refactorizations,
             dual_pivots: outcome.lp_info.dual_pivots,

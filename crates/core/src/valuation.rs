@@ -58,6 +58,24 @@ pub trait Valuation: Send + Sync {
         best
     }
 
+    /// Multi-column demand oracle: up to `p` **distinct** bundles in
+    /// non-increasing utility order, each with strictly positive utility
+    /// at `prices`, led by the [`Valuation::demand`] bundle. Column
+    /// generation uses this to pull several improving columns per pricing
+    /// round ([`crate::lp_formulation::LpFormulationOptions::multi_column_pricing`]),
+    /// shrinking the round count without changing the optimum.
+    ///
+    /// The default returns just the demand bundle (so `p = 1` reproduces
+    /// single-column pricing exactly); structured bidding languages
+    /// override it where runner-up bundles are cheap to enumerate.
+    fn demand_top(&self, prices: &[f64], p: usize) -> Vec<ChannelSet> {
+        let best = self.demand(prices);
+        if p == 0 || best.is_empty() {
+            return Vec::new();
+        }
+        vec![best]
+    }
+
     /// The bidder's maximum value over all bundles (demand at zero prices).
     fn max_value(&self) -> f64 {
         let prices = vec![0.0; self.num_channels()];
@@ -144,6 +162,38 @@ impl Valuation for TabularValuation {
         best
     }
 
+    fn demand_top(&self, prices: &[f64], p: usize) -> Vec<ChannelSet> {
+        // Negative prices fall back to the (exact) single-column default;
+        // otherwise the listed bundles are the only candidates, so the
+        // top-p improving bundles come from one sort.
+        if p <= 1 || prices.iter().any(|&p| p < 0.0) {
+            let best = self.demand(prices);
+            return if p == 0 || best.is_empty() {
+                Vec::new()
+            } else {
+                vec![best]
+            };
+        }
+        let baseline = self.value(ChannelSet::empty());
+        let mut candidates: Vec<(f64, u64)> = self
+            .table
+            .iter()
+            .map(|(&bits, &value)| {
+                (
+                    value - ChannelSet::from_bits(bits).total_price(prices),
+                    bits,
+                )
+            })
+            .filter(|&(utility, bits)| bits != 0 && utility > baseline + 1e-12)
+            .collect();
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        candidates
+            .into_iter()
+            .take(p)
+            .map(|(_, bits)| ChannelSet::from_bits(bits))
+            .collect()
+    }
+
     fn snapshot(&self) -> Option<ValuationSnapshot> {
         // The hash map iterates in arbitrary order; sort so equal tables
         // always snapshot equal.
@@ -211,6 +261,43 @@ impl Valuation for XorValuation {
         } else {
             best
         }
+    }
+
+    fn demand_top(&self, prices: &[f64], p: usize) -> Vec<ChannelSet> {
+        if p <= 1 {
+            let best = self.demand(prices);
+            return if p == 0 || best.is_empty() {
+                Vec::new()
+            } else {
+                vec![best]
+            };
+        }
+        // Candidates are exactly the atomic-bid bundles extended with the
+        // negatively-priced channels (see `demand`); rank them by utility
+        // and keep the distinct positive-utility prefix.
+        let free_channels: ChannelSet =
+            ChannelSet::from_channels((0..self.num_channels).filter(|&j| prices[j] < 0.0));
+        let mut candidates: Vec<(f64, u64)> = self
+            .bids
+            .iter()
+            .map(|&(bundle, _)| bundle.union(free_channels))
+            .chain(std::iter::once(free_channels))
+            .filter(|candidate| !candidate.is_empty())
+            .map(|candidate| {
+                (
+                    self.value(candidate) - candidate.total_price(prices),
+                    candidate.bits(),
+                )
+            })
+            .filter(|&(utility, _)| utility > 1e-12)
+            .collect();
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        candidates.dedup_by_key(|c| c.1);
+        candidates
+            .into_iter()
+            .take(p)
+            .map(|(_, bits)| ChannelSet::from_bits(bits))
+            .collect()
     }
 
     fn snapshot(&self) -> Option<ValuationSnapshot> {

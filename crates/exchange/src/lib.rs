@@ -185,6 +185,18 @@ impl std::error::Error for ExchangeError {
 pub struct LpActivity {
     /// Column-generation pricing rounds.
     pub rounds: usize,
+    /// Oracle pricing rounds (passes where the demand oracles were
+    /// actually asked for columns).
+    pub pricing_rounds: usize,
+    /// Columns adopted by the masters across every pricing round.
+    pub columns_generated: usize,
+    /// Stabilization mispricing events (smoothed/boxed duals priced
+    /// nothing, the true-dual guard found work); 0 with stabilization off.
+    pub stabilization_misprices: usize,
+    /// Columns adopted from the sessions' managed column pools.
+    pub pool_hits: usize,
+    /// Pool entries evicted by the capacity bound.
+    pub pool_evictions: usize,
     /// Master simplex pivots.
     pub simplex_iterations: usize,
     /// Basis refactorizations.
@@ -779,6 +791,11 @@ impl SpectrumExchange {
 
 fn accumulate_lp(into: &mut LpActivity, from: &LpActivity) {
     into.rounds += from.rounds;
+    into.pricing_rounds += from.pricing_rounds;
+    into.columns_generated += from.columns_generated;
+    into.stabilization_misprices += from.stabilization_misprices;
+    into.pool_hits += from.pool_hits;
+    into.pool_evictions += from.pool_evictions;
     into.simplex_iterations += from.simplex_iterations;
     into.refactorizations += from.refactorizations;
     into.forced_refactorizations += from.forced_refactorizations;
@@ -856,6 +873,11 @@ fn accumulate_info(
     info: &ssa_core::lp_formulation::RelaxationInfo,
 ) {
     lp.rounds += info.rounds;
+    lp.pricing_rounds += info.pricing_rounds;
+    lp.columns_generated += info.columns_generated;
+    lp.stabilization_misprices += info.stabilization_misprices;
+    lp.pool_hits += info.pool_hits;
+    lp.pool_evictions += info.pool_evictions;
     lp.simplex_iterations += info.simplex_iterations;
     lp.refactorizations += info.refactorizations;
     lp.forced_refactorizations += info.forced_refactorizations;

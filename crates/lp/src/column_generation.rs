@@ -57,15 +57,22 @@ use serde::{Deserialize, Serialize};
 /// | `[0, 1<<62)` | native columns (caller tags) |
 /// | `[1<<62, 1<<63)` | dead columns — fixed at zero, tag tombstoned so the original native tag can be re-used |
 /// | `[1<<63, 3<<62)` | Dantzig–Wolfe block extreme points ([`crate::decomposition`]) |
-/// | `[3<<62, 2⁶⁴)` | row-relief columns of deactivated rows |
+/// | `[3<<62, 7<<61)` | row-relief columns of deactivated rows |
+/// | `[7<<61, 2⁶⁴)` | dual-stabilization penalty columns ([`Stabilization::BoxStep`]) |
 pub const DEAD_COLUMN_TAG_BASE: u64 = 1 << 62;
 
 /// First tag of the row-relief range (see [`DEAD_COLUMN_TAG_BASE`]).
 pub const ROW_RELIEF_TAG_BASE: u64 = 0xC000_0000_0000_0000;
 
+/// First tag of the dual-stabilization range (see
+/// [`DEAD_COLUMN_TAG_BASE`]): box-step penalty columns installed by a
+/// stabilized pricing loop live here so extraction and relief-column
+/// invariants can tell them apart from row relief.
+pub const STABILIZATION_TAG_BASE: u64 = 0xE000_0000_0000_0000;
+
 /// Whether a master column tag is a native caller tag (as opposed to a
-/// solver-internal dead / block / relief column). Extraction and column
-/// scans up the stack must skip non-native tags.
+/// solver-internal dead / block / relief / stabilization column).
+/// Extraction and column scans up the stack must skip non-native tags.
 pub fn is_native_tag(tag: u64) -> bool {
     tag < DEAD_COLUMN_TAG_BASE
 }
@@ -73,7 +80,172 @@ pub fn is_native_tag(tag: u64) -> bool {
 /// Whether a master column tag marks a row-relief column of a deactivated
 /// row.
 pub fn is_relief_tag(tag: u64) -> bool {
-    tag >= ROW_RELIEF_TAG_BASE
+    (ROW_RELIEF_TAG_BASE..STABILIZATION_TAG_BASE).contains(&tag)
+}
+
+/// Whether a master column tag marks a box-step stabilization penalty
+/// column.
+pub fn is_stabilization_tag(tag: u64) -> bool {
+    tag >= STABILIZATION_TAG_BASE
+}
+
+/// Dual-stabilization policy for the pricing loops
+/// ([`ColumnGeneration::run`] and the Dantzig–Wolfe driver in
+/// [`crate::decomposition`]).
+///
+/// Alternate optima in the master make the duals oscillate between pricing
+/// rounds, and an oracle chasing the oscillation generates columns that a
+/// steadier dual trajectory would never have asked for. Both policies damp
+/// the trajectory while keeping the final answer **exact**:
+///
+/// * [`Smoothing`](Stabilization::Smoothing) prices the oracle at a convex
+///   combination of the incumbent stability center and the current duals
+///   (Neame-style smoothing): `ŷ ← α·ŷ + (1 − α)·y`. A round whose smoothed
+///   duals find nothing is **re-priced at the true duals** before
+///   optimality may be declared (the exactness guard); such a round counts
+///   as a *misprice* and resets the center to the true duals.
+/// * [`BoxStep`](Stabilization::BoxStep) augments the master with paired
+///   penalty columns that confine the duals to a soft box
+///   `[ŷ − width, ŷ + width]` around the center (du Merle-style, with one
+///   shared overflow budget row whose right-hand side is `penalty`). A
+///   converged round whose penalty machinery is still active is a
+///   misprice: the box **shrinks** (halved width, re-centered on the
+///   incumbent duals) and after [`MAX_BOX_SHRINKS`] shrinks it retires
+///   entirely, so the final rounds always run — and certify — against the
+///   unstabilized master.
+///
+/// `Off` is bitwise-identical to the historical loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Stabilization {
+    /// No stabilization: price at the true master duals every round.
+    #[default]
+    Off,
+    /// Neame dual smoothing with factor `alpha` ∈ \[0, 1): 0 is equivalent
+    /// to `Off`, values near 1 trust the incumbent center almost entirely.
+    Smoothing {
+        /// Weight of the incumbent stability center in the convex
+        /// combination.
+        alpha: f64,
+    },
+    /// du Merle soft dual boxes: the duals pay to leave
+    /// `[center − width, center + width]`, with a shared overflow budget of
+    /// `penalty` units.
+    BoxStep {
+        /// Right-hand side of the shared overflow budget row (how much box
+        /// violation the master may buy in total).
+        penalty: f64,
+        /// Half-width of the dual box around the stability center.
+        width: f64,
+    },
+}
+
+impl Stabilization {
+    /// Short label for tables and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stabilization::Off => "off",
+            Stabilization::Smoothing { .. } => "smoothing",
+            Stabilization::BoxStep { .. } => "box-step",
+        }
+    }
+
+    /// Whether this policy is [`Stabilization::Off`].
+    pub fn is_off(self) -> bool {
+        matches!(self, Stabilization::Off)
+    }
+}
+
+/// Box shrinks a [`Stabilization::BoxStep`] run performs before retiring
+/// the box entirely (a hard ceiling: retirement re-establishes the
+/// unstabilized loop's termination proof).
+pub const MAX_BOX_SHRINKS: usize = 8;
+
+/// Entries kept by a [`RoundSeries`] (the most recent ones win).
+pub const ROUND_SERIES_CAP: usize = 512;
+
+/// A capped-length ring of per-round observables (pivots per master
+/// re-solve, columns adopted per pricing round, …).
+///
+/// Long-lived sessions re-solve thousands of times; an unbounded
+/// `Vec<usize>` of per-round entries grows without limit across resolves.
+/// The series keeps the most recent [`ROUND_SERIES_CAP`] entries (in
+/// order) plus the lifetime push count, which is all the diagnostics
+/// upstream ever read.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundSeries {
+    data: Vec<usize>,
+    pushes: usize,
+}
+
+impl RoundSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        RoundSeries::default()
+    }
+
+    /// A series seeded with one entry.
+    pub fn of(value: usize) -> Self {
+        let mut s = RoundSeries::new();
+        s.push(value);
+        s
+    }
+
+    /// Appends an entry, dropping the oldest once the cap is reached.
+    pub fn push(&mut self, value: usize) {
+        self.data.push(value);
+        if self.data.len() > ROUND_SERIES_CAP {
+            self.data.remove(0);
+        }
+        self.pushes += 1;
+    }
+
+    /// The retained entries, oldest first.
+    pub fn recorded(&self) -> &[usize] {
+        &self.data
+    }
+
+    /// Number of retained entries (≤ [`ROUND_SERIES_CAP`]).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Lifetime number of pushes (≥ [`len`](Self::len)).
+    pub fn pushes(&self) -> usize {
+        self.pushes
+    }
+
+    /// Iterates the retained entries, oldest first.
+    pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+        self.data.iter()
+    }
+
+    /// Sum of the retained entries.
+    pub fn sum(&self) -> usize {
+        self.data.iter().sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a RoundSeries {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl From<Vec<usize>> for RoundSeries {
+    fn from(values: Vec<usize>) -> Self {
+        let mut s = RoundSeries::new();
+        for v in values {
+            s.push(v);
+        }
+        s
+    }
 }
 
 /// A column produced by a pricing oracle.
@@ -149,6 +321,8 @@ pub struct MasterProblem {
     next_dead_tag: u64,
     /// Next tag for row-relief columns ([`ROW_RELIEF_TAG_BASE`]).
     next_relief_tag: u64,
+    /// Next tag for box-step penalty columns ([`STABILIZATION_TAG_BASE`]).
+    next_stab_tag: u64,
     /// Lifetime count of rows deactivated on this master (survives
     /// compaction — it is churn attribution, not a size).
     rows_deactivated: usize,
@@ -189,6 +363,7 @@ impl MasterProblem {
             last_dual_pivots: 0,
             next_dead_tag: DEAD_COLUMN_TAG_BASE,
             next_relief_tag: ROW_RELIEF_TAG_BASE,
+            next_stab_tag: STABILIZATION_TAG_BASE,
             rows_deactivated: 0,
             compactions: 0,
         }
@@ -338,6 +513,20 @@ impl MasterProblem {
             );
         }
         self.lp.fix_variables_at_zero(cols);
+        // If a freshly fixed, non-harmless column sits in the recorded
+        // basis (even at value 0 — basic values drift with later pivots),
+        // the basis must not be resumed: the primal engine validates and
+        // rejects it, but the dual row-addition repair path trusts the
+        // recorded state as-is, so scrub it here.
+        if let Some(warm) = &self.warm {
+            let poisoned = warm.basis.iter().any(|b| match *b {
+                BasisVar::Structural(v) => cols.contains(&v) && !self.lp.fixed_value_is_harmless(v),
+                _ => false,
+            });
+            if poisoned {
+                self.warm = None;
+            }
+        }
         for &idx in cols {
             let col = &mut self.columns[idx];
             if col.tag >= DEAD_COLUMN_TAG_BASE {
@@ -567,6 +756,206 @@ impl MasterProblem {
     pub fn reset_warm_start(&mut self) {
         self.warm = None;
     }
+
+    /// Allocates a fresh tag in the stabilization range (monotone across
+    /// installs, so re-stabilizing a long-lived master never collides with
+    /// the retired columns of an earlier box).
+    fn alloc_stabilization_tag(&mut self) -> u64 {
+        let tag = self.next_stab_tag;
+        self.next_stab_tag += 1;
+        tag
+    }
+}
+
+/// Neame dual smoothing state: an exponentially smoothed stability center.
+/// See [`Stabilization::Smoothing`].
+#[derive(Clone, Debug)]
+pub(crate) struct DualSmoother {
+    alpha: f64,
+    center: Option<Vec<f64>>,
+}
+
+impl DualSmoother {
+    pub(crate) fn new(alpha: f64) -> Self {
+        DualSmoother {
+            alpha: alpha.clamp(0.0, 0.999),
+            center: None,
+        }
+    }
+
+    /// Advances the center toward `duals` and returns the smoothed pricing
+    /// point, or `None` when there is no established center yet (first
+    /// round, or the dual dimension changed under us — e.g. rows appended
+    /// mid-run): the caller then prices at the true duals.
+    pub(crate) fn advance(&mut self, duals: &[f64]) -> Option<Vec<f64>> {
+        if self.alpha <= 0.0 {
+            return None;
+        }
+        match &mut self.center {
+            Some(c) if c.len() == duals.len() => {
+                for (ci, &d) in c.iter_mut().zip(duals) {
+                    *ci = self.alpha * *ci + (1.0 - self.alpha) * d;
+                }
+                Some(c.clone())
+            }
+            _ => {
+                self.center = Some(duals.to_vec());
+                None
+            }
+        }
+    }
+
+    /// Resets the center to the given (true) duals — called after a
+    /// misprice so the next round starts from reality, not from the stale
+    /// trajectory that just mispriced.
+    pub(crate) fn reset_to(&mut self, duals: &[f64]) {
+        self.center = Some(duals.to_vec());
+    }
+}
+
+/// du Merle soft dual boxes installed on a master — the
+/// [`Stabilization::BoxStep`] machinery. See the enum docs for the model;
+/// the implementation detail worth knowing is the **shared overflow
+/// budget**: instead of bounding every penalty column individually (which
+/// would double the row count), one `Σ(gᵣ + hᵣ) ≤ penalty` row bounds the
+/// total box violation the master may buy, so the whole box costs one row
+/// and `2·m` columns.
+///
+/// Only **maximization** masters are stabilized this way (the auction's
+/// packing masters and the Dantzig–Wolfe master): on a minimization
+/// master the penalty columns would *relax* covering rows, which can make
+/// the augmented LP unbounded. `install` on a minimization master returns
+/// a retired (no-op) stabilizer.
+#[derive(Clone, Debug)]
+pub(crate) struct BoxStabilizer {
+    budget_row: usize,
+    boxed_rows: Vec<usize>,
+    lift: Vec<usize>,
+    cap: Vec<usize>,
+    width: f64,
+    shrinks: usize,
+    retired: bool,
+}
+
+impl BoxStabilizer {
+    /// Installs the box on every currently active master row, centered at
+    /// `duals` (the incumbent optimal duals). Appends one budget row and
+    /// two columns per boxed row; the next `solve_warm` goes through the
+    /// row-addition path.
+    pub(crate) fn install(
+        master: &mut MasterProblem,
+        duals: &[f64],
+        penalty: f64,
+        width: f64,
+    ) -> Self {
+        if master.lp.sense() != Sense::Maximize {
+            return BoxStabilizer {
+                budget_row: 0,
+                boxed_rows: Vec::new(),
+                lift: Vec::new(),
+                cap: Vec::new(),
+                width,
+                shrinks: 0,
+                retired: true,
+            };
+        }
+        let rows_before = master.num_rows().min(duals.len());
+        let budget_row = master.add_row(Relation::Le, penalty.max(0.0), Vec::new());
+        let mut boxed_rows = Vec::new();
+        let mut lift = Vec::new();
+        let mut cap = Vec::new();
+        for (r, &dual) in duals.iter().enumerate().take(rows_before) {
+            if !master.is_row_active(r) {
+                continue;
+            }
+            let lo = (dual - width).max(0.0);
+            let hi = dual + width;
+            let lift_idx = master.num_columns();
+            let tag = master.alloc_stabilization_tag();
+            master.add_column(GeneratedColumn {
+                objective: lo,
+                coeffs: vec![(r, 1.0), (budget_row, 1.0)],
+                tag,
+            });
+            let cap_idx = master.num_columns();
+            let tag = master.alloc_stabilization_tag();
+            master.add_column(GeneratedColumn {
+                objective: -hi,
+                coeffs: vec![(r, -1.0), (budget_row, 1.0)],
+                tag,
+            });
+            boxed_rows.push(r);
+            lift.push(lift_idx);
+            cap.push(cap_idx);
+        }
+        BoxStabilizer {
+            budget_row,
+            boxed_rows,
+            lift,
+            cap,
+            width,
+            shrinks: 0,
+            retired: false,
+        }
+    }
+
+    pub(crate) fn is_active(&self) -> bool {
+        !self.retired
+    }
+
+    /// Whether the box machinery is inactive in this solution: every
+    /// penalty column at (numerical) zero and the budget row's dual at
+    /// zero. Only then do the master's duals certify the *unstabilized*
+    /// optimum (see the termination argument in the enum docs).
+    pub(crate) fn clean(&self, solution: &LpSolution, tolerance: f64) -> bool {
+        if self.retired {
+            return true;
+        }
+        let value_of = |idx: usize| solution.x.get(idx).copied().unwrap_or(0.0);
+        let columns_clean = self
+            .lift
+            .iter()
+            .chain(self.cap.iter())
+            .all(|&idx| value_of(idx).abs() <= tolerance);
+        let budget_dual = solution.duals.get(self.budget_row).copied().unwrap_or(0.0);
+        columns_clean && budget_dual.abs() <= tolerance
+    }
+
+    /// Misprice response: re-center on the incumbent duals with half the
+    /// width, or retire entirely after [`MAX_BOX_SHRINKS`] shrinks.
+    /// Objective-only updates — the recorded basis stays valid.
+    pub(crate) fn shrink(&mut self, master: &mut MasterProblem, duals: &[f64]) {
+        if self.retired {
+            return;
+        }
+        self.shrinks += 1;
+        if self.shrinks > MAX_BOX_SHRINKS {
+            self.retire(master);
+            return;
+        }
+        self.width *= 0.5;
+        for (i, &r) in self.boxed_rows.iter().enumerate() {
+            let center = duals.get(r).copied().unwrap_or(0.0);
+            let lo = (center - self.width).max(0.0);
+            let hi = center + self.width;
+            master.set_column_objective(self.lift[i], lo);
+            master.set_column_objective(self.cap[i], -hi);
+        }
+    }
+
+    /// Removes the box from play: the penalty columns are fixed at zero
+    /// (barred from every future basis). The budget row stays behind but
+    /// only ever constrains the fixed columns, so it is permanently slack.
+    pub(crate) fn retire(&mut self, master: &mut MasterProblem) {
+        if self.retired {
+            return;
+        }
+        let cols: Vec<usize> = self.lift.iter().chain(self.cap.iter()).copied().collect();
+        if !cols.is_empty() {
+            master.fix_columns(&cols);
+        }
+        self.retired = true;
+    }
 }
 
 /// Outcome of a column-generation run.
@@ -582,8 +971,23 @@ pub struct ColumnGenerationResult {
     /// Total simplex pivots across every master re-solve of this run.
     pub simplex_iterations: usize,
     /// Pivots of each master re-solve, in order — the warm-start win is the
-    /// drop after round 0.
-    pub per_round_iterations: Vec<usize>,
+    /// drop after round 0. Ring-buffered at [`ROUND_SERIES_CAP`] so deep
+    /// sessions don't grow it without bound.
+    pub per_round_iterations: RoundSeries,
+    /// Columns adopted per pricing round (same capping) — the trajectory
+    /// observable: a healthy stabilized run adopts steadily and then dries
+    /// up, an oscillating one keeps re-discovering.
+    pub columns_per_round: RoundSeries,
+    /// Rounds in which the pricing oracle was actually queried (the final
+    /// confirming round included; master-only rounds such as box-step
+    /// shrink re-solves are not).
+    pub pricing_rounds: usize,
+    /// Total columns adopted by the master during this run.
+    pub columns_generated: usize,
+    /// Rounds where pricing at the stabilized duals found nothing but the
+    /// exactness guard's true-dual re-price (or box-shrink re-solve) kept
+    /// the loop going. Always 0 when stabilization is off.
+    pub stabilization_misprices: usize,
     /// Basis refactorizations across every master re-solve.
     pub refactorizations: usize,
     /// The subset of [`refactorizations`](Self::refactorizations) forced by
@@ -619,7 +1023,11 @@ impl ColumnGenerationResult {
             rounds,
             converged,
             simplex_iterations: iters,
-            per_round_iterations: vec![iters],
+            per_round_iterations: RoundSeries::of(iters),
+            columns_per_round: RoundSeries::new(),
+            pricing_rounds: 0,
+            columns_generated: 0,
+            stabilization_misprices: 0,
             refactorizations: stats.refactorizations,
             forced_refactorizations: stats.forced_refactorizations,
             degenerate_pivots: stats.degenerate_pivots,
@@ -704,6 +1112,20 @@ pub struct ColumnGeneration {
     /// Reduced-cost tolerance below which a column is not considered
     /// improving.
     pub reduced_cost_tolerance: f64,
+    /// Dual-trajectory stabilization policy (see [`Stabilization`]). The
+    /// exactness guard makes every policy reach the same optimum as
+    /// [`Stabilization::Off`]; only the trajectory (rounds, columns
+    /// generated) differs.
+    pub stabilization: Stabilization,
+    /// At most this many columns are adopted per pricing round, keeping
+    /// the most improving by |reduced cost| (`0` = unbounded). On wide
+    /// masters a single round can return one improving column per
+    /// subproblem — hundreds at once — and the re-solve then fights
+    /// through their mutual degeneracy pivot by pivot; adopting only the
+    /// strongest candidates keeps each re-solve cheap. Exactness is
+    /// unaffected: a capped round still adopts at least one column, so
+    /// convergence is only ever declared on a genuinely empty round.
+    pub max_columns_per_round: usize,
 }
 
 impl Default for ColumnGeneration {
@@ -712,8 +1134,39 @@ impl Default for ColumnGeneration {
             simplex: SimplexOptions::default(),
             max_rounds: 200,
             reduced_cost_tolerance: 1e-7,
+            stabilization: Stabilization::default(),
+            max_columns_per_round: 0,
         }
     }
+}
+
+/// Filters `cols` to the improving ones and adds at most `cap` of them
+/// (the most improving by |reduced cost|; `0` = all) to the master.
+/// Returns how many the master actually adopted.
+fn adopt_improving(
+    master: &mut MasterProblem,
+    mut cols: Vec<GeneratedColumn>,
+    duals: &[f64],
+    sense: Sense,
+    tolerance: f64,
+    cap: usize,
+) -> usize {
+    cols.retain(|c| c.is_improving(duals, sense, tolerance));
+    if cap != 0 && cols.len() > cap {
+        cols.sort_by(|a, b| {
+            let ra = a.reduced_cost(duals).abs();
+            let rb = b.reduced_cost(duals).abs();
+            rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        cols.truncate(cap);
+    }
+    let mut added = 0usize;
+    for col in cols {
+        if master.add_column(col) {
+            added += 1;
+        }
+    }
+    added
 }
 
 impl ColumnGeneration {
@@ -722,6 +1175,12 @@ impl ColumnGeneration {
     /// duals to `source`, and add every returned column that has improving
     /// reduced cost. Terminates when no new improving column arrives or
     /// `max_rounds` is reached.
+    ///
+    /// With [`Stabilization`] enabled the oracle is priced at the
+    /// stabilized duals instead; a stabilized round that finds nothing is
+    /// re-priced at the **true** duals (smoothing) or answered with a box
+    /// shrink (box-step) before optimality may be declared, so `Ok` with
+    /// `converged == true` means the genuine optimum under every policy.
     ///
     /// # Errors
     /// Returns [`ColumnGenerationError::IterationLimit`] when a master
@@ -733,9 +1192,21 @@ impl ColumnGeneration {
         master: &mut MasterProblem,
         source: &mut dyn ColumnSource,
     ) -> Result<ColumnGenerationResult, ColumnGenerationError> {
+        let sense = master.lp.sense();
         let mut rounds = 0usize;
+        let mut pricing_rounds = 0usize;
+        let mut columns_generated = 0usize;
+        let mut misprices = 0usize;
+        let mut columns_per_round = RoundSeries::new();
         let mut tally: Option<ColumnGenerationResult> = None;
-        loop {
+        let mut smoother = match self.stabilization {
+            Stabilization::Smoothing { alpha } => Some(DualSmoother::new(alpha)),
+            _ => None,
+        };
+        let mut boxer: Option<BoxStabilizer> = None;
+        // `Ok(converged)` breaks the loop; the tally is finished (and the
+        // box retired) on the single exit path below.
+        let outcome: Result<bool, ()> = loop {
             let solution = master.solve_warm(&self.simplex);
             rounds += 1;
             match &mut tally {
@@ -751,42 +1222,313 @@ impl ColumnGeneration {
                     t.solution = solution.clone();
                 }
             }
-            let finish = |mut t: ColumnGenerationResult, rounds: usize, converged: bool| {
-                t.rounds = rounds;
-                t.converged = converged;
-                t
-            };
             if solution.status == LpStatus::IterationLimit {
-                return Err(ColumnGenerationError::IterationLimit {
-                    partial: Box::new(finish(tally.take().expect("tallied above"), rounds, false)),
-                });
+                break Err(());
             }
             if rounds > self.max_rounds {
                 // `rounds` counts master solves actually performed, so the
                 // per-round iteration list stays one entry per round even on
                 // the truncated path.
-                return Ok(finish(tally.take().expect("tallied above"), rounds, false));
+                break Ok(false);
             }
             // An infeasible or unbounded master cannot be priced further.
             if solution.status != LpStatus::Optimal {
-                return Ok(finish(tally.take().expect("tallied above"), rounds, false));
+                break Ok(false);
             }
-            let candidates = source.generate(&solution.duals);
-            let mut added_improving = false;
-            for col in candidates {
-                if col.is_improving(
-                    &solution.duals,
-                    master.lp.sense(),
-                    self.reduced_cost_tolerance,
-                ) && master.add_column(col)
-                {
-                    added_improving = true;
+            // Box-step: the first optimal solve of a non-empty master
+            // centers and installs the box; the appended rows/columns
+            // re-solve on the next round (pricing this round still sees
+            // the true, unboxed duals). An empty master's duals are all
+            // zero — no trajectory worth boxing yet.
+            if let Stabilization::BoxStep { penalty, width } = self.stabilization {
+                if boxer.is_none() && master.num_columns() > 0 {
+                    boxer = Some(BoxStabilizer::install(
+                        master,
+                        &solution.duals,
+                        penalty,
+                        width,
+                    ));
                 }
             }
-            if !added_improving {
-                return Ok(finish(tally.take().expect("tallied above"), rounds, true));
+            // Price at the stabilized duals when a trajectory is
+            // established; the very first round (and any round after a
+            // dimension change) prices at the true duals.
+            let smoothed = smoother.as_mut().and_then(|s| s.advance(&solution.duals));
+            let pricing_duals: &[f64] = smoothed.as_deref().unwrap_or(&solution.duals);
+            pricing_rounds += 1;
+            let mut added = adopt_improving(
+                master,
+                source.generate(pricing_duals),
+                pricing_duals,
+                sense,
+                self.reduced_cost_tolerance,
+                self.max_columns_per_round,
+            );
+            if added == 0 && smoothed.is_some() {
+                // Exactness guard: the smoothed round found nothing, which
+                // proves nothing about the true duals. Re-price at them
+                // before convergence may be declared.
+                added = adopt_improving(
+                    master,
+                    source.generate(&solution.duals),
+                    &solution.duals,
+                    sense,
+                    self.reduced_cost_tolerance,
+                    self.max_columns_per_round,
+                );
+                if added > 0 {
+                    misprices += 1;
+                    if let Some(s) = &mut smoother {
+                        s.reset_to(&solution.duals);
+                    }
+                }
+            }
+            columns_per_round.push(added);
+            columns_generated += added;
+            if added > 0 {
+                continue;
+            }
+            // Nothing prices out. Under box-step the duals only certify
+            // optimality once the box machinery is inactive; otherwise
+            // this is a misprice and the box shrinks (retiring after
+            // MAX_BOX_SHRINKS), forcing another master round.
+            if let Some(b) = &mut boxer {
+                if b.is_active() && !b.clean(&solution, self.reduced_cost_tolerance.max(1e-9)) {
+                    misprices += 1;
+                    b.shrink(master, &solution.duals);
+                    continue;
+                }
+            }
+            break Ok(true);
+        };
+        // Leave the master unstabilized for whoever reuses it (sessions):
+        // penalty columns are fixed at zero, which keeps the recorded
+        // basis valid and never disturbs the final solution (their values
+        // are zero in any converged answer by the guard above).
+        if let Some(b) = &mut boxer {
+            b.retire(master);
+        }
+        let mut t = tally.take().expect("at least one master solve ran");
+        t.rounds = rounds;
+        t.pricing_rounds = pricing_rounds;
+        t.columns_per_round = columns_per_round;
+        t.columns_generated = columns_generated;
+        t.stabilization_misprices = misprices;
+        match outcome {
+            Ok(converged) => {
+                t.converged = converged;
+                Ok(t)
+            }
+            Err(()) => {
+                t.converged = false;
+                Err(ColumnGenerationError::IterationLimit {
+                    partial: Box::new(t),
+                })
             }
         }
+    }
+}
+
+/// Default capacity of a [`ColumnPool`] when the caller does not size it.
+pub const DEFAULT_POOL_CAPACITY: usize = 4096;
+
+/// A pooled column plus its usefulness bookkeeping. See [`ColumnPool`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PooledColumn {
+    /// The column itself (its coefficients are meaningful only relative to
+    /// the origin master's rows).
+    pub column: GeneratedColumn,
+    /// Caller-defined origin id (in [`BatchedMasters`]: the index of the
+    /// master whose oracle produced it; pool sharing only offers a column
+    /// to masters whose rows equal the origin's).
+    pub origin: usize,
+    /// Pool scan clock at insertion.
+    pub born_scan: u64,
+    /// Pool scan clock of the last recorded hit (insertion counts as the
+    /// zeroth hit so fresh columns aren't instant eviction bait).
+    pub last_hit_scan: u64,
+    /// Times this column was adopted / re-used after insertion.
+    pub hits: usize,
+    /// Reduced cost observed at the most recent scan that priced it
+    /// (`NaN` until a scan reaches it).
+    pub last_reduced_cost: f64,
+}
+
+/// First-class managed column pool: every column any oracle discovers,
+/// with per-column age / hit / last-reduced-cost metadata, a bounded size,
+/// and LRU-by-usefulness eviction (fewest hits first, least-recently-hit
+/// among ties).
+///
+/// This promotes what used to be three parallel `Vec`/`HashSet` fields
+/// inside [`BatchedMasters`] (and the ad-hoc `(bidder, bundle)` list in
+/// the auction session) into one reusable structure with observable
+/// counters: [`hits`](Self::hits), [`evictions`](Self::evictions),
+/// [`insertions`](Self::insertions).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ColumnPool {
+    entries: Vec<PooledColumn>,
+    capacity: usize,
+    clock: u64,
+    insertions: usize,
+    hits: usize,
+    evictions: usize,
+}
+
+impl ColumnPool {
+    /// An empty pool holding at most `capacity` columns (0 is treated as
+    /// unbounded, matching the historical behavior).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ColumnPool {
+            entries: Vec::new(),
+            capacity,
+            clock: 0,
+            insertions: 0,
+            hits: 0,
+            evictions: 0,
+        }
+    }
+
+    /// An unbounded pool.
+    pub fn unbounded() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Current number of pooled columns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime number of columns accepted (monotone — unlike
+    /// [`len`](Self::len), which eviction can shrink; use this as the
+    /// "has the pool grown since I last looked" signal).
+    pub fn insertions(&self) -> usize {
+        self.insertions
+    }
+
+    /// Lifetime number of recorded hits (adoptions / re-uses).
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lifetime number of evictions.
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// The pooled columns in insertion order (eviction may leave gaps in
+    /// seniority, never in the order).
+    pub fn entries(&self) -> &[PooledColumn] {
+        &self.entries
+    }
+
+    /// Whether a column with this tag is pooled.
+    pub fn contains_tag(&self, tag: u64) -> bool {
+        self.entries.iter().any(|e| e.column.tag == tag)
+    }
+
+    /// Offers a column; returns `true` if it was new (by tag) and
+    /// accepted. Accepting past capacity evicts the least useful column:
+    /// fewest hits, then least recently hit, then oldest.
+    pub fn offer(&mut self, column: GeneratedColumn, origin: usize) -> bool {
+        if self.contains_tag(column.tag) {
+            return false;
+        }
+        self.entries.push(PooledColumn {
+            column,
+            origin,
+            born_scan: self.clock,
+            last_hit_scan: self.clock,
+            hits: 0,
+            last_reduced_cost: f64::NAN,
+        });
+        self.insertions += 1;
+        if self.capacity > 0 && self.entries.len() > self.capacity {
+            self.evict_least_useful();
+        }
+        true
+    }
+
+    fn evict_least_useful(&mut self) {
+        // Never evict the newest entry (it was just offered for a reason).
+        let candidates = self.entries.len().saturating_sub(1);
+        let victim = (0..candidates).min_by_key(|&i| {
+            let e = &self.entries[i];
+            (e.hits, e.last_hit_scan, e.born_scan)
+        });
+        if let Some(i) = victim {
+            self.entries.remove(i);
+            self.evictions += 1;
+        }
+    }
+
+    /// Records an adoption / re-use of the tagged column.
+    pub fn note_hit(&mut self, tag: u64) {
+        let clock = self.clock;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.column.tag == tag) {
+            e.hits += 1;
+            e.last_hit_scan = clock;
+            self.hits += 1;
+        }
+    }
+
+    /// Scans the pool at the given duals and returns clones of the
+    /// improving columns among those `eligible` admits (callers gate on
+    /// row-set identity — a coefficient on "row i" only means something
+    /// under the origin master's rows). Advances the scan clock and stamps
+    /// every priced entry's [`PooledColumn::last_reduced_cost`]. The
+    /// **whole** pool is rescanned every call: a column rejected at one
+    /// round's duals can become improving after other columns pivot in,
+    /// so a forward-only cursor would silently withhold it.
+    pub fn scan(
+        &mut self,
+        duals: &[f64],
+        sense: Sense,
+        tolerance: f64,
+        mut eligible: impl FnMut(&PooledColumn) -> bool,
+    ) -> Vec<GeneratedColumn> {
+        self.clock += 1;
+        let mut improving = Vec::new();
+        for e in self.entries.iter_mut() {
+            if !eligible(e) || e.column.coeffs.iter().any(|&(r, _)| r >= duals.len()) {
+                continue;
+            }
+            let rc = e.column.reduced_cost(duals);
+            e.last_reduced_cost = rc;
+            let is_improving = match sense {
+                Sense::Maximize => rc > tolerance,
+                Sense::Minimize => rc < -tolerance,
+            };
+            if is_improving {
+                improving.push(e.column.clone());
+            }
+        }
+        improving
+    }
+
+    /// Retains / re-keys entries: `f` returns the (possibly new) tag to
+    /// keep an entry under, or `None` to drop it (dropping this way is
+    /// **not** counted as an eviction — it is caller-driven retirement,
+    /// e.g. a departed bidder's columns). Used by long-lived sessions
+    /// whose native tags embed indices that shift on departure.
+    pub fn retain_map(&mut self, mut f: impl FnMut(&PooledColumn) -> Option<u64>) {
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for mut e in std::mem::take(&mut self.entries) {
+            if let Some(tag) = f(&e) {
+                e.column.tag = tag;
+                kept.push(e);
+            }
+        }
+        self.entries = kept;
     }
 }
 
@@ -816,6 +1558,10 @@ pub struct BatchedResult {
     pub per_channel: Vec<ChannelRunStats>,
     /// Size of the shared column pool at the end of the run.
     pub pool_size: usize,
+    /// Pool adoptions recorded across the run ([`ColumnPool::hits`]).
+    pub pool_hits: usize,
+    /// Pool evictions across the run ([`ColumnPool::evictions`]).
+    pub pool_evictions: usize,
     /// Round-robin sweeps performed.
     pub sweeps: usize,
 }
@@ -826,31 +1572,43 @@ pub struct BatchedResult {
 #[derive(Clone, Debug)]
 pub struct BatchedMasters {
     masters: Vec<MasterProblem>,
-    /// Every column any oracle has generated, in discovery order.
-    pool: Vec<GeneratedColumn>,
-    /// Per pool column: index of the master whose oracle produced it. A
-    /// column is only offered to masters whose rows equal the origin's —
-    /// row *indices* alone are not identity (a coefficient on "row 0" means
-    /// something else under a different rhs or relation).
-    pool_origin: Vec<usize>,
-    pool_tags: std::collections::HashSet<u64>,
-    /// Per master: pool prefix already offered to it.
+    /// The managed shared pool: every column any oracle has generated,
+    /// with usefulness metadata and bounded LRU-by-usefulness eviction.
+    /// A pooled column records the master whose oracle produced it as its
+    /// origin and is only offered to masters whose rows equal the
+    /// origin's — row *indices* alone are not identity (a coefficient on
+    /// "row 0" means something else under a different rhs or relation).
+    pool: ColumnPool,
+    /// Per master: [`ColumnPool::insertions`] watermark at its last visit
+    /// (the has-the-pool-grown-since signal; `len` would regress under
+    /// eviction).
     offered: Vec<usize>,
 }
 
 impl BatchedMasters {
-    /// Wraps the given masters in a shared context. The masters may have
+    /// Wraps the given masters in a shared context with a
+    /// [`DEFAULT_POOL_CAPACITY`]-bounded pool. The masters may have
     /// different rows — both pool sharing and warm-start seeding then only
     /// happen between masters with identical rows.
     pub fn new(masters: Vec<MasterProblem>) -> Self {
+        Self::with_pool_capacity(masters, DEFAULT_POOL_CAPACITY)
+    }
+
+    /// Like [`new`](Self::new) with an explicit pool capacity
+    /// (0 = unbounded).
+    pub fn with_pool_capacity(masters: Vec<MasterProblem>, capacity: usize) -> Self {
         let offered = vec![0; masters.len()];
         BatchedMasters {
             masters,
-            pool: Vec::new(),
-            pool_origin: Vec::new(),
-            pool_tags: std::collections::HashSet::new(),
+            pool: ColumnPool::with_capacity(capacity),
             offered,
         }
+    }
+
+    /// The shared column pool (read-only; adds go through
+    /// [`add_column`](Self::add_column)).
+    pub fn pool(&self) -> &ColumnPool {
+        &self.pool
     }
 
     /// Number of masters in the context.
@@ -872,10 +1630,7 @@ impl BatchedMasters {
     /// (for siblings whose rows equal `c`'s).
     pub fn add_column(&mut self, c: usize, column: GeneratedColumn) -> bool {
         let added = self.masters[c].add_column(column.clone());
-        if self.pool_tags.insert(column.tag) {
-            self.pool.push(column);
-            self.pool_origin.push(c);
-        }
+        self.pool.offer(column, c);
         added
     }
 
@@ -911,23 +1666,23 @@ impl BatchedMasters {
     /// row counts alone would adopt semantically foreign columns.
     fn offer_pool(&mut self, c: usize, duals: &[f64], tolerance: f64) -> usize {
         let sense = self.masters[c].lp.sense();
+        let masters = &self.masters;
+        let rows_c = masters[c].rows();
+        let improving = self.pool.scan(duals, sense, tolerance, |e| {
+            (e.origin == c || masters[e.origin].rows() == rows_c)
+                && !masters[c].contains_tag(e.column.tag)
+        });
         let mut adopted = 0usize;
-        for i in 0..self.pool.len() {
-            let origin = self.pool_origin[i];
-            if origin != c && self.masters[origin].rows() != self.masters[c].rows() {
-                continue;
-            }
-            let col = &self.pool[i];
-            if !self.masters[c].contains_tag(col.tag) && col.is_improving(duals, sense, tolerance) {
-                let col = col.clone();
-                if self.masters[c].add_column(col) {
-                    adopted += 1;
-                }
+        for col in improving {
+            let tag = col.tag;
+            if self.masters[c].add_column(col) {
+                self.pool.note_hit(tag);
+                adopted += 1;
             }
         }
         // `offered` is only the has-the-pool-grown-since-my-last-visit
         // signal for the outer sweep loop; adoption no longer consumes it.
-        self.offered[c] = self.pool.len();
+        self.offered[c] = self.pool.insertions();
         adopted
     }
 
@@ -961,10 +1716,10 @@ impl BatchedMasters {
         loop {
             let mut visited_any = false;
             for c in 0..k {
-                while !(settled[c] && self.offered[c] == self.pool.len()) {
+                while !(settled[c] && self.offered[c] == self.pool.insertions()) {
                     if stats[c].rounds >= cg.max_rounds {
                         settled[c] = true;
-                        self.offered[c] = self.pool.len();
+                        self.offered[c] = self.pool.insertions();
                         break;
                     }
                     visited_any = true;
@@ -994,7 +1749,7 @@ impl BatchedMasters {
                     }
                     if solution.status != LpStatus::Optimal {
                         settled[c] = true;
-                        self.offered[c] = self.pool.len(); // cannot price further
+                        self.offered[c] = self.pool.insertions(); // cannot price further
                         break;
                     }
                     let adopted = self.offer_pool(c, &solution.duals, cg.reduced_cost_tolerance);
@@ -1003,7 +1758,7 @@ impl BatchedMasters {
                     let mut oracle_added = false;
                     for col in sources[c].generate(&solution.duals) {
                         if col.is_improving(&solution.duals, sense, cg.reduced_cost_tolerance) {
-                            let tag_is_new = !self.pool_tags.contains(&col.tag);
+                            let tag_is_new = !self.pool.contains_tag(col.tag);
                             if self.add_column(c, col) {
                                 // Any successful add is progress (the master
                                 // must re-solve), even when the tag was
@@ -1044,6 +1799,8 @@ impl BatchedMasters {
             channels,
             per_channel: stats,
             pool_size: self.pool.len(),
+            pool_hits: self.pool.hits(),
+            pool_evictions: self.pool.evictions(),
             sweeps,
         })
     }
@@ -1360,6 +2117,44 @@ mod tests {
             }
             other => panic!("expected IterationLimit error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn per_round_adoption_cap_ranks_by_reduced_cost_and_stays_exact() {
+        // Three unit-capacity rows; the source proposes one singleton
+        // column per uncovered row every round. With a cap of 1 the driver
+        // must adopt the most improving candidate first (largest
+        // objective at zero duals) and still reach the full optimum of 6.
+        let rows = vec![
+            (Relation::Le, 1.0),
+            (Relation::Le, 1.0),
+            (Relation::Le, 1.0),
+        ];
+        let mut master = MasterProblem::new(Sense::Maximize, rows);
+        let mut source = |duals: &[f64]| {
+            (0..3usize)
+                .filter_map(|r| {
+                    let col = GeneratedColumn {
+                        objective: (r + 1) as f64,
+                        coeffs: vec![(r, 1.0)],
+                        tag: r as u64,
+                    };
+                    (col.reduced_cost(duals) > 1e-7).then_some(col)
+                })
+                .collect::<Vec<_>>()
+        };
+        let cg = ColumnGeneration {
+            max_columns_per_round: 1,
+            ..Default::default()
+        };
+        let result = cg.run(&mut master, &mut source).expect("capped run");
+        assert!(result.converged);
+        assert!((result.solution.objective - 6.0).abs() < 1e-7);
+        assert_eq!(result.columns_generated, 3);
+        assert!(result.columns_per_round.iter().all(|&c| c <= 1));
+        // Adoption order is strongest-first: tags 2, 1, 0.
+        let adopted: Vec<u64> = master.columns().iter().map(|c| c.tag).collect();
+        assert_eq!(adopted, vec![2, 1, 0]);
     }
 
     #[test]
@@ -1962,5 +2757,302 @@ mod tests {
         assert_eq!(result.per_channel[1].columns_from_pool, 0);
         assert_eq!(batched.masters()[0].num_columns(), 1);
         assert_eq!(batched.masters()[1].num_columns(), 1);
+    }
+
+    /// The knapsack LP of [`knapsack_lp_via_column_generation`] as a
+    /// reusable fixture for the stabilization tests.
+    fn knapsack_fixture() -> (MasterProblem, impl FnMut(&[f64]) -> Vec<GeneratedColumn>) {
+        let values = [6.0, 10.0, 12.0];
+        let weights = [1.0, 2.0, 3.0];
+        let mut rows = vec![(Relation::Le, 5.0)];
+        for _ in 0..3 {
+            rows.push((Relation::Le, 1.0));
+        }
+        let master = MasterProblem::new(Sense::Maximize, rows);
+        let source = move |duals: &[f64]| -> Vec<GeneratedColumn> {
+            let mut best: Option<GeneratedColumn> = None;
+            for i in 0..3 {
+                let col = GeneratedColumn {
+                    objective: values[i],
+                    coeffs: vec![(0, weights[i]), (i + 1, 1.0)],
+                    tag: i as u64,
+                };
+                let rc = col.reduced_cost(duals);
+                if rc > 1e-7 {
+                    match &best {
+                        None => best = Some(col),
+                        Some(b) => {
+                            if rc > b.reduced_cost(duals) {
+                                best = Some(col);
+                            }
+                        }
+                    }
+                }
+            }
+            best.into_iter().collect()
+        };
+        (master, source)
+    }
+
+    #[test]
+    fn smoothing_reaches_the_unstabilized_optimum() {
+        for &alpha in &[0.1, 0.5, 0.9, 0.99] {
+            let (mut master, mut source) = knapsack_fixture();
+            let cg = ColumnGeneration {
+                stabilization: Stabilization::Smoothing { alpha },
+                ..Default::default()
+            };
+            let result = cg.run(&mut master, &mut source).expect("stabilized run");
+            assert!(result.converged, "alpha={alpha}");
+            assert!(
+                (result.solution.objective - 24.0).abs() < 1e-5,
+                "alpha={alpha}: objective {}",
+                result.solution.objective
+            );
+            assert_eq!(result.columns_per_round.len(), result.pricing_rounds);
+            assert_eq!(
+                result.columns_per_round.iter().sum::<usize>(),
+                result.columns_generated
+            );
+        }
+    }
+
+    #[test]
+    fn box_step_reaches_the_unstabilized_optimum_and_retires_its_columns() {
+        let (mut master, mut source) = knapsack_fixture();
+        let cg = ColumnGeneration {
+            stabilization: Stabilization::BoxStep {
+                penalty: 5.0,
+                width: 1.0,
+            },
+            ..Default::default()
+        };
+        let result = cg.run(&mut master, &mut source).expect("box-step run");
+        assert!(result.converged);
+        assert!(
+            (result.solution.objective - 24.0).abs() < 1e-5,
+            "objective {}",
+            result.solution.objective
+        );
+        // The box machinery is always dismantled before run() returns:
+        // every penalty column is fixed (zero objective, barred from
+        // entering), so a later warm re-solve on the same master
+        // reproduces the unstabilized optimum. A *lift* column (all-
+        // positive coefficients) may linger basic in pure row slack —
+        // provably harmless (`fixed_value_is_harmless`) — but any *cap*
+        // column (its negative row coefficient could relax a constraint)
+        // must be at zero: the warm-start validator rejects those, forcing
+        // a clean cold start.
+        let warm = master.solve_warm(&SimplexOptions::default());
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!((warm.objective - 24.0).abs() < 1e-5);
+        for (idx, col) in master.columns().iter().enumerate() {
+            let is_cap = col.coeffs.iter().any(|&(_, a)| a < 0.0);
+            if is_stabilization_tag(col.tag) && is_cap {
+                assert!(
+                    warm.x.get(idx).copied().unwrap_or(0.0).abs() < 1e-9,
+                    "retired cap column {idx} still active"
+                );
+            }
+        }
+    }
+
+    /// Regression: a column with a negative row coefficient that sits in
+    /// the recorded basis — even at value 0 — must poison the warm start
+    /// when fixed, because later pivots of *other* columns can grow a
+    /// basic variable the enterable mask no longer protects. A retired
+    /// box cap left basic this way silently relaxed its row and reported
+    /// an objective above the true optimum.
+    #[test]
+    fn fixing_a_basic_nonharmless_column_scrubs_the_warm_start() {
+        let rows = vec![(Relation::Le, 1.0), (Relation::Le, 1.0)];
+        let mut master = MasterProblem::new(Sense::Maximize, rows);
+        master.add_column(GeneratedColumn {
+            objective: 1.0,
+            coeffs: vec![(0, 1.0)],
+            tag: 0,
+        });
+        master.add_column(GeneratedColumn {
+            objective: 0.5,
+            coeffs: vec![(0, -1.0), (1, 1.0)],
+            tag: 1,
+        });
+        let first = master.solve_warm(&SimplexOptions::default());
+        assert_eq!(first.status, LpStatus::Optimal);
+        assert!((first.objective - 2.5).abs() < 1e-6, "{}", first.objective);
+        assert!(master.warm_start().is_some());
+        master.fix_columns(&[1]);
+        assert!(
+            master.warm_start().is_none(),
+            "a basic non-harmless column must poison the recorded basis"
+        );
+        let refixed = master.solve_warm(&SimplexOptions::default());
+        assert_eq!(refixed.status, LpStatus::Optimal);
+        assert!(
+            (refixed.objective - 1.0).abs() < 1e-6,
+            "{}",
+            refixed.objective
+        );
+        assert!(refixed.x[1].abs() < 1e-9, "fixed column active");
+    }
+
+    #[test]
+    fn box_step_on_minimize_masters_is_a_no_op() {
+        // Penalty columns would *relax* covering rows under Minimize, so
+        // the installer declines; the run must match the unstabilized one.
+        let run = |stabilization: Stabilization| {
+            let rows = vec![(Relation::Ge, 4.0), (Relation::Ge, 3.0)];
+            let mut master = MasterProblem::new(Sense::Minimize, rows);
+            // Seed the singleton patterns so the covering master is
+            // feasible before pricing starts (as in
+            // `covering_master_in_minimization_sense`).
+            master.add_column(GeneratedColumn {
+                objective: 2.0,
+                coeffs: vec![(0, 1.0)],
+                tag: 0,
+            });
+            master.add_column(GeneratedColumn {
+                objective: 2.0,
+                coeffs: vec![(1, 1.0)],
+                tag: 1,
+            });
+            let mut source = |duals: &[f64]| -> Vec<GeneratedColumn> {
+                let col = GeneratedColumn {
+                    objective: 3.0,
+                    coeffs: vec![(0, 1.0), (1, 1.0)],
+                    tag: 2,
+                };
+                if col.reduced_cost(duals) < -1e-7 {
+                    vec![col]
+                } else {
+                    Vec::new()
+                }
+            };
+            let cg = ColumnGeneration {
+                stabilization,
+                ..Default::default()
+            };
+            cg.run(&mut master, &mut source).expect("covering run")
+        };
+        let plain = run(Stabilization::Off);
+        let boxed = run(Stabilization::BoxStep {
+            penalty: 5.0,
+            width: 1.0,
+        });
+        assert!(plain.converged && boxed.converged);
+        assert!((plain.solution.objective - boxed.solution.objective).abs() < 1e-9);
+        assert_eq!(boxed.stabilization_misprices, 0);
+    }
+
+    #[test]
+    fn mispriced_smoothed_round_guard_fires() {
+        // An oracle keyed on the exact duals: column 1 is only proposed at
+        // the TRUE post-round-1 duals (y = 2), never at the smoothed point
+        // the stabilized loop prices first — so convergence depends on the
+        // exactness guard re-pricing at the true duals.
+        let mut master = MasterProblem::new(Sense::Maximize, vec![(Relation::Le, 1.0)]);
+        let mut source = |duals: &[f64]| -> Vec<GeneratedColumn> {
+            let y = duals[0];
+            if y.abs() < 1e-9 {
+                vec![GeneratedColumn {
+                    objective: 2.0,
+                    coeffs: vec![(0, 1.0)],
+                    tag: 0,
+                }]
+            } else if (y - 2.0).abs() < 1e-9 {
+                vec![GeneratedColumn {
+                    objective: 3.0,
+                    coeffs: vec![(0, 1.0)],
+                    tag: 1,
+                }]
+            } else {
+                Vec::new()
+            }
+        };
+        let cg = ColumnGeneration {
+            stabilization: Stabilization::Smoothing { alpha: 0.9 },
+            ..Default::default()
+        };
+        let result = cg.run(&mut master, &mut source).expect("guarded run");
+        assert!(result.converged);
+        // Without the guard the loop would stop at 2.0 (the smoothed round
+        // found nothing); the true optimum takes column 1.
+        assert!(
+            (result.solution.objective - 3.0).abs() < 1e-6,
+            "objective {}",
+            result.solution.objective
+        );
+        assert!(
+            result.stabilization_misprices >= 1,
+            "guard never fired: {result:?}"
+        );
+    }
+
+    #[test]
+    fn round_series_is_a_capped_ring_buffer() {
+        let mut series = RoundSeries::default();
+        for i in 0..ROUND_SERIES_CAP + 10 {
+            series.push(i);
+        }
+        assert_eq!(series.pushes(), ROUND_SERIES_CAP + 10);
+        assert_eq!(series.len(), ROUND_SERIES_CAP);
+        assert_eq!(series.recorded().first().copied(), Some(10));
+        assert_eq!(
+            series.recorded().last().copied(),
+            Some(ROUND_SERIES_CAP + 9)
+        );
+    }
+
+    #[test]
+    fn column_pool_evicts_the_least_useful_entry() {
+        let col = |tag: u64| GeneratedColumn {
+            objective: tag as f64,
+            coeffs: vec![(0, 1.0)],
+            tag,
+        };
+        let mut pool = ColumnPool::with_capacity(2);
+        assert!(pool.offer(col(0), 0));
+        assert!(!pool.offer(col(0), 0), "duplicate tags are rejected");
+        assert!(pool.offer(col(1), 0));
+        pool.note_hit(0);
+        // Over capacity: the un-hit entry 1 is the least useful (fewest
+        // hits), so it goes — not the just-inserted entry 2.
+        assert!(pool.offer(col(2), 1));
+        assert_eq!(pool.len(), 2);
+        assert!(pool.contains_tag(0) && pool.contains_tag(2) && !pool.contains_tag(1));
+        assert_eq!(pool.insertions(), 3);
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.evictions(), 1);
+    }
+
+    #[test]
+    fn column_pool_scan_stamps_reduced_costs_and_returns_improving_clones() {
+        let mut pool = ColumnPool::unbounded();
+        pool.offer(
+            GeneratedColumn {
+                objective: 5.0,
+                coeffs: vec![(0, 1.0)],
+                tag: 7,
+            },
+            0,
+        );
+        pool.offer(
+            GeneratedColumn {
+                objective: 1.0,
+                coeffs: vec![(0, 1.0)],
+                tag: 8,
+            },
+            0,
+        );
+        let improving = pool.scan(&[2.0], Sense::Maximize, 1e-7, |_| true);
+        assert_eq!(improving.len(), 1);
+        assert_eq!(improving[0].tag, 7);
+        for e in pool.entries() {
+            let expected = e.column.objective - 2.0;
+            assert!((e.last_reduced_cost - expected).abs() < 1e-12);
+        }
+        // Ineligible entries are skipped without a reduced-cost stamp.
+        let none = pool.scan(&[0.0], Sense::Maximize, 1e-7, |_| false);
+        assert!(none.is_empty());
     }
 }

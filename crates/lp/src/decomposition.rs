@@ -96,6 +96,15 @@ pub struct DantzigWolfeOptions {
     pub max_rounds: usize,
     /// Reduced-cost tolerance for both block and native columns.
     pub tolerance: f64,
+    /// Dual-trajectory stabilization (see
+    /// [`Stabilization`](crate::column_generation::Stabilization)).
+    /// Smoothing here **is** in-out pricing for the degenerate master: the
+    /// stability center is the "in" point, the current master duals the
+    /// "out" point, and the subproblems price at their convex combination —
+    /// while acceptance always tests the candidate's reduced cost at the
+    /// **true** duals, and a smoothed round that prices nothing out is
+    /// re-priced at the true duals before convergence is declared.
+    pub stabilization: crate::column_generation::Stabilization,
 }
 
 impl Default for DantzigWolfeOptions {
@@ -105,6 +114,7 @@ impl Default for DantzigWolfeOptions {
             subproblem_simplex: SimplexOptions::default(),
             max_rounds: 400,
             tolerance: 1e-7,
+            stabilization: crate::column_generation::Stabilization::Off,
         }
     }
 }
@@ -194,8 +204,18 @@ pub struct DwStats {
     /// Simplex pivots across every master re-solve.
     pub master_iterations: usize,
     /// Pivots of each master re-solve in order (the warm-start win is the
-    /// drop after round 0).
-    pub master_per_round: Vec<usize>,
+    /// drop after round 0). Ring-buffered at
+    /// [`ROUND_SERIES_CAP`](crate::column_generation::ROUND_SERIES_CAP).
+    pub master_per_round: crate::column_generation::RoundSeries,
+    /// Columns (block + native) adopted per pricing round (same capping).
+    pub columns_per_round: crate::column_generation::RoundSeries,
+    /// Rounds in which the blocks / source were actually priced (box-step
+    /// shrink re-solves are master-only and not counted).
+    pub pricing_rounds: usize,
+    /// Rounds where pricing at the stabilized duals found nothing but the
+    /// exactness guard (true-dual re-price or box shrink) kept the loop
+    /// going. Always 0 with stabilization off.
+    pub stabilization_misprices: usize,
     /// Simplex pivots across every block subproblem solve.
     pub subproblem_pivots: usize,
     /// Dual-simplex reoptimization pivots in the master (row additions).
@@ -668,11 +688,85 @@ impl DecomposedLp {
             .collect()
     }
 
+    /// One block-and-source pricing pass. Oracles (block subproblems and
+    /// the native source) see `pricing_duals` — the true virtual duals, or
+    /// the smoothed "in-out" point under stabilization — while
+    /// **acceptance** always tests the candidate's reduced cost at the
+    /// true duals (`true_vduals` / the true convexity dual `σ_b`), so a
+    /// stabilized round can only add genuinely improving columns. Returns
+    /// how many columns the master adopted.
+    #[allow(clippy::too_many_arguments)]
+    fn price_round(
+        &mut self,
+        pricing_duals: &[f64],
+        true_vduals: &[f64],
+        master_duals: &[f64],
+        smoothed: bool,
+        source: &mut dyn ColumnSource,
+        options: &DantzigWolfeOptions,
+        stats: &mut DwStats,
+    ) -> usize {
+        let pricings = self.price_blocks(pricing_duals, &options.subproblem_simplex);
+        let mut added = 0usize;
+        for (b, priced) in pricings.iter().enumerate() {
+            stats.subproblem_pivots += priced.iterations;
+            if priced.status != LpStatus::Optimal {
+                // An unbounded/limited block proposes nothing this
+                // round; blocks are required to be bounded, so this is
+                // a caller bug surfaced as a counter, not a panic.
+                stats.block_failures += 1;
+                continue;
+            }
+            let sigma = master_duals[self.convexity_master[b]];
+            // On the smoothed path the subproblem's objective was priced at
+            // the in-out point; re-price the returned extreme point at the
+            // true duals before accepting it.
+            let priced_objective = if smoothed {
+                let block = &self.blocks[b];
+                priced
+                    .x
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &xv)| xv.abs() > 1e-12)
+                    .map(|(v, &xv)| {
+                        let mut c = block.base_objective[v];
+                        for &(vr, a) in &block.linking[v] {
+                            c -= true_vduals[vr] * a;
+                        }
+                        c * xv
+                    })
+                    .sum()
+            } else {
+                priced.objective
+            };
+            if priced_objective > sigma + options.tolerance && self.push_block_column(b, &priced.x)
+            {
+                added += 1;
+                stats.columns_from_blocks += 1;
+            }
+        }
+        for column in source.generate(pricing_duals) {
+            let rc = column.reduced_cost(true_vduals);
+            if rc > options.tolerance && self.add_native_column(column) {
+                added += 1;
+                stats.columns_from_source += 1;
+            }
+        }
+        added
+    }
+
     /// Runs the Dantzig–Wolfe loop: re-solve the master (warm-started;
     /// lazily activated rows are absorbed through the dual-simplex path),
     /// price every block subproblem **in parallel** at the virtual-space
     /// duals, offer the native source the same duals, and repeat until no
     /// block prices out and the source adds nothing.
+    ///
+    /// Every round already **batches** all blocks' proposals into a single
+    /// warm master re-solve (there is exactly one `solve_warm` per round,
+    /// never one per block); under
+    /// [`DantzigWolfeOptions::stabilization`] the subproblems additionally
+    /// price at a damped dual trajectory (in-out pricing / soft dual
+    /// boxes) with the same exactness guard as the monolithic loop.
     ///
     /// # Errors
     /// Returns [`DantzigWolfeError::MasterIterationLimit`] when a master
@@ -682,12 +776,21 @@ impl DecomposedLp {
         source: &mut dyn ColumnSource,
         options: &DantzigWolfeOptions,
     ) -> Result<DwSolution, DantzigWolfeError> {
+        use crate::column_generation::{BoxStabilizer, DualSmoother, Stabilization};
         let rows_activated_before = self.rows_activated;
         let mut stats = DwStats {
             subproblem_pivots: std::mem::take(&mut self.pending_subproblem_pivots),
             ..Default::default()
         };
-        loop {
+        let mut smoother = match options.stabilization {
+            Stabilization::Smoothing { alpha } => Some(DualSmoother::new(alpha)),
+            _ => None,
+        };
+        let mut boxer: Option<BoxStabilizer> = None;
+        // `Ok((solution, converged))` breaks the loop; the box (if any) is
+        // retired on the single exit path below so the master the caller
+        // keeps is unstabilized.
+        let outcome = loop {
             let solution = self.master.solve_warm(&options.master_simplex);
             stats.master_rounds += 1;
             stats.master_iterations += solution.iterations;
@@ -700,58 +803,98 @@ impl DecomposedLp {
             stats.rows_activated = self.rows_activated - rows_activated_before;
             stats.master_rows = self.master.num_rows();
             if solution.status == LpStatus::IterationLimit {
-                return Err(DantzigWolfeError::MasterIterationLimit {
-                    partial: Box::new(solution),
-                    stats: Box::new(stats),
-                });
+                break Err(solution);
             }
             if solution.status != LpStatus::Optimal || stats.master_rounds > options.max_rounds {
-                return Ok(DwSolution {
-                    solution,
-                    converged: false,
-                    stats,
-                });
+                break Ok((solution, false));
+            }
+            // Install the soft dual box once the master has columns to
+            // price against (an empty master's duals carry no trajectory).
+            if let Stabilization::BoxStep { penalty, width } = options.stabilization {
+                if boxer.is_none() && self.master.num_columns() > 0 {
+                    boxer = Some(BoxStabilizer::install(
+                        &mut self.master,
+                        &solution.duals,
+                        penalty,
+                        width,
+                    ));
+                }
             }
 
             let vduals = self.virtual_duals(&solution.duals);
-            let pricings = self.price_blocks(&vduals, &options.subproblem_simplex);
-
-            let mut added = 0usize;
-            for (b, priced) in pricings.iter().enumerate() {
-                stats.subproblem_pivots += priced.iterations;
-                if priced.status != LpStatus::Optimal {
-                    // An unbounded/limited block proposes nothing this
-                    // round; blocks are required to be bounded, so this is
-                    // a caller bug surfaced as a counter, not a panic.
-                    stats.block_failures += 1;
-                    continue;
-                }
-                let sigma = solution.duals[self.convexity_master[b]];
-                if priced.objective > sigma + options.tolerance
-                    && self.push_block_column(b, &priced.x)
-                {
-                    added += 1;
-                    stats.columns_from_blocks += 1;
+            let in_out = smoother.as_mut().and_then(|s| s.advance(&vduals));
+            stats.pricing_rounds += 1;
+            let mut added = match &in_out {
+                Some(point) => self.price_round(
+                    point,
+                    &vduals,
+                    &solution.duals,
+                    true,
+                    source,
+                    options,
+                    &mut stats,
+                ),
+                None => self.price_round(
+                    &vduals,
+                    &vduals,
+                    &solution.duals,
+                    false,
+                    source,
+                    options,
+                    &mut stats,
+                ),
+            };
+            if added == 0 && in_out.is_some() {
+                // Exactness guard: nothing priced out at the in-out point,
+                // which proves nothing about the true duals.
+                added = self.price_round(
+                    &vduals,
+                    &vduals,
+                    &solution.duals,
+                    false,
+                    source,
+                    options,
+                    &mut stats,
+                );
+                if added > 0 {
+                    stats.stabilization_misprices += 1;
+                    if let Some(s) = &mut smoother {
+                        s.reset_to(&vduals);
+                    }
                 }
             }
-
-            for column in source.generate(&vduals) {
-                let rc = column.reduced_cost(&vduals);
-                if rc > options.tolerance && self.add_native_column(column) {
-                    added += 1;
-                    stats.columns_from_source += 1;
-                }
-            }
+            stats.columns_per_round.push(added);
             stats.rows_activated = self.rows_activated - rows_activated_before;
             stats.master_rows = self.master.num_rows();
 
             if added == 0 {
-                return Ok(DwSolution {
-                    solution,
-                    converged: true,
-                    stats,
-                });
+                if let Some(b) = &mut boxer {
+                    if b.is_active() && !b.clean(&solution, options.tolerance.max(1e-9)) {
+                        // The duals only certify optimality once the box
+                        // machinery is inactive; shrink (retiring after
+                        // MAX_BOX_SHRINKS) and re-solve.
+                        stats.stabilization_misprices += 1;
+                        b.shrink(&mut self.master, &solution.duals);
+                        continue;
+                    }
+                }
+                break Ok((solution, true));
             }
+        };
+        if let Some(b) = &mut boxer {
+            b.retire(&mut self.master);
+        }
+        stats.master_rows = self.master.num_rows();
+        match outcome {
+            Ok((solution, converged)) => Ok(DwSolution {
+                solution,
+                converged,
+                stats,
+            }),
+            Err(partial) => Err(DantzigWolfeError::MasterIterationLimit {
+                partial: Box::new(partial),
+                stats: Box::new(stats),
+            }),
         }
     }
 }

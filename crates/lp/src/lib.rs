@@ -102,9 +102,11 @@ pub use basis::{
     SparsityStats,
 };
 pub use column_generation::{
-    is_native_tag, is_relief_tag, BatchedMasters, BatchedResult, ChannelRunStats, ColumnGeneration,
-    ColumnGenerationError, ColumnGenerationResult, ColumnSource, CompactionReport, GeneratedColumn,
-    MasterProblem, DEAD_COLUMN_TAG_BASE, ROW_RELIEF_TAG_BASE,
+    is_native_tag, is_relief_tag, is_stabilization_tag, BatchedMasters, BatchedResult,
+    ChannelRunStats, ColumnGeneration, ColumnGenerationError, ColumnGenerationResult, ColumnPool,
+    ColumnSource, CompactionReport, GeneratedColumn, MasterProblem, PooledColumn, RoundSeries,
+    Stabilization, DEAD_COLUMN_TAG_BASE, DEFAULT_POOL_CAPACITY, MAX_BOX_SHRINKS, ROUND_SERIES_CAP,
+    ROW_RELIEF_TAG_BASE, STABILIZATION_TAG_BASE,
 };
 pub use decomposition::{
     is_block_tag, DantzigWolfeError, DantzigWolfeOptions, DecomposedLp, DwSolution, DwStats,

@@ -604,19 +604,20 @@ impl<'a> Revised<'a> {
                 *v = 0.0;
             }
         }
-        // A fixed column that arrived basic with a positive value may only
-        // keep it when that is provably harmless (it consumes ≤-row slack
-        // only — the packing shape). Otherwise reject the warm start: the
-        // cold start keeps every fixed variable at exactly 0, so covering
-        // and minimization shapes report the true fixed-at-zero optimum
-        // instead of letting a zero-cost basic column satisfy `≥` rows for
-        // free.
-        for (r, &c) in self.basis.iter().enumerate() {
+        // A fixed column that arrived basic may only stay when that is
+        // provably harmless (it consumes ≤-row slack only — the packing
+        // shape). Otherwise reject the warm start: the cold start keeps
+        // every fixed variable at exactly 0, so covering and minimization
+        // shapes report the true fixed-at-zero optimum instead of letting
+        // a zero-cost basic column satisfy `≥` rows for free. The value
+        // does NOT matter: the `enterable` mask only bars *entering*, so
+        // even a fixed column basic at 0 would be free to grow as later
+        // pivots of other columns shift the basic solution — e.g. a
+        // retired box-stabilization cap column (a −1 coefficient) silently
+        // relaxing its row.
+        for &c in self.basis.iter() {
             if let BasisVar::Structural(v) = self.kind[c] {
-                if self.xb[r] > 1e-9
-                    && self.lp.is_variable_fixed(v)
-                    && !self.lp.fixed_value_is_harmless(v)
-                {
+                if self.lp.is_variable_fixed(v) && !self.lp.fixed_value_is_harmless(v) {
                     return false;
                 }
             }
